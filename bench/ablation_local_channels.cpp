@@ -1,0 +1,77 @@
+// Design ablation: should co-located chares use CkDirect channels?
+//
+// A local put is a real extra memcpy (one-sided semantics: the payload must
+// land in the registered receive buffer), whereas a local Charm++ message
+// is a pointer handoff plus one scheduling overhead. For large faces the
+// copy costs more than the scheduling it avoids, so the stencil defaults to
+// local-via-messages. This bench quantifies the trade-off on both machines
+// across face sizes.
+
+#include <iostream>
+#include <string>
+
+#include "apps/stencil/stencil.hpp"
+#include "harness/machines.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace ckd;
+
+namespace {
+
+double run(const charm::MachineConfig& machine, std::int64_t domain,
+           bool localViaMessages, int iters) {
+  apps::stencil::Config cfg;
+  cfg.gx = domain;
+  cfg.gy = domain;
+  cfg.gz = domain / 2;
+  apps::stencil::chooseChareGrid(cfg.gx, cfg.gy, cfg.gz, 128, cfg.cx, cfg.cy,
+                                 cfg.cz);
+  cfg.iterations = iters;
+  cfg.mode = apps::stencil::Mode::kCkDirect;
+  cfg.local_via_messages = localViaMessages;
+  cfg.real_compute = false;
+  cfg.compute_per_element_us = 1.0e-3;
+  charm::Runtime rts(machine);
+  apps::stencil::StencilApp app(rts, cfg);
+  return app.execute().avg_iteration_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const int iters = static_cast<int>(args.getInt("iters", 4));
+  const int pes = static_cast<int>(args.getInt("pes", 16));
+
+  for (const bool bgp : {false, true}) {
+    const charm::MachineConfig machine =
+        bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
+    util::TablePrinter table;
+    table.setTitle(std::string("Local-neighbor channels ablation, stencil on ") +
+                   (bgp ? "Blue Gene/P" : "T3") + ", 128 chares, " +
+                   std::to_string(pes) + " PEs");
+    table.setHeader({"Domain", "face KB", "channels everywhere (us)",
+                     "local via messages (us)", "delta"});
+    for (const std::int64_t domain : args.getIntList("domains",
+                                                     {64, 128, 256, 512})) {
+      apps::stencil::Config probe;
+      probe.gx = domain;
+      probe.gy = domain;
+      probe.gz = domain / 2;
+      apps::stencil::chooseChareGrid(probe.gx, probe.gy, probe.gz, 128,
+                                     probe.cx, probe.cy, probe.cz);
+      const double faceKb =
+          static_cast<double>((probe.gx / probe.cx) * (probe.gy / probe.cy)) *
+          8.0 / 1024.0;
+      const double all = run(machine, domain, false, iters);
+      const double mixed = run(machine, domain, true, iters);
+      table.addRow({std::to_string(domain) + "^2x" + std::to_string(domain / 2),
+                    util::formatFixed(faceKb, 1), util::formatFixed(all, 1),
+                    util::formatFixed(mixed, 1),
+                    util::formatPercent(1.0 - mixed / all)});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

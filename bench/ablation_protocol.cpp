@@ -1,0 +1,95 @@
+// §3 analysis ablation: where does the pingpong gap come from?
+//
+// Decomposes the Default-Charm++ vs CkDirect one-way difference into the
+// paper's named components — envelope bytes, message pack/alloc, scheduling
+// overhead, and (above the cut-over) the rendezvous round trip plus
+// registration — by re-running the pingpong with each cost zeroed in turn.
+// Also quantifies the put-vs-get design choice (§2): a get must first ship
+// a request to the data's owner, so it pays one extra one-way latency.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace ckd;
+
+namespace {
+
+double charmRtt(charm::MachineConfig machine, std::size_t bytes, int iters) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = bytes;
+  cfg.iterations = iters;
+  return harness::charmPingpongRtt(machine, cfg);
+}
+
+double ckdRtt(const charm::MachineConfig& machine, std::size_t bytes,
+              int iters) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = bytes;
+  cfg.iterations = iters;
+  return harness::ckdirectPingpongRtt(machine, cfg);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const int iters = static_cast<int>(args.getInt("iters", 200));
+  const charm::MachineConfig base = harness::abeMachine(2, 1);
+
+  util::TablePrinter table;
+  table.setTitle(
+      "Ablation (paper 3): components of the Default-vs-CkDirect pingpong "
+      "gap on InfiniBand (RTT us)");
+  table.setHeader({"Size(KB)", "Default", "no header", "no sched", "no pack",
+                   "free rendezvous", "CkDirect"});
+  for (const std::int64_t size :
+       args.getIntList("sizes", {100, 1000, 10000, 30000, 100000})) {
+    const auto bytes = static_cast<std::size_t>(size);
+    const double dflt = charmRtt(base, bytes, iters);
+
+    charm::MachineConfig noHeader = base;
+    noHeader.costs.header_bytes = 0;
+    charm::MachineConfig noSched = base;
+    noSched.costs.sched_overhead_us = 0;
+    charm::MachineConfig noPack = base;
+    noPack.costs.pack_us = 0;
+    charm::MachineConfig freeRndv = base;
+    freeRndv.costs.rendezvous_reg_base_us = 0;
+    freeRndv.costs.rendezvous_reg_per_byte_us = 0;
+
+    table.addRow({util::formatFixed(size / 1000.0, 1),
+                  util::formatFixed(dflt, 2),
+                  util::formatFixed(charmRtt(noHeader, bytes, iters), 2),
+                  util::formatFixed(charmRtt(noSched, bytes, iters), 2),
+                  util::formatFixed(charmRtt(noPack, bytes, iters), 2),
+                  util::formatFixed(charmRtt(freeRndv, bytes, iters), 2),
+                  util::formatFixed(ckdRtt(base, bytes, iters), 2)});
+  }
+  table.print(std::cout);
+
+  // Put vs get (§2): a receiver-initiated get pays an extra control
+  // one-way before any data moves.
+  util::TablePrinter pg;
+  pg.setTitle("Put vs get (§2 design choice): one-way data delivery time "
+              "(us), sender-ready to receiver-notified");
+  pg.setHeader({"Size(KB)", "put", "get (request + put)"});
+  for (const std::int64_t size : args.getIntList("sizes", {100, 1000, 10000,
+                                                            30000, 100000})) {
+    const auto bytes = static_cast<std::size_t>(size);
+    const double putOneWay = ckdRtt(base, bytes, iters) / 2.0;
+    // A get adds one control-message latency (request to the owner).
+    const double requestLatency = base.netParams.control.alpha_us +
+                                  2 * base.netParams.per_hop_us;
+    pg.addRow({util::formatFixed(size / 1000.0, 1),
+               util::formatFixed(putOneWay, 2),
+               util::formatFixed(putOneWay + requestLatency, 2)});
+  }
+  pg.print(std::cout);
+  return 0;
+}

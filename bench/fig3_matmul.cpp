@@ -1,0 +1,82 @@
+// Reproduces Figure 3: execution time per iteration for the 3-D
+// decomposition matrix multiplication (2048 x 2048), messages vs CkDirect,
+// on Blue Gene/P and on NCSA Abe. The CkDirect version avoids the
+// receive-side placement copies and the per-slice scheduling overhead; the
+// paper reports it scaling visibly better (≈40% at 4K PEs on BG/P).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/matmul/matmul.hpp"
+#include "harness/machines.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace ckd;
+
+namespace {
+
+apps::matmul::Result run(const charm::MachineConfig& machine,
+                         apps::matmul::Mode mode, int pes, int iterations,
+                         double flopCost) {
+  apps::matmul::Config cfg;
+  cfg.m = cfg.n = cfg.k = 2048;
+  apps::matmul::chooseGrid(pes, cfg.cx, cfg.cy, cfg.cz);
+  cfg.iterations = iterations;
+  cfg.mode = mode;
+  cfg.real_compute = false;  // 2048^3 DGEMM is cost-modeled
+  cfg.compute_per_flop_us = flopCost;
+  // Receive-side placement copy (kMessages only): the default version
+  // scatters slice data "into the correct locations" — strided row/column
+  // placement runs well below straight memcpy bandwidth (~4x slower).
+  cfg.copy_per_byte_us = machine.netParams.self_per_byte_us * 4.0;
+  charm::Runtime rts(machine);
+  apps::matmul::MatmulApp app(rts, cfg);
+  return app.execute();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const std::string machineName = args.get("machine", "both");
+  const int iterations = static_cast<int>(args.getInt("iters", 3));
+
+  auto sweep = [&](bool bgp) {
+    const std::vector<std::int64_t> defaults =
+        bgp ? std::vector<std::int64_t>{64, 128, 256, 512, 1024, 2048, 4096}
+            : std::vector<std::int64_t>{16, 32, 64, 128, 256};
+    const auto procs = args.getIntList("procs", defaults);
+    // Cost per multiply-add: ~0.74 ns on the 850 MHz BG/P cores (2.7
+    // GF/s effective DGEMM), ~0.28 ns on Clovertown.
+    const double flopCost = args.getDouble("flop", bgp ? 0.74e-3 : 0.28e-3);
+
+    util::TablePrinter table;
+    table.setTitle(std::string("Figure 3: matmul 2048x2048 iteration time, ") +
+                   (bgp ? "Blue Gene/P" : "NCSA Abe"));
+    table.setHeader(
+        {"Procs", "MSG iter (us)", "CKD iter (us)", "Improvement"});
+    for (const std::int64_t p : procs) {
+      const int pes = static_cast<int>(p);
+      const charm::MachineConfig machine =
+          bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 8);
+      const auto msg = run(machine, apps::matmul::Mode::kMessages, pes,
+                           iterations, flopCost);
+      const auto ckd = run(machine, apps::matmul::Mode::kCkDirect, pes,
+                           iterations, flopCost);
+      table.addRow({std::to_string(pes),
+                    util::formatFixed(msg.avg_iteration_us, 1),
+                    util::formatFixed(ckd.avg_iteration_us, 1),
+                    util::formatPercent(
+                        1.0 - ckd.avg_iteration_us / msg.avg_iteration_us)});
+    }
+    table.print(std::cout);
+  };
+
+  if (machineName == "both" || machineName == "bgp") sweep(/*bgp=*/true);
+  if (machineName == "both" || machineName == "ib") sweep(/*bgp=*/false);
+  std::cout << "(paper: CkDirect scales better on both machines; the "
+               "absolute gap grows with processors, ~40% at 4K on BG/P)\n";
+  return 0;
+}

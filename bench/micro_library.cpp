@@ -1,0 +1,160 @@
+// Wall-clock micro-benchmarks of the library's own machinery (engineering
+// benches, not paper reproductions): event-engine throughput, marshalling,
+// sentinel scans, runtime message rate, reduction trees. Run via
+// google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "charm/maps.hpp"
+#include "charm/marshal.hpp"
+#include "charm/proxy.hpp"
+#include "charm/runtime.hpp"
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "mpi/mini_mpi.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace ckd;
+
+void BM_EngineScheduleAndRun(benchmark::State& state) {
+  const auto events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < events; ++i)
+      engine.at(static_cast<sim::Time>(i % 97), [] {});
+    engine.run();
+    benchmark::DoNotOptimize(engine.executedEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EngineScheduleAndRun)->Arg(1000)->Arg(10000);
+
+void BM_MarshalPackUnpack(benchmark::State& state) {
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)), 1.5);
+  for (auto _ : state) {
+    charm::Packer pk;
+    pk.put<std::int32_t>(7);
+    pk.putVector(values);
+    charm::Unpacker up(pk.bytes());
+    benchmark::DoNotOptimize(up.get<std::int32_t>());
+    benchmark::DoNotOptimize(up.getSpan<double>().data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size() * 8));
+}
+BENCHMARK(BM_MarshalPackUnpack)->Arg(64)->Arg(4096);
+
+// The cost CkDirect's polling queue pays per scheduler pump: one 8-byte
+// sentinel compare per queued handle.
+void BM_SentinelScan(benchmark::State& state) {
+  const auto handles = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<std::byte>> buffers(handles);
+  const std::uint64_t oob = 0xDEADBEEFCAFEBABEull;
+  for (auto& b : buffers) {
+    b.assign(256, std::byte{0});
+    std::memcpy(b.data() + 248, &oob, 8);
+  }
+  for (auto _ : state) {
+    int detected = 0;
+    for (const auto& b : buffers) {
+      std::uint64_t tail;
+      std::memcpy(&tail, b.data() + 248, 8);
+      if (tail != oob) ++detected;
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(handles));
+}
+BENCHMARK(BM_SentinelScan)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RngNext(benchmark::State& state) {
+  util::Rng rng(42);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RunningStatsAdd(benchmark::State& state) {
+  util::RunningStats stats;
+  double x = 0.0;
+  for (auto _ : state) {
+    stats.add(x += 1.25);
+    benchmark::DoNotOptimize(stats.mean());
+  }
+}
+BENCHMARK(BM_RunningStatsAdd);
+
+// Simulator throughput: one full 1000-iteration pingpong simulation.
+void BM_SimulatedPingpong(benchmark::State& state) {
+  const charm::MachineConfig machine = harness::abeMachine(2, 1);
+  for (auto _ : state) {
+    harness::PingpongConfig cfg;
+    cfg.bytes = 1000;
+    cfg.iterations = 100;
+    benchmark::DoNotOptimize(harness::charmPingpongRtt(machine, cfg));
+  }
+}
+BENCHMARK(BM_SimulatedPingpong);
+
+class NullChare final : public charm::Chare {
+ public:
+  int hits = 0;
+  void sink(charm::Message&) { ++hits; }
+};
+
+// Runtime message throughput: broadcast + per-element delivery.
+void BM_RuntimeBroadcast(benchmark::State& state) {
+  const auto elems = state.range(0);
+  for (auto _ : state) {
+    charm::Runtime rts(harness::abeMachine(16, 4));
+    auto proxy = charm::makeArray<NullChare>(
+        rts, "null", elems, charm::blockMap(elems, 16),
+        [](std::int64_t) { return std::make_unique<NullChare>(); });
+    const charm::EntryId ep = proxy.registerEntry("sink", &NullChare::sink);
+    rts.seed([proxy, ep] { proxy.broadcast(ep); });
+    rts.run();
+    benchmark::DoNotOptimize(proxy[0].local().hits);
+  }
+  state.SetItemsProcessed(state.iterations() * elems);
+}
+BENCHMARK(BM_RuntimeBroadcast)->Arg(256)->Arg(2048);
+
+class ReducerChare final : public charm::Chare {
+ public:
+  charm::EntryId epDone = -1;
+  int rounds = 0;
+  void done(charm::Message&) { ++rounds; }
+};
+
+void BM_RuntimeReduction(benchmark::State& state) {
+  const auto elems = state.range(0);
+  for (auto _ : state) {
+    charm::Runtime rts(harness::abeMachine(16, 4));
+    auto proxy = charm::makeArray<ReducerChare>(
+        rts, "red", elems, charm::blockMap(elems, 16),
+        [](std::int64_t) { return std::make_unique<ReducerChare>(); });
+    const charm::EntryId ep = proxy.registerEntry("done", &ReducerChare::done);
+    rts.seed([&rts, proxy, ep, elems] {
+      for (std::int64_t i = 0; i < elems; ++i) {
+        const double v[] = {1.0};
+        rts.contribute(proxy.id(), i, v, charm::ReduceOp::kSum, ep);
+      }
+    });
+    rts.run();
+    benchmark::DoNotOptimize(proxy[0].local().rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * elems);
+}
+BENCHMARK(BM_RuntimeReduction)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces Table 1: pingpong round-trip times (us) on InfiniBand (Abe)
+// for default Charm++, CkDirect, MPICH-VMI, MVAPICH, and MVAPICH MPI_Put,
+// across the paper's ten message sizes.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckd;
+  util::Args args(argc, argv);
+  const int iterations = static_cast<int>(args.getInt("iters", 1000));
+
+  // Pingpong runs between two processes on distinct nodes (1 PE/node).
+  const charm::MachineConfig machine = harness::abeMachine(2, 1);
+
+  const std::vector<std::size_t> sizes = {100,   1000,  5000,   10000, 20000,
+                                          30000, 40000, 70000, 100000, 500000};
+  // Paper values for side-by-side comparison (Table 1).
+  const std::vector<std::vector<double>> paper = {
+      {22.924, 25.110, 47.340, 66.176, 96.215, 160.470, 191.343, 271.803,
+       353.305, 1399.145},  // Default Charm++
+      {12.383, 16.108, 29.330, 43.136, 68.927, 93.422, 120.954, 195.248,
+       275.322, 1294.358},  // CkDirect
+      {12.367, 19.669, 37.318, 60.892, 102.684, 127.591, 201.148, 322.687,
+       332.690, 1396.942},  // MPICH-VMI
+      {12.302, 19.436, 37.311, 56.249, 88.659, 119.452, 144.973, 236.545,
+       315.692, 1386.051},  // MVAPICH
+      {16.801, 22.821, 51.750, 64.202, 94.250, 120.218, 146.028, 232.021,
+       308.942, 1369.516},  // MVAPICH-Put
+  };
+
+  util::TablePrinter table;
+  table.setTitle(
+      "Table 1: pingpong RTT (us) on InfiniBand (Abe) -- measured "
+      "[paper]");
+  table.setHeader({"Message Size(KB)", "Default CHARM++", "CkDirect CHARM++",
+                   "MPICH-VMI", "MVAPICH", "MVAPICH-Put"});
+
+  const mpi::MpiCosts vmi = mpi::mpichVmiCosts();
+  const mpi::MpiCosts mvapich = mpi::mvapichCosts();
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    harness::PingpongConfig cfg;
+    cfg.bytes = sizes[i];
+    cfg.iterations = iterations;
+    const double rows[5] = {
+        harness::charmPingpongRtt(machine, cfg),
+        harness::ckdirectPingpongRtt(machine, cfg),
+        harness::mpiPingpongRtt(machine, vmi, cfg),
+        harness::mpiPingpongRtt(machine, mvapich, cfg),
+        harness::mpiPutPingpongRtt(machine, mvapich, cfg),
+    };
+    std::vector<std::string> cells;
+    cells.push_back(util::formatFixed(static_cast<double>(sizes[i]) / 1000.0,
+                                      1));
+    for (int v = 0; v < 5; ++v)
+      cells.push_back(util::formatFixed(rows[v], 3) + " [" +
+                      util::formatFixed(paper[static_cast<std::size_t>(v)][i],
+                                        3) +
+                      "]");
+    table.addRow(std::move(cells));
+  }
+  table.print(std::cout);
+  return 0;
+}

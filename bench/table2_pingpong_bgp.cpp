@@ -1,0 +1,63 @@
+// Reproduces Table 2: pingpong round-trip times (us) on Blue Gene/P
+// (Surveyor) for default Charm++, CkDirect, IBM MPI, and MPI_Put.
+
+#include <iostream>
+#include <vector>
+
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ckd;
+  util::Args args(argc, argv);
+  const int iterations = static_cast<int>(args.getInt("iters", 1000));
+
+  const charm::MachineConfig machine = harness::surveyorMachine(2, 1);
+
+  const std::vector<std::size_t> sizes = {100,   1000,  5000,   10000, 20000,
+                                          30000, 40000, 70000, 100000, 500000};
+  const std::vector<std::vector<double>> paper = {
+      {14.467, 20.822, 44.822, 72.976, 128.166, 186.771, 240.306, 400.226,
+       560.634, 2693.601},  // Default Charm++
+      {5.133, 11.379, 33.112, 60.675, 115.103, 169.552, 223.599, 383.732,
+       543.491, 2677.072},  // CkDirect
+      {7.606, 13.936, 39.903, 66.661, 120.548, 173.041, 226.739, 386.712,
+       546.740, 2680.459},  // MPI
+      {14.049, 17.836, 39.963, 67.972, 122.693, 178.571, 232.629, 392.388,
+       552.708, 2685.972},  // MPI-Put
+  };
+
+  util::TablePrinter table;
+  table.setTitle(
+      "Table 2: pingpong RTT (us) on Blue Gene/P (Surveyor) -- measured "
+      "[paper]");
+  table.setHeader({"Message Size(KB)", "Default CHARM++", "CkDirect CHARM++",
+                   "MPI", "MPI-Put"});
+
+  const mpi::MpiCosts ibm = mpi::ibmBgpCosts();
+
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    harness::PingpongConfig cfg;
+    cfg.bytes = sizes[i];
+    cfg.iterations = iterations;
+    const double rows[4] = {
+        harness::charmPingpongRtt(machine, cfg),
+        harness::ckdirectPingpongRtt(machine, cfg),
+        harness::mpiPingpongRtt(machine, ibm, cfg),
+        harness::mpiPutPingpongRtt(machine, ibm, cfg),
+    };
+    std::vector<std::string> cells;
+    cells.push_back(
+        util::formatFixed(static_cast<double>(sizes[i]) / 1000.0, 1));
+    for (int v = 0; v < 4; ++v)
+      cells.push_back(util::formatFixed(rows[v], 3) + " [" +
+                      util::formatFixed(paper[static_cast<std::size_t>(v)][i],
+                                        3) +
+                      "]");
+    table.addRow(std::move(cells));
+  }
+  table.print(std::cout);
+  return 0;
+}

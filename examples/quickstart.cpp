@@ -1,0 +1,77 @@
+// Quickstart: set up one CkDirect channel between two chares and run a few
+// iterations, printing what happens and when. Mirrors Figure 1 of the
+// paper: createHandle on the receiver, assocLocal on the sender, put each
+// iteration, ready when the buffer has been consumed.
+//
+//   ./quickstart [--bytes 4096] [--iters 5] [--machine ib|bgp]
+
+#include <cstdio>
+#include <vector>
+
+#include "ckdirect/ckdirect.hpp"
+#include "harness/machines.hpp"
+#include "util/args.hpp"
+
+using namespace ckd;
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const std::size_t bytes = static_cast<std::size_t>(args.getInt("bytes", 4096));
+  const int iters = static_cast<int>(args.getInt("iters", 5));
+  const bool bgp = args.get("machine", "ib") == "bgp";
+
+  // A two-node simulated machine; PEs 0 and 1 are on different nodes.
+  charm::MachineConfig machine =
+      bgp ? harness::surveyorMachine(2, 1) : harness::abeMachine(2, 1);
+  charm::Runtime rts(machine);
+
+  const std::size_t n = bytes / sizeof(double);
+  std::vector<double> sendBuf(n, 0.0);
+  std::vector<double> recvBuf(n, 0.0);
+
+  // An out-of-band pattern that can never appear as payload: a quiet NaN.
+  const std::uint64_t oob = 0x7FF8DEADBEEF0001ull;
+
+  int iteration = 0;
+  direct::Handle channel;  // receiver -> sender handle (Figure 1 step 2)
+
+  // Step 1: the RECEIVER (PE 1) creates the handle over its buffer. The
+  // callback is a plain function call — no message, no scheduler.
+  channel = direct::createHandle(
+      rts, /*receiverPe=*/1, recvBuf.data(), bytes, oob, [&]() {
+        std::printf("  t=%8.2f us  [PE 1] data arrived: recv[0]=%g ... "
+                    "recv[%zu]=%g\n",
+                    rts.scheduler(1).currentTime(), recvBuf[0], n - 1,
+                    recvBuf[n - 1]);
+        // Consume, then signal readiness for the next iteration. No
+        // synchronization happens here — the iteration structure provides it.
+        direct::ready(channel);
+        if (++iteration < iters) {
+          // Tell the sender to go again (application-level flow control).
+          rts.engine().after(1.0, [&]() {
+            sendBuf.assign(n, static_cast<double>(iteration + 1));
+            std::printf("  t=%8.2f us  [PE 0] put #%d\n", rts.now(),
+                        iteration + 1);
+            direct::put(channel);
+          });
+        }
+      });
+
+  // Step 2: the SENDER (PE 0) binds its source buffer to the handle.
+  direct::assocLocal(channel, /*senderPe=*/0, sendBuf.data());
+
+  std::printf("CkDirect quickstart on a simulated %s machine, %zu-byte "
+              "channel, %d iterations\n",
+              bgp ? "Blue Gene/P" : "InfiniBand", bytes, iters);
+
+  rts.seed([&]() {
+    sendBuf.assign(n, 1.0);
+    std::printf("  t=%8.2f us  [PE 0] put #1\n", rts.now());
+    direct::put(channel);
+  });
+  rts.run();
+
+  std::printf("done: %d puts delivered, final virtual time %.2f us\n",
+              iteration, rts.now());
+  return iteration == iters ? 0 : 1;
+}

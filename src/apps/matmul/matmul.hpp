@@ -1,0 +1,82 @@
+#pragma once
+// §4.2 matrix multiplication with the 3-D decomposition of Agarwal et al.:
+// C = A x B over a (cx x cy x cz) chare grid. Chare (i,j,k):
+//
+//   * initially holds slice j of A-block A[i,k] (rows) and slice i of
+//     B-block B[k,j] (columns);
+//   * replication phase: sends its A slice to the cy-1 chares sharing
+//     (i,k) and its B slice to the cx-1 chares sharing (j,k) — the same
+//     source buffer feeds every partner, which in CkDirect mode means one
+//     send buffer associated with many handles (§2's multicast pattern);
+//   * computes the partial product A[i,k] x B[k,j] (bm x bn);
+//   * reduction phase: sends slice k' of its partial to chare (i,j,k') and
+//     sums the cz slices it receives, ending with slice k of C[i,j].
+//
+// Messages per chare grow as the cube root of the processor count — the
+// paper's explanation for CkDirect's widening win at scale (§4.2).
+//
+// Mode::kMessages charges the receive-side copy that placing slice data
+// "into the correct locations" costs (§4.2 calls this out explicitly);
+// Mode::kCkDirect lands slices directly inside the destination blocks.
+
+#include <cstdint>
+#include <vector>
+
+#include "charm/proxy.hpp"
+#include "charm/runtime.hpp"
+
+namespace ckd::apps::matmul {
+
+enum class Mode { kMessages, kCkDirect };
+
+struct Config {
+  std::int64_t m = 64, n = 64, k = 64;  ///< global matrix dims (C is m x n)
+  int cx = 2, cy = 2, cz = 2;           ///< chare grid
+  int iterations = 3;
+  Mode mode = Mode::kMessages;
+  bool real_compute = true;
+  /// Modeled DGEMM cost per fused multiply-add.
+  double compute_per_flop_us = 0.25e-6;
+  /// Receive-side copy cost per byte charged in kMessages mode.
+  double copy_per_byte_us = 0.35e-3;
+
+  int numChares() const { return cx * cy * cz; }
+};
+
+/// Near-cubic power-of-two grid for `chares` chares.
+void chooseGrid(int chares, int& cx, int& cy, int& cz);
+
+struct Result {
+  double total_us = 0.0;
+  double avg_iteration_us = 0.0;
+  std::uint64_t messages_sent = 0;
+};
+
+class MatmulChare;
+
+class MatmulApp {
+ public:
+  MatmulApp(charm::Runtime& rts, Config cfg);
+  Result execute();
+
+  /// Assemble the distributed C (requires real_compute).
+  std::vector<double> gatherC() const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  charm::Runtime& rts_;
+  Config cfg_;
+  charm::ArrayProxy<MatmulChare> proxy_;
+  charm::EntryId epSetup_ = -1;
+  charm::EntryId epStart_ = -1;
+};
+
+/// Deterministic input entries shared by the chares and the reference.
+double aValue(std::int64_t row, std::int64_t col);
+double bValue(std::int64_t row, std::int64_t col);
+
+/// Reference C = A x B for validation.
+std::vector<double> referenceMultiply(const Config& cfg);
+
+}  // namespace ckd::apps::matmul

@@ -1,0 +1,106 @@
+#pragma once
+// §5 OpenAtom mini-app: the PairCalculator orthonormalization communication
+// structure of the Car-Parrinello code, reproduced at the level the paper
+// evaluates:
+//
+//  * GS(s,p) — a 2-D chare array (nstates x nplanes) holding each state's
+//    points for one plane;
+//  * PC(bi,bj,p) — PairCalculators on a stateBlocks x stateBlocks grid per
+//    plane (the paper's coarsest decomposition; stateBlocks=2 yields the
+//    paper's 4 * nstates * nplanes CkDirect channels);
+//  * each timestep: [phase 1: GS compute] -> GS sends its points to its
+//    2*stateBlocks PCs (one persistent send buffer feeding all of them) ->
+//    PC runs DGEMM once all 2*grain inputs arrived -> PC returns corrected
+//    points to every contributor (ordinary messages in both modes, like the
+//    paper) -> [phase 4: GS compute] -> global sync -> next step.
+//
+// The §5.2 pathology and its fix are both modeled:
+//  * ReadyStrategy::kNaive — CkDirect_ready right after consuming, so every
+//    PC's hundreds of handles sit in the polling queue across all phases,
+//    taxing every scheduler pump on that PE;
+//  * ReadyStrategy::kMarkDeferPoll — CkDirect_ReadyMark at consume time,
+//    CkDirect_ReadyPollQ only when the next step begins, bounding the
+//    polling window to the phase that actually uses the channels.
+//
+// "PC-only" mode disables phases 1 and 4 while retaining all
+// PairCalculator communication, mirroring the paper's PC-only runs.
+
+#include <cstdint>
+#include <vector>
+
+#include "charm/proxy.hpp"
+#include "charm/runtime.hpp"
+
+namespace ckd::apps::openatom {
+
+enum class Mode { kMessages, kCkDirect };
+enum class ReadyStrategy { kNaive, kMarkDeferPoll };
+
+struct Config {
+  int nstates = 64;
+  int nplanes = 4;
+  int points = 128;       ///< doubles per GS(s,p)
+  int stateBlocks = 2;    ///< PC grid per plane (2 -> 4*nstates*nplanes chans)
+  int steps = 2;
+  Mode mode = Mode::kMessages;
+  ReadyStrategy ready = ReadyStrategy::kMarkDeferPoll;
+  bool pc_only = false;
+  bool real_compute = true;  ///< compute real row sums (integrity checks)
+
+  /// GS compute charges per point (phases around the PairCalculator).
+  double phase1_us_per_point = 0.02;
+  double phase4_us_per_point = 0.02;
+  /// PC DGEMM cost per multiply-add (grain^2 * points of them).
+  double compute_per_flop_us = 0.25e-6;
+  /// Receive-side copy per byte charged in kMessages mode (the default
+  /// implementation "copies the points into a contiguous data buffer").
+  double copy_per_byte_us = 0.35e-3;
+
+  int grain() const { return nstates / stateBlocks; }
+  int numPcs() const { return stateBlocks * stateBlocks * nplanes; }
+  std::int64_t numGs() const {
+    return static_cast<std::int64_t>(nstates) * nplanes;
+  }
+  /// CkDirect channels the configuration creates (4x nstates x nplanes for
+  /// stateBlocks == 2, as in §5.2).
+  std::int64_t numChannels() const {
+    return 2ll * stateBlocks * nstates * nplanes;
+  }
+};
+
+struct Result {
+  double total_us = 0.0;
+  double avg_step_us = 0.0;
+  std::uint64_t messages_sent = 0;
+};
+
+class GsChare;
+class PcChare;
+class DriverChare;
+
+class OpenAtomApp {
+ public:
+  OpenAtomApp(charm::Runtime& rts, Config cfg);
+  Result execute();
+
+  /// Integrity probe (requires real_compute): the row-sum each GS last got
+  /// back from its PCs, which must equal the sum of the points it sent.
+  double backwardChecksum(int state, int plane) const;
+  double expectedChecksum(int state, int plane) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  charm::Runtime& rts_;
+  Config cfg_;
+  charm::ArrayProxy<GsChare> gs_;
+  charm::ArrayProxy<PcChare> pc_;
+  charm::ArrayProxy<DriverChare> driver_;
+  charm::EntryId epPcSetup_ = -1;
+  charm::EntryId epDriverKick_ = -1;
+};
+
+/// The deterministic point data GS(s,p) regenerates each step.
+double pointValue(int state, int plane, int index, int step);
+
+}  // namespace ckd::apps::openatom

@@ -1,0 +1,96 @@
+#pragma once
+// §4.1 stencil computation: 7-point Jacobi over a 3-D domain partitioned
+// into cuboids (one per chare), halo faces exchanged every iteration, a
+// global barrier per iteration ("only one CkDirect transaction in flight").
+//
+// Two communication back ends share all other code:
+//   Mode::kMessages — ghost faces travel as Charm++ messages (MSG);
+//   Mode::kCkDirect — ghost faces travel over CkDirect channels (CKD),
+//     set up once: each chare creates a receive handle per incoming face
+//     and ships it to the producing neighbor inside a setup message.
+//
+// Fairness note (paper §4.1): both versions avoid a receive-side copy. The
+// MSG implementation here does memcpy the payload into the face buffer so
+// the kernels can be identical, but charges zero modeled time for it; the
+// measured difference between modes is therefore message-wrapping,
+// scheduling, and protocol cost only — exactly the paper's comparison.
+//
+// `real_compute` switches between actually running the Jacobi kernel
+// (correctness tests, examples; small domains) and charging its modeled
+// cost only (paper-scale benches; the 1024x1024x512 domain would need 4 GB
+// per copy).
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "charm/proxy.hpp"
+#include "charm/runtime.hpp"
+
+namespace ckd::apps::stencil {
+
+enum class Mode { kMessages, kCkDirect };
+
+struct Config {
+  std::int64_t gx = 64, gy = 64, gz = 32;  ///< global domain (elements)
+  int cx = 2, cy = 2, cz = 2;              ///< chare grid
+  int iterations = 10;
+  Mode mode = Mode::kMessages;
+  bool real_compute = true;
+  /// CkDirect mode: exchange faces between co-located chares with ordinary
+  /// local messages instead of channels. A local put costs an extra face
+  /// memcpy, while a local message is a pointer handoff plus scheduling —
+  /// for faces larger than a few KB the message wins, so production code
+  /// would restrict channels to remote neighbors. Kept as a switch so the
+  /// ablation bench can quantify the trade-off.
+  bool local_via_messages = true;
+  /// Modeled cost of updating one element (charged per iteration whether or
+  /// not the kernel actually runs).
+  double compute_per_element_us = 1.0e-3;
+
+  int numChares() const { return cx * cy * cz; }
+};
+
+/// Pick a power-of-two chare grid of `chares` cuboids that divides the
+/// domain evenly and keeps blocks near-cubic.
+void chooseChareGrid(std::int64_t gx, std::int64_t gy, std::int64_t gz,
+                     int chares, int& cx, int& cy, int& cz);
+
+struct Result {
+  double total_us = 0.0;
+  double avg_iteration_us = 0.0;
+  std::uint64_t messages_sent = 0;
+};
+
+class StencilChare;
+
+/// Owns the chare array and drives the iterations to completion.
+class StencilApp {
+ public:
+  StencilApp(charm::Runtime& rts, Config cfg);
+
+  /// Run cfg.iterations to quiescence and report timing.
+  Result execute();
+
+  /// Assemble the full field (for correctness checks). Requires
+  /// real_compute.
+  std::vector<double> gatherField() const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  charm::Runtime& rts_;
+  Config cfg_;
+  charm::ArrayProxy<StencilChare> proxy_;
+  charm::EntryId epSetup_ = -1;
+  charm::EntryId epStart_ = -1;
+};
+
+/// Single-array reference Jacobi with identical boundary conditions and
+/// update order semantics; used to validate both parallel modes.
+std::vector<double> serialReference(const Config& cfg);
+
+/// The initial condition both the chares and the reference use.
+double initialValue(std::int64_t x, std::int64_t y, std::int64_t z);
+
+}  // namespace ckd::apps::stencil

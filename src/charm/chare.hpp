@@ -1,0 +1,67 @@
+#pragma once
+// Chare base class. A chare is a message-driven object living on one PE of
+// the simulated machine; entry methods are ordinary member functions taking
+// a Message&, registered with the runtime and invoked by the scheduler.
+
+#include <cstdint>
+#include <span>
+
+#include "charm/envelope.hpp"
+#include "sim/time.hpp"
+
+namespace ckd::charm {
+
+class Runtime;
+class Message;
+
+/// Reduction combiners supported by Runtime::contribute.
+enum class ReduceOp : std::int32_t {
+  kNop = 0,  ///< barrier: no data, completion fires when all contributed
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+};
+
+class Chare {
+ public:
+  virtual ~Chare() = default;
+
+  std::int64_t thisIndex() const { return index_; }
+  int myPe() const { return pe_; }
+  ArrayId arrayId() const { return arrayId_; }
+  Runtime& rts() const { return *runtime_; }
+
+  /// Model `cost` microseconds of compute inside the running entry method.
+  void charge(sim::Time cost) const;
+
+  /// Current virtual time as seen by this chare's PE (handler-relative).
+  sim::Time now() const;
+
+  /// Contribute to the current reduction round of this chare's array; when
+  /// every element has contributed, `completion` is invoked on every
+  /// element with the combined values as payload.
+  void contribute(std::span<const double> values, ReduceOp op,
+                  EntryId completion);
+
+  /// Barrier sugar: contribute nothing with ReduceOp::kNop.
+  void barrier(EntryId completion) { contribute({}, ReduceOp::kNop, completion); }
+
+  /// Called by the runtime right after construction. Not for user code.
+  void _init(Runtime* runtime, ArrayId arrayId, std::int64_t index, int pe) {
+    runtime_ = runtime;
+    arrayId_ = arrayId;
+    index_ = index;
+    pe_ = pe;
+  }
+
+  /// Per-element reduction round (managed by Runtime::contribute).
+  std::uint32_t _reductionRound = 0;
+
+ private:
+  Runtime* runtime_ = nullptr;
+  ArrayId arrayId_ = kSystemArray;
+  std::int64_t index_ = 0;
+  int pe_ = -1;
+};
+
+}  // namespace ckd::charm

@@ -1,0 +1,64 @@
+#include "charm/costs.hpp"
+
+namespace ckd::charm {
+
+// Fit notes (one-way budget for a 100 B user payload, Table 1 row 1):
+//   default path: pack 1.0 + send 0.3 + wire (5.0 + ser(180 B)) + recv 0.4
+//                 + sched 4.0  ->  ~11.3 us  (paper: 22.92/2 = 11.46 us)
+//   CkDirect:     put 0.3 + wire (5.0 + 1.282 ns/B) + detect 0.6 + poll 0.05
+//                 + callback 0.15 -> ~6.2 us (paper: 12.38/2 = 6.19 us)
+//   rendezvous:   adds control RTT (2 x alpha) + reg 17 us + 0.04 ns/B,
+//                 matching the 33.5 -> 52 us default-vs-CkDirect gap growth
+//                 between 30 KB and 500 KB.
+RuntimeCosts abeRuntimeCosts() {
+  RuntimeCosts c;
+  c.name = "abe";
+  c.pack_us = 1.0;
+  c.send_overhead_us = 0.3;
+  c.recv_overhead_us = 0.4;
+  c.sched_overhead_us = 4.0;
+  c.header_bytes = 80;
+  c.rdma_threshold_bytes = 24 * 1024;
+  c.rendezvous_reg_base_us = 17.0;
+  c.rendezvous_reg_per_byte_us = 0.04e-3;
+  c.recv_copy_per_byte_us = 0.0;  // IB machine layer is zero-copy here
+  c.put_issue_us = 0.3;
+  c.poll_detect_latency_us = 0.65;
+  // ~8 ns per queued handle per scheduler pump (pointer-chase + 8-byte
+  // compare). Small, but §5.2 shows it matters when thousands of channels
+  // stay queued across unrelated phases.
+  c.poll_per_handle_us = 0.008;
+  c.callback_overhead_us = 0.15;
+  return c;
+}
+
+RuntimeCosts t3RuntimeCosts() {
+  RuntimeCosts c = abeRuntimeCosts();
+  c.name = "t3";
+  return c;
+}
+
+// Fit notes (Table 2, one-way):
+//   default: pack 1.1 + send 0.2 + wire (1.9 + 2.61 ns/B) + recv 0.2
+//            + sched 3.3 + copy 0.0072 ns/B -> 7.2 us at 100 B (paper 7.23)
+//   CkDirect: put 0.2 + wire + callback 0.2 -> 2.6 us at 100 B (paper 2.57);
+//            no polling queue on BG/P (completion callback from DCMF).
+RuntimeCosts surveyorRuntimeCosts() {
+  RuntimeCosts c;
+  c.name = "surveyor";
+  c.pack_us = 1.1;
+  c.send_overhead_us = 0.2;
+  c.recv_overhead_us = 0.2;
+  c.sched_overhead_us = 3.3;
+  c.header_bytes = 80;
+  // No rendezvous protocol was installed on Surveyor (§3).
+  c.rdma_threshold_bytes = std::numeric_limits<std::size_t>::max();
+  c.recv_copy_per_byte_us = 0.0072e-3;
+  c.put_issue_us = 0.2;
+  c.poll_detect_latency_us = 0.0;  // unused: no polling on BG/P
+  c.poll_per_handle_us = 0.0;
+  c.callback_overhead_us = 0.2;
+  return c;
+}
+
+}  // namespace ckd::charm

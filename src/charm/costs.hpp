@@ -1,0 +1,64 @@
+#pragma once
+// Software cost constants of the message-driven runtime, per machine.
+// Together with net::CostParams these reproduce the paper's pingpong tables;
+// the fits are documented in cost presets (costs.cpp) and EXPERIMENTS.md.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ckd::charm {
+
+struct RuntimeCosts {
+  std::string name;
+
+  /// Allocating a message and writing its envelope on the sender.
+  sim::Time pack_us = 1.0;
+  /// Software cost of handing a message to the machine layer.
+  sim::Time send_overhead_us = 0.3;
+  /// Receive-side machine-layer processing (charged at dequeue).
+  sim::Time recv_overhead_us = 0.4;
+  /// Scheduler queue overhead per delivered message — the cost CkDirect's
+  /// callback path avoids.
+  sim::Time sched_overhead_us = 4.0;
+  /// Envelope bytes the default message path adds on the wire (~80 B, §3).
+  std::size_t header_bytes = 80;
+
+  /// Messages with wire size >= this use the rendezvous + RDMA protocol
+  /// (Table 1 shows Charm++/IB cutting over between 20 KB and 30 KB).
+  /// numeric_limits::max() disables the RDMA path (Blue Gene/P).
+  std::size_t rdma_threshold_bytes = std::numeric_limits<std::size_t>::max();
+  /// Rendezvous memory/registration cost: base + per byte (paper: "constant
+  /// cost synchronization component as well as a memory component whose
+  /// cost increases slowly with message size").
+  sim::Time rendezvous_reg_base_us = 0.0;
+  double rendezvous_reg_per_byte_us = 0.0;
+
+  /// Receive-side copy charged by the *default* message path on machines
+  /// whose machine layer is not zero-copy (Blue Gene/P; §2.2).
+  double recv_copy_per_byte_us = 0.0;
+
+  // --- CkDirect knobs ------------------------------------------------------
+  /// Sender cost of CkDirect_put (issue an RDMA/DCMF descriptor).
+  sim::Time put_issue_us = 0.3;
+  /// How long after data lands an *idle* receiver's poll loop notices it.
+  sim::Time poll_detect_latency_us = 0.6;
+  /// Poll cost per handle sitting in the polling queue, charged every
+  /// scheduler pump (§5.2's overhead when thousands of channels poll).
+  sim::Time poll_per_handle_us = 0.05;
+  /// Invoking the CkDirect callback (a plain function call, not an entry
+  /// method — this replaces sched_overhead_us on the CkDirect path).
+  sim::Time callback_overhead_us = 0.15;
+};
+
+/// Charm++ software costs observed on NCSA Abe (fits Table 1).
+RuntimeCosts abeRuntimeCosts();
+/// NCSA T3: same software stack as Abe.
+RuntimeCosts t3RuntimeCosts();
+/// Blue Gene/P (Surveyor) software costs (fits Table 2). No RDMA cut-over;
+/// CkDirect callbacks fire from the DCMF completion, so there is no polling.
+RuntimeCosts surveyorRuntimeCosts();
+
+}  // namespace ckd::charm

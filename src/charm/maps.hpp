@@ -1,0 +1,34 @@
+#pragma once
+// Common element-to-PE placement maps ("virtualization": several chares per
+// PE, §4.1 used a virtualization ratio of 8).
+
+#include <cstdint>
+#include <functional>
+
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+/// Contiguous blocks: elements [k*count/pes, (k+1)*count/pes) on PE k.
+inline std::function<int(std::int64_t)> blockMap(std::int64_t count,
+                                                 int numPes) {
+  CKD_REQUIRE(count > 0 && numPes > 0, "blockMap needs positive sizes");
+  return [count, numPes](std::int64_t index) {
+    return static_cast<int>((index * numPes) / count);
+  };
+}
+
+/// index % numPes.
+inline std::function<int(std::int64_t)> roundRobinMap(int numPes) {
+  CKD_REQUIRE(numPes > 0, "roundRobinMap needs at least one PE");
+  return [numPes](std::int64_t index) {
+    return static_cast<int>(index % numPes);
+  };
+}
+
+/// Every element on one PE (microbenchmarks).
+inline std::function<int(std::int64_t)> singlePeMap(int pe) {
+  return [pe](std::int64_t) { return pe; };
+}
+
+}  // namespace ckd::charm

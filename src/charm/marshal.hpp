@@ -1,0 +1,95 @@
+#pragma once
+// Parameter marshalling for entry methods: a Packer that serializes
+// trivially copyable values and spans into a payload, and an Unpacker that
+// reads them back in order. Both are bounds-checked.
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+class Packer {
+ public:
+  template <typename T>
+  Packer& put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "marshalled values must be trivially copyable");
+    append(&value, sizeof(T));
+    return *this;
+  }
+
+  /// Writes the element count followed by the raw elements, so the reader
+  /// can size its destination.
+  template <typename T>
+  Packer& putSpan(std::span<const T> values) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "marshalled spans must hold trivially copyable elements");
+    put<std::uint64_t>(values.size());
+    if (!values.empty()) append(values.data(), values.size_bytes());
+    return *this;
+  }
+
+  template <typename T>
+  Packer& putVector(const std::vector<T>& values) {
+    return putSpan(std::span<const T>(values));
+  }
+
+  std::span<const std::byte> bytes() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void append(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buffer_.insert(buffer_.end(), p, p + n);
+  }
+  std::vector<std::byte> buffer_;
+};
+
+class Unpacker {
+ public:
+  explicit Unpacker(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "marshalled values must be trivially copyable");
+    CKD_REQUIRE(offset_ + sizeof(T) <= bytes_.size(),
+                "unpacker ran past the end of the payload");
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  /// Zero-copy view of a span written by Packer::putSpan.
+  template <typename T>
+  std::span<const T> getSpan() {
+    const auto count = static_cast<std::size_t>(get<std::uint64_t>());
+    const std::size_t byteCount = count * sizeof(T);
+    CKD_REQUIRE(offset_ + byteCount <= bytes_.size(),
+                "span extends past the end of the payload");
+    const auto* data = reinterpret_cast<const T*>(bytes_.data() + offset_);
+    offset_ += byteCount;
+    return {data, count};
+  }
+
+  template <typename T>
+  std::vector<T> getVector() {
+    const auto view = getSpan<T>();
+    return std::vector<T>(view.begin(), view.end());
+  }
+
+  std::size_t remaining() const { return bytes_.size() - offset_; }
+  bool empty() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace ckd::charm

@@ -1,0 +1,51 @@
+#include "charm/message.hpp"
+
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+MessagePtr Message::make(const Envelope& env,
+                         std::span<const std::byte> payload) {
+  auto msg = makeUninit(env, payload.size());
+  if (!payload.empty())
+    std::memcpy(msg->wire_.data() + kWireHeaderBytes, payload.data(),
+                payload.size());
+  return msg;
+}
+
+MessagePtr Message::makeUninit(const Envelope& env, std::size_t bytes) {
+  auto msg = MessagePtr(new Message());
+  msg->env_ = env;
+  msg->env_.payloadBytes = static_cast<std::uint32_t>(bytes);
+  msg->wire_.resize(kWireHeaderBytes + bytes);
+  msg->sealHeader();
+  return msg;
+}
+
+MessagePtr Message::fromWire(std::span<const std::byte> wire) {
+  CKD_REQUIRE(wire.size() >= kWireHeaderBytes,
+              "wire image smaller than the message header");
+  Envelope env;
+  std::memcpy(&env, wire.data(), sizeof(Envelope));
+  CKD_REQUIRE(env.magic == Envelope::kMagic, "corrupt message header");
+  CKD_REQUIRE(kWireHeaderBytes + env.payloadBytes == wire.size(),
+              "wire image size disagrees with the header payload size");
+  return make(env, wire.subspan(kWireHeaderBytes));
+}
+
+std::span<const std::byte> Message::payload() const {
+  return {wire_.data() + kWireHeaderBytes, env_.payloadBytes};
+}
+
+std::span<std::byte> Message::payload() {
+  return {wire_.data() + kWireHeaderBytes, env_.payloadBytes};
+}
+
+void Message::sealHeader() {
+  std::memset(wire_.data(), 0, kWireHeaderBytes);
+  std::memcpy(wire_.data(), &env_, sizeof(Envelope));
+}
+
+}  // namespace ckd::charm

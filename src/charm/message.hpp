@@ -1,0 +1,55 @@
+#pragma once
+// Messages: an envelope plus an owned payload, stored contiguously in wire
+// format ([80-byte header][payload]) so machine layers can move real bytes.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "charm/envelope.hpp"
+
+namespace ckd::charm {
+
+class Message;
+/// Messages travel through engine events (std::function closures), which
+/// require copyable captures — hence shared_ptr ownership.
+using MessagePtr = std::shared_ptr<Message>;
+
+class Message {
+ public:
+  /// Build a message with the given envelope and payload copied in.
+  static MessagePtr make(const Envelope& env,
+                         std::span<const std::byte> payload);
+
+  /// Build a message with an uninitialized payload of `bytes` (machine
+  /// layers fill it in place, e.g. the rendezvous landing buffer).
+  static MessagePtr makeUninit(const Envelope& env, std::size_t bytes);
+
+  /// Re-parse a message from raw wire bytes (header + payload).
+  static MessagePtr fromWire(std::span<const std::byte> wire);
+
+  const Envelope& env() const { return env_; }
+  Envelope& env() { return env_; }
+
+  std::span<const std::byte> payload() const;
+  std::span<std::byte> payload();
+  std::size_t payloadBytes() const { return env_.payloadBytes; }
+
+  /// Full wire image (header + payload); header bytes are synced from env().
+  std::span<const std::byte> wire() const { return wire_; }
+  std::span<std::byte> wireMutable() { return wire_; }
+  /// Bytes this message occupies on the wire via the default message path.
+  std::size_t wireBytes() const { return wire_.size(); }
+
+  /// Copy env_ into the wire header bytes (call before handing raw bytes to
+  /// a machine layer).
+  void sealHeader();
+
+ private:
+  Message() = default;
+  Envelope env_;
+  std::vector<std::byte> wire_;
+};
+
+}  // namespace ckd::charm

@@ -1,0 +1,427 @@
+#include "charm/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "charm/marshal.hpp"
+#include "charm/transport.hpp"
+#include "dcmf/dcmf.hpp"
+#include "ib/verbs.hpp"
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+Runtime::Runtime(MachineConfig config) : config_(std::move(config)) {
+  CKD_REQUIRE(config_.topology != nullptr, "Runtime requires a topology");
+  fabric_ = std::make_unique<net::Fabric>(engine_, config_.topology,
+                                          config_.netParams);
+  const int pes = numPes();
+  processors_.reserve(static_cast<std::size_t>(pes));
+  schedulers_.reserve(static_cast<std::size_t>(pes));
+  for (int pe = 0; pe < pes; ++pe) {
+    processors_.emplace_back(pe);
+    schedulers_.push_back(std::make_unique<Scheduler>(*this, pe));
+  }
+  if (config_.layer == LayerKind::kInfiniband) {
+    ib_ = std::make_unique<ib::IbVerbs>(*fabric_);
+    transport_ = std::make_unique<IbTransport>(*this, *ib_);
+  } else {
+    dcmf_ = std::make_unique<dcmf::DcmfContext>(*fabric_);
+    transport_ = std::make_unique<BgpTransport>(*this, *dcmf_);
+  }
+}
+
+Runtime::~Runtime() = default;
+
+Scheduler& Runtime::scheduler(int pe) {
+  CKD_REQUIRE(pe >= 0 && pe < numPes(), "PE out of range");
+  return *schedulers_[static_cast<std::size_t>(pe)];
+}
+
+sim::Processor& Runtime::processor(int pe) {
+  CKD_REQUIRE(pe >= 0 && pe < numPes(), "PE out of range");
+  return processors_[static_cast<std::size_t>(pe)];
+}
+
+ib::IbVerbs& Runtime::ibVerbs() {
+  CKD_REQUIRE(ib_ != nullptr, "not an InfiniBand machine");
+  return *ib_;
+}
+
+dcmf::DcmfContext& Runtime::dcmf() {
+  CKD_REQUIRE(dcmf_ != nullptr, "not a Blue Gene machine");
+  return *dcmf_;
+}
+
+// --- arrays -----------------------------------------------------------------
+
+ArrayId Runtime::beginArray(std::string name, std::int64_t count, MapFn map) {
+  CKD_REQUIRE(count > 0, "array must have at least one element");
+  CKD_REQUIRE(map != nullptr, "array needs a placement map");
+  ArrayRecord rec;
+  rec.name = std::move(name);
+  rec.count = count;
+  rec.peOf.resize(static_cast<std::size_t>(count));
+  rec.elems.resize(static_cast<std::size_t>(count));
+  rec.onPe.resize(static_cast<std::size_t>(numPes()));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const int pe = map(i);
+    CKD_REQUIRE(pe >= 0 && pe < numPes(), "placement map returned a bad PE");
+    rec.peOf[static_cast<std::size_t>(i)] = pe;
+    rec.onPe[static_cast<std::size_t>(pe)].push_back(i);
+  }
+  for (int pe = 0; pe < numPes(); ++pe) {
+    if (!rec.onPe[static_cast<std::size_t>(pe)].empty()) {
+      rec.hostPos[pe] = static_cast<int>(rec.hostPes.size());
+      rec.hostPes.push_back(pe);
+    }
+  }
+  rec.reduce.resize(rec.hostPes.size());
+  arrays_.push_back(std::move(rec));
+  return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+void Runtime::placeElement(ArrayId id, std::int64_t index,
+                           std::unique_ptr<Chare> obj) {
+  ArrayRecord& rec = record(id);
+  CKD_REQUIRE(obj != nullptr, "array factory returned null");
+  obj->_init(this, id, index, rec.peOf[static_cast<std::size_t>(index)]);
+  rec.elems[static_cast<std::size_t>(index)] = std::move(obj);
+}
+
+Runtime::ArrayRecord& Runtime::record(ArrayId id) {
+  CKD_REQUIRE(id >= 0 && id < static_cast<ArrayId>(arrays_.size()),
+              "unknown array");
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+const Runtime::ArrayRecord& Runtime::record(ArrayId id) const {
+  CKD_REQUIRE(id >= 0 && id < static_cast<ArrayId>(arrays_.size()),
+              "unknown array");
+  return arrays_[static_cast<std::size_t>(id)];
+}
+
+EntryId Runtime::registerEntryRaw(ArrayId array, const char* name,
+                                  EntryFn fn) {
+  ArrayRecord& rec = record(array);
+  CKD_REQUIRE(fn != nullptr, "null entry function");
+  rec.entries.push_back(std::move(fn));
+  rec.entryNames.emplace_back(name ? name : "?");
+  return static_cast<EntryId>(rec.entries.size() - 1);
+}
+
+std::int64_t Runtime::arraySize(ArrayId array) const {
+  return record(array).count;
+}
+
+int Runtime::homePe(ArrayId array, std::int64_t index) const {
+  const ArrayRecord& rec = record(array);
+  CKD_REQUIRE(index >= 0 && index < rec.count, "element index out of range");
+  return rec.peOf[static_cast<std::size_t>(index)];
+}
+
+Chare& Runtime::element(ArrayId array, std::int64_t index) {
+  ArrayRecord& rec = record(array);
+  CKD_REQUIRE(index >= 0 && index < rec.count, "element index out of range");
+  return *rec.elems[static_cast<std::size_t>(index)];
+}
+
+const std::vector<std::int64_t>& Runtime::elementsOnPe(ArrayId array,
+                                                       int pe) const {
+  const ArrayRecord& rec = record(array);
+  CKD_REQUIRE(pe >= 0 && pe < numPes(), "PE out of range");
+  return rec.onPe[static_cast<std::size_t>(pe)];
+}
+
+// --- messaging ----------------------------------------------------------------
+
+void Runtime::sendToElement(ArrayId array, std::int64_t index, EntryId entry,
+                            std::span<const std::byte> payload) {
+  const ArrayRecord& rec = record(array);
+  CKD_REQUIRE(index >= 0 && index < rec.count, "element index out of range");
+  CKD_REQUIRE(entry >= 0 && entry < static_cast<EntryId>(rec.entries.size()),
+              "unregistered entry method");
+  Envelope env;
+  env.kind = MsgKind::kUser;
+  env.srcPe = effectiveSrcPe();
+  env.dstPe = rec.peOf[static_cast<std::size_t>(index)];
+  env.arrayId = array;
+  env.elemIndex = index;
+  env.entry = entry;
+  sendMessage(Message::make(env, payload));
+}
+
+void Runtime::sendMessage(MessagePtr msg) {
+  CKD_REQUIRE(msg != nullptr, "sending a null message");
+  Envelope& env = msg->env();
+  CKD_REQUIRE(env.srcPe >= 0 && env.srcPe < numPes(), "bad source PE");
+  CKD_REQUIRE(env.dstPe >= 0 && env.dstPe < numPes(), "bad destination PE");
+  env.seq = nextSeq_++;
+  ++messagesSent_;
+
+  Scheduler& src = scheduler(env.srcPe);
+  const bool inContext = (currentPe_ == env.srcPe) && src.inHandler();
+  if (inContext)
+    src.charge(config_.costs.pack_us + config_.costs.send_overhead_us);
+  const sim::Time issue = inContext ? src.currentTime() : engine_.now();
+
+  msg->sealHeader();
+  if (env.srcPe == env.dstPe) {
+    const int dst = env.dstPe;
+    engine_.at(issue, [this, msg, dst]() mutable {
+      scheduler(dst).enqueue(std::move(msg));
+    });
+  } else {
+    engine_.at(issue, [this, msg]() mutable { transport_->send(std::move(msg)); });
+  }
+}
+
+void Runtime::enqueueLocalUser(ArrayId array, std::int64_t index,
+                               EntryId entry,
+                               std::span<const std::byte> payload, int pe) {
+  Envelope env;
+  env.kind = MsgKind::kUser;
+  env.srcPe = pe;
+  env.dstPe = pe;
+  env.arrayId = array;
+  env.elemIndex = index;
+  env.entry = entry;
+  env.seq = nextSeq_++;
+  scheduler(pe).enqueue(Message::make(env, payload));
+}
+
+void Runtime::deliver(Message& msg) {
+  const Envelope& env = msg.env();
+  switch (env.kind) {
+    case MsgKind::kUser: {
+      ArrayRecord& rec = record(env.arrayId);
+      CKD_REQUIRE(env.elemIndex >= 0 && env.elemIndex < rec.count,
+                  "delivery to an element out of range");
+      CKD_REQUIRE(rec.peOf[static_cast<std::size_t>(env.elemIndex)] ==
+                      env.dstPe,
+                  "message delivered to a PE that does not own the element");
+      CKD_REQUIRE(
+          env.entry >= 0 && env.entry < static_cast<EntryId>(rec.entries.size()),
+          "delivery to an unregistered entry");
+      Chare& obj = *rec.elems[static_cast<std::size_t>(env.elemIndex)];
+      rec.entries[static_cast<std::size_t>(env.entry)](obj, msg);
+      return;
+    }
+    case MsgKind::kBroadcast:
+      handleBroadcast(msg);
+      return;
+    case MsgKind::kReduceUp:
+      handleReduceUp(msg);
+      return;
+    case MsgKind::kReduceDown:
+      handleReduceDown(msg);
+      return;
+    default:
+      CKD_REQUIRE(false, "unhandled message kind in deliver()");
+  }
+}
+
+// --- broadcast ------------------------------------------------------------------
+
+void Runtime::broadcast(ArrayId array, EntryId entry,
+                        std::span<const std::byte> payload) {
+  const ArrayRecord& rec = record(array);
+  CKD_REQUIRE(entry >= 0 && entry < static_cast<EntryId>(rec.entries.size()),
+              "unregistered entry method");
+  Envelope env;
+  env.kind = MsgKind::kBroadcast;
+  env.srcPe = effectiveSrcPe();
+  env.dstPe = rec.hostPes.front();
+  env.arrayId = array;
+  env.entry = entry;
+  sendMessage(Message::make(env, payload));
+}
+
+void Runtime::handleBroadcast(Message& msg) {
+  const Envelope& env = msg.env();
+  ArrayRecord& rec = record(env.arrayId);
+  const auto posIt = rec.hostPos.find(env.dstPe);
+  CKD_REQUIRE(posIt != rec.hostPos.end(),
+              "broadcast reached a PE hosting no elements");
+  const int pos = posIt->second;
+  // Forward down the PE spanning tree (each hop pays the normal message
+  // costs), then deliver one scheduler message per local element.
+  for (int which = 0; which < 2; ++which) {
+    const int childPos = treeChild(pos, which);
+    if (childPos >= static_cast<int>(rec.hostPes.size())) continue;
+    Envelope fwd = env;
+    fwd.srcPe = env.dstPe;
+    fwd.dstPe = rec.hostPes[static_cast<std::size_t>(childPos)];
+    sendMessage(Message::make(fwd, msg.payload()));
+  }
+  for (std::int64_t index : rec.onPe[static_cast<std::size_t>(env.dstPe)])
+    enqueueLocalUser(env.arrayId, index, env.entry, msg.payload(), env.dstPe);
+}
+
+// --- reductions -------------------------------------------------------------------
+
+namespace {
+constexpr const char* kOpMismatch =
+    "all contributions to one reduction round must use the same op and "
+    "completion entry";
+}  // namespace
+
+void Runtime::accumulate(ReduceAgg& agg, std::span<const double> values,
+                         ReduceOp op, EntryId completion) {
+  if (!agg.hasData) {
+    agg.hasData = true;
+    agg.op = op;
+    agg.completion = completion;
+    agg.partial.assign(values.begin(), values.end());
+    return;
+  }
+  CKD_REQUIRE(agg.op == op && agg.completion == completion, kOpMismatch);
+  CKD_REQUIRE(agg.partial.size() == values.size(),
+              "reduction contributions disagree on value count");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    switch (op) {
+      case ReduceOp::kNop:
+        break;
+      case ReduceOp::kSum:
+        agg.partial[i] += values[i];
+        break;
+      case ReduceOp::kMin:
+        agg.partial[i] = std::min(agg.partial[i], values[i]);
+        break;
+      case ReduceOp::kMax:
+        agg.partial[i] = std::max(agg.partial[i], values[i]);
+        break;
+    }
+  }
+}
+
+void Runtime::contribute(ArrayId array, std::int64_t index,
+                         std::span<const double> values, ReduceOp op,
+                         EntryId completion) {
+  ArrayRecord& rec = record(array);
+  CKD_REQUIRE(index >= 0 && index < rec.count, "element index out of range");
+  CKD_REQUIRE(op != ReduceOp::kNop || values.empty(),
+              "barrier contributions carry no data");
+  Chare& el = *rec.elems[static_cast<std::size_t>(index)];
+  const std::uint32_t round = el._reductionRound++;
+  const int pe = rec.peOf[static_cast<std::size_t>(index)];
+  const int pos = rec.hostPos.at(pe);
+  ReduceAgg& agg = rec.reduce[static_cast<std::size_t>(pos)].rounds[round];
+  ++agg.ownContrib;
+  CKD_REQUIRE(agg.ownContrib <=
+                  static_cast<int>(rec.onPe[static_cast<std::size_t>(pe)].size()),
+              "element contributed twice to the same reduction round");
+  accumulate(agg, values, op, completion);
+  tryFlushReduction(rec, pos, round);
+}
+
+void Runtime::tryFlushReduction(ArrayRecord& rec, int pos,
+                                std::uint32_t round) {
+  const int pe = rec.hostPes[static_cast<std::size_t>(pos)];
+  auto& rounds = rec.reduce[static_cast<std::size_t>(pos)].rounds;
+  const auto it = rounds.find(round);
+  if (it == rounds.end()) return;
+  ReduceAgg& agg = it->second;
+
+  const int localElems =
+      static_cast<int>(rec.onPe[static_cast<std::size_t>(pe)].size());
+  int children = 0;
+  for (int which = 0; which < 2; ++which)
+    if (treeChild(pos, which) < static_cast<int>(rec.hostPes.size()))
+      ++children;
+  if (agg.ownContrib < localElems || agg.childSeen < children) return;
+
+  if (pos == 0) {
+    deliverReductionResult(rec, pos, round, agg);
+    rounds.erase(it);
+    return;
+  }
+
+  // Send the combined partial up the tree as a regular message.
+  Packer packer;
+  packer.put<std::int32_t>(static_cast<std::int32_t>(agg.op));
+  packer.put<std::int32_t>(agg.completion);
+  packer.putSpan<double>(agg.partial);
+  Envelope env;
+  env.kind = MsgKind::kReduceUp;
+  env.srcPe = pe;
+  env.dstPe = rec.hostPes[static_cast<std::size_t>(treeParent(pos))];
+  env.arrayId = static_cast<ArrayId>(&rec - arrays_.data());
+  env.reductionRound = round;
+  sendMessage(Message::make(env, packer.bytes()));
+  rounds.erase(it);
+}
+
+void Runtime::handleReduceUp(Message& msg) {
+  const Envelope& env = msg.env();
+  ArrayRecord& rec = record(env.arrayId);
+  const int pos = rec.hostPos.at(env.dstPe);
+  Unpacker unpacker(msg.payload());
+  const auto op = static_cast<ReduceOp>(unpacker.get<std::int32_t>());
+  const EntryId completion = unpacker.get<std::int32_t>();
+  const std::span<const double> values = unpacker.getSpan<double>();
+  ReduceAgg& agg =
+      rec.reduce[static_cast<std::size_t>(pos)].rounds[env.reductionRound];
+  ++agg.childSeen;
+  accumulate(agg, values, op, completion);
+  tryFlushReduction(rec, pos, env.reductionRound);
+}
+
+void Runtime::deliverReductionResult(ArrayRecord& rec, int pos,
+                                     std::uint32_t round,
+                                     const ReduceAgg& agg) {
+  const int pe = rec.hostPes[static_cast<std::size_t>(pos)];
+  Packer packer;
+  packer.put<std::int32_t>(agg.completion);
+  packer.putSpan<double>(agg.partial);
+
+  // Forward the result down the tree.
+  for (int which = 0; which < 2; ++which) {
+    const int childPos = treeChild(pos, which);
+    if (childPos >= static_cast<int>(rec.hostPes.size())) continue;
+    Envelope env;
+    env.kind = MsgKind::kReduceDown;
+    env.srcPe = pe;
+    env.dstPe = rec.hostPes[static_cast<std::size_t>(childPos)];
+    env.arrayId = static_cast<ArrayId>(&rec - arrays_.data());
+    env.reductionRound = round;
+    sendMessage(Message::make(env, packer.bytes()));
+  }
+
+  // Completion entry on each local element, payload = the combined values.
+  Packer result;
+  result.putSpan<double>(agg.partial);
+  for (std::int64_t index : rec.onPe[static_cast<std::size_t>(pe)])
+    enqueueLocalUser(static_cast<ArrayId>(&rec - arrays_.data()), index,
+                     agg.completion, result.bytes(), pe);
+}
+
+void Runtime::handleReduceDown(Message& msg) {
+  const Envelope& env = msg.env();
+  ArrayRecord& rec = record(env.arrayId);
+  const int pos = rec.hostPos.at(env.dstPe);
+  Unpacker unpacker(msg.payload());
+  ReduceAgg agg;
+  agg.hasData = true;
+  agg.completion = unpacker.get<std::int32_t>();
+  const std::span<const double> values = unpacker.getSpan<double>();
+  agg.partial.assign(values.begin(), values.end());
+  deliverReductionResult(rec, pos, env.reductionRound, agg);
+}
+
+// --- Chare methods (need the full Runtime definition) ---------------------------
+
+void Chare::charge(sim::Time cost) const {
+  runtime_->scheduler(pe_).charge(cost);
+}
+
+sim::Time Chare::now() const {
+  return runtime_->scheduler(pe_).currentTime();
+}
+
+void Chare::contribute(std::span<const double> values, ReduceOp op,
+                       EntryId completion) {
+  runtime_->contribute(arrayId_, index_, values, op, completion);
+}
+
+}  // namespace ckd::charm

@@ -1,0 +1,207 @@
+#pragma once
+// Runtime: the simulated message-driven machine. Owns the event engine, the
+// fabric, the machine layer (InfiniBand verbs or BG/P DCMF), one scheduler
+// and one simulated processor per PE, the chare-array registry, and the
+// reduction/broadcast trees.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "charm/chare.hpp"
+#include "charm/costs.hpp"
+#include "charm/message.hpp"
+#include "charm/scheduler.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "sim/processor.hpp"
+#include "topo/topology.hpp"
+
+namespace ckd::ib {
+class IbVerbs;
+}
+namespace ckd::dcmf {
+class DcmfContext;
+}
+
+namespace ckd::charm {
+
+class Transport;
+
+enum class LayerKind { kInfiniband, kBlueGene };
+
+struct MachineConfig {
+  topo::TopologyPtr topology;
+  net::CostParams netParams;
+  RuntimeCosts costs;
+  LayerKind layer = LayerKind::kInfiniband;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(MachineConfig config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- machine access -------------------------------------------------------
+  sim::Engine& engine() { return engine_; }
+  net::Fabric& fabric() { return *fabric_; }
+  const topo::Topology& topology() const { return *config_.topology; }
+  const RuntimeCosts& costs() const { return config_.costs; }
+  LayerKind layer() const { return config_.layer; }
+  int numPes() const { return config_.topology->numPes(); }
+
+  Scheduler& scheduler(int pe);
+  sim::Processor& processor(int pe);
+
+  /// The verbs layer (InfiniBand machines only).
+  ib::IbVerbs& ibVerbs();
+  /// The DCMF layer (Blue Gene machines only).
+  dcmf::DcmfContext& dcmf();
+
+  /// PE whose handler is currently executing, or -1 between handlers.
+  int currentPe() const { return currentPe_; }
+  void setCurrentPe(int pe) { currentPe_ = pe; }
+
+  // --- chare arrays ----------------------------------------------------------
+
+  using MapFn = std::function<int(std::int64_t index)>;
+  using EntryFn = std::function<void(Chare&, Message&)>;
+
+  /// Create a chare array. `factory(i)` builds element i; `map(i)` places it.
+  /// All elements are constructed eagerly (the paper's applications have
+  /// static arrays).
+  template <class T>
+  ArrayId createArray(std::string name, std::int64_t count, MapFn map,
+                      std::function<std::unique_ptr<T>(std::int64_t)> factory) {
+    static_assert(std::is_base_of_v<Chare, T>, "array elements must be Chares");
+    const ArrayId id = beginArray(std::move(name), count, std::move(map));
+    for (std::int64_t i = 0; i < count; ++i) {
+      std::unique_ptr<T> obj = factory(i);
+      placeElement(id, i, std::move(obj));
+    }
+    return id;
+  }
+
+  /// Register an entry method on an array; returns its stable EntryId.
+  template <class T>
+  EntryId registerEntry(ArrayId array, const char* name,
+                        void (T::*method)(Message&)) {
+    return registerEntryRaw(array, name, [method](Chare& c, Message& m) {
+      (static_cast<T&>(c).*method)(m);
+    });
+  }
+  EntryId registerEntryRaw(ArrayId array, const char* name, EntryFn fn);
+
+  std::int64_t arraySize(ArrayId array) const;
+  int homePe(ArrayId array, std::int64_t index) const;
+  Chare& element(ArrayId array, std::int64_t index);
+  const std::vector<std::int64_t>& elementsOnPe(ArrayId array, int pe) const;
+
+  // --- messaging --------------------------------------------------------------
+
+  /// Invoke `entry` on element `index` with the given payload. The source PE
+  /// is the currently executing PE (or PE 0 from setup code).
+  void sendToElement(ArrayId array, std::int64_t index, EntryId entry,
+                     std::span<const std::byte> payload);
+
+  /// Deliver `entry` with `payload` to every element, via a PE spanning tree.
+  void broadcast(ArrayId array, EntryId entry,
+                 std::span<const std::byte> payload);
+
+  /// Element contribution to the array's reduction (see Chare::contribute).
+  void contribute(ArrayId array, std::int64_t index,
+                  std::span<const double> values, ReduceOp op,
+                  EntryId completion);
+
+  /// Low-level: route a fully formed message (pays pack/send overhead on the
+  /// source PE when called from a handler).
+  void sendMessage(MessagePtr msg);
+
+  /// Scheduler upcall: dispatch a dequeued message.
+  void deliver(Message& msg);
+
+  // --- extensions (CkDirect attaches here; avoids a module cycle) -------------
+  void setExtension(std::shared_ptr<void> ext) { extension_ = std::move(ext); }
+  const std::shared_ptr<void>& extension() const { return extension_; }
+
+  // --- driving -----------------------------------------------------------------
+
+  /// Schedule `fn` at t=0, before any messages flow (mainchare-style setup).
+  void seed(std::function<void()> fn) { engine_.at(0.0, std::move(fn)); }
+
+  /// Run the machine until quiescence (no pending events).
+  void run() { engine_.run(); }
+  sim::Time now() const { return engine_.now(); }
+
+  std::uint64_t messagesSent() const { return messagesSent_; }
+
+ private:
+  struct ReduceAgg {
+    int ownContrib = 0;
+    int childSeen = 0;
+    bool hasData = false;
+    std::vector<double> partial;
+    ReduceOp op = ReduceOp::kNop;
+    EntryId completion = -1;
+  };
+  struct PeReduceState {
+    std::map<std::uint32_t, ReduceAgg> rounds;
+  };
+  struct ArrayRecord {
+    std::string name;
+    std::int64_t count = 0;
+    std::vector<int> peOf;                      // index -> home PE
+    std::vector<std::unique_ptr<Chare>> elems;  // index -> object
+    std::vector<EntryFn> entries;
+    std::vector<std::string> entryNames;
+    std::vector<int> hostPes;                    // sorted PEs with elements
+    std::map<int, int> hostPos;                  // pe -> position in hostPes
+    std::vector<std::vector<std::int64_t>> onPe;  // pe -> local indices
+    std::vector<PeReduceState> reduce;            // indexed by hostPos
+  };
+
+  ArrayId beginArray(std::string name, std::int64_t count, MapFn map);
+  void placeElement(ArrayId id, std::int64_t index, std::unique_ptr<Chare> obj);
+  ArrayRecord& record(ArrayId id);
+  const ArrayRecord& record(ArrayId id) const;
+
+  /// Resolve the effective source PE for a send issued right now.
+  int effectiveSrcPe() const { return currentPe_ >= 0 ? currentPe_ : 0; }
+
+  void handleBroadcast(Message& msg);
+  void handleReduceUp(Message& msg);
+  void handleReduceDown(Message& msg);
+  void accumulate(ReduceAgg& agg, std::span<const double> values, ReduceOp op,
+                  EntryId completion);
+  void tryFlushReduction(ArrayRecord& a, int hostPos, std::uint32_t round);
+  void deliverReductionResult(ArrayRecord& a, int hostPos, std::uint32_t round,
+                              const ReduceAgg& agg);
+  void enqueueLocalUser(ArrayId array, std::int64_t index, EntryId entry,
+                        std::span<const std::byte> payload, int pe);
+
+  static int treeParent(int pos) { return (pos - 1) / 2; }
+  static int treeChild(int pos, int which) { return 2 * pos + 1 + which; }
+
+  MachineConfig config_;
+  sim::Engine engine_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<ib::IbVerbs> ib_;
+  std::unique_ptr<dcmf::DcmfContext> dcmf_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<Scheduler>> schedulers_;
+  std::vector<sim::Processor> processors_;
+  std::vector<ArrayRecord> arrays_;
+  std::shared_ptr<void> extension_;
+  int currentPe_ = -1;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t messagesSent_ = 0;
+};
+
+}  // namespace ckd::charm

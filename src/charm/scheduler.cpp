@@ -1,0 +1,100 @@
+#include "charm/scheduler.hpp"
+
+#include <utility>
+
+#include "charm/runtime.hpp"
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+Scheduler::Scheduler(Runtime& runtime, int pe) : runtime_(runtime), pe_(pe) {}
+
+void Scheduler::enqueue(MessagePtr msg) {
+  CKD_REQUIRE(msg != nullptr, "enqueueing a null message");
+  CKD_REQUIRE(msg->env().dstPe == pe_, "message enqueued on the wrong PE");
+  messages_.push_back(std::move(msg));
+  schedulePump();
+}
+
+void Scheduler::enqueueSystemWork(sim::Time cost, std::function<void()> fn) {
+  CKD_REQUIRE(cost >= 0.0, "negative system work cost");
+  systemWork_.emplace_back(cost, std::move(fn));
+  schedulePump();
+}
+
+void Scheduler::poke(sim::Time delay) {
+  CKD_REQUIRE(delay >= 0.0, "negative poke delay");
+  runtime_.engine().after(delay, [this] { schedulePump(); });
+}
+
+void Scheduler::setPollHook(std::function<void()> hook) {
+  pollHook_ = std::move(hook);
+}
+
+sim::Time Scheduler::currentTime() const {
+  return ctxActive_ ? ctxStart_ + ctxCharged_ : runtime_.engine().now();
+}
+
+void Scheduler::charge(sim::Time cost) {
+  CKD_REQUIRE(cost >= 0.0, "negative charge");
+  if (ctxActive_) ctxCharged_ += cost;
+}
+
+void Scheduler::schedulePump() {
+  if (pumpScheduled_) return;
+  pumpScheduled_ = true;
+  sim::Engine& engine = runtime_.engine();
+  const sim::Time when =
+      std::max(engine.now(), runtime_.processor(pe_).freeAt());
+  engine.at(when, [this] { pump(); });
+}
+
+void Scheduler::pump() {
+  pumpScheduled_ = false;
+  sim::Engine& engine = runtime_.engine();
+  sim::Processor& proc = runtime_.processor(pe_);
+
+  const sim::Time t = engine.now();
+  if (proc.freeAt() > t) {
+    // Something else (a system completion on this PE) claimed the processor
+    // between scheduling and firing; re-arm at the new free time.
+    schedulePump();
+    return;
+  }
+
+  ++pumps_;
+  ctxActive_ = true;
+  ctxStart_ = t;
+  ctxCharged_ = 0.0;
+  runtime_.setCurrentPe(pe_);
+
+  // 1. Poll phase: CkDirect's polling-queue scan (charges per handle and
+  //    may run put-completion callbacks).
+  if (pollHook_) pollHook_();
+
+  // 2. One unit of work: machine-level system work first (no scheduling
+  //    overhead), else one message from the queue.
+  if (!systemWork_.empty()) {
+    auto [cost, fn] = std::move(systemWork_.front());
+    systemWork_.pop_front();
+    charge(cost);
+    if (fn) fn();
+  } else if (!messages_.empty()) {
+    MessagePtr msg = std::move(messages_.front());
+    messages_.pop_front();
+    ++messagesProcessed_;
+    const RuntimeCosts& costs = runtime_.costs();
+    charge(costs.recv_overhead_us + costs.sched_overhead_us +
+           costs.recv_copy_per_byte_us *
+               static_cast<double>(msg->payloadBytes()));
+    runtime_.deliver(*msg);
+  }
+
+  proc.occupy(t, ctxCharged_);
+  ctxActive_ = false;
+  runtime_.setCurrentPe(-1);
+
+  if (!systemWork_.empty() || !messages_.empty()) schedulePump();
+}
+
+}  // namespace ckd::charm

@@ -1,0 +1,87 @@
+#pragma once
+// The per-PE message scheduler — the component whose queueing overhead
+// CkDirect exists to bypass.
+//
+// Execution model under discrete-event simulation: a "pump" is one turn of
+// the Charm++ scheduler loop. Each pump
+//   1. runs the registered poll hook (CkDirect's polling-queue scan on the
+//      InfiniBand layer) and charges its cost,
+//   2. executes one piece of machine-level system work if queued (no
+//      scheduling overhead; DCMF completions, rendezvous processing), or
+//      else dequeues one message and invokes its handler, charging
+//      recv + scheduling overhead plus whatever compute the handler itself
+//      charges.
+// The pump then occupies the simulated processor for the total charged time
+// and re-arms itself while work remains. An idle PE pumps only when poked
+// (a message arrives, or a one-sided delivery lands) — see DESIGN.md §1 for
+// why this is the DES-safe model of an idle polling loop.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "charm/message.hpp"
+#include "sim/engine.hpp"
+#include "sim/processor.hpp"
+
+namespace ckd::charm {
+
+class Runtime;
+
+class Scheduler {
+ public:
+  Scheduler(Runtime& runtime, int pe);
+
+  int pe() const { return pe_; }
+
+  /// Queue a message for entry-method delivery (pays scheduling overhead).
+  void enqueue(MessagePtr msg);
+
+  /// Queue machine-level work that bypasses the message queue: it runs at
+  /// the PE's next free moment and charges `cost` (plus anything `fn`
+  /// charges) but no scheduling overhead.
+  void enqueueSystemWork(sim::Time cost, std::function<void()> fn);
+
+  /// Ask for a pump after `delay` — used to model "the poll loop will
+  /// notice the landed data shortly" (CkDirect delivery pokes).
+  void poke(sim::Time delay);
+
+  /// CkDirect's polling-queue scan. Runs at the top of every pump; must
+  /// charge its own cost via charge().
+  void setPollHook(std::function<void()> hook);
+
+  /// True while an entry method / system work / poll callback is running.
+  bool inHandler() const { return ctxActive_; }
+
+  /// Handler-relative virtual time: pump start plus everything charged so
+  /// far. Equals engine.now() outside a handler.
+  sim::Time currentTime() const;
+
+  /// Model compute / software cost inside the current handler. No-op when
+  /// called outside one (setup code at t=0 is free).
+  void charge(sim::Time cost);
+
+  std::size_t queueLength() const { return messages_.size(); }
+  std::uint64_t messagesProcessed() const { return messagesProcessed_; }
+  std::uint64_t pumps() const { return pumps_; }
+
+ private:
+  void schedulePump();
+  void pump();
+
+  Runtime& runtime_;
+  int pe_;
+  std::deque<MessagePtr> messages_;
+  std::deque<std::pair<sim::Time, std::function<void()>>> systemWork_;
+  std::function<void()> pollHook_;
+
+  bool pumpScheduled_ = false;
+  bool ctxActive_ = false;
+  sim::Time ctxStart_ = 0.0;
+  sim::Time ctxCharged_ = 0.0;
+
+  std::uint64_t messagesProcessed_ = 0;
+  std::uint64_t pumps_ = 0;
+};
+
+}  // namespace ckd::charm

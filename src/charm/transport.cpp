@@ -1,0 +1,185 @@
+#include "charm/transport.hpp"
+
+#include <utility>
+
+#include "charm/runtime.hpp"
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+// ---------------------------------------------------------------------------
+// InfiniBand
+// ---------------------------------------------------------------------------
+
+IbTransport::IbTransport(Runtime& runtime, ib::IbVerbs& verbs)
+    : runtime_(runtime), verbs_(verbs) {}
+
+void IbTransport::send(MessagePtr msg) {
+  if (modeledWireBytes(*msg) < runtime_.costs().rdma_threshold_bytes) {
+    sendEager(std::move(msg));
+  } else {
+    sendRendezvous(std::move(msg));
+  }
+}
+
+std::size_t IbTransport::modeledWireBytes(const Message& msg) const {
+  // The envelope's wire charge follows the configured header size (the
+  // paper's ~80 bytes by default; ablations can zero it).
+  return msg.payloadBytes() + runtime_.costs().header_bytes;
+}
+
+void IbTransport::sendEager(MessagePtr msg) {
+  ++eagerSends_;
+  const int src = msg->env().srcPe;
+  const int dst = msg->env().dstPe;
+  runtime_.fabric().submit(src, dst, modeledWireBytes(*msg),
+                           net::XferKind::kPacket, [this, msg]() mutable {
+                             runtime_.scheduler(msg->env().dstPe)
+                                 .enqueue(std::move(msg));
+                           });
+}
+
+void IbTransport::sendRendezvous(MessagePtr msg) {
+  ++rendezvousSends_;
+  const Envelope env = msg->env();
+  const std::uint64_t seq = env.seq;
+  CKD_REQUIRE(pendingSends_.count(seq) == 0, "duplicate rendezvous sequence");
+  pendingSends_.emplace(seq, std::move(msg));
+
+  // Request-to-send: a small control message carrying the envelope so the
+  // receiver can allocate and register a landing buffer of the right size.
+  runtime_.fabric().submit(
+      env.srcPe, env.dstPe, kControlBytes, net::XferKind::kControl,
+      [this, seq, env]() { onRendezvousRequest(seq, env); });
+}
+
+void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
+  // Runs at the receiver when the request arrives. Buffer allocation and
+  // memory registration are machine-level work on the receiving PE; the
+  // cost grows slowly with the message size (paper §3, rendezvous analysis).
+  const RuntimeCosts& costs = runtime_.costs();
+  const sim::Time regCost =
+      costs.rendezvous_reg_base_us +
+      costs.rendezvous_reg_per_byte_us * static_cast<double>(env.payloadBytes);
+  runtime_.scheduler(env.dstPe).enqueueSystemWork(regCost, [this, seq, env]() {
+    MessagePtr landing = Message::makeUninit(env, env.payloadBytes);
+    const std::span<std::byte> wire = landing->wireMutable();
+    const ib::RegionId region =
+        verbs_.registerMemory(env.dstPe, wire.data(), wire.size());
+    void* remoteAddr = wire.data();
+    pendingRecvs_.emplace(seq, PendingRecv{std::move(landing), region});
+    // The ack leaves once the registration work is done (currentTime()
+    // reflects the cost charged to this system-work context).
+    const sim::Time ready = runtime_.scheduler(env.dstPe).currentTime();
+    runtime_.engine().at(ready, [this, seq, env, remoteAddr, region]() {
+      runtime_.fabric().submit(
+          env.dstPe, env.srcPe, kControlBytes, net::XferKind::kControl,
+          [this, seq, remoteAddr, region]() {
+            onRendezvousAck(seq, remoteAddr, region);
+          });
+    });
+  });
+}
+
+void IbTransport::onRendezvousAck(std::uint64_t seq, void* remoteAddr,
+                                  ib::RegionId remoteRegion) {
+  const auto it = pendingSends_.find(seq);
+  CKD_REQUIRE(it != pendingSends_.end(), "rendezvous ack for unknown send");
+  MessagePtr msg = it->second;  // keep alive until the RDMA completes
+  const int src = msg->env().srcPe;
+  runtime_.scheduler(src).enqueueSystemWork(
+      kAckProcessUs, [this, seq, msg, remoteAddr, remoteRegion]() {
+        const int src = msg->env().srcPe;
+        const int dst = msg->env().dstPe;
+        const sim::Time ready = runtime_.scheduler(src).currentTime();
+        runtime_.engine().at(
+            ready, [this, seq, msg, src, dst, remoteAddr, remoteRegion]() {
+              const std::span<std::byte> wire = msg->wireMutable();
+              const ib::RegionId localRegion =
+                  verbs_.registerMemory(src, wire.data(), wire.size());
+              ib::IbVerbs::RdmaWrite write;
+              write.qp = verbs_.connect(src, dst);
+              write.local_addr = wire.data();
+              write.local_region = localRegion;
+              write.remote_addr = remoteAddr;
+              write.remote_region = remoteRegion;
+              write.bytes = wire.size();
+              write.on_local_complete = [this, seq, localRegion]() {
+                verbs_.deregisterMemory(localRegion);
+                pendingSends_.erase(seq);
+              };
+              write.on_remote_delivered = [this, seq]() {
+                onRdmaDelivered(seq);
+              };
+              verbs_.postRdmaWrite(std::move(write));
+            });
+      });
+}
+
+void IbTransport::onRdmaDelivered(std::uint64_t seq) {
+  const auto it = pendingRecvs_.find(seq);
+  CKD_REQUIRE(it != pendingRecvs_.end(), "RDMA delivery for unknown recv");
+  PendingRecv recv = std::move(it->second);
+  pendingRecvs_.erase(it);
+  verbs_.deregisterMemory(recv.region);
+  runtime_.scheduler(recv.landing->env().dstPe).enqueue(std::move(recv.landing));
+}
+
+// ---------------------------------------------------------------------------
+// Blue Gene/P
+// ---------------------------------------------------------------------------
+
+BgpTransport::BgpTransport(Runtime& runtime, dcmf::DcmfContext& dcmf)
+    : runtime_(runtime), dcmf_(dcmf) {
+  protocol_ = dcmf_.registerProtocol(
+      // Short messages (< 224 B): the handler copies the data out itself.
+      [this](int myRank, int /*srcRank*/, const dcmf::Info& /*info*/,
+             const std::byte* data, std::size_t bytes) {
+        MessagePtr msg = Message::fromWire({data, bytes});
+        runtime_.scheduler(myRank).enqueue(std::move(msg));
+      },
+      // Normal messages: provide a buffer; reconstruct + enqueue once the
+      // payload has landed.
+      [this](int myRank, int /*srcRank*/, const dcmf::Info& /*info*/,
+             std::size_t bytes) {
+        auto buffer = std::make_shared<std::vector<std::byte>>(bytes);
+        dcmf::RecvSpec spec;
+        spec.buffer = buffer->data();
+        spec.capacity = bytes;
+        spec.on_complete = [this, myRank, buffer]() {
+          MessagePtr msg = Message::fromWire(
+              {buffer->data(), buffer->size()});
+          runtime_.scheduler(myRank).enqueue(std::move(msg));
+        };
+        return spec;
+      });
+}
+
+dcmf::Request* BgpTransport::acquireRequest() {
+  if (!freeRequests_.empty()) {
+    dcmf::Request* request = freeRequests_.back();
+    freeRequests_.pop_back();
+    return request;
+  }
+  requestPool_.push_back(std::make_unique<dcmf::Request>());
+  return requestPool_.back().get();
+}
+
+void BgpTransport::releaseRequest(dcmf::Request* request) {
+  freeRequests_.push_back(request);
+}
+
+void BgpTransport::send(MessagePtr msg) {
+  ++sends_;
+  msg->sealHeader();
+  dcmf::Request* request = acquireRequest();
+  const std::span<const std::byte> wire = msg->wire();
+  // `msg` is captured by the completion so the wire bytes outlive the send.
+  // The modeled wire size follows the configured envelope size.
+  dcmf_.send(protocol_, msg->env().srcPe, msg->env().dstPe, dcmf::Info{},
+             wire.data(), wire.size(), request,
+             [this, request, msg]() { releaseRequest(request); },
+             msg->payloadBytes() + runtime_.costs().header_bytes);
+}
+
+}  // namespace ckd::charm

@@ -1,0 +1,90 @@
+#pragma once
+// Machine layers: how the runtime moves a Message between PEs.
+//
+//  * IbTransport (InfiniBand, §2.1 environment): eager packetized path below
+//    the RDMA threshold; above it a rendezvous — a control round trip that
+//    registers a landing buffer at the receiver, followed by a real RDMA
+//    write through the verbs layer. This reproduces the Table 1 protocol
+//    crossovers (packet vs. RDMA at 20–30 KB).
+//  * BgpTransport (Blue Gene/P, §2.2 environment): every message flows
+//    through the DCMF two-sided active-message send; no RDMA cut-over
+//    existed on Surveyor.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "charm/message.hpp"
+#include "dcmf/dcmf.hpp"
+#include "ib/verbs.hpp"
+
+namespace ckd::charm {
+
+class Runtime;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  /// Called at the message's issue time on the simulation engine. Sender
+  /// software costs (pack/send overhead) are charged by Runtime before this.
+  virtual void send(MessagePtr msg) = 0;
+
+  virtual std::uint64_t eagerSends() const { return 0; }
+  virtual std::uint64_t rendezvousSends() const { return 0; }
+};
+
+class IbTransport final : public Transport {
+ public:
+  IbTransport(Runtime& runtime, ib::IbVerbs& verbs);
+  void send(MessagePtr msg) override;
+
+  std::uint64_t eagerSends() const override { return eagerSends_; }
+  std::uint64_t rendezvousSends() const override { return rendezvousSends_; }
+
+ private:
+  std::size_t modeledWireBytes(const Message& msg) const;
+  void sendEager(MessagePtr msg);
+  void sendRendezvous(MessagePtr msg);
+  void onRendezvousRequest(std::uint64_t seq, Envelope env);
+  void onRendezvousAck(std::uint64_t seq, void* remoteAddr,
+                       ib::RegionId remoteRegion);
+  void onRdmaDelivered(std::uint64_t seq);
+
+  Runtime& runtime_;
+  ib::IbVerbs& verbs_;
+  std::map<std::uint64_t, MessagePtr> pendingSends_;
+  struct PendingRecv {
+    MessagePtr landing;
+    ib::RegionId region;
+  };
+  std::map<std::uint64_t, PendingRecv> pendingRecvs_;
+  std::uint64_t eagerSends_ = 0;
+  std::uint64_t rendezvousSends_ = 0;
+
+  /// Modeled size of a rendezvous control message (request-to-send / ack).
+  static constexpr std::size_t kControlBytes = 32;
+  /// Receiver-side cost of processing a rendezvous ack on the sender.
+  static constexpr sim::Time kAckProcessUs = 0.2;
+};
+
+class BgpTransport final : public Transport {
+ public:
+  BgpTransport(Runtime& runtime, dcmf::DcmfContext& dcmf);
+  void send(MessagePtr msg) override;
+
+  std::uint64_t eagerSends() const override { return sends_; }
+
+ private:
+  dcmf::Request* acquireRequest();
+  void releaseRequest(dcmf::Request* request);
+
+  Runtime& runtime_;
+  dcmf::DcmfContext& dcmf_;
+  dcmf::ProtocolId protocol_ = -1;
+  std::vector<std::unique_ptr<dcmf::Request>> requestPool_;
+  std::vector<dcmf::Request*> freeRequests_;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace ckd::charm

@@ -1,0 +1,67 @@
+#include "ckdirect/ckdirect.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "ckdirect/manager_bgp.hpp"
+#include "ckdirect/manager_ib.hpp"
+#include "util/require.hpp"
+
+namespace ckd::direct {
+
+Manager& Manager::of(charm::Runtime& rts) {
+  if (!rts.extension()) {
+    std::shared_ptr<Manager> mgr;
+    if (rts.layer() == charm::LayerKind::kInfiniband)
+      mgr = std::make_shared<IbManager>(rts);
+    else
+      mgr = std::make_shared<BgpManager>(rts);
+    rts.setExtension(std::static_pointer_cast<void>(mgr));
+  }
+  return *std::static_pointer_cast<Manager>(rts.extension());
+}
+
+Handle createHandle(charm::Runtime& rts, int receiverPe, void* buffer,
+                    std::size_t bytes, std::uint64_t oob, Callback callback) {
+  Manager& mgr = Manager::of(rts);
+  return Handle{&rts, mgr.createHandle(receiverPe, buffer, bytes, oob,
+                                       std::move(callback))};
+}
+
+void assocLocal(Handle handle, int senderPe, const void* sendBuffer) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).assocLocal(handle.id, senderPe, sendBuffer);
+}
+
+void put(Handle handle) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).put(handle.id);
+}
+
+void ready(Handle handle) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).ready(handle.id);
+}
+
+void readyMark(Handle handle) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).readyMark(handle.id);
+}
+
+void readyPollQ(Handle handle) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).readyPollQ(handle.id);
+}
+
+Handle createStridedHandle(charm::Runtime& rts, int receiverPe, void* base,
+                           std::size_t blockBytes, std::size_t strideBytes,
+                           int blockCount, std::uint64_t oob,
+                           Callback callback) {
+  Manager& mgr = Manager::of(rts);
+  return Handle{&rts,
+                mgr.createStridedHandle(receiverPe, base, blockBytes,
+                                        strideBytes, blockCount, oob,
+                                        std::move(callback))};
+}
+
+}  // namespace ckd::direct

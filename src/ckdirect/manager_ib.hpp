@@ -1,0 +1,95 @@
+#pragma once
+// CkDirect over InfiniBand (§2.1): RDMA writes plus a per-PE polling queue.
+//
+//  * createHandle registers the receive buffer with the verbs layer, writes
+//    the out-of-band pattern into its last 8 bytes, and enqueues the handle
+//    on the receiver's polling queue.
+//  * assocLocal registers the send buffer and connects an RC queue pair.
+//  * put issues one RDMA write of the whole buffer.
+//  * The receiving RTS scans the polling queue at every scheduler pump; a
+//    handle whose last double word no longer equals the sentinel has
+//    received its data — it is dequeued and its callback invoked. The scan
+//    costs poll_per_handle_us per queued handle per pump, which is the
+//    §5.2 overhead the ReadyMark/ReadyPollQ split exists to bound.
+
+#include <cstdint>
+#include <vector>
+
+#include "ckdirect/ckdirect.hpp"
+#include "ib/verbs.hpp"
+
+namespace ckd::direct {
+
+class IbManager final : public Manager {
+ public:
+  explicit IbManager(charm::Runtime& rts);
+
+  std::int32_t createHandle(int receiverPe, void* buffer, std::size_t bytes,
+                            std::uint64_t oob, Callback callback) override;
+  std::int32_t createStridedHandle(int receiverPe, void* base,
+                                   std::size_t blockBytes,
+                                   std::size_t strideBytes, int blockCount,
+                                   std::uint64_t oob,
+                                   Callback callback) override;
+  void assocLocal(std::int32_t handle, int senderPe,
+                  const void* sendBuffer) override;
+  void put(std::int32_t handle) override;
+  void ready(std::int32_t handle) override;
+  void readyMark(std::int32_t handle) override;
+  void readyPollQ(std::int32_t handle) override;
+
+  std::size_t pollQueueLength(int pe) const override;
+  std::uint64_t putsIssued() const override { return puts_; }
+  std::uint64_t callbacksInvoked() const override { return callbacks_; }
+  std::uint64_t pollScans() const { return scans_; }
+
+ private:
+  struct Channel {
+    int recvPe = -1;
+    std::byte* recvBuffer = nullptr;  // base of the (possibly strided) area
+    std::size_t bytes = 0;            // total payload bytes
+    // Destination layout: blockCount blocks of blockBytes every strideBytes
+    // (contiguous channels have blockCount == 1, blockBytes == bytes).
+    std::size_t blockBytes = 0;
+    std::size_t strideBytes = 0;
+    int blockCount = 1;
+    std::uint64_t oob = 0;
+    Callback callback;
+    ib::RegionId recvRegion;
+
+    int sendPe = -1;
+    const std::byte* sendBuffer = nullptr;
+    ib::RegionId sendRegion;
+    ib::QpId qp = ib::kInvalidQp;
+
+    bool inPollQueue = false;
+    /// True between readyMark (or creation) and the next data landing;
+    /// false while the receiver still owns unconsumed data. A put that
+    /// lands while this is false is an application synchronization bug.
+    bool marked = false;
+    /// Data has been received (callback fired) but the channel has not been
+    /// readyMark'ed yet. CkDirect_ReadyPollQ is a no-op in this state —
+    /// §2.1: the handle is inserted "if new data has not already been
+    /// received for that handle". Without this, a blanket ReadyPollQ over
+    /// all channels at a phase boundary would re-detect stale data.
+    bool detected = false;
+  };
+
+  Channel& channel(std::int32_t id);
+  const Channel& channel(std::int32_t id) const;
+  std::uint64_t readSentinel(const Channel& ch) const;
+  void writeSentinel(Channel& ch);
+  void onDelivered(std::int32_t id);
+  void pollScan(int pe);
+
+  charm::Runtime& rts_;
+  ib::IbVerbs& verbs_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<std::int32_t>> pollQueue_;  // per PE
+  std::vector<bool> hookInstalled_;                   // per PE
+  std::uint64_t puts_ = 0;
+  std::uint64_t callbacks_ = 0;
+  std::uint64_t scans_ = 0;
+};
+
+}  // namespace ckd::direct

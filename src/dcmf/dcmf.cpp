@@ -1,0 +1,92 @@
+#include "dcmf/dcmf.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace ckd::dcmf {
+
+void Info::append(Quad quad) {
+  CKD_REQUIRE(count_ < kMaxQuads, "Info header holds at most 7 quad words");
+  quads_[count_++] = quad;
+}
+
+const Quad& Info::quad(std::size_t i) const {
+  CKD_REQUIRE(i < count_, "Info quad index out of range");
+  return quads_[i];
+}
+
+DcmfContext::DcmfContext(net::Fabric& fabric) : fabric_(fabric) {}
+
+ProtocolId DcmfContext::registerProtocol(ShortHandler shortHandler,
+                                         NormalHandler normalHandler) {
+  CKD_REQUIRE(shortHandler != nullptr, "short handler required");
+  CKD_REQUIRE(normalHandler != nullptr, "normal handler required");
+  protocols_.push_back(
+      Protocol{std::move(shortHandler), std::move(normalHandler)});
+  return static_cast<ProtocolId>(protocols_.size() - 1);
+}
+
+void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
+                       Info info, const void* payload, std::size_t bytes,
+                       Request* request,
+                       std::function<void()> on_local_complete,
+                       std::size_t modeled_wire_bytes) {
+  CKD_REQUIRE(protocol >= 0 &&
+                  protocol < static_cast<ProtocolId>(protocols_.size()),
+              "send on an unregistered protocol");
+  CKD_REQUIRE(srcRank >= 0 && srcRank < numRanks(), "source rank out of range");
+  CKD_REQUIRE(dstRank >= 0 && dstRank < numRanks(),
+              "destination rank out of range");
+  CKD_REQUIRE(payload != nullptr || bytes == 0, "null payload");
+  CKD_REQUIRE(request != nullptr, "DCMF_Send requires a request buffer");
+  CKD_REQUIRE(!request->inFlight,
+              "request reused while its message is still in flight");
+  request->inFlight = true;
+  ++sends_;
+
+  const auto* src = static_cast<const std::byte*>(payload);
+  std::vector<std::byte> data(src, src + bytes);
+
+  const std::size_t wireBytes =
+      modeled_wire_bytes ? modeled_wire_bytes : bytes + info.wireBytes();
+  const sim::Time delivered = fabric_.submit(
+      srcRank, dstRank, wireBytes, net::XferKind::kPacket,
+      [this, protocol, srcRank, dstRank, info, data = std::move(data)]() mutable {
+        deliver(protocol, srcRank, dstRank, info, std::move(data));
+      });
+
+  // Local completion: the send buffer is reusable once the payload has left
+  // the node. The model has already copied it, so completion may fire at
+  // delivery time (conservative upper bound) and releases the request.
+  fabric_.engine().at(delivered,
+                      [request, done = std::move(on_local_complete)]() {
+                        request->inFlight = false;
+                        if (done) done();
+                      });
+}
+
+void DcmfContext::deliver(ProtocolId protocol, int srcRank, int dstRank,
+                          const Info& info, std::vector<std::byte> payload) {
+  Protocol& proto = protocols_[static_cast<std::size_t>(protocol)];
+  if (payload.size() < kShortLimit) {
+    ++shortDeliveries_;
+    proto.shortHandler(dstRank, srcRank, info, payload.data(), payload.size());
+    return;
+  }
+  ++normalDeliveries_;
+  RecvSpec spec = proto.normalHandler(dstRank, srcRank, info, payload.size());
+  CKD_REQUIRE(spec.buffer != nullptr,
+              "normal-message handler must provide a receive buffer");
+  CKD_REQUIRE(spec.capacity >= payload.size(),
+              "receive buffer smaller than the arriving message");
+  if (spec.request != nullptr) {
+    CKD_REQUIRE(!spec.request->inFlight,
+                "receive request reused while still in flight");
+  }
+  std::memcpy(spec.buffer, payload.data(), payload.size());
+  if (spec.on_complete) spec.on_complete();
+}
+
+}  // namespace ckd::dcmf

@@ -1,0 +1,44 @@
+#include "harness/machines.hpp"
+
+#include "net/cost_params.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/torus3d.hpp"
+#include "util/require.hpp"
+
+namespace ckd::harness {
+
+charm::MachineConfig abeMachine(int numPes, int pesPerNode) {
+  CKD_REQUIRE(numPes > 0 && numPes % pesPerNode == 0,
+              "PE count must be a multiple of PEs per node");
+  charm::MachineConfig cfg;
+  cfg.topology =
+      std::make_shared<topo::FatTree>(numPes / pesPerNode, pesPerNode);
+  cfg.netParams = net::abeParams();
+  cfg.costs = charm::abeRuntimeCosts();
+  cfg.layer = charm::LayerKind::kInfiniband;
+  return cfg;
+}
+
+charm::MachineConfig t3Machine(int numPes, int pesPerNode) {
+  CKD_REQUIRE(numPes > 0 && numPes % pesPerNode == 0,
+              "PE count must be a multiple of PEs per node");
+  charm::MachineConfig cfg;
+  cfg.topology =
+      std::make_shared<topo::FatTree>(numPes / pesPerNode, pesPerNode);
+  cfg.netParams = net::t3Params();
+  cfg.costs = charm::t3RuntimeCosts();
+  cfg.layer = charm::LayerKind::kInfiniband;
+  return cfg;
+}
+
+charm::MachineConfig surveyorMachine(int numPes, int pesPerNode) {
+  charm::MachineConfig cfg;
+  cfg.topology = std::make_shared<topo::Torus3D>(
+      topo::Torus3D::forPes(numPes, pesPerNode));
+  cfg.netParams = net::surveyorParams();
+  cfg.costs = charm::surveyorRuntimeCosts();
+  cfg.layer = charm::LayerKind::kBlueGene;
+  return cfg;
+}
+
+}  // namespace ckd::harness

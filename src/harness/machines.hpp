@@ -1,0 +1,21 @@
+#pragma once
+// Machine presets matching the paper's testbeds:
+//   Abe      — NCSA, 8-core Clovertown nodes, InfiniBand (Tables 1, Figs 3/4)
+//   T3       — NCSA, 4-core Woodcrest nodes, InfiniBand (Fig 2a)
+//   Surveyor — ANL Blue Gene/P (Tables 2, Figs 2b/3/5)
+
+#include "charm/runtime.hpp"
+
+namespace ckd::harness {
+
+/// Abe with `numPes` PEs spread `pesPerNode` per node (the paper uses 8 for
+/// the simple apps, 2 cores/node for the OpenAtom runs to "highlight
+/// network effects", and 1 process/node for the pingpong).
+charm::MachineConfig abeMachine(int numPes, int pesPerNode = 8);
+
+charm::MachineConfig t3Machine(int numPes, int pesPerNode = 4);
+
+/// Blue Gene/P partition with `numPes` PEs (4 cores per node, VN mode).
+charm::MachineConfig surveyorMachine(int numPes, int pesPerNode = 4);
+
+}  // namespace ckd::harness

@@ -1,0 +1,39 @@
+#pragma once
+// The §3 pingpong microbenchmark, in all four variants the paper reports:
+// default Charm++ messages, CkDirect, MPI two-sided, and MPI_Put under
+// PSCW. Each returns the average round-trip time in microseconds over
+// `iterations`, for `bytes` of user payload.
+
+#include <cstddef>
+
+#include "charm/runtime.hpp"
+#include "mpi/mpi_costs.hpp"
+
+namespace ckd::harness {
+
+struct PingpongConfig {
+  std::size_t bytes = 100;
+  int iterations = 1000;
+  /// Measure between these two PEs (distinct nodes by default).
+  int peA = 0;
+  int peB = 1;
+};
+
+/// Default Charm++ messages (entry-method pingpong).
+double charmPingpongRtt(const charm::MachineConfig& machine,
+                        const PingpongConfig& cfg);
+
+/// CkDirect puts in both directions.
+double ckdirectPingpongRtt(const charm::MachineConfig& machine,
+                           const PingpongConfig& cfg);
+
+/// MPI two-sided (isend/irecv) on the same wire.
+double mpiPingpongRtt(const charm::MachineConfig& machine,
+                      const mpi::MpiCosts& flavor, const PingpongConfig& cfg);
+
+/// MPI_Put under post-start-complete-wait.
+double mpiPutPingpongRtt(const charm::MachineConfig& machine,
+                         const mpi::MpiCosts& flavor,
+                         const PingpongConfig& cfg);
+
+}  // namespace ckd::harness

@@ -1,0 +1,51 @@
+#include "harness/profile.hpp"
+
+#include <sstream>
+
+#include "ckdirect/ckdirect.hpp"
+#include "util/table.hpp"
+
+namespace ckd::harness {
+
+ProfileReport captureProfile(charm::Runtime& rts) {
+  ProfileReport report;
+  report.pes = rts.numPes();
+  report.horizon_us = rts.now();
+  for (int pe = 0; pe < report.pes; ++pe) {
+    report.utilization.add(
+        rts.processor(pe).utilization(report.horizon_us));
+    report.messagesPerPe.add(
+        static_cast<double>(rts.scheduler(pe).messagesProcessed()));
+    report.pumpsPerPe.add(static_cast<double>(rts.scheduler(pe).pumps()));
+  }
+  report.fabricMessages = rts.fabric().messagesSubmitted();
+  report.fabricBytes = rts.fabric().bytesSubmitted();
+  report.runtimeMessages = rts.messagesSent();
+  if (rts.extension()) {
+    const auto& mgr = direct::Manager::of(rts);
+    report.ckdirectPuts = mgr.putsIssued();
+    report.ckdirectCallbacks = mgr.callbacksInvoked();
+  }
+  return report;
+}
+
+std::string ProfileReport::toString() const {
+  std::ostringstream out;
+  out << "profile: " << pes << " PEs over "
+      << util::formatFixed(horizon_us, 1) << " us\n";
+  out << "  utilization   min " << util::formatPercent(utilization.min())
+      << "  mean " << util::formatPercent(utilization.mean()) << "  max "
+      << util::formatPercent(utilization.max()) << "\n";
+  out << "  sched msgs/PE mean " << util::formatFixed(messagesPerPe.mean(), 1)
+      << "  (pumps/PE mean " << util::formatFixed(pumpsPerPe.mean(), 1)
+      << ")\n";
+  out << "  fabric        " << fabricMessages << " transfers, " << fabricBytes
+      << " bytes; runtime messages " << runtimeMessages << "\n";
+  if (ckdirectPuts > 0) {
+    out << "  ckdirect      " << ckdirectPuts << " puts, "
+        << ckdirectCallbacks << " callbacks\n";
+  }
+  return out.str();
+}
+
+}  // namespace ckd::harness

@@ -1,0 +1,33 @@
+#pragma once
+// Post-run profiling: summarizes where a simulation spent its (virtual)
+// time — per-PE utilization, scheduler activity, fabric traffic, CkDirect
+// polling — in a compact report the benches can print with --profile.
+// Roughly the role Projections plays for real Charm++ runs.
+
+#include <string>
+
+#include "charm/runtime.hpp"
+#include "util/stats.hpp"
+
+namespace ckd::harness {
+
+struct ProfileReport {
+  int pes = 0;
+  sim::Time horizon_us = 0.0;          ///< rts.now() at capture
+  util::RunningStats utilization;      ///< busy fraction per PE
+  util::RunningStats messagesPerPe;    ///< scheduler messages per PE
+  util::RunningStats pumpsPerPe;       ///< scheduler pumps per PE
+  std::uint64_t fabricMessages = 0;
+  std::uint64_t fabricBytes = 0;
+  std::uint64_t runtimeMessages = 0;
+  std::uint64_t ckdirectPuts = 0;      ///< 0 when CkDirect unused
+  std::uint64_t ckdirectCallbacks = 0;
+
+  /// Multi-line human-readable summary.
+  std::string toString() const;
+};
+
+/// Capture a report from a finished (or paused) runtime.
+ProfileReport captureProfile(charm::Runtime& rts);
+
+}  // namespace ckd::harness

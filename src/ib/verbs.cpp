@@ -1,0 +1,193 @@
+#include "ib/verbs.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace ckd::ib {
+
+IbVerbs::IbVerbs(net::Fabric& fabric) : fabric_(fabric) {}
+
+RegionId IbVerbs::registerMemory(int pe, void* addr, std::size_t length) {
+  CKD_REQUIRE(pe >= 0 && pe < fabric_.numPes(), "PE out of range");
+  CKD_REQUIRE(addr != nullptr, "cannot register a null buffer");
+  CKD_REQUIRE(length > 0, "cannot register an empty region");
+  regions_.push_back(
+      Region{pe, static_cast<std::byte*>(addr), length, /*valid=*/true});
+  // Keys are 1-based so that a default-constructed RegionId never matches.
+  return RegionId{pe, static_cast<std::uint32_t>(regions_.size())};
+}
+
+const IbVerbs::Region* IbVerbs::findRegion(RegionId id) const {
+  if (!id.valid() || id.key > regions_.size()) return nullptr;
+  const Region& region = regions_[id.key - 1];
+  if (!region.valid || region.pe != id.pe) return nullptr;
+  return &region;
+}
+
+void IbVerbs::deregisterMemory(RegionId id) {
+  CKD_REQUIRE(findRegion(id) != nullptr, "deregistering an unknown region");
+  regions_[id.key - 1].valid = false;
+}
+
+bool IbVerbs::regionValid(RegionId id) const { return findRegion(id) != nullptr; }
+
+bool IbVerbs::regionCovers(RegionId id, const void* addr,
+                           std::size_t length) const {
+  const Region* region = findRegion(id);
+  if (region == nullptr) return false;
+  const auto* begin = static_cast<const std::byte*>(addr);
+  return begin >= region->base &&
+         begin + length <= region->base + region->length;
+}
+
+std::size_t IbVerbs::regionCount(int pe) const {
+  std::size_t n = 0;
+  for (const Region& region : regions_)
+    if (region.valid && region.pe == pe) ++n;
+  return n;
+}
+
+QpId IbVerbs::connect(int localPe, int remotePe) {
+  CKD_REQUIRE(localPe >= 0 && localPe < fabric_.numPes(), "PE out of range");
+  CKD_REQUIRE(remotePe >= 0 && remotePe < fabric_.numPes(), "PE out of range");
+  const auto key = std::make_pair(localPe, remotePe);
+  const auto it = qpCache_.find(key);
+  if (it != qpCache_.end()) return it->second;
+  const QpId id = static_cast<QpId>(qps_.size());
+  qps_.push_back(Qp{localPe, remotePe, {}, {}});
+  qpCache_.emplace(key, id);
+  return id;
+}
+
+int IbVerbs::qpSource(QpId qp) const {
+  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
+  return qps_[static_cast<std::size_t>(qp)].src;
+}
+
+int IbVerbs::qpDestination(QpId qp) const {
+  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
+  return qps_[static_cast<std::size_t>(qp)].dst;
+}
+
+void IbVerbs::postRdmaWrite(RdmaWrite write) {
+  CKD_REQUIRE(write.qp >= 0 && write.qp < static_cast<QpId>(qps_.size()),
+              "RDMA write on an unknown QP");
+  const Qp& qp = qps_[static_cast<std::size_t>(write.qp)];
+  CKD_REQUIRE(write.bytes > 0, "zero-length RDMA write");
+  CKD_REQUIRE(regionCovers(write.local_region, write.local_addr, write.bytes),
+              "local range not covered by the registered region (bad lkey)");
+  CKD_REQUIRE(write.remote_region.pe == qp.dst,
+              "remote region does not belong to the QP's destination PE");
+  CKD_REQUIRE(
+      regionCovers(write.remote_region, write.remote_addr, write.bytes),
+      "remote range not covered by the registered region (bad rkey)");
+  ++rdmaWrites_;
+
+  const auto* src = static_cast<const std::byte*>(write.local_addr);
+  auto* dst = static_cast<std::byte*>(write.remote_addr);
+
+  const int chunks = std::max(1, unorderedChunks_);
+  if (chunks == 1) {
+    // Faithful RC path: all-or-nothing placement at the delivery instant.
+    // Copy the payload now so the sender may reuse its buffer after the
+    // local completion (which fires no later than delivery).
+    std::vector<std::byte> payload(src, src + write.bytes);
+    auto onLocal = std::move(write.on_local_complete);
+    auto onRemote = std::move(write.on_remote_delivered);
+    const sim::Time delivered = fabric_.submit(
+        qp.src, qp.dst, write.bytes, net::XferKind::kRdma,
+        [dst, payload = std::move(payload), onRemote = std::move(onRemote)]() mutable {
+          std::memcpy(dst, payload.data(), payload.size());
+          if (onRemote) onRemote();
+        });
+    if (onLocal) fabric_.engine().at(delivered, std::move(onLocal));
+    return;
+  }
+
+  // Ablation mode: deliberately violate in-order delivery by injecting the
+  // *tail* chunk first. The sentinel (last 8 bytes) then lands before the
+  // head of the message — exactly the failure RC ordering prevents.
+  const std::size_t chunkSize =
+      (write.bytes + static_cast<std::size_t>(chunks) - 1) /
+      static_cast<std::size_t>(chunks);
+  sim::Time lastDelivery = 0.0;
+  for (int c = chunks - 1; c >= 0; --c) {
+    const std::size_t offset = static_cast<std::size_t>(c) * chunkSize;
+    if (offset >= write.bytes) continue;
+    const std::size_t len = std::min(chunkSize, write.bytes - offset);
+    std::vector<std::byte> payload(src + offset, src + offset + len);
+    const bool isTail = (offset + len == write.bytes);
+    auto onRemote = isTail ? write.on_remote_delivered : std::function<void()>{};
+    lastDelivery = fabric_.submit(
+        qp.src, qp.dst, len, net::XferKind::kRdma,
+        [out = dst + offset, payload = std::move(payload),
+         onRemote = std::move(onRemote)]() mutable {
+          std::memcpy(out, payload.data(), payload.size());
+          if (onRemote) onRemote();
+        });
+  }
+  if (write.on_local_complete)
+    fabric_.engine().at(lastDelivery, std::move(write.on_local_complete));
+}
+
+void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
+                       std::function<void()> on_local_complete) {
+  CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()),
+              "send on an unknown QP");
+  CKD_REQUIRE(data != nullptr || bytes == 0, "null send payload");
+  ++sends_;
+  Qp& qp = qps_[static_cast<std::size_t>(qpId)];
+  const auto* src = static_cast<const std::byte*>(data);
+  std::vector<std::byte> payload(src, src + bytes);
+  const sim::Time delivered = fabric_.submit(
+      qp.src, qp.dst, bytes, net::XferKind::kPacket,
+      [this, qpId, payload = std::move(payload)]() mutable {
+        deliverSend(qps_[static_cast<std::size_t>(qpId)], std::move(payload));
+      });
+  if (on_local_complete)
+    fabric_.engine().at(delivered, std::move(on_local_complete));
+}
+
+void IbVerbs::deliverSend(Qp& qp, std::vector<std::byte> data) {
+  if (qp.recvQueue.empty()) {
+    // No receive posted: a real RC QP would RNR-NAK and retry; the model
+    // parks the payload until the next postRecv.
+    qp.unexpected.push_back(PendingArrival{std::move(data)});
+    return;
+  }
+  PostedRecv recv = std::move(qp.recvQueue.front());
+  qp.recvQueue.pop_front();
+  CKD_REQUIRE(data.size() <= recv.capacity,
+              "arrived message larger than the posted receive buffer");
+  std::memcpy(recv.buffer, data.data(), data.size());
+  if (recv.on_receive) recv.on_receive(data.size());
+}
+
+void IbVerbs::postRecv(QpId qpId, void* buffer, std::size_t capacity,
+                       std::function<void(std::size_t)> on_receive) {
+  CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()),
+              "recv on an unknown QP");
+  CKD_REQUIRE(buffer != nullptr, "null receive buffer");
+  Qp& qp = qps_[static_cast<std::size_t>(qpId)];
+  if (!qp.unexpected.empty()) {
+    PendingArrival arrival = std::move(qp.unexpected.front());
+    qp.unexpected.pop_front();
+    CKD_REQUIRE(arrival.data.size() <= capacity,
+                "arrived message larger than the posted receive buffer");
+    std::memcpy(buffer, arrival.data.data(), arrival.data.size());
+    if (on_receive) on_receive(arrival.data.size());
+    return;
+  }
+  qp.recvQueue.push_back(
+      PostedRecv{static_cast<std::byte*>(buffer), capacity, std::move(on_receive)});
+}
+
+std::size_t IbVerbs::postedRecvCount(QpId qpId) const {
+  CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()), "bad QP");
+  return qps_[static_cast<std::size_t>(qpId)].recvQueue.size();
+}
+
+}  // namespace ckd::ib

@@ -1,0 +1,147 @@
+#pragma once
+// A verbs-like InfiniBand layer over the simulated fabric.
+//
+// Modeled subset (what Charm++'s IB machine layer and CkDirect need):
+//  * memory registration — RDMA operations validate that both the local and
+//    remote ranges fall inside registered regions, like a real HCA checking
+//    lkey/rkey;
+//  * Reliable Connection queue pairs — per-QP in-order, exactly-once
+//    delivery ("if the last byte has been received ... the rest of the
+//    message has also been received", §2.1);
+//  * RDMA WRITE — one-sided; the payload is *really* copied into the target
+//    buffer at the modeled delivery time, and no receive-side completion is
+//    generated (matching hardware: the receiver must discover the data by
+//    inspecting memory — which is exactly CkDirect's sentinel poll). The
+//    simulator-only `on_remote_delivered` hook exists so the runtime can
+//    model "the poll loop would notice shortly after this instant".
+//  * SEND/RECV — two-sided with posted receive buffers (used by the default
+//    Charm++ transport's eager path).
+//
+// For the ordering ablation (DESIGN.md §5.4) the layer can be switched into
+// an intentionally unfaithful mode that splits RDMA writes into chunks
+// delivered tail-first, demonstrating why the sentinel technique requires
+// RC in-order semantics.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fabric.hpp"
+
+namespace ckd::ib {
+
+/// Identifies a registered memory region (pe + key, like an rkey).
+struct RegionId {
+  int pe = -1;
+  std::uint32_t key = 0;
+
+  bool valid() const { return pe >= 0 && key != 0; }
+  friend bool operator==(const RegionId&, const RegionId&) = default;
+};
+
+using QpId = int;
+constexpr QpId kInvalidQp = -1;
+
+class IbVerbs {
+ public:
+  explicit IbVerbs(net::Fabric& fabric);
+
+  net::Fabric& fabric() { return fabric_; }
+  sim::Engine& engine() { return fabric_.engine(); }
+
+  // --- memory registration -------------------------------------------------
+
+  /// Pin [addr, addr+length) for PE `pe`. Returns the region id the remote
+  /// side must present for RDMA access.
+  RegionId registerMemory(int pe, void* addr, std::size_t length);
+  void deregisterMemory(RegionId id);
+  bool regionValid(RegionId id) const;
+  /// True when [addr, addr+length) lies wholly inside the region.
+  bool regionCovers(RegionId id, const void* addr, std::size_t length) const;
+  std::size_t regionCount(int pe) const;
+
+  // --- queue pairs ----------------------------------------------------------
+
+  /// Create (or fetch the cached) RC queue pair from `localPe` to
+  /// `remotePe`. Connections are directional in this model; a pingpong
+  /// needs one QP each way.
+  QpId connect(int localPe, int remotePe);
+  int qpSource(QpId qp) const;
+  int qpDestination(QpId qp) const;
+
+  // --- one-sided ------------------------------------------------------------
+
+  struct RdmaWrite {
+    QpId qp = kInvalidQp;
+    const void* local_addr = nullptr;
+    RegionId local_region;
+    void* remote_addr = nullptr;
+    RegionId remote_region;
+    std::size_t bytes = 0;
+    /// Send-side completion (local buffer reusable).
+    std::function<void()> on_local_complete;
+    /// SIMULATOR-ONLY: fires when the payload lands in remote memory. Real
+    /// hardware gives no such signal for a plain RDMA WRITE; the runtime
+    /// uses it solely to schedule its next poll-scan event.
+    std::function<void()> on_remote_delivered;
+  };
+  void postRdmaWrite(RdmaWrite write);
+
+  // --- two-sided ------------------------------------------------------------
+
+  void postSend(QpId qp, const void* data, std::size_t bytes,
+                std::function<void()> on_local_complete = {});
+  /// Post a receive buffer; `on_receive(bytes)` fires once a matching send
+  /// lands. Receives on a QP are consumed in post order.
+  void postRecv(QpId qp, void* buffer, std::size_t capacity,
+                std::function<void(std::size_t)> on_receive);
+
+  std::size_t postedRecvCount(QpId qp) const;
+
+  // --- test hooks -----------------------------------------------------------
+
+  /// >1 splits each RDMA write into `chunks` pieces injected tail-first,
+  /// breaking the in-order guarantee on purpose (ablation §5.4).
+  void setUnorderedChunksForTest(int chunks) { unorderedChunks_ = chunks; }
+
+  std::uint64_t rdmaWritesPosted() const { return rdmaWrites_; }
+  std::uint64_t sendsPosted() const { return sends_; }
+
+ private:
+  struct Region {
+    int pe;
+    std::byte* base;
+    std::size_t length;
+    bool valid;
+  };
+  struct PostedRecv {
+    std::byte* buffer;
+    std::size_t capacity;
+    std::function<void(std::size_t)> on_receive;
+  };
+  struct PendingArrival {
+    std::vector<std::byte> data;
+  };
+  struct Qp {
+    int src;
+    int dst;
+    std::deque<PostedRecv> recvQueue;
+    std::deque<PendingArrival> unexpected;
+  };
+
+  const Region* findRegion(RegionId id) const;
+  void deliverSend(Qp& qp, std::vector<std::byte> data);
+
+  net::Fabric& fabric_;
+  std::vector<Region> regions_;
+  std::vector<Qp> qps_;
+  std::map<std::pair<int, int>, QpId> qpCache_;
+  int unorderedChunks_ = 1;
+  std::uint64_t rdmaWrites_ = 0;
+  std::uint64_t sends_ = 0;
+};
+
+}  // namespace ckd::ib

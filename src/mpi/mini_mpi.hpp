@@ -1,0 +1,166 @@
+#pragma once
+// A miniature MPI over the simulated fabric — the baseline the paper
+// compares CkDirect against (§2.3, §3). Event-driven (completion callbacks
+// instead of blocking calls), but semantically faithful where it matters:
+//
+//  * two-sided send/recv with real tag/source matching, wildcards, an
+//    unexpected-message queue, and FIFO matching order;
+//  * eager vs. rendezvous protocol selection per flavor, with the
+//    registration/handshake costs Table 1's large-message rows exhibit;
+//  * one-sided windows with MPI_Put under post-start-complete-wait (PSCW)
+//    synchronization — the scheme the paper singles out as the overhead
+//    CkDirect avoids. Post/complete tokens are real control messages; puts
+//    require a started epoch, and wait completes only when every announced
+//    put has landed.
+//
+// The layer runs standalone on a Fabric (no Charm++ scheduler involved),
+// matching how the paper measured MPI.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mpi/mpi_costs.hpp"
+#include "net/fabric.hpp"
+
+namespace ckd::mpi {
+
+class MiniMpi {
+ public:
+  static constexpr int kAnySource = -1;
+  static constexpr int kAnyTag = -1;
+
+  MiniMpi(net::Fabric& fabric, MpiCosts costs);
+
+  net::Fabric& fabric() { return fabric_; }
+  const MpiCosts& costs() const { return costs_; }
+  sim::Engine& engine() { return fabric_.engine(); }
+  int numRanks() const { return fabric_.numPes(); }
+
+  // --- two-sided -------------------------------------------------------------
+
+  struct RecvResult {
+    int source = -1;
+    int tag = -1;
+    std::size_t bytes = 0;
+  };
+  using RecvCallback = std::function<void(const RecvResult&)>;
+
+  /// Nonblocking send; `onSent` fires when the send buffer is reusable.
+  void isend(int srcRank, int dstRank, int tag, const void* data,
+             std::size_t bytes, std::function<void()> onSent = {});
+
+  /// Nonblocking receive; `source`/`tag` may be kAnySource/kAnyTag.
+  /// `onComplete` fires once a matching message has fully arrived.
+  void irecv(int rank, int source, int tag, void* buffer,
+             std::size_t capacity, RecvCallback onComplete);
+
+  std::size_t postedRecvCount(int rank) const;
+  std::size_t unexpectedCount(int rank) const;
+
+  // --- one-sided (RMA windows + PSCW) ------------------------------------------
+
+  using WinId = int;
+
+  /// Expose [base, base+bytes) of `rank` for remote access.
+  WinId createWindow(int rank, void* base, std::size_t bytes);
+
+  /// Target side: open an exposure epoch for `origins` (MPI_Win_post).
+  void winPost(WinId win, const std::vector<int>& origins);
+
+  /// Origin side: open an access epoch on `win` (MPI_Win_start). The
+  /// callback fires once the target's post token has arrived.
+  void winStart(WinId win, int originRank, std::function<void()> onStarted);
+
+  /// MPI_Put into the window at `targetOffset`. Requires a started epoch.
+  void put(WinId win, int originRank, std::size_t targetOffset,
+           const void* data, std::size_t bytes);
+
+  /// Origin side: close the access epoch (MPI_Win_complete).
+  void winComplete(WinId win, int originRank);
+
+  /// Target side: MPI_Win_wait — fires when every origin completed and all
+  /// its puts have landed.
+  void winWait(WinId win, std::function<void()> onDone);
+
+  std::uint64_t sendsPosted() const { return sends_; }
+  std::uint64_t putsPosted() const { return puts_; }
+
+ private:
+  struct PostedRecv {
+    int source;
+    int tag;
+    std::byte* buffer;
+    std::size_t capacity;
+    RecvCallback callback;
+  };
+  struct UnexpectedMsg {
+    int source;
+    int tag;
+    std::vector<std::byte> data;
+  };
+  struct PendingRts {  // rendezvous request-to-send awaiting a match
+    int source;
+    int tag;
+    std::size_t bytes;
+    std::uint64_t id;
+  };
+  struct RankState {
+    std::deque<PostedRecv> recvs;
+    std::deque<UnexpectedMsg> unexpected;
+    std::deque<PendingRts> rts;
+  };
+  struct RndvSend {
+    int src;
+    int dst;
+    std::vector<std::byte> data;
+    std::function<void()> onSent;
+  };
+  struct Window {
+    int rank = -1;
+    std::byte* base = nullptr;
+    std::size_t bytes = 0;
+    // Target-side exposure epoch.
+    std::set<int> postedOrigins;
+    std::map<int, std::uint64_t> announced;  // puts promised per origin
+    std::map<int, std::uint64_t> arrived;    // puts landed per origin
+    std::set<int> completed;                 // complete tokens received
+    std::function<void()> waitCallback;
+  };
+  struct OriginEpoch {
+    bool tokenArrived = false;
+    bool started = false;
+    std::function<void()> startCallback;
+    std::uint64_t putsIssued = 0;
+  };
+
+  static bool matches(int wantSource, int wantTag, int source, int tag) {
+    return (wantSource == kAnySource || wantSource == source) &&
+           (wantTag == kAnyTag || wantTag == tag);
+  }
+
+  void eagerArrive(int dst, int src, int tag, std::vector<std::byte> data);
+  void rtsArrive(int dst, PendingRts rts);
+  void grantRndv(int dst, const PendingRts& rts, PostedRecv recv);
+  void sendControl(int src, int dst, std::function<void()> onArrive);
+  void putArrived(WinId win, int origin);
+  void checkWaitDone(WinId win);
+  Window& window(WinId win);
+  RankState& rank(int r);
+
+  net::Fabric& fabric_;
+  MpiCosts costs_;
+  std::vector<RankState> ranks_;
+  std::vector<Window> windows_;
+  std::map<std::pair<WinId, int>, OriginEpoch> origins_;
+  std::map<std::uint64_t, RndvSend> rndvSends_;
+  std::map<std::uint64_t, PostedRecv> rndvRecvs_;
+  std::uint64_t nextRndvId_ = 0;
+  std::uint64_t sends_ = 0;
+  std::uint64_t puts_ = 0;
+};
+
+}  // namespace ckd::mpi

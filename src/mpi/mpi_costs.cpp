@@ -1,0 +1,95 @@
+#include "mpi/mpi_costs.hpp"
+
+namespace ckd::mpi {
+
+// Fit targets are one-way times (half the Table 1 / Table 2 RTTs).
+
+// MPICH-VMI: 100 B -> 6.18, 10 KB -> 30.4, 40 KB -> 100.6, 100 KB -> 166.3,
+// 500 KB -> 698.5. Eager slope ~2.05 ns/B with ~0.3 us per 2 KB packet and
+// a small-message copy penalty below 4 KB; rendezvous above 64 KB with a
+// heavy (~22 us) registration.
+MpiCosts mpichVmiCosts() {
+  MpiCosts c;
+  c.name = "MPICH-VMI";
+  c.sw_send_us = 0.10;
+  c.sw_recv_us = 0.10;
+  c.tag_match_us = 0.15;
+  c.eager = net::XferClass{/*alpha*/ 5.0, /*per_byte*/ 2.05e-3,
+                           /*per_packet*/ 0.30, /*mtu*/ 2048};
+  // VMI stays on the packetized path unusually long (Table 1's 70 KB row
+  // still shows eager-like cost); the cut-over sits between 70 and 100 KB.
+  c.eager_threshold_bytes = 96 * 1024;
+  c.rndv_base_us = 22.0;
+  c.rndv_per_byte_us = 0.04e-3;
+  c.rdma = net::XferClass{/*alpha*/ 5.0, /*per_byte*/ 1.282e-3,
+                          /*per_packet*/ 0.0, /*mtu*/ 0};
+  c.bump_lo_bytes = 512;
+  c.bump_hi_bytes = 4 * 1024;
+  c.bump_us = 1.5;
+  c.pscw_overhead_us = 2.5;
+  c.put_eager_threshold_bytes = c.eager_threshold_bytes;
+  c.put_large_savings_per_byte_us = 0.0;
+  return c;
+}
+
+// MVAPICH2: 100 B -> 6.15, 20 KB -> 44.3, 30 KB -> 59.7, 500 KB -> 693.
+// Eager slope ~1.9 ns/B to 16 KB (with a 0.5-8 KB buffering penalty);
+// efficient rendezvous (reg ~4 us + 0.03 ns/B) onto the RDMA path above.
+// MPI_Put: +2.2 us PSCW, stays eager to ~24 KB, an extra 2-8 KB bump, and
+// a large-message copy saving that lets put win beyond ~70 KB.
+MpiCosts mvapichCosts() {
+  MpiCosts c;
+  c.name = "MVAPICH";
+  c.sw_send_us = 0.25;
+  c.sw_recv_us = 0.20;
+  c.tag_match_us = 0.20;
+  c.eager = net::XferClass{/*alpha*/ 5.0, /*per_byte*/ 1.9e-3,
+                           /*per_packet*/ 0.35, /*mtu*/ 2048};
+  c.eager_threshold_bytes = 16 * 1024;
+  c.rndv_base_us = 4.0;
+  c.rndv_per_byte_us = 0.03e-3;
+  c.rdma = net::XferClass{/*alpha*/ 5.0, /*per_byte*/ 1.282e-3,
+                          /*per_packet*/ 0.0, /*mtu*/ 0};
+  c.bump_lo_bytes = 512;
+  c.bump_hi_bytes = 8 * 1024;
+  c.bump_us = 2.0;
+  c.pscw_overhead_us = 2.2;
+  c.put_eager_threshold_bytes = 24 * 1024;
+  c.put_bump_lo_bytes = 2 * 1024;
+  c.put_bump_hi_bytes = 16 * 1024;
+  c.put_bump_us = 4.5;
+  c.put_large_savings_per_byte_us = 0.03e-3;
+  return c;
+}
+
+// IBM MPI on BG/P: 100 B -> 3.80, 5 KB -> 19.95, 500 KB -> 1340.2.
+// Rides the machine's DCMF packet class (2.62 ns/B, 240 B FIFO packets);
+// tag matching ~1.25 us; a buffering bump of ~2.1 us between 2 KB and
+// 20 KB (the paper's "some kind of buffering threshold"). MPI_Put adds
+// ~2.9 us of post-start-complete-wait.
+MpiCosts ibmBgpCosts() {
+  MpiCosts c;
+  c.name = "IBM-MPI-BGP";
+  c.sw_send_us = 0.20;
+  c.sw_recv_us = 0.20;
+  c.tag_match_us = 1.25;
+  c.eager = net::XferClass{/*alpha*/ 1.9, /*per_byte*/ 2.62e-3,
+                           /*per_packet*/ 0.012, /*mtu*/ 240};
+  // No rendezvous/RDMA cut-over on Surveyor.
+  c.eager_threshold_bytes = static_cast<std::size_t>(-1);
+  c.rdma = c.eager;
+  c.bump_lo_bytes = 2 * 1024;
+  c.bump_hi_bytes = 20 * 1024;
+  c.bump_us = 2.1;
+  c.pscw_overhead_us = 2.9;
+  c.put_eager_threshold_bytes = c.eager_threshold_bytes;
+  // Table 2's 100 B MPI-Put row is disproportionately slow (~14 us RTT, on
+  // par with default Charm++): small one-sided ops pay extra epoch setup.
+  c.put_bump_lo_bytes = 0;
+  c.put_bump_hi_bytes = 512;
+  c.put_bump_us = 1.5;
+  c.put_large_savings_per_byte_us = 0.0;
+  return c;
+}
+
+}  // namespace ckd::mpi

@@ -1,0 +1,96 @@
+#include "net/cost_params.hpp"
+
+#include "util/require.hpp"
+
+namespace ckd::net {
+
+sim::Time XferClass::serialization(std::size_t bytes) const {
+  double t = per_byte_us * static_cast<double>(bytes);
+  if (per_packet_us > 0.0) {
+    const std::size_t mtu = mtu_bytes ? mtu_bytes : bytes;
+    const std::size_t packets = bytes == 0 ? 1 : (bytes + mtu - 1) / mtu;
+    t += per_packet_us * static_cast<double>(packets);
+  }
+  return t;
+}
+
+const XferClass& CostParams::classFor(XferKind kind) const {
+  switch (kind) {
+    case XferKind::kRdma:
+      return has_rdma ? rdma : packet;
+    case XferKind::kPacket:
+      return packet;
+    case XferKind::kControl:
+      return control;
+  }
+  CKD_REQUIRE(false, "unknown XferKind");
+}
+
+// ---------------------------------------------------------------------------
+// NCSA Abe (InfiniBand). Fit targets, one-way, from Table 1:
+//   CkDirect put (pure RDMA path):  100 B -> 6.19 us, 500 KB -> 647.2 us
+//     => rdma.alpha ~ 5.2 us, rdma.per_byte ~ (647.2 - 6.2)/5e5 = 1.28 ns/B
+//     (the remaining ~1 us of the 6.19 is software: put issue + poll detect,
+//      charged by the CkDirect layer, not here).
+//   Default Charm++ eager/packet path:  slope between 1 KB and 20 KB
+//     ~ (96.2 - 25.1)/2 / 19e3 = 1.87 ns/B -> packet.per_byte 1.9 ns/B.
+// ---------------------------------------------------------------------------
+CostParams abeParams() {
+  CostParams p;
+  p.name = "abe";
+  p.rdma = XferClass{/*alpha*/ 5.0, /*per_byte*/ 1.282e-3,
+                     /*per_packet*/ 0.0, /*mtu*/ 0};
+  p.packet = XferClass{/*alpha*/ 5.0, /*per_byte*/ 1.80e-3,
+                       /*per_packet*/ 0.65, /*mtu*/ 4096};
+  p.control = XferClass{/*alpha*/ 5.0, /*per_byte*/ 2.0e-3,
+                        /*per_packet*/ 0.0, /*mtu*/ 0};
+  p.per_hop_us = 0.05;
+  p.intra_alpha_us = 0.6;
+  p.intra_per_byte_us = 0.35e-3;  // ~2.9 GB/s memcpy through shared pages
+  p.self_alpha_us = 0.2;
+  p.self_per_byte_us = 0.18e-3;  // ~5.5 GB/s in-process memcpy
+  p.has_rdma = true;
+  return p;
+}
+
+// NCSA T3 (Woodcrest + InfiniBand): same HCA generation as Abe. The paper's
+// stencil experiment ran here; latency is a touch higher (older switches).
+CostParams t3Params() {
+  CostParams p = abeParams();
+  p.name = "t3";
+  p.rdma.alpha_us = 5.6;
+  p.packet.alpha_us = 5.6;
+  p.control.alpha_us = 5.6;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// ANL Surveyor (Blue Gene/P). Fit targets, one-way, from Table 2:
+//   CkDirect (DCMF two-sided, not zero-copy):
+//     100 B -> 2.57 us, 500 KB -> 1338.5 us
+//     => packet.alpha ~ 1.9 us (the paper cites DCMF one-way latency 1.9 us),
+//        per_byte ~ (1338.5 - 2.57)/5e5 = 2.67 ns/B.
+//   No RDMA cut-over existed on Surveyor ("the supporting rendezvous
+//   protocol was not installed"), so has_rdma = false and the rdma class
+//   aliases the packet class.
+// ---------------------------------------------------------------------------
+CostParams surveyorParams() {
+  CostParams p;
+  p.name = "surveyor";
+  p.packet = XferClass{/*alpha*/ 1.9, /*per_byte*/ 2.62e-3,
+                       /*per_packet*/ 0.012, /*mtu*/ 240};
+  p.rdma = p.packet;  // unused while has_rdma == false
+  p.control = XferClass{/*alpha*/ 1.9, /*per_byte*/ 2.62e-3,
+                        /*per_packet*/ 0.0, /*mtu*/ 0};
+  p.per_hop_us = 0.04;  // BG/P torus router hop
+  p.inject_links = 4;   // six torus links, effective four under imbalance
+  p.eject_links = 4;
+  p.intra_alpha_us = 0.5;
+  p.intra_per_byte_us = 0.9e-3;  // VN-mode PEs talk through the torus loopback
+  p.self_alpha_us = 0.2;
+  p.self_per_byte_us = 0.37e-3;  // ~2.7 GB/s in-process memcpy
+  p.has_rdma = false;
+  return p;
+}
+
+}  // namespace ckd::net

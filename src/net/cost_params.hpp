@@ -1,0 +1,82 @@
+#pragma once
+// Wire-level cost parameters for the simulated interconnects.
+//
+// The constants are fitted to the paper's pingpong tables (Table 1: NCSA Abe
+// InfiniBand; Table 2: ANL Surveyor Blue Gene/P); the derivations are
+// documented next to each preset in cost_params.cpp and in EXPERIMENTS.md.
+// All times are microseconds, all sizes bytes.
+
+#include <cstddef>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace ckd::net {
+
+/// One class of wire transfer (how bytes get serialized onto the fabric).
+struct XferClass {
+  /// First-bit latency, node to node, excluding per-hop cost.
+  sim::Time alpha_us = 0.0;
+  /// Serialization cost per payload byte.
+  double per_byte_us = 0.0;
+  /// Fixed cost per packet (header processing, DMA descriptor, ...).
+  sim::Time per_packet_us = 0.0;
+  /// Packet size the protocol chops messages into. 0 = single packet.
+  std::size_t mtu_bytes = 0;
+
+  /// Pure serialization time for `bytes` of payload.
+  sim::Time serialization(std::size_t bytes) const;
+};
+
+enum class XferKind {
+  kRdma,     ///< zero-copy DMA path (IB RDMA write / read)
+  kPacket,   ///< two-sided packetized path (eager protocol, DCMF send)
+  kControl,  ///< tiny control messages (rendezvous handshakes, PSCW)
+};
+
+struct CostParams {
+  std::string name;
+
+  XferClass rdma;
+  XferClass packet;
+  XferClass control;
+
+  /// Router/switch traversal cost per hop (applies to every class).
+  sim::Time per_hop_us = 0.0;
+
+  /// Parallel injection/ejection channels per node. One for a single-HCA
+  /// InfiniBand node; a BG/P torus node drives six links (we use an
+  /// effective four to account for direction imbalance under
+  /// nearest-neighbor traffic).
+  int inject_links = 1;
+  int eject_links = 1;
+
+  /// Intra-node (shared memory, PE to PE) transfer: alpha + per-byte rate.
+  sim::Time intra_alpha_us = 0.0;
+  double intra_per_byte_us = 0.0;
+
+  /// Same-PE (same address space) transfer: the machine layer short-circuits
+  /// a self-send into a plain memcpy.
+  sim::Time self_alpha_us = 0.0;
+  double self_per_byte_us = 0.0;
+
+  /// Whether the machine supports true one-sided RDMA. Blue Gene/P, per the
+  /// paper, did not have the rendezvous/one-sided path installed; its
+  /// "rdma" class falls back to the packet class at the fabric level.
+  bool has_rdma = true;
+
+  const XferClass& classFor(XferKind kind) const;
+};
+
+/// NCSA Abe: dual-socket quad-core Clovertown nodes, one IB HCA per node.
+CostParams abeParams();
+
+/// NCSA T3: dual-socket dual-core Woodcrest nodes, InfiniBand.
+/// Same interconnect family as Abe; slightly higher latency per the paper's
+/// "faster processors with a higher latency interconnect" remark.
+CostParams t3Params();
+
+/// ANL Surveyor: Blue Gene/P, DCMF messaging, 3-D torus, no RDMA cut-over.
+CostParams surveyorParams();
+
+}  // namespace ckd::net

@@ -1,0 +1,92 @@
+#pragma once
+// Fabric: the timing model that turns "PE s sends B bytes to PE d" into a
+// delivery event on the simulation engine.
+//
+// Resource model:
+//  * Each *node* has one injection port and one ejection port (the NIC /
+//    torus router FIFO). Messages from co-located PEs serialize through the
+//    shared injection port — this reproduces the paper's observation that
+//    8-way multicore nodes with a single InfiniBand HCA become
+//    bandwidth-limited.
+//  * The injection port is a round-robin packet server: concurrent bulk
+//    messages interleave at chunk granularity, like a DMA engine
+//    round-robining across pending descriptors. A solo message still
+//    serializes in exactly serialization(bytes), so single-stream
+//    calibration is unaffected, but completion order under contention is
+//    fair instead of whole-message FIFO.
+//  * Messages that fit in one wire packet, and control-class messages
+//    (rendezvous handshakes, PSCW tokens), pay serialization as latency but
+//    skip port occupancy entirely.
+//  * Intra-node messages cost a memcpy (intra alpha + per-byte); same-PE
+//    messages a cheaper in-process memcpy. Neither touches the ports.
+//
+// The fabric moves no bytes itself; the layers above (src/ib, src/dcmf)
+// perform the actual memory writes when the delivery callback fires.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/cost_params.hpp"
+#include "sim/engine.hpp"
+#include "topo/topology.hpp"
+
+namespace ckd::net {
+
+class Fabric {
+ public:
+  using DeliverFn = std::function<void()>;
+
+  Fabric(sim::Engine& engine, topo::TopologyPtr topology, CostParams params);
+
+  sim::Engine& engine() { return engine_; }
+  const topo::Topology& topology() const { return *topology_; }
+  const CostParams& params() const { return params_; }
+  int numPes() const { return topology_->numPes(); }
+
+  /// Submit a transfer. `onDeliver` runs at the (returned) delivery time.
+  /// Returns the modeled delivery time.
+  sim::Time submit(int srcPe, int dstPe, std::size_t bytes, XferKind kind,
+                   DeliverFn onDeliver);
+
+  /// Same, with a caller-provided serialization class (protocol stacks such
+  /// as the mini-MPI flavors bring their own per-byte/per-packet costs).
+  /// `occupiesPorts` == false gives control-message semantics.
+  sim::Time submitCustom(int srcPe, int dstPe, std::size_t bytes,
+                         const XferClass& cls, bool occupiesPorts,
+                         DeliverFn onDeliver);
+
+  /// Bulk messages currently queued or in service at a node's injection
+  /// port (for tests/benches).
+  std::size_t injectQueueLength(int node) const;
+  sim::Time ejectFreeAt(int node) const;
+
+  std::uint64_t messagesSubmitted() const { return messages_; }
+  std::uint64_t bytesSubmitted() const { return bytes_; }
+
+  void resetStats();
+
+ private:
+  struct Flow {
+    sim::Time chunk_ser = 0.0;
+    int chunks_left = 0;
+    std::function<void()> on_serialized;
+  };
+  struct Port {
+    std::deque<Flow> queue;
+    int busyServers = 0;
+  };
+
+  void pumpInject(std::size_t node);
+
+  sim::Engine& engine_;
+  topo::TopologyPtr topology_;
+  CostParams params_;
+  std::vector<Port> inject_;
+  std::vector<sim::Time> ejectFree_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace ckd::net

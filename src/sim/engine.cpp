@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace ckd::sim {
+
+void Engine::at(Time when, Action action) {
+  CKD_REQUIRE(when >= now_, "cannot schedule an event in the past");
+  CKD_REQUIRE(action != nullptr, "cannot schedule a null action");
+  queue_.push(Event{when, nextSeq_++, std::move(action)});
+}
+
+void Engine::after(Time delay, Action action) {
+  CKD_REQUIRE(delay >= 0.0, "event delay must be non-negative");
+  at(now_ + delay, std::move(action));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small fields and move the action through a temporary.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void Engine::run() {
+  stopRequested_ = false;
+  while (!stopRequested_ && step()) {
+  }
+}
+
+void Engine::runUntil(Time deadline) {
+  CKD_REQUIRE(deadline >= now_, "runUntil deadline is in the past");
+  stopRequested_ = false;
+  while (!stopRequested_ && !queue_.empty() && queue_.top().when <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace ckd::sim

@@ -1,0 +1,69 @@
+#pragma once
+// Deterministic discrete-event engine.
+//
+// Events scheduled for the same instant execute in scheduling order (a
+// monotone sequence number breaks ties), which makes every simulation run
+// bit-reproducible. The engine is strictly single-threaded; all simulated
+// concurrency (processors, NICs, links) is expressed as events.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/require.hpp"
+
+namespace ckd::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current virtual time. While an event runs, now() is that event's time.
+  Time now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when` (must be >= now()).
+  void at(Time when, Action action);
+
+  /// Schedule `action` `delay` microseconds from now (delay >= 0).
+  void after(Time delay, Action action);
+
+  /// Run one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run events with time <= `deadline`; afterwards now() == deadline if the
+  /// queue drained early or paused there.
+  void runUntil(Time deadline);
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t pendingEvents() const { return queue_.size(); }
+  std::uint64_t executedEvents() const { return executed_; }
+
+  /// Abort the current run() / runUntil() loop after the current event.
+  void stop() { stopRequested_ = true; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t nextSeq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopRequested_ = false;
+};
+
+}  // namespace ckd::sim

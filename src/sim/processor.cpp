@@ -1,0 +1,5 @@
+#include "sim/processor.hpp"
+
+// Processor is header-only today; this translation unit pins the vtable-free
+// class into the library so future out-of-line additions do not ripple
+// through every includer.

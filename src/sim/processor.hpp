@@ -1,0 +1,66 @@
+#pragma once
+// A simulated processing element (PE). A PE executes work serially: callers
+// ask for an execution slot (`nextFreeTime`), run real C++ code, and charge
+// the modeled cost of that code (`occupyUntil`). Utilization accounting is
+// kept so experiments can report compute/communication overlap.
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+#include "util/require.hpp"
+
+namespace ckd::sim {
+
+class Processor {
+ public:
+  Processor() = default;
+  explicit Processor(int index) : index_(index) {}
+
+  int index() const { return index_; }
+
+  /// Earliest virtual time at which new work can start on this PE.
+  Time freeAt() const { return busyUntil_; }
+
+  bool busyAt(Time t) const { return t < busyUntil_; }
+
+  /// Reserve the PE for [start, start + cost). `start` must be >= freeAt().
+  /// Returns the completion time.
+  Time occupy(Time start, Time cost) {
+    CKD_REQUIRE(cost >= 0.0, "negative compute cost");
+    CKD_REQUIRE(start >= busyUntil_, "PE double-booked");
+    busyUntil_ = start + cost;
+    busyTotal_ += cost;
+    ++tasksRun_;
+    return busyUntil_;
+  }
+
+  /// Extend the current occupation (used when a handler charges extra
+  /// compute cost while it runs).
+  void extend(Time extraCost) {
+    CKD_REQUIRE(extraCost >= 0.0, "negative compute cost");
+    busyUntil_ += extraCost;
+    busyTotal_ += extraCost;
+  }
+
+  Time busyTotal() const { return busyTotal_; }
+  std::uint64_t tasksRun() const { return tasksRun_; }
+
+  /// Fraction of [0, horizon] this PE spent busy.
+  double utilization(Time horizon) const {
+    return horizon > 0.0 ? busyTotal_ / horizon : 0.0;
+  }
+
+  void reset() {
+    busyUntil_ = kTimeZero;
+    busyTotal_ = 0.0;
+    tasksRun_ = 0;
+  }
+
+ private:
+  int index_ = -1;
+  Time busyUntil_ = kTimeZero;
+  Time busyTotal_ = 0.0;
+  std::uint64_t tasksRun_ = 0;
+};
+
+}  // namespace ckd::sim

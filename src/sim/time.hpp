@@ -1,0 +1,22 @@
+#pragma once
+// Virtual time. The whole reproduction reports times in microseconds, the
+// unit used by the paper's tables, so Time is "microseconds as double".
+// Doubles keep sub-nanosecond resolution out past simulated hours, which is
+// far more than any experiment here runs.
+
+namespace ckd::sim {
+
+using Time = double;  // microseconds
+
+constexpr Time kTimeZero = 0.0;
+
+constexpr Time microseconds(double us) { return us; }
+constexpr Time milliseconds(double ms) { return ms * 1e3; }
+constexpr Time seconds(double s) { return s * 1e6; }
+constexpr Time nanoseconds(double ns) { return ns * 1e-3; }
+
+constexpr double toMicroseconds(Time t) { return t; }
+constexpr double toMilliseconds(Time t) { return t * 1e-3; }
+constexpr double toSeconds(Time t) { return t * 1e-6; }
+
+}  // namespace ckd::sim

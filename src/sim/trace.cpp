@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace ckd::sim {
+
+void TraceRecorder::record(Time time, int pe, std::string tag,
+                           std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, pe, std::move(tag), std::move(detail)});
+}
+
+std::size_t TraceRecorder::countTag(const std::string& tag) const {
+  std::size_t n = 0;
+  for (const auto& ev : events_)
+    if (ev.tag == tag) ++n;
+  return n;
+}
+
+std::string TraceRecorder::toString() const {
+  std::ostringstream out;
+  for (const auto& ev : events_) {
+    out << "t=" << ev.time << " pe=" << ev.pe << " " << ev.tag;
+    if (!ev.detail.empty()) out << " " << ev.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ckd::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Optional event tracing for debugging simulations. Disabled by default;
+// when enabled it records (time, pe, tag, detail) tuples that tests and
+// the harness can inspect or dump.
+
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ckd::sim {
+
+struct TraceEvent {
+  Time time;
+  int pe;
+  std::string tag;
+  std::string detail;
+};
+
+class TraceRecorder {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(Time time, int pe, std::string tag, std::string detail = "");
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Count of events with a matching tag.
+  std::size_t countTag(const std::string& tag) const;
+
+  /// Render as "t=12.00 pe=3 tag detail" lines (for golden tests / dumps).
+  std::string toString() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ckd::sim

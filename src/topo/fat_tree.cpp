@@ -1,0 +1,36 @@
+#include "topo/fat_tree.hpp"
+
+#include <sstream>
+
+namespace ckd::topo {
+
+FatTree::FatTree(int numNodes, int pesPerNode, int nodesPerSwitch)
+    : numNodes_(numNodes),
+      pesPerNode_(pesPerNode),
+      nodesPerSwitch_(nodesPerSwitch) {
+  CKD_REQUIRE(numNodes > 0, "FatTree needs at least one node");
+  CKD_REQUIRE(pesPerNode > 0, "FatTree needs at least one PE per node");
+  CKD_REQUIRE(nodesPerSwitch > 0, "FatTree leaf radix must be positive");
+}
+
+int FatTree::nodeOf(int pe) const {
+  CKD_REQUIRE(pe >= 0 && pe < numPes(), "PE index out of range");
+  return pe / pesPerNode_;
+}
+
+int FatTree::hops(int srcPe, int dstPe) const {
+  const int srcNode = nodeOf(srcPe);
+  const int dstNode = nodeOf(dstPe);
+  if (srcNode == dstNode) return 0;
+  if (srcNode / nodesPerSwitch_ == dstNode / nodesPerSwitch_) return 2;
+  return 4;  // leaf -> spine -> leaf
+}
+
+std::string FatTree::describe() const {
+  std::ostringstream out;
+  out << "FatTree{nodes=" << numNodes_ << ", pesPerNode=" << pesPerNode_
+      << ", leafRadix=" << nodesPerSwitch_ << "}";
+  return out.str();
+}
+
+}  // namespace ckd::topo

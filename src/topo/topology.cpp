@@ -1,0 +1,5 @@
+#include "topo/topology.hpp"
+
+// Topology is a pure interface; the translation unit anchors its vtable.
+
+namespace ckd::topo {}  // namespace ckd::topo

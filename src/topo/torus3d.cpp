@@ -1,0 +1,76 @@
+#include "topo/torus3d.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ckd::topo {
+
+Torus3D::Torus3D(int dimX, int dimY, int dimZ, int pesPerNode)
+    : dims_{dimX, dimY, dimZ}, pesPerNode_(pesPerNode) {
+  CKD_REQUIRE(dimX > 0 && dimY > 0 && dimZ > 0, "torus dims must be positive");
+  CKD_REQUIRE(pesPerNode > 0, "PEs per node must be positive");
+}
+
+Torus3D Torus3D::forPes(int numPes, int pesPerNode) {
+  CKD_REQUIRE(numPes > 0 && numPes % pesPerNode == 0,
+              "PE count must be a positive multiple of pesPerNode");
+  const int nodes = numPes / pesPerNode;
+  CKD_REQUIRE((nodes & (nodes - 1)) == 0,
+              "Torus3D::forPes expects a power-of-two node count");
+  // Distribute the power of two across three near-equal dimensions,
+  // matching how BG/P partitions are allocated (e.g. 512 nodes = 8x8x8).
+  int log2 = 0;
+  for (int n = nodes; n > 1; n >>= 1) ++log2;
+  std::array<int, 3> dims = {1, 1, 1};
+  for (int bit = 0; bit < log2; ++bit) dims[bit % 3] *= 2;
+  return Torus3D(dims[0], dims[1], dims[2], pesPerNode);
+}
+
+int Torus3D::nodeOf(int pe) const {
+  CKD_REQUIRE(pe >= 0 && pe < numPes(), "PE index out of range");
+  return pe / pesPerNode_;
+}
+
+std::array<int, 3> Torus3D::coordsOf(int node) const {
+  CKD_REQUIRE(node >= 0 && node < numNodes(), "node index out of range");
+  return {node % dims_[0], (node / dims_[0]) % dims_[1],
+          node / (dims_[0] * dims_[1])};
+}
+
+int Torus3D::hops(int srcPe, int dstPe) const {
+  const int srcNode = nodeOf(srcPe);
+  const int dstNode = nodeOf(dstPe);
+  if (srcNode == dstNode) return 0;
+  const auto a = coordsOf(srcNode);
+  const auto b = coordsOf(dstNode);
+  int total = 0;
+  for (int d = 0; d < 3; ++d) {
+    const int direct = std::abs(a[d] - b[d]);
+    total += std::min(direct, dims_[d] - direct);
+  }
+  return total;
+}
+
+double Torus3D::averageHops() const {
+  // Average wraparound distance per dimension of size n is n/4 for even n
+  // (exactly), ~ (n^2-1)/(4n) for odd n; sum across dimensions.
+  double total = 0.0;
+  for (int d = 0; d < 3; ++d) {
+    const double n = dims_[d];
+    if (dims_[d] % 2 == 0)
+      total += n / 4.0;
+    else
+      total += (n * n - 1.0) / (4.0 * n);
+  }
+  return total;
+}
+
+std::string Torus3D::describe() const {
+  std::ostringstream out;
+  out << "Torus3D{" << dims_[0] << "x" << dims_[1] << "x" << dims_[2]
+      << ", pesPerNode=" << pesPerNode_ << "}";
+  return out.str();
+}
+
+}  // namespace ckd::topo

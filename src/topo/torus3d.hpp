@@ -1,0 +1,44 @@
+#pragma once
+// Blue Gene/P 3-D torus topology. BG/P nodes are 4-core; a partition of P
+// PEs in "VN mode" uses P/4 nodes. Hop counts use torus (wraparound)
+// distance between node coordinates; per-hop latency is applied by the
+// fabric model.
+
+#include <array>
+#include <string>
+
+#include "topo/topology.hpp"
+#include "util/require.hpp"
+
+namespace ckd::topo {
+
+class Torus3D final : public Topology {
+ public:
+  /// Explicit node-grid dimensions.
+  Torus3D(int dimX, int dimY, int dimZ, int pesPerNode = 4);
+
+  /// Choose a near-cubic node grid for `numPes` PEs. `numPes` must be
+  /// divisible by `pesPerNode` and the node count must factor into three
+  /// powers of two (all BG/P partitions in the paper are powers of two).
+  static Torus3D forPes(int numPes, int pesPerNode = 4);
+
+  int numPes() const override { return numNodes() * pesPerNode_; }
+  int numNodes() const override { return dims_[0] * dims_[1] * dims_[2]; }
+  int nodeOf(int pe) const override;
+  int hops(int srcPe, int dstPe) const override;
+  int injectionSharers(int /*pe*/) const override { return pesPerNode_; }
+  std::string describe() const override;
+
+  std::array<int, 3> dims() const { return dims_; }
+  std::array<int, 3> coordsOf(int node) const;
+
+  /// Average hop count over all distinct node pairs (closed form); used by
+  /// fabric contention heuristics.
+  double averageHops() const;
+
+ private:
+  std::array<int, 3> dims_;
+  int pesPerNode_;
+};
+
+}  // namespace ckd::topo

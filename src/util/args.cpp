@@ -1,0 +1,78 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+
+namespace ckd::util {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // "--key value" if the next token is not itself a flag; bare "--flag"
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::getInt(const std::string& key, std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Args::getDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Args::getBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  if (it->second.empty() || it->second == "1" || it->second == "true" ||
+      it->second == "yes" || it->second == "on")
+    return true;
+  return false;
+}
+
+std::vector<std::int64_t> Args::getIntList(
+    const std::string& key, const std::vector<std::int64_t>& fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  std::vector<std::int64_t> out;
+  const std::string& text = it->second;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > start)
+      out.push_back(std::strtoll(text.substr(start, comma - start).c_str(),
+                                 nullptr, 10));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace ckd::util

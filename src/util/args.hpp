@@ -1,0 +1,35 @@
+#pragma once
+// Tiny command-line parser for the bench / example binaries.
+// Supports --flag, --key=value and --key value forms.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ckd::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t getInt(const std::string& key, std::int64_t fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --procs=64,128,256.
+  std::vector<std::int64_t> getIntList(
+      const std::string& key, const std::vector<std::int64_t>& fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ckd::util

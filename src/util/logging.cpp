@@ -1,0 +1,45 @@
+#include "util/logging.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace ckd::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+LogLevel parseLogLevel(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "warn") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& text) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", levelName(level), text.c_str());
+}
+}  // namespace detail
+
+}  // namespace ckd::util

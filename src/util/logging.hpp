@@ -1,0 +1,54 @@
+#pragma once
+// Minimal leveled logger. Single-threaded by design: the simulator runs the
+// whole machine on one OS thread (see src/sim), so no locking is needed
+// (CP.3: no shared mutable state to synchronize).
+
+#include <sstream>
+#include <string>
+
+namespace ckd::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Parse "trace" / "debug" / "info" / "warn" / "error" (case-insensitive).
+/// Returns kInfo for unknown strings.
+LogLevel parseLogLevel(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& text);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace ckd::util
+
+#define CKD_LOG(level)                                                  \
+  if (static_cast<int>(::ckd::util::logLevel()) <=                      \
+      static_cast<int>(::ckd::util::LogLevel::level))                   \
+  ::ckd::util::detail::LogLine(::ckd::util::LogLevel::level)
+
+#define CKD_TRACE CKD_LOG(kTrace)
+#define CKD_DEBUG CKD_LOG(kDebug)
+#define CKD_INFO CKD_LOG(kInfo)
+#define CKD_WARN CKD_LOG(kWarn)
+#define CKD_ERROR CKD_LOG(kError)

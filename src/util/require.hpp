@@ -1,0 +1,40 @@
+#pragma once
+// Contract-checking macros.
+//
+// CKD_REQUIRE is always on (precondition violations in a simulator are
+// programming errors that would otherwise silently corrupt results).
+// CKD_ASSERT compiles out in NDEBUG builds and is meant for internal
+// invariants on hot paths.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ckd::detail {
+
+[[noreturn]] inline void contractFailure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const char* msg) {
+  std::fprintf(stderr, "[ckdirect] %s failed: %s\n  at %s:%d\n  %s\n", kind,
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ckd::detail
+
+#define CKD_REQUIRE(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ckd::detail::contractFailure("CKD_REQUIRE", #cond, __FILE__,         \
+                                     __LINE__, (msg));                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define CKD_ASSERT(cond, msg) ((void)0)
+#else
+#define CKD_ASSERT(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::ckd::detail::contractFailure("CKD_ASSERT", #cond, __FILE__,          \
+                                     __LINE__, (msg));                       \
+  } while (0)
+#endif

@@ -1,0 +1,52 @@
+#pragma once
+// Accumulators for experiment measurements: streaming mean/variance (Welford)
+// and a sample reservoir for exact percentiles.
+
+#include <cstddef>
+#include <vector>
+
+namespace ckd::util {
+
+/// Streaming mean / variance / min / max; O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void clear();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Keeps every sample; supports exact quantiles. Intended for experiment
+/// post-processing, not hot paths.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// Exact quantile by linear interpolation, q in [0,1]. Requires samples.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ckd::util

@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace ckd::util {
+
+void TablePrinter::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::addRow(std::vector<std::string> row) {
+  CKD_REQUIRE(header_.empty() || row.size() == header_.size(),
+              "table row width must match the header");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::print(std::ostream& os) const { os << toString(); }
+
+std::string TablePrinter::toString() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << "  ";
+      out << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) out << ' ';
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i)
+      total += widths[i] + (i ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    const std::string& cell = cells[i];
+    const bool needsQuote =
+        cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needsQuote) {
+      os_ << cell;
+      continue;
+    }
+    os_ << '"';
+    for (char c : cell) {
+      if (c == '"') os_ << '"';
+      os_ << c;
+    }
+    os_ << '"';
+  }
+  os_ << '\n';
+}
+
+std::string formatFixed(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string formatPercent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace ckd::util

@@ -1,0 +1,49 @@
+#pragma once
+// Formatting helpers for the paper-style result tables printed by the bench
+// binaries, plus a CSV writer for plotting.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ckd::util {
+
+/// Column-aligned text table. Usage:
+///   TablePrinter t;
+///   t.setHeader({"Message Size", "Default", "CkDirect"});
+///   t.addRow({"0.1", "22.9", "12.4"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  void setTitle(std::string title) { title_ = std::move(title); }
+  void setHeader(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// CSV emitter; quotes cells that contain separators.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+  void writeRow(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Fixed-point formatting with the given number of decimals ("12.383").
+std::string formatFixed(double value, int decimals);
+
+/// "12.3%" style formatting for improvement columns.
+std::string formatPercent(double fraction, int decimals = 1);
+
+}  // namespace ckd::util

@@ -1,0 +1,235 @@
+// Calibration tests: the simulated machines must reproduce every cell of
+// the paper's Table 1 (InfiniBand) and Table 2 (Blue Gene/P) pingpong
+// measurements within tolerance, and — more importantly — the *relations*
+// the paper's analysis hinges on (who wins where, and the protocol
+// crossovers).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "mpi/mpi_costs.hpp"
+
+namespace ckd {
+namespace {
+
+enum Variant {
+  kCharmDefault,
+  kCharmCkDirect,
+  kMpichVmi,
+  kMvapich,
+  kMvapichPut,
+  kIbmMpi,
+  kIbmMpiPut,
+};
+
+struct Cell {
+  Variant variant;
+  std::size_t bytes;
+  double paperRtt;
+};
+
+double measureIb(Variant variant, std::size_t bytes) {
+  const charm::MachineConfig machine = harness::abeMachine(2, 1);
+  harness::PingpongConfig cfg;
+  cfg.bytes = bytes;
+  cfg.iterations = 50;
+  switch (variant) {
+    case kCharmDefault: return harness::charmPingpongRtt(machine, cfg);
+    case kCharmCkDirect: return harness::ckdirectPingpongRtt(machine, cfg);
+    case kMpichVmi:
+      return harness::mpiPingpongRtt(machine, mpi::mpichVmiCosts(), cfg);
+    case kMvapich:
+      return harness::mpiPingpongRtt(machine, mpi::mvapichCosts(), cfg);
+    case kMvapichPut:
+      return harness::mpiPutPingpongRtt(machine, mpi::mvapichCosts(), cfg);
+    default: break;
+  }
+  ADD_FAILURE() << "not an InfiniBand variant";
+  return 0;
+}
+
+double measureBgp(Variant variant, std::size_t bytes) {
+  const charm::MachineConfig machine = harness::surveyorMachine(2, 1);
+  harness::PingpongConfig cfg;
+  cfg.bytes = bytes;
+  cfg.iterations = 50;
+  switch (variant) {
+    case kCharmDefault: return harness::charmPingpongRtt(machine, cfg);
+    case kCharmCkDirect: return harness::ckdirectPingpongRtt(machine, cfg);
+    case kIbmMpi:
+      return harness::mpiPingpongRtt(machine, mpi::ibmBgpCosts(), cfg);
+    case kIbmMpiPut:
+      return harness::mpiPutPingpongRtt(machine, mpi::ibmBgpCosts(), cfg);
+    default: break;
+  }
+  ADD_FAILURE() << "not a Blue Gene variant";
+  return 0;
+}
+
+// --- Table 1 (InfiniBand / Abe), all 50 cells -------------------------------
+
+class Table1Cell : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(Table1Cell, WithinTolerance) {
+  const Cell cell = GetParam();
+  const double measured = measureIb(cell.variant, cell.bytes);
+  // 16% relative tolerance: the fits target the table's shape; a few
+  // mid-size cells of the real measurements are not smooth.
+  EXPECT_NEAR(measured, cell.paperRtt, 0.16 * cell.paperRtt)
+      << "variant " << cell.variant << " bytes " << cell.bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, Table1Cell,
+    ::testing::Values(
+        Cell{kCharmDefault, 100, 22.924}, Cell{kCharmDefault, 1000, 25.110},
+        Cell{kCharmDefault, 5000, 47.340}, Cell{kCharmDefault, 10000, 66.176},
+        Cell{kCharmDefault, 20000, 96.215},
+        Cell{kCharmDefault, 30000, 160.470},
+        Cell{kCharmDefault, 40000, 191.343},
+        Cell{kCharmDefault, 70000, 271.803},
+        Cell{kCharmDefault, 100000, 353.305},
+        Cell{kCharmDefault, 500000, 1399.145},
+        Cell{kCharmCkDirect, 100, 12.383}, Cell{kCharmCkDirect, 1000, 16.108},
+        Cell{kCharmCkDirect, 5000, 29.330},
+        Cell{kCharmCkDirect, 10000, 43.136},
+        Cell{kCharmCkDirect, 20000, 68.927},
+        Cell{kCharmCkDirect, 30000, 93.422},
+        Cell{kCharmCkDirect, 40000, 120.954},
+        Cell{kCharmCkDirect, 70000, 195.248},
+        Cell{kCharmCkDirect, 100000, 275.322},
+        Cell{kCharmCkDirect, 500000, 1294.358},
+        Cell{kMpichVmi, 100, 12.367}, Cell{kMpichVmi, 1000, 19.669},
+        Cell{kMpichVmi, 5000, 37.318}, Cell{kMpichVmi, 10000, 60.892},
+        Cell{kMpichVmi, 20000, 102.684}, Cell{kMpichVmi, 30000, 127.591},
+        Cell{kMpichVmi, 40000, 201.148}, Cell{kMpichVmi, 70000, 322.687},
+        Cell{kMpichVmi, 100000, 332.690}, Cell{kMpichVmi, 500000, 1396.942},
+        Cell{kMvapich, 100, 12.302}, Cell{kMvapich, 1000, 19.436},
+        Cell{kMvapich, 5000, 37.311}, Cell{kMvapich, 10000, 56.249},
+        Cell{kMvapich, 20000, 88.659}, Cell{kMvapich, 30000, 119.452},
+        Cell{kMvapich, 40000, 144.973}, Cell{kMvapich, 70000, 236.545},
+        Cell{kMvapich, 100000, 315.692}, Cell{kMvapich, 500000, 1386.051},
+        Cell{kMvapichPut, 100, 16.801}, Cell{kMvapichPut, 1000, 22.821},
+        Cell{kMvapichPut, 5000, 51.750}, Cell{kMvapichPut, 10000, 64.202},
+        Cell{kMvapichPut, 20000, 94.250}, Cell{kMvapichPut, 30000, 120.218},
+        Cell{kMvapichPut, 40000, 146.028}, Cell{kMvapichPut, 70000, 232.021},
+        Cell{kMvapichPut, 100000, 308.942},
+        Cell{kMvapichPut, 500000, 1369.516}));
+
+// --- Table 2 (Blue Gene/P / Surveyor), all 40 cells ---------------------------
+
+class Table2Cell : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(Table2Cell, WithinTolerance) {
+  const Cell cell = GetParam();
+  const double measured = measureBgp(cell.variant, cell.bytes);
+  EXPECT_NEAR(measured, cell.paperRtt, 0.12 * cell.paperRtt)
+      << "variant " << cell.variant << " bytes " << cell.bytes;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table2, Table2Cell,
+    ::testing::Values(
+        Cell{kCharmDefault, 100, 14.467}, Cell{kCharmDefault, 1000, 20.822},
+        Cell{kCharmDefault, 5000, 44.822}, Cell{kCharmDefault, 10000, 72.976},
+        Cell{kCharmDefault, 20000, 128.166},
+        Cell{kCharmDefault, 30000, 186.771},
+        Cell{kCharmDefault, 40000, 240.306},
+        Cell{kCharmDefault, 70000, 400.226},
+        Cell{kCharmDefault, 100000, 560.634},
+        Cell{kCharmDefault, 500000, 2693.601},
+        Cell{kCharmCkDirect, 100, 5.133}, Cell{kCharmCkDirect, 1000, 11.379},
+        Cell{kCharmCkDirect, 5000, 33.112},
+        Cell{kCharmCkDirect, 10000, 60.675},
+        Cell{kCharmCkDirect, 20000, 115.103},
+        Cell{kCharmCkDirect, 30000, 169.552},
+        Cell{kCharmCkDirect, 40000, 223.599},
+        Cell{kCharmCkDirect, 70000, 383.732},
+        Cell{kCharmCkDirect, 100000, 543.491},
+        Cell{kCharmCkDirect, 500000, 2677.072},
+        Cell{kIbmMpi, 100, 7.606}, Cell{kIbmMpi, 1000, 13.936},
+        Cell{kIbmMpi, 5000, 39.903}, Cell{kIbmMpi, 10000, 66.661},
+        Cell{kIbmMpi, 20000, 120.548}, Cell{kIbmMpi, 30000, 173.041},
+        Cell{kIbmMpi, 40000, 226.739}, Cell{kIbmMpi, 70000, 386.712},
+        Cell{kIbmMpi, 100000, 546.740}, Cell{kIbmMpi, 500000, 2680.459},
+        Cell{kIbmMpiPut, 100, 14.049}, Cell{kIbmMpiPut, 1000, 17.836},
+        Cell{kIbmMpiPut, 5000, 39.963}, Cell{kIbmMpiPut, 10000, 67.972},
+        Cell{kIbmMpiPut, 20000, 122.693}, Cell{kIbmMpiPut, 30000, 178.571},
+        Cell{kIbmMpiPut, 40000, 232.629}, Cell{kIbmMpiPut, 70000, 392.388},
+        Cell{kIbmMpiPut, 100000, 552.708},
+        Cell{kIbmMpiPut, 500000, 2685.972}));
+
+// --- the relations the paper's analysis rests on ------------------------------
+
+class PingpongRelations : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PingpongRelations, CkDirectBeatsDefaultCharmOnIb) {
+  const std::size_t bytes = GetParam();
+  EXPECT_LT(measureIb(kCharmCkDirect, bytes), measureIb(kCharmDefault, bytes));
+}
+
+TEST_P(PingpongRelations, CkDirectBeatsBothMpisOnIb) {
+  const std::size_t bytes = GetParam();
+  // §3: "CkDirect ... performs better than both versions of MPI available
+  // on the machine" for 1 KB and above (at 100 B they are within noise).
+  if (bytes < 1000) return;
+  EXPECT_LT(measureIb(kCharmCkDirect, bytes), measureIb(kMpichVmi, bytes));
+  EXPECT_LT(measureIb(kCharmCkDirect, bytes), measureIb(kMvapich, bytes));
+}
+
+TEST_P(PingpongRelations, CkDirectBeatsMpiPut) {
+  const std::size_t bytes = GetParam();
+  // "The lack of synchronization ... affords it an advantage even over
+  // one-sided MPI communication primitives."
+  EXPECT_LT(measureIb(kCharmCkDirect, bytes), measureIb(kMvapichPut, bytes));
+  EXPECT_LT(measureBgp(kCharmCkDirect, bytes), measureBgp(kIbmMpiPut, bytes));
+}
+
+TEST_P(PingpongRelations, CkDirectFastestOnBgp) {
+  const std::size_t bytes = GetParam();
+  // Table 2: CkDirect is the fastest variant at every size.
+  const double ckd = measureBgp(kCharmCkDirect, bytes);
+  EXPECT_LT(ckd, measureBgp(kCharmDefault, bytes));
+  EXPECT_LT(ckd, measureBgp(kIbmMpi, bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, PingpongRelations,
+                         ::testing::Values(100, 1000, 5000, 10000, 20000,
+                                           30000, 40000, 70000, 100000,
+                                           500000));
+
+TEST(PingpongCrossovers, MpiPutBeatsTwoSidedOnlyAboveSeventyKb) {
+  // Table 1: "MPI one-sided communication performed better than MPI
+  // two-sided for message sizes larger than 70 KB."
+  EXPECT_GT(measureIb(kMvapichPut, 5000), measureIb(kMvapich, 5000));
+  EXPECT_GT(measureIb(kMvapichPut, 20000), measureIb(kMvapich, 20000));
+  EXPECT_LT(measureIb(kMvapichPut, 100000), measureIb(kMvapich, 100000));
+  EXPECT_LT(measureIb(kMvapichPut, 500000), measureIb(kMvapich, 500000));
+}
+
+TEST(PingpongCrossovers, DefaultCharmGapJumpsAtRendezvousCutover) {
+  // §3: between 20 KB and 30 KB the default version switches to the
+  // rendezvous RDMA protocol; the CkDirect gap widens sharply there.
+  const double gap20 =
+      measureIb(kCharmDefault, 20000) - measureIb(kCharmCkDirect, 20000);
+  const double gap30 =
+      measureIb(kCharmDefault, 30000) - measureIb(kCharmCkDirect, 30000);
+  EXPECT_GT(gap30, gap20 + 20.0);
+}
+
+TEST(PingpongMonotonicity, RttGrowsWithSize) {
+  for (const Variant v : {kCharmDefault, kCharmCkDirect, kMvapich}) {
+    double prev = 0.0;
+    for (const std::size_t bytes : {100, 1000, 10000, 100000, 500000}) {
+      const double rtt = measureIb(v, bytes);
+      EXPECT_GT(rtt, prev) << "variant " << v << " bytes " << bytes;
+      prev = rtt;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ckd

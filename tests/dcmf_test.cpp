@@ -1,0 +1,184 @@
+// Tests for the DCMF-like active message layer: short/normal handler split,
+// Info header transport, request in-flight enforcement, completion order.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dcmf/dcmf.hpp"
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+#include "topo/torus3d.hpp"
+
+namespace ckd {
+namespace {
+
+class DcmfTest : public ::testing::Test {
+ protected:
+  DcmfTest()
+      : topo_(std::make_shared<topo::Torus3D>(2, 2, 2, 1)),
+        fabric_(engine_, topo_, net::surveyorParams()),
+        dcmf_(fabric_) {}
+
+  sim::Engine engine_;
+  topo::TopologyPtr topo_;
+  net::Fabric fabric_;
+  dcmf::DcmfContext dcmf_;
+};
+
+TEST(DcmfInfo, HoldsUpToSevenQuads) {
+  dcmf::Info info;
+  for (std::size_t i = 0; i < dcmf::Info::kMaxQuads; ++i)
+    info.append({i, i * 2});
+  EXPECT_EQ(info.quadCount(), 7u);
+  EXPECT_EQ(info.wireBytes(), 112u);
+  EXPECT_EQ(info.quad(3)[1], 6u);
+  EXPECT_DEATH(info.append({0, 0}), "at most 7");
+}
+
+TEST(DcmfInfo, PointerRoundTrip) {
+  int x = 42;
+  const auto bits = dcmf::Info::packPointer(&x);
+  EXPECT_EQ(dcmf::Info::unpackPointer<int>(bits), &x);
+}
+
+TEST_F(DcmfTest, ShortMessagesUseShortHandler) {
+  int shortCalls = 0, normalCalls = 0;
+  std::vector<std::byte> got;
+  const auto proto = dcmf_.registerProtocol(
+      [&](int, int, const dcmf::Info&, const std::byte* data,
+          std::size_t bytes) {
+        ++shortCalls;
+        got.assign(data, data + bytes);
+      },
+      [&](int, int, const dcmf::Info&, std::size_t) {
+        ++normalCalls;
+        return dcmf::RecvSpec{};
+      });
+  std::vector<std::byte> payload(dcmf::kShortLimit - 1, std::byte{3});
+  dcmf::Request req;
+  dcmf_.send(proto, 0, 1, dcmf::Info{}, payload.data(), payload.size(), &req);
+  engine_.run();
+  EXPECT_EQ(shortCalls, 1);
+  EXPECT_EQ(normalCalls, 0);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(dcmf_.shortDeliveries(), 1u);
+}
+
+TEST_F(DcmfTest, NormalMessagesLandInProvidedBuffer) {
+  std::vector<std::byte> recvBuf(1024, std::byte{0});
+  bool completed = false;
+  const auto proto = dcmf_.registerProtocol(
+      [](int, int, const dcmf::Info&, const std::byte*, std::size_t) {
+        FAIL() << "normal-sized message hit the short handler";
+      },
+      [&](int, int, const dcmf::Info&, std::size_t /*bytes*/) {
+        dcmf::RecvSpec spec;
+        spec.buffer = recvBuf.data();
+        spec.capacity = recvBuf.size();
+        spec.on_complete = [&] { completed = true; };
+        return spec;
+      });
+  std::vector<std::byte> payload(1024, std::byte{9});
+  dcmf::Request req;
+  dcmf_.send(proto, 0, 1, dcmf::Info{}, payload.data(), payload.size(), &req);
+  engine_.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(recvBuf, payload);
+  EXPECT_EQ(dcmf_.normalDeliveries(), 1u);
+}
+
+TEST_F(DcmfTest, InfoQuadsTravelWithTheMessage) {
+  std::vector<std::byte> recvBuf(512);
+  std::uint64_t seenA = 0, seenB = 0;
+  const auto proto = dcmf_.registerProtocol(
+      [](int, int, const dcmf::Info&, const std::byte*, std::size_t) {},
+      [&](int, int, const dcmf::Info& info, std::size_t) {
+        seenA = info.quad(0)[0];
+        seenB = info.quad(1)[1];
+        dcmf::RecvSpec spec;
+        spec.buffer = recvBuf.data();
+        spec.capacity = recvBuf.size();
+        return spec;
+      });
+  dcmf::Info info;
+  info.append({0xAAAA, 1});
+  info.append({2, 0xBBBB});
+  std::vector<std::byte> payload(512, std::byte{1});
+  dcmf::Request req;
+  dcmf_.send(proto, 1, 0, info, payload.data(), payload.size(), &req);
+  engine_.run();
+  EXPECT_EQ(seenA, 0xAAAAu);
+  EXPECT_EQ(seenB, 0xBBBBu);
+}
+
+TEST_F(DcmfTest, RequestReuseWhileInFlightAborts) {
+  const auto proto = dcmf_.registerProtocol(
+      [](int, int, const dcmf::Info&, const std::byte*, std::size_t) {},
+      [](int, int, const dcmf::Info&, std::size_t) {
+        return dcmf::RecvSpec{};
+      });
+  std::vector<std::byte> payload(16, std::byte{1});
+  dcmf::Request req;
+  dcmf_.send(proto, 0, 1, dcmf::Info{}, payload.data(), payload.size(), &req);
+  EXPECT_TRUE(req.inFlight);
+  EXPECT_DEATH(dcmf_.send(proto, 0, 1, dcmf::Info{}, payload.data(),
+                          payload.size(), &req),
+               "in flight");
+  engine_.run();
+  EXPECT_FALSE(req.inFlight);  // released at local completion
+}
+
+TEST_F(DcmfTest, LocalCompletionAllowsRequestReuse) {
+  const auto proto = dcmf_.registerProtocol(
+      [](int, int, const dcmf::Info&, const std::byte*, std::size_t) {},
+      [](int, int, const dcmf::Info&, std::size_t) {
+        return dcmf::RecvSpec{};
+      });
+  std::vector<std::byte> payload(16, std::byte{1});
+  dcmf::Request req;
+  int localCompletions = 0;
+  for (int i = 0; i < 3; ++i) {
+    dcmf_.send(proto, 0, 1, dcmf::Info{}, payload.data(), payload.size(),
+               &req, [&] { ++localCompletions; });
+    engine_.run();
+  }
+  EXPECT_EQ(localCompletions, 3);
+  EXPECT_EQ(dcmf_.sendsPosted(), 3u);
+}
+
+TEST_F(DcmfTest, WireBytesIncludeInfoHeader) {
+  const auto proto = dcmf_.registerProtocol(
+      [](int, int, const dcmf::Info&, const std::byte*, std::size_t) {},
+      [](int, int, const dcmf::Info&, std::size_t) {
+        return dcmf::RecvSpec{};
+      });
+  dcmf::Info info;
+  info.append({1, 2});
+  info.append({3, 4});
+  std::vector<std::byte> payload(100, std::byte{1});
+  dcmf::Request req;
+  dcmf_.send(proto, 0, 1, info, payload.data(), payload.size(), &req);
+  EXPECT_EQ(fabric_.bytesSubmitted(), 100u + 32u);
+  engine_.run();
+}
+
+TEST_F(DcmfTest, BufferTooSmallAborts) {
+  std::vector<std::byte> recvBuf(10);
+  const auto proto = dcmf_.registerProtocol(
+      [](int, int, const dcmf::Info&, const std::byte*, std::size_t) {},
+      [&](int, int, const dcmf::Info&, std::size_t) {
+        dcmf::RecvSpec spec;
+        spec.buffer = recvBuf.data();
+        spec.capacity = recvBuf.size();
+        return spec;
+      });
+  std::vector<std::byte> payload(512, std::byte{1});
+  dcmf::Request req;
+  dcmf_.send(proto, 0, 1, dcmf::Info{}, payload.data(), payload.size(), &req);
+  EXPECT_DEATH(engine_.run(), "smaller");
+}
+
+}  // namespace
+}  // namespace ckd

@@ -1,0 +1,165 @@
+// Tests for the §6 extensions: strided destination channels and multicast
+// groups, on both machine layers.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ckdirect/ckdirect.hpp"
+#include "harness/machines.hpp"
+
+namespace ckd::direct {
+namespace {
+
+constexpr std::uint64_t kOob = 0xFFF1222233334444ull;
+
+charm::MachineConfig machineFor(bool bgp) {
+  return bgp ? harness::surveyorMachine(2, 1) : harness::abeMachine(2, 1);
+}
+
+class Strided : public ::testing::TestWithParam<bool> {};
+
+TEST_P(Strided, RowsLandInsideMatrix) {
+  // The paper's §2 motivating example: deliver directly into "a row in the
+  // middle of a matrix" — here, 4 consecutive rows of a 16x8 matrix.
+  charm::Runtime rts(machineFor(GetParam()));
+  const int rows = 16, cols = 8;
+  const int blockCount = 4, firstRow = 6;
+  std::vector<double> matrix(static_cast<std::size_t>(rows * cols), -1.0);
+  std::vector<double> send(static_cast<std::size_t>(blockCount * cols));
+  for (std::size_t i = 0; i < send.size(); ++i)
+    send[i] = static_cast<double>(i) + 100.0;
+
+  int arrivals = 0;
+  Handle h = createStridedHandle(
+      rts, 1, matrix.data() + firstRow * cols,
+      /*blockBytes=*/cols * sizeof(double),
+      /*strideBytes=*/cols * sizeof(double),  // contiguous rows
+      blockCount, kOob, [&] { ++arrivals; });
+  assocLocal(h, 0, send.data());
+  rts.seed([&] { put(h); });
+  rts.run();
+
+  ASSERT_EQ(arrivals, 1);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      const double got = matrix[static_cast<std::size_t>(r * cols + c)];
+      if (r >= firstRow && r < firstRow + blockCount) {
+        EXPECT_DOUBLE_EQ(got, 100.0 + (r - firstRow) * cols + c)
+            << "row " << r << " col " << c;
+      } else {
+        EXPECT_DOUBLE_EQ(got, -1.0) << "row " << r << " col " << c;
+      }
+    }
+}
+
+TEST_P(Strided, GapsAreNeverTouched) {
+  // Blocks with true gaps: stride 3 blocks, only the block itself written.
+  charm::Runtime rts(machineFor(GetParam()));
+  const std::size_t blockDoubles = 4;
+  const int blockCount = 5;
+  const std::size_t strideDoubles = 12;
+  std::vector<double> area(strideDoubles * blockCount, -7.0);
+  std::vector<double> send(blockDoubles * blockCount, 3.5);
+  int arrivals = 0;
+  Handle h = createStridedHandle(rts, 1, area.data(),
+                                 blockDoubles * sizeof(double),
+                                 strideDoubles * sizeof(double), blockCount,
+                                 kOob, [&] { ++arrivals; });
+  assocLocal(h, 0, send.data());
+  rts.seed([&] { put(h); });
+  rts.run();
+  ASSERT_EQ(arrivals, 1);
+  for (int b = 0; b < blockCount; ++b)
+    for (std::size_t i = 0; i < strideDoubles; ++i) {
+      const double got = area[static_cast<std::size_t>(b) * strideDoubles + i];
+      if (i < blockDoubles) {
+        EXPECT_DOUBLE_EQ(got, 3.5);
+      } else if (static_cast<std::size_t>(b) * strideDoubles + i <
+                 (blockCount - 1) * strideDoubles + blockDoubles) {
+        EXPECT_DOUBLE_EQ(got, -7.0) << "gap touched at block " << b;
+      }
+    }
+}
+
+TEST_P(Strided, RepeatedIterations) {
+  charm::Runtime rts(machineFor(GetParam()));
+  const std::size_t cols = 8;
+  const int blockCount = 3;
+  std::vector<double> area(cols * blockCount, 0.0);
+  std::vector<double> send(cols * blockCount, 0.0);
+  int arrivals = 0;
+  Handle h = createStridedHandle(rts, 1, area.data(), cols * sizeof(double),
+                                 cols * sizeof(double), blockCount, kOob,
+                                 [&] {
+                                   ++arrivals;
+                                   ready(h);
+                                 });
+  assocLocal(h, 0, send.data());
+  for (int r = 1; r <= 3; ++r)
+    rts.engine().at(r * 1000.0, [&, r] {
+      send.assign(send.size(), static_cast<double>(r));
+      put(h);
+    });
+  rts.run();
+  EXPECT_EQ(arrivals, 3);
+  EXPECT_DOUBLE_EQ(area.front(), 3.0);
+  // area.back() holds the re-armed sentinel (ready() rewrote it); the
+  // second-to-last element still carries the final payload.
+  EXPECT_DOUBLE_EQ(area[area.size() - 2], 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMachines, Strided, ::testing::Bool());
+
+TEST(StridedDeath, OverlappingBlocksRejected) {
+  charm::Runtime rts(harness::abeMachine(2, 1));
+  std::vector<double> area(64);
+  EXPECT_DEATH(createStridedHandle(rts, 1, area.data(), 64, 32, 4, kOob,
+                                   [] {}),
+               "overlap");
+}
+
+class MulticastTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MulticastTest, OneBufferManyReceivers) {
+  // §2: "the same data [can] be sent to different receivers along
+  // different CkDirect channels without creating multiple copies of it."
+  const bool bgp = GetParam();
+  charm::Runtime rts(bgp ? harness::surveyorMachine(4, 1)
+                         : harness::abeMachine(4, 1));
+  const std::size_t n = 64;
+  std::vector<double> send(n, 0.0);
+  struct Sink {
+    std::vector<double> recv;
+    int arrivals = 0;
+  };
+  std::vector<Sink> sinks(3);
+  Multicast group;
+  for (int i = 0; i < 3; ++i) {
+    sinks[static_cast<std::size_t>(i)].recv.assign(n, 0.0);
+    Sink* sink = &sinks[static_cast<std::size_t>(i)];
+    Handle h = createHandle(rts, i + 1, sink->recv.data(), n * 8, kOob,
+                            [sink] { ++sink->arrivals; });
+    assocLocal(h, 0, send.data());
+    group.add(h);
+  }
+  EXPECT_EQ(group.fanout(), 3u);
+
+  for (int r = 1; r <= 2; ++r)
+    rts.engine().at(r * 1000.0, [&, r] {
+      if (r > 1) group.ready();  // receivers re-arm (driver-side for test)
+      send.assign(n, static_cast<double>(r));
+      group.put();
+    });
+  rts.run();
+  for (const auto& sink : sinks) {
+    EXPECT_EQ(sink.arrivals, 2);
+    EXPECT_DOUBLE_EQ(sink.recv[0], 2.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMachines, MulticastTest, ::testing::Bool());
+
+}  // namespace
+}  // namespace ckd::direct

@@ -1,0 +1,142 @@
+// Correctness tests for the §4.2 3-D matrix multiplication: both modes must
+// match the reference product on both machine layers; plus decomposition
+// edge cases and the Fig 3 timing properties.
+
+#include <gtest/gtest.h>
+
+#include "apps/matmul/matmul.hpp"
+#include "harness/machines.hpp"
+
+namespace ckd::apps::matmul {
+namespace {
+
+Config smallConfig(Mode mode) {
+  Config cfg;
+  cfg.m = 32;
+  cfg.n = 32;
+  cfg.k = 32;
+  cfg.cx = 2;
+  cfg.cy = 2;
+  cfg.cz = 2;
+  cfg.iterations = 2;
+  cfg.mode = mode;
+  cfg.real_compute = true;
+  return cfg;
+}
+
+void expectMatchesReference(const Config& cfg,
+                            const charm::MachineConfig& machine,
+                            double tol = 1e-9) {
+  charm::Runtime rts(machine);
+  MatmulApp app(rts, cfg);
+  app.execute();
+  const auto got = app.gatherC();
+  const auto want = referenceMultiply(cfg);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i)
+    ASSERT_NEAR(got[i], want[i], tol) << "element " << i;
+}
+
+TEST(Matmul, MsgMatchesReferenceOnIb) {
+  expectMatchesReference(smallConfig(Mode::kMessages),
+                         harness::abeMachine(8, 2));
+}
+
+TEST(Matmul, CkdMatchesReferenceOnIb) {
+  expectMatchesReference(smallConfig(Mode::kCkDirect),
+                         harness::abeMachine(8, 2));
+}
+
+TEST(Matmul, MsgMatchesReferenceOnBgp) {
+  expectMatchesReference(smallConfig(Mode::kMessages),
+                         harness::surveyorMachine(8, 4));
+}
+
+TEST(Matmul, CkdMatchesReferenceOnBgp) {
+  expectMatchesReference(smallConfig(Mode::kCkDirect),
+                         harness::surveyorMachine(8, 4));
+}
+
+TEST(Matmul, NonCubicGrid) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.cx = 4;
+  cfg.cy = 2;
+  cfg.cz = 1;
+  expectMatchesReference(cfg, harness::abeMachine(8, 2));
+}
+
+TEST(Matmul, RectangularMatrices) {
+  Config cfg = smallConfig(Mode::kMessages);
+  cfg.m = 48;
+  cfg.n = 16;
+  cfg.k = 64;
+  cfg.cx = 2;
+  cfg.cy = 2;
+  cfg.cz = 2;
+  expectMatchesReference(cfg, harness::abeMachine(8, 2));
+}
+
+TEST(Matmul, SingleChare) {
+  Config cfg = smallConfig(Mode::kMessages);
+  cfg.cx = cfg.cy = cfg.cz = 1;
+  expectMatchesReference(cfg, harness::abeMachine(2, 1));
+}
+
+TEST(Matmul, ManyCharesPerPe) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.cx = 2;
+  cfg.cy = 4;
+  cfg.cz = 2;  // 16 chares on 4 PEs
+  expectMatchesReference(cfg, harness::abeMachine(4, 2));
+}
+
+TEST(Matmul, GridChooserNearCubic) {
+  int cx = 0, cy = 0, cz = 0;
+  chooseGrid(512, cx, cy, cz);
+  EXPECT_EQ(cx * cy * cz, 512);
+  EXPECT_EQ(cx, 8);
+  EXPECT_EQ(cy, 8);
+  EXPECT_EQ(cz, 8);
+  chooseGrid(128, cx, cy, cz);
+  EXPECT_EQ(cx * cy * cz, 128);
+  EXPECT_LE(std::max({cx, cy, cz}), 2 * std::min({cx, cy, cz}));
+}
+
+// --- timing properties -----------------------------------------------------------
+
+Result runBench(const charm::MachineConfig& machine, Mode mode, int chares) {
+  Config cfg;
+  cfg.m = cfg.n = cfg.k = 512;
+  chooseGrid(chares, cfg.cx, cfg.cy, cfg.cz);
+  cfg.iterations = 2;
+  cfg.mode = mode;
+  cfg.real_compute = false;
+  charm::Runtime rts(machine);
+  MatmulApp app(rts, cfg);
+  return app.execute();
+}
+
+TEST(MatmulTiming, CkDirectFasterThanMessages) {
+  const auto machine = harness::abeMachine(16, 8);
+  const auto msg = runBench(machine, Mode::kMessages, 16);
+  const auto ckd = runBench(machine, Mode::kCkDirect, 16);
+  EXPECT_LT(ckd.avg_iteration_us, msg.avg_iteration_us);
+}
+
+TEST(MatmulTiming, GapGrowsWithScale) {
+  // Fig 3: the absolute difference in iteration times increases with
+  // higher numbers of processors.
+  const auto m8 = harness::surveyorMachine(8, 4);
+  const auto m64 = harness::surveyorMachine(64, 4);
+  const double gapSmall =
+      runBench(m8, Mode::kMessages, 8).avg_iteration_us -
+      runBench(m8, Mode::kCkDirect, 8).avg_iteration_us;
+  const double gapLarge =
+      runBench(m64, Mode::kMessages, 64).avg_iteration_us -
+      runBench(m64, Mode::kCkDirect, 64).avg_iteration_us;
+  EXPECT_GT(gapSmall, 0.0);
+  EXPECT_GT(gapLarge, 0.0);
+}
+
+}  // namespace
+}  // namespace ckd::apps::matmul

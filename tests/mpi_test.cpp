@@ -1,0 +1,242 @@
+// Tests for the mini-MPI layer: matching semantics (tags, wildcards, FIFO,
+// unexpected messages), eager vs rendezvous, and PSCW one-sided windows.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mpi/mini_mpi.hpp"
+#include "net/cost_params.hpp"
+#include "sim/engine.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace ckd::mpi {
+namespace {
+
+class MpiTest : public ::testing::Test {
+ protected:
+  MpiTest()
+      : topo_(std::make_shared<topo::FatTree>(4, 1)),
+        fabric_(engine_, topo_, net::abeParams()),
+        mpi_(fabric_, mvapichCosts()) {}
+
+  sim::Engine engine_;
+  topo::TopologyPtr topo_;
+  net::Fabric fabric_;
+  MiniMpi mpi_;
+};
+
+TEST_F(MpiTest, BasicSendRecv) {
+  std::vector<double> send{1.0, 2.0, 3.0};
+  std::vector<double> recv(3, 0.0);
+  MiniMpi::RecvResult result;
+  mpi_.irecv(1, 0, 7, recv.data(), recv.size() * 8,
+             [&](const MiniMpi::RecvResult& r) { result = r; });
+  mpi_.isend(0, 1, 7, send.data(), send.size() * 8);
+  engine_.run();
+  EXPECT_EQ(result.source, 0);
+  EXPECT_EQ(result.tag, 7);
+  EXPECT_EQ(result.bytes, 24u);
+  EXPECT_EQ(recv, send);
+}
+
+TEST_F(MpiTest, UnexpectedMessageMatchedLater) {
+  std::vector<int> payload{42};
+  mpi_.isend(0, 1, 3, payload.data(), sizeof(int));
+  engine_.run();
+  EXPECT_EQ(mpi_.unexpectedCount(1), 1u);
+  int got = 0;
+  bool done = false;
+  mpi_.irecv(1, 0, 3, &got, sizeof(int),
+             [&](const MiniMpi::RecvResult&) { done = true; });
+  engine_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, 42);
+  EXPECT_EQ(mpi_.unexpectedCount(1), 0u);
+}
+
+TEST_F(MpiTest, TagsMustMatch) {
+  int a = 0, b = 0;
+  bool gotA = false, gotB = false;
+  mpi_.irecv(1, 0, 5, &a, sizeof(int),
+             [&](const MiniMpi::RecvResult&) { gotA = true; });
+  mpi_.irecv(1, 0, 6, &b, sizeof(int),
+             [&](const MiniMpi::RecvResult&) { gotB = true; });
+  const int v6 = 66;
+  mpi_.isend(0, 1, 6, &v6, sizeof(int));
+  engine_.run();
+  EXPECT_FALSE(gotA);
+  EXPECT_TRUE(gotB);
+  EXPECT_EQ(b, 66);
+}
+
+TEST_F(MpiTest, WildcardsMatchAnything) {
+  int got = 0;
+  MiniMpi::RecvResult result;
+  mpi_.irecv(2, MiniMpi::kAnySource, MiniMpi::kAnyTag, &got, sizeof(int),
+             [&](const MiniMpi::RecvResult& r) { result = r; });
+  const int v = 9;
+  mpi_.isend(3, 2, 17, &v, sizeof(int));
+  engine_.run();
+  EXPECT_EQ(got, 9);
+  EXPECT_EQ(result.source, 3);
+  EXPECT_EQ(result.tag, 17);
+}
+
+TEST_F(MpiTest, FifoMatchingOrder) {
+  // Two sends with the same tag: the first posted recv gets the first sent.
+  int first = 0, second = 0;
+  const int v1 = 1, v2 = 2;
+  mpi_.irecv(1, 0, 0, &first, sizeof(int), {});
+  mpi_.irecv(1, 0, 0, &second, sizeof(int), {});
+  mpi_.isend(0, 1, 0, &v1, sizeof(int));
+  mpi_.isend(0, 1, 0, &v2, sizeof(int));
+  engine_.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+}
+
+TEST_F(MpiTest, RendezvousLargeMessage) {
+  // 64 KB > MVAPICH's 16 KB threshold: rendezvous path.
+  std::vector<std::byte> send(64 * 1024, std::byte{7});
+  std::vector<std::byte> recv(64 * 1024, std::byte{0});
+  bool done = false;
+  mpi_.irecv(1, 0, 1, recv.data(), recv.size(),
+             [&](const MiniMpi::RecvResult& r) {
+               done = true;
+               EXPECT_EQ(r.bytes, send.size());
+             });
+  mpi_.isend(0, 1, 1, send.data(), send.size());
+  engine_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(recv, send);
+}
+
+TEST_F(MpiTest, RendezvousBeforeRecvPosted) {
+  std::vector<std::byte> send(64 * 1024, std::byte{9});
+  mpi_.isend(0, 1, 2, send.data(), send.size());
+  engine_.run();  // RTS parked, no data moved yet
+  std::vector<std::byte> recv(64 * 1024, std::byte{0});
+  bool done = false;
+  mpi_.irecv(1, 0, 2, recv.data(), recv.size(),
+             [&](const MiniMpi::RecvResult&) { done = true; });
+  engine_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(recv, send);
+}
+
+TEST_F(MpiTest, SendCompletionFires) {
+  std::vector<std::byte> send(128, std::byte{1});
+  std::vector<std::byte> recv(128);
+  bool sent = false;
+  mpi_.irecv(1, 0, 0, recv.data(), recv.size(), {});
+  mpi_.isend(0, 1, 0, send.data(), send.size(), [&] { sent = true; });
+  engine_.run();
+  EXPECT_TRUE(sent);
+}
+
+// --- one-sided -----------------------------------------------------------------
+
+TEST_F(MpiTest, PutPscwFullEpoch) {
+  std::vector<double> winBuf(16, 0.0);
+  std::vector<double> src(4, 3.5);
+  const auto win = mpi_.createWindow(1, winBuf.data(), winBuf.size() * 8);
+  bool waited = false, started = false;
+  engine_.at(0.0, [&] {
+    mpi_.winPost(win, {0});
+    mpi_.winWait(win, [&] { waited = true; });
+    mpi_.winStart(win, 0, [&] {
+      started = true;
+      mpi_.put(win, 0, 8 * 4, src.data(), src.size() * 8);  // offset 4 dbls
+      mpi_.winComplete(win, 0);
+    });
+  });
+  engine_.run();
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(waited);
+  EXPECT_DOUBLE_EQ(winBuf[3], 0.0);
+  EXPECT_DOUBLE_EQ(winBuf[4], 3.5);
+  EXPECT_DOUBLE_EQ(winBuf[7], 3.5);
+  EXPECT_DOUBLE_EQ(winBuf[8], 0.0);
+}
+
+TEST_F(MpiTest, WaitBlocksUntilAllPutsLand) {
+  std::vector<std::byte> winBuf(256 * 1024, std::byte{0});
+  std::vector<std::byte> big(128 * 1024, std::byte{4});  // rendezvous-sized
+  const auto win = mpi_.createWindow(1, winBuf.data(), winBuf.size());
+  double waitedAt = -1;
+  engine_.at(0.0, [&] {
+    mpi_.winPost(win, {0});
+    mpi_.winWait(win, [&] {
+      waitedAt = engine_.now();
+      // Every byte must already be in place when wait completes.
+      EXPECT_EQ(winBuf[128 * 1024 - 1], std::byte{4});
+    });
+    mpi_.winStart(win, 0, [&] {
+      mpi_.put(win, 0, 0, big.data(), big.size());
+      mpi_.winComplete(win, 0);
+    });
+  });
+  engine_.run();
+  EXPECT_GT(waitedAt, 0.0);
+}
+
+TEST_F(MpiTest, PutOutsideEpochAborts) {
+  std::vector<double> winBuf(8, 0.0);
+  const auto win = mpi_.createWindow(1, winBuf.data(), 64);
+  double v = 1.0;
+  EXPECT_DEATH(mpi_.put(win, 0, 0, &v, 8), "PSCW");
+}
+
+TEST_F(MpiTest, PutPastWindowEndAborts) {
+  std::vector<double> winBuf(8, 0.0);
+  const auto win = mpi_.createWindow(1, winBuf.data(), 64);
+  std::vector<double> src(8, 0.0);
+  engine_.at(0.0, [&] {
+    mpi_.winPost(win, {0});
+    mpi_.winStart(win, 0, [&] {
+      EXPECT_DEATH(mpi_.put(win, 0, 8, src.data(), 64), "past the end");
+    });
+  });
+  engine_.run();
+}
+
+TEST_F(MpiTest, MultipleOriginsOneExposure) {
+  std::vector<double> winBuf(2, 0.0);
+  const auto win = mpi_.createWindow(0, winBuf.data(), 16);
+  bool waited = false;
+  double v1 = 1.0, v2 = 2.0;
+  engine_.at(0.0, [&] {
+    mpi_.winPost(win, {1, 2});
+    mpi_.winWait(win, [&] { waited = true; });
+    mpi_.winStart(win, 1, [&] {
+      mpi_.put(win, 1, 0, &v1, 8);
+      mpi_.winComplete(win, 1);
+    });
+    mpi_.winStart(win, 2, [&] {
+      mpi_.put(win, 2, 8, &v2, 8);
+      mpi_.winComplete(win, 2);
+    });
+  });
+  engine_.run();
+  EXPECT_TRUE(waited);
+  EXPECT_DOUBLE_EQ(winBuf[0], 1.0);
+  EXPECT_DOUBLE_EQ(winBuf[1], 2.0);
+}
+
+TEST(MpiCosts, FlavorPresets) {
+  const auto vmi = mpichVmiCosts();
+  const auto mvapich = mvapichCosts();
+  const auto ibm = ibmBgpCosts();
+  EXPECT_GT(vmi.eager_threshold_bytes, mvapich.eager_threshold_bytes);
+  EXPECT_TRUE(ibm.eagerFor(500000));  // no rendezvous on BG/P
+  EXPECT_FALSE(mvapich.eagerFor(500000));
+  EXPECT_TRUE(mvapich.inBump(4096));
+  EXPECT_FALSE(mvapich.inBump(16 * 1024));
+  EXPECT_TRUE(mvapich.putEagerFor(20 * 1024));
+  EXPECT_FALSE(mvapich.eagerFor(20 * 1024));
+}
+
+}  // namespace
+}  // namespace ckd::mpi

@@ -1,0 +1,150 @@
+// Tests for the §5 OpenAtom mini-app: end-to-end data integrity through the
+// GS -> PairCalculator channels (checksums round-trip), channel counting,
+// and the §5.2 polling pathology: naive ready is slower than messages,
+// ReadyMark/ReadyPollQ recovers the win.
+
+#include <gtest/gtest.h>
+
+#include "apps/openatom/openatom.hpp"
+#include "ckdirect/ckdirect.hpp"
+#include "harness/machines.hpp"
+
+namespace ckd::apps::openatom {
+namespace {
+
+Config smallConfig(Mode mode) {
+  Config cfg;
+  cfg.nstates = 16;
+  cfg.nplanes = 2;
+  cfg.points = 32;
+  cfg.steps = 3;
+  cfg.mode = mode;
+  cfg.real_compute = true;
+  return cfg;
+}
+
+void expectChecksumsRoundTrip(const Config& cfg,
+                              const charm::MachineConfig& machine) {
+  charm::Runtime rts(machine);
+  OpenAtomApp app(rts, cfg);
+  app.execute();
+  for (int p = 0; p < cfg.nplanes; ++p)
+    for (int s = 0; s < cfg.nstates; ++s)
+      ASSERT_NEAR(app.backwardChecksum(s, p), app.expectedChecksum(s, p),
+                  1e-9)
+          << "state " << s << " plane " << p;
+}
+
+TEST(OpenAtom, MsgChecksumsOnIb) {
+  expectChecksumsRoundTrip(smallConfig(Mode::kMessages),
+                           harness::abeMachine(4, 2));
+}
+
+TEST(OpenAtom, CkdChecksumsOnIb) {
+  expectChecksumsRoundTrip(smallConfig(Mode::kCkDirect),
+                           harness::abeMachine(4, 2));
+}
+
+TEST(OpenAtom, MsgChecksumsOnBgp) {
+  expectChecksumsRoundTrip(smallConfig(Mode::kMessages),
+                           harness::surveyorMachine(8, 4));
+}
+
+TEST(OpenAtom, CkdChecksumsOnBgp) {
+  expectChecksumsRoundTrip(smallConfig(Mode::kCkDirect),
+                           harness::surveyorMachine(8, 4));
+}
+
+TEST(OpenAtom, NaiveReadyAlsoCorrect) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.ready = ReadyStrategy::kNaive;
+  expectChecksumsRoundTrip(cfg, harness::abeMachine(4, 2));
+}
+
+TEST(OpenAtom, PcOnlyModeRuns) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.pc_only = true;
+  expectChecksumsRoundTrip(cfg, harness::abeMachine(4, 2));
+}
+
+TEST(OpenAtom, ChannelCountMatchesPaperFormula) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  // §5.2: the coarsest decomposition needs 4 x nstates x nplanes channels.
+  EXPECT_EQ(cfg.numChannels(), 4ll * cfg.nstates * cfg.nplanes);
+  charm::Runtime rts(harness::abeMachine(4, 2));
+  OpenAtomApp app(rts, cfg);
+  app.execute();
+  EXPECT_EQ(
+      static_cast<std::int64_t>(ckd::direct::Manager::of(rts).putsIssued()),
+      cfg.numChannels() * cfg.steps);
+}
+
+// --- §5.2 polling pathology --------------------------------------------------
+
+Result runTimed(const charm::MachineConfig& machine, Mode mode,
+                ReadyStrategy ready, bool pcOnly = false) {
+  Config cfg;
+  cfg.nstates = 64;
+  cfg.nplanes = 4;
+  cfg.points = 256;
+  cfg.steps = 2;
+  cfg.mode = mode;
+  cfg.ready = ready;
+  cfg.pc_only = pcOnly;
+  cfg.real_compute = false;
+  charm::Runtime rts(machine);
+  OpenAtomApp app(rts, cfg);
+  return app.execute();
+}
+
+TEST(OpenAtomTiming, OptimizedCkdBeatsMessages) {
+  const auto machine = harness::abeMachine(8, 2);
+  const auto msg =
+      runTimed(machine, Mode::kMessages, ReadyStrategy::kMarkDeferPoll);
+  const auto ckd =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kMarkDeferPoll);
+  EXPECT_LT(ckd.avg_step_us, msg.avg_step_us);
+}
+
+TEST(OpenAtomTiming, NaiveReadySlowerThanOptimized) {
+  // The §5.2 observation: with thousands of always-polled channels, the
+  // scan tax on every scheduler pump erases CkDirect's win.
+  const auto machine = harness::abeMachine(8, 2);
+  const auto naive =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kNaive);
+  const auto optimized =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kMarkDeferPoll);
+  EXPECT_GT(naive.avg_step_us, optimized.avg_step_us);
+}
+
+TEST(OpenAtomTiming, BgpUnaffectedByReadyStrategy) {
+  // Ready calls are no-ops on Blue Gene/P; both strategies must time out
+  // identically.
+  const auto machine = harness::surveyorMachine(8, 4);
+  const auto naive =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kNaive);
+  const auto optimized =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kMarkDeferPoll);
+  EXPECT_DOUBLE_EQ(naive.avg_step_us, optimized.avg_step_us);
+}
+
+TEST(OpenAtomTiming, PcOnlyShowsLargerRelativeGain) {
+  // Figs 4/5: the PairCalculator-only runs show a larger CkDirect
+  // improvement than full timesteps (other phases dilute the win).
+  const auto machine = harness::abeMachine(8, 2);
+  const auto msgFull =
+      runTimed(machine, Mode::kMessages, ReadyStrategy::kMarkDeferPoll);
+  const auto ckdFull =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kMarkDeferPoll);
+  const auto msgPc =
+      runTimed(machine, Mode::kMessages, ReadyStrategy::kMarkDeferPoll, true);
+  const auto ckdPc =
+      runTimed(machine, Mode::kCkDirect, ReadyStrategy::kMarkDeferPoll, true);
+  const double gainFull = 1.0 - ckdFull.avg_step_us / msgFull.avg_step_us;
+  const double gainPc = 1.0 - ckdPc.avg_step_us / msgPc.avg_step_us;
+  EXPECT_GT(gainPc, gainFull);
+  EXPECT_GT(gainFull, 0.0);
+}
+
+}  // namespace
+}  // namespace ckd::apps::openatom

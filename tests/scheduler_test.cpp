@@ -1,0 +1,151 @@
+// Focused tests for the per-PE scheduler's DES semantics: pump re-arming
+// when the processor is busy, poke coalescing, system-work priority,
+// handler-relative time, and poll-hook interaction.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "charm/maps.hpp"
+#include "charm/proxy.hpp"
+#include "charm/runtime.hpp"
+#include "harness/machines.hpp"
+
+namespace ckd::charm {
+namespace {
+
+class Worker final : public Chare {
+ public:
+  double cost = 0.0;
+  std::vector<double> startTimes;
+  void work(Message&) {
+    startTimes.push_back(now());
+    charge(cost);
+  }
+};
+
+struct Rig {
+  Rig() : rts(harness::abeMachine(2, 1)) {
+    proxy = makeArray<Worker>(rts, "w", 2, blockMap(2, 2),
+                              [](std::int64_t) { return std::make_unique<Worker>(); });
+    ep = proxy.registerEntry("work", &Worker::work);
+  }
+  Runtime rts;
+  ArrayProxy<Worker> proxy;
+  EntryId ep = -1;
+};
+
+TEST(Scheduler, HandlersSerializeByChargedCost) {
+  Rig rig;
+  rig.proxy[1].local().cost = 100.0;
+  rig.rts.seed([&] {
+    rig.proxy[1].send(rig.ep);
+    rig.proxy[1].send(rig.ep);
+    rig.proxy[1].send(rig.ep);
+  });
+  rig.rts.run();
+  const auto& t = rig.proxy[1].local().startTimes;
+  ASSERT_EQ(t.size(), 3u);
+  const double perMsg = 100.0 + rig.rts.costs().recv_overhead_us +
+                        rig.rts.costs().sched_overhead_us;
+  EXPECT_NEAR(t[1] - t[0], perMsg, 1e-9);
+  EXPECT_NEAR(t[2] - t[1], perMsg, 1e-9);
+}
+
+TEST(Scheduler, SystemWorkPreemptsQueuedMessages) {
+  Rig rig;
+  std::vector<int> order;
+  rig.rts.seed([&] {
+    rig.rts.scheduler(1).enqueueSystemWork(1.0, [&] { order.push_back(1); });
+    rig.proxy[1].send(rig.ep);
+    rig.rts.scheduler(1).enqueueSystemWork(1.0, [&] { order.push_back(2); });
+  });
+  rig.rts.run();
+  // Both system-work items run before the (earlier-queued) message.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  ASSERT_EQ(rig.proxy[1].local().startTimes.size(), 1u);
+  EXPECT_GE(rig.proxy[1].local().startTimes[0], 2.0);
+}
+
+TEST(Scheduler, PokesCoalesceIntoOnePump) {
+  Rig rig;
+  int polls = 0;
+  rig.rts.scheduler(1).setPollHook([&] { ++polls; });
+  rig.rts.seed([&] {
+    // Many pokes for the same instant: the pump guard collapses them.
+    for (int i = 0; i < 10; ++i) rig.rts.scheduler(1).poke(5.0);
+  });
+  rig.rts.run();
+  EXPECT_EQ(polls, 1);
+}
+
+TEST(Scheduler, PokeDuringBusyProcessorWaits) {
+  Rig rig;
+  rig.proxy[1].local().cost = 50.0;
+  double pollAt = -1.0;
+  rig.rts.seed([&] {
+    rig.proxy[1].send(rig.ep);  // occupies PE 1 from its arrival for ~54.4us
+  });
+  rig.rts.engine().at(20.0, [&] {
+    rig.rts.scheduler(1).setPollHook([&] {
+      if (pollAt < 0) pollAt = rig.rts.engine().now();
+    });
+    rig.rts.scheduler(1).poke(0.0);
+  });
+  rig.rts.run();
+  // The poked pump could not start until the 50us handler finished.
+  EXPECT_GT(pollAt, 50.0);
+}
+
+TEST(Scheduler, CurrentTimeAdvancesWithCharges) {
+  Rig rig;
+  double before = -1, after = -1;
+  rig.rts.seed([&] {
+    rig.rts.scheduler(1).enqueueSystemWork(0.0, [&] {
+      Scheduler& s = rig.rts.scheduler(1);
+      before = s.currentTime();
+      s.charge(12.5);
+      after = s.currentTime();
+    });
+  });
+  rig.rts.run();
+  EXPECT_NEAR(after - before, 12.5, 1e-12);
+}
+
+TEST(Scheduler, ChargeOutsideHandlerIsNoOp) {
+  Rig rig;
+  rig.rts.scheduler(0).charge(100.0);  // outside any pump: ignored
+  EXPECT_DOUBLE_EQ(rig.rts.processor(0).busyTotal(), 0.0);
+  EXPECT_FALSE(rig.rts.scheduler(0).inHandler());
+}
+
+TEST(Scheduler, StatsCountPumpsAndMessages) {
+  Rig rig;
+  rig.rts.seed([&] {
+    rig.proxy[1].send(rig.ep);
+    rig.proxy[1].send(rig.ep);
+  });
+  rig.rts.run();
+  EXPECT_EQ(rig.rts.scheduler(1).messagesProcessed(), 2u);
+  EXPECT_GE(rig.rts.scheduler(1).pumps(), 2u);
+  EXPECT_EQ(rig.rts.scheduler(1).queueLength(), 0u);
+}
+
+TEST(SchedulerDeath, WrongPeEnqueueAborts) {
+  Rig rig;
+  Envelope env;
+  env.kind = MsgKind::kUser;
+  env.srcPe = 0;
+  env.dstPe = 1;
+  env.arrayId = rig.proxy.id();
+  env.elemIndex = 1;
+  env.entry = rig.ep;
+  auto msg = Message::make(env, {});
+  EXPECT_DEATH(rig.rts.scheduler(0).enqueue(std::move(msg)), "wrong PE");
+}
+
+}  // namespace
+}  // namespace ckd::charm

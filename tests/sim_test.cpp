@@ -1,0 +1,141 @@
+// Unit tests for the discrete-event engine, simulated processors, and the
+// trace recorder.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/processor.hpp"
+#include "sim/trace.hpp"
+
+namespace ckd::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.at(3.0, [&] { order.push_back(3); });
+  eng.at(1.0, [&] { order.push_back(1); });
+  eng.at(2.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    eng.at(5.0, [&order, i] { order.push_back(i); });
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, AfterIsRelative) {
+  Engine eng;
+  double firedAt = -1;
+  eng.at(2.0, [&] { eng.after(3.0, [&] { firedAt = eng.now(); }); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(firedAt, 5.0);
+}
+
+TEST(Engine, EventsCanScheduleAtSameInstant) {
+  Engine eng;
+  int count = 0;
+  eng.at(1.0, [&] {
+    eng.after(0.0, [&] { ++count; });
+  });
+  eng.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine eng;
+  int fired = 0;
+  eng.at(1.0, [&] { ++fired; });
+  eng.at(10.0, [&] { ++fired; });
+  eng.runUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StopAbortsRun) {
+  Engine eng;
+  int fired = 0;
+  eng.at(1.0, [&] {
+    ++fired;
+    eng.stop();
+  });
+  eng.at(2.0, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+}
+
+TEST(Engine, CountsExecutedEvents) {
+  Engine eng;
+  for (int i = 0; i < 7; ++i) eng.at(static_cast<Time>(i), [] {});
+  eng.run();
+  EXPECT_EQ(eng.executedEvents(), 7u);
+}
+
+TEST(EngineDeath, PastSchedulingAborts) {
+  Engine eng;
+  eng.at(5.0, [&] {
+    EXPECT_DEATH(eng.at(1.0, [] {}), "past");
+  });
+  eng.run();
+}
+
+TEST(Processor, OccupyAdvancesFreeTime) {
+  Processor p(0);
+  EXPECT_DOUBLE_EQ(p.freeAt(), 0.0);
+  EXPECT_DOUBLE_EQ(p.occupy(0.0, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.occupy(7.0, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(p.busyTotal(), 6.0);
+  EXPECT_EQ(p.tasksRun(), 2u);
+}
+
+TEST(Processor, ExtendStretchesCurrentTask) {
+  Processor p(0);
+  p.occupy(0.0, 2.0);
+  p.extend(3.0);
+  EXPECT_DOUBLE_EQ(p.freeAt(), 5.0);
+  EXPECT_DOUBLE_EQ(p.busyTotal(), 5.0);
+}
+
+TEST(Processor, UtilizationFraction) {
+  Processor p(0);
+  p.occupy(0.0, 2.5);
+  EXPECT_DOUBLE_EQ(p.utilization(10.0), 0.25);
+}
+
+TEST(ProcessorDeath, DoubleBookingAborts) {
+  Processor p(0);
+  p.occupy(0.0, 5.0);
+  EXPECT_DEATH(p.occupy(2.0, 1.0), "double-booked");
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  TraceRecorder t;
+  t.record(1.0, 0, "x");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(Trace, RecordsAndCounts) {
+  TraceRecorder t;
+  t.enable(true);
+  t.record(1.0, 0, "send", "to=1");
+  t.record(2.0, 1, "recv");
+  t.record(3.0, 0, "send");
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.countTag("send"), 2u);
+  EXPECT_NE(t.toString().find("pe=1 recv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckd::sim

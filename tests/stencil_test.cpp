@@ -1,0 +1,186 @@
+// Correctness tests for the §4.1 stencil: both communication modes must
+// reproduce the serial reference bit-for-bit, on both machine layers, for
+// a variety of decompositions; plus timing-property checks (CkDirect
+// strictly faster, improvement grows with chare count).
+
+#include <gtest/gtest.h>
+
+#include "apps/stencil/stencil.hpp"
+#include "harness/machines.hpp"
+
+namespace ckd::apps::stencil {
+namespace {
+
+Config smallConfig(Mode mode) {
+  Config cfg;
+  cfg.gx = 16;
+  cfg.gy = 12;
+  cfg.gz = 8;
+  cfg.cx = 2;
+  cfg.cy = 2;
+  cfg.cz = 2;
+  cfg.iterations = 7;
+  cfg.mode = mode;
+  cfg.real_compute = true;
+  return cfg;
+}
+
+void expectMatchesReference(const Config& cfg,
+                            const charm::MachineConfig& machine) {
+  charm::Runtime rts(machine);
+  StencilApp app(rts, cfg);
+  app.execute();
+  const auto parallel = app.gatherField();
+  const auto reference = serialReference(cfg);
+  ASSERT_EQ(parallel.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    ASSERT_DOUBLE_EQ(parallel[i], reference[i]) << "element " << i;
+}
+
+TEST(Stencil, MsgMatchesReferenceOnIb) {
+  expectMatchesReference(smallConfig(Mode::kMessages),
+                         harness::abeMachine(4, 2));
+}
+
+TEST(Stencil, CkdMatchesReferenceOnIb) {
+  expectMatchesReference(smallConfig(Mode::kCkDirect),
+                         harness::abeMachine(4, 2));
+}
+
+TEST(Stencil, MsgMatchesReferenceOnBgp) {
+  expectMatchesReference(smallConfig(Mode::kMessages),
+                         harness::surveyorMachine(8, 4));
+}
+
+TEST(Stencil, CkdMatchesReferenceOnBgp) {
+  expectMatchesReference(smallConfig(Mode::kCkDirect),
+                         harness::surveyorMachine(8, 4));
+}
+
+TEST(Stencil, SingleChareDegenerateCase) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.cx = cfg.cy = cfg.cz = 1;
+  expectMatchesReference(cfg, harness::abeMachine(2, 1));
+}
+
+TEST(Stencil, SkewedDecomposition) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.cx = 4;
+  cfg.cy = 1;
+  cfg.cz = 2;
+  expectMatchesReference(cfg, harness::abeMachine(4, 2));
+}
+
+TEST(Stencil, VirtualizationManyCharesPerPe) {
+  Config cfg = smallConfig(Mode::kMessages);
+  cfg.cx = 4;
+  cfg.cy = 2;
+  cfg.cz = 2;  // 16 chares on 2 PEs
+  expectMatchesReference(cfg, harness::abeMachine(2, 1));
+}
+
+TEST(Stencil, OneIteration) {
+  Config cfg = smallConfig(Mode::kCkDirect);
+  cfg.iterations = 1;
+  expectMatchesReference(cfg, harness::abeMachine(4, 2));
+}
+
+TEST(Stencil, ChareGridChooser) {
+  int cx = 0, cy = 0, cz = 0;
+  chooseChareGrid(1024, 1024, 512, 2048, cx, cy, cz);
+  EXPECT_EQ(cx * cy * cz, 2048);
+  EXPECT_EQ(1024 % cx, 0);
+  EXPECT_EQ(1024 % cy, 0);
+  EXPECT_EQ(512 % cz, 0);
+  // Near-cubic blocks: no dimension more than 2x finer than another.
+  const double bx = 1024.0 / cx, by = 1024.0 / cy, bz = 512.0 / cz;
+  EXPECT_LE(std::max({bx, by, bz}) / std::min({bx, by, bz}), 2.01);
+}
+
+TEST(Stencil, ModesSendSameTotalPayload) {
+  // The two modes move identical ghost data; only protocol differs.
+  Config msg = smallConfig(Mode::kMessages);
+  Config ckd = smallConfig(Mode::kCkDirect);
+  charm::Runtime rtsMsg(harness::abeMachine(4, 2));
+  charm::Runtime rtsCkd(harness::abeMachine(4, 2));
+  StencilApp appMsg(rtsMsg, msg);
+  StencilApp appCkd(rtsCkd, ckd);
+  appMsg.execute();
+  appCkd.execute();
+  EXPECT_EQ(appMsg.gatherField(), appCkd.gatherField());
+}
+
+// --- timing properties (model-level, bench-mode) ------------------------------
+
+Result runBench(const charm::MachineConfig& machine, Mode mode, int chares,
+                int pes) {
+  (void)pes;
+  Config cfg;
+  cfg.gx = 256;
+  cfg.gy = 256;
+  cfg.gz = 128;
+  chooseChareGrid(cfg.gx, cfg.gy, cfg.gz, chares, cfg.cx, cfg.cy, cfg.cz);
+  cfg.iterations = 4;
+  cfg.mode = mode;
+  cfg.real_compute = false;
+  cfg.compute_per_element_us = 1.0e-3;
+  charm::Runtime rts(machine);
+  StencilApp app(rts, cfg);
+  return app.execute();
+}
+
+TEST(StencilTiming, CkDirectFasterThanMessages) {
+  const auto machine = harness::t3Machine(16, 4);
+  const auto msg = runBench(machine, Mode::kMessages, 128, 16);
+  const auto ckd = runBench(machine, Mode::kCkDirect, 128, 16);
+  EXPECT_LT(ckd.avg_iteration_us, msg.avg_iteration_us);
+}
+
+TEST(StencilTiming, CkDirectFasterOnBgpToo) {
+  // Fine granularity (small faces): per-message overheads dominate, which
+  // is the regime where the paper's BG/P gains live.
+  const auto machine = harness::surveyorMachine(16, 4);
+  Config cfg;
+  cfg.gx = 128;
+  cfg.gy = 128;
+  cfg.gz = 64;
+  chooseChareGrid(cfg.gx, cfg.gy, cfg.gz, 128, cfg.cx, cfg.cy, cfg.cz);
+  cfg.iterations = 4;
+  cfg.real_compute = false;
+  cfg.compute_per_element_us = 3.5e-3;
+  cfg.mode = Mode::kMessages;
+  double msg, ckd;
+  {
+    charm::Runtime rts(machine);
+    msg = StencilApp(rts, cfg).execute().avg_iteration_us;
+  }
+  cfg.mode = Mode::kCkDirect;
+  {
+    charm::Runtime rts(machine);
+    ckd = StencilApp(rts, cfg).execute().avg_iteration_us;
+  }
+  EXPECT_LT(ckd, msg);
+}
+
+TEST(StencilTiming, ImprovementGrowsWithProcessorCount) {
+  // Strong scaling: more PEs -> finer granularity -> bigger CkDirect win
+  // (the Fig 2 trend).
+  double improvementSmall, improvementLarge;
+  {
+    const auto machine = harness::t3Machine(8, 4);
+    const auto msg = runBench(machine, Mode::kMessages, 64, 8);
+    const auto ckd = runBench(machine, Mode::kCkDirect, 64, 8);
+    improvementSmall = 1.0 - ckd.avg_iteration_us / msg.avg_iteration_us;
+  }
+  {
+    const auto machine = harness::t3Machine(32, 4);
+    const auto msg = runBench(machine, Mode::kMessages, 256, 32);
+    const auto ckd = runBench(machine, Mode::kCkDirect, 256, 32);
+    improvementLarge = 1.0 - ckd.avg_iteration_us / msg.avg_iteration_us;
+  }
+  EXPECT_GT(improvementSmall, 0.0);
+  EXPECT_GT(improvementLarge, improvementSmall);
+}
+
+}  // namespace
+}  // namespace ckd::apps::stencil
