@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_readymark.dir/ablation_readymark.cpp.o"
+  "CMakeFiles/ablation_readymark.dir/ablation_readymark.cpp.o.d"
+  "ablation_readymark"
+  "ablation_readymark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_readymark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

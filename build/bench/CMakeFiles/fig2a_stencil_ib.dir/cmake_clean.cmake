@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_stencil_ib.dir/fig2_stencil.cpp.o"
+  "CMakeFiles/fig2a_stencil_ib.dir/fig2_stencil.cpp.o.d"
+  "fig2a_stencil_ib"
+  "fig2a_stencil_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_stencil_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

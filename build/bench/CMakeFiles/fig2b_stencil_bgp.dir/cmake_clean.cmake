@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_stencil_bgp.dir/fig2_stencil.cpp.o"
+  "CMakeFiles/fig2b_stencil_bgp.dir/fig2_stencil.cpp.o.d"
+  "fig2b_stencil_bgp"
+  "fig2b_stencil_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_stencil_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_stencil_bgp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_matmul.dir/fig3_matmul.cpp.o"
+  "CMakeFiles/fig3_matmul.dir/fig3_matmul.cpp.o.d"
+  "fig3_matmul"
+  "fig3_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_openatom_ib.dir/fig45_openatom.cpp.o"
+  "CMakeFiles/fig4_openatom_ib.dir/fig45_openatom.cpp.o.d"
+  "fig4_openatom_ib"
+  "fig4_openatom_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_openatom_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

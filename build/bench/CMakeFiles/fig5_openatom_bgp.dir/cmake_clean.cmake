@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_openatom_bgp.dir/fig45_openatom.cpp.o"
+  "CMakeFiles/fig5_openatom_bgp.dir/fig45_openatom.cpp.o.d"
+  "fig5_openatom_bgp"
+  "fig5_openatom_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_openatom_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

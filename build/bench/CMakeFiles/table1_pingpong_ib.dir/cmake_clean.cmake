@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pingpong_ib.dir/table1_pingpong_ib.cpp.o"
+  "CMakeFiles/table1_pingpong_ib.dir/table1_pingpong_ib.cpp.o.d"
+  "table1_pingpong_ib"
+  "table1_pingpong_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pingpong_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

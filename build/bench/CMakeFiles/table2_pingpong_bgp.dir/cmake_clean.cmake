@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pingpong_bgp.dir/table2_pingpong_bgp.cpp.o"
+  "CMakeFiles/table2_pingpong_bgp.dir/table2_pingpong_bgp.cpp.o.d"
+  "table2_pingpong_bgp"
+  "table2_pingpong_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pingpong_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

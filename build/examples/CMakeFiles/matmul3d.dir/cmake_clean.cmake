@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul3d.dir/matmul3d.cpp.o"
+  "CMakeFiles/matmul3d.dir/matmul3d.cpp.o.d"
+  "matmul3d"
+  "matmul3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

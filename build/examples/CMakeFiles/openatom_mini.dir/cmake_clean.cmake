@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openatom_mini.dir/openatom_mini.cpp.o"
+  "CMakeFiles/openatom_mini.dir/openatom_mini.cpp.o.d"
+  "openatom_mini"
+  "openatom_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openatom_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_apps.dir/matmul/matmul.cpp.o"
+  "CMakeFiles/ckd_apps.dir/matmul/matmul.cpp.o.d"
+  "CMakeFiles/ckd_apps.dir/openatom/openatom.cpp.o"
+  "CMakeFiles/ckd_apps.dir/openatom/openatom.cpp.o.d"
+  "CMakeFiles/ckd_apps.dir/stencil/stencil.cpp.o"
+  "CMakeFiles/ckd_apps.dir/stencil/stencil.cpp.o.d"
+  "libckd_apps.a"
+  "libckd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_charm.dir/costs.cpp.o"
+  "CMakeFiles/ckd_charm.dir/costs.cpp.o.d"
+  "CMakeFiles/ckd_charm.dir/message.cpp.o"
+  "CMakeFiles/ckd_charm.dir/message.cpp.o.d"
+  "CMakeFiles/ckd_charm.dir/runtime.cpp.o"
+  "CMakeFiles/ckd_charm.dir/runtime.cpp.o.d"
+  "CMakeFiles/ckd_charm.dir/scheduler.cpp.o"
+  "CMakeFiles/ckd_charm.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ckd_charm.dir/transport.cpp.o"
+  "CMakeFiles/ckd_charm.dir/transport.cpp.o.d"
+  "libckd_charm.a"
+  "libckd_charm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_charm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

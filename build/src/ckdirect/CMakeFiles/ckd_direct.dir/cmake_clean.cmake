@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_direct.dir/ckdirect.cpp.o"
+  "CMakeFiles/ckd_direct.dir/ckdirect.cpp.o.d"
+  "CMakeFiles/ckd_direct.dir/manager_bgp.cpp.o"
+  "CMakeFiles/ckd_direct.dir/manager_bgp.cpp.o.d"
+  "CMakeFiles/ckd_direct.dir/manager_ib.cpp.o"
+  "CMakeFiles/ckd_direct.dir/manager_ib.cpp.o.d"
+  "libckd_direct.a"
+  "libckd_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

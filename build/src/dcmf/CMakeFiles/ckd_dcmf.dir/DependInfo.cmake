@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dcmf/dcmf.cpp" "src/dcmf/CMakeFiles/ckd_dcmf.dir/dcmf.cpp.o" "gcc" "src/dcmf/CMakeFiles/ckd_dcmf.dir/dcmf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ckd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ckd_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_dcmf.dir/dcmf.cpp.o"
+  "CMakeFiles/ckd_dcmf.dir/dcmf.cpp.o.d"
+  "libckd_dcmf.a"
+  "libckd_dcmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_dcmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_harness.dir/machines.cpp.o"
+  "CMakeFiles/ckd_harness.dir/machines.cpp.o.d"
+  "CMakeFiles/ckd_harness.dir/pingpong.cpp.o"
+  "CMakeFiles/ckd_harness.dir/pingpong.cpp.o.d"
+  "CMakeFiles/ckd_harness.dir/profile.cpp.o"
+  "CMakeFiles/ckd_harness.dir/profile.cpp.o.d"
+  "libckd_harness.a"
+  "libckd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_ib.dir/verbs.cpp.o"
+  "CMakeFiles/ckd_ib.dir/verbs.cpp.o.d"
+  "libckd_ib.a"
+  "libckd_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

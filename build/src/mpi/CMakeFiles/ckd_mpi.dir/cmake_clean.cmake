@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_mpi.dir/mini_mpi.cpp.o"
+  "CMakeFiles/ckd_mpi.dir/mini_mpi.cpp.o.d"
+  "CMakeFiles/ckd_mpi.dir/mpi_costs.cpp.o"
+  "CMakeFiles/ckd_mpi.dir/mpi_costs.cpp.o.d"
+  "libckd_mpi.a"
+  "libckd_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_net.dir/cost_params.cpp.o"
+  "CMakeFiles/ckd_net.dir/cost_params.cpp.o.d"
+  "CMakeFiles/ckd_net.dir/fabric.cpp.o"
+  "CMakeFiles/ckd_net.dir/fabric.cpp.o.d"
+  "libckd_net.a"
+  "libckd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

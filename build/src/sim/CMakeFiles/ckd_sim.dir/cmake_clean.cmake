@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_sim.dir/engine.cpp.o"
+  "CMakeFiles/ckd_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ckd_sim.dir/processor.cpp.o"
+  "CMakeFiles/ckd_sim.dir/processor.cpp.o.d"
+  "CMakeFiles/ckd_sim.dir/trace.cpp.o"
+  "CMakeFiles/ckd_sim.dir/trace.cpp.o.d"
+  "libckd_sim.a"
+  "libckd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fat_tree.cpp" "src/topo/CMakeFiles/ckd_topo.dir/fat_tree.cpp.o" "gcc" "src/topo/CMakeFiles/ckd_topo.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/ckd_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/ckd_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/torus3d.cpp" "src/topo/CMakeFiles/ckd_topo.dir/torus3d.cpp.o" "gcc" "src/topo/CMakeFiles/ckd_topo.dir/torus3d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ckd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_topo.dir/fat_tree.cpp.o"
+  "CMakeFiles/ckd_topo.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/ckd_topo.dir/topology.cpp.o"
+  "CMakeFiles/ckd_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/ckd_topo.dir/torus3d.cpp.o"
+  "CMakeFiles/ckd_topo.dir/torus3d.cpp.o.d"
+  "libckd_topo.a"
+  "libckd_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

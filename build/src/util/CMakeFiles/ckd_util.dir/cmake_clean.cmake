@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckd_util.dir/args.cpp.o"
+  "CMakeFiles/ckd_util.dir/args.cpp.o.d"
+  "CMakeFiles/ckd_util.dir/logging.cpp.o"
+  "CMakeFiles/ckd_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ckd_util.dir/stats.cpp.o"
+  "CMakeFiles/ckd_util.dir/stats.cpp.o.d"
+  "CMakeFiles/ckd_util.dir/table.cpp.o"
+  "CMakeFiles/ckd_util.dir/table.cpp.o.d"
+  "libckd_util.a"
+  "libckd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sweep.dir/apps_sweep_test.cpp.o"
+  "CMakeFiles/test_apps_sweep.dir/apps_sweep_test.cpp.o.d"
+  "test_apps_sweep"
+  "test_apps_sweep.pdb"
+  "test_apps_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ckdirect.dir/ckdirect_test.cpp.o"
+  "CMakeFiles/test_ckdirect.dir/ckdirect_test.cpp.o.d"
+  "test_ckdirect"
+  "test_ckdirect.pdb"
+  "test_ckdirect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ckdirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

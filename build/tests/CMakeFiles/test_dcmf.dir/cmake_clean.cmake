@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcmf.dir/dcmf_test.cpp.o"
+  "CMakeFiles/test_dcmf.dir/dcmf_test.cpp.o.d"
+  "test_dcmf"
+  "test_dcmf.pdb"
+  "test_dcmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

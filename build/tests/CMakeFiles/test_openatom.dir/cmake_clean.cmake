@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openatom.dir/openatom_test.cpp.o"
+  "CMakeFiles/test_openatom.dir/openatom_test.cpp.o.d"
+  "test_openatom"
+  "test_openatom.pdb"
+  "test_openatom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openatom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

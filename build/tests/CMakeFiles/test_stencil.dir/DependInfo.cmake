@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stencil_test.cpp" "tests/CMakeFiles/test_stencil.dir/stencil_test.cpp.o" "gcc" "tests/CMakeFiles/test_stencil.dir/stencil_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ckd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/ckd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ckdirect/CMakeFiles/ckd_direct.dir/DependInfo.cmake"
+  "/root/repo/build/src/charm/CMakeFiles/ckd_charm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/ckd_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/dcmf/CMakeFiles/ckd_dcmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/ckd_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ckd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ckd_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ckd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ckd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

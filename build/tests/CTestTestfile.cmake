@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_ib[1]_include.cmake")
+include("/root/repo/build/tests/test_dcmf[1]_include.cmake")
+include("/root/repo/build/tests/test_charm[1]_include.cmake")
+include("/root/repo/build/tests/test_ckdirect[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_stencil[1]_include.cmake")
+include("/root/repo/build/tests/test_matmul[1]_include.cmake")
+include("/root/repo/build/tests/test_openatom[1]_include.cmake")
+include("/root/repo/build/tests/test_calibration[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_transport[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
