@@ -11,7 +11,9 @@
 #include <string>
 
 #include "apps/stencil/stencil.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
+#include "harness/profile.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -20,7 +22,8 @@ using namespace ckd;
 namespace {
 
 double run(const charm::MachineConfig& machine, std::int64_t domain,
-           bool localViaMessages, int iters) {
+           bool localViaMessages, int iters, harness::BenchRunner& runner,
+           const char* machineTag) {
   apps::stencil::Config cfg;
   cfg.gx = domain;
   cfg.gy = domain;
@@ -33,20 +36,36 @@ double run(const charm::MachineConfig& machine, std::int64_t domain,
   cfg.real_compute = false;
   cfg.compute_per_element_us = 1.0e-3;
   charm::Runtime rts(machine);
+  runner.configureTrace(rts.engine().trace());
   apps::stencil::StencilApp app(rts, cfg);
-  return app.execute().avg_iteration_us;
+  const double iterUs = app.execute().avg_iteration_us;
+  const char* variant = localViaMessages ? "local_messages" : "channels_all";
+  if (runner.wantsProfiles()) {
+    harness::ProfileReport report = harness::captureProfile(rts);
+    report.label = std::string(machineTag) + "/" + variant + "/" +
+                   std::to_string(domain);
+    runner.addProfile(std::move(report));
+  }
+  util::JsonValue labels = util::JsonValue::object();
+  labels.set("machine", util::JsonValue(machineTag));
+  labels.set("variant", util::JsonValue(variant));
+  labels.set("domain", util::JsonValue(domain));
+  runner.addMetric("iteration_us", iterUs, "us", std::move(labels));
+  return iterUs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
+  harness::BenchRunner runner("ablation_local_channels", args);
   const int iters = static_cast<int>(args.getInt("iters", 4));
   const int pes = static_cast<int>(args.getInt("pes", 16));
 
   for (const bool bgp : {false, true}) {
     const charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
+    const char* machineTag = bgp ? "bgp" : "ib";
     util::TablePrinter table;
     table.setTitle(std::string("Local-neighbor channels ablation, stencil on ") +
                    (bgp ? "Blue Gene/P" : "T3") + ", 128 chares, " +
@@ -64,8 +83,9 @@ int main(int argc, char** argv) {
       const double faceKb =
           static_cast<double>((probe.gx / probe.cx) * (probe.gy / probe.cy)) *
           8.0 / 1024.0;
-      const double all = run(machine, domain, false, iters);
-      const double mixed = run(machine, domain, true, iters);
+      const double all = run(machine, domain, false, iters, runner, machineTag);
+      const double mixed =
+          run(machine, domain, true, iters, runner, machineTag);
       table.addRow({std::to_string(domain) + "^2x" + std::to_string(domain / 2),
                     util::formatFixed(faceKb, 1), util::formatFixed(all, 1),
                     util::formatFixed(mixed, 1),
@@ -73,5 +93,5 @@ int main(int argc, char** argv) {
     }
     table.print(std::cout);
   }
-  return 0;
+  return runner.finish();
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
 #include "harness/pingpong.hpp"
 #include "util/args.hpp"
@@ -20,25 +21,34 @@ using namespace ckd;
 
 namespace {
 
-double charmRtt(charm::MachineConfig machine, std::size_t bytes, int iters) {
+double rtt(const charm::MachineConfig& machine, bool ckdirect,
+           std::size_t bytes, int iters, harness::BenchRunner& runner,
+           const char* variant) {
   harness::PingpongConfig cfg;
   cfg.bytes = bytes;
   cfg.iterations = iters;
-  return harness::charmPingpongRtt(machine, cfg);
-}
-
-double ckdRtt(const charm::MachineConfig& machine, std::size_t bytes,
-              int iters) {
-  harness::PingpongConfig cfg;
-  cfg.bytes = bytes;
-  cfg.iterations = iters;
-  return harness::ckdirectPingpongRtt(machine, cfg);
+  cfg.trace = runner.traceEnabled();
+  cfg.traceCapacity = runner.traceCapacity();
+  harness::ProfileReport report;
+  if (runner.wantsProfiles()) cfg.profile = &report;
+  const double value = ckdirect ? harness::ckdirectPingpongRtt(machine, cfg)
+                                : harness::charmPingpongRtt(machine, cfg);
+  if (cfg.profile != nullptr) {
+    report.label = std::string(variant) + "/" + std::to_string(bytes);
+    runner.addProfile(std::move(report));
+  }
+  util::JsonValue labels = util::JsonValue::object();
+  labels.set("variant", util::JsonValue(variant));
+  labels.set("bytes", util::JsonValue(bytes));
+  runner.addMetric("rtt_us", value, "us", std::move(labels));
+  return value;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
+  harness::BenchRunner runner("ablation_protocol", args);
   const int iters = static_cast<int>(args.getInt("iters", 200));
   const charm::MachineConfig base = harness::abeMachine(2, 1);
 
@@ -51,7 +61,6 @@ int main(int argc, char** argv) {
   for (const std::int64_t size :
        args.getIntList("sizes", {100, 1000, 10000, 30000, 100000})) {
     const auto bytes = static_cast<std::size_t>(size);
-    const double dflt = charmRtt(base, bytes, iters);
 
     charm::MachineConfig noHeader = base;
     noHeader.costs.header_bytes = 0;
@@ -63,13 +72,20 @@ int main(int argc, char** argv) {
     freeRndv.costs.rendezvous_reg_base_us = 0;
     freeRndv.costs.rendezvous_reg_per_byte_us = 0;
 
-    table.addRow({util::formatFixed(size / 1000.0, 1),
-                  util::formatFixed(dflt, 2),
-                  util::formatFixed(charmRtt(noHeader, bytes, iters), 2),
-                  util::formatFixed(charmRtt(noSched, bytes, iters), 2),
-                  util::formatFixed(charmRtt(noPack, bytes, iters), 2),
-                  util::formatFixed(charmRtt(freeRndv, bytes, iters), 2),
-                  util::formatFixed(ckdRtt(base, bytes, iters), 2)});
+    table.addRow(
+        {util::formatFixed(size / 1000.0, 1),
+         util::formatFixed(rtt(base, false, bytes, iters, runner, "default"),
+                           2),
+         util::formatFixed(
+             rtt(noHeader, false, bytes, iters, runner, "no_header"), 2),
+         util::formatFixed(
+             rtt(noSched, false, bytes, iters, runner, "no_sched"), 2),
+         util::formatFixed(rtt(noPack, false, bytes, iters, runner, "no_pack"),
+                           2),
+         util::formatFixed(
+             rtt(freeRndv, false, bytes, iters, runner, "free_rendezvous"), 2),
+         util::formatFixed(
+             rtt(base, true, bytes, iters, runner, "ckdirect"), 2)});
   }
   table.print(std::cout);
 
@@ -82,14 +98,27 @@ int main(int argc, char** argv) {
   for (const std::int64_t size : args.getIntList("sizes", {100, 1000, 10000,
                                                             30000, 100000})) {
     const auto bytes = static_cast<std::size_t>(size);
-    const double putOneWay = ckdRtt(base, bytes, iters) / 2.0;
+    harness::PingpongConfig cfg;
+    cfg.bytes = bytes;
+    cfg.iterations = iters;
+    const double putOneWay =
+        harness::ckdirectPingpongRtt(base, cfg) / 2.0;
     // A get adds one control-message latency (request to the owner).
     const double requestLatency = base.netParams.control.alpha_us +
                                   2 * base.netParams.per_hop_us;
+    util::JsonValue putLabels = util::JsonValue::object();
+    putLabels.set("variant", util::JsonValue("put"));
+    putLabels.set("bytes", util::JsonValue(bytes));
+    runner.addMetric("one_way_us", putOneWay, "us", std::move(putLabels));
+    util::JsonValue getLabels = util::JsonValue::object();
+    getLabels.set("variant", util::JsonValue("get"));
+    getLabels.set("bytes", util::JsonValue(bytes));
+    runner.addMetric("one_way_us", putOneWay + requestLatency, "us",
+                     std::move(getLabels));
     pg.addRow({util::formatFixed(size / 1000.0, 1),
                util::formatFixed(putOneWay, 2),
                util::formatFixed(putOneWay + requestLatency, 2)});
   }
   pg.print(std::cout);
-  return 0;
+  return runner.finish();
 }

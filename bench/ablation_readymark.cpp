@@ -21,7 +21,9 @@
 
 #include "apps/openatom/openatom.hpp"
 #include "ckdirect/ckdirect.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
+#include "harness/profile.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -30,7 +32,8 @@ using namespace ckd;
 namespace {
 
 double run(apps::openatom::Mode mode, apps::openatom::ReadyStrategy ready,
-           int nstates, int pes, const util::Args& args) {
+           int nstates, int pes, const util::Args& args,
+           harness::BenchRunner& runner, const char* variant) {
   apps::openatom::Config cfg;
   cfg.nstates = nstates;
   cfg.nplanes = static_cast<int>(args.getInt("nplanes", 8));
@@ -41,14 +44,26 @@ double run(apps::openatom::Mode mode, apps::openatom::ReadyStrategy ready,
   cfg.real_compute = false;
   charm::MachineConfig machine = harness::abeMachine(pes, 2);
   charm::Runtime rts(machine);
+  runner.configureTrace(rts.engine().trace());
   apps::openatom::OpenAtomApp app(rts, cfg);
-  return app.execute().avg_step_us;
+  const double stepUs = app.execute().avg_step_us;
+  if (runner.wantsProfiles()) {
+    harness::ProfileReport report = harness::captureProfile(rts);
+    report.label = std::string(variant) + "/" + std::to_string(nstates);
+    runner.addProfile(std::move(report));
+  }
+  util::JsonValue labels = util::JsonValue::object();
+  labels.set("variant", util::JsonValue(variant));
+  labels.set("nstates", util::JsonValue(nstates));
+  runner.addMetric("step_us", stepUs, "us", std::move(labels));
+  return stepUs;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
+  harness::BenchRunner runner("ablation_readymark", args);
   const int pes = static_cast<int>(args.getInt("pes", 32));
 
   util::TablePrinter table;
@@ -63,13 +78,13 @@ int main(int argc, char** argv) {
     const int nstates = static_cast<int>(s);
     const double msg = run(apps::openatom::Mode::kMessages,
                            apps::openatom::ReadyStrategy::kNaive, nstates,
-                           pes, args);
+                           pes, args, runner, "messages");
     const double naive = run(apps::openatom::Mode::kCkDirect,
                              apps::openatom::ReadyStrategy::kNaive, nstates,
-                             pes, args);
-    const double split =
-        run(apps::openatom::Mode::kCkDirect,
-            apps::openatom::ReadyStrategy::kMarkDeferPoll, nstates, pes, args);
+                             pes, args, runner, "naive_ready");
+    const double split = run(apps::openatom::Mode::kCkDirect,
+                             apps::openatom::ReadyStrategy::kMarkDeferPoll,
+                             nstates, pes, args, runner, "mark_pollq");
     const std::int64_t channels =
         4ll * nstates * args.getInt("nplanes", 8);
     table.addRow({std::to_string(nstates), std::to_string(channels),
@@ -81,5 +96,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "(paper: naive polling made CkDirect slower than messaging; "
                "the ReadyMark/ReadyPollQ split bounds the polling window)\n";
-  return 0;
+  return runner.finish();
 }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "apps/stencil/stencil.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
 #include "harness/profile.hpp"
 #include "util/args.hpp"
@@ -28,7 +29,8 @@ namespace {
 
 apps::stencil::Result run(const charm::MachineConfig& machine,
                           apps::stencil::Mode mode, int pes, int iterations,
-                          double computePerElement, bool profile) {
+                          double computePerElement,
+                          harness::BenchRunner& runner) {
   apps::stencil::Config cfg;
   cfg.gx = 1024;
   cfg.gy = 1024;
@@ -40,11 +42,16 @@ apps::stencil::Result run(const charm::MachineConfig& machine,
   cfg.real_compute = false;
   cfg.compute_per_element_us = computePerElement;
   charm::Runtime rts(machine);
+  runner.configureTrace(rts.engine().trace());
   apps::stencil::StencilApp app(rts, cfg);
   const auto result = app.execute();
-  if (profile)
-    std::cout << (mode == apps::stencil::Mode::kCkDirect ? "[CKD] " : "[MSG] ")
-              << harness::captureProfile(rts).toString();
+  if (runner.wantsProfiles()) {
+    harness::ProfileReport report = harness::captureProfile(rts);
+    report.label =
+        std::string(mode == apps::stencil::Mode::kCkDirect ? "ckd" : "msg") +
+        "/" + std::to_string(pes);
+    runner.addProfile(std::move(report));
+  }
   return result;
 }
 
@@ -54,6 +61,8 @@ int main(int argc, char** argv) {
   util::Args args(argc, argv);
   const std::string machineName = args.get("machine", FIG_DEFAULT_MACHINE);
   const bool bgp = machineName == "bgp";
+  harness::BenchRunner runner(
+      bgp ? "fig2b_stencil_bgp" : "fig2a_stencil_ib", args);
   const int iterations = static_cast<int>(args.getInt("iters", 3));
   const std::vector<std::int64_t> defaults =
       bgp ? std::vector<std::int64_t>{64, 128, 256, 512, 1024, 2048, 4096}
@@ -62,7 +71,6 @@ int main(int argc, char** argv) {
   // Per-element update cost: ~1 ns on the T3 Woodcrest cores, ~3.5 ns on
   // the 850 MHz BG/P cores.
   const double cpe = args.getDouble("cpe", bgp ? 3.5e-3 : 1.0e-3);
-  const bool profile = args.getBool("profile", false);
 
   util::TablePrinter table;
   table.setTitle(std::string("Figure 2") + (bgp ? "(b)" : "(a)") +
@@ -76,9 +84,17 @@ int main(int argc, char** argv) {
     const charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
     const auto msg = run(machine, apps::stencil::Mode::kMessages, pes,
-                         iterations, cpe, profile);
+                         iterations, cpe, runner);
     const auto ckd = run(machine, apps::stencil::Mode::kCkDirect, pes,
-                         iterations, cpe, profile);
+                         iterations, cpe, runner);
+    for (const char* variant : {"msg", "ckd"}) {
+      const auto& r = variant[0] == 'm' ? msg : ckd;
+      util::JsonValue labels = util::JsonValue::object();
+      labels.set("variant", util::JsonValue(variant));
+      labels.set("pes", util::JsonValue(pes));
+      runner.addMetric("iteration_us", r.avg_iteration_us, "us",
+                       std::move(labels));
+    }
     table.addRow({std::to_string(pes),
                   util::formatFixed(msg.avg_iteration_us, 1),
                   util::formatFixed(ckd.avg_iteration_us, 1),
@@ -90,5 +106,5 @@ int main(int argc, char** argv) {
   std::cout << "(paper: gains grow with processor count; ~12% at 256 on "
                "InfiniBand, smaller but positive on BG/P with a dip at "
                "2048)\n";
-  return 0;
+  return runner.finish();
 }

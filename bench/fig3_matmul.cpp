@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "apps/matmul/matmul.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
+#include "harness/profile.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -19,7 +21,8 @@ namespace {
 
 apps::matmul::Result run(const charm::MachineConfig& machine,
                          apps::matmul::Mode mode, int pes, int iterations,
-                         double flopCost) {
+                         double flopCost, harness::BenchRunner& runner,
+                         const std::string& machineTag) {
   apps::matmul::Config cfg;
   cfg.m = cfg.n = cfg.k = 2048;
   apps::matmul::chooseGrid(pes, cfg.cx, cfg.cy, cfg.cz);
@@ -32,18 +35,30 @@ apps::matmul::Result run(const charm::MachineConfig& machine,
   // placement runs well below straight memcpy bandwidth (~4x slower).
   cfg.copy_per_byte_us = machine.netParams.self_per_byte_us * 4.0;
   charm::Runtime rts(machine);
+  runner.configureTrace(rts.engine().trace());
   apps::matmul::MatmulApp app(rts, cfg);
-  return app.execute();
+  const auto result = app.execute();
+  if (runner.wantsProfiles()) {
+    harness::ProfileReport report = harness::captureProfile(rts);
+    report.label =
+        machineTag + "/" +
+        (mode == apps::matmul::Mode::kCkDirect ? "ckd" : "msg") + "/" +
+        std::to_string(pes);
+    runner.addProfile(std::move(report));
+  }
+  return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
+  harness::BenchRunner runner("fig3_matmul", args);
   const std::string machineName = args.get("machine", "both");
   const int iterations = static_cast<int>(args.getInt("iters", 3));
 
   auto sweep = [&](bool bgp) {
+    const std::string machineTag = bgp ? "bgp" : "ib";
     const std::vector<std::int64_t> defaults =
         bgp ? std::vector<std::int64_t>{64, 128, 256, 512, 1024, 2048, 4096}
             : std::vector<std::int64_t>{16, 32, 64, 128, 256};
@@ -62,9 +77,18 @@ int main(int argc, char** argv) {
       const charm::MachineConfig machine =
           bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 8);
       const auto msg = run(machine, apps::matmul::Mode::kMessages, pes,
-                           iterations, flopCost);
+                           iterations, flopCost, runner, machineTag);
       const auto ckd = run(machine, apps::matmul::Mode::kCkDirect, pes,
-                           iterations, flopCost);
+                           iterations, flopCost, runner, machineTag);
+      for (const char* variant : {"msg", "ckd"}) {
+        const auto& r = variant[0] == 'm' ? msg : ckd;
+        util::JsonValue labels = util::JsonValue::object();
+        labels.set("machine", util::JsonValue(machineTag));
+        labels.set("variant", util::JsonValue(variant));
+        labels.set("pes", util::JsonValue(pes));
+        runner.addMetric("iteration_us", r.avg_iteration_us, "us",
+                         std::move(labels));
+      }
       table.addRow({std::to_string(pes),
                     util::formatFixed(msg.avg_iteration_us, 1),
                     util::formatFixed(ckd.avg_iteration_us, 1),
@@ -78,5 +102,5 @@ int main(int argc, char** argv) {
   if (machineName == "both" || machineName == "ib") sweep(/*bgp=*/false);
   std::cout << "(paper: CkDirect scales better on both machines; the "
                "absolute gap grows with processors, ~40% at 4K on BG/P)\n";
-  return 0;
+  return runner.finish();
 }

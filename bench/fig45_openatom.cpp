@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "apps/openatom/openatom.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
+#include "harness/profile.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -25,7 +27,7 @@ namespace {
 apps::openatom::Result run(const charm::MachineConfig& machine,
                            apps::openatom::Mode mode, bool pcOnly,
                            const util::Args& args, int steps, int pes,
-                           bool bgp) {
+                           bool bgp, harness::BenchRunner& runner) {
   apps::openatom::Config cfg;
   cfg.nstates = static_cast<int>(args.getInt("nstates", 1024));
   cfg.nplanes = static_cast<int>(args.getInt("nplanes", 16));
@@ -49,8 +51,17 @@ apps::openatom::Result run(const charm::MachineConfig& machine,
       args.getDouble("flop", bgp ? 0.74e-3 : 0.28e-3) / 2.0;
   cfg.copy_per_byte_us = machine.netParams.self_per_byte_us;
   charm::Runtime rts(machine);
+  runner.configureTrace(rts.engine().trace());
   apps::openatom::OpenAtomApp app(rts, cfg);
-  return app.execute();
+  const auto result = app.execute();
+  if (runner.wantsProfiles()) {
+    harness::ProfileReport report = harness::captureProfile(rts);
+    report.label =
+        std::string(mode == apps::openatom::Mode::kCkDirect ? "ckd" : "msg") +
+        (pcOnly ? "-pc" : "-full") + "/" + std::to_string(pes);
+    runner.addProfile(std::move(report));
+  }
+  return result;
 }
 
 }  // namespace
@@ -62,6 +73,8 @@ apps::openatom::Result run(const charm::MachineConfig& machine,
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
   const bool bgp = args.get("machine", FIG_DEFAULT_MACHINE) == "bgp";
+  harness::BenchRunner runner(bgp ? "fig5_openatom_bgp" : "fig4_openatom_ib",
+                              args);
   const int steps = static_cast<int>(args.getInt("steps", 2));
   const std::vector<std::int64_t> defaults =
       bgp ? std::vector<std::int64_t>{256, 512, 1024, 4096}
@@ -79,13 +92,28 @@ int main(int argc, char** argv) {
     const charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 2);
     const auto msgFull = run(machine, apps::openatom::Mode::kMessages, false,
-                             args, steps, pes, bgp);
+                             args, steps, pes, bgp, runner);
     const auto ckdFull = run(machine, apps::openatom::Mode::kCkDirect, false,
-                             args, steps, pes, bgp);
+                             args, steps, pes, bgp, runner);
     const auto msgPc = run(machine, apps::openatom::Mode::kMessages, true,
-                           args, steps, pes, bgp);
+                           args, steps, pes, bgp, runner);
     const auto ckdPc = run(machine, apps::openatom::Mode::kCkDirect, true,
-                           args, steps, pes, bgp);
+                           args, steps, pes, bgp, runner);
+    const struct {
+      const char* variant;
+      const char* scope;
+      double value;
+    } rows[] = {{"msg", "full", msgFull.avg_step_us},
+                {"ckd", "full", ckdFull.avg_step_us},
+                {"msg", "pc_only", msgPc.avg_step_us},
+                {"ckd", "pc_only", ckdPc.avg_step_us}};
+    for (const auto& r : rows) {
+      util::JsonValue labels = util::JsonValue::object();
+      labels.set("variant", util::JsonValue(r.variant));
+      labels.set("scope", util::JsonValue(r.scope));
+      labels.set("pes", util::JsonValue(pes));
+      runner.addMetric("step_us", r.value, "us", std::move(labels));
+    }
     table.addRow(
         {std::to_string(pes), util::formatFixed(msgFull.avg_step_us, 0),
          util::formatFixed(ckdFull.avg_step_us, 0),
@@ -97,5 +125,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "(paper: ~4% full-step gain on Abe, up to ~14% PC-only; "
                "slight gains on BG/P, larger PC-only at 4096)\n";
-  return 0;
+  return runner.finish();
 }

@@ -7,16 +7,19 @@
 
 #include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "charm/maps.hpp"
 #include "charm/marshal.hpp"
 #include "charm/proxy.hpp"
 #include "charm/runtime.hpp"
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
 #include "harness/pingpong.hpp"
 #include "mpi/mini_mpi.hpp"
 #include "sim/engine.hpp"
+#include "util/args.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -155,6 +158,56 @@ void BM_RuntimeReduction(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimeReduction)->Arg(256)->Arg(2048);
 
+// Forwards the console output unchanged while mirroring every per-iteration
+// run into the BenchRunner as a ns_per_iter metric.
+class CollectingReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(harness::BenchRunner& runner)
+      : runner_(runner) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred ||
+          run.iterations == 0)
+        continue;
+      util::JsonValue labels = util::JsonValue::object();
+      labels.set("benchmark", util::JsonValue(run.benchmark_name()));
+      runner_.addMetric("ns_per_iter",
+                        run.real_accumulated_time /
+                            static_cast<double>(run.iterations) * 1e9,
+                        "ns", std::move(labels));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  harness::BenchRunner& runner_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  harness::BenchRunner runner("micro_library", args);
+  // Hand google-benchmark an argv without our flags; it treats unknown
+  // options as benchmark filters.
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool valueFlag = arg == "--json" || arg == "--trace-dump" ||
+                           arg == "--trace-cap";
+    if (arg == "--profile" || valueFlag ||
+        arg.rfind("--json=", 0) == 0 || arg.rfind("--trace-dump=", 0) == 0 ||
+        arg.rfind("--trace-cap=", 0) == 0) {
+      if (valueFlag && i + 1 < argc) ++i;  // skip the separate value token
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  int benchArgc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&benchArgc, filtered.data());
+  CollectingReporter reporter(runner);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return runner.finish();
+}

@@ -3,9 +3,12 @@
 // across the paper's ten message sizes.
 
 #include <cstdio>
+#include <functional>
 #include <iostream>
+#include <string>
 #include <vector>
 
+#include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
 #include "harness/pingpong.hpp"
 #include "util/args.hpp"
@@ -14,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace ckd;
   util::Args args(argc, argv);
+  harness::BenchRunner runner("table1_pingpong_ib", args);
   const int iterations = static_cast<int>(args.getInt("iters", 1000));
 
   // Pingpong runs between two processes on distinct nodes (1 PE/node).
@@ -45,27 +49,61 @@ int main(int argc, char** argv) {
   const mpi::MpiCosts vmi = mpi::mpichVmiCosts();
   const mpi::MpiCosts mvapich = mpi::mvapichCosts();
 
+  struct Variant {
+    const char* name;
+    std::function<double(const harness::PingpongConfig&)> run;
+  };
+  const std::vector<Variant> variants = {
+      {"charm",
+       [&](const harness::PingpongConfig& c) {
+         return harness::charmPingpongRtt(machine, c);
+       }},
+      {"ckdirect",
+       [&](const harness::PingpongConfig& c) {
+         return harness::ckdirectPingpongRtt(machine, c);
+       }},
+      {"mpich_vmi",
+       [&](const harness::PingpongConfig& c) {
+         return harness::mpiPingpongRtt(machine, vmi, c);
+       }},
+      {"mvapich",
+       [&](const harness::PingpongConfig& c) {
+         return harness::mpiPingpongRtt(machine, mvapich, c);
+       }},
+      {"mvapich_put",
+       [&](const harness::PingpongConfig& c) {
+         return harness::mpiPutPingpongRtt(machine, mvapich, c);
+       }},
+  };
+
   for (std::size_t i = 0; i < sizes.size(); ++i) {
-    harness::PingpongConfig cfg;
-    cfg.bytes = sizes[i];
-    cfg.iterations = iterations;
-    const double rows[5] = {
-        harness::charmPingpongRtt(machine, cfg),
-        harness::ckdirectPingpongRtt(machine, cfg),
-        harness::mpiPingpongRtt(machine, vmi, cfg),
-        harness::mpiPingpongRtt(machine, mvapich, cfg),
-        harness::mpiPutPingpongRtt(machine, mvapich, cfg),
-    };
     std::vector<std::string> cells;
     cells.push_back(util::formatFixed(static_cast<double>(sizes[i]) / 1000.0,
                                       1));
-    for (int v = 0; v < 5; ++v)
-      cells.push_back(util::formatFixed(rows[v], 3) + " [" +
-                      util::formatFixed(paper[static_cast<std::size_t>(v)][i],
-                                        3) +
-                      "]");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      harness::PingpongConfig cfg;
+      cfg.bytes = sizes[i];
+      cfg.iterations = iterations;
+      cfg.trace = runner.traceEnabled();
+      cfg.traceCapacity = runner.traceCapacity();
+      harness::ProfileReport report;
+      if (runner.wantsProfiles()) cfg.profile = &report;
+      const double rtt = variants[v].run(cfg);
+
+      util::JsonValue labels = util::JsonValue::object();
+      labels.set("variant", util::JsonValue(variants[v].name));
+      labels.set("bytes", util::JsonValue(sizes[i]));
+      runner.addMetric("rtt_us", rtt, "us", std::move(labels));
+      if (cfg.profile != nullptr) {
+        report.label =
+            std::string(variants[v].name) + "/" + std::to_string(sizes[i]);
+        runner.addProfile(std::move(report));
+      }
+      cells.push_back(util::formatFixed(rtt, 3) + " [" +
+                      util::formatFixed(paper[v][i], 3) + "]");
+    }
     table.addRow(std::move(cells));
   }
   table.print(std::cout);
-  return 0;
+  return runner.finish();
 }

@@ -162,7 +162,8 @@ void Runtime::sendMessage(MessagePtr msg) {
   Scheduler& src = scheduler(env.srcPe);
   const bool inContext = (currentPe_ == env.srcPe) && src.inHandler();
   if (inContext)
-    src.charge(config_.costs.pack_us + config_.costs.send_overhead_us);
+    src.chargeAs(sim::Layer::kTransport,
+                 config_.costs.pack_us + config_.costs.send_overhead_us);
   const sim::Time issue = inContext ? src.currentTime() : engine_.now();
 
   msg->sealHeader();

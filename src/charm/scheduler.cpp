@@ -16,9 +16,10 @@ void Scheduler::enqueue(MessagePtr msg) {
   schedulePump();
 }
 
-void Scheduler::enqueueSystemWork(sim::Time cost, std::function<void()> fn) {
+void Scheduler::enqueueSystemWork(sim::Time cost, std::function<void()> fn,
+                                  sim::Layer layer) {
   CKD_REQUIRE(cost >= 0.0, "negative system work cost");
-  systemWork_.emplace_back(cost, std::move(fn));
+  systemWork_.push_back(SystemWork{cost, std::move(fn), layer});
   schedulePump();
 }
 
@@ -35,9 +36,13 @@ sim::Time Scheduler::currentTime() const {
   return ctxActive_ ? ctxStart_ + ctxCharged_ : runtime_.engine().now();
 }
 
-void Scheduler::charge(sim::Time cost) {
+void Scheduler::charge(sim::Time cost) { chargeAs(ctxLayer_, cost); }
+
+void Scheduler::chargeAs(sim::Layer layer, sim::Time cost) {
   CKD_REQUIRE(cost >= 0.0, "negative charge");
-  if (ctxActive_) ctxCharged_ += cost;
+  if (!ctxActive_) return;
+  ctxCharged_ += cost;
+  runtime_.engine().trace().addLayerTime(layer, cost);
 }
 
 void Scheduler::schedulePump() {
@@ -66,27 +71,45 @@ void Scheduler::pump() {
   ctxActive_ = true;
   ctxStart_ = t;
   ctxCharged_ = 0.0;
+  ctxLayer_ = sim::Layer::kApp;
   runtime_.setCurrentPe(pe_);
+  sim::TraceRecorder& trace = engine.trace();
+  trace.record(t, pe_, sim::TraceTag::kSchedPump,
+               static_cast<double>(messages_.size()));
 
   // 1. Poll phase: CkDirect's polling-queue scan (charges per handle and
   //    may run put-completion callbacks).
-  if (pollHook_) pollHook_();
+  if (pollHook_) {
+    ctxLayer_ = sim::Layer::kCkDirect;
+    pollHook_();
+    ctxLayer_ = sim::Layer::kApp;
+  }
 
   // 2. One unit of work: machine-level system work first (no scheduling
   //    overhead), else one message from the queue.
   if (!systemWork_.empty()) {
-    auto [cost, fn] = std::move(systemWork_.front());
+    SystemWork work = std::move(systemWork_.front());
     systemWork_.pop_front();
-    charge(cost);
-    if (fn) fn();
+    trace.record(t, pe_, sim::TraceTag::kSchedSystemWork, work.cost);
+    chargeAs(work.layer, work.cost);
+    if (work.fn) {
+      ctxLayer_ = work.layer;
+      work.fn();
+      ctxLayer_ = sim::Layer::kApp;
+    }
   } else if (!messages_.empty()) {
     MessagePtr msg = std::move(messages_.front());
     messages_.pop_front();
     ++messagesProcessed_;
+    trace.record(t, pe_, sim::TraceTag::kSchedDeliver,
+                 static_cast<double>(msg->payloadBytes()));
     const RuntimeCosts& costs = runtime_.costs();
-    charge(costs.recv_overhead_us + costs.sched_overhead_us +
-           costs.recv_copy_per_byte_us *
-               static_cast<double>(msg->payloadBytes()));
+    // Envelope handling, scheduling, and the receive-side copy are
+    // scheduler time; the handler body itself charges as application time.
+    chargeAs(sim::Layer::kScheduler,
+             costs.recv_overhead_us + costs.sched_overhead_us +
+                 costs.recv_copy_per_byte_us *
+                     static_cast<double>(msg->payloadBytes()));
     runtime_.deliver(*msg);
   }
 

@@ -39,8 +39,11 @@ class Scheduler {
 
   /// Queue machine-level work that bypasses the message queue: it runs at
   /// the PE's next free moment and charges `cost` (plus anything `fn`
-  /// charges) but no scheduling overhead.
-  void enqueueSystemWork(sim::Time cost, std::function<void()> fn);
+  /// charges) but no scheduling overhead. `layer` is the runtime tier the
+  /// cost is attributed to (rendezvous processing is transport work, DCMF
+  /// completions of CkDirect puts are ckdirect work).
+  void enqueueSystemWork(sim::Time cost, std::function<void()> fn,
+                         sim::Layer layer = sim::Layer::kTransport);
 
   /// Ask for a pump after `delay` — used to model "the poll loop will
   /// notice the landed data shortly" (CkDirect delivery pokes).
@@ -57,28 +60,41 @@ class Scheduler {
   /// far. Equals engine.now() outside a handler.
   sim::Time currentTime() const;
 
-  /// Model compute / software cost inside the current handler. No-op when
-  /// called outside one (setup code at t=0 is free).
+  /// Model compute / software cost inside the current handler, attributed
+  /// to the current context's layer (kApp inside an entry method). No-op
+  /// when called outside one (setup code at t=0 is free).
   void charge(sim::Time cost);
+
+  /// Like charge(), but attributes the time to an explicit runtime layer —
+  /// the transports and CkDirect managers use this so per-layer breakdowns
+  /// in ProfileReport do not lump runtime overhead into application time.
+  void chargeAs(sim::Layer layer, sim::Time cost);
 
   std::size_t queueLength() const { return messages_.size(); }
   std::uint64_t messagesProcessed() const { return messagesProcessed_; }
   std::uint64_t pumps() const { return pumps_; }
 
  private:
+  struct SystemWork {
+    sim::Time cost;
+    std::function<void()> fn;
+    sim::Layer layer;
+  };
+
   void schedulePump();
   void pump();
 
   Runtime& runtime_;
   int pe_;
   std::deque<MessagePtr> messages_;
-  std::deque<std::pair<sim::Time, std::function<void()>>> systemWork_;
+  std::deque<SystemWork> systemWork_;
   std::function<void()> pollHook_;
 
   bool pumpScheduled_ = false;
   bool ctxActive_ = false;
   sim::Time ctxStart_ = 0.0;
   sim::Time ctxCharged_ = 0.0;
+  sim::Layer ctxLayer_ = sim::Layer::kApp;
 
   std::uint64_t messagesProcessed_ = 0;
   std::uint64_t pumps_ = 0;

@@ -32,6 +32,9 @@ void IbTransport::sendEager(MessagePtr msg) {
   ++eagerSends_;
   const int src = msg->env().srcPe;
   const int dst = msg->env().dstPe;
+  runtime_.engine().trace().record(runtime_.engine().now(), src,
+                                   sim::TraceTag::kXportEager,
+                                   static_cast<double>(msg->payloadBytes()));
   runtime_.fabric().submit(src, dst, modeledWireBytes(*msg),
                            net::XferKind::kPacket, [this, msg]() mutable {
                              runtime_.scheduler(msg->env().dstPe)
@@ -44,7 +47,10 @@ void IbTransport::sendRendezvous(MessagePtr msg) {
   const Envelope env = msg->env();
   const std::uint64_t seq = env.seq;
   CKD_REQUIRE(pendingSends_.count(seq) == 0, "duplicate rendezvous sequence");
-  pendingSends_.emplace(seq, std::move(msg));
+  const sim::Time now = runtime_.engine().now();
+  runtime_.engine().trace().record(now, env.srcPe, sim::TraceTag::kXportRtsSend,
+                                   static_cast<double>(env.payloadBytes));
+  pendingSends_.emplace(seq, PendingSend{std::move(msg), now});
 
   // Request-to-send: a small control message carrying the envelope so the
   // receiver can allocate and register a landing buffer of the right size.
@@ -58,6 +64,9 @@ void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
   // memory registration are machine-level work on the receiving PE; the
   // cost grows slowly with the message size (paper §3, rendezvous analysis).
   const RuntimeCosts& costs = runtime_.costs();
+  runtime_.engine().trace().record(runtime_.engine().now(), env.dstPe,
+                                   sim::TraceTag::kXportRtsRecv,
+                                   static_cast<double>(env.payloadBytes));
   const sim::Time regCost =
       costs.rendezvous_reg_base_us +
       costs.rendezvous_reg_per_byte_us * static_cast<double>(env.payloadBytes);
@@ -85,8 +94,11 @@ void IbTransport::onRendezvousAck(std::uint64_t seq, void* remoteAddr,
                                   ib::RegionId remoteRegion) {
   const auto it = pendingSends_.find(seq);
   CKD_REQUIRE(it != pendingSends_.end(), "rendezvous ack for unknown send");
-  MessagePtr msg = it->second;  // keep alive until the RDMA completes
+  MessagePtr msg = it->second.msg;  // keep alive until the RDMA completes
   const int src = msg->env().srcPe;
+  sim::TraceRecorder& trace = runtime_.engine().trace();
+  trace.record(runtime_.engine().now(), src, sim::TraceTag::kXportAck);
+  trace.observeRendezvousRtt(runtime_.engine().now() - it->second.rtsAt);
   runtime_.scheduler(src).enqueueSystemWork(
       kAckProcessUs, [this, seq, msg, remoteAddr, remoteRegion]() {
         const int src = msg->env().srcPe;
@@ -121,6 +133,10 @@ void IbTransport::onRdmaDelivered(std::uint64_t seq) {
   CKD_REQUIRE(it != pendingRecvs_.end(), "RDMA delivery for unknown recv");
   PendingRecv recv = std::move(it->second);
   pendingRecvs_.erase(it);
+  runtime_.engine().trace().record(
+      runtime_.engine().now(), recv.landing->env().dstPe,
+      sim::TraceTag::kXportRdmaDelivered,
+      static_cast<double>(recv.landing->payloadBytes()));
   verbs_.deregisterMemory(recv.region);
   runtime_.scheduler(recv.landing->env().dstPe).enqueue(std::move(recv.landing));
 }
@@ -172,6 +188,9 @@ void BgpTransport::releaseRequest(dcmf::Request* request) {
 void BgpTransport::send(MessagePtr msg) {
   ++sends_;
   msg->sealHeader();
+  runtime_.engine().trace().record(runtime_.engine().now(), msg->env().srcPe,
+                                   sim::TraceTag::kXportBgpSend,
+                                   static_cast<double>(msg->payloadBytes()));
   dcmf::Request* request = acquireRequest();
   const std::span<const std::byte> wire = msg->wire();
   // `msg` is captured by the completion so the wire bytes outlive the send.

@@ -18,6 +18,7 @@
 #include "charm/message.hpp"
 #include "dcmf/dcmf.hpp"
 #include "ib/verbs.hpp"
+#include "sim/time.hpp"
 
 namespace ckd::charm {
 
@@ -53,7 +54,11 @@ class IbTransport final : public Transport {
 
   Runtime& runtime_;
   ib::IbVerbs& verbs_;
-  std::map<std::uint64_t, MessagePtr> pendingSends_;
+  struct PendingSend {
+    MessagePtr msg;
+    sim::Time rtsAt;  // when the request-to-send left, for RTT stats
+  };
+  std::map<std::uint64_t, PendingSend> pendingSends_;
   struct PendingRecv {
     MessagePtr landing;
     ib::RegionId region;

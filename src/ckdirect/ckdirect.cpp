@@ -21,6 +21,11 @@ Manager& Manager::of(charm::Runtime& rts) {
   return *std::static_pointer_cast<Manager>(rts.extension());
 }
 
+Manager* Manager::peek(charm::Runtime& rts) {
+  if (!rts.extension()) return nullptr;
+  return std::static_pointer_cast<Manager>(rts.extension()).get();
+}
+
 Handle createHandle(charm::Runtime& rts, int receiverPe, void* buffer,
                     std::size_t bytes, std::uint64_t oob, Callback callback) {
   Manager& mgr = Manager::of(rts);

@@ -55,6 +55,11 @@ class Manager {
   /// concrete implementation matches the runtime's machine layer.
   static Manager& of(charm::Runtime& rts);
 
+  /// Non-creating lookup: nullptr when the runtime has no CkDirect manager
+  /// yet. Observers (profiling, tests) must use this so inspection never
+  /// mutates the system under observation.
+  static Manager* peek(charm::Runtime& rts);
+
   virtual std::int32_t createHandle(int receiverPe, void* buffer,
                                     std::size_t bytes, std::uint64_t oob,
                                     Callback callback) = 0;

@@ -102,11 +102,14 @@ void BgpManager::put(std::int32_t handle) {
   ++puts_;
 
   charm::Scheduler& sender = rts_.scheduler(ch.sendPe);
-  sender.charge(rts_.costs().put_issue_us);
+  sender.chargeAs(sim::Layer::kCkDirect, rts_.costs().put_issue_us);
   const sim::Time issue = sender.currentTime();
 
   rts_.engine().at(issue, [this, handle]() {
     Channel& ch = channel(handle);
+    rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
+                                 sim::TraceTag::kDirectPut,
+                                 static_cast<double>(ch.bytes));
     // Two quad words of context ride with the payload (§2.2): the receive
     // buffer pointer + handle id, and the receive request pointer.
     dcmf::Info info;
@@ -129,20 +132,26 @@ void BgpManager::onArrived(std::int32_t id) {
   // first scatter the staged payload into place — one more copy, charged
   // at the node's memcpy rate.
   ++callbacks_;
+  rts_.engine().trace().record(rts_.engine().now(), ch.recvPe,
+                               sim::TraceTag::kDirectCallback);
   sim::Time cost = rts_.costs().callback_overhead_us;
   if (ch.blockCount > 1)
     cost += rts_.fabric().params().self_per_byte_us *
             static_cast<double>(ch.bytes);
-  rts_.scheduler(ch.recvPe).enqueueSystemWork(cost, [this, id]() {
-    Channel& c = channel(id);
-    if (c.blockCount > 1) {
-      for (int b = 0; b < c.blockCount; ++b)
-        std::memcpy(c.recvBuffer + static_cast<std::size_t>(b) * c.strideBytes,
-                    c.staging.data() + static_cast<std::size_t>(b) * c.blockBytes,
-                    c.blockBytes);
-    }
-    c.callback();
-  });
+  rts_.scheduler(ch.recvPe).enqueueSystemWork(
+      cost,
+      [this, id]() {
+        Channel& c = channel(id);
+        if (c.blockCount > 1) {
+          for (int b = 0; b < c.blockCount; ++b)
+            std::memcpy(
+                c.recvBuffer + static_cast<std::size_t>(b) * c.strideBytes,
+                c.staging.data() + static_cast<std::size_t>(b) * c.blockBytes,
+                c.blockBytes);
+        }
+        c.callback();
+      },
+      sim::Layer::kCkDirect);
 }
 
 }  // namespace ckd::direct

@@ -125,12 +125,16 @@ void IbManager::put(std::int32_t handle) {
   // no message allocation, no header (§3's explanation of the small-message
   // win).
   charm::Scheduler& sender = rts_.scheduler(ch.sendPe);
-  sender.charge(rts_.costs().put_issue_us +
-                0.05 * (ch.blockCount - 1));  // extra descriptors
+  sender.chargeAs(sim::Layer::kCkDirect,
+                  rts_.costs().put_issue_us +
+                      0.05 * (ch.blockCount - 1));  // extra descriptors
   const sim::Time issue = sender.currentTime();
 
   rts_.engine().at(issue, [this, handle]() {
     Channel& ch = channel(handle);
+    rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
+                                 sim::TraceTag::kDirectPut,
+                                 static_cast<double>(ch.bytes));
     // One RDMA write per destination block (a scatter put issues one
     // descriptor per contiguous run). RC in-order delivery means the last
     // block — which carries the sentinel — lands last, so detection still
@@ -162,7 +166,12 @@ void IbManager::onDelivered(std::int32_t id) {
   if (ch.inPollQueue) {
     // Model: an idle poll loop notices after poll_detect_latency; a busy PE
     // notices at its next pump anyway.
-    rts_.scheduler(ch.recvPe).poke(rts_.costs().poll_detect_latency_us);
+    const sim::Time detect = rts_.costs().poll_detect_latency_us;
+    // When the receiver is idle, that detection gap is genuine CkDirect
+    // time (the poll loop spinning); a busy PE overlaps it with other work.
+    if (rts_.processor(ch.recvPe).freeAt() <= rts_.engine().now())
+      rts_.engine().trace().addLayerTime(sim::Layer::kCkDirect, detect);
+    rts_.scheduler(ch.recvPe).poke(detect);
   }
   // else: detection deferred until the receiver calls readyPollQ.
 }
@@ -172,6 +181,10 @@ void IbManager::pollScan(int pe) {
   if (queue.empty()) return;
   ++scans_;
   charm::Scheduler& sched = rts_.scheduler(pe);
+  sim::TraceRecorder& trace = rts_.engine().trace();
+  trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectPollScan,
+               static_cast<double>(queue.size()));
+  trace.observePollQueue(queue.size());
   sched.charge(rts_.costs().poll_per_handle_us *
                static_cast<double>(queue.size()));
 
@@ -188,7 +201,9 @@ void IbManager::pollScan(int pe) {
     ch.inPollQueue = false;
     ch.detected = true;
     ++callbacks_;
+    trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectSentinelHit);
     sched.charge(rts_.costs().callback_overhead_us);
+    trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectCallback);
     ch.callback();
   }
 }
@@ -205,6 +220,8 @@ void IbManager::readyMark(std::int32_t handle) {
   ch.marked = true;
   ch.detected = false;
   writeSentinel(ch);
+  rts_.engine().trace().record(rts_.engine().now(), ch.recvPe,
+                               sim::TraceTag::kDirectReady);
 }
 
 void IbManager::readyPollQ(std::int32_t handle) {

@@ -1,0 +1,94 @@
+#include "harness/bench_runner.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/require.hpp"
+
+namespace ckd::harness {
+
+BenchRunner::BenchRunner(std::string name, const util::Args& args)
+    : name_(std::move(name)) {
+  profile_ = args.getBool("profile", false);
+  jsonPath_ = args.get("json", "");
+  tracePath_ = args.get("trace-dump", "");
+  traceCap_ = static_cast<std::size_t>(args.getInt(
+      "trace-cap",
+      static_cast<std::int64_t>(sim::TraceRecorder::kDefaultCapacity)));
+  CKD_REQUIRE(traceCap_ > 0, "--trace-cap must be positive");
+}
+
+void BenchRunner::configureTrace(sim::TraceRecorder& trace) const {
+  if (!traceEnabled()) return;
+  trace.setCapacity(traceCap_);
+  trace.enable();
+}
+
+void BenchRunner::addMetric(std::string name, double value, std::string unit,
+                            util::JsonValue labels) {
+  util::JsonValue row = util::JsonValue::object();
+  row.set("name", util::JsonValue(std::move(name)));
+  row.set("value", util::JsonValue(value));
+  row.set("unit", util::JsonValue(std::move(unit)));
+  if (labels.isObject() && labels.size() > 0)
+    row.set("labels", std::move(labels));
+  metrics_.push(std::move(row));
+}
+
+void BenchRunner::addProfile(ProfileReport report) {
+  profiles_.push_back(std::move(report));
+}
+
+int BenchRunner::finish() {
+  if (profile_) {
+    for (const ProfileReport& report : profiles_)
+      std::cout << report.toString();
+  }
+  if (!jsonPath_.empty()) writeJson();
+  if (!tracePath_.empty()) writeTraceDump();
+  return 0;
+}
+
+void BenchRunner::writeJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", util::JsonValue("ckd.bench.v1"));
+  doc.set("bench", util::JsonValue(name_));
+  doc.set("metrics", metrics_);
+  util::JsonValue profiles = util::JsonValue::array();
+  for (const ProfileReport& report : profiles_) profiles.push(toJson(report));
+  doc.set("profiles", std::move(profiles));
+
+  std::FILE* f = std::fopen(jsonPath_.c_str(), "w");
+  CKD_REQUIRE(f != nullptr, "cannot open --json output file");
+  const std::string text = doc.dump(2);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", jsonPath_.c_str());
+}
+
+void BenchRunner::writeTraceDump() const {
+  // Streamed, not built as a JsonValue tree: a full ring is ~1M events.
+  std::FILE* f = std::fopen(tracePath_.c_str(), "w");
+  CKD_REQUIRE(f != nullptr, "cannot open --trace-dump output file");
+  std::fprintf(f, "{\"schema\":\"ckd.trace.v1\",\"bench\":\"%s\",\"events\":[",
+               util::jsonEscape(name_).c_str());
+  bool first = true;
+  for (const ProfileReport& report : profiles_) {
+    const std::string run = util::jsonEscape(report.label);
+    for (const sim::TraceEvent& ev : report.traceEvents) {
+      std::fprintf(f, "%s\n{\"run\":\"%s\",\"t\":%s,\"pe\":%d,\"tag\":\"%s\"",
+                   first ? "" : ",", run.c_str(),
+                   util::jsonNumber(ev.time).c_str(), ev.pe,
+                   std::string(sim::traceTagName(ev.tag)).c_str());
+      if (ev.value != 0.0)
+        std::fprintf(f, ",\"v\":%s", util::jsonNumber(ev.value).c_str());
+      std::fputc('}', f);
+      first = false;
+    }
+  }
+  std::fprintf(f, "\n]}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s\n", tracePath_.c_str());
+}
+
+}  // namespace ckd::harness

@@ -1,0 +1,73 @@
+#pragma once
+// Shared CLI + output plumbing for the bench binaries. Every bench/*.cpp
+// constructs a BenchRunner from its Args and gains three flags:
+//
+//   --profile           print captured ProfileReports (human readable)
+//   --json <file>       write metrics + profiles in the ckd.bench.v1 schema
+//   --trace-dump <file> enable the engine's event ring and write the
+//                       retained events in the ckd.trace.v1 schema
+//   --trace-cap <n>     ring capacity in events (default ~1M)
+//
+// Usage:
+//   util::Args args(argc, argv);
+//   harness::BenchRunner runner("table1_pingpong_ib", args);
+//   ...
+//   runner.addMetric("rtt_us", rtt, "us", {{"variant","charm"},...});
+//   if (runner.wantsProfiles()) runner.addProfile(std::move(report));
+//   ...
+//   return runner.finish();  // prints/writes everything, returns exit code
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/profile.hpp"
+#include "sim/trace.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+
+namespace ckd::harness {
+
+class BenchRunner {
+ public:
+  BenchRunner(std::string name, const util::Args& args);
+
+  /// True when any of --profile / --json / --trace-dump was given: the
+  /// bench should capture a ProfileReport per run and addProfile() it.
+  bool wantsProfiles() const { return profile_ || !jsonPath_.empty() ||
+                                      !tracePath_.empty(); }
+  /// True when --trace-dump was given: runs should enable the event ring.
+  bool traceEnabled() const { return !tracePath_.empty(); }
+  std::size_t traceCapacity() const { return traceCap_; }
+
+  /// Apply the trace flags to a recorder (capacity + enable). Call before
+  /// the run, while the ring is still empty.
+  void configureTrace(sim::TraceRecorder& trace) const;
+
+  /// Record one scalar result row. `labels` is an optional JSON object of
+  /// discriminators ({"variant":"ckdirect","bytes":100}).
+  void addMetric(std::string name, double value, std::string unit,
+                 util::JsonValue labels = util::JsonValue::object());
+
+  /// Attach a captured profile; report.label should name the run.
+  void addProfile(ProfileReport report);
+
+  /// Print --profile output, write --json / --trace-dump files. Returns the
+  /// process exit code (0 on success).
+  int finish();
+
+ private:
+  void writeJson() const;
+  void writeTraceDump() const;
+
+  std::string name_;
+  bool profile_ = false;
+  std::string jsonPath_;
+  std::string tracePath_;
+  std::size_t traceCap_ = sim::TraceRecorder::kDefaultCapacity;
+
+  util::JsonValue metrics_ = util::JsonValue::array();
+  std::vector<ProfileReport> profiles_;
+};
+
+}  // namespace ckd::harness

@@ -16,6 +16,12 @@ namespace {
 
 constexpr std::uint64_t kOob = 0xDEADBEEFCAFEBABEull;
 
+void setupTrace(sim::Engine& engine, const PingpongConfig& cfg) {
+  if (!cfg.trace) return;
+  engine.trace().setCapacity(cfg.traceCapacity);
+  engine.trace().enable();
+}
+
 /// Entry-method pingpong over default Charm++ messages. Element 0 lives on
 /// peA, element 1 on peB; the reported time is what the application itself
 /// would measure: from just before the send call to entry of the reply
@@ -58,6 +64,7 @@ double charmPingpongRtt(const charm::MachineConfig& machine,
                         const PingpongConfig& cfg) {
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   charm::Runtime rts(machine);
+  setupTrace(rts.engine(), cfg);
   auto proxy = charm::makeArray<PingPongChare>(
       rts, "pingpong", 2,
       [&cfg](std::int64_t i) { return i == 0 ? cfg.peA : cfg.peB; },
@@ -75,6 +82,7 @@ double charmPingpongRtt(const charm::MachineConfig& machine,
   }
   rts.seed([proxy, epStart]() { proxy[0].send(epStart); });
   rts.run();
+  if (cfg.profile) *cfg.profile = captureProfile(rts);
   return proxy[0].local().totalRtt / cfg.iterations;
 }
 
@@ -83,6 +91,7 @@ double ckdirectPingpongRtt(const charm::MachineConfig& machine,
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   CKD_REQUIRE(cfg.bytes >= 8, "CkDirect payloads carry the 8-byte sentinel");
   charm::Runtime rts(machine);
+  setupTrace(rts.engine(), cfg);
 
   struct State {
     std::vector<std::byte> sendA, recvA, sendB, recvB;
@@ -124,6 +133,7 @@ double ckdirectPingpongRtt(const charm::MachineConfig& machine,
     direct::put(st->ab);
   });
   rts.run();
+  if (cfg.profile) *cfg.profile = captureProfile(rts);
   return st->totalRtt / cfg.iterations;
 }
 
@@ -131,6 +141,7 @@ double mpiPingpongRtt(const charm::MachineConfig& machine,
                       const mpi::MpiCosts& flavor, const PingpongConfig& cfg) {
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
+  setupTrace(engine, cfg);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
   mpi::MiniMpi mp(fabric, flavor);
 
@@ -155,6 +166,7 @@ double mpiPingpongRtt(const charm::MachineConfig& machine,
   };
   engine.at(0.0, [&]() { iterate(); });
   engine.run();
+  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
   return total / cfg.iterations;
 }
 
@@ -163,6 +175,7 @@ double mpiPutPingpongRtt(const charm::MachineConfig& machine,
                          const PingpongConfig& cfg) {
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
+  setupTrace(engine, cfg);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
   mpi::MiniMpi mp(fabric, flavor);
 
@@ -211,6 +224,7 @@ double mpiPutPingpongRtt(const charm::MachineConfig& machine,
     iterA();
   });
   engine.run();
+  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
   return total / cfg.iterations;
 }
 

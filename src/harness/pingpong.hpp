@@ -7,7 +7,9 @@
 #include <cstddef>
 
 #include "charm/runtime.hpp"
+#include "harness/profile.hpp"
 #include "mpi/mpi_costs.hpp"
+#include "sim/trace.hpp"
 
 namespace ckd::harness {
 
@@ -17,6 +19,11 @@ struct PingpongConfig {
   /// Measure between these two PEs (distinct nodes by default).
   int peA = 0;
   int peB = 1;
+  /// Enable the engine's trace event ring for this run.
+  bool trace = false;
+  std::size_t traceCapacity = sim::TraceRecorder::kDefaultCapacity;
+  /// When non-null, filled with the run's profile after the engine drains.
+  ProfileReport* profile = nullptr;
 };
 
 /// Default Charm++ messages (entry-method pingpong).

@@ -7,6 +7,25 @@
 
 namespace ckd::harness {
 
+namespace {
+
+void captureTraceMetrics(ProfileReport& report, const sim::TraceRecorder& trace) {
+  for (std::size_t i = 0; i < sim::kLayerCount; ++i)
+    report.layerTime_us[i] = trace.layerTime(static_cast<sim::Layer>(i));
+  report.layerSum_us = trace.totalLayerTime();
+  report.layerCoverage =
+      report.horizon_us > 0.0 ? report.layerSum_us / report.horizon_us : 0.0;
+  for (std::size_t i = 0; i < sim::kTraceTagCount; ++i)
+    report.tagCounts[i] = trace.count(static_cast<sim::TraceTag>(i));
+  report.pollHist = trace.pollQueueHistogram();
+  report.rendezvousRtt_us = trace.rendezvousRtt();
+  report.traceRecorded = trace.recorded();
+  report.traceDropped = trace.dropped();
+  if (trace.enabled()) report.traceEvents = trace.snapshot();
+}
+
+}  // namespace
+
 ProfileReport captureProfile(charm::Runtime& rts) {
   ProfileReport report;
   report.pes = rts.numPes();
@@ -21,31 +40,138 @@ ProfileReport captureProfile(charm::Runtime& rts) {
   report.fabricMessages = rts.fabric().messagesSubmitted();
   report.fabricBytes = rts.fabric().bytesSubmitted();
   report.runtimeMessages = rts.messagesSent();
-  if (rts.extension()) {
-    const auto& mgr = direct::Manager::of(rts);
-    report.ckdirectPuts = mgr.putsIssued();
-    report.ckdirectCallbacks = mgr.callbacksInvoked();
+  // peek, not of(): profiling must never create the manager it observes.
+  if (const direct::Manager* mgr = direct::Manager::peek(rts)) {
+    report.ckdirectPuts = mgr->putsIssued();
+    report.ckdirectCallbacks = mgr->callbacksInvoked();
   }
+  captureTraceMetrics(report, rts.engine().trace());
+  return report;
+}
+
+ProfileReport captureFabricProfile(sim::Engine& engine, net::Fabric& fabric) {
+  ProfileReport report;
+  report.pes = fabric.numPes();
+  report.horizon_us = engine.now();
+  report.fabricMessages = fabric.messagesSubmitted();
+  report.fabricBytes = fabric.bytesSubmitted();
+  captureTraceMetrics(report, engine.trace());
   return report;
 }
 
 std::string ProfileReport::toString() const {
   std::ostringstream out;
-  out << "profile: " << pes << " PEs over "
-      << util::formatFixed(horizon_us, 1) << " us\n";
-  out << "  utilization   min " << util::formatPercent(utilization.min())
-      << "  mean " << util::formatPercent(utilization.mean()) << "  max "
-      << util::formatPercent(utilization.max()) << "\n";
-  out << "  sched msgs/PE mean " << util::formatFixed(messagesPerPe.mean(), 1)
-      << "  (pumps/PE mean " << util::formatFixed(pumpsPerPe.mean(), 1)
-      << ")\n";
+  out << "profile";
+  if (!label.empty()) out << " [" << label << "]";
+  out << ": " << pes << " PEs over " << util::formatFixed(horizon_us, 1)
+      << " us\n";
+  if (utilization.count() > 0) {
+    out << "  utilization   min " << util::formatPercent(utilization.min())
+        << "  mean " << util::formatPercent(utilization.mean()) << "  max "
+        << util::formatPercent(utilization.max()) << "\n";
+    out << "  sched msgs/PE mean " << util::formatFixed(messagesPerPe.mean(), 1)
+        << "  (pumps/PE mean " << util::formatFixed(pumpsPerPe.mean(), 1)
+        << ")\n";
+  }
   out << "  fabric        " << fabricMessages << " transfers, " << fabricBytes
       << " bytes; runtime messages " << runtimeMessages << "\n";
   if (ckdirectPuts > 0) {
     out << "  ckdirect      " << ckdirectPuts << " puts, "
         << ckdirectCallbacks << " callbacks\n";
   }
+  if (layerSum_us > 0.0) {
+    out << "  layers        ";
+    for (std::size_t i = 0; i < sim::kLayerCount; ++i) {
+      if (i) out << "  ";
+      out << sim::layerName(static_cast<sim::Layer>(i)) << " "
+          << util::formatFixed(layerTime_us[i], 2);
+    }
+    out << "  (sum " << util::formatFixed(layerSum_us, 2) << " us, "
+        << util::formatPercent(layerCoverage) << " of horizon)\n";
+  }
+  if (rendezvousRtt_us.count() > 0) {
+    out << "  rendezvous    " << rendezvousRtt_us.count() << " round trips, "
+        << "rtt mean " << util::formatFixed(rendezvousRtt_us.mean(), 2)
+        << " us (min " << util::formatFixed(rendezvousRtt_us.min(), 2)
+        << ", max " << util::formatFixed(rendezvousRtt_us.max(), 2) << ")\n";
+  }
+  bool anyPoll = false;
+  for (const std::uint64_t n : pollHist) anyPoll |= n > 0;
+  if (anyPoll) {
+    out << "  poll queue    len histogram";
+    for (std::size_t i = 0; i < pollHist.size(); ++i)
+      if (pollHist[i] > 0) out << "  [" << i << "]=" << pollHist[i];
+    out << "\n";
+  }
   return out.str();
+}
+
+util::JsonValue toJson(const ProfileReport& report) {
+  using util::JsonValue;
+  const auto statsJson = [](const util::RunningStats& s) {
+    JsonValue v = JsonValue::object();
+    v.set("count", JsonValue(s.count()));
+    v.set("mean", JsonValue(s.mean()));
+    v.set("min", JsonValue(s.min()));
+    v.set("max", JsonValue(s.max()));
+    return v;
+  };
+
+  JsonValue obj = JsonValue::object();
+  if (!report.label.empty()) obj.set("label", JsonValue(report.label));
+  obj.set("pes", JsonValue(report.pes));
+  obj.set("horizon_us", JsonValue(report.horizon_us));
+  if (report.utilization.count() > 0) {
+    obj.set("utilization", statsJson(report.utilization));
+    obj.set("messages_per_pe", statsJson(report.messagesPerPe));
+    obj.set("pumps_per_pe", statsJson(report.pumpsPerPe));
+  }
+  JsonValue fabric = JsonValue::object();
+  fabric.set("messages", JsonValue(report.fabricMessages));
+  fabric.set("bytes", JsonValue(report.fabricBytes));
+  obj.set("fabric", std::move(fabric));
+  obj.set("runtime_messages", JsonValue(report.runtimeMessages));
+  if (report.ckdirectPuts > 0 || report.ckdirectCallbacks > 0) {
+    JsonValue ckd = JsonValue::object();
+    ckd.set("puts", JsonValue(report.ckdirectPuts));
+    ckd.set("callbacks", JsonValue(report.ckdirectCallbacks));
+    obj.set("ckdirect", std::move(ckd));
+  }
+
+  JsonValue layers = JsonValue::object();
+  for (std::size_t i = 0; i < sim::kLayerCount; ++i)
+    layers.set(std::string(sim::layerName(static_cast<sim::Layer>(i))) + "_us",
+               JsonValue(report.layerTime_us[i]));
+  layers.set("sum_us", JsonValue(report.layerSum_us));
+  layers.set("coverage", JsonValue(report.layerCoverage));
+  obj.set("layers", std::move(layers));
+
+  JsonValue tags = JsonValue::object();
+  for (std::size_t i = 0; i < sim::kTraceTagCount; ++i) {
+    if (report.tagCounts[i] == 0) continue;
+    tags.set(std::string(sim::traceTagName(static_cast<sim::TraceTag>(i))),
+             JsonValue(report.tagCounts[i]));
+  }
+  obj.set("tag_counts", std::move(tags));
+
+  bool anyPoll = false;
+  for (const std::uint64_t n : report.pollHist) anyPoll |= n > 0;
+  if (anyPoll) {
+    JsonValue hist = JsonValue::array();
+    for (const std::uint64_t n : report.pollHist) hist.push(JsonValue(n));
+    obj.set("poll_queue_hist", std::move(hist));
+  }
+  if (report.rendezvousRtt_us.count() > 0)
+    obj.set("rendezvous_rtt_us", statsJson(report.rendezvousRtt_us));
+
+  if (report.traceRecorded > 0) {
+    JsonValue trace = JsonValue::object();
+    trace.set("recorded", JsonValue(report.traceRecorded));
+    trace.set("dropped", JsonValue(report.traceDropped));
+    trace.set("retained", JsonValue(report.traceEvents.size()));
+    obj.set("trace", std::move(trace));
+  }
+  return obj;
 }
 
 }  // namespace ckd::harness

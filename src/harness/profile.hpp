@@ -1,19 +1,28 @@
 #pragma once
 // Post-run profiling: summarizes where a simulation spent its (virtual)
 // time — per-PE utilization, scheduler activity, fabric traffic, CkDirect
-// polling — in a compact report the benches can print with --profile.
-// Roughly the role Projections plays for real Charm++ runs.
+// polling, and the per-layer time attribution collected by the engine's
+// TraceRecorder — in a compact report the benches can print with --profile
+// or serialize with --json. Roughly the role Projections plays for real
+// Charm++ runs.
 
+#include <array>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "charm/runtime.hpp"
+#include "net/fabric.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace ckd::harness {
 
 struct ProfileReport {
+  std::string label;                   ///< which run this report describes
   int pes = 0;
-  sim::Time horizon_us = 0.0;          ///< rts.now() at capture
+  sim::Time horizon_us = 0.0;          ///< engine.now() at capture
   util::RunningStats utilization;      ///< busy fraction per PE
   util::RunningStats messagesPerPe;    ///< scheduler messages per PE
   util::RunningStats pumpsPerPe;       ///< scheduler pumps per PE
@@ -23,11 +32,37 @@ struct ProfileReport {
   std::uint64_t ckdirectPuts = 0;      ///< 0 when CkDirect unused
   std::uint64_t ckdirectCallbacks = 0;
 
+  /// Virtual time attributed to each runtime tier, indexed by sim::Layer.
+  std::array<sim::Time, sim::kLayerCount> layerTime_us{};
+  sim::Time layerSum_us = 0.0;
+  /// layerSum / horizon; ~1.0 on serial workloads, >1 with overlap.
+  double layerCoverage = 0.0;
+
+  /// Per-tag trace point counts, indexed by sim::TraceTag.
+  std::array<std::uint64_t, sim::kTraceTagCount> tagCounts{};
+  /// Poll-queue length histogram (log2 buckets, see TraceRecorder).
+  std::array<std::uint64_t, sim::TraceRecorder::kPollHistBuckets> pollHist{};
+  /// Rendezvous RTS -> ack round-trip times.
+  util::RunningStats rendezvousRtt_us;
+
+  /// Ring-buffer state plus the retained events (empty unless the trace
+  /// ring was enabled for the run).
+  std::uint64_t traceRecorded = 0;
+  std::uint64_t traceDropped = 0;
+  std::vector<sim::TraceEvent> traceEvents;
+
   /// Multi-line human-readable summary.
   std::string toString() const;
 };
 
 /// Capture a report from a finished (or paused) runtime.
 ProfileReport captureProfile(charm::Runtime& rts);
+
+/// Capture from a bare engine + fabric (the mini-MPI benches have no
+/// charm::Runtime); utilization / scheduler stats stay empty.
+ProfileReport captureFabricProfile(sim::Engine& engine, net::Fabric& fabric);
+
+/// Serialize to the documented BENCH_*.json "profile" schema.
+util::JsonValue toJson(const ProfileReport& report);
 
 }  // namespace ckd::harness

@@ -33,6 +33,11 @@ void MiniMpi::sendControl(int src, int dst, std::function<void()> onArrive) {
                        /*occupiesPorts=*/false, std::move(onArrive));
 }
 
+void MiniMpi::softwareDelay(sim::Time cost, std::function<void()> fn) {
+  engine().trace().addLayerTime(sim::Layer::kTransport, cost);
+  engine().after(cost, std::move(fn));
+}
+
 // --- two-sided ----------------------------------------------------------------
 
 void MiniMpi::isend(int srcRank, int dstRank, int tag, const void* data,
@@ -43,7 +48,7 @@ void MiniMpi::isend(int srcRank, int dstRank, int tag, const void* data,
   std::vector<std::byte> payload(src, src + bytes);
 
   if (costs_.eagerFor(bytes)) {
-    engine().after(
+    softwareDelay(
         costs_.sw_send_us,
         [this, srcRank, dstRank, tag, payload = std::move(payload),
          onSent = std::move(onSent)]() mutable {
@@ -62,7 +67,7 @@ void MiniMpi::isend(int srcRank, int dstRank, int tag, const void* data,
   const std::uint64_t id = nextRndvId_++;
   rndvSends_.emplace(id, RndvSend{srcRank, dstRank, std::move(payload),
                                   std::move(onSent)});
-  engine().after(costs_.sw_send_us, [this, srcRank, dstRank, tag, bytes, id]() {
+  softwareDelay(costs_.sw_send_us, [this, srcRank, dstRank, tag, bytes, id]() {
     sendControl(srcRank, dstRank, [this, dstRank, srcRank, tag, bytes, id]() {
       rtsArrive(dstRank, PendingRts{srcRank, tag, bytes, id});
     });
@@ -82,7 +87,7 @@ void MiniMpi::eagerArrive(int dst, int src, int tag,
     const sim::Time extra = costs_.tag_match_us + costs_.sw_recv_us +
                             (costs_.inBump(data.size()) ? costs_.bump_us : 0.0);
     const RecvResult result{src, tag, data.size()};
-    engine().after(extra, [cb = std::move(recv.callback), result]() {
+    softwareDelay(extra, [cb = std::move(recv.callback), result]() {
       if (cb) cb(result);
     });
     return;
@@ -113,7 +118,7 @@ void MiniMpi::grantRndv(int dst, const PendingRts& rts, PostedRecv recv) {
   rndvRecvs_.emplace(id, std::move(recv));
   const int source = rts.source;
   const int tag = rts.tag;
-  engine().after(regCost, [this, dst, source, tag, id]() {
+  softwareDelay(regCost, [this, dst, source, tag, id]() {
     sendControl(dst, source, [this, dst, source, tag, id]() {
       // Grant arrived at the origin: stream the payload on the RDMA class.
       auto sendIt = rndvSends_.find(id);
@@ -131,7 +136,7 @@ void MiniMpi::grantRndv(int dst, const PendingRts& rts, PostedRecv recv) {
             rndvRecvs_.erase(recvIt);
             std::memcpy(recv.buffer, data.data(), data.size());
             const RecvResult result{source, tag, data.size()};
-            engine().after(costs_.sw_recv_us,
+            softwareDelay(costs_.sw_recv_us,
                            [cb = std::move(recv.callback), result]() {
                              if (cb) cb(result);
                            });
@@ -154,7 +159,7 @@ void MiniMpi::irecv(int rankId, int source, int tag, void* buffer,
                 "unexpected message larger than the receive buffer");
     std::memcpy(buffer, msg.data.data(), msg.data.size());
     const RecvResult result{msg.source, msg.tag, msg.data.size()};
-    engine().after(costs_.tag_match_us,
+    softwareDelay(costs_.tag_match_us,
                    [cb = std::move(onComplete), result]() {
                      if (cb) cb(result);
                    });
@@ -258,18 +263,17 @@ void MiniMpi::put(WinId winId, int originRank, std::size_t targetOffset,
         costs_.sw_recv_us + costs_.pscw_overhead_us / 2 +
         (costs_.inBump(bytes) ? costs_.bump_us : 0.0) +
         (costs_.inPutBump(bytes) ? costs_.put_bump_us : 0.0);
-    engine().after(originSw, [this, originRank, target, dst, winId,
-                              payload = std::move(payload), targetExtra]() mutable {
+    softwareDelay(originSw, [this, originRank, target, dst, winId,
+                             payload = std::move(payload), targetExtra]() mutable {
       const std::size_t n = payload.size();
       fabric_.submitCustom(
           originRank, target, n, costs_.eager, /*occupiesPorts=*/true,
           [this, winId, originRank, dst, payload = std::move(payload),
            targetExtra]() mutable {
             std::memcpy(dst, payload.data(), payload.size());
-            engine().after(targetExtra,
-                           [this, winId, originRank]() {
-                             putArrived(winId, originRank);
-                           });
+            softwareDelay(targetExtra, [this, winId, originRank]() {
+              putArrived(winId, originRank);
+            });
           });
     });
     return;
@@ -288,12 +292,12 @@ void MiniMpi::put(WinId winId, int originRank, std::size_t targetOffset,
   const sim::Time targetExtra =
       costs_.sw_recv_us + costs_.pscw_overhead_us / 2;
   auto shared = std::make_shared<std::vector<std::byte>>(std::move(payload));
-  engine().after(originSw, [this, originRank, target, dst, winId, shared,
-                            regCost, targetExtra]() {
+  softwareDelay(originSw, [this, originRank, target, dst, winId, shared,
+                           regCost, targetExtra]() {
     sendControl(originRank, target, [this, originRank, target, dst, winId,
                                      shared, regCost, targetExtra]() {
-      engine().after(regCost, [this, originRank, target, dst, winId, shared,
-                               targetExtra]() {
+      softwareDelay(regCost, [this, originRank, target, dst, winId, shared,
+                                targetExtra]() {
         sendControl(target, originRank, [this, originRank, target, dst, winId,
                                          shared, targetExtra]() {
           fabric_.submitCustom(
@@ -301,7 +305,7 @@ void MiniMpi::put(WinId winId, int originRank, std::size_t targetOffset,
               /*occupiesPorts=*/true,
               [this, winId, originRank, dst, shared, targetExtra]() {
                 std::memcpy(dst, shared->data(), shared->size());
-                engine().after(targetExtra, [this, winId, originRank]() {
+                softwareDelay(targetExtra, [this, winId, originRank]() {
                   putArrived(winId, originRank);
                 });
               });

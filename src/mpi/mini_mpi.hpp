@@ -90,6 +90,10 @@ class MiniMpi {
   std::uint64_t putsPosted() const { return puts_; }
 
  private:
+  /// Model `cost` microseconds of MPI-library software work, attributed to
+  /// the transport tier, then run `fn`.
+  void softwareDelay(sim::Time cost, std::function<void()> fn);
+
   struct PostedRecv {
     int source;
     int tag;

@@ -46,18 +46,31 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
   const int srcNode = topology_->nodeOf(srcPe);
   const int dstNode = topology_->nodeOf(dstPe);
 
+  sim::TraceRecorder& trace = engine_.trace();
+  trace.record(now, srcPe, sim::TraceTag::kFabricSubmit,
+               static_cast<double>(bytes));
+  // Stamp the delivery side too, so trace dumps show both ends of a wire.
+  DeliverFn deliver = [this, dstPe, bytes,
+                       onDeliver = std::move(onDeliver)]() mutable {
+    engine_.trace().record(engine_.now(), dstPe, sim::TraceTag::kFabricDeliver,
+                           static_cast<double>(bytes));
+    onDeliver();
+  };
+
   if (srcPe == dstPe) {
     // Self-send: the machine layer short-circuits into a memcpy.
     const sim::Time when = now + params_.self_alpha_us +
                            params_.self_per_byte_us * static_cast<double>(bytes);
-    engine_.at(when, std::move(onDeliver));
+    trace.addLayerTime(sim::Layer::kFabric, when - now);
+    engine_.at(when, std::move(deliver));
     return when;
   }
 
   if (srcNode == dstNode) {
     const sim::Time when = now + params_.intra_alpha_us +
                            params_.intra_per_byte_us * static_cast<double>(bytes);
-    engine_.at(when, std::move(onDeliver));
+    trace.addLayerTime(sim::Layer::kFabric, when - now);
+    engine_.at(when, std::move(deliver));
     return when;
   }
 
@@ -74,7 +87,8 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
   const std::size_t chunkBytes = chunkBytesFor(cls);
   if (!occupiesPorts || bytes <= chunkBytes) {
     const sim::Time when = now + wireLatency + ser;
-    engine_.at(when, std::move(onDeliver));
+    trace.addLayerTime(sim::Layer::kFabric, when - now);
+    engine_.at(when, std::move(deliver));
     return when;
   }
 
@@ -92,8 +106,11 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
   flow.chunk_ser = ser / chunks;
   flow.chunks_left = chunks;
   const sim::Time flowStart = now;
+  // Contention-free wire time is known now; the extra queueing delay is
+  // attributed when the port drains (in on_serialized, below).
+  trace.addLayerTime(sim::Layer::kFabric, ser + wireLatency);
   flow.on_serialized = [this, dstNode, wireLatency, ser, flowStart,
-                        onDeliver = std::move(onDeliver)]() mutable {
+                        onDeliver = std::move(deliver)]() mutable {
     // Egress capacity as a virtual-time accumulator: the drain window of a
     // cut-through flow begins when the flow started arriving (its injection
     // start), not when its tail lands. Balanced traffic (every node both
@@ -106,6 +123,9 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
     const sim::Time arrival = engine_.now() + wireLatency;
     eject = std::max(eject, flowStart) + drain;
     const sim::Time delivery = std::max(arrival, eject);
+    // Queueing beyond the contention-free bound charged at submit time.
+    engine_.trace().addLayerTime(sim::Layer::kFabric,
+                                 delivery - (flowStart + ser + wireLatency));
     if (std::getenv("CKD_FABRIC_TRACE") != nullptr)
       std::fprintf(stderr, "D %.2f node=%d ser=%.1f\n", delivery, dstNode, ser);
     engine_.at(delivery, std::move(onDeliver));

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace ckd::sim {
@@ -7,7 +8,8 @@ namespace ckd::sim {
 void Engine::at(Time when, Action action) {
   CKD_REQUIRE(when >= now_, "cannot schedule an event in the past");
   CKD_REQUIRE(action != nullptr, "cannot schedule a null action");
-  queue_.push(Event{when, nextSeq_++, std::move(action)});
+  heap_.push_back(Event{when, nextSeq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void Engine::after(Time delay, Action action) {
@@ -16,11 +18,10 @@ void Engine::after(Time delay, Action action) {
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the small fields and move the action through a temporary.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
   now_ = ev.when;
   ++executed_;
   ev.action();
@@ -36,10 +37,13 @@ void Engine::run() {
 void Engine::runUntil(Time deadline) {
   CKD_REQUIRE(deadline >= now_, "runUntil deadline is in the past");
   stopRequested_ = false;
-  while (!stopRequested_ && !queue_.empty() && queue_.top().when <= deadline) {
+  while (!stopRequested_ && !heap_.empty() && heap_.front().when <= deadline) {
     step();
   }
-  if (now_ < deadline) now_ = deadline;
+  // Fast-forward only when the loop genuinely drained past the deadline; a
+  // stop() may have left events <= deadline queued, and advancing past them
+  // would let a later run() move time backwards.
+  if (!stopRequested_ && now_ < deadline) now_ = deadline;
 }
 
 }  // namespace ckd::sim

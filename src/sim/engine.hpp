@@ -8,10 +8,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 #include "util/require.hpp"
 
 namespace ckd::sim {
@@ -36,15 +36,19 @@ class Engine {
   void run();
 
   /// Run events with time <= `deadline`; afterwards now() == deadline if the
-  /// queue drained early or paused there.
+  /// loop drained past the deadline (stop() leaves now() at the last event).
   void runUntil(Time deadline);
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t pendingEvents() const { return queue_.size(); }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pendingEvents() const { return heap_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
 
   /// Abort the current run() / runUntil() loop after the current event.
   void stop() { stopRequested_ = true; }
+
+  /// The trace/metrics recorder shared by every layer driven by this engine.
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
 
  private:
   struct Event {
@@ -52,6 +56,8 @@ class Engine {
     std::uint64_t seq;
     Action action;
   };
+  /// Heap comparator: "a fires later than b". With std::push_heap /
+  /// std::pop_heap this keeps the earliest event at heap_.front().
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
@@ -59,11 +65,16 @@ class Engine {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Explicit binary heap instead of std::priority_queue: pop_heap moves the
+  // top element to the back, so the action can be moved out with
+  // well-defined behavior (priority_queue::top() is const, and moving
+  // through const_cast is UB-adjacent).
+  std::vector<Event> heap_;
   Time now_ = kTimeZero;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopRequested_ = false;
+  TraceRecorder trace_;
 };
 
 }  // namespace ckd::sim

@@ -1,28 +1,112 @@
 #include "sim/trace.hpp"
 
+#include <bit>
 #include <sstream>
+
+#include "util/require.hpp"
 
 namespace ckd::sim {
 
-void TraceRecorder::record(Time time, int pe, std::string tag,
-                           std::string detail) {
-  if (!enabled_) return;
-  events_.push_back(TraceEvent{time, pe, std::move(tag), std::move(detail)});
+std::string_view layerName(Layer layer) {
+  switch (layer) {
+    case Layer::kScheduler: return "scheduler";
+    case Layer::kTransport: return "transport";
+    case Layer::kFabric: return "fabric";
+    case Layer::kCkDirect: return "ckdirect";
+    case Layer::kApp: return "app";
+    case Layer::kCount: break;
+  }
+  return "?";
 }
 
-std::size_t TraceRecorder::countTag(const std::string& tag) const {
-  std::size_t n = 0;
-  for (const auto& ev : events_)
-    if (ev.tag == tag) ++n;
-  return n;
+std::string_view traceTagName(TraceTag tag) {
+  switch (tag) {
+    case TraceTag::kSchedPump: return "sched.pump";
+    case TraceTag::kSchedDeliver: return "sched.deliver";
+    case TraceTag::kSchedSystemWork: return "sched.syswork";
+    case TraceTag::kXportEager: return "xport.eager";
+    case TraceTag::kXportRtsSend: return "xport.rts_send";
+    case TraceTag::kXportRtsRecv: return "xport.rts_recv";
+    case TraceTag::kXportAck: return "xport.ack";
+    case TraceTag::kXportRdmaDelivered: return "xport.rdma_delivered";
+    case TraceTag::kXportBgpSend: return "xport.bgp_send";
+    case TraceTag::kFabricSubmit: return "fabric.submit";
+    case TraceTag::kFabricDeliver: return "fabric.deliver";
+    case TraceTag::kDirectPut: return "direct.put";
+    case TraceTag::kDirectPollScan: return "direct.poll_scan";
+    case TraceTag::kDirectSentinelHit: return "direct.sentinel_hit";
+    case TraceTag::kDirectCallback: return "direct.callback";
+    case TraceTag::kDirectReady: return "direct.ready";
+    case TraceTag::kCount: break;
+  }
+  return "?";
+}
+
+void TraceRecorder::enable(bool on) {
+  enabled_ = on;
+  if (!on && ring_.empty()) {
+    // Release storage so a disabled recorder holds no heap.
+    ring_.shrink_to_fit();
+  }
+}
+
+void TraceRecorder::setCapacity(std::size_t cap) {
+  CKD_REQUIRE(cap > 0, "trace ring capacity must be positive");
+  CKD_REQUIRE(ring_.empty(), "cannot resize a non-empty trace ring");
+  capacity_ = cap;
+}
+
+void TraceRecorder::record(Time time, int pe, TraceTag tag, double value) {
+  ++counts_[static_cast<std::size_t>(tag)];
+  if (!enabled_) return;
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    if (ring_.capacity() == 0) ring_.reserve(capacity_);
+    ring_.push_back(TraceEvent{time, pe, tag, value});
+    return;
+  }
+  ring_[head_] = TraceEvent{time, pe, tag, value};
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Oldest-first: once full, head_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+Time TraceRecorder::totalLayerTime() const {
+  Time total = kTimeZero;
+  for (Time t : layerTime_) total += t;
+  return total;
+}
+
+void TraceRecorder::observePollQueue(std::size_t len) {
+  const std::size_t bucket =
+      len == 0 ? 0
+               : std::min<std::size_t>(std::bit_width(len), kPollHistBuckets - 1);
+  ++pollHist_[bucket];
+}
+
+void TraceRecorder::clear() {
+  ring_.clear();
+  ring_.shrink_to_fit();
+  head_ = 0;
+  recorded_ = 0;
+  counts_.fill(0);
+  layerTime_.fill(kTimeZero);
+  pollHist_.fill(0);
+  rendezvousRtt_.clear();
 }
 
 std::string TraceRecorder::toString() const {
   std::ostringstream out;
-  for (const auto& ev : events_) {
-    out << "t=" << ev.time << " pe=" << ev.pe << " " << ev.tag;
-    if (!ev.detail.empty()) out << " " << ev.detail;
-    out << "\n";
+  for (const TraceEvent& ev : snapshot()) {
+    out << "t=" << ev.time << " pe=" << ev.pe << " " << traceTagName(ev.tag)
+        << " v=" << ev.value << "\n";
   }
   return out.str();
 }

@@ -1,41 +1,155 @@
 #pragma once
-// Optional event tracing for debugging simulations. Disabled by default;
-// when enabled it records (time, pe, tag, detail) tuples that tests and
-// the harness can inspect or dump.
+// Low-overhead tracing + metrics for the runtime layers.
+//
+// Two tiers:
+//  * Always-on fixed-size metrics — per-tag event counters, per-layer time
+//    attribution, a poll-queue length histogram, and rendezvous round-trip
+//    stats. These live in flat arrays and never touch the heap, so every
+//    layer can call them unconditionally on hot paths.
+//  * An optional event ring — when enabled(), record() also appends a POD
+//    (time, pe, tag, value) tuple to a ring buffer capped at capacity()
+//    events (default ~1M); once full, the oldest events are overwritten so
+//    tracing stays safe on arbitrarily long runs. Disabled, the ring holds
+//    no storage at all.
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "util/stats.hpp"
 
 namespace ckd::sim {
 
+/// Runtime tiers that virtual time is attributed to. kApp is everything the
+/// benchmark / application handler itself does.
+enum class Layer : std::uint8_t {
+  kScheduler = 0,
+  kTransport,
+  kFabric,
+  kCkDirect,
+  kApp,
+  kCount,
+};
+
+constexpr std::size_t kLayerCount = static_cast<std::size_t>(Layer::kCount);
+
+std::string_view layerName(Layer layer);
+
+/// Enumerated trace points. One per interesting runtime transition; the
+/// `value` field of a TraceEvent is tag-specific (bytes, queue length, ...).
+enum class TraceTag : std::uint8_t {
+  kSchedPump = 0,       // scheduler pump ran; value = message-queue length
+  kSchedDeliver,        // message handed to a handler; value = payload bytes
+  kSchedSystemWork,     // one unit of system work ran; value = its cost (us)
+  kXportEager,          // eager-path send issued; value = payload bytes
+  kXportRtsSend,        // rendezvous request sent; value = payload bytes
+  kXportRtsRecv,        // rendezvous request received (registration queued)
+  kXportAck,            // rendezvous ack processed at the sender
+  kXportRdmaDelivered,  // rendezvous RDMA payload landed; value = bytes
+  kXportBgpSend,        // DCMF send issued; value = payload bytes
+  kFabricSubmit,        // transfer entered the fabric; value = wire bytes
+  kFabricDeliver,       // transfer left the fabric; value = wire bytes
+  kDirectPut,           // CkDirect put issued; value = channel bytes
+  kDirectPollScan,      // poll-queue scan; value = scanned queue length
+  kDirectSentinelHit,   // sentinel observed set during a scan
+  kDirectCallback,      // receive-side callback invoked
+  kDirectReady,         // ready/readyMark re-armed a channel
+  kCount,
+};
+
+constexpr std::size_t kTraceTagCount = static_cast<std::size_t>(TraceTag::kCount);
+
+std::string_view traceTagName(TraceTag tag);
+
 struct TraceEvent {
   Time time;
-  int pe;
-  std::string tag;
-  std::string detail;
+  std::int32_t pe;
+  TraceTag tag;
+  double value;
 };
 
 class TraceRecorder {
  public:
-  void enable(bool on) { enabled_ = on; }
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;  // ~1M events
+  static constexpr std::size_t kPollHistBuckets = 12;
+
+  // ---- event ring (heap-backed only while enabled) ----
+
+  void enable(bool on = true);
   bool enabled() const { return enabled_; }
 
-  void record(Time time, int pe, std::string tag, std::string detail = "");
+  /// Ring capacity in events. May only change while the ring is empty.
+  void setCapacity(std::size_t cap);
+  std::size_t capacity() const { return capacity_; }
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  /// Record one trace point. Always updates the per-tag counter; appends to
+  /// the ring only when enabled.
+  void record(Time time, int pe, TraceTag tag, double value = 0.0);
 
-  /// Count of events with a matching tag.
-  std::size_t countTag(const std::string& tag) const;
+  /// Total record() calls that hit the ring (including overwritten ones).
+  std::uint64_t recorded() const { return recorded_; }
+  /// Events lost to ring overwrite.
+  std::uint64_t dropped() const {
+    return recorded_ - static_cast<std::uint64_t>(ring_.size());
+  }
+  std::size_t ringSize() const { return ring_.size(); }
+  /// Heap bytes held by the ring buffer (0 while disabled and empty).
+  std::size_t ringHeapBytes() const {
+    return ring_.capacity() * sizeof(TraceEvent);
+  }
 
-  /// Render as "t=12.00 pe=3 tag detail" lines (for golden tests / dumps).
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  // ---- always-on fixed-size metrics ----
+
+  std::uint64_t count(TraceTag tag) const {
+    return counts_[static_cast<std::size_t>(tag)];
+  }
+
+  /// Attribute `t` microseconds of virtual time to `layer`.
+  void addLayerTime(Layer layer, Time t) {
+    layerTime_[static_cast<std::size_t>(layer)] += t;
+  }
+  Time layerTime(Layer layer) const {
+    return layerTime_[static_cast<std::size_t>(layer)];
+  }
+  /// Sum over all layers.
+  Time totalLayerTime() const;
+
+  /// Log2 histogram of poll-queue lengths seen at scan time: bucket 0 holds
+  /// length 0, bucket i holds lengths in [2^(i-1), 2^i), the last bucket is
+  /// open-ended.
+  void observePollQueue(std::size_t len);
+  const std::array<std::uint64_t, kPollHistBuckets>& pollQueueHistogram() const {
+    return pollHist_;
+  }
+
+  /// Rendezvous RTS -> ack round-trip times (us).
+  void observeRendezvousRtt(Time rtt) { rendezvousRtt_.add(rtt); }
+  const util::RunningStats& rendezvousRtt() const { return rendezvousRtt_; }
+
+  /// Reset events and metrics; keeps enabled state and capacity.
+  void clear();
+
+  /// Render retained events as "t=12.00 pe=3 sched.pump v=4" lines.
   std::string toString() const;
 
  private:
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t head_ = 0;  // next overwrite slot once the ring is full
+  std::uint64_t recorded_ = 0;
+  std::vector<TraceEvent> ring_;
+
+  std::array<std::uint64_t, kTraceTagCount> counts_{};
+  std::array<Time, kLayerCount> layerTime_{};
+  std::array<std::uint64_t, kPollHistBuckets> pollHist_{};
+  util::RunningStats rendezvousRtt_;
 };
 
 }  // namespace ckd::sim

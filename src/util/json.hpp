@@ -1,0 +1,97 @@
+#pragma once
+// Minimal JSON tree: build, dump, parse. Covers exactly what the bench
+// output schema needs — objects preserve insertion order so emitted files
+// are stable, numbers round-trip via shortest-form formatting, and the
+// recursive-descent parser exists so tests can verify schema round-trips.
+// Not a general-purpose library (no \uXXXX surrogate pairs, no comments).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ckd::util {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  JsonValue(int n) : kind_(Kind::kNumber), number_(n) {}
+  JsonValue(long n) : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(unsigned long n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(long long n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(unsigned long long n)
+      : kind_(Kind::kNumber), number_(static_cast<double>(n)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(std::string_view s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isBool() const { return kind_ == Kind::kBool; }
+  bool isNumber() const { return kind_ == Kind::kNumber; }
+  bool isString() const { return kind_ == Kind::kString; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+
+  bool asBool() const;
+  double asNumber() const;
+  const std::string& asString() const;
+
+  // Arrays.
+  void push(JsonValue v);
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const;
+
+  // Objects (insertion-ordered).
+  JsonValue& set(std::string key, JsonValue v);
+  /// nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+  /// CKD_REQUIREs presence.
+  const JsonValue& at(std::string_view key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Serialize. indent == 0 emits one line; otherwise pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; CKD_REQUIREs on malformed input.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// JSON string escaping (shared with the streaming trace dumper).
+std::string jsonEscape(std::string_view s);
+
+/// Shortest round-trip formatting for a double ("12", "0.25", "1e-09").
+std::string jsonNumber(double v);
+
+}  // namespace ckd::util

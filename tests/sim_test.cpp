@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -120,21 +122,92 @@ TEST(ProcessorDeath, DoubleBookingAborts) {
   EXPECT_DEATH(p.occupy(2.0, 1.0), "double-booked");
 }
 
-TEST(Trace, DisabledRecordsNothing) {
+TEST(Trace, DisabledKeepsCountersButNoRing) {
   TraceRecorder t;
-  t.record(1.0, 0, "x");
-  EXPECT_TRUE(t.events().empty());
+  t.record(1.0, 0, TraceTag::kSchedPump);
+  EXPECT_EQ(t.ringSize(), 0u);
+  EXPECT_EQ(t.ringHeapBytes(), 0u);
+  // The fixed-size counters still tick so profiles work without the ring.
+  EXPECT_EQ(t.count(TraceTag::kSchedPump), 1u);
 }
 
 TEST(Trace, RecordsAndCounts) {
   TraceRecorder t;
-  t.enable(true);
-  t.record(1.0, 0, "send", "to=1");
-  t.record(2.0, 1, "recv");
-  t.record(3.0, 0, "send");
-  EXPECT_EQ(t.events().size(), 3u);
-  EXPECT_EQ(t.countTag("send"), 2u);
-  EXPECT_NE(t.toString().find("pe=1 recv"), std::string::npos);
+  t.enable();
+  t.record(1.0, 0, TraceTag::kXportEager, 100.0);
+  t.record(2.0, 1, TraceTag::kSchedDeliver);
+  t.record(3.0, 0, TraceTag::kXportEager);
+  EXPECT_EQ(t.ringSize(), 3u);
+  EXPECT_EQ(t.count(TraceTag::kXportEager), 2u);
+  EXPECT_NE(t.toString().find("pe=1 sched.deliver"), std::string::npos);
+}
+
+// Regression: runUntil() used to fast-forward now() to the deadline even
+// when stop() aborted the loop with events at or before the deadline still
+// queued — resuming then ran those events with time apparently going
+// backwards.
+TEST(Engine, StopDuringRunUntilDoesNotFastForward) {
+  Engine eng;
+  std::vector<double> firedAt;
+  eng.at(1.0, [&] {
+    firedAt.push_back(eng.now());
+    eng.stop();
+  });
+  eng.at(2.0, [&] { firedAt.push_back(eng.now()); });
+  eng.runUntil(5.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);  // not 5.0: the 2.0 event is still due
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+  eng.run();
+  ASSERT_EQ(firedAt.size(), 2u);
+  EXPECT_DOUBLE_EQ(firedAt[1], 2.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.0);
+}
+
+TEST(Engine, RunUntilStillFastForwardsWhenDrained) {
+  Engine eng;
+  eng.at(1.0, [] {});
+  eng.runUntil(5.0);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+// Regression for the heap rework (explicit vector + push/pop_heap replacing
+// the const_cast move out of priority_queue::top()): a randomized stress
+// where events keep scheduling more events must deliver every action in
+// nondecreasing time order with intact captures.
+TEST(Engine, HeapStressKeepsTimeMonotonic) {
+  Engine eng;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  double last = -1.0;
+  std::size_t fired = 0;
+  std::size_t spawned = 0;
+  std::function<void()> action = [&] {
+    EXPECT_GE(eng.now(), last);
+    last = eng.now();
+    ++fired;
+    // Big payload so a botched move would visibly corrupt the capture.
+    const std::vector<std::uint64_t> payload(64, rng);
+    while (spawned < 5000 && next() % 3 != 0) {
+      ++spawned;
+      const double delay = static_cast<double>(next() % 1000) / 10.0;
+      eng.after(delay, [&, payload] {
+        ASSERT_EQ(payload.size(), 64u);
+        action();
+      });
+    }
+  };
+  for (int i = 0; i < 50; ++i) {
+    ++spawned;
+    eng.at(static_cast<Time>(next() % 100), [&] { action(); });
+  }
+  eng.run();
+  EXPECT_EQ(fired, spawned);
+  EXPECT_EQ(eng.executedEvents(), spawned);
 }
 
 }  // namespace

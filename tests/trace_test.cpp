@@ -1,0 +1,262 @@
+// Tests for the tracing/metrics layer: ring-buffer capping, zero-heap
+// operation while disabled, per-layer time attribution through real runs,
+// the JSON tree, and the BenchRunner output schema.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/profile.hpp"
+#include "sim/trace.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+
+namespace ckd {
+namespace {
+
+using sim::Layer;
+using sim::TraceRecorder;
+using sim::TraceTag;
+
+// --- ring buffer ---------------------------------------------------------------
+
+TEST(TraceRing, CapsAtCapacityAndCountsDrops) {
+  TraceRecorder t;
+  t.setCapacity(8);
+  t.enable();
+  for (int i = 0; i < 20; ++i)
+    t.record(static_cast<sim::Time>(i), i, TraceTag::kSchedPump,
+             static_cast<double>(i));
+  EXPECT_EQ(t.ringSize(), 8u);
+  EXPECT_EQ(t.recorded(), 20u);
+  EXPECT_EQ(t.dropped(), 12u);
+  // snapshot() is oldest-first: events 12..19 survive.
+  const std::vector<sim::TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_DOUBLE_EQ(events[i].time, static_cast<double>(12 + i));
+}
+
+TEST(TraceRing, HeapUsageZeroWhenDisabledBoundedWhenEnabled) {
+  TraceRecorder off;
+  for (int i = 0; i < 10000; ++i)
+    off.record(static_cast<sim::Time>(i), 0, TraceTag::kFabricSubmit);
+  EXPECT_EQ(off.ringHeapBytes(), 0u);
+  EXPECT_EQ(off.count(TraceTag::kFabricSubmit), 10000u);
+
+  TraceRecorder on;
+  on.setCapacity(16);
+  on.enable();
+  for (int i = 0; i < 10000; ++i)
+    on.record(static_cast<sim::Time>(i), 0, TraceTag::kFabricSubmit);
+  EXPECT_EQ(on.ringHeapBytes(), 16 * sizeof(sim::TraceEvent));
+}
+
+TEST(TraceRing, ClearResetsAndCapacityIsSticky) {
+  TraceRecorder t;
+  t.setCapacity(4);
+  t.enable();
+  t.record(1.0, 0, TraceTag::kDirectPut, 64.0);
+  t.observePollQueue(3);
+  t.addLayerTime(Layer::kFabric, 2.5);
+  t.clear();
+  EXPECT_EQ(t.ringSize(), 0u);
+  EXPECT_EQ(t.recorded(), 0u);
+  EXPECT_EQ(t.count(TraceTag::kDirectPut), 0u);
+  EXPECT_DOUBLE_EQ(t.layerTime(Layer::kFabric), 0.0);
+  EXPECT_TRUE(t.enabled());
+  EXPECT_EQ(t.capacity(), 4u);
+}
+
+TEST(TraceMetrics, PollHistogramBucketsByLog2) {
+  TraceRecorder t;
+  t.observePollQueue(0);   // bucket 0
+  t.observePollQueue(1);   // bucket 1
+  t.observePollQueue(2);   // bucket 2
+  t.observePollQueue(3);   // bucket 2
+  t.observePollQueue(4);   // bucket 3
+  const auto& hist = t.pollQueueHistogram();
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+// --- layer attribution through real runs ----------------------------------------
+
+// The acceptance bar for the observability layer: on a serial pingpong, the
+// per-layer virtual-time attribution must explain the whole run — the sum
+// over layers within 5% of the end-to-end horizon.
+TEST(TraceLayers, CharmPingpongLayersCoverTheRun) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 30000;  // above Abe's 24 KB cut-over: rendezvous path
+  cfg.iterations = 50;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::charmPingpongRtt(harness::abeMachine(2, 1), cfg);
+
+  EXPECT_GT(report.layerTime_us[static_cast<std::size_t>(Layer::kScheduler)],
+            0.0);
+  EXPECT_GT(report.layerTime_us[static_cast<std::size_t>(Layer::kTransport)],
+            0.0);
+  EXPECT_GT(report.layerTime_us[static_cast<std::size_t>(Layer::kFabric)],
+            0.0);
+  EXPECT_NEAR(report.layerCoverage, 1.0, 0.05);
+  // Rendezvous-path tags fired and round trips were observed.
+  EXPECT_GT(report.tagCounts[static_cast<std::size_t>(TraceTag::kXportRtsSend)],
+            0u);
+  EXPECT_GT(report.rendezvousRtt_us.count(), 0u);
+}
+
+TEST(TraceLayers, CkdirectPingpongAttributesToCkDirect) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 20000;
+  cfg.iterations = 50;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::ckdirectPingpongRtt(harness::abeMachine(2, 1), cfg);
+
+  EXPECT_GT(report.layerTime_us[static_cast<std::size_t>(Layer::kCkDirect)],
+            0.0);
+  EXPECT_NEAR(report.layerCoverage, 1.0, 0.05);
+  EXPECT_GT(report.tagCounts[static_cast<std::size_t>(TraceTag::kDirectPut)],
+            0u);
+  EXPECT_GT(
+      report.tagCounts[static_cast<std::size_t>(TraceTag::kDirectSentinelHit)],
+      0u);
+  // Poll scans observed queue lengths.
+  std::uint64_t histTotal = 0;
+  for (const std::uint64_t b : report.pollHist) histTotal += b;
+  EXPECT_GT(histTotal, 0u);
+}
+
+TEST(TraceLayers, RingCaptureFollowsConfig) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 1000;
+  cfg.iterations = 20;
+  cfg.trace = true;
+  cfg.traceCapacity = 64;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::charmPingpongRtt(harness::abeMachine(2, 1), cfg);
+  EXPECT_EQ(report.traceEvents.size(), 64u);
+  EXPECT_GT(report.traceDropped, 0u);
+  // Retained events are oldest-first and time-sorted.
+  for (std::size_t i = 1; i < report.traceEvents.size(); ++i)
+    EXPECT_GE(report.traceEvents[i].time, report.traceEvents[i - 1].time);
+}
+
+// --- JSON tree -------------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", util::JsonValue("ckd.bench.v1"));
+  doc.set("pi", util::JsonValue(3.25));
+  doc.set("count", util::JsonValue(42));
+  doc.set("on", util::JsonValue(true));
+  doc.set("none", util::JsonValue(nullptr));
+  util::JsonValue arr = util::JsonValue::array();
+  arr.push(util::JsonValue(1));
+  arr.push(util::JsonValue("two\nlines \"quoted\""));
+  doc.set("arr", std::move(arr));
+
+  for (const int indent : {0, 2}) {
+    const util::JsonValue back = util::JsonValue::parse(doc.dump(indent));
+    EXPECT_EQ(back.at("schema").asString(), "ckd.bench.v1");
+    EXPECT_DOUBLE_EQ(back.at("pi").asNumber(), 3.25);
+    EXPECT_DOUBLE_EQ(back.at("count").asNumber(), 42.0);
+    EXPECT_TRUE(back.at("on").asBool());
+    EXPECT_TRUE(back.at("none").isNull());
+    ASSERT_EQ(back.at("arr").size(), 2u);
+    EXPECT_EQ(back.at("arr").at(1).asString(), "two\nlines \"quoted\"");
+  }
+}
+
+TEST(Json, NumbersRoundTripShortest) {
+  for (const double v : {0.0, -1.5, 1e-9, 12345678.0, 0.1}) {
+    const util::JsonValue back =
+        util::JsonValue::parse(util::jsonNumber(v));
+    EXPECT_DOUBLE_EQ(back.asNumber(), v);
+  }
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("z", util::JsonValue(1));
+  doc.set("a", util::JsonValue(2));
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":2}");
+}
+
+// --- profile serialization + BenchRunner schema ----------------------------------
+
+TEST(BenchJson, ProfileToJsonCarriesLayers) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 20000;
+  cfg.iterations = 10;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::charmPingpongRtt(harness::abeMachine(2, 1), cfg);
+  report.label = "charm/20000";
+
+  const util::JsonValue j = harness::toJson(report);
+  EXPECT_EQ(j.at("label").asString(), "charm/20000");
+  const util::JsonValue& layers = j.at("layers");
+  EXPECT_GT(layers.at("scheduler_us").asNumber(), 0.0);
+  EXPECT_GT(layers.at("fabric_us").asNumber(), 0.0);
+  EXPECT_NEAR(layers.at("coverage").asNumber(), 1.0, 0.05);
+  EXPECT_NE(j.find("tag_counts"), nullptr);
+}
+
+TEST(BenchJson, RunnerWritesStableSchema) {
+  const char* path = "BENCH_selftest.json";
+  const char* argv[] = {"selftest", "--json", path};
+  util::Args args(3, argv);
+  harness::BenchRunner runner("selftest", args);
+  EXPECT_TRUE(runner.wantsProfiles());
+  EXPECT_FALSE(runner.traceEnabled());
+
+  util::JsonValue labels = util::JsonValue::object();
+  labels.set("variant", util::JsonValue("charm"));
+  labels.set("bytes", util::JsonValue(100));
+  runner.addMetric("rtt_us", 12.5, "us", std::move(labels));
+
+  harness::PingpongConfig cfg;
+  cfg.bytes = 100;
+  cfg.iterations = 5;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::charmPingpongRtt(harness::abeMachine(2, 1), cfg);
+  report.label = "charm/100";
+  runner.addProfile(std::move(report));
+  EXPECT_EQ(runner.finish(), 0);
+
+  std::FILE* f = std::fopen(path, "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    text.append(buf, n);
+  std::fclose(f);
+  std::remove(path);
+
+  const util::JsonValue doc = util::JsonValue::parse(text);
+  EXPECT_EQ(doc.at("schema").asString(), "ckd.bench.v1");
+  EXPECT_EQ(doc.at("bench").asString(), "selftest");
+  ASSERT_EQ(doc.at("metrics").size(), 1u);
+  const util::JsonValue& metric = doc.at("metrics").at(0);
+  EXPECT_EQ(metric.at("name").asString(), "rtt_us");
+  EXPECT_DOUBLE_EQ(metric.at("value").asNumber(), 12.5);
+  EXPECT_EQ(metric.at("labels").at("variant").asString(), "charm");
+  ASSERT_EQ(doc.at("profiles").size(), 1u);
+  EXPECT_EQ(doc.at("profiles").at(0).at("label").asString(), "charm/100");
+}
+
+}  // namespace
+}  // namespace ckd
