@@ -63,8 +63,9 @@ int main(int argc, char** argv) {
   const int pes = static_cast<int>(args.getInt("pes", 16));
 
   for (const bool bgp : {false, true}) {
-    const charm::MachineConfig machine =
+    charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
+    runner.applyFaults(machine);
     const char* machineTag = bgp ? "bgp" : "ib";
     util::TablePrinter table;
     table.setTitle(std::string("Local-neighbor channels ablation, stencil on ") +

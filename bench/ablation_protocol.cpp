@@ -50,7 +50,8 @@ int main(int argc, char** argv) {
   util::Args args(argc, argv);
   harness::BenchRunner runner("ablation_protocol", args);
   const int iters = static_cast<int>(args.getInt("iters", 200));
-  const charm::MachineConfig base = harness::abeMachine(2, 1);
+  charm::MachineConfig base = harness::abeMachine(2, 1);
+  runner.applyFaults(base);
 
   util::TablePrinter table;
   table.setTitle(

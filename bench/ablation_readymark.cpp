@@ -43,6 +43,7 @@ double run(apps::openatom::Mode mode, apps::openatom::ReadyStrategy ready,
   cfg.ready = ready;
   cfg.real_compute = false;
   charm::MachineConfig machine = harness::abeMachine(pes, 2);
+  runner.applyFaults(machine);
   charm::Runtime rts(machine);
   runner.configureTrace(rts.engine().trace());
   apps::openatom::OpenAtomApp app(rts, cfg);

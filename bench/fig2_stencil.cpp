@@ -81,8 +81,9 @@ int main(int argc, char** argv) {
                    "Messages (MSG)"});
   for (const std::int64_t p : procs) {
     const int pes = static_cast<int>(p);
-    const charm::MachineConfig machine =
+    charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
+    runner.applyFaults(machine);
     const auto msg = run(machine, apps::stencil::Mode::kMessages, pes,
                          iterations, cpe, runner);
     const auto ckd = run(machine, apps::stencil::Mode::kCkDirect, pes,

@@ -74,8 +74,9 @@ int main(int argc, char** argv) {
         {"Procs", "MSG iter (us)", "CKD iter (us)", "Improvement"});
     for (const std::int64_t p : procs) {
       const int pes = static_cast<int>(p);
-      const charm::MachineConfig machine =
+      charm::MachineConfig machine =
           bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 8);
+      runner.applyFaults(machine);
       const auto msg = run(machine, apps::matmul::Mode::kMessages, pes,
                            iterations, flopCost, runner, machineTag);
       const auto ckd = run(machine, apps::matmul::Mode::kCkDirect, pes,

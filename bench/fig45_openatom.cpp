@@ -89,8 +89,9 @@ int main(int argc, char** argv) {
                    "CKD PC-only", "PC gain"});
   for (const std::int64_t p : procs) {
     const int pes = static_cast<int>(p);
-    const charm::MachineConfig machine =
+    charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 2);
+    runner.applyFaults(machine);
     const auto msgFull = run(machine, apps::openatom::Mode::kMessages, false,
                              args, steps, pes, bgp, runner);
     const auto ckdFull = run(machine, apps::openatom::Mode::kCkDirect, false,

@@ -1,0 +1,255 @@
+// Fault soak: runs CkDirect pingpong and the §4.1 stencil under a seeded
+// fault storm (drops, corruption, duplicates, delay jitter) and asserts
+// ZERO data divergence against the fault-free run. This is the acceptance
+// gate for the reliability layer: every injected fault must be absorbed by
+// retransmission/recovery without the application seeing different bytes —
+// only different (inflated) timings.
+//
+// Flags (besides the standard BenchRunner set):
+//   --faults <spec>       fault storm (default drop 2%, corrupt 1%, dup 1%,
+//                         delay 5% with 5 us jitter)
+//   --fault-seed <n>      injector seed (default 1)
+//   --bytes <n>           pingpong payload (default 16384)
+//   --iters <n>           pingpong round trips (default 400)
+//   --stencil-iters <n>   stencil iterations (default 4)
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/stencil/stencil.hpp"
+#include "ckdirect/ckdirect.hpp"
+#include "fault/fault.hpp"
+#include "harness/bench_runner.hpp"
+#include "harness/machines.hpp"
+#include "sim/trace.hpp"
+#include "util/args.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace ckd;
+
+constexpr std::uint64_t kOob = 0xDEADBEEFCAFEBABEull;
+
+std::uint64_t fnv(const void* data, std::size_t bytes,
+                  std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Deterministic per-iteration payload; the last 8 bytes carry iter+1 so
+/// they can never collide with the CkDirect out-of-band sentinel.
+void fillPattern(std::vector<std::byte>& buf, int iter, int salt) {
+  for (std::size_t j = 0; j < buf.size(); ++j)
+    buf[j] = static_cast<std::byte>(
+        (static_cast<std::size_t>(iter) * 131u + j * 7u + salt) & 0xffu);
+  const std::uint64_t stamp = static_cast<std::uint64_t>(iter) + 1;
+  std::memcpy(buf.data() + buf.size() - sizeof(stamp), &stamp, sizeof(stamp));
+}
+
+struct SoakResult {
+  double avg_rtt_us = 0.0;
+  std::uint64_t digest = 0;      ///< running FNV over every received payload
+  std::uint64_t faults = 0;      ///< injected faults of any kind
+  std::uint64_t retransmits = 0;
+  std::uint64_t put_retries = 0; ///< manager-level transparent re-puts
+};
+
+std::uint64_t faultCount(const sim::TraceRecorder& trace) {
+  return trace.count(sim::TraceTag::kFaultDrop) +
+         trace.count(sim::TraceTag::kFaultDelay) +
+         trace.count(sim::TraceTag::kFaultDuplicate) +
+         trace.count(sim::TraceTag::kFaultCorrupt) +
+         trace.count(sim::TraceTag::kFaultQpError) +
+         trace.count(sim::TraceTag::kFaultRegionInvalid);
+}
+
+/// CkDirect pingpong where every round trip carries a fresh payload pattern
+/// and both directions fold the received bytes into a digest.
+SoakResult pingpongSoak(const charm::MachineConfig& machine, std::size_t bytes,
+                        int iters) {
+  CKD_REQUIRE(bytes >= 8, "payload must cover the 8-byte sentinel");
+  charm::Runtime rts(machine);
+
+  struct State {
+    std::vector<std::byte> sendA, recvA, sendB, recvB;
+    direct::Handle ab, ba;
+    int remaining = 0;
+    int iterA = 0, iterB = 0;
+    sim::Time sentAt = 0.0;
+    double totalRtt = 0.0;
+    std::uint64_t digest = 1469598103934665603ull;
+  };
+  auto st = std::make_shared<State>();
+  st->sendA.assign(bytes, std::byte{0});
+  st->recvA.assign(bytes, std::byte{0});
+  st->sendB.assign(bytes, std::byte{0});
+  st->recvB.assign(bytes, std::byte{0});
+  st->remaining = iters;
+
+  st->ab = direct::createHandle(rts, 1, st->recvB.data(), bytes, kOob,
+                                [st]() {
+                                  // On PE 1: request landed.
+                                  st->digest = fnv(st->recvB.data(),
+                                                   st->recvB.size(),
+                                                   st->digest);
+                                  direct::ready(st->ab);
+                                  fillPattern(st->sendB, st->iterB++, 0x55);
+                                  direct::put(st->ba);
+                                });
+  st->ba = direct::createHandle(
+      rts, 0, st->recvA.data(), bytes, kOob, [st, &rts]() {
+        // On PE 0: echo landed, round trip complete.
+        st->digest = fnv(st->recvA.data(), st->recvA.size(), st->digest);
+        st->totalRtt += rts.scheduler(0).currentTime() - st->sentAt;
+        direct::ready(st->ba);
+        if (--st->remaining > 0) {
+          st->sentAt = rts.scheduler(0).currentTime();
+          fillPattern(st->sendA, ++st->iterA, 0);
+          direct::put(st->ab);
+        }
+      });
+  direct::assocLocal(st->ab, 0, st->sendA.data());
+  direct::assocLocal(st->ba, 1, st->sendB.data());
+
+  rts.seed([st]() {
+    st->sentAt = 0.0;
+    fillPattern(st->sendA, 0, 0);
+    direct::put(st->ab);
+  });
+  rts.run();
+
+  SoakResult result;
+  result.avg_rtt_us = st->totalRtt / iters;
+  result.digest = st->digest;
+  result.faults = faultCount(rts.engine().trace());
+  result.retransmits = rts.engine().trace().count(sim::TraceTag::kRelRetransmit);
+  if (const direct::Manager* mgr = direct::Manager::peek(rts))
+    result.put_retries = mgr->putRetries();
+  return result;
+}
+
+/// Stencil (real compute, CkDirect ghost exchange) returning the full field.
+std::vector<double> stencilSoak(const charm::MachineConfig& machine, int iters,
+                                SoakResult& out) {
+  charm::Runtime rts(machine);
+  apps::stencil::Config cfg;
+  cfg.gx = 32;
+  cfg.gy = 32;
+  cfg.gz = 16;
+  cfg.cx = cfg.cy = cfg.cz = 2;
+  cfg.iterations = iters;
+  cfg.mode = apps::stencil::Mode::kCkDirect;
+  cfg.real_compute = true;
+  apps::stencil::StencilApp app(rts, cfg);
+  app.execute();
+  out.faults = faultCount(rts.engine().trace());
+  out.retransmits = rts.engine().trace().count(sim::TraceTag::kRelRetransmit);
+  if (const direct::Manager* mgr = direct::Manager::peek(rts))
+    out.put_retries = mgr->putRetries();
+  return app.gatherField();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ckd;
+  util::Args args(argc, argv);
+  harness::BenchRunner runner("soak_faults", args);
+  const auto bytes = static_cast<std::size_t>(args.getInt("bytes", 16384));
+  const int iters = static_cast<int>(args.getInt("iters", 400));
+  const int stencilIters = static_cast<int>(args.getInt("stencil-iters", 4));
+
+  // --faults overrides the default storm; --fault-seed always applies.
+  const fault::FaultPlan storm =
+      runner.faultsArmed()
+          ? runner.faultPlan()
+          : fault::parseFaultSpec(
+                "drop:0.02,corrupt:0.01,duplicate:0.01,delay:0.05;jitter=5");
+  const std::uint64_t seed = runner.faultSeed();
+  CKD_REQUIRE(storm.armed(), "soak_faults needs a non-empty fault plan");
+  std::cout << "fault storm: " << storm.summary() << " (seed " << seed
+            << ")\n";
+
+  util::TablePrinter table;
+  table.setTitle("Fault soak: clean vs faulted, zero divergence required");
+  table.setHeader({"workload", "clean", "faulted", "inflation", "faults",
+                   "retransmits", "re-puts"});
+
+  // --- CkDirect pingpong, IB (verbs reliable path) and BG/P (DCMF). ---
+  for (const bool bgp : {false, true}) {
+    const char* tag = bgp ? "pingpong_bgp" : "pingpong_ib";
+    charm::MachineConfig clean =
+        bgp ? harness::surveyorMachine(2, 1) : harness::abeMachine(2, 1);
+    charm::MachineConfig faulted = clean;
+    faulted.faults = storm;
+    faulted.faultSeed = seed;
+
+    const SoakResult base = pingpongSoak(clean, bytes, iters);
+    const SoakResult soak = pingpongSoak(faulted, bytes, iters);
+    CKD_REQUIRE(base.faults == 0, "clean run must inject nothing");
+    CKD_REQUIRE(soak.faults > 0, "fault storm injected nothing");
+    CKD_REQUIRE(base.digest == soak.digest,
+                "data divergence: faulted pingpong delivered different bytes");
+
+    const double inflation = soak.avg_rtt_us / base.avg_rtt_us;
+    table.addRow({tag, util::formatFixed(base.avg_rtt_us, 3) + " us",
+                  util::formatFixed(soak.avg_rtt_us, 3) + " us",
+                  util::formatFixed(inflation, 3) + "x",
+                  std::to_string(soak.faults), std::to_string(soak.retransmits),
+                  std::to_string(soak.put_retries)});
+
+    util::JsonValue labels = util::JsonValue::object();
+    labels.set("workload", util::JsonValue(tag));
+    runner.addMetric("rtt_clean_us", base.avg_rtt_us, "us", labels);
+    runner.addMetric("rtt_faulted_us", soak.avg_rtt_us, "us", labels);
+    runner.addMetric("rtt_inflation", inflation, "ratio", labels);
+    runner.addMetric("faults_injected", static_cast<double>(soak.faults),
+                     "count", labels);
+    runner.addMetric("retransmits", static_cast<double>(soak.retransmits),
+                     "count", labels);
+    runner.addMetric("put_retries", static_cast<double>(soak.put_retries),
+                     "count", std::move(labels));
+  }
+
+  // --- Stencil: whole-field bitwise comparison after N iterations. ---
+  for (const bool bgp : {false, true}) {
+    const char* tag = bgp ? "stencil_bgp" : "stencil_ib";
+    charm::MachineConfig clean =
+        bgp ? harness::surveyorMachine(8, 4) : harness::t3Machine(8, 4);
+    charm::MachineConfig faulted = clean;
+    faulted.faults = storm;
+    faulted.faultSeed = seed;
+
+    SoakResult base, soak;
+    const std::vector<double> want = stencilSoak(clean, stencilIters, base);
+    const std::vector<double> got = stencilSoak(faulted, stencilIters, soak);
+    CKD_REQUIRE(soak.faults > 0, "fault storm injected nothing");
+    CKD_REQUIRE(want == got,
+                "data divergence: faulted stencil computed a different field");
+
+    table.addRow({tag, "field ok", "field ok", "-", std::to_string(soak.faults),
+                  std::to_string(soak.retransmits),
+                  std::to_string(soak.put_retries)});
+    util::JsonValue labels = util::JsonValue::object();
+    labels.set("workload", util::JsonValue(tag));
+    runner.addMetric("faults_injected", static_cast<double>(soak.faults),
+                     "count", labels);
+    runner.addMetric("retransmits", static_cast<double>(soak.retransmits),
+                     "count", std::move(labels));
+  }
+
+  table.print(std::cout);
+  std::cout << "zero divergence: all faulted runs delivered byte-identical "
+               "data\n";
+  return runner.finish();
+}

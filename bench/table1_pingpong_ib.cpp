@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   const int iterations = static_cast<int>(args.getInt("iters", 1000));
 
   // Pingpong runs between two processes on distinct nodes (1 PE/node).
-  const charm::MachineConfig machine = harness::abeMachine(2, 1);
+  charm::MachineConfig machine = harness::abeMachine(2, 1);
+  runner.applyFaults(machine);
 
   const std::vector<std::size_t> sizes = {100,   1000,  5000,   10000, 20000,
                                           30000, 40000, 70000, 100000, 500000};

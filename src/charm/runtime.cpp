@@ -15,6 +15,8 @@ Runtime::Runtime(MachineConfig config) : config_(std::move(config)) {
   CKD_REQUIRE(config_.topology != nullptr, "Runtime requires a topology");
   fabric_ = std::make_unique<net::Fabric>(engine_, config_.topology,
                                           config_.netParams);
+  if (config_.faults.armed())
+    fabric_->installFaults(config_.faults, config_.faultSeed);
   const int pes = numPes();
   processors_.reserve(static_cast<std::size_t>(pes));
   schedulers_.reserve(static_cast<std::size_t>(pes));

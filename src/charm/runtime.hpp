@@ -16,6 +16,7 @@
 #include "charm/costs.hpp"
 #include "charm/message.hpp"
 #include "charm/scheduler.hpp"
+#include "fault/fault.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
 #include "sim/processor.hpp"
@@ -39,6 +40,10 @@ struct MachineConfig {
   net::CostParams netParams;
   RuntimeCosts costs;
   LayerKind layer = LayerKind::kInfiniband;
+  /// Fault-injection plan, installed on the fabric at construction when
+  /// armed. An empty/unarmed plan (the default) changes nothing.
+  fault::FaultPlan faults;
+  std::uint64_t faultSeed = 1;
 };
 
 class Runtime {

@@ -14,6 +14,21 @@ namespace ckd::charm {
 IbTransport::IbTransport(Runtime& runtime, ib::IbVerbs& verbs)
     : runtime_(runtime), verbs_(verbs) {}
 
+bool IbTransport::reliableActive() {
+  return runtime_.fabric().faults() != nullptr;
+}
+
+fault::ReliableLink& IbTransport::link() {
+  if (!link_)
+    link_ = std::make_unique<fault::ReliableLink>(
+        runtime_.fabric(), runtime_.fabric().faults()->plan().rel);
+  return *link_;
+}
+
+int IbTransport::pairChannel(int src, int dst) const {
+  return src * runtime_.fabric().numPes() + dst;
+}
+
 void IbTransport::send(MessagePtr msg) {
   if (modeledWireBytes(*msg) < runtime_.costs().rdma_threshold_bytes) {
     sendEager(std::move(msg));
@@ -35,6 +50,26 @@ void IbTransport::sendEager(MessagePtr msg) {
   runtime_.engine().trace().record(runtime_.engine().now(), src,
                                    sim::TraceTag::kXportEager,
                                    static_cast<double>(msg->payloadBytes()));
+  if (reliableActive()) {
+    // Under faults the eager path ships the real wire image through the
+    // reliable link: a corrupted copy fails its checksum and is
+    // retransmitted, and the message is rebuilt from the bytes that
+    // actually survived the wire.
+    msg->sealHeader();
+    const std::span<const std::byte> wire = msg->wire();
+    fault::ReliableLink::Send send;
+    send.src = src;
+    send.dst = dst;
+    send.wireBytes = modeledWireBytes(*msg);
+    send.cls = fault::MsgClass::kPacket;
+    send.payload.assign(wire.begin(), wire.end());
+    send.on_deliver = [this, dst](std::vector<std::byte>&& image) {
+      MessagePtr rebuilt = Message::fromWire({image.data(), image.size()});
+      runtime_.scheduler(dst).enqueue(std::move(rebuilt));
+    };
+    link().post(pairChannel(src, dst), std::move(send));
+    return;
+  }
   runtime_.fabric().submit(src, dst, modeledWireBytes(*msg),
                            net::XferKind::kPacket, [this, msg]() mutable {
                              runtime_.scheduler(msg->env().dstPe)
@@ -50,10 +85,27 @@ void IbTransport::sendRendezvous(MessagePtr msg) {
   const sim::Time now = runtime_.engine().now();
   runtime_.engine().trace().record(now, env.srcPe, sim::TraceTag::kXportRtsSend,
                                    static_cast<double>(env.payloadBytes));
-  pendingSends_.emplace(seq, PendingSend{std::move(msg), now});
+  PendingSend pending;
+  pending.msg = std::move(msg);
+  pending.rtsAt = now;
+  pendingSends_.emplace(seq, std::move(pending));
 
   // Request-to-send: a small control message carrying the envelope so the
   // receiver can allocate and register a landing buffer of the right size.
+  // Under faults it rides the reliable link (a lost RTS would otherwise
+  // stall the rendezvous forever).
+  if (reliableActive()) {
+    fault::ReliableLink::Send ctrl;
+    ctrl.src = env.srcPe;
+    ctrl.dst = env.dstPe;
+    ctrl.wireBytes = kControlBytes;
+    ctrl.cls = fault::MsgClass::kControl;
+    ctrl.on_deliver = [this, seq, env](std::vector<std::byte>&&) {
+      onRendezvousRequest(seq, env);
+    };
+    link().post(pairChannel(env.srcPe, env.dstPe), std::move(ctrl));
+    return;
+  }
   runtime_.fabric().submit(
       env.srcPe, env.dstPe, kControlBytes, net::XferKind::kControl,
       [this, seq, env]() { onRendezvousRequest(seq, env); });
@@ -81,6 +133,19 @@ void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
     // reflects the cost charged to this system-work context).
     const sim::Time ready = runtime_.scheduler(env.dstPe).currentTime();
     runtime_.engine().at(ready, [this, seq, env, remoteAddr, region]() {
+      if (reliableActive()) {
+        fault::ReliableLink::Send ctrl;
+        ctrl.src = env.dstPe;
+        ctrl.dst = env.srcPe;
+        ctrl.wireBytes = kControlBytes;
+        ctrl.cls = fault::MsgClass::kControl;
+        ctrl.on_deliver = [this, seq, remoteAddr,
+                           region](std::vector<std::byte>&&) {
+          onRendezvousAck(seq, remoteAddr, region);
+        };
+        link().post(pairChannel(env.dstPe, env.srcPe), std::move(ctrl));
+        return;
+      }
       runtime_.fabric().submit(
           env.dstPe, env.srcPe, kControlBytes, net::XferKind::kControl,
           [this, seq, remoteAddr, region]() {
@@ -102,30 +167,77 @@ void IbTransport::onRendezvousAck(std::uint64_t seq, void* remoteAddr,
   runtime_.scheduler(src).enqueueSystemWork(
       kAckProcessUs, [this, seq, msg, remoteAddr, remoteRegion]() {
         const int src = msg->env().srcPe;
-        const int dst = msg->env().dstPe;
         const sim::Time ready = runtime_.scheduler(src).currentTime();
         runtime_.engine().at(
-            ready, [this, seq, msg, src, dst, remoteAddr, remoteRegion]() {
-              const std::span<std::byte> wire = msg->wireMutable();
-              const ib::RegionId localRegion =
+            ready, [this, seq, src, remoteAddr, remoteRegion]() {
+              const auto pit = pendingSends_.find(seq);
+              CKD_REQUIRE(pit != pendingSends_.end(),
+                          "rendezvous ack for a completed send");
+              PendingSend& pending = pit->second;
+              const std::span<std::byte> wire = pending.msg->wireMutable();
+              pending.remoteAddr = remoteAddr;
+              pending.remoteRegion = remoteRegion;
+              pending.localRegion =
                   verbs_.registerMemory(src, wire.data(), wire.size());
-              ib::IbVerbs::RdmaWrite write;
-              write.qp = verbs_.connect(src, dst);
-              write.local_addr = wire.data();
-              write.local_region = localRegion;
-              write.remote_addr = remoteAddr;
-              write.remote_region = remoteRegion;
-              write.bytes = wire.size();
-              write.on_local_complete = [this, seq, localRegion]() {
-                verbs_.deregisterMemory(localRegion);
-                pendingSends_.erase(seq);
-              };
-              write.on_remote_delivered = [this, seq]() {
-                onRdmaDelivered(seq);
-              };
-              verbs_.postRdmaWrite(std::move(write));
+              postPayloadWrite(seq);
             });
       });
+}
+
+void IbTransport::postPayloadWrite(std::uint64_t seq) {
+  const auto it = pendingSends_.find(seq);
+  CKD_REQUIRE(it != pendingSends_.end(), "payload write for unknown send");
+  PendingSend& pending = it->second;
+  const int src = pending.msg->env().srcPe;
+  const int dst = pending.msg->env().dstPe;
+  const std::span<std::byte> wire = pending.msg->wireMutable();
+  ib::IbVerbs::RdmaWrite write;
+  write.qp = verbs_.connect(src, dst);
+  write.local_addr = wire.data();
+  write.local_region = pending.localRegion;
+  write.remote_addr = pending.remoteAddr;
+  write.remote_region = pending.remoteRegion;
+  write.bytes = wire.size();
+  write.on_local_complete = [this, seq]() {
+    const auto pit = pendingSends_.find(seq);
+    CKD_REQUIRE(pit != pendingSends_.end(), "completion for unknown send");
+    verbs_.deregisterMemory(pit->second.localRegion);
+    pendingSends_.erase(pit);
+  };
+  write.on_remote_delivered = [this, seq]() { onRdmaDelivered(seq); };
+  if (reliableActive())
+    write.on_error = [this, seq](fault::WcStatus status) {
+      onRdmaError(seq, status);
+    };
+  verbs_.postRdmaWrite(std::move(write));
+}
+
+void IbTransport::onRdmaError(std::uint64_t seq, fault::WcStatus /*status*/) {
+  const auto it = pendingSends_.find(seq);
+  if (it == pendingSends_.end()) return;  // flushed duplicate of a done send
+  PendingSend& pending = it->second;
+  if (pendingRecvs_.count(seq) == 0) {
+    // The payload actually landed and the receiver consumed it; only the
+    // acks were lost before the retry budget ran out. A real runtime learns
+    // this from the receiver during connection re-establishment. Complete
+    // the send locally instead of re-writing into a recycled buffer.
+    verbs_.deregisterMemory(pending.localRegion);
+    pendingSends_.erase(it);
+    return;
+  }
+  const fault::ReliabilityParams& rel =
+      runtime_.fabric().faults()->plan().rel;
+  CKD_REQUIRE(pending.attempts < rel.app_retry_budget,
+              "rendezvous RDMA write kept failing past the app retry budget");
+  ++pending.attempts;
+  ++rdmaRetries_;
+  // Re-establish the QP (fresh PSN) and re-issue the write after the base
+  // timeout — modeled on the machine layer reacting to an async QP event.
+  verbs_.resetQp(verbs_.connect(pending.msg->env().srcPe,
+                                pending.msg->env().dstPe));
+  runtime_.engine().after(rel.timeout_us, [this, seq]() {
+    if (pendingSends_.count(seq) != 0) postPayloadWrite(seq);
+  });
 }
 
 void IbTransport::onRdmaDelivered(std::uint64_t seq) {
@@ -191,14 +303,33 @@ void BgpTransport::send(MessagePtr msg) {
   runtime_.engine().trace().record(runtime_.engine().now(), msg->env().srcPe,
                                    sim::TraceTag::kXportBgpSend,
                                    static_cast<double>(msg->payloadBytes()));
+  post(std::move(msg), 0);
+}
+
+void BgpTransport::post(MessagePtr msg, int attempts) {
   dcmf::Request* request = acquireRequest();
   const std::span<const std::byte> wire = msg->wire();
+  const int src = msg->env().srcPe;
+  const int dst = msg->env().dstPe;
   // `msg` is captured by the completion so the wire bytes outlive the send.
   // The modeled wire size follows the configured envelope size.
-  dcmf_.send(protocol_, msg->env().srcPe, msg->env().dstPe, dcmf::Info{},
-             wire.data(), wire.size(), request,
-             [this, request, msg]() { releaseRequest(request); },
-             msg->payloadBytes() + runtime_.costs().header_bytes);
+  dcmf_.send(protocol_, src, dst, dcmf::Info{}, wire.data(), wire.size(),
+             request, [this, request, msg]() { releaseRequest(request); },
+             msg->payloadBytes() + runtime_.costs().header_bytes,
+             [this, request, msg, attempts, src,
+              dst](fault::WcStatus /*status*/) mutable {
+               releaseRequest(request);
+               const fault::ReliabilityParams& rel =
+                   dcmf_.fabric().faults()->plan().rel;
+               CKD_REQUIRE(attempts < rel.app_retry_budget,
+                           "BGP send kept failing past the app retry budget");
+               ++resends_;
+               dcmf_.resetChannel(src, dst);
+               runtime_.engine().after(
+                   rel.timeout_us, [this, msg, attempts]() mutable {
+                     post(std::move(msg), attempts + 1);
+                   });
+             });
 }
 
 }  // namespace ckd::charm

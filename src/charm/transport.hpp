@@ -17,6 +17,7 @@
 
 #include "charm/message.hpp"
 #include "dcmf/dcmf.hpp"
+#include "fault/reliable.hpp"
 #include "ib/verbs.hpp"
 #include "sim/time.hpp"
 
@@ -33,6 +34,8 @@ class Transport {
 
   virtual std::uint64_t eagerSends() const { return 0; }
   virtual std::uint64_t rendezvousSends() const { return 0; }
+  /// RDMA payload writes re-issued after an error completion (faults only).
+  virtual std::uint64_t rdmaRetries() const { return 0; }
 };
 
 class IbTransport final : public Transport {
@@ -42,6 +45,7 @@ class IbTransport final : public Transport {
 
   std::uint64_t eagerSends() const override { return eagerSends_; }
   std::uint64_t rendezvousSends() const override { return rendezvousSends_; }
+  std::uint64_t rdmaRetries() const override { return rdmaRetries_; }
 
  private:
   std::size_t modeledWireBytes(const Message& msg) const;
@@ -50,13 +54,28 @@ class IbTransport final : public Transport {
   void onRendezvousRequest(std::uint64_t seq, Envelope env);
   void onRendezvousAck(std::uint64_t seq, void* remoteAddr,
                        ib::RegionId remoteRegion);
+  /// Issue (or, after an error completion, re-issue) the payload RDMA write
+  /// for a pending rendezvous send.
+  void postPayloadWrite(std::uint64_t seq);
+  void onRdmaError(std::uint64_t seq, fault::WcStatus status);
   void onRdmaDelivered(std::uint64_t seq);
+
+  /// Faults armed on the fabric: eager/control traffic rides a reliable link.
+  bool reliableActive();
+  fault::ReliableLink& link();
+  /// Directional per-PE-pair reliability channel for transport messages.
+  int pairChannel(int src, int dst) const;
 
   Runtime& runtime_;
   ib::IbVerbs& verbs_;
   struct PendingSend {
     MessagePtr msg;
     sim::Time rtsAt;  // when the request-to-send left, for RTT stats
+    // Write context, kept so an error completion can re-issue the write.
+    void* remoteAddr = nullptr;
+    ib::RegionId remoteRegion;
+    ib::RegionId localRegion;
+    int attempts = 0;
   };
   std::map<std::uint64_t, PendingSend> pendingSends_;
   struct PendingRecv {
@@ -64,8 +83,10 @@ class IbTransport final : public Transport {
     ib::RegionId region;
   };
   std::map<std::uint64_t, PendingRecv> pendingRecvs_;
+  std::unique_ptr<fault::ReliableLink> link_;  ///< lazy; only with faults
   std::uint64_t eagerSends_ = 0;
   std::uint64_t rendezvousSends_ = 0;
+  std::uint64_t rdmaRetries_ = 0;
 
   /// Modeled size of a rendezvous control message (request-to-send / ack).
   static constexpr std::size_t kControlBytes = 32;
@@ -79,10 +100,14 @@ class BgpTransport final : public Transport {
   void send(MessagePtr msg) override;
 
   std::uint64_t eagerSends() const override { return sends_; }
+  std::uint64_t rdmaRetries() const override { return resends_; }
 
  private:
   dcmf::Request* acquireRequest();
   void releaseRequest(dcmf::Request* request);
+  /// Hand the sealed message to DCMF; with faults armed, a permanent send
+  /// failure resets the channel and re-posts (up to the app retry budget).
+  void post(MessagePtr msg, int attempts);
 
   Runtime& runtime_;
   dcmf::DcmfContext& dcmf_;
@@ -90,6 +115,7 @@ class BgpTransport final : public Transport {
   std::vector<std::unique_ptr<dcmf::Request>> requestPool_;
   std::vector<dcmf::Request*> freeRequests_;
   std::uint64_t sends_ = 0;
+  std::uint64_t resends_ = 0;
 };
 
 }  // namespace ckd::charm

@@ -58,6 +58,11 @@ void readyPollQ(Handle handle) {
   Manager::of(*handle.rts).readyPollQ(handle.id);
 }
 
+void setErrorCallback(Handle handle, PutErrorCallback callback) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).setErrorCallback(handle.id, std::move(callback));
+}
+
 Handle createStridedHandle(charm::Runtime& rts, int receiverPe, void* base,
                            std::size_t blockBytes, std::size_t strideBytes,
                            int blockCount, std::uint64_t oob,

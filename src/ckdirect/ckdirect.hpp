@@ -32,10 +32,17 @@
 #include <vector>
 
 #include "charm/runtime.hpp"
+#include "fault/reliable.hpp"
 
 namespace ckd::direct {
 
 using Callback = std::function<void()>;
+
+/// Invoked on the sender PE when a put keeps failing past the link retry
+/// budget AND the manager's own re-put budget (faults only). The channel is
+/// healthy again when this fires; the application decides whether to re-put
+/// or give up.
+using PutErrorCallback = std::function<void(fault::WcStatus)>;
 
 /// Opaque channel handle. Trivially copyable so applications can ship it to
 /// the sender inside an ordinary message payload.
@@ -80,10 +87,17 @@ class Manager {
   virtual void readyMark(std::int32_t handle) = 0;
   virtual void readyPollQ(std::int32_t handle) = 0;
 
+  /// Install a per-channel error callback (see PutErrorCallback). Without
+  /// one, a permanently failed put aborts the simulation.
+  virtual void setErrorCallback(std::int32_t /*handle*/,
+                                PutErrorCallback /*callback*/) {}
+
   // Introspection (tests, benches).
   virtual std::size_t pollQueueLength(int pe) const = 0;
   virtual std::uint64_t putsIssued() const = 0;
   virtual std::uint64_t callbacksInvoked() const = 0;
+  /// Puts transparently re-issued after an error completion (faults only).
+  virtual std::uint64_t putRetries() const { return 0; }
 };
 
 // --- paper-style free functions --------------------------------------------
@@ -112,6 +126,10 @@ void readyMark(Handle handle);
 /// CkDirect_ReadyPollQ: start polling the channel again. Call only in the
 /// phase where traffic is expected, to keep the polling queue short (§5.2).
 void readyPollQ(Handle handle);
+
+/// Install an error callback on the channel (fault-injection runs). Fires on
+/// the sender PE after the manager's transparent recovery gives up.
+void setErrorCallback(Handle handle, PutErrorCallback callback);
 
 // --- §6 extensions -----------------------------------------------------------
 

@@ -105,20 +105,57 @@ void BgpManager::put(std::int32_t handle) {
   sender.chargeAs(sim::Layer::kCkDirect, rts_.costs().put_issue_us);
   const sim::Time issue = sender.currentTime();
 
-  rts_.engine().at(issue, [this, handle]() {
-    Channel& ch = channel(handle);
-    rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
-                                 sim::TraceTag::kDirectPut,
-                                 static_cast<double>(ch.bytes));
-    // Two quad words of context ride with the payload (§2.2): the receive
-    // buffer pointer + handle id, and the receive request pointer.
-    dcmf::Info info;
-    info.append({dcmf::Info::packPointer(ch.recvBuffer),
-                 static_cast<std::uint64_t>(handle)});
-    info.append({dcmf::Info::packPointer(ch.recvRequest.get()), 0});
-    dcmf_.send(protocol_, ch.sendPe, ch.recvPe, info, ch.sendBuffer, ch.bytes,
-               ch.sendRequest.get());
-  });
+  rts_.engine().at(issue, [this, handle]() { issueSend(handle); });
+}
+
+void BgpManager::issueSend(std::int32_t handle) {
+  Channel& ch = channel(handle);
+  rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
+                               sim::TraceTag::kDirectPut,
+                               static_cast<double>(ch.bytes));
+  // Two quad words of context ride with the payload (§2.2): the receive
+  // buffer pointer + handle id, and the receive request pointer.
+  dcmf::Info info;
+  info.append({dcmf::Info::packPointer(ch.recvBuffer),
+               static_cast<std::uint64_t>(handle)});
+  info.append({dcmf::Info::packPointer(ch.recvRequest.get()), 0});
+  dcmf_.send(protocol_, ch.sendPe, ch.recvPe, info, ch.sendBuffer, ch.bytes,
+             ch.sendRequest.get(),
+             [this, handle]() { channel(handle).putAttempts = 0; },
+             /*modeled_wire_bytes=*/0,
+             [this, handle](fault::WcStatus status) {
+               onPutError(handle, status);
+             });
+}
+
+void BgpManager::onPutError(std::int32_t handle, fault::WcStatus status) {
+  Channel& ch = channel(handle);
+  const fault::ReliabilityParams& rel = rts_.fabric().faults()->plan().rel;
+  dcmf_.resetChannel(ch.sendPe, ch.recvPe);
+  if (ch.putAttempts >= rel.app_retry_budget) {
+    // Transparent recovery exhausted: surface the error completion to the
+    // application on the sender PE (costed like an ordinary callback).
+    CKD_REQUIRE(ch.onError != nullptr,
+                "CkDirect put failed permanently with no error callback");
+    rts_.scheduler(ch.sendPe).enqueueSystemWork(
+        rts_.costs().callback_overhead_us,
+        [this, handle, status]() {
+          Channel& c = channel(handle);
+          c.putAttempts = 0;
+          c.onError(status);
+        },
+        sim::Layer::kCkDirect);
+    return;
+  }
+  ++ch.putAttempts;
+  ++putRetries_;
+  rts_.engine().after(rel.timeout_us,
+                      [this, handle]() { issueSend(handle); });
+}
+
+void BgpManager::setErrorCallback(std::int32_t handle,
+                                  PutErrorCallback callback) {
+  channel(handle).onError = std::move(callback);
 }
 
 std::byte* BgpManager::landingBuffer(Channel& ch) {

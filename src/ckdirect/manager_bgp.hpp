@@ -40,10 +40,12 @@ class BgpManager final : public Manager {
   void ready(std::int32_t /*handle*/) override {}      // no-op on BG/P
   void readyMark(std::int32_t /*handle*/) override {}  // no-op on BG/P
   void readyPollQ(std::int32_t /*handle*/) override {} // no-op on BG/P
+  void setErrorCallback(std::int32_t handle, PutErrorCallback callback) override;
 
   std::size_t pollQueueLength(int /*pe*/) const override { return 0; }
   std::uint64_t putsIssued() const override { return puts_; }
   std::uint64_t callbacksInvoked() const override { return callbacks_; }
+  std::uint64_t putRetries() const override { return putRetries_; }
 
  private:
   struct Channel {
@@ -62,10 +64,17 @@ class BgpManager final : public Manager {
     int sendPe = -1;
     const std::byte* sendBuffer = nullptr;
     std::unique_ptr<dcmf::Request> sendRequest;
+
+    // Fault recovery (active only when the fabric has faults armed).
+    int putAttempts = 0;
+    PutErrorCallback onError;
   };
 
   Channel& channel(std::int32_t id);
   std::byte* landingBuffer(Channel& ch);
+  /// Hand the put's payload to DCMF (also the re-issue path on retry).
+  void issueSend(std::int32_t id);
+  void onPutError(std::int32_t id, fault::WcStatus status);
   void onArrived(std::int32_t id);
 
   charm::Runtime& rts_;
@@ -74,6 +83,7 @@ class BgpManager final : public Manager {
   std::vector<std::unique_ptr<Channel>> channels_;
   std::uint64_t puts_ = 0;
   std::uint64_t callbacks_ = 0;
+  std::uint64_t putRetries_ = 0;
 };
 
 }  // namespace ckd::direct

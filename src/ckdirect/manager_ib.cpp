@@ -115,6 +115,10 @@ void IbManager::assocLocal(std::int32_t handle, int senderPe,
   ch.qp = verbs_.connect(senderPe, ch.recvPe);
 }
 
+bool IbManager::faultsArmed() const {
+  return rts_.fabric().faults() != nullptr;
+}
+
 void IbManager::put(std::int32_t handle) {
   Channel& ch = channel(handle);
   CKD_REQUIRE(ch.sendPe >= 0,
@@ -130,38 +134,89 @@ void IbManager::put(std::int32_t handle) {
                       0.05 * (ch.blockCount - 1));  // extra descriptors
   const sim::Time issue = sender.currentTime();
 
-  rts_.engine().at(issue, [this, handle]() {
-    Channel& ch = channel(handle);
-    rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
-                                 sim::TraceTag::kDirectPut,
-                                 static_cast<double>(ch.bytes));
-    // One RDMA write per destination block (a scatter put issues one
-    // descriptor per contiguous run). RC in-order delivery means the last
-    // block — which carries the sentinel — lands last, so detection still
-    // implies the whole strided payload is in place.
-    for (int b = 0; b < ch.blockCount; ++b) {
-      ib::IbVerbs::RdmaWrite write;
-      write.qp = ch.qp;
-      write.local_addr = ch.sendBuffer + static_cast<std::size_t>(b) * ch.blockBytes;
-      write.local_region = ch.sendRegion;
-      write.remote_addr =
-          ch.recvBuffer + static_cast<std::size_t>(b) * ch.strideBytes;
-      write.remote_region = ch.recvRegion;
-      write.bytes = ch.blockBytes;
-      if (b == ch.blockCount - 1)
-        write.on_remote_delivered = [this, handle]() { onDelivered(handle); };
-      verbs_.postRdmaWrite(std::move(write));
-    }
+  rts_.engine().at(issue, [this, handle]() { issueWrites(handle); });
+}
+
+void IbManager::issueWrites(std::int32_t handle) {
+  Channel& ch = channel(handle);
+  rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
+                               sim::TraceTag::kDirectPut,
+                               static_cast<double>(ch.bytes));
+  // One RDMA write per destination block (a scatter put issues one
+  // descriptor per contiguous run). RC in-order delivery means the last
+  // block — which carries the sentinel — lands last, so detection still
+  // implies the whole strided payload is in place.
+  const bool armed = faultsArmed();
+  for (int b = 0; b < ch.blockCount; ++b) {
+    ib::IbVerbs::RdmaWrite write;
+    write.qp = ch.qp;
+    write.local_addr = ch.sendBuffer + static_cast<std::size_t>(b) * ch.blockBytes;
+    write.local_region = ch.sendRegion;
+    write.remote_addr =
+        ch.recvBuffer + static_cast<std::size_t>(b) * ch.strideBytes;
+    write.remote_region = ch.recvRegion;
+    write.bytes = ch.blockBytes;
+    if (b == ch.blockCount - 1)
+      write.on_remote_delivered = [this, handle]() { onDelivered(handle); };
+    if (armed)
+      write.on_error = [this, handle](fault::WcStatus status) {
+        onPutError(handle, status);
+      };
+    verbs_.postRdmaWrite(std::move(write));
+  }
+}
+
+void IbManager::onPutError(std::int32_t handle, fault::WcStatus status) {
+  Channel& ch = channel(handle);
+  // A failed put flushes every block write on the QP with an error
+  // completion; the first one schedules the recovery, the rest fold in.
+  if (ch.errorPending) return;
+  ch.errorPending = true;
+  const fault::ReliabilityParams& rel = rts_.fabric().faults()->plan().rel;
+  if (ch.putAttempts >= rel.app_retry_budget) {
+    // Transparent recovery exhausted: surface the error completion to the
+    // application on the sender PE (costed like an ordinary callback).
+    CKD_REQUIRE(ch.onError != nullptr,
+                "CkDirect put failed permanently with no error callback");
+    verbs_.resetQp(ch.qp);
+    rts_.scheduler(ch.sendPe).enqueueSystemWork(
+        rts_.costs().callback_overhead_us,
+        [this, handle, status]() {
+          Channel& c = channel(handle);
+          c.errorPending = false;
+          c.putAttempts = 0;
+          c.onError(status);
+        },
+        sim::Layer::kCkDirect);
+    return;
+  }
+  ++ch.putAttempts;
+  ++putRetries_;
+  // Recover the QP (fresh PSN) and re-issue the whole put after the base
+  // timeout. RDMA rewrites of the same bytes are idempotent, so blocks that
+  // did land are simply written again.
+  verbs_.resetQp(ch.qp);
+  rts_.engine().after(rel.timeout_us, [this, handle]() {
+    Channel& c = channel(handle);
+    c.errorPending = false;
+    issueWrites(handle);
   });
 }
 
 void IbManager::onDelivered(std::int32_t id) {
   Channel& ch = channel(id);
-  // The application's own synchronization must guarantee the receiver was
-  // ready; if not, this put just overwrote live data.
-  CKD_REQUIRE(ch.marked,
-              "CkDirect put landed before the receiver marked the channel "
-              "ready — application synchronization bug");
+  ch.putAttempts = 0;
+  if (!ch.marked) {
+    // With faults armed, a put recovered after "retry exceeded" can deliver
+    // a second copy of data whose first copy actually landed (only the acks
+    // were lost). The rewrite is byte-identical, so ignore the repeat.
+    // Without faults a landing on an unmarked channel is an application
+    // synchronization bug: the real system would have overwritten live data.
+    CKD_REQUIRE(faultsArmed(),
+                "CkDirect put landed before the receiver marked the channel "
+                "ready — application synchronization bug");
+    return;
+  }
   ch.marked = false;
   if (ch.inPollQueue) {
     // Model: an idle poll loop notices after poll_detect_latency; a busy PE
@@ -236,6 +291,11 @@ void IbManager::readyPollQ(std::int32_t handle) {
   // If data already landed undetected, make sure a pump notices it promptly.
   if (readSentinel(ch) != ch.oob)
     rts_.scheduler(ch.recvPe).poke(rts_.costs().poll_detect_latency_us);
+}
+
+void IbManager::setErrorCallback(std::int32_t handle,
+                                 PutErrorCallback callback) {
+  channel(handle).onError = std::move(callback);
 }
 
 std::size_t IbManager::pollQueueLength(int pe) const {

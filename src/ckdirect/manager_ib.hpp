@@ -37,10 +37,12 @@ class IbManager final : public Manager {
   void ready(std::int32_t handle) override;
   void readyMark(std::int32_t handle) override;
   void readyPollQ(std::int32_t handle) override;
+  void setErrorCallback(std::int32_t handle, PutErrorCallback callback) override;
 
   std::size_t pollQueueLength(int pe) const override;
   std::uint64_t putsIssued() const override { return puts_; }
   std::uint64_t callbacksInvoked() const override { return callbacks_; }
+  std::uint64_t putRetries() const override { return putRetries_; }
   std::uint64_t pollScans() const { return scans_; }
 
  private:
@@ -73,14 +75,26 @@ class IbManager final : public Manager {
     /// received for that handle". Without this, a blanket ReadyPollQ over
     /// all channels at a phase boundary would re-detect stale data.
     bool detected = false;
+
+    // Fault recovery (active only when the fabric has faults armed).
+    /// Transparent re-puts consumed by the current put (reset on success).
+    int putAttempts = 0;
+    /// A recovery is already scheduled; error completions from the other
+    /// block writes of the same failed put collapse into it.
+    bool errorPending = false;
+    PutErrorCallback onError;
   };
 
   Channel& channel(std::int32_t id);
   const Channel& channel(std::int32_t id) const;
   std::uint64_t readSentinel(const Channel& ch) const;
   void writeSentinel(Channel& ch);
+  /// Post the block writes for one put (also the re-issue path on retry).
+  void issueWrites(std::int32_t id);
   void onDelivered(std::int32_t id);
+  void onPutError(std::int32_t id, fault::WcStatus status);
   void pollScan(int pe);
+  bool faultsArmed() const;
 
   charm::Runtime& rts_;
   ib::IbVerbs& verbs_;
@@ -90,6 +104,7 @@ class IbManager final : public Manager {
   std::uint64_t puts_ = 0;
   std::uint64_t callbacks_ = 0;
   std::uint64_t scans_ = 0;
+  std::uint64_t putRetries_ = 0;
 };
 
 }  // namespace ckd::direct

@@ -19,6 +19,17 @@ const Quad& Info::quad(std::size_t i) const {
 
 DcmfContext::DcmfContext(net::Fabric& fabric) : fabric_(fabric) {}
 
+void DcmfContext::resetChannel(int srcRank, int dstRank) {
+  if (link_) link_->resetChannel(srcRank * numRanks() + dstRank);
+}
+
+fault::ReliableLink& DcmfContext::link() {
+  if (!link_)
+    link_ = std::make_unique<fault::ReliableLink>(
+        fabric_, fabric_.faults()->plan().rel);
+  return *link_;
+}
+
 ProtocolId DcmfContext::registerProtocol(ShortHandler shortHandler,
                                          NormalHandler normalHandler) {
   CKD_REQUIRE(shortHandler != nullptr, "short handler required");
@@ -32,7 +43,8 @@ void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
                        Info info, const void* payload, std::size_t bytes,
                        Request* request,
                        std::function<void()> on_local_complete,
-                       std::size_t modeled_wire_bytes) {
+                       std::size_t modeled_wire_bytes,
+                       std::function<void(fault::WcStatus)> on_error) {
   CKD_REQUIRE(protocol >= 0 &&
                   protocol < static_cast<ProtocolId>(protocols_.size()),
               "send on an unregistered protocol");
@@ -51,6 +63,41 @@ void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
 
   const std::size_t wireBytes =
       modeled_wire_bytes ? modeled_wire_bytes : bytes + info.wireBytes();
+
+  if (fabric_.faults() != nullptr) {
+    // Faults armed: exactly-once receipt-handler invocation must be earned.
+    // One reliability channel per (src, dst) rank pair, shared by every
+    // protocol (like the torus packet layer beneath DCMF).
+    //
+    // The link takes its own payload copy here and go-back-N sequences any
+    // overlapping sends on the channel, so the request buffer is reusable
+    // as soon as the post is accepted; the (software, retry-delayed) ack
+    // only drives on_local_complete / on_error. Holding inFlight until the
+    // ack would reject a perfectly legal next send whose predecessor was
+    // delivered but whose ack is still being retransmitted.
+    request->inFlight = false;
+    fault::ReliableLink::Send send;
+    send.src = srcRank;
+    send.dst = dstRank;
+    send.wireBytes = wireBytes;
+    send.cls = fault::MsgClass::kPacket;
+    send.payload = std::move(data);
+    send.on_deliver = [this, protocol, srcRank, dstRank,
+                       info](std::vector<std::byte>&& image) mutable {
+      deliver(protocol, srcRank, dstRank, info, std::move(image));
+    };
+    send.on_acked = [done = std::move(on_local_complete)]() {
+      if (done) done();
+    };
+    send.on_error = [onErr = std::move(on_error)](fault::WcStatus status) {
+      CKD_REQUIRE(onErr != nullptr,
+                  "DCMF send failed permanently with no error handler");
+      onErr(status);
+    };
+    link().post(srcRank * numRanks() + dstRank, std::move(send));
+    return;
+  }
+
   const sim::Time delivered = fabric_.submit(
       srcRank, dstRank, wireBytes, net::XferKind::kPacket,
       [this, protocol, srcRank, dstRank, info, data = std::move(data)]() mutable {

@@ -20,8 +20,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "fault/reliable.hpp"
 #include "net/fabric.hpp"
 
 namespace ckd::dcmf {
@@ -102,10 +104,20 @@ class DcmfContext {
   /// `modeled_wire_bytes` overrides the charged wire size (0 = actual
   /// payload + Info); the runtime uses it to model envelope-size ablations
   /// without changing the real buffer contents.
+  ///
+  /// With faults armed on the fabric the send rides a fault::ReliableLink
+  /// (seq/checksum/ack/retransmit); `on_local_complete` then fires at ack
+  /// time, and a permanent failure releases the request and reports through
+  /// `on_error` (aborting if no handler was given).
   void send(ProtocolId protocol, int srcRank, int dstRank, Info info,
             const void* payload, std::size_t bytes, Request* request,
             std::function<void()> on_local_complete = {},
-            std::size_t modeled_wire_bytes = 0);
+            std::size_t modeled_wire_bytes = 0,
+            std::function<void(fault::WcStatus)> on_error = {});
+
+  /// Recover the (src, dst) reliability channel after a permanent failure
+  /// (models re-establishing the torus connection). No-op when healthy.
+  void resetChannel(int srcRank, int dstRank);
 
   std::uint64_t sendsPosted() const { return sends_; }
   std::uint64_t shortDeliveries() const { return shortDeliveries_; }
@@ -119,8 +131,10 @@ class DcmfContext {
 
   void deliver(ProtocolId protocol, int srcRank, int dstRank, const Info& info,
                std::vector<std::byte> payload);
+  fault::ReliableLink& link();
 
   net::Fabric& fabric_;
+  std::unique_ptr<fault::ReliableLink> link_;  ///< lazy; only with faults
   std::vector<Protocol> protocols_;
   std::uint64_t sends_ = 0;
   std::uint64_t shortDeliveries_ = 0;

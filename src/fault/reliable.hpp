@@ -1,0 +1,154 @@
+#pragma once
+// Go-back-N reliability over an unreliable simulated wire.
+//
+// When the fault injector is armed, the wire may drop, delay, duplicate, or
+// corrupt messages — so exactly-once in-order delivery (the RC guarantee
+// CkDirect's sentinel protocol leans on, §2.1) has to be EARNED. ReliableLink
+// models the RC protocol machinery that earns it:
+//
+//  * every transmission carries a sequence number and an FNV-1a checksum in
+//    its simulated wire header; the receiver recomputes the checksum (bit
+//    corruption -> silent discard, like a link-level CRC failure) and
+//    enforces strict sequencing (duplicates and gap arrivals are discarded,
+//    go-back-N style);
+//  * in-sequence arrivals are delivered exactly once, then cumulatively
+//    acked with a small control message (itself subject to wire faults);
+//  * the sender keeps unacked entries in a per-channel retransmission queue
+//    guarded by a timeout with exponential backoff; after
+//    ReliabilityParams::retry_budget consecutive timeouts (IB retry_cnt)
+//    every pending entry completes with WcStatus::kRetryExceeded and the
+//    channel enters an error state (a real QP moving to ERROR and flushing
+//    its WQEs);
+//  * resetChannel() models tearing the connection down and re-establishing
+//    it with a fresh PSN — the recovery hook the layers above (transport
+//    RDMA retry, CkDirect re-put) use before re-posting.
+//
+// A "channel" is whatever the caller keys flows by (a QP id, a PE pair);
+// entries on one channel share one sequence space, like WQEs on one RC QP.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string_view>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace ckd::fault {
+
+/// Work-completion status, modeled on ibv_wc_status.
+enum class WcStatus : std::uint8_t {
+  kSuccess = 0,
+  kRetryExceeded,  ///< IBV_WC_RETRY_EXC_ERR: retry budget exhausted
+  kQpError,        ///< posted to (or flushed from) a QP in the error state
+  kRemoteAccess,   ///< IBV_WC_REM_ACCESS_ERR: remote region invalid
+};
+
+std::string_view wcStatusName(WcStatus status);
+
+/// What the fabric implements so the reliability layer can transmit without
+/// this module depending on net::Fabric (which depends on this module).
+class WireSender {
+ public:
+  struct Delivery {
+    bool corrupted = false;  ///< injector flipped a bit in this copy
+  };
+  using DeliverFn = std::function<void(const Delivery&)>;
+
+  virtual ~WireSender() = default;
+  /// Submit `wireBytes` of modeled traffic; `onDeliver` runs at delivery
+  /// (possibly never, on a drop; possibly twice, on a duplicate). Returns
+  /// the contention-free delivery estimate.
+  virtual sim::Time sendWire(int srcPe, int dstPe, std::size_t wireBytes,
+                             MsgClass cls, DeliverFn onDeliver) = 0;
+  virtual sim::Engine& wireEngine() = 0;
+  /// Installed injector, or nullptr when faults are off.
+  virtual FaultInjector* faults() = 0;
+};
+
+class ReliableLink {
+ public:
+  using ChannelId = int;
+
+  struct Send {
+    int src = -1;
+    int dst = -1;
+    std::size_t wireBytes = 0;  ///< modeled wire size (headers included)
+    MsgClass cls = MsgClass::kPacket;
+    /// Real payload image; may be empty for closure-only messages (control
+    /// handshakes) whose effect is entirely in on_deliver.
+    std::vector<std::byte> payload;
+    /// Runs at the receiver, exactly once, in post order per channel.
+    std::function<void(std::vector<std::byte>&&)> on_deliver;
+    /// Runs at the sender once the cumulative ack covers this entry.
+    std::function<void()> on_acked;
+    /// Terminal failure (retry budget, QP error, remote access). Entries
+    /// without a handler abort the simulation on failure.
+    std::function<void(WcStatus)> on_error;
+  };
+
+  ReliableLink(WireSender& wire, ReliabilityParams params);
+
+  void post(ChannelId channel, Send send);
+
+  /// Recover a channel from the error state (models destroying the QP and
+  /// reconnecting with a fresh PSN). No-op on a healthy channel, so layered
+  /// recovery paths sharing one QP may all call it.
+  void resetChannel(ChannelId channel);
+  bool channelInError(ChannelId channel) const;
+
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t errors() const { return errors_; }
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    Send send;
+    std::uint64_t sum = 0;       ///< checksum over the payload image
+    bool regionInvalid = false;  ///< injected: receiver will NAK this entry
+    int attempts = 0;            ///< transmissions so far
+  };
+  struct Flow {
+    int src = -1;
+    int dst = -1;
+    std::uint64_t nextSeq = 0;   // sender side
+    std::uint64_t expected = 0;  // receiver side
+    std::deque<Entry> unacked;
+    bool error = false;
+    int timeoutsInARow = 0;
+    std::uint64_t timerEpoch = 0;  // stale-timer guard (engine has no cancel)
+    bool timerArmed = false;
+    std::uint64_t generation = 0;  // bumped per reset; kills stale NAKs
+    /// Contention-free delivery estimate of the latest transmission, as an
+    /// absolute engine time. The retransmission timer must not fire before
+    /// the outstanding copy could possibly have been delivered and acked —
+    /// a real QP sizes its local ACK timeout from the path round trip, so
+    /// a multi-megabyte write is not declared lost on a packet-scale timer.
+    sim::Time lastEta = 0;
+  };
+
+  Flow& flow(ChannelId channel) { return flows_[channel]; }
+  void transmit(ChannelId channel, Entry& entry);
+  void onWireArrival(ChannelId channel, std::uint64_t seq, std::uint64_t sum,
+                     bool regionInvalid, std::vector<std::byte> image,
+                     bool corrupted);
+  void sendAck(ChannelId channel);
+  void onAck(ChannelId channel, std::uint64_t through);
+  void armTimer(ChannelId channel);
+  void onTimeout(ChannelId channel, std::uint64_t epoch);
+  void failFlow(ChannelId channel, WcStatus status);
+
+  sim::TraceRecorder& trace() { return wire_.wireEngine().trace(); }
+
+  WireSender& wire_;
+  ReliabilityParams params_;
+  std::map<ChannelId, Flow> flows_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace ckd::fault

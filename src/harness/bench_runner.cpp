@@ -16,6 +16,20 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
       "trace-cap",
       static_cast<std::int64_t>(sim::TraceRecorder::kDefaultCapacity)));
   CKD_REQUIRE(traceCap_ > 0, "--trace-cap must be positive");
+  const std::string faultSpec = args.get("faults", "");
+  if (!faultSpec.empty()) faultPlan_ = fault::parseFaultSpec(faultSpec);
+  faultSeed_ = static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
+}
+
+void BenchRunner::applyFaults(charm::MachineConfig& machine) const {
+  if (!faultsArmed()) return;
+  machine.faults = faultPlan_;
+  machine.faultSeed = faultSeed_;
+}
+
+void BenchRunner::applyFaults(net::Fabric& fabric) const {
+  if (!faultsArmed()) return;
+  fabric.installFaults(faultPlan_, faultSeed_);
 }
 
 void BenchRunner::configureTrace(sim::TraceRecorder& trace) const {

@@ -7,6 +7,9 @@
 //   --trace-dump <file> enable the engine's event ring and write the
 //                       retained events in the ckd.trace.v1 schema
 //   --trace-cap <n>     ring capacity in events (default ~1M)
+//   --faults <spec>     arm deterministic fault injection (fault::parseFaultSpec
+//                       grammar, e.g. "drop:0.01,corrupt:0.005;class=bulk")
+//   --fault-seed <n>    RNG seed for the fault injector (default 1)
 //
 // Usage:
 //   util::Args args(argc, argv);
@@ -17,10 +20,12 @@
 //   ...
 //   return runner.finish();  // prints/writes everything, returns exit code
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "harness/profile.hpp"
 #include "sim/trace.hpp"
 #include "util/args.hpp"
@@ -44,6 +49,16 @@ class BenchRunner {
   /// the run, while the ring is still empty.
   void configureTrace(sim::TraceRecorder& trace) const;
 
+  /// True when --faults parsed to a non-empty plan.
+  bool faultsArmed() const { return faultPlan_.armed(); }
+  const fault::FaultPlan& faultPlan() const { return faultPlan_; }
+  std::uint64_t faultSeed() const { return faultSeed_; }
+  /// Copy the --faults plan + seed into a MachineConfig (no-op when unarmed);
+  /// the runtime arms the fabric at construction.
+  void applyFaults(charm::MachineConfig& machine) const;
+  /// Arm a bare fabric directly (the mini-MPI benches build their own).
+  void applyFaults(net::Fabric& fabric) const;
+
   /// Record one scalar result row. `labels` is an optional JSON object of
   /// discriminators ({"variant":"ckdirect","bytes":100}).
   void addMetric(std::string name, double value, std::string unit,
@@ -65,6 +80,8 @@ class BenchRunner {
   std::string jsonPath_;
   std::string tracePath_;
   std::size_t traceCap_ = sim::TraceRecorder::kDefaultCapacity;
+  fault::FaultPlan faultPlan_;
+  std::uint64_t faultSeed_ = 1;
 
   util::JsonValue metrics_ = util::JsonValue::array();
   std::vector<ProfileReport> profiles_;

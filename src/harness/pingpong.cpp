@@ -143,6 +143,10 @@ double mpiPingpongRtt(const charm::MachineConfig& machine,
   sim::Engine engine;
   setupTrace(engine, cfg);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
+  // Mini-MPI rides the raw fabric (no reliability layer): armed drop faults
+  // model an unreliable transport and may stall the run (see README).
+  if (machine.faults.armed())
+    fabric.installFaults(machine.faults, machine.faultSeed);
   mpi::MiniMpi mp(fabric, flavor);
 
   std::vector<std::byte> bufA(cfg.bytes, std::byte{0});
@@ -177,6 +181,8 @@ double mpiPutPingpongRtt(const charm::MachineConfig& machine,
   sim::Engine engine;
   setupTrace(engine, cfg);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
+  if (machine.faults.armed())
+    fabric.installFaults(machine.faults, machine.faultSeed);
   mpi::MiniMpi mp(fabric, flavor);
 
   std::vector<std::byte> winBufA(cfg.bytes, std::byte{0});

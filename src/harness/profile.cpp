@@ -19,6 +19,7 @@ void captureTraceMetrics(ProfileReport& report, const sim::TraceRecorder& trace)
     report.tagCounts[i] = trace.count(static_cast<sim::TraceTag>(i));
   report.pollHist = trace.pollQueueHistogram();
   report.rendezvousRtt_us = trace.rendezvousRtt();
+  report.deliveryAttempts = trace.deliveryAttempts();
   report.traceRecorded = trace.recorded();
   report.traceDropped = trace.dropped();
   if (trace.enabled()) report.traceEvents = trace.snapshot();
@@ -95,6 +96,36 @@ std::string ProfileReport::toString() const {
         << " us (min " << util::formatFixed(rendezvousRtt_us.min(), 2)
         << ", max " << util::formatFixed(rendezvousRtt_us.max(), 2) << ")\n";
   }
+  const auto tag = [this](sim::TraceTag t) {
+    return tagCounts[static_cast<std::size_t>(t)];
+  };
+  const std::uint64_t faultsInjected =
+      tag(sim::TraceTag::kFaultDrop) + tag(sim::TraceTag::kFaultDelay) +
+      tag(sim::TraceTag::kFaultDuplicate) + tag(sim::TraceTag::kFaultCorrupt) +
+      tag(sim::TraceTag::kFaultQpError) +
+      tag(sim::TraceTag::kFaultRegionInvalid);
+  if (faultsInjected > 0) {
+    out << "  faults        " << faultsInjected << " injected: drop "
+        << tag(sim::TraceTag::kFaultDrop) << ", delay "
+        << tag(sim::TraceTag::kFaultDelay) << ", dup "
+        << tag(sim::TraceTag::kFaultDuplicate) << ", corrupt "
+        << tag(sim::TraceTag::kFaultCorrupt) << ", qp_error "
+        << tag(sim::TraceTag::kFaultQpError) << ", region_invalidate "
+        << tag(sim::TraceTag::kFaultRegionInvalid) << "\n";
+  }
+  if (tag(sim::TraceTag::kRelRetransmit) > 0 ||
+      tag(sim::TraceTag::kRelError) > 0 || deliveryAttempts.count() > 0) {
+    out << "  reliability   " << tag(sim::TraceTag::kRelRetransmit)
+        << " retransmits, " << tag(sim::TraceTag::kRelDupDrop)
+        << " dup drops, " << tag(sim::TraceTag::kRelOooDrop)
+        << " ooo drops, " << tag(sim::TraceTag::kRelError) << " errors";
+    if (deliveryAttempts.count() > 0) {
+      out << "; attempts/msg mean "
+          << util::formatFixed(deliveryAttempts.mean(), 3) << " (max "
+          << util::formatFixed(deliveryAttempts.max(), 0) << ")";
+    }
+    out << "\n";
+  }
   bool anyPoll = false;
   for (const std::uint64_t n : pollHist) anyPoll |= n > 0;
   if (anyPoll) {
@@ -163,6 +194,40 @@ util::JsonValue toJson(const ProfileReport& report) {
   }
   if (report.rendezvousRtt_us.count() > 0)
     obj.set("rendezvous_rtt_us", statsJson(report.rendezvousRtt_us));
+
+  const auto tag = [&report](sim::TraceTag t) {
+    return report.tagCounts[static_cast<std::size_t>(t)];
+  };
+  const std::uint64_t faultsInjected =
+      tag(sim::TraceTag::kFaultDrop) + tag(sim::TraceTag::kFaultDelay) +
+      tag(sim::TraceTag::kFaultDuplicate) + tag(sim::TraceTag::kFaultCorrupt) +
+      tag(sim::TraceTag::kFaultQpError) +
+      tag(sim::TraceTag::kFaultRegionInvalid);
+  if (faultsInjected > 0) {
+    JsonValue faults = JsonValue::object();
+    faults.set("injected", JsonValue(faultsInjected));
+    faults.set("drop", JsonValue(tag(sim::TraceTag::kFaultDrop)));
+    faults.set("delay", JsonValue(tag(sim::TraceTag::kFaultDelay)));
+    faults.set("duplicate", JsonValue(tag(sim::TraceTag::kFaultDuplicate)));
+    faults.set("corrupt", JsonValue(tag(sim::TraceTag::kFaultCorrupt)));
+    faults.set("qp_error", JsonValue(tag(sim::TraceTag::kFaultQpError)));
+    faults.set("region_invalidate",
+               JsonValue(tag(sim::TraceTag::kFaultRegionInvalid)));
+    obj.set("faults", std::move(faults));
+  }
+  if (tag(sim::TraceTag::kRelRetransmit) > 0 ||
+      tag(sim::TraceTag::kRelError) > 0 ||
+      report.deliveryAttempts.count() > 0) {
+    JsonValue rel = JsonValue::object();
+    rel.set("retransmits", JsonValue(tag(sim::TraceTag::kRelRetransmit)));
+    rel.set("acks", JsonValue(tag(sim::TraceTag::kRelAck)));
+    rel.set("dup_drops", JsonValue(tag(sim::TraceTag::kRelDupDrop)));
+    rel.set("ooo_drops", JsonValue(tag(sim::TraceTag::kRelOooDrop)));
+    rel.set("errors", JsonValue(tag(sim::TraceTag::kRelError)));
+    if (report.deliveryAttempts.count() > 0)
+      rel.set("attempts_per_msg", statsJson(report.deliveryAttempts));
+    obj.set("reliability", std::move(rel));
+  }
 
   if (report.traceRecorded > 0) {
     JsonValue trace = JsonValue::object();

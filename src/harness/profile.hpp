@@ -44,6 +44,10 @@ struct ProfileReport {
   std::array<std::uint64_t, sim::TraceRecorder::kPollHistBuckets> pollHist{};
   /// Rendezvous RTS -> ack round-trip times.
   util::RunningStats rendezvousRtt_us;
+  /// Wire transmissions consumed per acknowledged reliable message (1.0
+  /// everywhere means no retransmission happened; only populated when a
+  /// fault plan was armed).
+  util::RunningStats deliveryAttempts;
 
   /// Ring-buffer state plus the retained events (empty unless the trace
   /// ring was enabled for the run).

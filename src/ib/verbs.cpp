@@ -8,28 +8,71 @@
 
 namespace ckd::ib {
 
+namespace {
+/// Region keys pack (generation, slot): the low kSlotBits hold the 1-based
+/// slot index, the bits above hold the reuse generation. Generation 0 keys
+/// are numerically identical to a never-recycling scheme, so fault-free
+/// runs see the exact same ids as before slots became reusable.
+constexpr std::uint32_t kSlotBits = 20;
+constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+constexpr std::uint32_t kGenMask = (~0u) >> kSlotBits;
+
+std::uint32_t packKey(std::size_t slot, std::uint32_t generation) {
+  return static_cast<std::uint32_t>((generation & kGenMask) << kSlotBits) |
+         (static_cast<std::uint32_t>(slot) + 1);
+}
+}  // namespace
+
 IbVerbs::IbVerbs(net::Fabric& fabric) : fabric_(fabric) {}
+
+fault::ReliableLink& IbVerbs::link() {
+  if (!link_)
+    link_ = std::make_unique<fault::ReliableLink>(
+        fabric_, fabric_.faults()->plan().rel);
+  return *link_;
+}
 
 RegionId IbVerbs::registerMemory(int pe, void* addr, std::size_t length) {
   CKD_REQUIRE(pe >= 0 && pe < fabric_.numPes(), "PE out of range");
   CKD_REQUIRE(addr != nullptr, "cannot register a null buffer");
   CKD_REQUIRE(length > 0, "cannot register an empty region");
-  regions_.push_back(
-      Region{pe, static_cast<std::byte*>(addr), length, /*valid=*/true});
-  // Keys are 1-based so that a default-constructed RegionId never matches.
-  return RegionId{pe, static_cast<std::uint32_t>(regions_.size())};
+  if (!freeSlots_.empty()) {
+    const std::size_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    Region& region = regions_[slot];
+    region.pe = pe;
+    region.base = static_cast<std::byte*>(addr);
+    region.length = length;
+    region.valid = true;
+    return RegionId{pe, packKey(slot, region.generation)};
+  }
+  const std::size_t slot = regions_.size();
+  CKD_REQUIRE(slot < kSlotMask, "region table full");
+  regions_.push_back(Region{pe, static_cast<std::byte*>(addr), length,
+                            /*valid=*/true, /*generation=*/0});
+  return RegionId{pe, packKey(slot, 0)};
 }
 
 const IbVerbs::Region* IbVerbs::findRegion(RegionId id) const {
-  if (!id.valid() || id.key > regions_.size()) return nullptr;
-  const Region& region = regions_[id.key - 1];
+  if (!id.valid()) return nullptr;
+  const std::size_t slot = (id.key & kSlotMask) - 1;
+  if (slot >= regions_.size()) return nullptr;
+  const Region& region = regions_[slot];
   if (!region.valid || region.pe != id.pe) return nullptr;
+  if ((region.generation & kGenMask) != (id.key >> kSlotBits)) return nullptr;
   return &region;
 }
 
 void IbVerbs::deregisterMemory(RegionId id) {
-  CKD_REQUIRE(findRegion(id) != nullptr, "deregistering an unknown region");
-  regions_[id.key - 1].valid = false;
+  CKD_REQUIRE(findRegion(id) != nullptr,
+              "deregistering an unknown, stale, or already-freed region");
+  const std::size_t slot = (id.key & kSlotMask) - 1;
+  Region& region = regions_[slot];
+  region.valid = false;
+  // Bump the generation so every outstanding copy of this id goes stale,
+  // then make the slot reusable.
+  ++region.generation;
+  freeSlots_.push_back(slot);
 }
 
 bool IbVerbs::regionValid(RegionId id) const { return findRegion(id) != nullptr; }
@@ -72,6 +115,16 @@ int IbVerbs::qpDestination(QpId qp) const {
   return qps_[static_cast<std::size_t>(qp)].dst;
 }
 
+bool IbVerbs::qpInError(QpId qp) const {
+  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
+  return link_ != nullptr && link_->channelInError(qp);
+}
+
+void IbVerbs::resetQp(QpId qp) {
+  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
+  if (link_) link_->resetChannel(qp);
+}
+
 void IbVerbs::postRdmaWrite(RdmaWrite write) {
   CKD_REQUIRE(write.qp >= 0 && write.qp < static_cast<QpId>(qps_.size()),
               "RDMA write on an unknown QP");
@@ -90,6 +143,27 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
   auto* dst = static_cast<std::byte*>(write.remote_addr);
 
   const int chunks = std::max(1, unorderedChunks_);
+  if (chunks == 1 && reliableActive()) {
+    // Faults armed: the wire may drop/corrupt/duplicate, so RC placement
+    // guarantees are carried by the go-back-N link. The payload image rides
+    // each transmission; the local completion fires at ack time, like a
+    // real RC send CQE. Permanent failure surfaces through on_error.
+    fault::ReliableLink::Send send;
+    send.src = qp.src;
+    send.dst = qp.dst;
+    send.wireBytes = write.bytes;
+    send.cls = fault::MsgClass::kBulk;
+    send.payload.assign(src, src + write.bytes);
+    send.on_deliver = [dst, onRemote = std::move(write.on_remote_delivered)](
+                          std::vector<std::byte>&& image) mutable {
+      std::memcpy(dst, image.data(), image.size());
+      if (onRemote) onRemote();
+    };
+    send.on_acked = std::move(write.on_local_complete);
+    send.on_error = std::move(write.on_error);
+    link().post(write.qp, std::move(send));
+    return;
+  }
   if (chunks == 1) {
     // Faithful RC path: all-or-nothing placement at the delivery instant.
     // Copy the payload now so the sender may reuse its buffer after the
@@ -109,7 +183,9 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
 
   // Ablation mode: deliberately violate in-order delivery by injecting the
   // *tail* chunk first. The sentinel (last 8 bytes) then lands before the
-  // head of the message — exactly the failure RC ordering prevents.
+  // head of the message — exactly the failure RC ordering prevents. (This
+  // mode stays on the raw fabric even with faults armed; it exists to model
+  // an unreliable transport in the first place.)
   const std::size_t chunkSize =
       (write.bytes + static_cast<std::size_t>(chunks) - 1) /
       static_cast<std::size_t>(chunks);
@@ -142,6 +218,20 @@ void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
   Qp& qp = qps_[static_cast<std::size_t>(qpId)];
   const auto* src = static_cast<const std::byte*>(data);
   std::vector<std::byte> payload(src, src + bytes);
+  if (reliableActive()) {
+    fault::ReliableLink::Send send;
+    send.src = qp.src;
+    send.dst = qp.dst;
+    send.wireBytes = bytes;
+    send.cls = fault::MsgClass::kPacket;
+    send.payload = std::move(payload);
+    send.on_deliver = [this, qpId](std::vector<std::byte>&& image) {
+      deliverSend(qps_[static_cast<std::size_t>(qpId)], std::move(image));
+    };
+    send.on_acked = std::move(on_local_complete);
+    link().post(qpId, std::move(send));
+    return;
+  }
   const sim::Time delivered = fabric_.submit(
       qp.src, qp.dst, bytes, net::XferKind::kPacket,
       [this, qpId, payload = std::move(payload)]() mutable {

@@ -4,7 +4,8 @@
 // Modeled subset (what Charm++'s IB machine layer and CkDirect need):
 //  * memory registration — RDMA operations validate that both the local and
 //    remote ranges fall inside registered regions, like a real HCA checking
-//    lkey/rkey;
+//    lkey/rkey; deregistered slots are recycled with a bumped generation so
+//    stale region ids can never alias a later registration;
 //  * Reliable Connection queue pairs — per-QP in-order, exactly-once
 //    delivery ("if the last byte has been received ... the rest of the
 //    message has also been received", §2.1);
@@ -17,6 +18,14 @@
 //  * SEND/RECV — two-sided with posted receive buffers (used by the default
 //    Charm++ transport's eager path).
 //
+// When the fabric has a fault injector installed, the RC guarantee is no
+// longer free: every RDMA write and send is carried by a
+// fault::ReliableLink (sequence numbers, checksums, ack/retransmit with
+// exponential backoff, IB-style retry budget), local completions fire at
+// ack time, and a permanently failed QP surfaces WC_RETRY_EXC-style error
+// completions through RdmaWrite::on_error. resetQp() re-establishes a
+// failed connection (fresh PSN) so the layers above can retry.
+//
 // For the ordering ablation (DESIGN.md §5.4) the layer can be switched into
 // an intentionally unfaithful mode that splits RDMA writes into chunks
 // delivered tail-first, demonstrating why the sentinel technique requires
@@ -27,13 +36,17 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <vector>
 
+#include "fault/reliable.hpp"
 #include "net/fabric.hpp"
 
 namespace ckd::ib {
 
-/// Identifies a registered memory region (pe + key, like an rkey).
+/// Identifies a registered memory region (pe + key, like an rkey). The key
+/// encodes a slot index and a reuse generation; a stale id (deregistered,
+/// slot since recycled) never validates.
 struct RegionId {
   int pe = -1;
   std::uint32_t key = 0;
@@ -57,6 +70,9 @@ class IbVerbs {
   /// Pin [addr, addr+length) for PE `pe`. Returns the region id the remote
   /// side must present for RDMA access.
   RegionId registerMemory(int pe, void* addr, std::size_t length);
+  /// Release a region. The slot becomes reusable by a later registerMemory;
+  /// the released id (and any stale copy of it) stops validating. Aborts on
+  /// double-free or an unknown id.
   void deregisterMemory(RegionId id);
   bool regionValid(RegionId id) const;
   /// True when [addr, addr+length) lies wholly inside the region.
@@ -72,6 +88,13 @@ class IbVerbs {
   int qpSource(QpId qp) const;
   int qpDestination(QpId qp) const;
 
+  /// True while the QP sits in the error state (retry budget exhausted,
+  /// injected QP failure, or remote-access NAK). Only possible with faults.
+  bool qpInError(QpId qp) const;
+  /// Tear down and re-establish a failed QP with a fresh PSN. No-op on a
+  /// healthy QP. Work posted while in error completes with WcStatus::kQpError.
+  void resetQp(QpId qp);
+
   // --- one-sided ------------------------------------------------------------
 
   struct RdmaWrite {
@@ -81,12 +104,17 @@ class IbVerbs {
     void* remote_addr = nullptr;
     RegionId remote_region;
     std::size_t bytes = 0;
-    /// Send-side completion (local buffer reusable).
+    /// Send-side completion (local buffer reusable). Under fault injection
+    /// this is the ack-confirmed completion, like a real RC send CQE.
     std::function<void()> on_local_complete;
     /// SIMULATOR-ONLY: fires when the payload lands in remote memory. Real
     /// hardware gives no such signal for a plain RDMA WRITE; the runtime
     /// uses it solely to schedule its next poll-scan event.
     std::function<void()> on_remote_delivered;
+    /// Error completion (WC_RETRY_EXC / remote-access / QP flush). Only
+    /// fires when the fabric has faults armed; a write without a handler
+    /// aborts the simulation on permanent failure.
+    std::function<void(fault::WcStatus)> on_error;
   };
   void postRdmaWrite(RdmaWrite write);
 
@@ -116,6 +144,7 @@ class IbVerbs {
     std::byte* base;
     std::size_t length;
     bool valid;
+    std::uint32_t generation;  ///< bumped on deregister; encoded in the key
   };
   struct PostedRecv {
     std::byte* buffer;
@@ -134,11 +163,16 @@ class IbVerbs {
 
   const Region* findRegion(RegionId id) const;
   void deliverSend(Qp& qp, std::vector<std::byte> data);
+  /// Faults armed on the fabric: RC semantics must be earned by the link.
+  bool reliableActive() { return fabric_.faults() != nullptr; }
+  fault::ReliableLink& link();
 
   net::Fabric& fabric_;
   std::vector<Region> regions_;
+  std::vector<std::size_t> freeSlots_;  ///< recycled region slots
   std::vector<Qp> qps_;
   std::map<std::pair<int, int>, QpId> qpCache_;
+  std::unique_ptr<fault::ReliableLink> link_;  ///< lazy; only with faults
   int unorderedChunks_ = 1;
   std::uint64_t rdmaWrites_ = 0;
   std::uint64_t sends_ = 0;

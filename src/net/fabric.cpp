@@ -25,16 +25,61 @@ Fabric::Fabric(sim::Engine& engine, topo::TopologyPtr topology,
   ejectFree_.assign(static_cast<std::size_t>(topology_->numNodes()), 0.0);
 }
 
+void Fabric::installFaults(const fault::FaultPlan& plan, std::uint64_t seed) {
+  CKD_REQUIRE(injector_ == nullptr, "fault plan already installed");
+  if (!plan.armed()) return;  // unarmed plan: keep the null-injector fast path
+  injector_ =
+      std::make_unique<fault::FaultInjector>(plan, seed, engine_.trace());
+}
+
 sim::Time Fabric::submit(int srcPe, int dstPe, std::size_t bytes,
                          XferKind kind, DeliverFn onDeliver) {
-  return submitCustom(srcPe, dstPe, bytes, params_.classFor(kind),
-                      /*occupiesPorts=*/kind != XferKind::kControl,
-                      std::move(onDeliver));
+  const fault::MsgClass msgClass =
+      kind == XferKind::kControl ? fault::MsgClass::kControl
+      : kind == XferKind::kRdma  ? fault::MsgClass::kBulk
+                                 : fault::MsgClass::kPacket;
+  return submitEx(srcPe, dstPe, bytes, params_.classFor(kind),
+                  /*occupiesPorts=*/kind != XferKind::kControl, msgClass,
+                  [onDeliver = std::move(onDeliver)](
+                      const fault::WireSender::Delivery&) { onDeliver(); });
 }
 
 sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
                                const XferClass& cls, bool occupiesPorts,
                                DeliverFn onDeliver) {
+  // Infer the fault-matching class from how the message uses the ports.
+  const fault::MsgClass msgClass =
+      !occupiesPorts               ? fault::MsgClass::kControl
+      : bytes <= chunkBytesFor(cls) ? fault::MsgClass::kPacket
+                                    : fault::MsgClass::kBulk;
+  return submitEx(srcPe, dstPe, bytes, cls, occupiesPorts, msgClass,
+                  [onDeliver = std::move(onDeliver)](
+                      const fault::WireSender::Delivery&) { onDeliver(); });
+}
+
+sim::Time Fabric::sendWire(int srcPe, int dstPe, std::size_t wireBytes,
+                           fault::MsgClass cls,
+                           fault::WireSender::DeliverFn onDeliver) {
+  switch (cls) {
+    case fault::MsgClass::kBulk:
+      return submitEx(srcPe, dstPe, wireBytes, params_.classFor(XferKind::kRdma),
+                      /*occupiesPorts=*/true, cls, std::move(onDeliver));
+    case fault::MsgClass::kControl:
+      return submitEx(srcPe, dstPe, wireBytes,
+                      params_.classFor(XferKind::kControl),
+                      /*occupiesPorts=*/false, cls, std::move(onDeliver));
+    default:
+      return submitEx(srcPe, dstPe, wireBytes,
+                      params_.classFor(XferKind::kPacket),
+                      /*occupiesPorts=*/true, fault::MsgClass::kPacket,
+                      std::move(onDeliver));
+  }
+}
+
+sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
+                           const XferClass& cls, bool occupiesPorts,
+                           fault::MsgClass msgClass,
+                           fault::WireSender::DeliverFn onDeliver) {
   CKD_REQUIRE(srcPe >= 0 && srcPe < numPes(), "source PE out of range");
   CKD_REQUIRE(dstPe >= 0 && dstPe < numPes(), "destination PE out of range");
   CKD_REQUIRE(onDeliver != nullptr, "transfer needs a delivery callback");
@@ -46,15 +91,22 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
   const int srcNode = topology_->nodeOf(srcPe);
   const int dstNode = topology_->nodeOf(dstPe);
 
+  // Faults model the wire: self-sends and intra-node memcpys never traverse
+  // it and are exempt. The decision draws from the injector RNG in rule
+  // order, so the schedule is a pure function of (seed, plan, event order).
+  fault::WireFault wf;
+  if (injector_ != nullptr && injector_->armed() && srcNode != dstNode)
+    wf = injector_->decideWire(now, srcPe, dstPe, bytes, msgClass);
+
   sim::TraceRecorder& trace = engine_.trace();
   trace.record(now, srcPe, sim::TraceTag::kFabricSubmit,
                static_cast<double>(bytes));
   // Stamp the delivery side too, so trace dumps show both ends of a wire.
-  DeliverFn deliver = [this, dstPe, bytes,
+  DeliverFn deliver = [this, dstPe, bytes, corrupted = wf.corrupt,
                        onDeliver = std::move(onDeliver)]() mutable {
     engine_.trace().record(engine_.now(), dstPe, sim::TraceTag::kFabricDeliver,
                            static_cast<double>(bytes));
-    onDeliver();
+    onDeliver(fault::WireSender::Delivery{corrupted});
   };
 
   if (srcPe == dstPe) {
@@ -74,8 +126,9 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
     return when;
   }
 
-  const sim::Time wireLatency =
-      cls.alpha_us + params_.per_hop_us * topology_->hops(srcPe, dstPe);
+  const sim::Time wireLatency = cls.alpha_us +
+                                params_.per_hop_us * topology_->hops(srcPe, dstPe) +
+                                wf.extra_delay_us;
   const sim::Time ser = cls.serialization(bytes);
 
   // Messages that fit in one wire packet interleave into the injection
@@ -87,15 +140,34 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
   const std::size_t chunkBytes = chunkBytesFor(cls);
   if (!occupiesPorts || bytes <= chunkBytes) {
     const sim::Time when = now + wireLatency + ser;
+    if (wf.drop) return when;  // lost on the wire: nothing ever arrives
     trace.addLayerTime(sim::Layer::kFabric, when - now);
+    if (wf.duplicate) {
+      // Ghost copy arrives a beat later (std::function copies the closure,
+      // including any captured payload image).
+      DeliverFn ghost = deliver;
+      engine_.at(when + std::max<sim::Time>(0.1, cls.alpha_us),
+                 std::move(ghost));
+    }
     engine_.at(when, std::move(deliver));
     return when;
   }
+
+  if (wf.drop) return now + ser + wireLatency;
 
   // Diagnostic: CKD_FABRIC_TRACE=1 dumps every bulk submission (T) and
   // delivery (D) to stderr — invaluable when chasing contention questions.
   if (std::getenv("CKD_FABRIC_TRACE") != nullptr)
     std::fprintf(stderr, "T %.2f %d->%d %zu\n", now, srcPe, dstPe, bytes);
+
+  if (wf.duplicate) {
+    // The ghost copy of a bulk message skips the injection port (the
+    // duplication happens inside the network, past the NIC) and lands a
+    // beat after the contention-free arrival estimate.
+    DeliverFn ghost = deliver;
+    engine_.at(now + ser + wireLatency + std::max<sim::Time>(0.1, cls.alpha_us),
+               std::move(ghost));
+  }
 
   // Bulk path: round-robin chunks through the source node's injection
   // port; once fully serialized, cut-through arrival contends for the

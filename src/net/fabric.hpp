@@ -22,19 +22,30 @@
 //
 // The fabric moves no bytes itself; the layers above (src/ib, src/dcmf)
 // perform the actual memory writes when the delivery callback fires.
+//
+// Fault injection: installFaults() arms a fault::FaultInjector, after which
+// every inter-node submit consults it and may be dropped, delayed,
+// duplicated, or delivered corrupted. The fabric implements
+// fault::WireSender, so fault::ReliableLink (the go-back-N layer the verbs /
+// DCMF stacks use to survive the injector) transmits through the same ports
+// as everything else. With no plan installed the injector pointer stays
+// null and every path below is taken verbatim.
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "fault/reliable.hpp"
 #include "net/cost_params.hpp"
 #include "sim/engine.hpp"
 #include "topo/topology.hpp"
 
 namespace ckd::net {
 
-class Fabric {
+class Fabric : public fault::WireSender {
  public:
   using DeliverFn = std::function<void()>;
 
@@ -57,6 +68,17 @@ class Fabric {
                          const XferClass& cls, bool occupiesPorts,
                          DeliverFn onDeliver);
 
+  /// Arm fault injection for this fabric. Call at most once, before traffic
+  /// flows; a plan that is not armed() installs nothing (zero overhead).
+  void installFaults(const fault::FaultPlan& plan, std::uint64_t seed);
+
+  // fault::WireSender: the transmit surface fault::ReliableLink runs over.
+  sim::Time sendWire(int srcPe, int dstPe, std::size_t wireBytes,
+                     fault::MsgClass cls,
+                     fault::WireSender::DeliverFn onDeliver) override;
+  sim::Engine& wireEngine() override { return engine_; }
+  fault::FaultInjector* faults() override { return injector_.get(); }
+
   /// Bulk messages currently queued or in service at a node's injection
   /// port (for tests/benches).
   std::size_t injectQueueLength(int node) const;
@@ -78,6 +100,12 @@ class Fabric {
     int busyServers = 0;
   };
 
+  /// Common submit path; all public entry points funnel through here so the
+  /// fault hooks see every wire message.
+  sim::Time submitEx(int srcPe, int dstPe, std::size_t bytes,
+                     const XferClass& cls, bool occupiesPorts,
+                     fault::MsgClass msgClass,
+                     fault::WireSender::DeliverFn onDeliver);
   void pumpInject(std::size_t node);
 
   sim::Engine& engine_;
@@ -85,6 +113,7 @@ class Fabric {
   CostParams params_;
   std::vector<Port> inject_;
   std::vector<sim::Time> ejectFree_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
 };

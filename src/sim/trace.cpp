@@ -37,6 +37,17 @@ std::string_view traceTagName(TraceTag tag) {
     case TraceTag::kDirectSentinelHit: return "direct.sentinel_hit";
     case TraceTag::kDirectCallback: return "direct.callback";
     case TraceTag::kDirectReady: return "direct.ready";
+    case TraceTag::kFaultDrop: return "fault.drop";
+    case TraceTag::kFaultDelay: return "fault.delay";
+    case TraceTag::kFaultDuplicate: return "fault.duplicate";
+    case TraceTag::kFaultCorrupt: return "fault.corrupt";
+    case TraceTag::kFaultQpError: return "fault.qp_error";
+    case TraceTag::kFaultRegionInvalid: return "fault.region_invalid";
+    case TraceTag::kRelRetransmit: return "rel.retransmit";
+    case TraceTag::kRelAck: return "rel.ack";
+    case TraceTag::kRelDupDrop: return "rel.dup_drop";
+    case TraceTag::kRelOooDrop: return "rel.ooo_drop";
+    case TraceTag::kRelError: return "rel.error";
     case TraceTag::kCount: break;
   }
   return "?";
@@ -100,6 +111,7 @@ void TraceRecorder::clear() {
   layerTime_.fill(kTimeZero);
   pollHist_.fill(0);
   rendezvousRtt_.clear();
+  deliveryAttempts_.clear();
 }
 
 std::string TraceRecorder::toString() const {

@@ -58,6 +58,17 @@ enum class TraceTag : std::uint8_t {
   kDirectSentinelHit,   // sentinel observed set during a scan
   kDirectCallback,      // receive-side callback invoked
   kDirectReady,         // ready/readyMark re-armed a channel
+  kFaultDrop,           // injected wire drop; value = wire bytes
+  kFaultDelay,          // injected extra latency; value = delay (us)
+  kFaultDuplicate,      // injected duplicate delivery
+  kFaultCorrupt,        // injected payload corruption
+  kFaultQpError,        // injected QP failure at post time
+  kFaultRegionInvalid,  // injected remote-region invalidation
+  kRelRetransmit,       // go-back-N retransmission; value = wire bytes
+  kRelAck,              // sender-side entry acknowledged; value = attempts
+  kRelDupDrop,          // receiver discarded an already-seen sequence
+  kRelOooDrop,          // receiver discarded an out-of-order (gap) sequence
+  kRelError,            // entry failed permanently (error completion)
   kCount,
 };
 
@@ -133,6 +144,15 @@ class TraceRecorder {
   void observeRendezvousRtt(Time rtt) { rendezvousRtt_.add(rtt); }
   const util::RunningStats& rendezvousRtt() const { return rendezvousRtt_; }
 
+  /// Transmissions needed per acknowledged reliable delivery (1 = no
+  /// retransmit). Only populated when the fault layer is armed.
+  void observeDeliveryAttempts(double attempts) {
+    deliveryAttempts_.add(attempts);
+  }
+  const util::RunningStats& deliveryAttempts() const {
+    return deliveryAttempts_;
+  }
+
   /// Reset events and metrics; keeps enabled state and capacity.
   void clear();
 
@@ -150,6 +170,7 @@ class TraceRecorder {
   std::array<Time, kLayerCount> layerTime_{};
   std::array<std::uint64_t, kPollHistBuckets> pollHist_{};
   util::RunningStats rendezvousRtt_;
+  util::RunningStats deliveryAttempts_;
 };
 
 }  // namespace ckd::sim

@@ -46,6 +46,45 @@ TEST_F(IbTest, DefaultRegionIdIsInvalid) {
   EXPECT_FALSE(verbs_.regionValid(ib::RegionId{}));
 }
 
+TEST_F(IbTest, DeregisteredSlotsAreReused) {
+  std::vector<std::byte> a(64), b(64), c(64);
+  const auto ra = verbs_.registerMemory(0, a.data(), a.size());
+  const auto rb = verbs_.registerMemory(0, b.data(), b.size());
+  EXPECT_EQ(verbs_.regionCount(0), 2u);
+
+  verbs_.deregisterMemory(ra);
+  EXPECT_EQ(verbs_.regionCount(0), 1u);
+  // The freed slot is recycled for the next registration...
+  const auto rc = verbs_.registerMemory(0, c.data(), c.size());
+  EXPECT_EQ(verbs_.regionCount(0), 2u);
+  EXPECT_TRUE(verbs_.regionValid(rc));
+  EXPECT_TRUE(verbs_.regionCovers(rc, c.data(), c.size()));
+  // ...but the stale id, whose generation predates the reuse, stays dead:
+  // it must not alias the new region occupying the same slot.
+  EXPECT_FALSE(verbs_.regionValid(ra));
+  EXPECT_FALSE(verbs_.regionCovers(ra, c.data(), c.size()));
+  EXPECT_TRUE(verbs_.regionValid(rb));
+}
+
+TEST_F(IbTest, ManyRegisterDeregisterCyclesKeepCountsExact) {
+  std::vector<std::byte> buf(128);
+  for (int i = 0; i < 100; ++i) {
+    const auto r = verbs_.registerMemory(2, buf.data(), buf.size());
+    EXPECT_TRUE(verbs_.regionValid(r));
+    EXPECT_EQ(verbs_.regionCount(2), 1u);
+    verbs_.deregisterMemory(r);
+    EXPECT_FALSE(verbs_.regionValid(r));
+    EXPECT_EQ(verbs_.regionCount(2), 0u);
+  }
+}
+
+TEST_F(IbTest, DoubleDeregisterDies) {
+  std::vector<std::byte> buf(64);
+  const auto r = verbs_.registerMemory(0, buf.data(), buf.size());
+  verbs_.deregisterMemory(r);
+  EXPECT_DEATH(verbs_.deregisterMemory(r), "already-freed");
+}
+
 TEST_F(IbTest, QpCaching) {
   const auto qp1 = verbs_.connect(0, 1);
   const auto qp2 = verbs_.connect(0, 1);

@@ -186,6 +186,87 @@ TEST_F(FabricTest, SameRouteEqualSizeDeliveryIsFifo) {
   for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST_F(FabricTest, ZeroByteSubmitsDeliver) {
+  // Degenerate sizes must still round-trip through every path: a zero-byte
+  // bulk transfer is one empty wire packet, a zero-byte control message is
+  // pure latency. Neither may hang or divide by zero.
+  double bulkAt = -1, controlAt = -1, intraAt = -1;
+  fabric_.submit(0, 2, 0, net::XferKind::kRdma,
+                 [&] { bulkAt = engine_.now(); });
+  fabric_.submit(0, 2, 0, net::XferKind::kControl,
+                 [&] { controlAt = engine_.now(); });
+  fabric_.submit(0, 1, 0, net::XferKind::kPacket,
+                 [&] { intraAt = engine_.now(); });
+  engine_.run();
+  const auto& p = fabric_.params();
+  EXPECT_DOUBLE_EQ(bulkAt, p.rdma.serialization(0) + p.rdma.alpha_us +
+                               2 * p.per_hop_us);
+  EXPECT_DOUBLE_EQ(controlAt, p.control.alpha_us + 2 * p.per_hop_us);
+  EXPECT_DOUBLE_EQ(intraAt, p.intra_alpha_us);
+  EXPECT_EQ(fabric_.bytesSubmitted(), 0u);
+  EXPECT_EQ(fabric_.messagesSubmitted(), 3u);
+}
+
+TEST_F(FabricTest, SamePeSubmitUsesSelfPath) {
+  double packetAt = -1, bulkAt = -1;
+  fabric_.submit(0, 0, 4096, net::XferKind::kPacket,
+                 [&] { packetAt = engine_.now(); });
+  fabric_.submit(0, 0, 4096, net::XferKind::kRdma,
+                 [&] { bulkAt = engine_.now(); });
+  engine_.run();
+  const auto& p = fabric_.params();
+  EXPECT_DOUBLE_EQ(packetAt, p.self_alpha_us + p.self_per_byte_us * 4096);
+  EXPECT_DOUBLE_EQ(bulkAt, p.self_alpha_us + p.self_per_byte_us * 4096);
+  // Self-sends never touch the node's injection port.
+  EXPECT_EQ(fabric_.injectQueueLength(0), 0u);
+}
+
+TEST_F(FabricTest, ControlStaysTimelyUnderBulkSaturation) {
+  // Both PEs of node 0 flood the injection port with bulk transfers; a
+  // control message submitted last must still deliver at the uncontended
+  // latency (control-class traffic never queues behind bulk).
+  for (int i = 0; i < 4; ++i) {
+    fabric_.submit(0, 2, 400000, net::XferKind::kRdma, [] {});
+    fabric_.submit(1, 4, 400000, net::XferKind::kRdma, [] {});
+  }
+  EXPECT_GT(fabric_.injectQueueLength(0), 0u);
+  double controlAt = -1;
+  fabric_.submit(0, 2, 16, net::XferKind::kControl,
+                 [&] { controlAt = engine_.now(); });
+  engine_.run();
+  const auto& p = fabric_.params();
+  EXPECT_DOUBLE_EQ(controlAt,
+                   p.control.alpha_us + 2 * p.per_hop_us +
+                       p.control.per_byte_us * 16);
+}
+
+TEST_F(FabricTest, UnarmedPlanInstallsNothing) {
+  fault::FaultPlan plan;  // no rules: armed() == false
+  fabric_.installFaults(plan, 123);
+  EXPECT_EQ(fabric_.faults(), nullptr);
+  double delivered = -1;
+  fabric_.submit(0, 2, 1000, net::XferKind::kPacket,
+                 [&] { delivered = engine_.now(); });
+  engine_.run();
+  EXPECT_GT(delivered, 0.0);
+}
+
+TEST_F(FabricTest, FaultsSpareIntraNodeTraffic) {
+  // drop:1 kills every inter-node message, but co-located and same-PE
+  // submits never cross the wire and must be untouched.
+  fabric_.installFaults(fault::parseFaultSpec("drop:1"), 9);
+  ASSERT_NE(fabric_.faults(), nullptr);
+  bool intra = false, self = false, inter = false;
+  fabric_.submit(0, 1, 1000, net::XferKind::kPacket, [&] { intra = true; });
+  fabric_.submit(0, 0, 1000, net::XferKind::kPacket, [&] { self = true; });
+  fabric_.submit(0, 2, 1000, net::XferKind::kPacket, [&] { inter = true; });
+  engine_.run();
+  EXPECT_TRUE(intra);
+  EXPECT_TRUE(self);
+  EXPECT_FALSE(inter);
+  EXPECT_EQ(fabric_.faults()->count(fault::FaultKind::kDrop), 1u);
+}
+
 TEST_F(FabricTest, TracksStats) {
   fabric_.submit(0, 2, 123, net::XferKind::kPacket, [] {});
   fabric_.submit(0, 2, 77, net::XferKind::kControl, [] {});
