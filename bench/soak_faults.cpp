@@ -5,6 +5,13 @@
 // retransmission/recovery without the application seeing different bytes —
 // only different (inflated) timings.
 //
+// A second phase runs the crash storm: the stencil with seeded fail-stop
+// pe_crash faults (random victim per seed) on both machines. The buddy
+// checkpoint/restart path must roll the computation back and still produce
+// the byte-identical field, and across the matrix at least one crash must
+// land while CkDirect traffic is in flight (observed as stale NAKs when
+// pre-crash wire copies reach re-registered buffers).
+//
 // Flags (besides the standard BenchRunner set):
 //   --faults <spec>       fault storm (default drop 2%, corrupt 1%, dup 1%,
 //                         delay 5% with 5 us jitter)
@@ -12,7 +19,10 @@
 //   --bytes <n>           pingpong payload (default 16384)
 //   --iters <n>           pingpong round trips (default 400)
 //   --stencil-iters <n>   stencil iterations (default 4)
+//   --crash-seeds <n>     fail-stop seeds per machine (default 3; 0 skips
+//                         the crash storm)
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
@@ -62,6 +72,11 @@ struct SoakResult {
   std::uint64_t faults = 0;      ///< injected faults of any kind
   std::uint64_t retransmits = 0;
   std::uint64_t put_retries = 0; ///< manager-level transparent re-puts
+  double horizon_us = 0.0;       ///< virtual completion time
+  std::uint64_t crashes = 0;     ///< pe_crash faults injected
+  std::uint64_t restores = 0;    ///< completed rollback recoveries
+  std::uint64_t checkpoints = 0; ///< buddy checkpoints taken
+  std::uint64_t stale_naks = 0;  ///< pre-crash wire copies NAKed as stale
 };
 
 std::uint64_t faultCount(const sim::TraceRecorder& trace) {
@@ -140,8 +155,12 @@ SoakResult pingpongSoak(const charm::MachineConfig& machine, std::size_t bytes,
 
 /// Stencil (real compute, CkDirect ghost exchange) returning the full field.
 std::vector<double> stencilSoak(const charm::MachineConfig& machine, int iters,
-                                SoakResult& out) {
+                                SoakResult& out,
+                                harness::ProfileReport* profile = nullptr,
+                                const harness::BenchRunner* runner = nullptr) {
   charm::Runtime rts(machine);
+  // Profiled runs feed --trace-dump: arm the event ring before running.
+  if (runner != nullptr) runner->configureTrace(rts.engine().trace());
   apps::stencil::Config cfg;
   cfg.gx = 32;
   cfg.gy = 32;
@@ -152,10 +171,17 @@ std::vector<double> stencilSoak(const charm::MachineConfig& machine, int iters,
   cfg.real_compute = true;
   apps::stencil::StencilApp app(rts, cfg);
   app.execute();
-  out.faults = faultCount(rts.engine().trace());
-  out.retransmits = rts.engine().trace().count(sim::TraceTag::kRelRetransmit);
+  const sim::TraceRecorder& trace = rts.engine().trace();
+  out.faults = faultCount(trace);
+  out.retransmits = trace.count(sim::TraceTag::kRelRetransmit);
   if (const direct::Manager* mgr = direct::Manager::peek(rts))
     out.put_retries = mgr->putRetries();
+  out.horizon_us = rts.now();
+  out.crashes = trace.count(sim::TraceTag::kFaultPeCrash);
+  out.restores = trace.count(sim::TraceTag::kCkptRestore);
+  out.checkpoints = trace.count(sim::TraceTag::kCkptTaken);
+  out.stale_naks = trace.count(sim::TraceTag::kRelStaleNak);
+  if (profile != nullptr) *profile = harness::captureProfile(rts);
   return app.gatherField();
 }
 
@@ -246,6 +272,87 @@ int main(int argc, char** argv) {
                      "count", labels);
     runner.addMetric("retransmits", static_cast<double>(soak.retransmits),
                      "count", std::move(labels));
+  }
+
+  // --- Crash storm: fail-stop pe_crash + buddy checkpoint/rollback. ---
+  const int crashSeeds = static_cast<int>(args.getInt("crash-seeds", 3));
+  std::uint64_t stormStaleNaks = 0;
+  for (const bool bgp : {false, true}) {
+    if (crashSeeds <= 0) break;
+    const char* tag = bgp ? "crash_bgp" : "crash_ib";
+    const charm::MachineConfig clean =
+        bgp ? harness::surveyorMachine(8, 4) : harness::t3Machine(8, 4);
+    // Longer run than the wire-fault soak: the horizon must dominate both
+    // the buddy-shard shipping time (≈50 KB of chare state per PE, >100 us
+    // on the BG/P wire) and the heartbeat detection window, so that a
+    // mid-run crash always finds a completed snapshot behind it.
+    const int crashIters = std::max(4 * stencilIters, 12);
+    SoakResult base;
+    const std::vector<double> want = stencilSoak(clean, crashIters, base);
+
+    // Two fail-stop faults per run, at 70% and 90% of the fault-free
+    // horizon: both comfortably after the genesis checkpoint (first
+    // post-setup reduction root) has shipped, and far enough apart that the
+    // first recovery completes before the second victim dies. No pe=
+    // option, so each seed kills a different randomly chosen PE.
+    const std::string spec = "pe_crash@" + std::to_string(0.70 * base.horizon_us) +
+                             ",pe_crash@" + std::to_string(0.90 * base.horizon_us);
+    for (int s = 0; s < crashSeeds; ++s) {
+      charm::MachineConfig crashed = clean;
+      crashed.faults = fault::parseFaultSpec(spec);
+      crashed.faultSeed = seed + static_cast<std::uint64_t>(s);
+      // ~10 checkpoints across the run, scaled to the machine, so rollback
+      // loses little progress and snapshot pruning gets exercised;
+      // --checkpoint-period overrides.
+      crashed.checkpointPeriod_us = runner.checkpointPeriod() > 0.0
+                                        ? runner.checkpointPeriod()
+                                        : base.horizon_us / 10.0;
+
+      SoakResult soak;
+      harness::ProfileReport report;
+      const std::vector<double> got = stencilSoak(
+          crashed, crashIters, soak,
+          runner.wantsProfiles() ? &report : nullptr, &runner);
+      if (runner.wantsProfiles()) {
+        report.label = std::string(tag) + "/s" + std::to_string(s);
+        runner.addProfile(std::move(report));
+      }
+      CKD_REQUIRE(soak.crashes == 2, "both pe_crash faults must fire");
+      CKD_REQUIRE(soak.restores == 2, "every crash must be recovered from");
+      CKD_REQUIRE(soak.checkpoints >= 2, "buddy checkpoints were not taken");
+      CKD_REQUIRE(want == got,
+                  "data divergence: crash/restart computed a different field");
+      stormStaleNaks += soak.stale_naks;
+
+      const double inflation = soak.horizon_us / base.horizon_us;
+      table.addRow({std::string(tag) + "/s" + std::to_string(s), "field ok",
+                    "field ok", util::formatFixed(inflation, 3) + "x",
+                    std::to_string(soak.crashes) + " crash",
+                    std::to_string(soak.stale_naks) + " stale",
+                    std::to_string(soak.checkpoints) + " ckpt"});
+      util::JsonValue labels = util::JsonValue::object();
+      labels.set("workload", util::JsonValue(tag));
+      labels.set("crash_seed",
+                 util::JsonValue(static_cast<std::int64_t>(seed) + s));
+      runner.addMetric("crashes", static_cast<double>(soak.crashes), "count",
+                       labels);
+      runner.addMetric("restores", static_cast<double>(soak.restores), "count",
+                       labels);
+      runner.addMetric("checkpoints", static_cast<double>(soak.checkpoints),
+                       "count", labels);
+      runner.addMetric("stale_naks", static_cast<double>(soak.stale_naks),
+                       "count", labels);
+      runner.addMetric("horizon_inflation", inflation, "ratio",
+                       std::move(labels));
+    }
+  }
+  if (crashSeeds > 0) {
+    // The acceptance gate for the channel-epoch machinery: across the
+    // matrix, at least one crash must have caught CkDirect traffic on the
+    // wire, and the stale copies must have been NAKed (then re-driven by
+    // the rollback) rather than landing in re-registered buffers.
+    CKD_REQUIRE(stormStaleNaks > 0,
+                "no crash landed while traffic was in flight; storm too tame");
   }
 
   table.print(std::cout);

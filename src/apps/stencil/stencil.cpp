@@ -4,8 +4,10 @@
 #include <cstring>
 #include <memory>
 
+#include "charm/checkpoint.hpp"
 #include "charm/maps.hpp"
 #include "charm/marshal.hpp"
+#include "charm/pup.hpp"
 #include "ckdirect/ckdirect.hpp"
 #include "util/require.hpp"
 
@@ -161,6 +163,24 @@ class StencilChare final : public charm::Chare {
   /// function calls and must not run long work that would delay the
   /// scheduler mid-phase).
   void computeEntry(charm::Message&) { computePhase(); }
+
+  /// Checkpoint/restore image. Geometry, entry ids, and CkDirect handles
+  /// are construction-time constants (handle ids stay valid across a
+  /// restore; the manager re-registers the underlying memory itself), so
+  /// only the field data and iteration progress are saved. The face
+  /// vectors are restored in place — their data() addresses are what the
+  /// re-registration handshake keys off.
+  void pup(charm::Puper& p) override {
+    p | block;
+    p | next;
+    for (int d = 0; d < kDirs; ++d) p | sendFace[d];
+    for (int d = 0; d < kDirs; ++d) p | recvFace[d];
+    p | arrivals;
+    p | faceSent;
+    p | iterationsDone;
+    p | handlesCreated;
+    p | handlesReceived;
+  }
 
   // --- iteration machinery -----------------------------------------------------
 
@@ -384,6 +404,11 @@ Result StencilApp::execute() {
     proxy_.broadcast(epSetup_);
     rts_.run();  // quiesces once every chare passed the setup barrier
   }
+  // Fail-stop runs: arm crash injection only now. The setup phase is not a
+  // resumable cut (the start broadcast arrives after it); the first post-arm
+  // iteration barrier provides the genesis checkpoint restores roll back to.
+  if (rts_.checkpoints() != nullptr && !rts_.checkpoints()->armed())
+    rts_.checkpoints()->arm();
   const sim::Time t0 = rts_.now();
   const std::uint64_t messagesBefore = rts_.messagesSent();
   proxy_.broadcast(epStart_);

@@ -13,6 +13,7 @@ namespace ckd::charm {
 
 class Runtime;
 class Message;
+class Puper;
 
 /// Reduction combiners supported by Runtime::contribute.
 enum class ReduceOp : std::int32_t {
@@ -30,6 +31,12 @@ class Chare {
   int myPe() const { return pe_; }
   ArrayId arrayId() const { return arrayId_; }
   Runtime& rts() const { return *runtime_; }
+
+  /// Serialize / deserialize this element's state (checkpoint, restore, and
+  /// one day migration). Override in chares that carry state worth saving;
+  /// the default saves nothing. The same code runs for both directions —
+  /// branch on `p.isUnpacking()` only for re-derived state.
+  virtual void pup(Puper& p) { (void)p; }
 
   /// Model `cost` microseconds of compute inside the running entry method.
   void charge(sim::Time cost) const;

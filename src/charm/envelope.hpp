@@ -37,6 +37,10 @@ struct Envelope {
   std::uint32_t payloadBytes = 0;
   std::uint32_t reductionRound = 0;
   std::uint64_t seq = 0;
+  /// Restart epoch the message was sent in. The scheduler drops arrivals
+  /// whose epoch predates the runtime's (stale traffic from before a
+  /// fail-stop recovery must not land in rolled-back state).
+  std::uint32_t epoch = 0;
 
   static constexpr std::uint32_t kMagic = 0xC4A23u;
 };

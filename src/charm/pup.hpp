@@ -1,0 +1,87 @@
+#pragma once
+// Minimal PUP (Pack/UnPack) framework, modeled on Charm++'s PUP::er: one
+// `pup(Puper&)` method describes a chare's state once, and the same code
+// path serializes (checkpoint), deserializes (restore), and sizes it.
+//
+// Built on the existing marshal Packer/Unpacker. The one property the
+// checkpoint/restart machinery leans on hard: unpacking a std::vector whose
+// size already matches the stored image copies the bytes IN PLACE — no
+// reallocation — so buffer addresses pinned by registered memory regions and
+// CkDirect handles stay valid across a restore. (Re-registration after a
+// crash keys off those stable addresses.)
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "charm/marshal.hpp"
+#include "util/require.hpp"
+
+namespace ckd::charm {
+
+class Puper {
+ public:
+  /// Packing mode: state flows into `sink`.
+  explicit Puper(Packer& sink) : packer_(&sink) {}
+  /// Unpacking mode: state flows out of `source`.
+  explicit Puper(Unpacker& source) : unpacker_(&source) {}
+
+  bool isPacking() const { return packer_ != nullptr; }
+  bool isUnpacking() const { return unpacker_ != nullptr; }
+
+  /// Trivially copyable scalars / PODs.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Puper& operator|(T& value) {
+    if (packer_ != nullptr)
+      packer_->put(value);
+    else
+      value = unpacker_->get<T>();
+    return *this;
+  }
+
+  /// Vectors of trivially copyable elements. Unpacking into a vector that
+  /// already holds the right element count overwrites in place (stable
+  /// data() address); a size mismatch resizes first.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  Puper& operator|(std::vector<T>& values) {
+    if (packer_ != nullptr) {
+      packer_->putVector(values);
+      return *this;
+    }
+    const auto stored = unpacker_->getSpan<T>();
+    if (values.size() != stored.size()) values.resize(stored.size());
+    if (!stored.empty())
+      std::memcpy(values.data(), stored.data(), stored.size_bytes());
+    return *this;
+  }
+
+  /// Raw byte span of fixed, known extent (e.g. a C array member).
+  Puper& bytes(void* data, std::size_t n) {
+    if (packer_ != nullptr) {
+      const auto* p = static_cast<const std::byte*>(data);
+      packer_->putSpan(std::span<const std::byte>(p, n));
+    } else {
+      const auto stored = unpacker_->getSpan<std::byte>();
+      CKD_REQUIRE(stored.size() == n, "pup: fixed-extent byte size mismatch");
+      if (n > 0) std::memcpy(data, stored.data(), n);
+    }
+    return *this;
+  }
+
+ private:
+  Packer* packer_ = nullptr;
+  Unpacker* unpacker_ = nullptr;
+};
+
+/// Array pup helper for C arrays of trivially copyable elements.
+template <typename T, std::size_t N>
+  requires std::is_trivially_copyable_v<T>
+Puper& operator|(Puper& p, T (&values)[N]) {
+  for (std::size_t i = 0; i < N; ++i) p | values[i];
+  return p;
+}
+
+}  // namespace ckd::charm

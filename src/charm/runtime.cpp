@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "charm/checkpoint.hpp"
 #include "charm/marshal.hpp"
 #include "charm/transport.hpp"
 #include "dcmf/dcmf.hpp"
@@ -31,6 +32,8 @@ Runtime::Runtime(MachineConfig config) : config_(std::move(config)) {
     dcmf_ = std::make_unique<dcmf::DcmfContext>(*fabric_);
     transport_ = std::make_unique<BgpTransport>(*this, *dcmf_);
   }
+  if (config_.faults.hasCrashes())
+    ckpt_ = std::make_unique<CheckpointManager>(*this);
 }
 
 Runtime::~Runtime() = default;
@@ -159,6 +162,7 @@ void Runtime::sendMessage(MessagePtr msg) {
   CKD_REQUIRE(env.srcPe >= 0 && env.srcPe < numPes(), "bad source PE");
   CKD_REQUIRE(env.dstPe >= 0 && env.dstPe < numPes(), "bad destination PE");
   env.seq = nextSeq_++;
+  env.epoch = epoch_;
   ++messagesSent_;
 
   Scheduler& src = scheduler(env.srcPe);
@@ -190,6 +194,7 @@ void Runtime::enqueueLocalUser(ArrayId array, std::int64_t index,
   env.elemIndex = index;
   env.entry = entry;
   env.seq = nextSeq_++;
+  env.epoch = epoch_;
   scheduler(pe).enqueue(Message::make(env, payload));
 }
 
@@ -335,6 +340,12 @@ void Runtime::tryFlushReduction(ArrayRecord& rec, int pos,
   if (agg.ownContrib < localElems || agg.childSeen < children) return;
 
   if (pos == 0) {
+    // The root flush is a consistent cut: every element has contributed and
+    // none has resumed — the checkpoint manager snapshots here, BEFORE the
+    // result fans back out, so a restore can replay this exact delivery.
+    if (ckpt_ != nullptr)
+      ckpt_->onReductionRoot(static_cast<ArrayId>(&rec - arrays_.data()),
+                             round, agg);
     deliverReductionResult(rec, pos, round, agg);
     rounds.erase(it);
     return;

@@ -32,6 +32,7 @@ class DcmfContext;
 namespace ckd::charm {
 
 class Transport;
+class CheckpointManager;
 
 enum class LayerKind { kInfiniband, kBlueGene };
 
@@ -44,6 +45,10 @@ struct MachineConfig {
   /// armed. An empty/unarmed plan (the default) changes nothing.
   fault::FaultPlan faults;
   std::uint64_t faultSeed = 1;
+  /// Minimum virtual time between buddy checkpoints. Only consulted when the
+  /// fault plan schedules pe_crash events (checkpointing costs nothing
+  /// otherwise because the manager is never created).
+  sim::Time checkpointPeriod_us = 100.0;
 };
 
 class Runtime {
@@ -73,6 +78,29 @@ class Runtime {
   /// PE whose handler is currently executing, or -1 between handlers.
   int currentPe() const { return currentPe_; }
   void setCurrentPe(int pe) { currentPe_ = pe; }
+
+  // --- fail-stop tolerance ---------------------------------------------------
+
+  /// Restart epoch: bumped on every fail-stop recovery. Every message is
+  /// stamped with the epoch it was sent in; schedulers drop stale-epoch
+  /// arrivals so pre-crash traffic cannot land in rolled-back state.
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// False while `pe` is crashed (between the fail-stop event and restore).
+  bool peAlive(int pe) const {
+    return !schedulers_[static_cast<std::size_t>(pe)]->dead();
+  }
+
+  /// Checkpoint/restart manager; null unless the fault plan schedules
+  /// pe_crash events.
+  CheckpointManager* checkpoints() const { return ckpt_.get(); }
+
+  /// Hook the restart protocol runs after chare state is restored, so the
+  /// CkDirect manager (which charm cannot depend on) can re-register memory
+  /// and re-run its handle handshake under the new epoch.
+  void setReestablishHook(std::function<void()> fn) {
+    reestablishHook_ = std::move(fn);
+  }
 
   // --- chare arrays ----------------------------------------------------------
 
@@ -194,6 +222,10 @@ class Runtime {
   static int treeParent(int pos) { return (pos - 1) / 2; }
   static int treeChild(int pos, int which) { return 2 * pos + 1 + which; }
 
+  /// The checkpoint manager reaches into the array registry, reduction
+  /// state, and machine layers to implement pack/restore.
+  friend class CheckpointManager;
+
   MachineConfig config_;
   sim::Engine engine_;
   std::unique_ptr<net::Fabric> fabric_;
@@ -204,6 +236,9 @@ class Runtime {
   std::vector<sim::Processor> processors_;
   std::vector<ArrayRecord> arrays_;
   std::shared_ptr<void> extension_;
+  std::unique_ptr<CheckpointManager> ckpt_;
+  std::function<void()> reestablishHook_;
+  std::uint32_t epoch_ = 0;
   int currentPe_ = -1;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t messagesSent_ = 0;

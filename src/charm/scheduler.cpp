@@ -12,6 +12,16 @@ Scheduler::Scheduler(Runtime& runtime, int pe) : runtime_(runtime), pe_(pe) {}
 void Scheduler::enqueue(MessagePtr msg) {
   CKD_REQUIRE(msg != nullptr, "enqueueing a null message");
   CKD_REQUIRE(msg->env().dstPe == pe_, "message enqueued on the wrong PE");
+  if (dead_) return;  // arrivals at a crashed PE vanish
+  if (msg->env().epoch != runtime_.epoch()) {
+    // Stale traffic sent before a fail-stop recovery: the state it targets
+    // was rolled back. Dropping it here covers every delivery path (eager,
+    // DCMF, rendezvous landings, transport-level retries) generically.
+    runtime_.engine().trace().record(runtime_.engine().now(), pe_,
+                                     sim::TraceTag::kStaleEpochDrop,
+                                     static_cast<double>(msg->env().epoch));
+    return;
+  }
   messages_.push_back(std::move(msg));
   schedulePump();
 }
@@ -19,13 +29,21 @@ void Scheduler::enqueue(MessagePtr msg) {
 void Scheduler::enqueueSystemWork(sim::Time cost, std::function<void()> fn,
                                   sim::Layer layer) {
   CKD_REQUIRE(cost >= 0.0, "negative system work cost");
+  if (dead_) return;  // completions on a crashed PE never run
   systemWork_.push_back(SystemWork{cost, std::move(fn), layer});
   schedulePump();
 }
 
 void Scheduler::poke(sim::Time delay) {
   CKD_REQUIRE(delay >= 0.0, "negative poke delay");
+  if (dead_) return;
   runtime_.engine().after(delay, [this] { schedulePump(); });
+}
+
+void Scheduler::crash() {
+  dead_ = true;
+  messages_.clear();
+  systemWork_.clear();
 }
 
 void Scheduler::setPollHook(std::function<void()> hook) {
@@ -46,7 +64,7 @@ void Scheduler::chargeAs(sim::Layer layer, sim::Time cost) {
 }
 
 void Scheduler::schedulePump() {
-  if (pumpScheduled_) return;
+  if (pumpScheduled_ || dead_) return;
   pumpScheduled_ = true;
   sim::Engine& engine = runtime_.engine();
   const sim::Time when =
@@ -56,6 +74,7 @@ void Scheduler::schedulePump() {
 
 void Scheduler::pump() {
   pumpScheduled_ = false;
+  if (dead_) return;  // pump scheduled before the crash landed
   sim::Engine& engine = runtime_.engine();
   sim::Processor& proc = runtime_.processor(pe_);
 

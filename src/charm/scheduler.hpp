@@ -56,6 +56,21 @@ class Scheduler {
   /// True while an entry method / system work / poll callback is running.
   bool inHandler() const { return ctxActive_; }
 
+  /// Fail-stop: mark this PE dead and discard everything queued. While dead
+  /// the scheduler accepts nothing (arrivals addressed to a crashed PE
+  /// vanish, like packets to a powered-off node) and never pumps.
+  void crash();
+  /// Bring a respawned PE back; the restart protocol re-seeds its state.
+  void revive() { dead_ = false; }
+  bool dead() const { return dead_; }
+
+  /// Restart protocol: discard everything queued on a LIVE PE too — queued
+  /// messages were stamped pre-recovery and target rolled-back state.
+  void flushQueues() {
+    messages_.clear();
+    systemWork_.clear();
+  }
+
   /// Handler-relative virtual time: pump start plus everything charged so
   /// far. Equals engine.now() outside a handler.
   sim::Time currentTime() const;
@@ -91,6 +106,7 @@ class Scheduler {
   std::function<void()> pollHook_;
 
   bool pumpScheduled_ = false;
+  bool dead_ = false;
   bool ctxActive_ = false;
   sim::Time ctxStart_ = 0.0;
   sim::Time ctxCharged_ = 0.0;

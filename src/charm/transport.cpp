@@ -155,9 +155,26 @@ void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
   });
 }
 
+void IbTransport::reset() {
+  // Restart protocol: every rendezvous in flight at the crash is abandoned —
+  // the rollback re-sends the messages that mattered (with fresh sequence
+  // numbers; nextSeq_ is never rolled back, so no collisions). Landing
+  // buffers and pinned send images are released; regions owned by the dead
+  // PE were already invalidated wholesale, hence the validity guard.
+  for (auto& [seq, recv] : pendingRecvs_)
+    if (verbs_.regionValid(recv.region)) verbs_.deregisterMemory(recv.region);
+  pendingRecvs_.clear();
+  for (auto& [seq, send] : pendingSends_)
+    if (verbs_.regionValid(send.localRegion))
+      verbs_.deregisterMemory(send.localRegion);
+  pendingSends_.clear();
+}
+
 void IbTransport::onRendezvousAck(std::uint64_t seq, void* remoteAddr,
                                   ib::RegionId remoteRegion) {
   const auto it = pendingSends_.find(seq);
+  if (it == pendingSends_.end() && runtime_.checkpoints() != nullptr)
+    return;  // send was flushed by a fail-stop recovery
   CKD_REQUIRE(it != pendingSends_.end(), "rendezvous ack for unknown send");
   MessagePtr msg = it->second.msg;  // keep alive until the RDMA completes
   const int src = msg->env().srcPe;
@@ -171,6 +188,9 @@ void IbTransport::onRendezvousAck(std::uint64_t seq, void* remoteAddr,
         runtime_.engine().at(
             ready, [this, seq, src, remoteAddr, remoteRegion]() {
               const auto pit = pendingSends_.find(seq);
+              if (pit == pendingSends_.end() &&
+                  runtime_.checkpoints() != nullptr)
+                return;  // send was flushed by a fail-stop recovery
               CKD_REQUIRE(pit != pendingSends_.end(),
                           "rendezvous ack for a completed send");
               PendingSend& pending = pit->second;
@@ -190,6 +210,12 @@ void IbTransport::postPayloadWrite(std::uint64_t seq) {
   PendingSend& pending = it->second;
   const int src = pending.msg->env().srcPe;
   const int dst = pending.msg->env().dstPe;
+  if (!runtime_.peAlive(dst)) {
+    // The receiver died after granting its landing buffer: its regions are
+    // invalid, so posting would fail the rkey check. Leave the send pending;
+    // the restart protocol clears it and the rollback re-sends the message.
+    return;
+  }
   const std::span<std::byte> wire = pending.msg->wireMutable();
   ib::IbVerbs::RdmaWrite write;
   write.qp = verbs_.connect(src, dst);
@@ -295,6 +321,17 @@ dcmf::Request* BgpTransport::acquireRequest() {
 
 void BgpTransport::releaseRequest(dcmf::Request* request) {
   freeRequests_.push_back(request);
+}
+
+void BgpTransport::reset() {
+  // Sends flushed by a fail-stop recovery never fire their completions, so
+  // their requests would leak from the pool. Reconcile: everything in flight
+  // at the crash is dead, so the whole pool is free again.
+  freeRequests_.clear();
+  for (const std::unique_ptr<dcmf::Request>& request : requestPool_) {
+    request->inFlight = false;
+    freeRequests_.push_back(request.get());
+  }
 }
 
 void BgpTransport::send(MessagePtr msg) {

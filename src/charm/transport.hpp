@@ -36,6 +36,13 @@ class Transport {
   virtual std::uint64_t rendezvousSends() const { return 0; }
   /// RDMA payload writes re-issued after an error completion (faults only).
   virtual std::uint64_t rdmaRetries() const { return 0; }
+
+  /// Fail-stop: `pe` just died. Flush transport-level reliable flows that
+  /// touch it (pending entries drop silently; rollback re-drives them).
+  virtual void onPeCrash(int pe) { (void)pe; }
+  /// Restart protocol: discard every in-flight transport transaction
+  /// (rendezvous state, request pools) before state is rolled back.
+  virtual void reset() {}
 };
 
 class IbTransport final : public Transport {
@@ -46,6 +53,11 @@ class IbTransport final : public Transport {
   std::uint64_t eagerSends() const override { return eagerSends_; }
   std::uint64_t rendezvousSends() const override { return rendezvousSends_; }
   std::uint64_t rdmaRetries() const override { return rdmaRetries_; }
+
+  void onPeCrash(int pe) override {
+    if (link_) link_->flushPe(pe);
+  }
+  void reset() override;
 
  private:
   std::size_t modeledWireBytes(const Message& msg) const;
@@ -101,6 +113,8 @@ class BgpTransport final : public Transport {
 
   std::uint64_t eagerSends() const override { return sends_; }
   std::uint64_t rdmaRetries() const override { return resends_; }
+
+  void reset() override;
 
  private:
   dcmf::Request* acquireRequest();

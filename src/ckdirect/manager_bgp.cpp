@@ -42,6 +42,7 @@ BgpManager::BgpManager(charm::Runtime& rts) : rts_(rts), dcmf_(rts.dcmf()) {
         spec.on_complete = [this, id]() { onArrived(id); };
         return spec;
       });
+  rts_.setReestablishHook([this]() { reestablish(); });
 }
 
 BgpManager::Channel& BgpManager::channel(std::int32_t id) {
@@ -105,11 +106,18 @@ void BgpManager::put(std::int32_t handle) {
   sender.chargeAs(sim::Layer::kCkDirect, rts_.costs().put_issue_us);
   const sim::Time issue = sender.currentTime();
 
-  rts_.engine().at(issue, [this, handle]() { issueSend(handle); });
+  const std::uint32_t epoch = epoch_;
+  rts_.engine().at(issue, [this, handle, epoch]() {
+    if (epoch != epoch_) return;  // put was rolled back by a restore
+    issueSend(handle);
+  });
 }
 
 void BgpManager::issueSend(std::int32_t handle) {
   Channel& ch = channel(handle);
+  // Receiver (or sender) died mid-iteration: drop the put silently — the
+  // rollback rewinds the sender past this point and re-drives it.
+  if (!rts_.peAlive(ch.recvPe) || !rts_.peAlive(ch.sendPe)) return;
   rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
                                sim::TraceTag::kDirectPut,
                                static_cast<double>(ch.bytes));
@@ -149,13 +157,35 @@ void BgpManager::onPutError(std::int32_t handle, fault::WcStatus status) {
   }
   ++ch.putAttempts;
   ++putRetries_;
-  rts_.engine().after(rel.timeout_us,
-                      [this, handle]() { issueSend(handle); });
+  const std::uint32_t epoch = epoch_;
+  rts_.engine().after(rel.timeout_us, [this, handle, epoch]() {
+    if (epoch != epoch_) return;  // retry was rolled back by a restore
+    issueSend(handle);
+  });
 }
 
 void BgpManager::setErrorCallback(std::int32_t handle,
                                   PutErrorCallback callback) {
   channel(handle).onError = std::move(callback);
+}
+
+void BgpManager::reestablish() {
+  // Global rollback just restored every element to a reduction-cut state,
+  // where every channel is idle. In-flight DCMF messages died with the link
+  // flush, so the per-channel request buffers are reusable again; retry
+  // state restarts clean under the new epoch.
+  ++epoch_;
+  for (const std::unique_ptr<Channel>& ch : channels_) {
+    if (ch->recvRequest) ch->recvRequest->inFlight = false;
+    if (ch->sendRequest) ch->sendRequest->inFlight = false;
+    ch->putAttempts = 0;
+    // Re-running the handshake costs work on both endpoints.
+    rts_.scheduler(ch->recvPe).enqueueSystemWork(
+        rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+    if (ch->sendPe >= 0)
+      rts_.scheduler(ch->sendPe).enqueueSystemWork(
+          rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+  }
 }
 
 std::byte* BgpManager::landingBuffer(Channel& ch) {

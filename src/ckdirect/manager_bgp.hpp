@@ -47,6 +47,12 @@ class BgpManager final : public Manager {
   std::uint64_t callbacksInvoked() const override { return callbacks_; }
   std::uint64_t putRetries() const override { return putRetries_; }
 
+  /// Restart protocol (runs as the runtime's reestablish hook): reset every
+  /// channel's DCMF request/retry state to the consistent-cut idle state and
+  /// bump the channel epoch so deferred pre-crash put/retry closures die.
+  void reestablish();
+  std::uint32_t channelEpoch() const { return epoch_; }
+
  private:
   struct Channel {
     int recvPe = -1;
@@ -84,6 +90,8 @@ class BgpManager final : public Manager {
   std::uint64_t puts_ = 0;
   std::uint64_t callbacks_ = 0;
   std::uint64_t putRetries_ = 0;
+  /// Bumped by reestablish(); deferred closures from an older epoch no-op.
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace ckd::direct

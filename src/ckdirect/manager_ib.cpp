@@ -13,6 +13,7 @@ IbManager::IbManager(charm::Runtime& rts)
     : rts_(rts), verbs_(rts.ibVerbs()) {
   pollQueue_.resize(static_cast<std::size_t>(rts.numPes()));
   hookInstalled_.assign(static_cast<std::size_t>(rts.numPes()), false);
+  rts_.setReestablishHook([this]() { reestablish(); });
 }
 
 IbManager::Channel& IbManager::channel(std::int32_t id) {
@@ -134,11 +135,19 @@ void IbManager::put(std::int32_t handle) {
                       0.05 * (ch.blockCount - 1));  // extra descriptors
   const sim::Time issue = sender.currentTime();
 
-  rts_.engine().at(issue, [this, handle]() { issueWrites(handle); });
+  const std::uint32_t epoch = epoch_;
+  rts_.engine().at(issue, [this, handle, epoch]() {
+    if (epoch != epoch_) return;  // put was rolled back by a restore
+    issueWrites(handle);
+  });
 }
 
 void IbManager::issueWrites(std::int32_t handle) {
   Channel& ch = channel(handle);
+  // Receiver (or sender) died mid-iteration: drop the put silently. The
+  // rollback rewinds the sender past this point and re-drives it; posting
+  // would abort on the invalidated remote region.
+  if (!rts_.peAlive(ch.recvPe) || !rts_.peAlive(ch.sendPe)) return;
   rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
                                sim::TraceTag::kDirectPut,
                                static_cast<double>(ch.bytes));
@@ -196,7 +205,9 @@ void IbManager::onPutError(std::int32_t handle, fault::WcStatus status) {
   // timeout. RDMA rewrites of the same bytes are idempotent, so blocks that
   // did land are simply written again.
   verbs_.resetQp(ch.qp);
-  rts_.engine().after(rel.timeout_us, [this, handle]() {
+  const std::uint32_t epoch = epoch_;
+  rts_.engine().after(rel.timeout_us, [this, handle, epoch]() {
+    if (epoch != epoch_) return;  // retry was rolled back by a restore
     Channel& c = channel(handle);
     c.errorPending = false;
     issueWrites(handle);
@@ -301,6 +312,46 @@ void IbManager::setErrorCallback(std::int32_t handle,
 std::size_t IbManager::pollQueueLength(int pe) const {
   CKD_REQUIRE(pe >= 0 && pe < rts_.numPes(), "PE out of range");
   return pollQueue_[static_cast<std::size_t>(pe)].size();
+}
+
+void IbManager::reestablish() {
+  // Global rollback just restored every element to a reduction-cut state,
+  // where (by the application iteration discipline CkDirect requires) every
+  // channel is idle: data consumed, sentinel re-armed, polling. Re-run the
+  // createHandle/assocLocal side effects under the new epoch.
+  ++epoch_;
+  for (auto& queue : pollQueue_) queue.clear();
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Channel& ch = channels_[i];
+    // Crash invalidated the victim's pinned regions; buffer addresses are
+    // stable across the restore, so re-registration is a lookup-free redo
+    // of the original handshake.
+    if (!verbs_.regionValid(ch.recvRegion)) {
+      const std::size_t span =
+          static_cast<std::size_t>(ch.blockCount - 1) * ch.strideBytes +
+          ch.blockBytes;
+      ch.recvRegion = verbs_.registerMemory(ch.recvPe, ch.recvBuffer, span);
+    }
+    if (ch.sendPe >= 0 && !verbs_.regionValid(ch.sendRegion))
+      ch.sendRegion = verbs_.registerMemory(
+          ch.sendPe, const_cast<std::byte*>(ch.sendBuffer), ch.bytes);
+    if (ch.qp != ib::kInvalidQp) verbs_.resetQp(ch.qp);
+    ch.marked = true;
+    ch.detected = false;
+    ch.putAttempts = 0;
+    ch.errorPending = false;
+    writeSentinel(ch);
+    ch.inPollQueue = true;
+    const auto id = static_cast<std::int32_t>(i);
+    pollQueue_[static_cast<std::size_t>(ch.recvPe)].push_back(id);
+    // The re-handshake costs work on both endpoints, like the original
+    // createHandle/assocLocal calls.
+    rts_.scheduler(ch.recvPe).enqueueSystemWork(
+        rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+    if (ch.sendPe >= 0)
+      rts_.scheduler(ch.sendPe).enqueueSystemWork(
+          rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+  }
 }
 
 }  // namespace ckd::direct

@@ -45,6 +45,15 @@ class IbManager final : public Manager {
   std::uint64_t putRetries() const override { return putRetries_; }
   std::uint64_t pollScans() const { return scans_; }
 
+  /// Restart protocol (runs as the runtime's reestablish hook): re-register
+  /// every region the crash invalidated (buffer addresses are stable across
+  /// a restore), reconnect QPs, and roll every channel back to the
+  /// consistent-cut state — idle, marked, sentinel armed, polling. Bumps the
+  /// channel epoch so deferred pre-crash put/retry closures die instead of
+  /// re-issuing writes against rolled-back state.
+  void reestablish();
+  std::uint32_t channelEpoch() const { return epoch_; }
+
  private:
   struct Channel {
     int recvPe = -1;
@@ -105,6 +114,8 @@ class IbManager final : public Manager {
   std::uint64_t callbacks_ = 0;
   std::uint64_t scans_ = 0;
   std::uint64_t putRetries_ = 0;
+  /// Bumped by reestablish(); deferred closures from an older epoch no-op.
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace ckd::direct

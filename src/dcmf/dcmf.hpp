@@ -119,6 +119,17 @@ class DcmfContext {
   /// (models re-establishing the torus connection). No-op when healthy.
   void resetChannel(int srcRank, int dstRank);
 
+  /// Fail-stop support: flush every reliable flow touching `rank` / every
+  /// flow. Pending sends are dropped silently (the restart protocol
+  /// re-drives them); pre-crash copies on the wire are NAKed as stale.
+  void flushPe(int rank) {
+    if (link_) link_->flushPe(rank);
+  }
+  void flushAll() {
+    if (link_) link_->flushAll();
+  }
+  std::uint64_t staleNaks() const { return link_ ? link_->staleNaks() : 0; }
+
   std::uint64_t sendsPosted() const { return sends_; }
   std::uint64_t shortDeliveries() const { return shortDeliveries_; }
   std::uint64_t normalDeliveries() const { return normalDeliveries_; }

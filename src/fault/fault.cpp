@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <cstring>
 #include <sstream>
 #include <utility>
 
@@ -25,6 +26,7 @@ std::string_view faultKindName(FaultKind kind) {
     case FaultKind::kCorrupt: return "corrupt";
     case FaultKind::kQpError: return "qp_error";
     case FaultKind::kRegionInvalidate: return "region_invalid";
+    case FaultKind::kPeCrash: return "pe_crash";
     case FaultKind::kCount: break;
   }
   return "?";
@@ -32,7 +34,16 @@ std::string_view faultKindName(FaultKind kind) {
 
 bool FaultPlan::armed() const {
   for (const FaultRule& rule : rules)
-    if (rule.probability > 0.0 || rule.nth > 0) return true;
+    if (rule.probability > 0.0 || rule.nth > 0 ||
+        (rule.kind == FaultKind::kPeCrash && rule.crash_at_us >= 0.0))
+      return true;
+  return false;
+}
+
+bool FaultPlan::hasCrashes() const {
+  for (const FaultRule& rule : rules)
+    if (rule.kind == FaultKind::kPeCrash && rule.crash_at_us >= 0.0)
+      return true;
   return false;
 }
 
@@ -40,6 +51,14 @@ std::string FaultPlan::summary() const {
   std::ostringstream out;
   bool first = true;
   for (const FaultRule& rule : rules) {
+    if (rule.kind == FaultKind::kPeCrash) {
+      if (rule.crash_at_us < 0.0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "pe_crash@" << rule.crash_at_us;
+      if (rule.src >= 0) out << " pe=" << rule.src;
+      continue;
+    }
     if (rule.probability <= 0.0 && rule.nth == 0) continue;
     if (!first) out << ", ";
     first = false;
@@ -145,6 +164,11 @@ void applyRuleOption(FaultRule& rule, const std::string& key,
   } else if (key == "jitter") {
     rule.delay_us = parseNumber(value, "bad jitter in --faults spec");
     CKD_REQUIRE(rule.delay_us >= 0.0, "jitter must be >= 0");
+  } else if (key == "pe") {
+    CKD_REQUIRE(rule.kind == FaultKind::kPeCrash,
+                "pe= is only valid on pe_crash rules");
+    rule.src = static_cast<int>(parseNumber(value, "bad pe in --faults spec"));
+    CKD_REQUIRE(rule.src >= 0, "pe must be >= 0 in --faults spec");
   } else {
     CKD_REQUIRE(false, "unknown rule option in --faults spec");
   }
@@ -159,6 +183,22 @@ FaultPlan parseFaultSpec(const std::string& spec) {
     CKD_REQUIRE(!ruleText.empty(), "empty rule in --faults spec");
     const std::vector<std::string> parts = splitOn(ruleText, ';');
     const std::string& head = parts.front();
+    // Fail-stop rules use "@" with an absolute virtual time instead of a
+    // probability: "pe_crash@1500" or "pe_crash@1500;pe=3".
+    if (head.rfind("pe_crash@", 0) == 0) {
+      FaultRule rule;
+      rule.kind = FaultKind::kPeCrash;
+      rule.crash_at_us = parseNumber(head.substr(std::strlen("pe_crash@")),
+                                     "bad pe_crash time in --faults spec");
+      CKD_REQUIRE(rule.crash_at_us >= 0.0, "pe_crash time must be >= 0");
+      for (std::size_t i = 1; i < parts.size(); ++i) {
+        const std::size_t eq = parts[i].find('=');
+        CKD_REQUIRE(eq != std::string::npos, "rule option must be key=value");
+        applyRuleOption(rule, parts[i].substr(0, eq), parts[i].substr(eq + 1));
+      }
+      plan.rules.push_back(rule);
+      continue;
+    }
     const std::size_t colon = head.find(':');
     CKD_REQUIRE(colon != std::string::npos,
                 "--faults rule must look like kind:probability");

@@ -50,6 +50,7 @@ enum class FaultKind : std::uint8_t {
   kCorrupt,           ///< payload bit flipped in flight (caught by checksum)
   kQpError,           ///< queue pair fails at post time (flushes the flow)
   kRegionInvalidate,  ///< remote region yanked; receiver NAKs remote-access
+  kPeCrash,           ///< fail-stop: a PE dies at a chosen virtual time
   kCount,
 };
 
@@ -70,6 +71,10 @@ struct FaultRule {
   MsgClass cls = MsgClass::kAny;
   /// Extra latency injected by kDelay rules.
   sim::Time delay_us = 5.0;
+  /// kPeCrash only: virtual time the victim PE dies. `src` names the victim
+  /// (-1 = runtime picks one from the fault seed). Crash rules are scheduled
+  /// up front by the checkpoint manager, never drawn per message.
+  sim::Time crash_at_us = -1.0;
 };
 
 /// Knobs for the go-back-N reliability layer that absorbs the faults
@@ -87,6 +92,9 @@ struct FaultPlan {
 
   /// True when any rule can ever fire. Unarmed plans install nothing.
   bool armed() const;
+  /// True when the plan contains at least one kPeCrash rule (fail-stop
+  /// tolerance machinery — checkpointing, heartbeats — is only spun up then).
+  bool hasCrashes() const;
   /// One-line human-readable description (bench banners).
   std::string summary() const;
 };
@@ -95,12 +103,16 @@ struct FaultPlan {
 ///
 ///   spec   := rule ("," rule)*
 ///   rule   := name ":" rate (";" opt)*
+///           | "pe_crash@" time_us (";" opt)*   (fail-stop at a virtual time)
 ///   name   := drop | delay | duplicate | corrupt | qp_error | region_invalid
 ///             | rel            (pseudo-rule: sets ReliabilityParams)
 ///   rate   := probability in [0,1]
 ///   opt    := src=<pe> | dst=<pe> | class=bulk|packet|control
-///             | nth=<n> | jitter=<us>
+///             | nth=<n> | jitter=<us> | pe=<n>  (pe: crash victim)
 ///   rel opts := timeout=<us> | backoff=<x> | budget=<n> | appbudget=<n>
+///
+/// A crash rule with no pe= option leaves the victim to the runtime, which
+/// picks one deterministically from the fault seed.
 ///
 /// Example: "drop:0.01,corrupt:0.005;class=bulk,delay:0.02;jitter=8".
 /// Empty string -> unarmed plan. Aborts (CKD_REQUIRE) on malformed specs.

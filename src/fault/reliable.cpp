@@ -95,6 +95,16 @@ void ReliableLink::onWireArrival(ChannelId channel, std::uint64_t seq,
                                  std::vector<std::byte> image, bool corrupted) {
   Flow& f = flow(channel);
   const sim::Time now = wire_.wireEngine().now();
+  if (seq < f.flushBarrier) {
+    // A copy transmitted before a fail-stop flush finally arrives. Its entry
+    // (and delivery closure, which targets since-re-registered memory) is
+    // gone; NAK-and-drop it like a stale-PSN packet hitting a fresh QP. No
+    // re-ack either — the new sequence space must not be polluted by ghosts.
+    ++staleNaks_;
+    trace().record(now, f.dst, sim::TraceTag::kRelStaleNak,
+                   static_cast<double>(seq));
+    return;
+  }
   if (corrupted) {
     // The injector flipped a bit in this copy. Make the damage real, then
     // let the wire-format checksum catch it — a corrupted header (empty
@@ -254,6 +264,34 @@ void ReliableLink::resetChannel(ChannelId channel) {
   ++f.timerEpoch;
   f.timerArmed = false;
   ++f.generation;
+}
+
+void ReliableLink::flushFlow(Flow& f) {
+  // Idempotency guard: a second flush of an already-flushed flow (a crash
+  // racing a QP-error recovery, or restore's flushAll after a per-PE flush)
+  // must be a strict no-op — nothing re-released, generation untouched.
+  if (f.unacked.empty() && !f.error && f.flushBarrier == f.nextSeq) return;
+  // Silent drop: no error completions. The checkpoint rollback re-drives
+  // every send that mattered; firing on_error here would double-count
+  // failures (and abort on entries posted without a handler).
+  f.unacked.clear();
+  f.error = false;
+  f.timeoutsInARow = 0;
+  f.expected = f.nextSeq;
+  f.flushBarrier = f.nextSeq;
+  ++f.timerEpoch;  // kill any running timer
+  f.timerArmed = false;
+  ++f.generation;  // kill stale NAK closures
+  f.lastEta = 0;
+}
+
+void ReliableLink::flushPe(int pe) {
+  for (auto& [id, f] : flows_)
+    if (f.src == pe || f.dst == pe) flushFlow(f);
+}
+
+void ReliableLink::flushAll() {
+  for (auto& [id, f] : flows_) flushFlow(f);
 }
 
 bool ReliableLink::channelInError(ChannelId channel) const {

@@ -101,8 +101,22 @@ class ReliableLink {
   void resetChannel(ChannelId channel);
   bool channelInError(ChannelId channel) const;
 
+  /// Fail-stop flush: forcibly tear down every flow touching `pe`. In-flight
+  /// entries are dropped SILENTLY — no error completions fire, because the
+  /// checkpoint rollback re-drives those sends from restored state — the
+  /// sequence spaces resynchronize, and any copy of a pre-flush transmission
+  /// still on the wire is NAKed as stale on arrival instead of delivered
+  /// into since-re-registered memory. Idempotent: flushing an already-clean
+  /// flow (crash racing a QP-error recovery that already reset it) is a
+  /// strict no-op — nothing is double-released and the generation is stable.
+  void flushPe(int pe);
+  /// Flush every flow (global rollback to the last checkpoint).
+  void flushAll();
+
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t errors() const { return errors_; }
+  /// Pre-flush-epoch arrivals NAKed instead of delivered.
+  std::uint64_t staleNaks() const { return staleNaks_; }
 
  private:
   struct Entry {
@@ -123,6 +137,9 @@ class ReliableLink {
     std::uint64_t timerEpoch = 0;  // stale-timer guard (engine has no cancel)
     bool timerArmed = false;
     std::uint64_t generation = 0;  // bumped per reset; kills stale NAKs
+    /// Sequences below this were flushed by a fail-stop teardown; copies
+    /// still on the wire are NAKed as stale when they arrive.
+    std::uint64_t flushBarrier = 0;
     /// Contention-free delivery estimate of the latest transmission, as an
     /// absolute engine time. The retransmission timer must not fire before
     /// the outstanding copy could possibly have been delivered and acked —
@@ -132,6 +149,7 @@ class ReliableLink {
   };
 
   Flow& flow(ChannelId channel) { return flows_[channel]; }
+  void flushFlow(Flow& f);
   void transmit(ChannelId channel, Entry& entry);
   void onWireArrival(ChannelId channel, std::uint64_t seq, std::uint64_t sum,
                      bool regionInvalid, std::vector<std::byte> image,
@@ -149,6 +167,7 @@ class ReliableLink {
   std::map<ChannelId, Flow> flows_;
   std::uint64_t retransmits_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t staleNaks_ = 0;
 };
 
 }  // namespace ckd::fault

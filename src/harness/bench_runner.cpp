@@ -19,12 +19,15 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   const std::string faultSpec = args.get("faults", "");
   if (!faultSpec.empty()) faultPlan_ = fault::parseFaultSpec(faultSpec);
   faultSeed_ = static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
+  checkpointPeriod_ = args.getDouble("checkpoint-period", -1.0);
+  CKD_REQUIRE(checkpointPeriod_ != 0.0, "--checkpoint-period must be positive");
 }
 
 void BenchRunner::applyFaults(charm::MachineConfig& machine) const {
   if (!faultsArmed()) return;
   machine.faults = faultPlan_;
   machine.faultSeed = faultSeed_;
+  if (checkpointPeriod_ > 0.0) machine.checkpointPeriod_us = checkpointPeriod_;
 }
 
 void BenchRunner::applyFaults(net::Fabric& fabric) const {

@@ -8,8 +8,12 @@
 //                       retained events in the ckd.trace.v1 schema
 //   --trace-cap <n>     ring capacity in events (default ~1M)
 //   --faults <spec>     arm deterministic fault injection (fault::parseFaultSpec
-//                       grammar, e.g. "drop:0.01,corrupt:0.005;class=bulk")
+//                       grammar, e.g. "drop:0.01,corrupt:0.005;class=bulk" or
+//                       "pe_crash@3000;pe=2" for fail-stop faults)
 //   --fault-seed <n>    RNG seed for the fault injector (default 1)
+//   --checkpoint-period <us>
+//                       virtual time between buddy checkpoints when pe_crash
+//                       faults are armed (default MachineConfig's 100 us)
 //
 // Usage:
 //   util::Args args(argc, argv);
@@ -53,8 +57,11 @@ class BenchRunner {
   bool faultsArmed() const { return faultPlan_.armed(); }
   const fault::FaultPlan& faultPlan() const { return faultPlan_; }
   std::uint64_t faultSeed() const { return faultSeed_; }
-  /// Copy the --faults plan + seed into a MachineConfig (no-op when unarmed);
-  /// the runtime arms the fabric at construction.
+  /// --checkpoint-period value, or a negative number when not given.
+  double checkpointPeriod() const { return checkpointPeriod_; }
+  /// Copy the --faults plan + seed (and --checkpoint-period, when given)
+  /// into a MachineConfig (no-op when unarmed); the runtime arms the fabric
+  /// at construction.
   void applyFaults(charm::MachineConfig& machine) const;
   /// Arm a bare fabric directly (the mini-MPI benches build their own).
   void applyFaults(net::Fabric& fabric) const;
@@ -82,6 +89,7 @@ class BenchRunner {
   std::size_t traceCap_ = sim::TraceRecorder::kDefaultCapacity;
   fault::FaultPlan faultPlan_;
   std::uint64_t faultSeed_ = 1;
+  double checkpointPeriod_ = -1.0;  ///< < 0: keep the MachineConfig default
 
   util::JsonValue metrics_ = util::JsonValue::array();
   std::vector<ProfileReport> profiles_;

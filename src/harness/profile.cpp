@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "charm/checkpoint.hpp"
 #include "ckdirect/ckdirect.hpp"
 #include "util/table.hpp"
 
@@ -45,6 +46,12 @@ ProfileReport captureProfile(charm::Runtime& rts) {
   if (const direct::Manager* mgr = direct::Manager::peek(rts)) {
     report.ckdirectPuts = mgr->putsIssued();
     report.ckdirectCallbacks = mgr->callbacksInvoked();
+  }
+  if (const charm::CheckpointManager* ckpt = rts.checkpoints()) {
+    report.checkpointsTaken = ckpt->checkpointsTaken();
+    report.checkpointBytes = ckpt->bytesPacked();
+    report.restarts = ckpt->restarts();
+    report.recoveryUs = ckpt->recoveryUs();
   }
   captureTraceMetrics(report, rts.engine().trace());
   return report;
@@ -125,6 +132,16 @@ std::string ProfileReport::toString() const {
           << util::formatFixed(deliveryAttempts.max(), 0) << ")";
     }
     out << "\n";
+  }
+  if (checkpointsTaken > 0 || restarts > 0) {
+    out << "  checkpoints   " << checkpointsTaken << " taken ("
+        << checkpointBytes << " bytes packed), " << restarts << " restarts";
+    if (restarts > 0)
+      out << ", recovery " << util::formatFixed(recoveryUs, 2) << " us";
+    out << "; crashes " << tag(sim::TraceTag::kFaultPeCrash)
+        << ", stale naks " << tag(sim::TraceTag::kRelStaleNak)
+        << ", stale epoch drops " << tag(sim::TraceTag::kStaleEpochDrop)
+        << "\n";
   }
   bool anyPoll = false;
   for (const std::uint64_t n : pollHist) anyPoll |= n > 0;
@@ -227,6 +244,19 @@ util::JsonValue toJson(const ProfileReport& report) {
     if (report.deliveryAttempts.count() > 0)
       rel.set("attempts_per_msg", statsJson(report.deliveryAttempts));
     obj.set("reliability", std::move(rel));
+  }
+  if (report.checkpointsTaken > 0 || report.restarts > 0) {
+    JsonValue ckpt = JsonValue::object();
+    ckpt.set("taken", JsonValue(report.checkpointsTaken));
+    ckpt.set("bytes_packed", JsonValue(report.checkpointBytes));
+    ckpt.set("restarts", JsonValue(report.restarts));
+    ckpt.set("recovery_us", JsonValue(report.recoveryUs));
+    ckpt.set("pe_crashes", JsonValue(tag(sim::TraceTag::kFaultPeCrash)));
+    ckpt.set("crash_detects", JsonValue(tag(sim::TraceTag::kCrashDetect)));
+    ckpt.set("stale_naks", JsonValue(tag(sim::TraceTag::kRelStaleNak)));
+    ckpt.set("stale_epoch_drops",
+             JsonValue(tag(sim::TraceTag::kStaleEpochDrop)));
+    obj.set("checkpoint", std::move(ckpt));
   }
 
   if (report.traceRecorded > 0) {

@@ -32,6 +32,13 @@ struct ProfileReport {
   std::uint64_t ckdirectPuts = 0;      ///< 0 when CkDirect unused
   std::uint64_t ckdirectCallbacks = 0;
 
+  /// Checkpoint/restart counters (all zero unless pe_crash faults armed a
+  /// CheckpointManager for the run).
+  std::uint64_t checkpointsTaken = 0;
+  std::uint64_t checkpointBytes = 0;   ///< chare state packed to buddies
+  std::uint64_t restarts = 0;
+  sim::Time recoveryUs = 0.0;          ///< crash -> restored, summed
+
   /// Virtual time attributed to each runtime tier, indexed by sim::Layer.
   std::array<sim::Time, sim::kLayerCount> layerTime_us{};
   sim::Time layerSum_us = 0.0;

@@ -125,6 +125,17 @@ void IbVerbs::resetQp(QpId qp) {
   if (link_) link_->resetChannel(qp);
 }
 
+void IbVerbs::invalidatePe(int pe) {
+  CKD_REQUIRE(pe >= 0 && pe < fabric_.numPes(), "PE out of range");
+  for (std::size_t slot = 0; slot < regions_.size(); ++slot) {
+    Region& region = regions_[slot];
+    if (!region.valid || region.pe != pe) continue;
+    region.valid = false;
+    ++region.generation;
+    freeSlots_.push_back(slot);
+  }
+}
+
 void IbVerbs::postRdmaWrite(RdmaWrite write) {
   CKD_REQUIRE(write.qp >= 0 && write.qp < static_cast<QpId>(qps_.size()),
               "RDMA write on an unknown QP");

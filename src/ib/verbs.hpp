@@ -95,6 +95,24 @@ class IbVerbs {
   /// healthy QP. Work posted while in error completes with WcStatus::kQpError.
   void resetQp(QpId qp);
 
+  // --- fail-stop support ----------------------------------------------------
+
+  /// Forcibly flush every reliable flow touching `pe` (the PE died). Pending
+  /// work is dropped silently — the restart protocol re-drives it — and
+  /// pre-crash copies still on the wire are NAKed as stale on arrival.
+  void flushPe(int pe) {
+    if (link_) link_->flushPe(pe);
+  }
+  /// Flush every flow (global rollback to the last checkpoint).
+  void flushAll() {
+    if (link_) link_->flushAll();
+  }
+  /// Deregister every region owned by `pe`: a crashed node's pinned pages
+  /// are gone, so every outstanding rkey for them must stop validating.
+  /// Restored elements re-register through the layers above.
+  void invalidatePe(int pe);
+  std::uint64_t staleNaks() const { return link_ ? link_->staleNaks() : 0; }
+
   // --- one-sided ------------------------------------------------------------
 
   struct RdmaWrite {

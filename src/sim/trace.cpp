@@ -48,6 +48,12 @@ std::string_view traceTagName(TraceTag tag) {
     case TraceTag::kRelDupDrop: return "rel.dup_drop";
     case TraceTag::kRelOooDrop: return "rel.ooo_drop";
     case TraceTag::kRelError: return "rel.error";
+    case TraceTag::kRelStaleNak: return "rel.stale_nak";
+    case TraceTag::kFaultPeCrash: return "fault.pe_crash";
+    case TraceTag::kCrashDetect: return "crash.detect";
+    case TraceTag::kCkptTaken: return "ckpt.taken";
+    case TraceTag::kCkptRestore: return "ckpt.restore";
+    case TraceTag::kStaleEpochDrop: return "sched.stale_epoch_drop";
     case TraceTag::kCount: break;
   }
   return "?";

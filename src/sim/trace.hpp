@@ -69,6 +69,12 @@ enum class TraceTag : std::uint8_t {
   kRelDupDrop,          // receiver discarded an already-seen sequence
   kRelOooDrop,          // receiver discarded an out-of-order (gap) sequence
   kRelError,            // entry failed permanently (error completion)
+  kRelStaleNak,         // receiver NAKed a pre-crash-epoch arrival
+  kFaultPeCrash,        // injected PE fail-stop; value = victim PE
+  kCrashDetect,         // heartbeat monitor declared a PE dead
+  kCkptTaken,           // buddy checkpoint committed; value = packed bytes
+  kCkptRestore,         // restart restored state; value = recovery cost (us)
+  kStaleEpochDrop,      // scheduler dropped a pre-restart-epoch message
   kCount,
 };
 
