@@ -1,0 +1,179 @@
+// Host-performance microbenchmark: the repo's canonical events/sec number.
+//
+// Two scenarios, both deterministic in virtual time:
+//   churn — a bare sim::Engine running self-rescheduling timers. Measures
+//           pure engine overhead (schedule + heap + dispatch) per event.
+//   storm — a 16-PE Abe machine running simultaneous entry-method pingpongs
+//           on every PE pair: the full scheduler / transport / fabric stack
+//           exercised with small eager messages. This is the number quoted
+//           in acceptance gates (BENCH_PR4.json) and watched by CI.
+//
+// Flags (besides the BenchRunner set):
+//   --churn-events N   events to execute in the churn scenario (default 2M)
+//   --churn-timers K   concurrent self-rescheduling timers (default 64)
+//   --storm-iters I    round trips per pingpong pair (default 20000)
+//   --storm-pairs P    concurrent pairs; the machine has 2*P PEs (default 8)
+//   --storm-bytes B    payload bytes, below the eager/rendezvous cutoff
+//                      (default 100)
+//   --floor E          fail (exit 1) if the storm scenario executes fewer
+//                      than E events/sec; 0 disables the gate (CI sets a
+//                      generous floor so only order-of-magnitude regressions
+//                      trip it)
+
+#include <chrono>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "charm/maps.hpp"
+#include "charm/proxy.hpp"
+#include "harness/bench_runner.hpp"
+#include "harness/machines.hpp"
+#include "sim/engine.hpp"
+#include "util/args.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+using namespace ckd;
+
+double wallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct ScenarioResult {
+  std::uint64_t events = 0;
+  double wall_s = 0.0;
+  double eventsPerSec() const { return wall_s > 0.0 ? events / wall_s : 0.0; }
+};
+
+/// Pure event churn: K timers, each rescheduling itself 1 us later, until the
+/// engine has executed ~N events. All captures are a single pointer.
+ScenarioResult runChurn(std::uint64_t targetEvents, int timers) {
+  sim::Engine engine;
+  struct Timer {
+    sim::Engine* engine;
+    std::uint64_t remaining;
+    void fire() {
+      if (remaining-- == 0) return;
+      engine->after(1.0, [this] { fire(); });
+    }
+  };
+  std::vector<Timer> state(static_cast<std::size_t>(timers));
+  const std::uint64_t perTimer =
+      targetEvents / static_cast<std::uint64_t>(timers);
+  const auto start = std::chrono::steady_clock::now();
+  for (Timer& t : state) {
+    t.engine = &engine;
+    t.remaining = perTimer;
+    engine.at(0.0, [pt = &t] { pt->fire(); });
+  }
+  engine.run();
+  ScenarioResult result;
+  result.wall_s = wallSeconds(start);
+  result.events = engine.executedEvents();
+  return result;
+}
+
+/// Every pair (i, i+P) of a 2P-PE Abe machine runs an eager-message pingpong
+/// concurrently; messages are small enough to stay on the eager path, so the
+/// run hammers the message/scheduler/fabric allocation hot paths.
+class StormChare final : public charm::Chare {
+ public:
+  charm::ArrayProxy<StormChare> proxy;
+  charm::EntryId epPing = -1;
+  int pairs = 0;
+  int remaining = 0;
+  std::vector<std::byte> payload;
+
+  void start(charm::Message&) {
+    proxy[thisIndex() + pairs].send(epPing,
+                                    std::span<const std::byte>(payload));
+  }
+
+  void ping(charm::Message& msg) {
+    if (thisIndex() >= pairs) {  // echo side
+      proxy[thisIndex() - pairs].send(epPing, msg.payload());
+      return;
+    }
+    if (--remaining > 0)
+      proxy[thisIndex() + pairs].send(epPing,
+                                      std::span<const std::byte>(payload));
+  }
+};
+
+ScenarioResult runStorm(int pairs, int iterations, std::size_t bytes) {
+  charm::MachineConfig machine = harness::abeMachine(2 * pairs, 4);
+  charm::Runtime rts(machine);
+  auto proxy = charm::makeArray<StormChare>(
+      rts, "storm", 2 * pairs, [](std::int64_t i) { return static_cast<int>(i); },
+      [](std::int64_t) { return std::make_unique<StormChare>(); });
+  const charm::EntryId epStart =
+      proxy.registerEntry("start", &StormChare::start);
+  const charm::EntryId epPing = proxy.registerEntry("ping", &StormChare::ping);
+  for (std::int64_t i = 0; i < 2 * pairs; ++i) {
+    StormChare& el = proxy[i].local();
+    el.proxy = proxy;
+    el.epPing = epPing;
+    el.pairs = pairs;
+    el.remaining = iterations;
+    el.payload.assign(bytes, std::byte{0});
+  }
+  const auto start = std::chrono::steady_clock::now();
+  rts.seed([proxy, epStart, pairs]() {
+    for (std::int64_t i = 0; i < pairs; ++i) proxy[i].send(epStart);
+  });
+  rts.run();
+  ScenarioResult result;
+  result.wall_s = wallSeconds(start);
+  result.events = rts.engine().executedEvents();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  harness::BenchRunner runner("perf_engine", args);
+  const std::uint64_t churnEvents =
+      static_cast<std::uint64_t>(args.getInt("churn-events", 2'000'000));
+  const int churnTimers = static_cast<int>(args.getInt("churn-timers", 64));
+  const int stormIters = static_cast<int>(args.getInt("storm-iters", 20000));
+  const int stormPairs = static_cast<int>(args.getInt("storm-pairs", 8));
+  const std::size_t stormBytes =
+      static_cast<std::size_t>(args.getInt("storm-bytes", 100));
+  const double floor = args.getDouble("floor", 0.0);
+  CKD_REQUIRE(churnTimers > 0 && stormIters > 0 && stormPairs > 0,
+              "scenario sizes must be positive");
+
+  const ScenarioResult churn = runChurn(churnEvents, churnTimers);
+  const ScenarioResult storm = runStorm(stormPairs, stormIters, stormBytes);
+
+  struct Row {
+    const char* name;
+    const ScenarioResult& r;
+  };
+  for (const Row& row : {Row{"churn", churn}, Row{"storm", storm}}) {
+    std::printf("%-6s %12llu events  %8.3f s wall  %12.0f events/sec\n",
+                row.name, static_cast<unsigned long long>(row.r.events),
+                row.r.wall_s, row.r.eventsPerSec());
+    util::JsonValue labels = util::JsonValue::object();
+    labels.set("scenario", util::JsonValue(row.name));
+    runner.addMetric("events_per_sec", row.r.eventsPerSec(), "1/s", labels);
+    labels = util::JsonValue::object();
+    labels.set("scenario", util::JsonValue(row.name));
+    runner.addMetric("events_executed", static_cast<double>(row.r.events),
+                     "events", std::move(labels));
+  }
+
+  const int code = runner.finish();
+  if (code != 0) return code;
+  if (floor > 0.0 && storm.eventsPerSec() < floor) {
+    std::fprintf(stderr,
+                 "FAIL: storm events/sec %.0f below the floor %.0f\n",
+                 storm.eventsPerSec(), floor);
+    return 1;
+  }
+  return 0;
+}

@@ -175,11 +175,13 @@ void Runtime::sendMessage(MessagePtr msg) {
   msg->sealHeader();
   if (env.srcPe == env.dstPe) {
     const int dst = env.dstPe;
-    engine_.at(issue, [this, msg, dst]() mutable {
+    engine_.at(issue, [this, dst, msg = std::move(msg)]() mutable {
       scheduler(dst).enqueue(std::move(msg));
     });
   } else {
-    engine_.at(issue, [this, msg]() mutable { transport_->send(std::move(msg)); });
+    engine_.at(issue, [this, msg = std::move(msg)]() mutable {
+      transport_->send(std::move(msg));
+    });
   }
 }
 

@@ -26,7 +26,7 @@ void Scheduler::enqueue(MessagePtr msg) {
   schedulePump();
 }
 
-void Scheduler::enqueueSystemWork(sim::Time cost, std::function<void()> fn,
+void Scheduler::enqueueSystemWork(sim::Time cost, SystemFn fn,
                                   sim::Layer layer) {
   CKD_REQUIRE(cost >= 0.0, "negative system work cost");
   if (dead_) return;  // completions on a crashed PE never run
@@ -37,7 +37,7 @@ void Scheduler::enqueueSystemWork(sim::Time cost, std::function<void()> fn,
 void Scheduler::poke(sim::Time delay) {
   CKD_REQUIRE(delay >= 0.0, "negative poke delay");
   if (dead_) return;
-  runtime_.engine().after(delay, [this] { schedulePump(); });
+  runtime_.engine().after(delay, &Scheduler::pokeThunk, this);
 }
 
 void Scheduler::crash() {
@@ -60,7 +60,17 @@ void Scheduler::chargeAs(sim::Layer layer, sim::Time cost) {
   CKD_REQUIRE(cost >= 0.0, "negative charge");
   if (!ctxActive_) return;
   ctxCharged_ += cost;
-  runtime_.engine().trace().addLayerTime(layer, cost);
+  ctxLayerAcc_[static_cast<std::size_t>(layer)] += cost;
+}
+
+void Scheduler::flushLayerTimes() {
+  sim::TraceRecorder& trace = runtime_.engine().trace();
+  for (std::size_t i = 0; i < sim::kLayerCount; ++i) {
+    if (ctxLayerAcc_[i] != 0.0) {
+      trace.addLayerTime(static_cast<sim::Layer>(i), ctxLayerAcc_[i]);
+      ctxLayerAcc_[i] = 0.0;
+    }
+  }
 }
 
 void Scheduler::schedulePump() {
@@ -69,7 +79,7 @@ void Scheduler::schedulePump() {
   sim::Engine& engine = runtime_.engine();
   const sim::Time when =
       std::max(engine.now(), runtime_.processor(pe_).freeAt());
-  engine.at(when, [this] { pump(); });
+  engine.at(when, &Scheduler::pumpThunk, this);
 }
 
 void Scheduler::pump() {
@@ -133,6 +143,7 @@ void Scheduler::pump() {
   }
 
   proc.occupy(t, ctxCharged_);
+  flushLayerTimes();
   ctxActive_ = false;
   runtime_.setCurrentPe(-1);
 

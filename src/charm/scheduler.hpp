@@ -16,6 +16,7 @@
 // (a message arrives, or a one-sided delivery lands) — see DESIGN.md §1 for
 // why this is the DES-safe model of an idle polling loop.
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -23,6 +24,7 @@
 #include "charm/message.hpp"
 #include "sim/engine.hpp"
 #include "sim/processor.hpp"
+#include "util/inplace_fn.hpp"
 
 namespace ckd::charm {
 
@@ -37,12 +39,16 @@ class Scheduler {
   /// Queue a message for entry-method delivery (pays scheduling overhead).
   void enqueue(MessagePtr msg);
 
+  /// System-work closure; sized for the transports' usual captures (`this`
+  /// plus an envelope and a couple of ids) so queuing one never allocates.
+  using SystemFn = util::InplaceFunction<void(), 104>;
+
   /// Queue machine-level work that bypasses the message queue: it runs at
   /// the PE's next free moment and charges `cost` (plus anything `fn`
   /// charges) but no scheduling overhead. `layer` is the runtime tier the
   /// cost is attributed to (rendezvous processing is transport work, DCMF
   /// completions of CkDirect puts are ckdirect work).
-  void enqueueSystemWork(sim::Time cost, std::function<void()> fn,
+  void enqueueSystemWork(sim::Time cost, SystemFn fn,
                          sim::Layer layer = sim::Layer::kTransport);
 
   /// Ask for a pump after `delay` — used to model "the poll loop will
@@ -92,12 +98,19 @@ class Scheduler {
  private:
   struct SystemWork {
     sim::Time cost;
-    std::function<void()> fn;
+    SystemFn fn;
     sim::Layer layer;
   };
 
   void schedulePump();
   void pump();
+  /// Statically bound re-arm thunk: scheduled through the engine's raw
+  /// overload so every pump re-arm is allocation- and closure-free.
+  static void pumpThunk(void* self) { static_cast<Scheduler*>(self)->pump(); }
+  static void pokeThunk(void* self) {
+    static_cast<Scheduler*>(self)->schedulePump();
+  }
+  void flushLayerTimes();
 
   Runtime& runtime_;
   int pe_;
@@ -111,6 +124,9 @@ class Scheduler {
   sim::Time ctxStart_ = 0.0;
   sim::Time ctxCharged_ = 0.0;
   sim::Layer ctxLayer_ = sim::Layer::kApp;
+  /// Per-pump layer-time accumulator, flushed to the TraceRecorder once per
+  /// pump instead of on every charge (batched metric accumulation).
+  std::array<sim::Time, sim::kLayerCount> ctxLayerAcc_{};
 
   std::uint64_t messagesProcessed_ = 0;
   std::uint64_t pumps_ = 0;

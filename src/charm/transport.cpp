@@ -70,10 +70,10 @@ void IbTransport::sendEager(MessagePtr msg) {
     link().post(pairChannel(src, dst), std::move(send));
     return;
   }
-  runtime_.fabric().submit(src, dst, modeledWireBytes(*msg),
-                           net::XferKind::kPacket, [this, msg]() mutable {
-                             runtime_.scheduler(msg->env().dstPe)
-                                 .enqueue(std::move(msg));
+  const std::size_t wireBytes = modeledWireBytes(*msg);
+  runtime_.fabric().submit(src, dst, wireBytes, net::XferKind::kPacket,
+                           [this, dst, msg = std::move(msg)]() mutable {
+                             runtime_.scheduler(dst).enqueue(std::move(msg));
                            });
 }
 
@@ -292,18 +292,18 @@ BgpTransport::BgpTransport(Runtime& runtime, dcmf::DcmfContext& dcmf)
         MessagePtr msg = Message::fromWire({data, bytes});
         runtime_.scheduler(myRank).enqueue(std::move(msg));
       },
-      // Normal messages: provide a buffer; reconstruct + enqueue once the
-      // payload has landed.
+      // Normal messages: land the wire image directly in the message's own
+      // buffer (no staging vector, no fromWire copy of bytes we already
+      // own); parse the header in place once the payload has landed.
       [this](int myRank, int /*srcRank*/, const dcmf::Info& /*info*/,
              std::size_t bytes) {
-        auto buffer = std::make_shared<std::vector<std::byte>>(bytes);
+        MessagePtr landing = Message::makeLanding(bytes);
         dcmf::RecvSpec spec;
-        spec.buffer = buffer->data();
+        spec.buffer = landing->wireMutable().data();
         spec.capacity = bytes;
-        spec.on_complete = [this, myRank, buffer]() {
-          MessagePtr msg = Message::fromWire(
-              {buffer->data(), buffer->size()});
-          runtime_.scheduler(myRank).enqueue(std::move(msg));
+        spec.on_complete = [this, myRank, landing = std::move(landing)]() {
+          landing->adoptHeader();
+          runtime_.scheduler(myRank).enqueue(landing);
         };
         return spec;
       });

@@ -37,6 +37,7 @@
 #include "fault/fault.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "util/inplace_fn.hpp"
 
 namespace ckd::fault {
 
@@ -57,7 +58,10 @@ class WireSender {
   struct Delivery {
     bool corrupted = false;  ///< injector flipped a bit in this copy
   };
-  using DeliverFn = std::function<void(const Delivery&)>;
+  /// Sized to hold the fabric's wrap of a user delivery closure inline (the
+  /// per-message path the pools keep allocation-free); bigger captures fall
+  /// back to the heap transparently.
+  using DeliverFn = util::InplaceFunction<void(const Delivery&), 88>;
 
   virtual ~WireSender() = default;
   /// Submit `wireBytes` of modeled traffic; `onDeliver` runs at delivery

@@ -3,7 +3,32 @@
 #include <cstdio>
 #include <iostream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "sim/engine.hpp"
+#include "util/pool.hpp"
 #include "util/require.hpp"
+
+namespace {
+
+/// Peak resident set size in KiB, 0 where getrusage is unavailable.
+long peakRssKb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024;  // macOS reports bytes
+#else
+    return usage.ru_maxrss;  // Linux reports KiB
+#endif
+  }
+#endif
+  return 0;
+}
+
+}  // namespace
 
 namespace ckd::harness {
 
@@ -21,6 +46,46 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   faultSeed_ = static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
   checkpointPeriod_ = args.getDouble("checkpoint-period", -1.0);
   CKD_REQUIRE(checkpointPeriod_ != 0.0, "--checkpoint-period must be positive");
+
+  // Host-performance baseline: everything in hostJson() is measured relative
+  // to runner construction, so flag parsing and static init stay out of the
+  // events/sec denominator.
+  wallStart_ = std::chrono::steady_clock::now();
+  eventsAtStart_ = sim::Engine::processExecutedEvents();
+  const util::BufferPool::Stats& pool = util::BufferPool::instance().stats();
+  poolHitsAtStart_ = pool.hits;
+  poolMissesAtStart_ = pool.misses;
+  poolReleasesAtStart_ = pool.releases;
+  poolUnpooledAtStart_ = pool.unpooled;
+}
+
+util::JsonValue BenchRunner::hostJson() const {
+  const std::chrono::duration<double, std::milli> wall =
+      std::chrono::steady_clock::now() - wallStart_;
+  const std::uint64_t events =
+      sim::Engine::processExecutedEvents() - eventsAtStart_;
+  const double wallSec = wall.count() / 1000.0;
+  const util::BufferPool& pool = util::BufferPool::instance();
+  const util::BufferPool::Stats& stats = pool.stats();
+
+  util::JsonValue host = util::JsonValue::object();
+  host.set("wall_ms", util::JsonValue(wall.count()));
+  host.set("events_executed",
+           util::JsonValue(static_cast<double>(events)));
+  host.set("events_per_sec",
+           util::JsonValue(wallSec > 0.0 ? static_cast<double>(events) / wallSec
+                                         : 0.0));
+  host.set("peak_rss_kb", util::JsonValue(static_cast<double>(peakRssKb())));
+  host.set("pools_enabled", util::JsonValue(pool.enabled()));
+  host.set("pool_hits", util::JsonValue(static_cast<double>(
+                            stats.hits - poolHitsAtStart_)));
+  host.set("pool_misses", util::JsonValue(static_cast<double>(
+                              stats.misses - poolMissesAtStart_)));
+  host.set("pool_releases", util::JsonValue(static_cast<double>(
+                                stats.releases - poolReleasesAtStart_)));
+  host.set("pool_unpooled", util::JsonValue(static_cast<double>(
+                                stats.unpooled - poolUnpooledAtStart_)));
+  return host;
 }
 
 void BenchRunner::applyFaults(charm::MachineConfig& machine) const {
@@ -70,6 +135,7 @@ void BenchRunner::writeJson() const {
   util::JsonValue doc = util::JsonValue::object();
   doc.set("schema", util::JsonValue("ckd.bench.v1"));
   doc.set("bench", util::JsonValue(name_));
+  doc.set("host", hostJson());
   doc.set("metrics", metrics_);
   util::JsonValue profiles = util::JsonValue::array();
   for (const ProfileReport& report : profiles_) profiles.push(toJson(report));

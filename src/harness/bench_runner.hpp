@@ -24,6 +24,7 @@
 //   ...
 //   return runner.finish();  // prints/writes everything, returns exit code
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -78,11 +79,23 @@ class BenchRunner {
   /// process exit code (0 on success).
   int finish();
 
+  /// Host-performance snapshot since this runner was constructed: wall time,
+  /// events executed by every engine in the process, events/sec, peak RSS,
+  /// and the buffer-pool hit/miss counters. Emitted as the "host" object of
+  /// the ckd.bench.v1 JSON; also what --json consumers chart over time.
+  util::JsonValue hostJson() const;
+
  private:
   void writeJson() const;
   void writeTraceDump() const;
 
   std::string name_;
+  std::chrono::steady_clock::time_point wallStart_;
+  std::uint64_t eventsAtStart_ = 0;
+  std::uint64_t poolHitsAtStart_ = 0;
+  std::uint64_t poolMissesAtStart_ = 0;
+  std::uint64_t poolReleasesAtStart_ = 0;
+  std::uint64_t poolUnpooledAtStart_ = 0;
   bool profile_ = false;
   std::string jsonPath_;
   std::string tracePath_;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "util/pool.hpp"
 #include "util/require.hpp"
 
 namespace ckd::ib {
@@ -178,8 +179,12 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
   if (chunks == 1) {
     // Faithful RC path: all-or-nothing placement at the delivery instant.
     // Copy the payload now so the sender may reuse its buffer after the
-    // local completion (which fires no later than delivery).
-    std::vector<std::byte> payload(src, src + write.bytes);
+    // local completion (which fires no later than delivery). A pooled block
+    // rather than a fresh vector: under port contention the delivery can
+    // fire later than the local completion, so capturing the source pointer
+    // instead of copying would read a recycled buffer.
+    util::PooledBuffer payload(write.bytes);
+    std::memcpy(payload.data(), src, write.bytes);
     auto onLocal = std::move(write.on_local_complete);
     auto onRemote = std::move(write.on_remote_delivered);
     const sim::Time delivered = fabric_.submit(

@@ -102,8 +102,10 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
   trace.record(now, srcPe, sim::TraceTag::kFabricSubmit,
                static_cast<double>(bytes));
   // Stamp the delivery side too, so trace dumps show both ends of a wire.
-  DeliverFn deliver = [this, dstPe, bytes, corrupted = wf.corrupt,
-                       onDeliver = std::move(onDeliver)]() mutable {
+  // Kept as a raw lambda so engine_.at() constructs the composite — user
+  // closure + reliability wrap + this stamp — directly in its event slot.
+  auto deliver = [this, dstPe, bytes, corrupted = wf.corrupt,
+                  onDeliver = std::move(onDeliver)]() mutable {
     engine_.trace().record(engine_.now(), dstPe, sim::TraceTag::kFabricDeliver,
                            static_cast<double>(bytes));
     onDeliver(fault::WireSender::Delivery{corrupted});
@@ -143,9 +145,9 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
     if (wf.drop) return when;  // lost on the wire: nothing ever arrives
     trace.addLayerTime(sim::Layer::kFabric, when - now);
     if (wf.duplicate) {
-      // Ghost copy arrives a beat later (std::function copies the closure,
+      // Ghost copy arrives a beat later (the action copy clones the closure,
       // including any captured payload image).
-      DeliverFn ghost = deliver;
+      auto ghost = deliver;
       engine_.at(when + std::max<sim::Time>(0.1, cls.alpha_us),
                  std::move(ghost));
     }
@@ -164,7 +166,7 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
     // The ghost copy of a bulk message skips the injection port (the
     // duplication happens inside the network, past the NIC) and lands a
     // beat after the contention-free arrival estimate.
-    DeliverFn ghost = deliver;
+    auto ghost = deliver;
     engine_.at(now + ser + wireLatency + std::max<sim::Time>(0.1, cls.alpha_us),
                std::move(ghost));
   }

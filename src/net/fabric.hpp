@@ -42,12 +42,15 @@
 #include "net/cost_params.hpp"
 #include "sim/engine.hpp"
 #include "topo/topology.hpp"
+#include "util/inplace_fn.hpp"
 
 namespace ckd::net {
 
 class Fabric : public fault::WireSender {
  public:
-  using DeliverFn = std::function<void()>;
+  /// Delivery closure. Inline capacity covers the layers' usual captures
+  /// (`this` + a MessagePtr or a few scalars); larger ones heap-allocate.
+  using DeliverFn = util::InplaceFunction<void(), 64>;
 
   Fabric(sim::Engine& engine, topo::TopologyPtr topology, CostParams params);
 

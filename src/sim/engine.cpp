@@ -1,30 +1,50 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
 #include <utility>
 
 namespace ckd::sim {
 
-void Engine::at(Time when, Action action) {
-  CKD_REQUIRE(when >= now_, "cannot schedule an event in the past");
-  CKD_REQUIRE(action != nullptr, "cannot schedule a null action");
-  heap_.push_back(Event{when, nextSeq_++, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+void Engine::siftUp(std::size_t i) {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], entry)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
 }
 
-void Engine::after(Time delay, Action action) {
-  CKD_REQUIRE(delay >= 0.0, "event delay must be non-negative");
-  at(now_ + delay, std::move(action));
+void Engine::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapEntry entry = heap_[i];
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && later(heap_[child], heap_[child + 1])) ++child;
+    if (!later(entry, heap_[child])) break;
+    heap_[i] = heap_[child];
+    i = child;
+  }
+  heap_[i] = entry;
 }
 
 bool Engine::step() {
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  const HeapEntry top = heap_[0];
+  heap_[0] = heap_.back();
   heap_.pop_back();
-  now_ = ev.when;
+  if (!heap_.empty()) siftDown(0);
+
+  now_ = top.when;
   ++executed_;
-  ev.action();
+  ++processExecuted_;
+
+  // Move the action out before running it: the action may schedule new
+  // events, which may recycle this very slot.
+  Action action = std::move(slots_[top.slot]);
+  freeSlots_.push_back(top.slot);
+  action();
   return true;
 }
 

@@ -5,29 +5,77 @@
 // monotone sequence number breaks ties), which makes every simulation run
 // bit-reproducible. The engine is strictly single-threaded; all simulated
 // concurrency (processors, NICs, links) is expressed as events.
+//
+// Hot-path layout: the priority heap holds 24-byte POD entries (when, seq,
+// slot); the closures themselves live in a slab of InplaceAction slots
+// recycled through a free list. Heap sifts therefore move trivially-copyable
+// structs, actions are move-constructed exactly once on entry and once on
+// dispatch, and the common capture sizes never touch the allocator.
 
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
+#include "util/inplace_fn.hpp"
 #include "util/require.hpp"
 
 namespace ckd::sim {
 
+/// Engine event closure. The capacity covers the deepest composite the
+/// runtime builds (the fabric's delivery wrapper holding a reliability-layer
+/// callback, ~128 bytes); larger captures fall back to the heap.
+using InplaceAction = util::InplaceFunction<void(), 152>;
+
 class Engine {
  public:
-  using Action = std::function<void()>;
+  using Action = InplaceAction;
+
+  Engine() {
+    // Pre-size the slab so steady-state scheduling never grows a vector.
+    heap_.reserve(kInitialSlots);
+    slots_.reserve(kInitialSlots);
+    freeSlots_.reserve(kInitialSlots);
+  }
 
   /// Current virtual time. While an event runs, now() is that event's time.
   Time now() const { return now_; }
 
-  /// Schedule `action` at absolute time `when` (must be >= now()).
-  void at(Time when, Action action);
+  /// Schedule a callable at absolute time `when` (must be >= now()). The
+  /// callable is forwarded into its slab slot and constructed there exactly
+  /// once (InplaceFunction's converting assignment), so scheduling a lambda
+  /// never pays an intermediate wrapper move.
+  template <class F, class = std::enable_if_t<
+                         std::is_invocable_v<std::decay_t<F>&>>>
+  void at(Time when, F&& f) {
+    CKD_REQUIRE(when >= now_, "cannot schedule an event in the past");
+    if constexpr (std::is_same_v<std::decay_t<F>, Action>)
+      CKD_REQUIRE(f != nullptr, "cannot schedule a null action");
+    const std::uint32_t slot = acquireSlot(std::forward<F>(f));
+    heap_.push_back(HeapEntry{when, nextSeq_++, slot});
+    siftUp(heap_.size() - 1);
+  }
 
-  /// Schedule `action` `delay` microseconds from now (delay >= 0).
-  void after(Time delay, Action action);
+  /// Raw-thunk overload: schedule `fn(ctx)` without constructing a closure.
+  /// The per-PE schedulers re-arm their pump through this (one statically
+  /// bound member thunk instead of a fresh lambda per pump).
+  void at(Time when, void (*fn)(void*), void* ctx) {
+    CKD_REQUIRE(fn != nullptr, "cannot schedule a null thunk");
+    at(when, Thunk{fn, ctx});
+  }
+
+  /// Schedule a callable `delay` microseconds from now (delay >= 0).
+  template <class F, class = std::enable_if_t<
+                         std::is_invocable_v<std::decay_t<F>&>>>
+  void after(Time delay, F&& f) {
+    CKD_REQUIRE(delay >= 0.0, "event delay must be non-negative");
+    at(now_ + delay, std::forward<F>(f));
+  }
+  void after(Time delay, void (*fn)(void*), void* ctx) {
+    CKD_REQUIRE(delay >= 0.0, "event delay must be non-negative");
+    at(now_ + delay, fn, ctx);
+  }
 
   /// Run one event. Returns false when the queue is empty.
   bool step();
@@ -43,6 +91,11 @@ class Engine {
   std::size_t pendingEvents() const { return heap_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
 
+  /// Events executed by every engine in this process — the numerator of the
+  /// events/sec number harness::BenchRunner reports (bench binaries build
+  /// one engine per run).
+  static std::uint64_t processExecutedEvents() { return processExecuted_; }
+
   /// Abort the current run() / runUntil() loop after the current event.
   void stop() { stopRequested_ = true; }
 
@@ -51,30 +104,51 @@ class Engine {
   const TraceRecorder& trace() const { return trace_; }
 
  private:
-  struct Event {
+  static constexpr std::size_t kInitialSlots = 256;
+
+  struct HeapEntry {
     Time when;
     std::uint64_t seq;
-    Action action;
+    std::uint32_t slot;
   };
-  /// Heap comparator: "a fires later than b". With std::push_heap /
-  /// std::pop_heap this keeps the earliest event at heap_.front().
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Thunk {
+    void (*fn)(void*);
+    void* ctx;
+    void operator()() const { fn(ctx); }
   };
 
-  // Explicit binary heap instead of std::priority_queue: pop_heap moves the
-  // top element to the back, so the action can be moved out with
-  // well-defined behavior (priority_queue::top() is const, and moving
-  // through const_cast is UB-adjacent).
-  std::vector<Event> heap_;
+  /// "a fires later than b": earliest event wins the heap root.
+  static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    return a.seq > b.seq;
+  }
+
+  template <class F>
+  std::uint32_t acquireSlot(F&& f) {
+    if (!freeSlots_.empty()) {
+      const std::uint32_t slot = freeSlots_.back();
+      freeSlots_.pop_back();
+      slots_[slot] = std::forward<F>(f);
+      return slot;
+    }
+    const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back(std::forward<F>(f));
+    return slot;
+  }
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Action> slots_;
+  std::vector<std::uint32_t> freeSlots_;
   Time now_ = kTimeZero;
   std::uint64_t nextSeq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopRequested_ = false;
   TraceRecorder trace_;
+
+  inline static std::uint64_t processExecuted_ = 0;
 };
 
 }  // namespace ckd::sim

@@ -73,9 +73,7 @@ void TraceRecorder::setCapacity(std::size_t cap) {
   capacity_ = cap;
 }
 
-void TraceRecorder::record(Time time, int pe, TraceTag tag, double value) {
-  ++counts_[static_cast<std::size_t>(tag)];
-  if (!enabled_) return;
+void TraceRecorder::append(Time time, int pe, TraceTag tag, double value) {
   ++recorded_;
   if (ring_.size() < capacity_) {
     if (ring_.capacity() == 0) ring_.reserve(capacity_);

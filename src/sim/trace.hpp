@@ -104,8 +104,13 @@ class TraceRecorder {
   std::size_t capacity() const { return capacity_; }
 
   /// Record one trace point. Always updates the per-tag counter; appends to
-  /// the ring only when enabled.
-  void record(Time time, int pe, TraceTag tag, double value = 0.0);
+  /// the ring only when enabled. Inlined so the no-trace configuration pays
+  /// one counter bump and one predictable branch per call — the ring append
+  /// stays out of line.
+  void record(Time time, int pe, TraceTag tag, double value = 0.0) {
+    ++counts_[static_cast<std::size_t>(tag)];
+    if (enabled_) [[unlikely]] append(time, pe, tag, value);
+  }
 
   /// Total record() calls that hit the ring (including overwritten ones).
   std::uint64_t recorded() const { return recorded_; }
@@ -166,6 +171,9 @@ class TraceRecorder {
   std::string toString() const;
 
  private:
+  /// Ring-append slow path of record(); only runs while enabled().
+  void append(Time time, int pe, TraceTag tag, double value);
+
   bool enabled_ = false;
   std::size_t capacity_ = kDefaultCapacity;
   std::size_t head_ = 0;  // next overwrite slot once the ring is full

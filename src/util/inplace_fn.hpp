@@ -1,0 +1,213 @@
+#pragma once
+// InplaceFunction: a std::function replacement for the simulator hot path.
+//
+// The discrete-event core schedules millions of closures per second, and the
+// common capture is tiny (`this` plus a pointer or two). std::function's
+// small-buffer window (16 bytes on libstdc++) misses most of them, so every
+// event used to cost a malloc/free pair. InplaceFunction sizes the inline
+// buffer per use site (the template parameter), falling back to the heap
+// only for captures that genuinely exceed it — correctness never depends on
+// the capacity choice, only throughput.
+//
+// Semantics:
+//  * move-only by default; moving empties the source.
+//  * copyable *if the bound callable is copy-constructible* (the fabric's
+//    duplicate-fault path clones delivery closures). Copying a wrapper bound
+//    to a move-only callable aborts at runtime via CKD_REQUIRE.
+//  * empty wrappers compare equal to nullptr and abort when invoked.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace ckd::util {
+
+template <class Signature, std::size_t Capacity = 48>
+class InplaceFunction;  // undefined; only the R(Args...) partial below exists
+
+template <class R, class... Args, std::size_t Capacity>
+class InplaceFunction<R(Args...), Capacity> {
+  enum class Op { kDestroy, kMove, kCopy };
+  using Invoke = R (*)(void*, Args&&...);
+  /// One manager per bound type handles destroy / move-to / copy-to, so the
+  /// wrapper itself stays two function pointers plus the buffer.
+  using Manage = void (*)(Op, void* self, void* other);
+
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+
+  /// True when callables of type F live in the inline buffer (test hook for
+  /// sizing decisions; heap-fallback types still work, just slower).
+  template <class F>
+  static constexpr bool fitsInline() {
+    using FD = std::decay_t<F>;
+    return sizeof(FD) <= Capacity && alignof(FD) <= kAlign;
+  }
+
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}  // NOLINT: match std::function
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction(F&& f) {  // NOLINT: converting, like std::function
+    construct(std::forward<F>(f));
+  }
+
+  InplaceFunction(InplaceFunction&& other) noexcept { moveFrom(other); }
+
+  InplaceFunction(const InplaceFunction& other) { copyFrom(other); }
+
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(const InplaceFunction& other) {
+    if (this != &other) {
+      reset();
+      copyFrom(other);
+    }
+    return *this;
+  }
+
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InplaceFunction& operator=(F&& f) {
+    reset();
+    construct(std::forward<F>(f));
+    return *this;
+  }
+
+  ~InplaceFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    CKD_REQUIRE(invoke_ != nullptr, "invoking an empty InplaceFunction");
+    return invoke_(storage(), std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  friend bool operator==(const InplaceFunction& f, std::nullptr_t) {
+    return f.invoke_ == nullptr;
+  }
+
+  void reset() {
+    if (invoke_ != nullptr) {
+      manage_(Op::kDestroy, storage(), nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+ private:
+  template <class FD>
+  struct InlineOps {
+    static R invoke(void* s, Args&&... args) {
+      return (*std::launder(static_cast<FD*>(s)))(std::forward<Args>(args)...);
+    }
+    static void manage(Op op, void* self, void* other) {
+      FD* f = std::launder(static_cast<FD*>(self));
+      switch (op) {
+        case Op::kDestroy:
+          f->~FD();
+          break;
+        case Op::kMove:
+          ::new (other) FD(std::move(*f));
+          f->~FD();
+          break;
+        case Op::kCopy:
+          if constexpr (std::is_copy_constructible_v<FD>) {
+            ::new (other) FD(*f);
+          } else {
+            CKD_REQUIRE(false,
+                        "copying an InplaceFunction bound to a move-only "
+                        "callable");
+          }
+          break;
+      }
+    }
+  };
+
+  template <class FD>
+  struct HeapOps {
+    static FD*& slot(void* s) { return *std::launder(static_cast<FD**>(s)); }
+    static R invoke(void* s, Args&&... args) {
+      return (*slot(s))(std::forward<Args>(args)...);
+    }
+    static void manage(Op op, void* self, void* other) {
+      switch (op) {
+        case Op::kDestroy:
+          delete slot(self);
+          break;
+        case Op::kMove:
+          ::new (other) FD*(slot(self));
+          break;
+        case Op::kCopy:
+          if constexpr (std::is_copy_constructible_v<FD>) {
+            ::new (other) FD*(new FD(*slot(self)));
+          } else {
+            CKD_REQUIRE(false,
+                        "copying an InplaceFunction bound to a move-only "
+                        "callable");
+          }
+          break;
+      }
+    }
+  };
+
+  template <class F>
+  void construct(F&& f) {
+    using FD = std::decay_t<F>;
+    if constexpr (fitsInline<F>()) {
+      ::new (storage()) FD(std::forward<F>(f));
+      invoke_ = &InlineOps<FD>::invoke;
+      manage_ = &InlineOps<FD>::manage;
+    } else {
+      static_assert(sizeof(FD*) <= Capacity,
+                    "InplaceFunction capacity below pointer size");
+      ::new (storage()) FD*(new FD(std::forward<F>(f)));
+      invoke_ = &HeapOps<FD>::invoke;
+      manage_ = &HeapOps<FD>::manage;
+    }
+  }
+
+  void moveFrom(InplaceFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.manage_(Op::kMove, other.storage(), storage());
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void copyFrom(const InplaceFunction& other) {
+    if (other.invoke_ == nullptr) return;
+    other.manage_(Op::kCopy, other.storage(), storage());
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+  }
+
+  void* storage() const { return const_cast<std::byte*>(buffer_); }
+
+  alignas(kAlign) std::byte buffer_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace ckd::util

@@ -1,0 +1,80 @@
+#include "util/pool.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+namespace ckd::util {
+
+BufferPool& BufferPool::instance() {
+  static BufferPool pool;
+  return pool;
+}
+
+BufferPool::BufferPool() {
+  const char* env = std::getenv("CKD_POOLS");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0))
+    enabled_ = false;
+}
+
+int BufferPool::classIndex(std::size_t bytes) {
+  if (bytes > kMaxPooledBytes) return -1;
+  const std::size_t cap = std::max(bytes, kMinClassBytes);
+  return static_cast<int>(std::bit_width(cap - 1)) - 6;  // 64 B == class 0
+}
+
+std::size_t BufferPool::classCapacity(std::size_t bytes) {
+  if (bytes > kMaxPooledBytes) return bytes;
+  return std::max<std::size_t>(std::bit_ceil(std::max(bytes, kMinClassBytes)),
+                               kMinClassBytes);
+}
+
+std::byte* BufferPool::acquire(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  const int cls = classIndex(bytes);
+  if (cls < 0) {
+    ++stats_.unpooled;
+    return new std::byte[bytes];
+  }
+  std::vector<std::byte*>& list = free_[static_cast<std::size_t>(cls)];
+  if (enabled_ && !list.empty()) {
+    std::byte* block = list.back();
+    list.pop_back();
+    stats_.cachedBytes -= classCapacity(bytes);
+    ++stats_.hits;
+    return block;
+  }
+  ++stats_.misses;
+  // Always allocate the full class capacity, even while disabled: a block's
+  // geometry must not depend on the enabled state it was acquired under, or
+  // toggling mid-run would seed free lists with undersized blocks.
+  return new std::byte[classCapacity(bytes)];
+}
+
+void BufferPool::release(std::byte* block, std::size_t bytes) {
+  if (block == nullptr) return;
+  ++stats_.releases;
+  const int cls = classIndex(bytes);
+  if (cls >= 0 && enabled_) {
+    std::vector<std::byte*>& list = free_[static_cast<std::size_t>(cls)];
+    if (list.size() < kMaxFreePerClass) {
+      list.push_back(block);
+      stats_.cachedBytes += classCapacity(bytes);
+      return;
+    }
+  }
+  delete[] block;
+}
+
+void BufferPool::trim() {
+  for (std::vector<std::byte*>& list : free_) {
+    for (std::byte* block : list) delete[] block;
+    list.clear();
+    list.shrink_to_fit();
+  }
+  stats_.cachedBytes = 0;
+}
+
+}  // namespace ckd::util

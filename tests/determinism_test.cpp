@@ -1,0 +1,191 @@
+// Determinism A/B: buffer pooling must never change virtual-time results.
+//
+// The pool's contract (util/pool.hpp) is that recycling changes host-side
+// allocation behavior only — same seeds produce byte-identical simulation
+// results with pools on or off. These tests run the two workloads the PR's
+// acceptance gate names — the table1-style CkDirect pingpong and the
+// soak-style crash storm (fail-stop faults + wire storm + rollback) — once
+// with pools enabled and once disabled, and compare every virtual-time
+// observable with exact equality: completion horizons, RTT sums, payload
+// digests, whole stencil fields, and executed-event counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/stencil/stencil.hpp"
+#include "charm/runtime.hpp"
+#include "ckdirect/ckdirect.hpp"
+#include "fault/fault.hpp"
+#include "harness/machines.hpp"
+#include "util/pool.hpp"
+
+namespace {
+
+using namespace ckd;
+
+/// Flip the pool for one run and restore it afterwards, trimming cached
+/// blocks at both edges so runs never see each other's free lists.
+class PoolsGuard {
+ public:
+  explicit PoolsGuard(bool on) : was_(util::BufferPool::instance().enabled()) {
+    util::BufferPool::instance().trim();
+    util::BufferPool::instance().setEnabled(on);
+  }
+  ~PoolsGuard() {
+    util::BufferPool::instance().setEnabled(was_);
+    util::BufferPool::instance().trim();
+  }
+
+ private:
+  bool was_;
+};
+
+std::uint64_t fnv(const void* data, std::size_t bytes,
+                  std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kOob = 0xDEADBEEFCAFEBABEull;
+
+struct PingResult {
+  double totalRtt = 0.0;
+  double horizon = 0.0;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+
+  bool operator==(const PingResult&) const = default;
+};
+
+/// CkDirect pingpong as table1_pingpong_ib drives it, with every received
+/// payload folded into a digest (same scheme as the fault soak).
+PingResult runPingpong(bool pools, std::size_t bytes, int iters) {
+  PoolsGuard guard(pools);
+  charm::Runtime rts(harness::abeMachine(2, 1));
+
+  struct State {
+    std::vector<std::byte> sendA, recvA, sendB, recvB;
+    direct::Handle ab, ba;
+    int remaining = 0;
+    sim::Time sentAt = 0.0;
+    double totalRtt = 0.0;
+    std::uint64_t digest = 1469598103934665603ull;
+  };
+  auto st = std::make_shared<State>();
+  st->sendA.assign(bytes, std::byte{0x11});
+  st->recvA.assign(bytes, std::byte{0});
+  st->sendB.assign(bytes, std::byte{0x22});
+  st->recvB.assign(bytes, std::byte{0});
+  st->remaining = iters;
+
+  st->ab = direct::createHandle(rts, 1, st->recvB.data(), bytes, kOob, [st]() {
+    st->digest = fnv(st->recvB.data(), st->recvB.size(), st->digest);
+    direct::ready(st->ab);
+    direct::put(st->ba);
+  });
+  st->ba = direct::createHandle(
+      rts, 0, st->recvA.data(), bytes, kOob, [st, &rts]() {
+        st->digest = fnv(st->recvA.data(), st->recvA.size(), st->digest);
+        st->totalRtt += rts.scheduler(0).currentTime() - st->sentAt;
+        direct::ready(st->ba);
+        if (--st->remaining > 0) {
+          st->sentAt = rts.scheduler(0).currentTime();
+          direct::put(st->ab);
+        }
+      });
+  direct::assocLocal(st->ab, 0, st->sendA.data());
+  direct::assocLocal(st->ba, 1, st->sendB.data());
+
+  rts.seed([st]() {
+    st->sentAt = 0.0;
+    direct::put(st->ab);
+  });
+  rts.run();
+
+  PingResult result;
+  result.totalRtt = st->totalRtt;
+  result.horizon = rts.now();
+  result.digest = st->digest;
+  result.events = rts.engine().executedEvents();
+  return result;
+}
+
+struct StencilResult {
+  double horizon = 0.0;
+  std::uint64_t events = 0;
+  std::vector<double> field;
+
+  bool operator==(const StencilResult&) const = default;
+};
+
+/// CkDirect stencil, optionally under a seeded fault plan (crash storm).
+StencilResult runStencil(bool pools, int iters, const std::string& faultSpec,
+                         std::uint64_t faultSeed, double checkpointPeriod) {
+  PoolsGuard guard(pools);
+  charm::MachineConfig machine = harness::t3Machine(8, 4);
+  if (!faultSpec.empty()) {
+    machine.faults = fault::parseFaultSpec(faultSpec);
+    machine.faultSeed = faultSeed;
+    if (checkpointPeriod > 0.0) machine.checkpointPeriod_us = checkpointPeriod;
+  }
+  charm::Runtime rts(machine);
+  apps::stencil::Config cfg;
+  cfg.gx = 32;
+  cfg.gy = 32;
+  cfg.gz = 16;
+  cfg.cx = cfg.cy = cfg.cz = 2;
+  cfg.iterations = iters;
+  cfg.mode = apps::stencil::Mode::kCkDirect;
+  cfg.real_compute = true;
+  apps::stencil::StencilApp app(rts, cfg);
+  app.execute();
+
+  StencilResult result;
+  result.horizon = rts.now();
+  result.events = rts.engine().executedEvents();
+  result.field = app.gatherField();
+  return result;
+}
+
+TEST(PoolDeterminism, PingpongIsByteIdenticalWithPoolsOff) {
+  const PingResult on = runPingpong(/*pools=*/true, 4096, 60);
+  const PingResult off = runPingpong(/*pools=*/false, 4096, 60);
+  EXPECT_EQ(on, off);
+  EXPECT_GT(on.totalRtt, 0.0);
+  EXPECT_GT(on.events, 0u);
+  // The doubles must match to the bit, not merely within a tolerance.
+  EXPECT_EQ(std::memcmp(&on.totalRtt, &off.totalRtt, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&on.horizon, &off.horizon, sizeof(double)), 0);
+}
+
+TEST(PoolDeterminism, CrashStormIsByteIdenticalWithPoolsOff) {
+  // Place two fail-stop crashes relative to the fault-free horizon, exactly
+  // like bench/soak_faults.cpp does, then A/B the faulted run.
+  const StencilResult clean = runStencil(/*pools=*/true, 12, "", 0, -1.0);
+  ASSERT_GT(clean.horizon, 0.0);
+  const std::string spec =
+      "pe_crash@" + std::to_string(0.70 * clean.horizon) + ",pe_crash@" +
+      std::to_string(0.90 * clean.horizon);
+  const double ckptPeriod = clean.horizon / 10.0;
+
+  const StencilResult on = runStencil(/*pools=*/true, 12, spec, 1, ckptPeriod);
+  const StencilResult off =
+      runStencil(/*pools=*/false, 12, spec, 1, ckptPeriod);
+  EXPECT_EQ(on, off);
+  ASSERT_FALSE(on.field.empty());
+  // The recovered field also matches the fault-free run (no divergence).
+  EXPECT_EQ(on.field, clean.field);
+  // The crash run really did more work than the clean run.
+  EXPECT_GT(on.horizon, clean.horizon);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// BufferPool / PooledBuffer / PoolAllocator unit tests.
+//
+// The pool backs every charm::Message wire image on the simulator hot path,
+// so these tests pin down the two properties the rest of the repo leans on:
+// size-class recycling actually reuses blocks (the allocation-free steady
+// state), and the CKD_POOLS escape hatch changes only caching, never block
+// geometry (the determinism contract).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/pool.hpp"
+
+namespace {
+
+using ckd::util::BufferPool;
+using ckd::util::PoolAllocator;
+using ckd::util::PooledBuffer;
+
+/// Every test runs against the process-wide singleton; start from a clean,
+/// enabled pool and leave it that way for whoever runs next.
+class PoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    BufferPool& pool = BufferPool::instance();
+    pool.setEnabled(true);
+    pool.trim();
+    pool.resetStats();
+  }
+  void TearDown() override {
+    BufferPool& pool = BufferPool::instance();
+    pool.setEnabled(true);
+    pool.trim();
+    pool.resetStats();
+  }
+};
+
+TEST_F(PoolTest, ClassCapacityRoundsUpToPowersOfTwo) {
+  EXPECT_EQ(BufferPool::classCapacity(1), 64u);
+  EXPECT_EQ(BufferPool::classCapacity(64), 64u);
+  EXPECT_EQ(BufferPool::classCapacity(65), 128u);
+  EXPECT_EQ(BufferPool::classCapacity(180), 256u);
+  EXPECT_EQ(BufferPool::classCapacity(4096), 4096u);
+  EXPECT_EQ(BufferPool::classCapacity(4097), 8192u);
+  EXPECT_EQ(BufferPool::classCapacity(4u << 20), 4u << 20);
+  // Oversized requests are served exact-sized, not rounded.
+  EXPECT_EQ(BufferPool::classCapacity((4u << 20) + 1), (4u << 20) + 1);
+}
+
+TEST_F(PoolTest, AcquireZeroReturnsNull) {
+  BufferPool& pool = BufferPool::instance();
+  EXPECT_EQ(pool.acquire(0), nullptr);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+TEST_F(PoolTest, SameClassReusesTheBlock) {
+  BufferPool& pool = BufferPool::instance();
+  std::byte* first = pool.acquire(100);
+  ASSERT_NE(first, nullptr);
+  pool.release(first, 100);
+  // 100 and 120 share the 128-byte class, so the freed block comes back.
+  std::byte* second = pool.acquire(120);
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  pool.release(second, 120);
+}
+
+TEST_F(PoolTest, DistinctClassesDoNotShareBlocks) {
+  BufferPool& pool = BufferPool::instance();
+  std::byte* small = pool.acquire(64);
+  pool.release(small, 64);
+  std::byte* large = pool.acquire(4096);
+  EXPECT_EQ(pool.stats().hits, 0u);  // 4 KB class was empty
+  pool.release(large, 4096);
+}
+
+TEST_F(PoolTest, OversizedBlocksAreNeverCached) {
+  BufferPool& pool = BufferPool::instance();
+  const std::size_t big = (4u << 20) + 1;
+  std::byte* block = pool.acquire(big);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(pool.stats().unpooled, 1u);
+  pool.release(block, big);
+  EXPECT_EQ(pool.stats().cachedBytes, 0u);
+  // A second acquire allocates afresh rather than hitting a free list.
+  std::byte* again = pool.acquire(big);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  pool.release(again, big);
+}
+
+TEST_F(PoolTest, DisabledPoolKeepsGeometryButStopsCaching) {
+  BufferPool& pool = BufferPool::instance();
+  pool.setEnabled(false);
+  std::byte* first = pool.acquire(100);
+  ASSERT_NE(first, nullptr);
+  // The block is still class-capacity sized: writing the full 128-byte
+  // class must be in bounds (ASan would flag this if geometry changed).
+  std::memset(first, 0xA5, BufferPool::classCapacity(100));
+  pool.release(first, 100);
+  EXPECT_EQ(pool.stats().cachedBytes, 0u);
+  std::byte* second = pool.acquire(100);
+  EXPECT_EQ(pool.stats().hits, 0u);  // nothing was cached
+  pool.release(second, 100);
+}
+
+TEST_F(PoolTest, RecycledContentsAreWritable) {
+  // ASan-clean recycling: a block that goes through several
+  // acquire/release rounds stays fully writable at class capacity.
+  BufferPool& pool = BufferPool::instance();
+  for (int round = 0; round < 4; ++round) {
+    std::byte* block = pool.acquire(200);
+    std::memset(block, round, BufferPool::classCapacity(200));
+    pool.release(block, 200);
+  }
+  EXPECT_EQ(pool.stats().hits, 3u);
+}
+
+TEST_F(PoolTest, FreeListIsBounded) {
+  BufferPool& pool = BufferPool::instance();
+  std::vector<std::byte*> blocks;
+  const std::size_t n = BufferPool::kMaxFreePerClass + 100;
+  blocks.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) blocks.push_back(pool.acquire(64));
+  for (std::byte* b : blocks) pool.release(b, 64);
+  EXPECT_EQ(pool.stats().releases, n);
+  EXPECT_EQ(pool.stats().cachedBytes, BufferPool::kMaxFreePerClass * 64);
+}
+
+TEST_F(PoolTest, TrimDropsEveryCachedBlock) {
+  BufferPool& pool = BufferPool::instance();
+  for (int i = 0; i < 8; ++i) pool.release(pool.acquire(256), 256);
+  EXPECT_GT(pool.stats().cachedBytes, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cachedBytes, 0u);
+  // Blocks handed out after a trim are fresh, not dangling.
+  std::byte* block = pool.acquire(256);
+  std::memset(block, 0x5A, 256);
+  pool.release(block, 256);
+}
+
+TEST_F(PoolTest, PooledBufferMoveTransfersOwnership) {
+  PooledBuffer a(100);
+  std::byte* raw = a.data();
+  ASSERT_NE(raw, nullptr);
+  PooledBuffer b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move): testing it
+  PooledBuffer c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), raw);
+  c.reset();
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(BufferPool::instance().stats().releases, 1u);
+}
+
+TEST_F(PoolTest, PoolAllocatorRoundTripsThroughSharedPtr) {
+  BufferPool& pool = BufferPool::instance();
+  void* firstBlock = nullptr;
+  {
+    auto p = std::allocate_shared<int>(PoolAllocator<int>{}, 42);
+    EXPECT_EQ(*p, 42);
+    firstBlock = p.get();
+  }
+  // Object + control block came back to the pool; the next same-shape
+  // allocation recycles that block.
+  const std::uint64_t hitsBefore = pool.stats().hits;
+  auto q = std::allocate_shared<int>(PoolAllocator<int>{}, 7);
+  EXPECT_GT(pool.stats().hits, hitsBefore);
+  (void)firstBlock;
+}
+
+}  // namespace
