@@ -1,0 +1,255 @@
+// Offline analyzer for ckd.trace.v1 dumps (BenchRunner --trace-dump).
+// Rebuilds the causal chains recorded by the runtime's span tracing and
+// prints, per run:
+//
+//   * the critical path (parent-link walk from the latest completed chain),
+//     hop by hop, and its span vs the run's measured horizon;
+//   * mean put->callback and send->deliver latency with the exact-sum
+//     queue/wire/poll/handler split;
+//   * the top-k slowest chains (--top N, default 5);
+//   * per-layer log2 latency histograms over all completed chains.
+//
+// Usage:
+//   trace_analyze <dump.json> [--run <glob>] [--top N]
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/trace_export.hpp"
+#include "sim/causal.hpp"
+#include "sim/trace.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using ckd::sim::CausalChain;
+using ckd::sim::CausalGraph;
+using ckd::sim::LatencySummary;
+using ckd::sim::TraceEvent;
+
+ckd::sim::TraceEvent eventFromJson(const ckd::util::JsonValue& obj) {
+  TraceEvent ev;
+  ev.time = obj.at("t").asNumber();
+  ev.pe = static_cast<std::int32_t>(obj.at("pe").asNumber());
+  ev.tag = ckd::sim::traceTagFromName(obj.at("tag").asString());
+  CKD_REQUIRE(ev.tag != ckd::sim::TraceTag::kCount,
+              "trace dump contains an unknown tag name");
+  if (const auto* v = obj.find("v")) ev.value = v->asNumber();
+  if (const auto* id = obj.find("id"))
+    ev.id = static_cast<std::uint64_t>(id->asNumber());
+  if (const auto* parent = obj.find("parent"))
+    ev.parent = static_cast<std::uint64_t>(parent->asNumber());
+  if (const auto* aux = obj.find("aux"))
+    ev.aux = static_cast<std::int32_t>(aux->asNumber());
+  if (const auto* ph = obj.find("ph"))
+    ev.phase = ph->asString() == "b" ? ckd::sim::SpanPhase::kBegin
+                                     : ckd::sim::SpanPhase::kEnd;
+  return ev;
+}
+
+std::string chainLabel(const CausalChain& c) {
+  std::string kind = c.kind != ckd::sim::TraceTag::kCount
+                         ? std::string(ckd::sim::traceTagName(c.kind))
+                         : std::string("?");
+  if (c.channel >= 0) kind += "#" + std::to_string(c.channel);
+  return kind;
+}
+
+void printSummary(const char* name, const LatencySummary& s) {
+  if (s.count == 0) return;
+  std::printf(
+      "  %-18s %6zu chains  mean %9.3f us  = queue %.3f + wire %.3f + "
+      "poll %.3f + handler %.3f\n",
+      name, s.count, s.mean.total_us, s.mean.queue_us, s.mean.wire_us,
+      s.mean.poll_us, s.mean.handler_us);
+}
+
+/// Log2 buckets over microseconds: bucket 0 is <= 1/32 us, each next bucket
+/// doubles, the last is open-ended (>= 1024 us).
+constexpr std::size_t kHistBuckets = 16;
+
+std::size_t histBucket(double us) {
+  double upper = 1.0 / 32.0;
+  for (std::size_t i = 0; i + 1 < kHistBuckets; ++i) {
+    if (us <= upper) return i;
+    upper *= 2.0;
+  }
+  return kHistBuckets - 1;
+}
+
+std::string histBucketLabel(std::size_t i) {
+  const double upper = (1.0 / 32.0) * static_cast<double>(1u << i);
+  std::ostringstream out;
+  if (i + 1 == kHistBuckets)
+    out << ">=" << ckd::util::formatFixed(upper / 2.0, 0);
+  else if (upper < 1.0)
+    out << "<=" << ckd::util::formatFixed(upper, 3);
+  else
+    out << "<=" << ckd::util::formatFixed(upper, 0);
+  return out.str();
+}
+
+void printHistogram(const char* name, const std::vector<double>& samples) {
+  if (samples.empty()) return;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+  for (const double us : samples) ++buckets[histBucket(us)];
+  std::printf("  %-10s", name);
+  for (std::size_t i = 0; i < kHistBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    std::printf("  [%s us]=%llu", histBucketLabel(i).c_str(),
+                static_cast<unsigned long long>(buckets[i]));
+  }
+  std::printf("\n");
+}
+
+void analyzeRun(const std::string& run, const std::vector<TraceEvent>& events,
+                double horizonUs, std::size_t topK) {
+  const CausalGraph graph(events);
+  std::size_t completed = 0;
+  for (const CausalChain& c : graph.chains()) completed += c.complete;
+  std::printf("run \"%s\": %zu events, %zu chains (%zu completed)\n",
+              run.c_str(), events.size(), graph.chains().size(), completed);
+
+  const std::vector<CausalChain> path = graph.criticalPath();
+  if (!path.empty()) {
+    ckd::util::TablePrinter table;
+    table.setTitle("  critical path (root first)");
+    table.setHeader({"hop", "id", "kind", "src->dst", "start_us", "end_us",
+                     "total_us", "queue", "wire", "poll", "handler"});
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const CausalChain& c = path[i];
+      const auto b = c.breakdown();
+      table.addRow({std::to_string(i), std::to_string(c.id), chainLabel(c),
+                    std::to_string(c.srcPe) + "->" + std::to_string(c.dstPe),
+                    ckd::util::formatFixed(c.start, 3),
+                    ckd::util::formatFixed(c.end, 3),
+                    ckd::util::formatFixed(b.total_us, 3),
+                    ckd::util::formatFixed(b.queue_us, 3),
+                    ckd::util::formatFixed(b.wire_us, 3),
+                    ckd::util::formatFixed(b.poll_us, 3),
+                    ckd::util::formatFixed(b.handler_us, 3)});
+    }
+    std::cout << table.toString();
+    const double span = graph.criticalPathSpan();
+    std::printf("  critical path: %zu hops, %.3f us", path.size(), span);
+    if (horizonUs > 0.0)
+      std::printf("  (horizon %.3f us, coverage %.2f%%)", horizonUs,
+                  100.0 * span / horizonUs);
+    std::printf("\n");
+  } else {
+    std::printf("  critical path: none (no completed chains)\n");
+  }
+
+  printSummary("put latency", graph.putLatency());
+  printSummary("msg latency", graph.messageLatency());
+
+  const std::vector<CausalChain> slow = graph.slowestChains(topK);
+  if (!slow.empty()) {
+    std::printf("  slowest chains:\n");
+    for (const CausalChain& c : slow) {
+      const auto b = c.breakdown();
+      std::printf(
+          "    id %-8llu %-16s %d->%d  total %9.3f us  (queue %.3f, wire "
+          "%.3f, poll %.3f, handler %.3f, attempts %d)\n",
+          static_cast<unsigned long long>(c.id), chainLabel(c).c_str(),
+          c.srcPe, c.dstPe, b.total_us, b.queue_us, b.wire_us, b.poll_us,
+          b.handler_us, c.attempts);
+    }
+  }
+
+  std::vector<double> queue, wire, poll, handler, total;
+  for (const CausalChain& c : graph.chains()) {
+    if (!c.complete) continue;
+    const auto b = c.breakdown();
+    queue.push_back(b.queue_us);
+    wire.push_back(b.wire_us);
+    poll.push_back(b.poll_us);
+    handler.push_back(b.handler_us);
+    total.push_back(b.total_us);
+  }
+  if (!total.empty()) {
+    std::printf("  span histograms (log2 buckets):\n");
+    printHistogram("queue", queue);
+    printHistogram("wire", wire);
+    printHistogram("poll", poll);
+    printHistogram("handler", handler);
+    printHistogram("total", total);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ckd;
+  util::Args args(argc, argv);
+  std::string path = args.get("in", "");
+  if (path.empty() && !args.positional().empty()) path = args.positional()[0];
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <dump.json> [--run <glob>] [--top N]\n"
+                 "  dump.json: a ckd.trace.v1 file from --trace-dump\n",
+                 args.program().c_str());
+    return 2;
+  }
+  const std::string runGlob = args.get("run", "*");
+  const auto topK = static_cast<std::size_t>(args.getInt("top", 5));
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_analyze: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const util::JsonValue doc = util::JsonValue::parse(buf.str());
+  CKD_REQUIRE(doc.at("schema").asString() == "ckd.trace.v1",
+              "input is not a ckd.trace.v1 dump");
+  std::printf("trace_analyze: %s (bench \"%s\")\n", path.c_str(),
+              doc.at("bench").asString().c_str());
+
+  // Per-run horizons landed in the dump alongside the events (older dumps
+  // lack the array; the coverage line is simply omitted then).
+  std::map<std::string, double> horizons;
+  if (const util::JsonValue* runs = doc.find("runs")) {
+    for (std::size_t i = 0; i < runs->size(); ++i) {
+      const util::JsonValue& r = runs->at(i);
+      horizons[r.at("label").asString()] = r.at("horizon_us").asNumber();
+    }
+  }
+
+  // Group events by run, preserving first-appearance order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<sim::TraceEvent>> byRun;
+  const util::JsonValue& events = doc.at("events");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::JsonValue& obj = events.at(i);
+    const std::string& run = obj.at("run").asString();
+    if (!harness::TraceFilter::globMatch(runGlob, run)) continue;
+    auto [it, inserted] = byRun.try_emplace(run);
+    if (inserted) order.push_back(run);
+    it->second.push_back(eventFromJson(obj));
+  }
+  if (byRun.empty()) {
+    std::fprintf(stderr, "trace_analyze: no events match --run %s\n",
+                 runGlob.c_str());
+    return 1;
+  }
+
+  for (const std::string& run : order) {
+    const auto horizon = horizons.find(run);
+    analyzeRun(run, byRun[run],
+               horizon != horizons.end() ? horizon->second : 0.0, topK);
+  }
+  return 0;
+}

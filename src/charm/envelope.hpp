@@ -41,6 +41,12 @@ struct Envelope {
   /// whose epoch predates the runtime's (stale traffic from before a
   /// fail-stop recovery must not land in rolled-back state).
   std::uint32_t epoch = 0;
+  /// Causal chain id minted at send time (sim::TraceRecorder::mintId); 0
+  /// until minted. Retransmits and duplicates of the same logical message
+  /// carry the same id — one chain, N attempts.
+  std::uint64_t traceId = 0;
+  /// Chain id of the handler that sent this message (0 for root sends).
+  std::uint64_t parentTraceId = 0;
 
   static constexpr std::uint32_t kMagic = 0xC4A23u;
 };

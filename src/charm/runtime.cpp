@@ -163,6 +163,12 @@ void Runtime::sendMessage(MessagePtr msg) {
   CKD_REQUIRE(env.dstPe >= 0 && env.dstPe < numPes(), "bad destination PE");
   env.seq = nextSeq_++;
   env.epoch = epoch_;
+  if (env.traceId == 0) {
+    // Mint the causal chain id once per logical message; retransmits and
+    // forwarded copies that already carry one keep it.
+    env.traceId = engine_.trace().mintId();
+    env.parentTraceId = engine_.trace().context();
+  }
   ++messagesSent_;
 
   Scheduler& src = scheduler(env.srcPe);
@@ -197,6 +203,8 @@ void Runtime::enqueueLocalUser(ArrayId array, std::int64_t index,
   env.entry = entry;
   env.seq = nextSeq_++;
   env.epoch = epoch_;
+  env.traceId = engine_.trace().mintId();
+  env.parentTraceId = engine_.trace().context();
   scheduler(pe).enqueue(Message::make(env, payload));
 }
 
@@ -262,6 +270,10 @@ void Runtime::handleBroadcast(Message& msg) {
     Envelope fwd = env;
     fwd.srcPe = env.dstPe;
     fwd.dstPe = rec.hostPes[static_cast<std::size_t>(childPos)];
+    // Each tree hop is its own causal chain, parented on the arriving copy
+    // (the delivery context), so the fan-out shows up as a DAG, not one id.
+    fwd.traceId = 0;
+    fwd.parentTraceId = 0;
     sendMessage(Message::make(fwd, msg.payload()));
   }
   for (std::int64_t index : rec.onPe[static_cast<std::size_t>(env.dstPe)])

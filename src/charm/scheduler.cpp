@@ -130,8 +130,10 @@ void Scheduler::pump() {
     MessagePtr msg = std::move(messages_.front());
     messages_.pop_front();
     ++messagesProcessed_;
-    trace.record(t, pe_, sim::TraceTag::kSchedDeliver,
-                 static_cast<double>(msg->payloadBytes()));
+    const Envelope& env = msg->env();
+    trace.recordSpan(t, pe_, sim::TraceTag::kSchedDeliver,
+                     sim::SpanPhase::kEnd, env.traceId, env.parentTraceId,
+                     static_cast<double>(msg->payloadBytes()));
     const RuntimeCosts& costs = runtime_.costs();
     // Envelope handling, scheduling, and the receive-side copy are
     // scheduler time; the handler body itself charges as application time.
@@ -139,11 +141,19 @@ void Scheduler::pump() {
              costs.recv_overhead_us + costs.sched_overhead_us +
                  costs.recv_copy_per_byte_us *
                      static_cast<double>(msg->payloadBytes()));
+    // Sends minted inside the handler are caused by this message: expose its
+    // chain id as the ambient causal context for the handler body.
+    const std::uint64_t prevCtx = trace.context();
+    trace.setContext(env.traceId);
     runtime_.deliver(*msg);
+    trace.setContext(prevCtx);
   }
 
   proc.occupy(t, ctxCharged_);
   flushLayerTimes();
+  if (ctxCharged_ > 0.0)
+    trace.record(t + ctxCharged_, pe_, sim::TraceTag::kSchedPumpDone,
+                 ctxCharged_);
   ctxActive_ = false;
   runtime_.setCurrentPe(-1);
 

@@ -47,9 +47,11 @@ void IbTransport::sendEager(MessagePtr msg) {
   ++eagerSends_;
   const int src = msg->env().srcPe;
   const int dst = msg->env().dstPe;
-  runtime_.engine().trace().record(runtime_.engine().now(), src,
-                                   sim::TraceTag::kXportEager,
-                                   static_cast<double>(msg->payloadBytes()));
+  const std::uint64_t traceId = msg->env().traceId;
+  runtime_.engine().trace().recordSpan(
+      runtime_.engine().now(), src, sim::TraceTag::kXportEager,
+      sim::SpanPhase::kBegin, traceId, msg->env().parentTraceId,
+      static_cast<double>(msg->payloadBytes()));
   if (reliableActive()) {
     // Under faults the eager path ships the real wire image through the
     // reliable link: a corrupted copy fails its checksum and is
@@ -67,14 +69,17 @@ void IbTransport::sendEager(MessagePtr msg) {
       MessagePtr rebuilt = Message::fromWire({image.data(), image.size()});
       runtime_.scheduler(dst).enqueue(std::move(rebuilt));
     };
+    send.traceId = traceId;
     link().post(pairChannel(src, dst), std::move(send));
     return;
   }
   const std::size_t wireBytes = modeledWireBytes(*msg);
-  runtime_.fabric().submit(src, dst, wireBytes, net::XferKind::kPacket,
-                           [this, dst, msg = std::move(msg)]() mutable {
-                             runtime_.scheduler(dst).enqueue(std::move(msg));
-                           });
+  runtime_.fabric().submit(
+      src, dst, wireBytes, net::XferKind::kPacket,
+      [this, dst, msg = std::move(msg)]() mutable {
+        runtime_.scheduler(dst).enqueue(std::move(msg));
+      },
+      traceId);
 }
 
 void IbTransport::sendRendezvous(MessagePtr msg) {
@@ -83,8 +88,9 @@ void IbTransport::sendRendezvous(MessagePtr msg) {
   const std::uint64_t seq = env.seq;
   CKD_REQUIRE(pendingSends_.count(seq) == 0, "duplicate rendezvous sequence");
   const sim::Time now = runtime_.engine().now();
-  runtime_.engine().trace().record(now, env.srcPe, sim::TraceTag::kXportRtsSend,
-                                   static_cast<double>(env.payloadBytes));
+  runtime_.engine().trace().recordSpan(
+      now, env.srcPe, sim::TraceTag::kXportRtsSend, sim::SpanPhase::kBegin,
+      env.traceId, env.parentTraceId, static_cast<double>(env.payloadBytes));
   PendingSend pending;
   pending.msg = std::move(msg);
   pending.rtsAt = now;
@@ -103,12 +109,13 @@ void IbTransport::sendRendezvous(MessagePtr msg) {
     ctrl.on_deliver = [this, seq, env](std::vector<std::byte>&&) {
       onRendezvousRequest(seq, env);
     };
+    ctrl.traceId = env.traceId;
     link().post(pairChannel(env.srcPe, env.dstPe), std::move(ctrl));
     return;
   }
   runtime_.fabric().submit(
       env.srcPe, env.dstPe, kControlBytes, net::XferKind::kControl,
-      [this, seq, env]() { onRendezvousRequest(seq, env); });
+      [this, seq, env]() { onRendezvousRequest(seq, env); }, env.traceId);
 }
 
 void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
@@ -116,9 +123,10 @@ void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
   // memory registration are machine-level work on the receiving PE; the
   // cost grows slowly with the message size (paper §3, rendezvous analysis).
   const RuntimeCosts& costs = runtime_.costs();
-  runtime_.engine().trace().record(runtime_.engine().now(), env.dstPe,
-                                   sim::TraceTag::kXportRtsRecv,
-                                   static_cast<double>(env.payloadBytes));
+  runtime_.engine().trace().recordSpan(
+      runtime_.engine().now(), env.dstPe, sim::TraceTag::kXportRtsRecv,
+      sim::SpanPhase::kInstant, env.traceId, 0,
+      static_cast<double>(env.payloadBytes));
   const sim::Time regCost =
       costs.rendezvous_reg_base_us +
       costs.rendezvous_reg_per_byte_us * static_cast<double>(env.payloadBytes);
@@ -143,6 +151,7 @@ void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
                            region](std::vector<std::byte>&&) {
           onRendezvousAck(seq, remoteAddr, region);
         };
+        ctrl.traceId = env.traceId;
         link().post(pairChannel(env.dstPe, env.srcPe), std::move(ctrl));
         return;
       }
@@ -150,7 +159,8 @@ void IbTransport::onRendezvousRequest(std::uint64_t seq, Envelope env) {
           env.dstPe, env.srcPe, kControlBytes, net::XferKind::kControl,
           [this, seq, remoteAddr, region]() {
             onRendezvousAck(seq, remoteAddr, region);
-          });
+          },
+          env.traceId);
     });
   });
 }
@@ -179,7 +189,8 @@ void IbTransport::onRendezvousAck(std::uint64_t seq, void* remoteAddr,
   MessagePtr msg = it->second.msg;  // keep alive until the RDMA completes
   const int src = msg->env().srcPe;
   sim::TraceRecorder& trace = runtime_.engine().trace();
-  trace.record(runtime_.engine().now(), src, sim::TraceTag::kXportAck);
+  trace.recordSpan(runtime_.engine().now(), src, sim::TraceTag::kXportAck,
+                   sim::SpanPhase::kInstant, msg->env().traceId);
   trace.observeRendezvousRtt(runtime_.engine().now() - it->second.rtsAt);
   runtime_.scheduler(src).enqueueSystemWork(
       kAckProcessUs, [this, seq, msg, remoteAddr, remoteRegion]() {
@@ -231,6 +242,7 @@ void IbTransport::postPayloadWrite(std::uint64_t seq) {
     pendingSends_.erase(pit);
   };
   write.on_remote_delivered = [this, seq]() { onRdmaDelivered(seq); };
+  write.trace_id = pending.msg->env().traceId;
   if (reliableActive())
     write.on_error = [this, seq](fault::WcStatus status) {
       onRdmaError(seq, status);
@@ -271,9 +283,10 @@ void IbTransport::onRdmaDelivered(std::uint64_t seq) {
   CKD_REQUIRE(it != pendingRecvs_.end(), "RDMA delivery for unknown recv");
   PendingRecv recv = std::move(it->second);
   pendingRecvs_.erase(it);
-  runtime_.engine().trace().record(
+  runtime_.engine().trace().recordSpan(
       runtime_.engine().now(), recv.landing->env().dstPe,
-      sim::TraceTag::kXportRdmaDelivered,
+      sim::TraceTag::kXportRdmaDelivered, sim::SpanPhase::kInstant,
+      recv.landing->env().traceId, 0,
       static_cast<double>(recv.landing->payloadBytes()));
   verbs_.deregisterMemory(recv.region);
   runtime_.scheduler(recv.landing->env().dstPe).enqueue(std::move(recv.landing));
@@ -337,9 +350,10 @@ void BgpTransport::reset() {
 void BgpTransport::send(MessagePtr msg) {
   ++sends_;
   msg->sealHeader();
-  runtime_.engine().trace().record(runtime_.engine().now(), msg->env().srcPe,
-                                   sim::TraceTag::kXportBgpSend,
-                                   static_cast<double>(msg->payloadBytes()));
+  runtime_.engine().trace().recordSpan(
+      runtime_.engine().now(), msg->env().srcPe, sim::TraceTag::kXportBgpSend,
+      sim::SpanPhase::kBegin, msg->env().traceId, msg->env().parentTraceId,
+      static_cast<double>(msg->payloadBytes()));
   post(std::move(msg), 0);
 }
 
@@ -366,7 +380,8 @@ void BgpTransport::post(MessagePtr msg, int attempts) {
                    rel.timeout_us, [this, msg, attempts]() mutable {
                      post(std::move(msg), attempts + 1);
                    });
-             });
+             },
+             msg->env().traceId);
 }
 
 }  // namespace ckd::charm

@@ -105,6 +105,10 @@ void BgpManager::put(std::int32_t handle) {
   charm::Scheduler& sender = rts_.scheduler(ch.sendPe);
   sender.chargeAs(sim::Layer::kCkDirect, rts_.costs().put_issue_us);
   const sim::Time issue = sender.currentTime();
+  // One chain per logical put; transparent retries re-use it (N attempts,
+  // one chain). The parent is whatever handler called CkDirect_put.
+  ch.activeTraceId = rts_.engine().trace().mintId();
+  ch.activeParentId = rts_.engine().trace().context();
 
   const std::uint32_t epoch = epoch_;
   rts_.engine().at(issue, [this, handle, epoch]() {
@@ -118,9 +122,10 @@ void BgpManager::issueSend(std::int32_t handle) {
   // Receiver (or sender) died mid-iteration: drop the put silently — the
   // rollback rewinds the sender past this point and re-drives it.
   if (!rts_.peAlive(ch.recvPe) || !rts_.peAlive(ch.sendPe)) return;
-  rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
-                               sim::TraceTag::kDirectPut,
-                               static_cast<double>(ch.bytes));
+  rts_.engine().trace().recordSpan(
+      rts_.engine().now(), ch.sendPe, sim::TraceTag::kDirectPut,
+      sim::SpanPhase::kBegin, ch.activeTraceId, ch.activeParentId,
+      static_cast<double>(ch.bytes), handle);
   // Two quad words of context ride with the payload (§2.2): the receive
   // buffer pointer + handle id, and the receive request pointer.
   dcmf::Info info;
@@ -133,7 +138,8 @@ void BgpManager::issueSend(std::int32_t handle) {
              /*modeled_wire_bytes=*/0,
              [this, handle](fault::WcStatus status) {
                onPutError(handle, status);
-             });
+             },
+             ch.activeTraceId);
 }
 
 void BgpManager::onPutError(std::int32_t handle, fault::WcStatus status) {
@@ -199,8 +205,9 @@ void BgpManager::onArrived(std::int32_t id) {
   // first scatter the staged payload into place — one more copy, charged
   // at the node's memcpy rate.
   ++callbacks_;
-  rts_.engine().trace().record(rts_.engine().now(), ch.recvPe,
-                               sim::TraceTag::kDirectCallback);
+  rts_.engine().trace().recordSpan(
+      rts_.engine().now(), ch.recvPe, sim::TraceTag::kDirectCallback,
+      sim::SpanPhase::kEnd, ch.activeTraceId, ch.activeParentId, 0.0, id);
   sim::Time cost = rts_.costs().callback_overhead_us;
   if (ch.blockCount > 1)
     cost += rts_.fabric().params().self_per_byte_us *
@@ -216,7 +223,12 @@ void BgpManager::onArrived(std::int32_t id) {
                 c.staging.data() + static_cast<std::size_t>(b) * c.blockBytes,
                 c.blockBytes);
         }
+        // Puts issued by the callback are caused by this arrival.
+        sim::TraceRecorder& trace = rts_.engine().trace();
+        const std::uint64_t prevCtx = trace.context();
+        trace.setContext(c.activeTraceId);
         c.callback();
+        trace.setContext(prevCtx);
       },
       sim::Layer::kCkDirect);
 }

@@ -74,6 +74,11 @@ class BgpManager final : public Manager {
     // Fault recovery (active only when the fabric has faults armed).
     int putAttempts = 0;
     PutErrorCallback onError;
+
+    /// Causal chain id of the in-flight put (minted per CkDirect_put; all
+    /// retries of one put share it) and the chain that issued it.
+    std::uint64_t activeTraceId = 0;
+    std::uint64_t activeParentId = 0;
   };
 
   Channel& channel(std::int32_t id);

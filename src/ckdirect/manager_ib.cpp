@@ -134,6 +134,10 @@ void IbManager::put(std::int32_t handle) {
                   rts_.costs().put_issue_us +
                       0.05 * (ch.blockCount - 1));  // extra descriptors
   const sim::Time issue = sender.currentTime();
+  // One chain per logical put; transparent retries re-use it (N attempts,
+  // one chain). The parent is whatever handler called CkDirect_put.
+  ch.activeTraceId = rts_.engine().trace().mintId();
+  ch.activeParentId = rts_.engine().trace().context();
 
   const std::uint32_t epoch = epoch_;
   rts_.engine().at(issue, [this, handle, epoch]() {
@@ -148,9 +152,10 @@ void IbManager::issueWrites(std::int32_t handle) {
   // rollback rewinds the sender past this point and re-drives it; posting
   // would abort on the invalidated remote region.
   if (!rts_.peAlive(ch.recvPe) || !rts_.peAlive(ch.sendPe)) return;
-  rts_.engine().trace().record(rts_.engine().now(), ch.sendPe,
-                               sim::TraceTag::kDirectPut,
-                               static_cast<double>(ch.bytes));
+  rts_.engine().trace().recordSpan(
+      rts_.engine().now(), ch.sendPe, sim::TraceTag::kDirectPut,
+      sim::SpanPhase::kBegin, ch.activeTraceId, ch.activeParentId,
+      static_cast<double>(ch.bytes), handle);
   // One RDMA write per destination block (a scatter put issues one
   // descriptor per contiguous run). RC in-order delivery means the last
   // block — which carries the sentinel — lands last, so detection still
@@ -165,6 +170,7 @@ void IbManager::issueWrites(std::int32_t handle) {
         ch.recvBuffer + static_cast<std::size_t>(b) * ch.strideBytes;
     write.remote_region = ch.recvRegion;
     write.bytes = ch.blockBytes;
+    write.trace_id = ch.activeTraceId;
     if (b == ch.blockCount - 1)
       write.on_remote_delivered = [this, handle]() { onDelivered(handle); };
     if (armed)
@@ -267,10 +273,21 @@ void IbManager::pollScan(int pe) {
     ch.inPollQueue = false;
     ch.detected = true;
     ++callbacks_;
-    trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectSentinelHit);
+    // Timestamps use the context clock (currentTime reflects the poll +
+    // callback charges), so the detect -> callback gap is the modeled
+    // handler overhead, not zero.
+    trace.recordSpan(sched.currentTime(), pe, sim::TraceTag::kDirectSentinelHit,
+                     sim::SpanPhase::kInstant, ch.activeTraceId, 0, 0.0, id);
     sched.charge(rts_.costs().callback_overhead_us);
-    trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectCallback);
+    trace.recordSpan(sched.currentTime(), pe, sim::TraceTag::kDirectCallback,
+                     sim::SpanPhase::kEnd, ch.activeTraceId, ch.activeParentId,
+                     0.0, id);
+    // Puts issued by the callback are caused by this arrival: expose the
+    // put's chain id as the ambient context for the callback body.
+    const std::uint64_t prevCtx = trace.context();
+    trace.setContext(ch.activeTraceId);
     ch.callback();
+    trace.setContext(prevCtx);
   }
 }
 

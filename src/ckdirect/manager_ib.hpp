@@ -92,6 +92,11 @@ class IbManager final : public Manager {
     /// block writes of the same failed put collapse into it.
     bool errorPending = false;
     PutErrorCallback onError;
+
+    /// Causal chain id of the in-flight put (minted per CkDirect_put; all
+    /// retries of one put share it) and the chain that issued it.
+    std::uint64_t activeTraceId = 0;
+    std::uint64_t activeParentId = 0;
   };
 
   Channel& channel(std::int32_t id);

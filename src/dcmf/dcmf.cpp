@@ -44,7 +44,8 @@ void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
                        Request* request,
                        std::function<void()> on_local_complete,
                        std::size_t modeled_wire_bytes,
-                       std::function<void(fault::WcStatus)> on_error) {
+                       std::function<void(fault::WcStatus)> on_error,
+                       std::uint64_t trace_id) {
   CKD_REQUIRE(protocol >= 0 &&
                   protocol < static_cast<ProtocolId>(protocols_.size()),
               "send on an unregistered protocol");
@@ -94,6 +95,7 @@ void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
                   "DCMF send failed permanently with no error handler");
       onErr(status);
     };
+    send.traceId = trace_id;
     link().post(srcRank * numRanks() + dstRank, std::move(send));
     return;
   }
@@ -102,7 +104,8 @@ void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
       srcRank, dstRank, wireBytes, net::XferKind::kPacket,
       [this, protocol, srcRank, dstRank, info, data = std::move(data)]() mutable {
         deliver(protocol, srcRank, dstRank, info, std::move(data));
-      });
+      },
+      trace_id);
 
   // Local completion: the send buffer is reusable once the payload has left
   // the node. The model has already copied it, so completion may fire at

@@ -113,7 +113,8 @@ class DcmfContext {
             const void* payload, std::size_t bytes, Request* request,
             std::function<void()> on_local_complete = {},
             std::size_t modeled_wire_bytes = 0,
-            std::function<void(fault::WcStatus)> on_error = {});
+            std::function<void(fault::WcStatus)> on_error = {},
+            std::uint64_t trace_id = 0);
 
   /// Recover the (src, dst) reliability channel after a permanent failure
   /// (models re-establishing the torus connection). No-op when healthy.

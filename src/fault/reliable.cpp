@@ -79,6 +79,8 @@ void ReliableLink::transmit(ChannelId channel, Entry& entry) {
   // delayed/duplicated earlier copies on the wire, and each copy must be
   // independently checkable at arrival.
   std::vector<std::byte> image = entry.send.payload;
+  // Every attempt — first copy and retransmits alike — carries the logical
+  // message's chain id: one chain, N wire submissions.
   const sim::Time eta = wire_.sendWire(
       f.src, f.dst, entry.send.wireBytes, entry.send.cls,
       [this, channel, seq = entry.seq, sum = entry.sum,
@@ -86,7 +88,8 @@ void ReliableLink::transmit(ChannelId channel, Entry& entry) {
        image = std::move(image)](const WireSender::Delivery& d) mutable {
         onWireArrival(channel, seq, sum, regionInvalid, std::move(image),
                       d.corrupted);
-      });
+      },
+      entry.send.traceId);
   if (eta > f.lastEta) f.lastEta = eta;
 }
 
@@ -225,8 +228,9 @@ void ReliableLink::onTimeout(ChannelId channel, std::uint64_t epoch) {
   const sim::Time now = wire_.wireEngine().now();
   for (Entry& entry : f.unacked) {
     ++retransmits_;
-    trace().record(now, f.src, sim::TraceTag::kRelRetransmit,
-                   static_cast<double>(entry.send.wireBytes));
+    trace().recordSpan(now, f.src, sim::TraceTag::kRelRetransmit,
+                       sim::SpanPhase::kInstant, entry.send.traceId, 0,
+                       static_cast<double>(entry.send.wireBytes));
     transmit(channel, entry);
   }
   armTimer(channel);

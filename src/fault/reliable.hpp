@@ -66,9 +66,12 @@ class WireSender {
   virtual ~WireSender() = default;
   /// Submit `wireBytes` of modeled traffic; `onDeliver` runs at delivery
   /// (possibly never, on a drop; possibly twice, on a duplicate). Returns
-  /// the contention-free delivery estimate.
+  /// the contention-free delivery estimate. `traceId` stamps the wire-level
+  /// trace points with the logical message's causal chain id — retransmitted
+  /// copies pass the same id.
   virtual sim::Time sendWire(int srcPe, int dstPe, std::size_t wireBytes,
-                             MsgClass cls, DeliverFn onDeliver) = 0;
+                             MsgClass cls, DeliverFn onDeliver,
+                             std::uint64_t traceId = 0) = 0;
   virtual sim::Engine& wireEngine() = 0;
   /// Installed injector, or nullptr when faults are off.
   virtual FaultInjector* faults() = 0;
@@ -93,6 +96,9 @@ class ReliableLink {
     /// Terminal failure (retry budget, QP error, remote access). Entries
     /// without a handler abort the simulation on failure.
     std::function<void(WcStatus)> on_error;
+    /// Causal chain id of the logical message (0 = untraced). Every
+    /// transmission attempt — first copy and retransmits alike — carries it.
+    std::uint64_t traceId = 0;
   };
 
   ReliableLink(WireSender& wire, ReliabilityParams params);

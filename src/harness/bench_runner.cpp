@@ -37,6 +37,8 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   profile_ = args.getBool("profile", false);
   jsonPath_ = args.get("json", "");
   tracePath_ = args.get("trace-dump", "");
+  perfettoPath_ = args.get("trace-perfetto", "");
+  traceFilter_ = TraceFilter::parse(args.get("trace-filter", ""));
   traceCap_ = static_cast<std::size_t>(args.getInt(
       "trace-cap",
       static_cast<std::int64_t>(sim::TraceRecorder::kDefaultCapacity)));
@@ -128,6 +130,10 @@ int BenchRunner::finish() {
   }
   if (!jsonPath_.empty()) writeJson();
   if (!tracePath_.empty()) writeTraceDump();
+  if (!perfettoPath_.empty()) {
+    writePerfettoTrace(perfettoPath_, name_, profiles_);
+    std::fprintf(stderr, "[bench] wrote %s\n", perfettoPath_.c_str());
+  }
   return 0;
 }
 
@@ -153,18 +159,38 @@ void BenchRunner::writeTraceDump() const {
   // Streamed, not built as a JsonValue tree: a full ring is ~1M events.
   std::FILE* f = std::fopen(tracePath_.c_str(), "w");
   CKD_REQUIRE(f != nullptr, "cannot open --trace-dump output file");
-  std::fprintf(f, "{\"schema\":\"ckd.trace.v1\",\"bench\":\"%s\",\"events\":[",
+  std::fprintf(f, "{\"schema\":\"ckd.trace.v1\",\"bench\":\"%s\",\"runs\":[",
                util::jsonEscape(name_).c_str());
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    std::fprintf(f, "%s{\"label\":\"%s\",\"horizon_us\":%s}", i ? "," : "",
+                 util::jsonEscape(profiles_[i].label).c_str(),
+                 util::jsonNumber(profiles_[i].horizon_us).c_str());
+  }
+  std::fputs("],\"events\":[", f);
   bool first = true;
   for (const ProfileReport& report : profiles_) {
     const std::string run = util::jsonEscape(report.label);
     for (const sim::TraceEvent& ev : report.traceEvents) {
+      if (traceFilter_.active() && !traceFilter_.matches(ev)) continue;
       std::fprintf(f, "%s\n{\"run\":\"%s\",\"t\":%s,\"pe\":%d,\"tag\":\"%s\"",
                    first ? "" : ",", run.c_str(),
                    util::jsonNumber(ev.time).c_str(), ev.pe,
                    std::string(sim::traceTagName(ev.tag)).c_str());
       if (ev.value != 0.0)
         std::fprintf(f, ",\"v\":%s", util::jsonNumber(ev.value).c_str());
+      // Causal span fields ride along only when set, so dumps from
+      // non-causal tags stay byte-compatible with pre-causal readers.
+      if (ev.id != 0) {
+        std::fprintf(f, ",\"id\":%llu",
+                     static_cast<unsigned long long>(ev.id));
+        if (ev.parent != 0)
+          std::fprintf(f, ",\"parent\":%llu",
+                       static_cast<unsigned long long>(ev.parent));
+        if (ev.phase != sim::SpanPhase::kInstant)
+          std::fprintf(f, ",\"ph\":\"%s\"",
+                       ev.phase == sim::SpanPhase::kBegin ? "b" : "e");
+        if (ev.aux >= 0) std::fprintf(f, ",\"aux\":%d", ev.aux);
+      }
       std::fputc('}', f);
       first = false;
     }

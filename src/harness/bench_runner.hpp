@@ -6,6 +6,14 @@
 //   --json <file>       write metrics + profiles in the ckd.bench.v1 schema
 //   --trace-dump <file> enable the engine's event ring and write the
 //                       retained events in the ckd.trace.v1 schema
+//   --trace-perfetto <file>
+//                       enable the ring and write a Chrome trace-event /
+//                       Perfetto JSON timeline (one track per PE, one per
+//                       CkDirect channel, flow arrows along causal chains)
+//   --trace-filter <spec>
+//                       restrict --trace-dump events: comma-separated tag
+//                       globs ("direct.*,sched.deliver") OR'd together,
+//                       plus an optional pe=N token ("direct.*,pe=1")
 //   --trace-cap <n>     ring capacity in events (default ~1M)
 //   --faults <spec>     arm deterministic fault injection (fault::parseFaultSpec
 //                       grammar, e.g. "drop:0.01,corrupt:0.005;class=bulk" or
@@ -32,6 +40,7 @@
 
 #include "fault/fault.hpp"
 #include "harness/profile.hpp"
+#include "harness/trace_export.hpp"
 #include "sim/trace.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -42,12 +51,16 @@ class BenchRunner {
  public:
   BenchRunner(std::string name, const util::Args& args);
 
-  /// True when any of --profile / --json / --trace-dump was given: the
-  /// bench should capture a ProfileReport per run and addProfile() it.
+  /// True when any of --profile / --json / --trace-dump / --trace-perfetto
+  /// was given: the bench should capture a ProfileReport per run and
+  /// addProfile() it.
   bool wantsProfiles() const { return profile_ || !jsonPath_.empty() ||
-                                      !tracePath_.empty(); }
-  /// True when --trace-dump was given: runs should enable the event ring.
-  bool traceEnabled() const { return !tracePath_.empty(); }
+                                      traceEnabled(); }
+  /// True when --trace-dump or --trace-perfetto was given: runs should
+  /// enable the event ring.
+  bool traceEnabled() const {
+    return !tracePath_.empty() || !perfettoPath_.empty();
+  }
   std::size_t traceCapacity() const { return traceCap_; }
 
   /// Apply the trace flags to a recorder (capacity + enable). Call before
@@ -99,6 +112,8 @@ class BenchRunner {
   bool profile_ = false;
   std::string jsonPath_;
   std::string tracePath_;
+  std::string perfettoPath_;
+  TraceFilter traceFilter_;
   std::size_t traceCap_ = sim::TraceRecorder::kDefaultCapacity;
   fault::FaultPlan faultPlan_;
   std::uint64_t faultSeed_ = 1;

@@ -24,6 +24,15 @@ void captureTraceMetrics(ProfileReport& report, const sim::TraceRecorder& trace)
   report.traceRecorded = trace.recorded();
   report.traceDropped = trace.dropped();
   if (trace.enabled()) report.traceEvents = trace.snapshot();
+  if (!report.traceEvents.empty()) {
+    const sim::CausalGraph graph(report.traceEvents);
+    report.causalChains = graph.chains().size();
+    const std::vector<sim::CausalChain> path = graph.criticalPath();
+    report.criticalPathHops = path.size();
+    report.criticalPath_us = graph.criticalPathSpan();
+    report.putLatency = graph.putLatency();
+    report.msgLatency = graph.messageLatency();
+  }
 }
 
 }  // namespace
@@ -151,6 +160,27 @@ std::string ProfileReport::toString() const {
       if (pollHist[i] > 0) out << "  [" << i << "]=" << pollHist[i];
     out << "\n";
   }
+  if (causalChains > 0) {
+    out << "  causal        " << causalChains << " chains; critical path "
+        << util::formatFixed(criticalPath_us, 2) << " us over "
+        << criticalPathHops << " hops";
+    if (horizon_us > 0.0)
+      out << " (" << util::formatPercent(criticalPath_us / horizon_us)
+          << " of horizon)";
+    out << "\n";
+    const auto split = [&out](const char* name,
+                              const sim::LatencySummary& s) {
+      if (s.count == 0) return;
+      out << "  " << name << s.count << " chains, mean "
+          << util::formatFixed(s.mean.total_us, 3) << " us = queue "
+          << util::formatFixed(s.mean.queue_us, 3) << " + wire "
+          << util::formatFixed(s.mean.wire_us, 3) << " + poll "
+          << util::formatFixed(s.mean.poll_us, 3) << " + handler "
+          << util::formatFixed(s.mean.handler_us, 3) << "\n";
+    };
+    split("put latency   ", putLatency);
+    split("msg latency   ", msgLatency);
+  }
   return out.str();
 }
 
@@ -265,6 +295,27 @@ util::JsonValue toJson(const ProfileReport& report) {
     trace.set("dropped", JsonValue(report.traceDropped));
     trace.set("retained", JsonValue(report.traceEvents.size()));
     obj.set("trace", std::move(trace));
+  }
+  if (report.causalChains > 0) {
+    const auto latencyJson = [](const sim::LatencySummary& s) {
+      JsonValue v = JsonValue::object();
+      v.set("count", JsonValue(s.count));
+      v.set("mean_us", JsonValue(s.mean.total_us));
+      v.set("queue_us", JsonValue(s.mean.queue_us));
+      v.set("wire_us", JsonValue(s.mean.wire_us));
+      v.set("poll_us", JsonValue(s.mean.poll_us));
+      v.set("handler_us", JsonValue(s.mean.handler_us));
+      return v;
+    };
+    JsonValue causal = JsonValue::object();
+    causal.set("chains", JsonValue(report.causalChains));
+    causal.set("critical_path_us", JsonValue(report.criticalPath_us));
+    causal.set("critical_path_hops", JsonValue(report.criticalPathHops));
+    if (report.putLatency.count > 0)
+      causal.set("put_latency", latencyJson(report.putLatency));
+    if (report.msgLatency.count > 0)
+      causal.set("msg_latency", latencyJson(report.msgLatency));
+    obj.set("causal", std::move(causal));
   }
   return obj;
 }

@@ -13,6 +13,7 @@
 
 #include "charm/runtime.hpp"
 #include "net/fabric.hpp"
+#include "sim/causal.hpp"
 #include "sim/trace.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
@@ -61,6 +62,16 @@ struct ProfileReport {
   std::uint64_t traceRecorded = 0;
   std::uint64_t traceDropped = 0;
   std::vector<sim::TraceEvent> traceEvents;
+
+  /// Causal-chain headline numbers, derived from traceEvents (all zero
+  /// unless the event ring was enabled). criticalPath_us is the span of the
+  /// longest parent-link chain; the latency summaries carry exact-sum
+  /// per-layer splits (see sim::CausalGraph).
+  std::size_t causalChains = 0;
+  sim::Time criticalPath_us = 0.0;
+  std::size_t criticalPathHops = 0;
+  sim::LatencySummary putLatency;
+  sim::LatencySummary msgLatency;
 
   /// Multi-line human-readable summary.
   std::string toString() const;

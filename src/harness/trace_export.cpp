@@ -1,0 +1,192 @@
+#include "harness/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <set>
+
+#include "sim/causal.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+namespace ckd::harness {
+
+TraceFilter TraceFilter::parse(std::string_view spec) {
+  TraceFilter filter;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    if (token.rfind("pe=", 0) == 0) {
+      const std::string num(token.substr(3));
+      char* end = nullptr;
+      const long pe = std::strtol(num.c_str(), &end, 10);
+      CKD_REQUIRE(end != num.c_str() && *end == '\0' && pe >= 0,
+                  "--trace-filter pe= wants a non-negative integer");
+      filter.pe_ = static_cast<int>(pe);
+      continue;
+    }
+    filter.globs_.emplace_back(token);
+  }
+  return filter;
+}
+
+bool TraceFilter::globMatch(std::string_view glob, std::string_view text) {
+  // Iterative `*`-only matcher: on mismatch, retry from the last star with
+  // one more character swallowed.
+  std::size_t g = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (g < glob.size() && glob[g] == '*') {
+      star = g++;
+      mark = t;
+    } else if (g < glob.size() && glob[g] == text[t]) {
+      ++g;
+      ++t;
+    } else if (star != std::string_view::npos) {
+      g = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (g < glob.size() && glob[g] == '*') ++g;
+  return g == glob.size();
+}
+
+bool TraceFilter::matches(const sim::TraceEvent& ev) const {
+  if (pe_ >= 0 && ev.pe != pe_) return false;
+  if (globs_.empty()) return true;
+  const std::string_view tag = sim::traceTagName(ev.tag);
+  for (const std::string& glob : globs_)
+    if (globMatch(glob, tag)) return true;
+  return false;
+}
+
+namespace {
+
+/// Flow / async-span ids must be unique across runs: fold the run index
+/// into the high bits. Chain ids are mint-order counters, far below 2^40,
+/// and the composite stays below 2^53 so it round-trips through JSON.
+std::uint64_t scopedId(std::size_t run, std::uint64_t id) {
+  return (static_cast<std::uint64_t>(run) << 40) | id;
+}
+
+}  // namespace
+
+void writePerfettoTrace(std::FILE* f, const std::string& bench,
+                        const std::vector<ProfileReport>& profiles) {
+  std::fputs("{\"traceEvents\":[", f);
+  bool first = true;
+  const auto emit = [f, &first](const std::string& line) {
+    std::fprintf(f, "%s\n%s", first ? "" : ",", line.c_str());
+    first = false;
+  };
+  const auto meta = [&emit](int pid, int tid, const char* kind,
+                            const std::string& name) {
+    std::string line = "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+    if (tid >= 0) line += ",\"tid\":" + std::to_string(tid);
+    line += ",\"name\":\"";
+    line += kind;
+    line += "\",\"args\":{\"name\":\"" + util::jsonEscape(name) + "\"}}";
+    emit(line);
+  };
+
+  for (std::size_t r = 0; r < profiles.size(); ++r) {
+    const ProfileReport& p = profiles[r];
+    const int pidPe = static_cast<int>(2 * r);
+    const int pidCh = static_cast<int>(2 * r + 1);
+    const std::string label =
+        p.label.empty() ? "run" + std::to_string(r) : p.label;
+    meta(pidPe, -1, "process_name", label + "/PEs");
+    meta(pidCh, -1, "process_name", label + "/channels");
+
+    std::set<int> pes;
+    for (const sim::TraceEvent& ev : p.traceEvents)
+      if (ev.pe >= 0) pes.insert(ev.pe);
+    for (const int pe : pes)
+      meta(pidPe, pe, "thread_name", "PE " + std::to_string(pe));
+
+    // Per-PE tracks: busy slices from the scheduler's pump-duration events,
+    // instants for every causal span point.
+    for (const sim::TraceEvent& ev : p.traceEvents) {
+      if (ev.tag == sim::TraceTag::kSchedPumpDone && ev.pe >= 0) {
+        emit("{\"ph\":\"X\",\"name\":\"pump\",\"cat\":\"sched\",\"ts\":" +
+             util::jsonNumber(ev.time - ev.value) +
+             ",\"dur\":" + util::jsonNumber(ev.value) +
+             ",\"pid\":" + std::to_string(pidPe) +
+             ",\"tid\":" + std::to_string(ev.pe) + "}");
+        continue;
+      }
+      if (ev.id == 0 || ev.pe < 0) continue;
+      std::string line = "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+      line += sim::traceTagName(ev.tag);
+      line += "\",\"cat\":\"span\",\"ts\":" + util::jsonNumber(ev.time) +
+              ",\"pid\":" + std::to_string(pidPe) +
+              ",\"tid\":" + std::to_string(ev.pe) +
+              ",\"args\":{\"id\":" + std::to_string(ev.id);
+      if (ev.parent != 0) line += ",\"parent\":" + std::to_string(ev.parent);
+      line += "}}";
+      emit(line);
+    }
+
+    // Channel tracks + flow arrows come from the folded causal chains.
+    const sim::CausalGraph graph(p.traceEvents);
+    std::set<int> channels;
+    for (const sim::CausalChain& c : graph.chains())
+      if (c.complete && c.start >= 0.0)
+        channels.insert(c.channel >= 0 ? c.channel : -1);
+    for (const int ch : channels)
+      meta(pidCh, ch >= 0 ? ch : 9999, "thread_name",
+           ch >= 0 ? "channel " + std::to_string(ch) : "messages");
+
+    for (const sim::CausalChain& c : graph.chains()) {
+      if (!c.complete || c.start < 0.0) continue;
+      const std::string id = std::to_string(scopedId(r, c.id));
+      const std::string name =
+          c.kind != sim::TraceTag::kCount
+              ? std::string(sim::traceTagName(c.kind))
+              : std::string("chain");
+      const int tid = c.channel >= 0 ? c.channel : 9999;
+      const std::string common =
+          ",\"cat\":\"chain\",\"id\":" + id +
+          ",\"pid\":" + std::to_string(pidCh) +
+          ",\"tid\":" + std::to_string(tid);
+      emit("{\"ph\":\"b\",\"name\":\"" + name + "\",\"ts\":" +
+           util::jsonNumber(c.start) + common +
+           ",\"args\":{\"src_pe\":" + std::to_string(c.srcPe) +
+           ",\"bytes\":" + util::jsonNumber(c.bytes) +
+           ",\"attempts\":" + std::to_string(c.attempts) + "}}");
+      emit("{\"ph\":\"e\",\"name\":\"" + name + "\",\"ts\":" +
+           util::jsonNumber(c.end) + common + "}");
+      // Flow arrow: issue on the sender PE -> completion on the receiver PE.
+      if (c.srcPe >= 0 && c.dstPe >= 0) {
+        const std::string fcommon = ",\"cat\":\"causal\",\"id\":" + id +
+                                    ",\"pid\":" + std::to_string(pidPe);
+        emit("{\"ph\":\"s\",\"name\":\"" + name + "\",\"ts\":" +
+             util::jsonNumber(c.start) + fcommon +
+             ",\"tid\":" + std::to_string(c.srcPe) + "}");
+        emit("{\"ph\":\"f\",\"bp\":\"e\",\"name\":\"" + name + "\",\"ts\":" +
+             util::jsonNumber(c.end) + fcommon +
+             ",\"tid\":" + std::to_string(c.dstPe) + "}");
+      }
+    }
+  }
+
+  std::fprintf(f,
+               "\n],\"otherData\":{\"schema\":\"ckd.perfetto.v1\","
+               "\"bench\":\"%s\",\"runs\":%zu}}\n",
+               util::jsonEscape(bench).c_str(), profiles.size());
+}
+
+void writePerfettoTrace(const std::string& path, const std::string& bench,
+                        const std::vector<ProfileReport>& profiles) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  CKD_REQUIRE(f != nullptr, "cannot open --trace-perfetto output file");
+  writePerfettoTrace(f, bench, profiles);
+  std::fclose(f);
+}
+
+}  // namespace ckd::harness

@@ -1,0 +1,60 @@
+#pragma once
+// Trace exporters: turn the ProfileReports' retained span events into files
+// other tools understand.
+//
+//  * writePerfettoTrace — Chrome trace-event / Perfetto JSON ("chrome:tracing"
+//    JSON object format, loadable at ui.perfetto.dev). One process per run
+//    pair: pid 2r   = "<label>/PEs"      (one thread track per PE: pump busy
+//                     slices + instant span events),
+//          pid 2r+1 = "<label>/channels" (one async track per CkDirect
+//                     channel / message class: b/e spans per causal chain).
+//    Causal parent links become flow arrows (ph "s"/"f") from the chain's
+//    first wire submit to its completion.
+//
+//  * TraceFilter — the --trace-filter grammar shared by the dump/export
+//    paths: comma-separated tokens, `pe=N` restricts to one PE, every other
+//    token is a tag glob (`*` wildcard, e.g. "direct.*"); multiple globs OR.
+//
+// Both exporters work from captured ProfileReports (label + horizon +
+// traceEvents), so they compose with multi-run benches for free.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/profile.hpp"
+#include "sim/trace.hpp"
+
+namespace ckd::harness {
+
+/// Parsed --trace-filter spec. Inactive (match-everything) when
+/// default-constructed or parsed from an empty spec.
+class TraceFilter {
+ public:
+  TraceFilter() = default;
+  /// Parse "tag-glob[,tag-glob...][,pe=N]"; CKD_REQUIREs on a malformed
+  /// pe= token. Order of tokens does not matter.
+  static TraceFilter parse(std::string_view spec);
+
+  bool active() const { return pe_ >= 0 || !globs_.empty(); }
+  bool matches(const sim::TraceEvent& ev) const;
+
+  /// Bare glob match, `*` matches any run (exposed for tests / reuse).
+  static bool globMatch(std::string_view glob, std::string_view text);
+
+ private:
+  int pe_ = -1;                      ///< -1: any PE
+  std::vector<std::string> globs_;   ///< empty: any tag
+};
+
+/// Write every profile's retained events as one Chrome trace-event JSON
+/// document. `bench` names the run in otherData. CKD_REQUIREs the file opens.
+void writePerfettoTrace(const std::string& path, const std::string& bench,
+                        const std::vector<ProfileReport>& profiles);
+
+/// Same, to an already-open stream (tests use open_memstream / tmpfile).
+void writePerfettoTrace(std::FILE* f, const std::string& bench,
+                        const std::vector<ProfileReport>& profiles);
+
+}  // namespace ckd::harness

@@ -173,6 +173,7 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
     };
     send.on_acked = std::move(write.on_local_complete);
     send.on_error = std::move(write.on_error);
+    send.traceId = write.trace_id;
     link().post(write.qp, std::move(send));
     return;
   }
@@ -192,7 +193,8 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
         [dst, payload = std::move(payload), onRemote = std::move(onRemote)]() mutable {
           std::memcpy(dst, payload.data(), payload.size());
           if (onRemote) onRemote();
-        });
+        },
+        write.trace_id);
     if (onLocal) fabric_.engine().at(delivered, std::move(onLocal));
     return;
   }
@@ -219,14 +221,16 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
          onRemote = std::move(onRemote)]() mutable {
           std::memcpy(out, payload.data(), payload.size());
           if (onRemote) onRemote();
-        });
+        },
+        write.trace_id);
   }
   if (write.on_local_complete)
     fabric_.engine().at(lastDelivery, std::move(write.on_local_complete));
 }
 
 void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
-                       std::function<void()> on_local_complete) {
+                       std::function<void()> on_local_complete,
+                       std::uint64_t trace_id) {
   CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()),
               "send on an unknown QP");
   CKD_REQUIRE(data != nullptr || bytes == 0, "null send payload");
@@ -245,6 +249,7 @@ void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
       deliverSend(qps_[static_cast<std::size_t>(qpId)], std::move(image));
     };
     send.on_acked = std::move(on_local_complete);
+    send.traceId = trace_id;
     link().post(qpId, std::move(send));
     return;
   }
@@ -252,7 +257,8 @@ void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
       qp.src, qp.dst, bytes, net::XferKind::kPacket,
       [this, qpId, payload = std::move(payload)]() mutable {
         deliverSend(qps_[static_cast<std::size_t>(qpId)], std::move(payload));
-      });
+      },
+      trace_id);
   if (on_local_complete)
     fabric_.engine().at(delivered, std::move(on_local_complete));
 }

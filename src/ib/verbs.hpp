@@ -133,13 +133,17 @@ class IbVerbs {
     /// fires when the fabric has faults armed; a write without a handler
     /// aborts the simulation on permanent failure.
     std::function<void(fault::WcStatus)> on_error;
+    /// Causal chain id carried in the work request (a POD, like an IB wr_id)
+    /// so the fabric stamps the wire trace points with it; 0 = untraced.
+    std::uint64_t trace_id = 0;
   };
   void postRdmaWrite(RdmaWrite write);
 
   // --- two-sided ------------------------------------------------------------
 
   void postSend(QpId qp, const void* data, std::size_t bytes,
-                std::function<void()> on_local_complete = {});
+                std::function<void()> on_local_complete = {},
+                std::uint64_t trace_id = 0);
   /// Post a receive buffer; `on_receive(bytes)` fires once a matching send
   /// lands. Receives on a QP are consumed in post order.
   void postRecv(QpId qp, void* buffer, std::size_t capacity,

@@ -33,7 +33,8 @@ void Fabric::installFaults(const fault::FaultPlan& plan, std::uint64_t seed) {
 }
 
 sim::Time Fabric::submit(int srcPe, int dstPe, std::size_t bytes,
-                         XferKind kind, DeliverFn onDeliver) {
+                         XferKind kind, DeliverFn onDeliver,
+                         std::uint64_t traceId) {
   const fault::MsgClass msgClass =
       kind == XferKind::kControl ? fault::MsgClass::kControl
       : kind == XferKind::kRdma  ? fault::MsgClass::kBulk
@@ -41,12 +42,13 @@ sim::Time Fabric::submit(int srcPe, int dstPe, std::size_t bytes,
   return submitEx(srcPe, dstPe, bytes, params_.classFor(kind),
                   /*occupiesPorts=*/kind != XferKind::kControl, msgClass,
                   [onDeliver = std::move(onDeliver)](
-                      const fault::WireSender::Delivery&) { onDeliver(); });
+                      const fault::WireSender::Delivery&) { onDeliver(); },
+                  traceId);
 }
 
 sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
                                const XferClass& cls, bool occupiesPorts,
-                               DeliverFn onDeliver) {
+                               DeliverFn onDeliver, std::uint64_t traceId) {
   // Infer the fault-matching class from how the message uses the ports.
   const fault::MsgClass msgClass =
       !occupiesPorts               ? fault::MsgClass::kControl
@@ -54,32 +56,37 @@ sim::Time Fabric::submitCustom(int srcPe, int dstPe, std::size_t bytes,
                                     : fault::MsgClass::kBulk;
   return submitEx(srcPe, dstPe, bytes, cls, occupiesPorts, msgClass,
                   [onDeliver = std::move(onDeliver)](
-                      const fault::WireSender::Delivery&) { onDeliver(); });
+                      const fault::WireSender::Delivery&) { onDeliver(); },
+                  traceId);
 }
 
 sim::Time Fabric::sendWire(int srcPe, int dstPe, std::size_t wireBytes,
                            fault::MsgClass cls,
-                           fault::WireSender::DeliverFn onDeliver) {
+                           fault::WireSender::DeliverFn onDeliver,
+                           std::uint64_t traceId) {
   switch (cls) {
     case fault::MsgClass::kBulk:
       return submitEx(srcPe, dstPe, wireBytes, params_.classFor(XferKind::kRdma),
-                      /*occupiesPorts=*/true, cls, std::move(onDeliver));
+                      /*occupiesPorts=*/true, cls, std::move(onDeliver),
+                      traceId);
     case fault::MsgClass::kControl:
       return submitEx(srcPe, dstPe, wireBytes,
                       params_.classFor(XferKind::kControl),
-                      /*occupiesPorts=*/false, cls, std::move(onDeliver));
+                      /*occupiesPorts=*/false, cls, std::move(onDeliver),
+                      traceId);
     default:
       return submitEx(srcPe, dstPe, wireBytes,
                       params_.classFor(XferKind::kPacket),
                       /*occupiesPorts=*/true, fault::MsgClass::kPacket,
-                      std::move(onDeliver));
+                      std::move(onDeliver), traceId);
   }
 }
 
 sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
                            const XferClass& cls, bool occupiesPorts,
                            fault::MsgClass msgClass,
-                           fault::WireSender::DeliverFn onDeliver) {
+                           fault::WireSender::DeliverFn onDeliver,
+                           std::uint64_t traceId) {
   CKD_REQUIRE(srcPe >= 0 && srcPe < numPes(), "source PE out of range");
   CKD_REQUIRE(dstPe >= 0 && dstPe < numPes(), "destination PE out of range");
   CKD_REQUIRE(onDeliver != nullptr, "transfer needs a delivery callback");
@@ -99,15 +106,18 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
     wf = injector_->decideWire(now, srcPe, dstPe, bytes, msgClass);
 
   sim::TraceRecorder& trace = engine_.trace();
-  trace.record(now, srcPe, sim::TraceTag::kFabricSubmit,
-               static_cast<double>(bytes));
+  trace.recordSpan(now, srcPe, sim::TraceTag::kFabricSubmit,
+                   sim::SpanPhase::kInstant, traceId, 0,
+                   static_cast<double>(bytes));
   // Stamp the delivery side too, so trace dumps show both ends of a wire.
   // Kept as a raw lambda so engine_.at() constructs the composite — user
   // closure + reliability wrap + this stamp — directly in its event slot.
-  auto deliver = [this, dstPe, bytes, corrupted = wf.corrupt,
+  auto deliver = [this, dstPe, bytes, traceId, corrupted = wf.corrupt,
                   onDeliver = std::move(onDeliver)]() mutable {
-    engine_.trace().record(engine_.now(), dstPe, sim::TraceTag::kFabricDeliver,
-                           static_cast<double>(bytes));
+    engine_.trace().recordSpan(engine_.now(), dstPe,
+                               sim::TraceTag::kFabricDeliver,
+                               sim::SpanPhase::kInstant, traceId, 0,
+                               static_cast<double>(bytes));
     onDeliver(fault::WireSender::Delivery{corrupted});
   };
 

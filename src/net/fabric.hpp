@@ -60,16 +60,18 @@ class Fabric : public fault::WireSender {
   int numPes() const { return topology_->numPes(); }
 
   /// Submit a transfer. `onDeliver` runs at the (returned) delivery time.
-  /// Returns the modeled delivery time.
+  /// Returns the modeled delivery time. `traceId` (when nonzero) stamps the
+  /// fabric.submit / fabric.deliver trace points with the transfer's causal
+  /// chain id.
   sim::Time submit(int srcPe, int dstPe, std::size_t bytes, XferKind kind,
-                   DeliverFn onDeliver);
+                   DeliverFn onDeliver, std::uint64_t traceId = 0);
 
   /// Same, with a caller-provided serialization class (protocol stacks such
   /// as the mini-MPI flavors bring their own per-byte/per-packet costs).
   /// `occupiesPorts` == false gives control-message semantics.
   sim::Time submitCustom(int srcPe, int dstPe, std::size_t bytes,
                          const XferClass& cls, bool occupiesPorts,
-                         DeliverFn onDeliver);
+                         DeliverFn onDeliver, std::uint64_t traceId = 0);
 
   /// Arm fault injection for this fabric. Call at most once, before traffic
   /// flows; a plan that is not armed() installs nothing (zero overhead).
@@ -78,7 +80,8 @@ class Fabric : public fault::WireSender {
   // fault::WireSender: the transmit surface fault::ReliableLink runs over.
   sim::Time sendWire(int srcPe, int dstPe, std::size_t wireBytes,
                      fault::MsgClass cls,
-                     fault::WireSender::DeliverFn onDeliver) override;
+                     fault::WireSender::DeliverFn onDeliver,
+                     std::uint64_t traceId = 0) override;
   sim::Engine& wireEngine() override { return engine_; }
   fault::FaultInjector* faults() override { return injector_.get(); }
 
@@ -108,7 +111,8 @@ class Fabric : public fault::WireSender {
   sim::Time submitEx(int srcPe, int dstPe, std::size_t bytes,
                      const XferClass& cls, bool occupiesPorts,
                      fault::MsgClass msgClass,
-                     fault::WireSender::DeliverFn onDeliver);
+                     fault::WireSender::DeliverFn onDeliver,
+                     std::uint64_t traceId);
   void pumpInject(std::size_t node);
 
   sim::Engine& engine_;

@@ -1,0 +1,193 @@
+#include "sim/causal.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ckd::sim {
+
+namespace {
+
+bool isOpeningTag(TraceTag tag) {
+  return tag == TraceTag::kDirectPut || tag == TraceTag::kXportEager ||
+         tag == TraceTag::kXportRtsSend || tag == TraceTag::kXportBgpSend;
+}
+
+bool isLandingTag(TraceTag tag) {
+  return tag == TraceTag::kFabricDeliver ||
+         tag == TraceTag::kXportRdmaDelivered;
+}
+
+}  // namespace
+
+LayerBreakdown CausalChain::breakdown() const {
+  LayerBreakdown b;
+  if (!complete || start < 0.0) return b;
+  // Telescoping milestones: a missing milestone folds onto its predecessor
+  // so its segment reads 0 and the later segments stay attributable.
+  const double m0 = start;
+  const double m1 = submit >= 0.0 ? submit : m0;
+  const double m2 = land >= 0.0 ? land : m1;
+  const double m3 = detect >= 0.0 ? detect : m2;
+  b.total_us = end - m0;
+  b.queue_us = m1 - m0;
+  b.wire_us = m2 - m1;
+  b.poll_us = m3 - m2;
+  // Remainder, NOT end - m3: (a-b)+(b-c) != (a-c) in floating point, and the
+  // contract is that the four segments sum to total_us exactly.
+  b.handler_us = b.total_us - b.queue_us - b.wire_us - b.poll_us;
+  return b;
+}
+
+CausalGraph::CausalGraph(std::span<const TraceEvent> events) {
+  std::unordered_map<std::uint64_t, std::size_t> index;
+  index.reserve(events.size() / 4 + 1);
+  for (const TraceEvent& ev : events) {
+    if (ev.pe >= 0 && ev.tag == TraceTag::kSchedPumpDone) {
+      if (static_cast<std::size_t>(ev.pe) >= peBusy_.size())
+        peBusy_.resize(static_cast<std::size_t>(ev.pe) + 1, 0.0);
+      peBusy_[static_cast<std::size_t>(ev.pe)] += ev.value;
+    }
+    if (ev.id == 0) continue;
+
+    auto [it, inserted] = index.try_emplace(ev.id, chains_.size());
+    if (inserted) {
+      chains_.emplace_back();
+      chains_.back().id = ev.id;
+    }
+    CausalChain& c = chains_[it->second];
+    if (ev.parent != 0) c.parent = ev.parent;
+
+    if (isOpeningTag(ev.tag)) {
+      // Re-issues of the same logical put / retransmit-driven re-records
+      // keep the earliest issue time: the chain started when the first
+      // attempt did.
+      if (c.start < 0.0 || ev.time < c.start) c.start = ev.time;
+      c.kind = ev.tag;
+      c.srcPe = ev.pe;
+      c.bytes = ev.value;
+      ++c.attempts;
+      if (ev.aux >= 0) c.channel = ev.aux;
+      continue;
+    }
+    switch (ev.tag) {
+      case TraceTag::kFabricSubmit:
+        if (c.submit < 0.0 || ev.time < c.submit) c.submit = ev.time;
+        break;
+      case TraceTag::kRelRetransmit:
+        ++c.attempts;
+        break;
+      case TraceTag::kDirectSentinelHit:
+        if (ev.time > c.detect) c.detect = ev.time;
+        if (ev.aux >= 0) c.channel = ev.aux;
+        break;
+      case TraceTag::kSchedDeliver:
+      case TraceTag::kDirectCallback:
+        if (ev.phase == SpanPhase::kEnd) {
+          if (ev.time > c.end) c.end = ev.time;
+          c.endTag = ev.tag;
+          c.dstPe = ev.pe;
+          c.complete = true;
+          if (ev.aux >= 0) c.channel = ev.aux;
+          break;
+        }
+        [[fallthrough]];
+      default:
+        if (isLandingTag(ev.tag)) {
+          if (ev.time > c.land) c.land = ev.time;
+        }
+        break;
+    }
+    // A chain whose opening span was lost (ring overwrite, or a chain that
+    // never leaves the node) still needs a start for breakdown purposes:
+    // fall back to its earliest retained event.
+    if (c.kind == TraceTag::kCount && (c.start < 0.0 || ev.time < c.start))
+      c.start = ev.time;
+  }
+  std::sort(chains_.begin(), chains_.end(),
+            [](const CausalChain& a, const CausalChain& b) {
+              return a.id < b.id;
+            });
+}
+
+const CausalChain* CausalGraph::chain(std::uint64_t id) const {
+  const auto it = std::lower_bound(
+      chains_.begin(), chains_.end(), id,
+      [](const CausalChain& c, std::uint64_t key) { return c.id < key; });
+  return (it != chains_.end() && it->id == id) ? &*it : nullptr;
+}
+
+std::vector<CausalChain> CausalGraph::criticalPath() const {
+  const CausalChain* best = nullptr;
+  for (const CausalChain& c : chains_) {
+    if (!c.complete) continue;
+    if (best == nullptr || c.end > best->end ||
+        (c.end == best->end && c.id > best->id))
+      best = &c;
+  }
+  std::vector<CausalChain> path;
+  const CausalChain* cur = best;
+  while (cur != nullptr) {
+    path.push_back(*cur);
+    if (cur->parent == 0 || cur->parent >= cur->id) break;  // root (or bogus)
+    cur = chain(cur->parent);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Time CausalGraph::criticalPathSpan() const {
+  const std::vector<CausalChain> path = criticalPath();
+  if (path.empty()) return 0.0;
+  const Time rootStart = path.front().start >= 0.0 ? path.front().start : 0.0;
+  return path.back().end - rootStart;
+}
+
+std::vector<CausalChain> CausalGraph::slowestChains(std::size_t k) const {
+  std::vector<CausalChain> done;
+  for (const CausalChain& c : chains_)
+    if (c.complete) done.push_back(c);
+  std::sort(done.begin(), done.end(),
+            [](const CausalChain& a, const CausalChain& b) {
+              const double ta = a.breakdown().total_us;
+              const double tb = b.breakdown().total_us;
+              if (ta != tb) return ta > tb;
+              return a.id < b.id;
+            });
+  if (done.size() > k) done.resize(k);
+  return done;
+}
+
+LatencySummary CausalGraph::summarize(bool puts) const {
+  LatencySummary out;
+  double q = 0.0, w = 0.0, p = 0.0, t = 0.0;
+  for (const CausalChain& c : chains_) {
+    if (!c.complete) continue;
+    const bool isPut = c.kind == TraceTag::kDirectPut;
+    if (puts != isPut) continue;
+    if (!puts && (c.kind == TraceTag::kCount ||
+                  c.endTag != TraceTag::kSchedDeliver))
+      continue;  // self-sends / partial chains carry no opening span
+    const LayerBreakdown b = c.breakdown();
+    q += b.queue_us;
+    w += b.wire_us;
+    p += b.poll_us;
+    t += b.total_us;
+    ++out.count;
+  }
+  if (out.count == 0) return out;
+  const double n = static_cast<double>(out.count);
+  out.mean.queue_us = q / n;
+  out.mean.wire_us = w / n;
+  out.mean.poll_us = p / n;
+  out.mean.total_us = t / n;
+  // Remainder again, so the mean components also sum exactly.
+  out.mean.handler_us = out.mean.total_us - out.mean.queue_us -
+                        out.mean.wire_us - out.mean.poll_us;
+  return out;
+}
+
+LatencySummary CausalGraph::putLatency() const { return summarize(true); }
+
+LatencySummary CausalGraph::messageLatency() const { return summarize(false); }
+
+}  // namespace ckd::sim

@@ -1,0 +1,117 @@
+#pragma once
+// Causal analysis over TraceRecorder span events.
+//
+// Every logical message / CkDirect put carries a 64-bit chain id (minted by
+// TraceRecorder::mintId at the envelope / CkDirect layer) and the id of the
+// handler context that caused it. CausalGraph folds the flat event ring into
+// per-id chains with layer milestones:
+//
+//   start  — the opening span (direct.put / xport.eager / xport.rts_send /
+//            xport.bgp_send; SpanPhase::kBegin)
+//   submit — first fabric.submit (the bytes entered the wire model)
+//   land   — last fabric.deliver / xport.rdma_delivered (bytes in remote
+//            memory)
+//   detect — direct.sentinel_hit (the poll loop noticed)
+//   end    — the closing span (sched.deliver / direct.callback;
+//            SpanPhase::kEnd)
+//
+// and derives a telescoping latency breakdown: queue = submit-start,
+// wire = land-submit, poll = detect-land, handler = the remainder, so the
+// four segments sum to the end-to-end latency EXACTLY (the remainder absorbs
+// floating-point non-associativity and any missing milestones).
+//
+// The critical path is the parent-link walk back from the latest completed
+// chain: ids are minted monotonically, so a parent's id is always smaller
+// than its children's and the walk terminates. Its span (end of the last
+// chain minus start of the root) bounds the measured horizon from below —
+// on a dependency-chained workload (pingpong) it matches the horizon to
+// within the scheduler overhead of the first and last hop.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace ckd::sim {
+
+/// Per-chain latency split. The four segments sum to total_us exactly:
+/// handler_us is computed as the remainder.
+struct LayerBreakdown {
+  double queue_us = 0.0;    ///< issue -> first fabric submit (sender side)
+  double wire_us = 0.0;     ///< fabric submit -> payload landed remotely
+  double poll_us = 0.0;     ///< landed -> sentinel detected (CkDirect only)
+  double handler_us = 0.0;  ///< the rest: scheduling + callback overhead
+  double total_us = 0.0;    ///< end-to-end (start -> end)
+};
+
+/// One causal chain: a logical message or CkDirect put, across however many
+/// wire attempts it took.
+struct CausalChain {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;          ///< chain that caused this one (0 = root)
+  TraceTag kind = TraceTag::kCount;  ///< opening tag (kCount: none retained)
+  TraceTag endTag = TraceTag::kCount;
+  int srcPe = -1;
+  int dstPe = -1;
+  std::int32_t channel = -1;  ///< CkDirect handle id (aux), -1 otherwise
+  double bytes = 0.0;
+  Time start = -1.0;
+  Time submit = -1.0;  ///< -1: milestone not observed
+  Time land = -1.0;
+  Time detect = -1.0;
+  Time end = -1.0;
+  int attempts = 0;  ///< wire attempts (retransmits / re-puts fold in)
+  bool complete = false;
+
+  LayerBreakdown breakdown() const;
+};
+
+struct LatencySummary {
+  std::size_t count = 0;
+  /// Mean per-layer split; mean.handler_us is again the remainder, so the
+  /// components sum to mean.total_us exactly.
+  LayerBreakdown mean;
+};
+
+class CausalGraph {
+ public:
+  explicit CausalGraph(std::span<const TraceEvent> events);
+
+  /// All chains, sorted by id (mint order).
+  const std::vector<CausalChain>& chains() const { return chains_; }
+  /// Lookup by id; nullptr if the id never appeared in the event window.
+  const CausalChain* chain(std::uint64_t id) const;
+
+  /// Parent-link walk back from the latest completed chain (ties broken by
+  /// larger id), returned root-first. Empty if nothing completed.
+  std::vector<CausalChain> criticalPath() const;
+  /// end(last) - start(root) of criticalPath(); 0 if empty.
+  Time criticalPathSpan() const;
+  /// Number of hops (chains) on the critical path.
+  std::size_t criticalPathHops() const { return criticalPath().size(); }
+
+  /// Completed chains sorted by end-to-end latency, slowest first (ties by
+  /// smaller id), truncated to k.
+  std::vector<CausalChain> slowestChains(std::size_t k) const;
+
+  /// Mean put -> callback latency split over completed CkDirect put chains.
+  LatencySummary putLatency() const;
+  /// Mean send -> deliver latency split over completed message chains
+  /// (eager / rendezvous / DCMF sends that reached a scheduler delivery).
+  LatencySummary messageLatency() const;
+
+  /// Busy virtual time per PE, accumulated from sched.pump_done duration
+  /// events. Index = PE; utilization over a window is busy / horizon.
+  const std::vector<double>& peBusyTime() const { return peBusy_; }
+
+ private:
+  LatencySummary summarize(bool puts) const;
+
+  std::vector<CausalChain> chains_;
+  std::vector<double> peBusy_;
+};
+
+}  // namespace ckd::sim

@@ -54,9 +54,18 @@ std::string_view traceTagName(TraceTag tag) {
     case TraceTag::kCkptTaken: return "ckpt.taken";
     case TraceTag::kCkptRestore: return "ckpt.restore";
     case TraceTag::kStaleEpochDrop: return "sched.stale_epoch_drop";
+    case TraceTag::kSchedPumpDone: return "sched.pump_done";
     case TraceTag::kCount: break;
   }
   return "?";
+}
+
+TraceTag traceTagFromName(std::string_view name) {
+  for (std::size_t i = 0; i < kTraceTagCount; ++i) {
+    const TraceTag tag = static_cast<TraceTag>(i);
+    if (traceTagName(tag) == name) return tag;
+  }
+  return TraceTag::kCount;
 }
 
 void TraceRecorder::enable(bool on) {
@@ -69,18 +78,41 @@ void TraceRecorder::enable(bool on) {
 
 void TraceRecorder::setCapacity(std::size_t cap) {
   CKD_REQUIRE(cap > 0, "trace ring capacity must be positive");
-  CKD_REQUIRE(ring_.empty(), "cannot resize a non-empty trace ring");
+  if (cap == capacity_) return;
+  if (!ring_.empty()) {
+    // Mid-run resize: linearize oldest-first and keep the newest `cap`
+    // events. head_ returns to 0 so appends keep filling from the back until
+    // the new capacity is reached, then overwrite from the front (oldest).
+    std::vector<TraceEvent> kept = snapshot();
+    const std::size_t keep = std::min(cap, kept.size());
+    std::vector<TraceEvent> next;
+    next.reserve(cap);
+    next.assign(kept.end() - static_cast<std::ptrdiff_t>(keep), kept.end());
+    ring_.swap(next);
+    head_ = 0;
+  }
   capacity_ = cap;
 }
 
-void TraceRecorder::append(Time time, int pe, TraceTag tag, double value) {
+void TraceRecorder::append(Time time, int pe, TraceTag tag, double value,
+                           std::uint64_t id, std::uint64_t parent,
+                           SpanPhase phase, std::int32_t aux) {
   ++recorded_;
+  TraceEvent ev;
+  ev.time = time;
+  ev.id = id;
+  ev.parent = parent;
+  ev.value = value;
+  ev.pe = pe;
+  ev.aux = aux;
+  ev.tag = tag;
+  ev.phase = phase;
   if (ring_.size() < capacity_) {
     if (ring_.capacity() == 0) ring_.reserve(capacity_);
-    ring_.push_back(TraceEvent{time, pe, tag, value});
+    ring_.push_back(ev);
     return;
   }
-  ring_[head_] = TraceEvent{time, pe, tag, value};
+  ring_[head_] = ev;
   head_ = (head_ + 1) % capacity_;
 }
 
@@ -111,6 +143,8 @@ void TraceRecorder::clear() {
   ring_.shrink_to_fit();
   head_ = 0;
   recorded_ = 0;
+  nextId_ = 0;
+  context_ = 0;
   counts_.fill(0);
   layerTime_.fill(kTimeZero);
   pollHist_.fill(0);
@@ -122,7 +156,14 @@ std::string TraceRecorder::toString() const {
   std::ostringstream out;
   for (const TraceEvent& ev : snapshot()) {
     out << "t=" << ev.time << " pe=" << ev.pe << " " << traceTagName(ev.tag)
-        << " v=" << ev.value << "\n";
+        << " v=" << ev.value;
+    if (ev.id != 0) {
+      out << " id=" << ev.id;
+      if (ev.parent != 0) out << " parent=" << ev.parent;
+      if (ev.phase == SpanPhase::kBegin) out << " ph=b";
+      if (ev.phase == SpanPhase::kEnd) out << " ph=e";
+    }
+    out << "\n";
   }
   return out.str();
 }

@@ -11,6 +11,14 @@
 //    events (default ~1M); once full, the oldest events are overwritten so
 //    tracing stays safe on arbitrarily long runs. Disabled, the ring holds
 //    no storage at all.
+//
+// Causal tracing: every logical message / transfer / CkDirect put carries a
+// 64-bit trace id minted from mintId() (a deterministic counter — never an
+// address or RNG draw, so reruns and CKD_POOLS on/off produce bit-identical
+// ids). Layers record the id (and the id of the handler context that caused
+// the send, the parent) on their span events via recordSpan(), turning the
+// flat ring into a causal DAG that sim::CausalGraph can walk for critical
+// paths and per-layer latency breakdowns.
 
 #include <array>
 #include <cstddef>
@@ -75,6 +83,7 @@ enum class TraceTag : std::uint8_t {
   kCkptTaken,           // buddy checkpoint committed; value = packed bytes
   kCkptRestore,         // restart restored state; value = recovery cost (us)
   kStaleEpochDrop,      // scheduler dropped a pre-restart-epoch message
+  kSchedPumpDone,       // scheduler pump finished; value = time charged (us)
   kCount,
 };
 
@@ -82,11 +91,28 @@ constexpr std::size_t kTraceTagCount = static_cast<std::size_t>(TraceTag::kCount
 
 std::string_view traceTagName(TraceTag tag);
 
+/// Reverse of traceTagName(); returns kCount for unknown names.
+TraceTag traceTagFromName(std::string_view name);
+
+/// Where an event sits inside its causal chain. kBegin opens a span (send
+/// issued, put issued), kEnd closes it (handler delivered, callback fired);
+/// kInstant marks intermediate milestones (fabric submit/deliver, sentinel
+/// hit) or uncorrelated legacy points.
+enum class SpanPhase : std::uint8_t {
+  kInstant = 0,
+  kBegin,
+  kEnd,
+};
+
 struct TraceEvent {
-  Time time;
-  std::int32_t pe;
-  TraceTag tag;
-  double value;
+  Time time = 0.0;
+  std::uint64_t id = 0;      // causal chain id; 0 = not part of a chain
+  std::uint64_t parent = 0;  // chain id of the handler that caused this chain
+  double value = 0.0;        // tag-specific payload (bytes, queue length, ...)
+  std::int32_t pe = -1;
+  std::int32_t aux = -1;     // tag-specific small id (CkDirect handle, ...)
+  TraceTag tag = TraceTag::kCount;
+  SpanPhase phase = SpanPhase::kInstant;
 };
 
 class TraceRecorder {
@@ -99,7 +125,9 @@ class TraceRecorder {
   void enable(bool on = true);
   bool enabled() const { return enabled_; }
 
-  /// Ring capacity in events. May only change while the ring is empty.
+  /// Ring capacity in events. May be changed at any time, including mid-run
+  /// with a non-empty ring: shrinking keeps the newest `cap` events (the
+  /// older ones count as dropped), growing keeps everything already retained.
   void setCapacity(std::size_t cap);
   std::size_t capacity() const { return capacity_; }
 
@@ -109,8 +137,29 @@ class TraceRecorder {
   /// stays out of line.
   void record(Time time, int pe, TraceTag tag, double value = 0.0) {
     ++counts_[static_cast<std::size_t>(tag)];
-    if (enabled_) [[unlikely]] append(time, pe, tag, value);
+    if (enabled_) [[unlikely]]
+      append(time, pe, tag, value, 0, 0, SpanPhase::kInstant, -1);
   }
+
+  /// Record one causal span event: like record(), plus the chain id, the
+  /// causing chain's id, the span phase, and an optional tag-specific aux id.
+  void recordSpan(Time time, int pe, TraceTag tag, SpanPhase phase,
+                  std::uint64_t id, std::uint64_t parent = 0,
+                  double value = 0.0, std::int32_t aux = -1) {
+    ++counts_[static_cast<std::size_t>(tag)];
+    if (enabled_) [[unlikely]] append(time, pe, tag, value, id, parent, phase, aux);
+  }
+
+  // ---- causal chain ids ----
+
+  /// Mint a fresh chain id. Deterministic monotone counter (never 0), so a
+  /// parent's id is always smaller than any child it causes — the causal
+  /// graph is acyclic by construction and bit-identical across reruns.
+  std::uint64_t mintId() { return ++nextId_; }
+  /// Chain id of the handler currently executing (0 outside any handler).
+  /// Messages and puts minted while a context is set inherit it as parent.
+  std::uint64_t context() const { return context_; }
+  void setContext(std::uint64_t id) { context_ = id; }
 
   /// Total record() calls that hit the ring (including overwritten ones).
   std::uint64_t recorded() const { return recorded_; }
@@ -171,13 +220,17 @@ class TraceRecorder {
   std::string toString() const;
 
  private:
-  /// Ring-append slow path of record(); only runs while enabled().
-  void append(Time time, int pe, TraceTag tag, double value);
+  /// Ring-append slow path of record()/recordSpan(); only runs while
+  /// enabled().
+  void append(Time time, int pe, TraceTag tag, double value, std::uint64_t id,
+              std::uint64_t parent, SpanPhase phase, std::int32_t aux);
 
   bool enabled_ = false;
   std::size_t capacity_ = kDefaultCapacity;
   std::size_t head_ = 0;  // next overwrite slot once the ring is full
   std::uint64_t recorded_ = 0;
+  std::uint64_t nextId_ = 0;    // last minted chain id
+  std::uint64_t context_ = 0;   // chain id of the running handler
   std::vector<TraceEvent> ring_;
 
   std::array<std::uint64_t, kTraceTagCount> counts_{};

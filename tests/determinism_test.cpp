@@ -22,6 +22,8 @@
 #include "ckdirect/ckdirect.hpp"
 #include "fault/fault.hpp"
 #include "harness/machines.hpp"
+#include "sim/causal.hpp"
+#include "sim/trace.hpp"
 #include "util/pool.hpp"
 
 namespace {
@@ -57,11 +59,36 @@ std::uint64_t fnv(const void* data, std::size_t bytes,
 
 constexpr std::uint64_t kOob = 0xDEADBEEFCAFEBABEull;
 
+/// Field-by-field digest of the retained span events (the struct has
+/// padding, so hashing the raw bytes would fold in indeterminate garbage).
+std::uint64_t traceDigest(const std::vector<sim::TraceEvent>& events) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const sim::TraceEvent& ev : events) {
+    h = fnv(&ev.time, sizeof ev.time, h);
+    h = fnv(&ev.id, sizeof ev.id, h);
+    h = fnv(&ev.parent, sizeof ev.parent, h);
+    h = fnv(&ev.value, sizeof ev.value, h);
+    h = fnv(&ev.pe, sizeof ev.pe, h);
+    h = fnv(&ev.aux, sizeof ev.aux, h);
+    const auto tag = static_cast<unsigned char>(ev.tag);
+    const auto phase = static_cast<unsigned char>(ev.phase);
+    h = fnv(&tag, 1, h);
+    h = fnv(&phase, 1, h);
+  }
+  return h;
+}
+
 struct PingResult {
   double totalRtt = 0.0;
   double horizon = 0.0;
   std::uint64_t digest = 0;
   std::uint64_t events = 0;
+  // Causal-trace observables: the full event stream (ids, parents, times)
+  // and the derived critical path must also be bit-identical.
+  std::uint64_t trace = 0;
+  std::uint64_t chains = 0;
+  std::uint64_t pathHops = 0;
+  double pathSpan = 0.0;
 
   bool operator==(const PingResult&) const = default;
 };
@@ -71,6 +98,7 @@ struct PingResult {
 PingResult runPingpong(bool pools, std::size_t bytes, int iters) {
   PoolsGuard guard(pools);
   charm::Runtime rts(harness::abeMachine(2, 1));
+  rts.engine().trace().enable();
 
   struct State {
     std::vector<std::byte> sendA, recvA, sendB, recvB;
@@ -116,6 +144,12 @@ PingResult runPingpong(bool pools, std::size_t bytes, int iters) {
   result.horizon = rts.now();
   result.digest = st->digest;
   result.events = rts.engine().executedEvents();
+  const std::vector<sim::TraceEvent> events = rts.engine().trace().snapshot();
+  result.trace = traceDigest(events);
+  const sim::CausalGraph graph(events);
+  result.chains = graph.chains().size();
+  result.pathHops = graph.criticalPathHops();
+  result.pathSpan = graph.criticalPathSpan();
   return result;
 }
 
@@ -165,6 +199,28 @@ TEST(PoolDeterminism, PingpongIsByteIdenticalWithPoolsOff) {
   // The doubles must match to the bit, not merely within a tolerance.
   EXPECT_EQ(std::memcmp(&on.totalRtt, &off.totalRtt, sizeof(double)), 0);
   EXPECT_EQ(std::memcmp(&on.horizon, &off.horizon, sizeof(double)), 0);
+}
+
+TEST(TraceDeterminism, ChainIdsAndCriticalPathAreBitIdentical) {
+  // The causal tracer's contract: trace ids are minted from a deterministic
+  // counter, never an address or RNG draw, so the whole span stream — and
+  // everything derived from it — is bit-identical across reruns and across
+  // CKD_POOLS on/off.
+  const PingResult first = runPingpong(/*pools=*/true, 4096, 40);
+  const PingResult rerun = runPingpong(/*pools=*/true, 4096, 40);
+  const PingResult noPool = runPingpong(/*pools=*/false, 4096, 40);
+
+  EXPECT_GT(first.chains, 0u);
+  EXPECT_EQ(first.chains, first.pathHops);  // pingpong is one serial path
+  EXPECT_GT(first.pathSpan, 0.0);
+
+  EXPECT_EQ(first.trace, rerun.trace);
+  EXPECT_EQ(first.trace, noPool.trace);
+  EXPECT_EQ(first.chains, noPool.chains);
+  EXPECT_EQ(first.pathHops, noPool.pathHops);
+  // Bitwise, not within-tolerance.
+  EXPECT_EQ(std::memcmp(&first.pathSpan, &rerun.pathSpan, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&first.pathSpan, &noPool.pathSpan, sizeof(double)), 0);
 }
 
 TEST(PoolDeterminism, CrashStormIsByteIdenticalWithPoolsOff) {

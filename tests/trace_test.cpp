@@ -12,6 +12,8 @@
 #include "harness/machines.hpp"
 #include "harness/pingpong.hpp"
 #include "harness/profile.hpp"
+#include "harness/trace_export.hpp"
+#include "sim/causal.hpp"
 #include "sim/trace.hpp"
 #include "util/args.hpp"
 #include "util/json.hpp"
@@ -85,6 +87,166 @@ TEST(TraceMetrics, PollHistogramBucketsByLog2) {
   EXPECT_EQ(hist[1], 1u);
   EXPECT_EQ(hist[2], 2u);
   EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(TraceRing, SetCapacityShrinkMidRunKeepsNewest) {
+  TraceRecorder t;
+  t.setCapacity(16);
+  t.enable();
+  for (int i = 0; i < 10; ++i)
+    t.record(static_cast<sim::Time>(i), 0, TraceTag::kSchedPump);
+  // Shrink with a non-empty (wrapped-or-not) ring: newest 4 survive.
+  t.setCapacity(4);
+  EXPECT_EQ(t.capacity(), 4u);
+  std::vector<sim::TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_DOUBLE_EQ(events[i].time, static_cast<double>(6 + i));
+  // Recording continues seamlessly at the new capacity.
+  t.record(100.0, 0, TraceTag::kSchedPump);
+  events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_DOUBLE_EQ(events.front().time, 7.0);
+  EXPECT_DOUBLE_EQ(events.back().time, 100.0);
+}
+
+TEST(TraceRing, SetCapacityGrowMidRunKeepsEverything) {
+  TraceRecorder t;
+  t.setCapacity(4);
+  t.enable();
+  for (int i = 0; i < 9; ++i)  // wraps: head_ is mid-ring
+    t.record(static_cast<sim::Time>(i), 0, TraceTag::kSchedPump);
+  t.setCapacity(8);
+  std::vector<sim::TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);  // the 4 retained before the grow
+  EXPECT_DOUBLE_EQ(events.front().time, 5.0);
+  for (int i = 9; i < 13; ++i)
+    t.record(static_cast<sim::Time>(i), 0, TraceTag::kSchedPump);
+  events = t.snapshot();
+  ASSERT_EQ(events.size(), 8u);  // grew into the new room, oldest-first
+  EXPECT_DOUBLE_EQ(events.front().time, 5.0);
+  EXPECT_DOUBLE_EQ(events.back().time, 12.0);
+}
+
+// --- causal chains ---------------------------------------------------------------
+
+TEST(Causal, MintedIdsAreMonotoneAndContextRoundTrips) {
+  TraceRecorder t;
+  const std::uint64_t a = t.mintId();
+  const std::uint64_t b = t.mintId();
+  EXPECT_GT(a, 0u);
+  EXPECT_GT(b, a);
+  EXPECT_EQ(t.context(), 0u);
+  t.setContext(a);
+  EXPECT_EQ(t.context(), a);
+  t.clear();  // clear() restarts the id space with the metrics
+  EXPECT_EQ(t.context(), 0u);
+  EXPECT_EQ(t.mintId(), 1u);
+}
+
+TEST(Causal, CkdirectPingpongChainsLinkIntoOnePath) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 1000;
+  cfg.iterations = 25;
+  cfg.trace = true;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::ckdirectPingpongRtt(harness::abeMachine(2, 1), cfg);
+
+  const sim::CausalGraph graph(report.traceEvents);
+  // One chain per put, all completed, each parented on its predecessor:
+  // the whole run is one causal path.
+  ASSERT_EQ(graph.chains().size(), 2u * 25u);
+  for (const sim::CausalChain& c : graph.chains()) {
+    EXPECT_TRUE(c.complete);
+    EXPECT_EQ(c.kind, TraceTag::kDirectPut);
+    EXPECT_EQ(c.parent, c.id - 1);  // chain 1's parent is 0 (a root)
+    // Milestones in order, all observed on the zero-copy path.
+    EXPECT_LE(c.start, c.submit);
+    EXPECT_LE(c.submit, c.land);
+    EXPECT_LE(c.land, c.detect);
+    EXPECT_LE(c.detect, c.end);
+    // Exact-sum contract: the four segments add up to the total, bit for bit.
+    const sim::LayerBreakdown b = c.breakdown();
+    EXPECT_DOUBLE_EQ(b.queue_us + b.wire_us + b.poll_us + b.handler_us,
+                     b.total_us);
+    EXPECT_GT(b.wire_us, 0.0);
+  }
+  const std::vector<sim::CausalChain> path = graph.criticalPath();
+  EXPECT_EQ(path.size(), 2u * 25u);
+  EXPECT_EQ(path.front().id, 1u);
+  // Dependency-chained workload: the critical path explains the horizon to
+  // within 1% (the acceptance bar for the causal tracer).
+  EXPECT_NEAR(graph.criticalPathSpan() / report.horizon_us, 1.0, 0.01);
+  // ...and the same numbers surfaced in the profile's headline block.
+  EXPECT_EQ(report.causalChains, graph.chains().size());
+  EXPECT_EQ(report.criticalPathHops, path.size());
+  EXPECT_DOUBLE_EQ(report.criticalPath_us, graph.criticalPathSpan());
+
+  const sim::LatencySummary put = graph.putLatency();
+  EXPECT_EQ(put.count, 2u * 25u);
+  EXPECT_DOUBLE_EQ(put.mean.queue_us + put.mean.wire_us + put.mean.poll_us +
+                       put.mean.handler_us,
+                   put.mean.total_us);
+  EXPECT_GT(put.mean.poll_us, 0.0);  // sentinel polling is on this path
+}
+
+TEST(Causal, CharmPingpongMessageChainsCarryTheWireSegment) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 1000;
+  cfg.iterations = 20;
+  cfg.trace = true;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::charmPingpongRtt(harness::abeMachine(2, 1), cfg);
+
+  const sim::CausalGraph graph(report.traceEvents);
+  const sim::LatencySummary msg = graph.messageLatency();
+  EXPECT_GE(msg.count, 2u * 20u);
+  EXPECT_GT(msg.mean.total_us, 0.0);
+  EXPECT_GT(msg.mean.wire_us, 0.0);
+  EXPECT_DOUBLE_EQ(msg.mean.queue_us + msg.mean.wire_us + msg.mean.poll_us +
+                       msg.mean.handler_us,
+                   msg.mean.total_us);
+  EXPECT_EQ(graph.putLatency().count, 0u);  // no CkDirect in this variant
+  // Per-PE busy time came out of the pump-duration events.
+  ASSERT_GE(graph.peBusyTime().size(), 2u);
+  EXPECT_GT(graph.peBusyTime()[0], 0.0);
+  EXPECT_GT(graph.peBusyTime()[1], 0.0);
+}
+
+// --- --trace-filter grammar ------------------------------------------------------
+
+TEST(TraceFilterSpec, GlobAndPeTokensCompose) {
+  using harness::TraceFilter;
+  EXPECT_TRUE(TraceFilter::globMatch("direct.*", "direct.put"));
+  EXPECT_TRUE(TraceFilter::globMatch("*", "anything"));
+  EXPECT_TRUE(TraceFilter::globMatch("*deliver*", "fabric.deliver"));
+  EXPECT_FALSE(TraceFilter::globMatch("direct.*", "sched.deliver"));
+  EXPECT_FALSE(TraceFilter::globMatch("direct", "direct.put"));
+
+  EXPECT_FALSE(TraceFilter().active());
+  EXPECT_FALSE(TraceFilter::parse("").active());
+
+  sim::TraceEvent put;
+  put.tag = TraceTag::kDirectPut;
+  put.pe = 1;
+  sim::TraceEvent deliver;
+  deliver.tag = TraceTag::kSchedDeliver;
+  deliver.pe = 2;
+
+  const auto tagOnly = harness::TraceFilter::parse("direct.*");
+  EXPECT_TRUE(tagOnly.active());
+  EXPECT_TRUE(tagOnly.matches(put));
+  EXPECT_FALSE(tagOnly.matches(deliver));
+
+  const auto peOnly = harness::TraceFilter::parse("pe=2");
+  EXPECT_FALSE(peOnly.matches(put));
+  EXPECT_TRUE(peOnly.matches(deliver));
+
+  const auto both = harness::TraceFilter::parse("direct.*,sched.*,pe=1");
+  EXPECT_TRUE(both.matches(put));
+  EXPECT_FALSE(both.matches(deliver));  // tag passes, PE does not
 }
 
 // --- layer attribution through real runs ----------------------------------------
@@ -256,6 +418,117 @@ TEST(BenchJson, RunnerWritesStableSchema) {
   EXPECT_EQ(metric.at("labels").at("variant").asString(), "charm");
   ASSERT_EQ(doc.at("profiles").size(), 1u);
   EXPECT_EQ(doc.at("profiles").at(0).at("label").asString(), "charm/100");
+}
+
+namespace {
+
+std::string readAll(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  EXPECT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    text.append(buf, n);
+  std::fclose(f);
+  return text;
+}
+
+harness::ProfileReport tracedCkdirectRun(int iterations) {
+  harness::PingpongConfig cfg;
+  cfg.bytes = 1000;
+  cfg.iterations = iterations;
+  cfg.trace = true;
+  harness::ProfileReport report;
+  cfg.profile = &report;
+  harness::ckdirectPingpongRtt(harness::abeMachine(2, 1), cfg);
+  report.label = "ckdirect/1000";
+  return report;
+}
+
+}  // namespace
+
+TEST(TraceDump, CarriesCausalFieldsRunsAndHonorsFilter) {
+  const char* path = "TRACE_selftest.json";
+  const char* argv[] = {"selftest", "--trace-dump", path, "--trace-filter",
+                        "direct.*,fabric.*"};
+  util::Args args(5, argv);
+  harness::BenchRunner runner("selftest", args);
+  EXPECT_TRUE(runner.traceEnabled());
+  runner.addProfile(tracedCkdirectRun(10));
+  EXPECT_EQ(runner.finish(), 0);
+
+  const util::JsonValue doc = util::JsonValue::parse(readAll(path));
+  std::remove(path);
+  EXPECT_EQ(doc.at("schema").asString(), "ckd.trace.v1");
+  ASSERT_EQ(doc.at("runs").size(), 1u);
+  EXPECT_EQ(doc.at("runs").at(0).at("label").asString(), "ckdirect/1000");
+  EXPECT_GT(doc.at("runs").at(0).at("horizon_us").asNumber(), 0.0);
+
+  const util::JsonValue& events = doc.at("events");
+  ASSERT_GT(events.size(), 0u);
+  bool sawSpan = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::JsonValue& ev = events.at(i);
+    const std::string& tag = ev.at("tag").asString();
+    // The filter let only the CkDirect + fabric families through.
+    EXPECT_TRUE(tag.rfind("direct.", 0) == 0 || tag.rfind("fabric.", 0) == 0)
+        << tag;
+    if (tag == "direct.put") {
+      EXPECT_GT(ev.at("id").asNumber(), 0.0);
+      EXPECT_EQ(ev.at("ph").asString(), "b");
+      EXPECT_GE(ev.at("aux").asNumber(), 0.0);
+      sawSpan = true;
+    }
+  }
+  EXPECT_TRUE(sawSpan);
+}
+
+TEST(Perfetto, WriterEmitsParsableTimelineWithFlows) {
+  std::vector<harness::ProfileReport> profiles;
+  profiles.push_back(tracedCkdirectRun(10));
+  const char* path = "PERFETTO_selftest.json";
+  harness::writePerfettoTrace(path, "selftest", profiles);
+
+  const util::JsonValue doc = util::JsonValue::parse(readAll(path));
+  std::remove(path);
+  EXPECT_EQ(doc.at("otherData").at("schema").asString(), "ckd.perfetto.v1");
+  EXPECT_EQ(doc.at("otherData").at("bench").asString(), "selftest");
+
+  const util::JsonValue& events = doc.at("traceEvents");
+  std::size_t meta = 0, slices = 0, begins = 0, ends = 0, flowS = 0,
+              flowF = 0, instants = 0;
+  bool sawPeTrack = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::JsonValue& ev = events.at(i);
+    const std::string& ph = ev.at("ph").asString();
+    if (ph == "M") {
+      ++meta;
+      if (ev.at("args").at("name").asString().rfind("PE ", 0) == 0)
+        sawPeTrack = true;
+    } else if (ph == "X") {
+      ++slices;
+      EXPECT_GE(ev.at("dur").asNumber(), 0.0);
+    } else if (ph == "b") {
+      ++begins;
+    } else if (ph == "e") {
+      ++ends;
+    } else if (ph == "s") {
+      ++flowS;
+    } else if (ph == "f") {
+      ++flowF;
+      EXPECT_EQ(ev.at("bp").asString(), "e");
+    } else if (ph == "i") {
+      ++instants;
+    }
+  }
+  EXPECT_TRUE(sawPeTrack);
+  EXPECT_GT(meta, 0u);
+  EXPECT_GT(slices, 0u);    // per-PE busy slices
+  EXPECT_GT(instants, 0u);  // span milestones on the PE tracks
+  EXPECT_EQ(begins, 20u);   // one async span per put chain...
+  EXPECT_EQ(ends, 20u);
+  EXPECT_EQ(flowS, 20u);    // ...with a sender->receiver flow arrow each
+  EXPECT_EQ(flowF, 20u);
 }
 
 }  // namespace
