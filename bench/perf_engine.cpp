@@ -19,6 +19,16 @@
 //                      than E events/sec; 0 disables the gate (CI sets a
 //                      generous floor so only order-of-magnitude regressions
 //                      trip it)
+//   --shards N         additionally run the storm on a one-PE-per-node
+//                      machine twice — serial and under the thread-sharded
+//                      parallel engine with N shards — and report both rates
+//                      plus their speedup (scenarios storm-ser / storm-par)
+//   --shard-threads T  worker threads for the parallel storm (default: one
+//                      per shard, capped to hardware concurrency)
+//   --speedup-floor S  fail (exit 1) if the parallel storm's speedup over
+//                      storm-ser is below S; skipped (with a note) when the
+//                      host gave the run fewer than 2 worker threads, where
+//                      no speedup is possible by construction
 
 #include <chrono>
 #include <cstdio>
@@ -30,6 +40,7 @@
 #include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "util/args.hpp"
 #include "util/require.hpp"
 
@@ -45,6 +56,7 @@ double wallSeconds(std::chrono::steady_clock::time_point start) {
 struct ScenarioResult {
   std::uint64_t events = 0;
   double wall_s = 0.0;
+  int threads = 1;  ///< host worker threads the engine actually used
   double eventsPerSec() const { return wall_s > 0.0 ? events / wall_s : 0.0; }
 };
 
@@ -103,8 +115,17 @@ class StormChare final : public charm::Chare {
   }
 };
 
-ScenarioResult runStorm(int pairs, int iterations, std::size_t bytes) {
-  charm::MachineConfig machine = harness::abeMachine(2 * pairs, 4);
+/// `pesPerNode` shapes the machine (the classic storm packs 4 PEs per node;
+/// the sharded A/B uses 1 so every pingpong crosses the wire and shards have
+/// one node each). `shards` > 0 selects the thread-sharded parallel engine;
+/// `recordTo` receives the per-shard counters for the host JSON.
+ScenarioResult runStorm(int pairs, int iterations, std::size_t bytes,
+                        int pesPerNode = 4, int shards = 0,
+                        int shardThreads = 0,
+                        harness::BenchRunner* recordTo = nullptr) {
+  charm::MachineConfig machine = harness::abeMachine(2 * pairs, pesPerNode);
+  machine.shards = shards;
+  machine.shardThreads = shardThreads;
   charm::Runtime rts(machine);
   auto proxy = charm::makeArray<StormChare>(
       rts, "storm", 2 * pairs, [](std::int64_t i) { return static_cast<int>(i); },
@@ -127,7 +148,10 @@ ScenarioResult runStorm(int pairs, int iterations, std::size_t bytes) {
   rts.run();
   ScenarioResult result;
   result.wall_s = wallSeconds(start);
-  result.events = rts.engine().executedEvents();
+  result.events = rts.executedEvents();
+  if (const sim::ParallelEngine* par = rts.parallelEngine())
+    result.threads = par->threads();
+  if (recordTo != nullptr) recordTo->recordShardStats(rts);
   return result;
 }
 
@@ -144,17 +168,34 @@ int main(int argc, char** argv) {
   const std::size_t stormBytes =
       static_cast<std::size_t>(args.getInt("storm-bytes", 100));
   const double floor = args.getDouble("floor", 0.0);
+  const double speedupFloor = args.getDouble("speedup-floor", 0.0);
   CKD_REQUIRE(churnTimers > 0 && stormIters > 0 && stormPairs > 0,
               "scenario sizes must be positive");
 
   const ScenarioResult churn = runChurn(churnEvents, churnTimers);
   const ScenarioResult storm = runStorm(stormPairs, stormIters, stormBytes);
 
+  // Sharded A/B on a one-PE-per-node machine: the serial floor and the
+  // parallel engine run the identical workload (the determinism gate in
+  // tests/ proves they produce identical virtual-time results).
+  ScenarioResult stormSer, stormPar;
+  const bool sharded = runner.shards() > 0;
+  if (sharded) {
+    stormSer = runStorm(stormPairs, stormIters, stormBytes, /*pesPerNode=*/1);
+    stormPar = runStorm(stormPairs, stormIters, stormBytes, /*pesPerNode=*/1,
+                        runner.shards(), runner.shardThreads(), &runner);
+  }
+
   struct Row {
     const char* name;
     const ScenarioResult& r;
   };
-  for (const Row& row : {Row{"churn", churn}, Row{"storm", storm}}) {
+  std::vector<Row> rows = {Row{"churn", churn}, Row{"storm", storm}};
+  if (sharded) {
+    rows.push_back(Row{"storm-ser", stormSer});
+    rows.push_back(Row{"storm-par", stormPar});
+  }
+  for (const Row& row : rows) {
     std::printf("%-6s %12llu events  %8.3f s wall  %12.0f events/sec\n",
                 row.name, static_cast<unsigned long long>(row.r.events),
                 row.r.wall_s, row.r.eventsPerSec());
@@ -167,13 +208,51 @@ int main(int argc, char** argv) {
                      "events", std::move(labels));
   }
 
+  double speedup = 0.0;
+  if (sharded) {
+    speedup = stormSer.eventsPerSec() > 0.0
+                  ? stormPar.eventsPerSec() / stormSer.eventsPerSec()
+                  : 0.0;
+    std::printf("storm-par speedup %.2fx over storm-ser (%d shards, %d threads)\n",
+                speedup, runner.shards(), stormPar.threads);
+    util::JsonValue labels = util::JsonValue::object();
+    labels.set("scenario", util::JsonValue("storm-par"));
+    labels.set("shards", util::JsonValue(static_cast<double>(runner.shards())));
+    labels.set("threads", util::JsonValue(static_cast<double>(stormPar.threads)));
+    runner.addMetric("speedup", speedup, "x", std::move(labels));
+  }
+
   const int code = runner.finish();
   if (code != 0) return code;
+  // The determinism gate in tests/ proves bit-identical traces; this is the
+  // cheap always-on cross-check that the sharded engine really executed the
+  // same simulation (it also guards the large --storm-pairs smoke, where
+  // running the full trace comparison would dwarf the benchmark itself).
+  if (sharded && stormPar.events != stormSer.events) {
+    std::fprintf(stderr,
+                 "FAIL: sharded storm executed %llu events, serial %llu\n",
+                 static_cast<unsigned long long>(stormPar.events),
+                 static_cast<unsigned long long>(stormSer.events));
+    return 1;
+  }
   if (floor > 0.0 && storm.eventsPerSec() < floor) {
     std::fprintf(stderr,
                  "FAIL: storm events/sec %.0f below the floor %.0f\n",
                  storm.eventsPerSec(), floor);
     return 1;
+  }
+  if (sharded && speedupFloor > 0.0) {
+    if (stormPar.threads < 2) {
+      std::fprintf(stderr,
+                   "note: --speedup-floor skipped, host gave the parallel "
+                   "storm only %d worker thread(s)\n",
+                   stormPar.threads);
+    } else if (speedup < speedupFloor) {
+      std::fprintf(stderr,
+                   "FAIL: storm-par speedup %.2fx below the floor %.2fx\n",
+                   speedup, speedupFloor);
+      return 1;
+    }
   }
   return 0;
 }

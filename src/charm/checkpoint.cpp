@@ -65,14 +65,22 @@ void CheckpointManager::onReductionRoot(ArrayId array, std::uint32_t round,
   // consistent (the victim cannot have contributed — this only triggers
   // for arrays with no elements there).
   if (!armed_ || crashedPe_ >= 0 || pendingCrashes_ == 0) return;
-  const sim::Time now = rts_.engine().now();
-  // Genesis: the first root flush checkpoints regardless of the period, so
-  // a usable snapshot exists as soon as the application's setup barrier
-  // completes. After that the period gates checkpoint frequency.
-  if (lastCkptAt_ >= 0.0 &&
-      now - lastCkptAt_ < rts_.config_.checkpointPeriod_us)
-    return;
-  takeCheckpoint(array, round, agg);
+  // The snapshot packs EVERY PE's elements, so under --shards it must run
+  // in serial context (every shard parked). Defer to the boundary of the
+  // window that flushed the root — a partition-independent instant — and
+  // re-evaluate the gates there: an outage can begin at exactly that
+  // boundary, and the period must be measured at the commit time. On the
+  // classic engine the deferral runs inline and nothing changes.
+  rts_.runAtSerialBoundary([this, array, round, agg]() {
+    if (crashedPe_ >= 0 || pendingCrashes_ == 0) return;
+    // Genesis: the first root flush checkpoints regardless of the period,
+    // so a usable snapshot exists as soon as the application's setup
+    // barrier completes. After that the period gates checkpoint frequency.
+    if (lastCkptAt_ >= 0.0 && rts_.engine().now() - lastCkptAt_ <
+                                  rts_.config_.checkpointPeriod_us)
+      return;
+    takeCheckpoint(array, round, agg);
+  });
 }
 
 void CheckpointManager::takeCheckpoint(ArrayId array, std::uint32_t round,
@@ -118,7 +126,9 @@ void CheckpointManager::takeCheckpoint(ArrayId array, std::uint32_t round,
     send.wireBytes = shard.size() + 32;  // shard + checkpoint header
     send.cls = fault::MsgClass::kBulk;
     send.on_deliver = [this, id, pe](std::vector<std::byte>&&) {
-      onShardArrived(id, pe);
+      // Arrival fires on the buddy's shard; the snapshot table is global
+      // state, so completion is committed at the window boundary.
+      rts_.runAtSerialBoundary([this, id, pe]() { onShardArrived(id, pe); });
     };
     send.on_error = [this, pe](fault::WcStatus) {
       // Extreme storm: give up on this snapshot's shard but recover the

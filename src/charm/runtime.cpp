@@ -12,10 +12,50 @@
 
 namespace ckd::charm {
 
+thread_local int Runtime::currentPe_ = -1;
+
 Runtime::Runtime(MachineConfig config) : config_(std::move(config)) {
   CKD_REQUIRE(config_.topology != nullptr, "Runtime requires a topology");
-  fabric_ = std::make_unique<net::Fabric>(engine_, config_.topology,
-                                          config_.netParams);
+  if (config_.shards > 0) {
+    // Windowed sharded execution. The partition is node-aligned (contiguous
+    // node ranges) so injection/ejection ports, intra-node transfers, and
+    // self-sends — all of which may cost less than the lookahead — stay
+    // shard-local. The lookahead is the machine's wire-latency floor: no
+    // cross-node arrival can land sooner after its send instant.
+    const topo::Topology& topo = *config_.topology;
+    const int nodes = topo.numNodes();
+    const int nShards = std::min(config_.shards, nodes);
+    std::vector<int> shardOf(static_cast<std::size_t>(topo.numPes()));
+    for (int pe = 0; pe < topo.numPes(); ++pe)
+      shardOf[static_cast<std::size_t>(pe)] = static_cast<int>(
+          static_cast<std::int64_t>(topo.nodeOf(pe)) * nShards / nodes);
+    sim::ParallelEngine::Config pcfg;
+    pcfg.shards = nShards;
+    pcfg.threads = config_.shardThreads;
+    pcfg.lookahead = config_.netParams.wireLatencyFloor();
+    parallel_ = std::make_unique<sim::ParallelEngine>(pcfg, std::move(shardOf));
+    // Chain ids and message sequences switch to per-PE minting so they are
+    // functions of per-PE order alone (partition-independent).
+    parallel_->serialEngine().trace().setPerPeMinting(
+        &parallel_->mintCounters());
+    for (int s = 0; s < parallel_->shards(); ++s)
+      parallel_->shardEngine(s).trace().setPerPeMinting(
+          &parallel_->mintCounters());
+    peMsgSeq_.assign(static_cast<std::size_t>(topo.numPes()) + 1, 0);
+    // Unverified-under-sharding paths are refused loudly rather than run
+    // racily: probabilistic wire faults draw from one RNG stream (pe_crash
+    // plans are scheduled up front and fire serially, so they are fine).
+    for (const fault::FaultRule& rule : config_.faults.rules)
+      CKD_REQUIRE(rule.kind == fault::FaultKind::kPeCrash,
+                  "--shards supports fail-stop (pe_crash) fault plans only");
+    CKD_REQUIRE(config_.layer == LayerKind::kInfiniband,
+                "--shards currently supports the InfiniBand machine layer "
+                "only (the DCMF layer's connection state is not sharded)");
+  }
+  fabric_ = std::make_unique<net::Fabric>(
+      parallel_ ? parallel_->serialEngine() : engine_, config_.topology,
+      config_.netParams);
+  if (parallel_) fabric_->attachParallel(parallel_.get());
   if (config_.faults.armed())
     fabric_->installFaults(config_.faults, config_.faultSeed);
   const int pes = numPes();
@@ -56,6 +96,33 @@ ib::IbVerbs& Runtime::ibVerbs() {
 dcmf::DcmfContext& Runtime::dcmf() {
   CKD_REQUIRE(dcmf_ != nullptr, "not a Blue Gene machine");
   return *dcmf_;
+}
+
+void Runtime::enableTracing(std::size_t capacity) {
+  const auto arm = [capacity](sim::Engine& eng) {
+    if (capacity != 0) eng.trace().setCapacity(capacity);
+    eng.trace().enable();
+  };
+  if (!parallel_) {
+    arm(engine_);
+    return;
+  }
+  arm(parallel_->serialEngine());
+  for (int s = 0; s < parallel_->shards(); ++s) arm(parallel_->shardEngine(s));
+}
+
+std::vector<sim::TraceEvent> Runtime::traceEvents() const {
+  return parallel_ ? parallel_->mergedTrace() : engine_.trace().snapshot();
+}
+
+std::uint64_t Runtime::nextMsgSeq(int srcPe) {
+  if (!parallel_) return nextSeq_++;
+  // Per-PE sequence space: the counter slot is touched only by srcPe's own
+  // shard thread (or by the coordinator while every shard is parked), and
+  // the value is a function of srcPe's send order alone — identical for
+  // every shard count.
+  auto& counter = peMsgSeq_[static_cast<std::size_t>(srcPe) + 1];
+  return (static_cast<std::uint64_t>(srcPe) + 1) << 40 | ++counter;
 }
 
 // --- arrays -----------------------------------------------------------------
@@ -161,31 +228,34 @@ void Runtime::sendMessage(MessagePtr msg) {
   Envelope& env = msg->env();
   CKD_REQUIRE(env.srcPe >= 0 && env.srcPe < numPes(), "bad source PE");
   CKD_REQUIRE(env.dstPe >= 0 && env.dstPe < numPes(), "bad destination PE");
-  env.seq = nextSeq_++;
+  env.seq = nextMsgSeq(env.srcPe);
   env.epoch = epoch_;
   if (env.traceId == 0) {
     // Mint the causal chain id once per logical message; retransmits and
-    // forwarded copies that already carry one keep it.
-    env.traceId = engine_.trace().mintId();
-    env.parentTraceId = engine_.trace().context();
+    // forwarded copies that already carry one keep it. mintIdFor draws from
+    // the per-PE counters under --shards, the global counter otherwise.
+    sim::TraceRecorder& tr = engine().trace();
+    env.traceId = tr.mintIdFor(env.srcPe);
+    env.parentTraceId = tr.context();
   }
-  ++messagesSent_;
+  messagesSent_.fetch_add(1, std::memory_order_relaxed);
 
   Scheduler& src = scheduler(env.srcPe);
   const bool inContext = (currentPe_ == env.srcPe) && src.inHandler();
   if (inContext)
     src.chargeAs(sim::Layer::kTransport,
                  config_.costs.pack_us + config_.costs.send_overhead_us);
-  const sim::Time issue = inContext ? src.currentTime() : engine_.now();
+  const sim::Time issue = inContext ? src.currentTime() : engine().now();
 
   msg->sealHeader();
+  const int srcPe = env.srcPe;
   if (env.srcPe == env.dstPe) {
     const int dst = env.dstPe;
-    engine_.at(issue, [this, dst, msg = std::move(msg)]() mutable {
+    schedAt(srcPe, issue, [this, dst, msg = std::move(msg)]() mutable {
       scheduler(dst).enqueue(std::move(msg));
     });
   } else {
-    engine_.at(issue, [this, msg = std::move(msg)]() mutable {
+    schedAt(srcPe, issue, [this, msg = std::move(msg)]() mutable {
       transport_->send(std::move(msg));
     });
   }
@@ -201,10 +271,10 @@ void Runtime::enqueueLocalUser(ArrayId array, std::int64_t index,
   env.arrayId = array;
   env.elemIndex = index;
   env.entry = entry;
-  env.seq = nextSeq_++;
+  env.seq = nextMsgSeq(pe);
   env.epoch = epoch_;
-  env.traceId = engine_.trace().mintId();
-  env.parentTraceId = engine_.trace().context();
+  env.traceId = engine().trace().mintIdFor(pe);
+  env.parentTraceId = engine().trace().context();
   scheduler(pe).enqueue(Message::make(env, payload));
 }
 

@@ -4,6 +4,7 @@
 // and one simulated processor per PE, the chare-array registry, and the
 // reduction/broadcast trees.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -19,6 +20,7 @@
 #include "fault/fault.hpp"
 #include "net/fabric.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel.hpp"
 #include "sim/processor.hpp"
 #include "topo/topology.hpp"
 
@@ -49,6 +51,14 @@ struct MachineConfig {
   /// fault plan schedules pe_crash events (checkpointing costs nothing
   /// otherwise because the manager is never created).
   sim::Time checkpointPeriod_us = 100.0;
+  /// Discrete-event execution mode. 0 = the classic single engine. N >= 1 =
+  /// the windowed sharded engine (sim::ParallelEngine) with min(N, numNodes)
+  /// node-aligned shards; 1 is the serial baseline of the determinism gate
+  /// (same windowed semantics, one shard). Every shard count produces
+  /// bit-identical results; only wall-clock differs.
+  int shards = 0;
+  /// Worker threads for the sharded engine; 0 = min(shards, host cores).
+  int shardThreads = 0;
 };
 
 class Runtime {
@@ -60,7 +70,18 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   // --- machine access -------------------------------------------------------
-  sim::Engine& engine() { return engine_; }
+
+  /// Engine of the calling execution context: the classic single engine, or
+  /// — under --shards — the current thread's shard engine (the serial engine
+  /// from setup/coordinator code). All timing reads and direct scheduling by
+  /// the layers go through this.
+  sim::Engine& engine() {
+    return parallel_ ? parallel_->current() : engine_;
+  }
+  /// True when the machine runs on the windowed sharded engine.
+  bool windowed() const { return parallel_ != nullptr; }
+  sim::ParallelEngine* parallelEngine() { return parallel_.get(); }
+  const sim::ParallelEngine* parallelEngine() const { return parallel_.get(); }
   net::Fabric& fabric() { return *fabric_; }
   const topo::Topology& topology() const { return *config_.topology; }
   const RuntimeCosts& costs() const { return config_.costs; }
@@ -75,9 +96,39 @@ class Runtime {
   /// The DCMF layer (Blue Gene machines only).
   dcmf::DcmfContext& dcmf();
 
-  /// PE whose handler is currently executing, or -1 between handlers.
+  /// PE whose handler is currently executing on THIS thread, or -1 between
+  /// handlers (thread-local: each shard worker tracks its own pumping PE).
   int currentPe() const { return currentPe_; }
-  void setCurrentPe(int pe) { currentPe_ = pe; }
+  void setCurrentPe(int pe) {
+    currentPe_ = pe;
+    // The pumping PE is also the canonical ordering key for serial events
+    // issued from inside its handlers (checkpoint commits and the like).
+    if (parallel_ && parallel_->currentShard() >= 0)
+      parallel_->setSerialSrcPe(pe);
+  }
+
+  /// Schedule `fn` at `when` on `pe`'s home engine. Same-shard (and legacy
+  /// single-engine) calls go straight to the heap; this is the required
+  /// path for PE-local work whose latency may sit below the lookahead
+  /// (scheduler pumps, self-sends, intra-node hops).
+  template <class F>
+  void schedAt(int pe, sim::Time when, F&& fn) {
+    if (parallel_)
+      parallel_->atLocal(pe, when, std::forward<F>(fn));
+    else
+      engine_.at(when, std::forward<F>(fn));
+  }
+
+  /// Run `fn` in serial context at the earliest globally-safe instant: the
+  /// current window's ceiling under the sharded engine (every shard parked,
+  /// cross-shard state free to touch), immediately on the legacy engine.
+  template <class F>
+  void runAtSerialBoundary(F&& fn) {
+    if (parallel_)
+      parallel_->atSerialBoundary(std::forward<F>(fn));
+    else
+      fn();
+  }
 
   // --- fail-stop tolerance ---------------------------------------------------
 
@@ -167,13 +218,38 @@ class Runtime {
   // --- driving -----------------------------------------------------------------
 
   /// Schedule `fn` at t=0, before any messages flow (mainchare-style setup).
-  void seed(std::function<void()> fn) { engine_.at(0.0, std::move(fn)); }
+  void seed(std::function<void()> fn) {
+    if (parallel_)
+      parallel_->atSerial(0.0, std::move(fn));
+    else
+      engine_.at(0.0, std::move(fn));
+  }
 
   /// Run the machine until quiescence (no pending events).
-  void run() { engine_.run(); }
-  sim::Time now() const { return engine_.now(); }
+  void run() {
+    if (parallel_)
+      parallel_->run();
+    else
+      engine_.run();
+  }
+  /// Completion horizon: max clock over every engine of the machine.
+  sim::Time now() const {
+    return parallel_ ? parallel_->horizon() : engine_.now();
+  }
 
-  std::uint64_t messagesSent() const { return messagesSent_; }
+  /// Events executed across every engine of the machine.
+  std::uint64_t executedEvents() const {
+    return parallel_ ? parallel_->executedEvents() : engine_.executedEvents();
+  }
+  /// Enable causal tracing on every engine; `capacity` != 0 resizes each
+  /// ring first.
+  void enableTracing(std::size_t capacity = 0);
+  /// Retained trace events, merged across shards in canonical order.
+  std::vector<sim::TraceEvent> traceEvents() const;
+
+  std::uint64_t messagesSent() const {
+    return messagesSent_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct ReduceAgg {
@@ -208,6 +284,9 @@ class Runtime {
   /// Resolve the effective source PE for a send issued right now.
   int effectiveSrcPe() const { return currentPe_ >= 0 ? currentPe_ : 0; }
 
+  /// Next envelope sequence number for a message from `srcPe`.
+  std::uint64_t nextMsgSeq(int srcPe);
+
   void handleBroadcast(Message& msg);
   void handleReduceUp(Message& msg);
   void handleReduceDown(Message& msg);
@@ -228,6 +307,9 @@ class Runtime {
 
   MachineConfig config_;
   sim::Engine engine_;
+  /// Sharded engine (--shards); declared before the fabric so the fabric
+  /// (which schedules through it) is destroyed first.
+  std::unique_ptr<sim::ParallelEngine> parallel_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<ib::IbVerbs> ib_;
   std::unique_ptr<dcmf::DcmfContext> dcmf_;
@@ -239,9 +321,15 @@ class Runtime {
   std::unique_ptr<CheckpointManager> ckpt_;
   std::function<void()> reestablishHook_;
   std::uint32_t epoch_ = 0;
-  int currentPe_ = -1;
+  /// Thread-local: each shard worker executes handlers for its own PEs.
+  static thread_local int currentPe_;
+  /// Legacy mode: one global message sequence (the historical stream).
   std::uint64_t nextSeq_ = 0;
-  std::uint64_t messagesSent_ = 0;
+  /// Windowed mode: per-PE sequence spaces, seq = (pe+1)<<40 | counter.
+  /// Slot pe+1 is touched only by pe's shard thread (or the coordinator
+  /// while every shard is parked); slot 0 is the serial context.
+  std::vector<std::uint64_t> peMsgSeq_;
+  std::atomic<std::uint64_t> messagesSent_{0};
 };
 
 }  // namespace ckd::charm

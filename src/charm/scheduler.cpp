@@ -37,7 +37,8 @@ void Scheduler::enqueueSystemWork(sim::Time cost, SystemFn fn,
 void Scheduler::poke(sim::Time delay) {
   CKD_REQUIRE(delay >= 0.0, "negative poke delay");
   if (dead_) return;
-  runtime_.engine().after(delay, &Scheduler::pokeThunk, this);
+  runtime_.schedAt(pe_, runtime_.engine().now() + delay,
+                   [this] { pokeThunk(this); });
 }
 
 void Scheduler::crash() {
@@ -79,7 +80,10 @@ void Scheduler::schedulePump() {
   sim::Engine& engine = runtime_.engine();
   const sim::Time when =
       std::max(engine.now(), runtime_.processor(pe_).freeAt());
-  engine.at(when, &Scheduler::pumpThunk, this);
+  // Route to this PE's home engine: a pump armed from serial context (a
+  // restore re-driving schedulers) must land on the owning shard, not on
+  // the serial heap.
+  runtime_.schedAt(pe_, when, [this] { pumpThunk(this); });
 }
 
 void Scheduler::pump() {

@@ -12,7 +12,12 @@ namespace ckd::charm {
 // ---------------------------------------------------------------------------
 
 IbTransport::IbTransport(Runtime& runtime, ib::IbVerbs& verbs)
-    : runtime_(runtime), verbs_(verbs) {}
+    : runtime_(runtime), verbs_(verbs) {
+  // Materialize the reliable link up front when faults are armed: under
+  // --shards the first eager sends may race from several shard threads, and
+  // construction is the one link operation its own lock cannot cover.
+  if (reliableActive()) link();
+}
 
 bool IbTransport::reliableActive() {
   return runtime_.fabric().faults() != nullptr;
@@ -44,7 +49,7 @@ std::size_t IbTransport::modeledWireBytes(const Message& msg) const {
 }
 
 void IbTransport::sendEager(MessagePtr msg) {
-  ++eagerSends_;
+  eagerSends_.fetch_add(1, std::memory_order_relaxed);
   const int src = msg->env().srcPe;
   const int dst = msg->env().dstPe;
   const std::uint64_t traceId = msg->env().traceId;
@@ -83,6 +88,11 @@ void IbTransport::sendEager(MessagePtr msg) {
 }
 
 void IbTransport::sendRendezvous(MessagePtr msg) {
+  CKD_REQUIRE(!runtime_.windowed(),
+              "rendezvous transport is not supported under --shards: its "
+              "pending-send/recv maps and run-time memory registration are "
+              "cross-shard state (keep messages below the RDMA threshold, or "
+              "use CkDirect for bulk transfers)");
   ++rendezvousSends_;
   const Envelope env = msg->env();
   const std::uint64_t seq = env.seq;

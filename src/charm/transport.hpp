@@ -10,6 +10,7 @@
 //    through the DCMF two-sided active-message send; no RDMA cut-over
 //    existed on Surveyor.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -50,7 +51,9 @@ class IbTransport final : public Transport {
   IbTransport(Runtime& runtime, ib::IbVerbs& verbs);
   void send(MessagePtr msg) override;
 
-  std::uint64_t eagerSends() const override { return eagerSends_; }
+  std::uint64_t eagerSends() const override {
+    return eagerSends_.load(std::memory_order_relaxed);
+  }
   std::uint64_t rendezvousSends() const override { return rendezvousSends_; }
   std::uint64_t rdmaRetries() const override { return rdmaRetries_; }
 
@@ -96,7 +99,10 @@ class IbTransport final : public Transport {
   };
   std::map<std::uint64_t, PendingRecv> pendingRecvs_;
   std::unique_ptr<fault::ReliableLink> link_;  ///< lazy; only with faults
-  std::uint64_t eagerSends_ = 0;
+  /// Eager sends run on the source PE's shard thread; the counter is the
+  /// only cross-shard state on that path (the link itself has its own lock).
+  std::atomic<std::uint64_t> eagerSends_{0};
+  // Rendezvous state is single-threaded: sendRendezvous refuses --shards.
   std::uint64_t rendezvousSends_ = 0;
   std::uint64_t rdmaRetries_ = 0;
 

@@ -11,21 +11,29 @@ namespace ckd::direct {
 
 IbManager::IbManager(charm::Runtime& rts)
     : rts_(rts), verbs_(rts.ibVerbs()) {
+  CKD_REQUIRE(rts.numPes() < (1 << (31 - kIdxBits)),
+              "too many PEs for the CkDirect handle encoding");
+  byPe_.resize(static_cast<std::size_t>(rts.numPes()));
   pollQueue_.resize(static_cast<std::size_t>(rts.numPes()));
   hookInstalled_.assign(static_cast<std::size_t>(rts.numPes()), false);
   rts_.setReestablishHook([this]() { reestablish(); });
 }
 
 IbManager::Channel& IbManager::channel(std::int32_t id) {
-  CKD_REQUIRE(id >= 0 && id < static_cast<std::int32_t>(channels_.size()),
+  const std::int32_t pe = id >> kIdxBits;
+  const std::int32_t idx = id & ((1 << kIdxBits) - 1);
+  CKD_REQUIRE(id >= 0 && pe < static_cast<std::int32_t>(byPe_.size()) &&
+                  byPe_[static_cast<std::size_t>(pe)] != nullptr,
               "unknown CkDirect handle");
-  return channels_[static_cast<std::size_t>(id)];
+  PeChannels& table = *byPe_[static_cast<std::size_t>(pe)];
+  CKD_REQUIRE(idx < table.count.load(std::memory_order_acquire),
+              "unknown CkDirect handle");
+  return table.chunks[idx / PeChannels::kChunkSize].load(
+      std::memory_order_acquire)[idx % PeChannels::kChunkSize];
 }
 
 const IbManager::Channel& IbManager::channel(std::int32_t id) const {
-  CKD_REQUIRE(id >= 0 && id < static_cast<std::int32_t>(channels_.size()),
-              "unknown CkDirect handle");
-  return channels_[static_cast<std::size_t>(id)];
+  return const_cast<IbManager*>(this)->channel(id);
 }
 
 namespace {
@@ -90,11 +98,27 @@ std::int32_t IbManager::createStridedHandle(int receiverPe, void* base,
   ch.marked = true;
   writeSentinel(ch);
 
-  channels_.push_back(std::move(ch));
-  const auto id = static_cast<std::int32_t>(channels_.size() - 1);
+  // Runs in the receiver's context, so per-PE creation order — and with it
+  // the minted handle id — does not depend on the shard partition.
+  if (byPe_[static_cast<std::size_t>(receiverPe)] == nullptr)
+    byPe_[static_cast<std::size_t>(receiverPe)] = std::make_unique<PeChannels>();
+  PeChannels& table = *byPe_[static_cast<std::size_t>(receiverPe)];
+  const std::int32_t idx = table.count.load(std::memory_order_relaxed);
+  CKD_REQUIRE(idx < PeChannels::kChunkSize * PeChannels::kMaxChunks,
+              "too many CkDirect channels on one PE");
+  Channel* chunk =
+      table.chunks[idx / PeChannels::kChunkSize].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Channel[PeChannels::kChunkSize];
+    table.chunks[idx / PeChannels::kChunkSize].store(chunk,
+                                                     std::memory_order_release);
+  }
+  chunk[idx % PeChannels::kChunkSize] = std::move(ch);
+  table.count.store(idx + 1, std::memory_order_release);
+  const std::int32_t id = makeId(receiverPe, idx);
 
   // Enter the polling queue immediately (CkDirect_createHandle semantics).
-  channels_.back().inPollQueue = true;
+  chunk[idx % PeChannels::kChunkSize].inPollQueue = true;
   pollQueue_[static_cast<std::size_t>(receiverPe)].push_back(id);
   if (!hookInstalled_[static_cast<std::size_t>(receiverPe)]) {
     hookInstalled_[static_cast<std::size_t>(receiverPe)] = true;
@@ -124,7 +148,7 @@ void IbManager::put(std::int32_t handle) {
   Channel& ch = channel(handle);
   CKD_REQUIRE(ch.sendPe >= 0,
               "CkDirect_put before CkDirect_assocLocal on this handle");
-  ++puts_;
+  puts_.fetch_add(1, std::memory_order_relaxed);
 
   // Sender-side software cost: one RDMA descriptor per destination block,
   // no message allocation, no header (§3's explanation of the small-message
@@ -135,12 +159,14 @@ void IbManager::put(std::int32_t handle) {
                       0.05 * (ch.blockCount - 1));  // extra descriptors
   const sim::Time issue = sender.currentTime();
   // One chain per logical put; transparent retries re-use it (N attempts,
-  // one chain). The parent is whatever handler called CkDirect_put.
-  ch.activeTraceId = rts_.engine().trace().mintId();
+  // one chain). The parent is whatever handler called CkDirect_put. The id
+  // is minted against the sending PE so it is partition-independent under
+  // --shards (mintIdFor falls back to the global stream otherwise).
+  ch.activeTraceId = rts_.engine().trace().mintIdFor(ch.sendPe);
   ch.activeParentId = rts_.engine().trace().context();
 
   const std::uint32_t epoch = epoch_;
-  rts_.engine().at(issue, [this, handle, epoch]() {
+  rts_.schedAt(ch.sendPe, issue, [this, handle, epoch]() {
     if (epoch != epoch_) return;  // put was rolled back by a restore
     issueWrites(handle);
   });
@@ -206,7 +232,7 @@ void IbManager::onPutError(std::int32_t handle, fault::WcStatus status) {
     return;
   }
   ++ch.putAttempts;
-  ++putRetries_;
+  putRetries_.fetch_add(1, std::memory_order_relaxed);
   // Recover the QP (fresh PSN) and re-issue the whole put after the base
   // timeout. RDMA rewrites of the same bytes are idempotent, so blocks that
   // did land are simply written again.
@@ -251,7 +277,7 @@ void IbManager::onDelivered(std::int32_t id) {
 void IbManager::pollScan(int pe) {
   auto& queue = pollQueue_[static_cast<std::size_t>(pe)];
   if (queue.empty()) return;
-  ++scans_;
+  scans_.fetch_add(1, std::memory_order_relaxed);
   charm::Scheduler& sched = rts_.scheduler(pe);
   sim::TraceRecorder& trace = rts_.engine().trace();
   trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectPollScan,
@@ -272,7 +298,7 @@ void IbManager::pollScan(int pe) {
     }
     ch.inPollQueue = false;
     ch.detected = true;
-    ++callbacks_;
+    callbacks_.fetch_add(1, std::memory_order_relaxed);
     // Timestamps use the context clock (currentTime reflects the poll +
     // callback charges), so the detect -> callback gap is the modeled
     // handler overhead, not zero.
@@ -338,36 +364,42 @@ void IbManager::reestablish() {
   // createHandle/assocLocal side effects under the new epoch.
   ++epoch_;
   for (auto& queue : pollQueue_) queue.clear();
-  for (std::size_t i = 0; i < channels_.size(); ++i) {
-    Channel& ch = channels_[i];
-    // Crash invalidated the victim's pinned regions; buffer addresses are
-    // stable across the restore, so re-registration is a lookup-free redo
-    // of the original handshake.
-    if (!verbs_.regionValid(ch.recvRegion)) {
-      const std::size_t span =
-          static_cast<std::size_t>(ch.blockCount - 1) * ch.strideBytes +
-          ch.blockBytes;
-      ch.recvRegion = verbs_.registerMemory(ch.recvPe, ch.recvBuffer, span);
-    }
-    if (ch.sendPe >= 0 && !verbs_.regionValid(ch.sendRegion))
-      ch.sendRegion = verbs_.registerMemory(
-          ch.sendPe, const_cast<std::byte*>(ch.sendBuffer), ch.bytes);
-    if (ch.qp != ib::kInvalidQp) verbs_.resetQp(ch.qp);
-    ch.marked = true;
-    ch.detected = false;
-    ch.putAttempts = 0;
-    ch.errorPending = false;
-    writeSentinel(ch);
-    ch.inPollQueue = true;
-    const auto id = static_cast<std::int32_t>(i);
-    pollQueue_[static_cast<std::size_t>(ch.recvPe)].push_back(id);
-    // The re-handshake costs work on both endpoints, like the original
-    // createHandle/assocLocal calls.
-    rts_.scheduler(ch.recvPe).enqueueSystemWork(
-        rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
-    if (ch.sendPe >= 0)
-      rts_.scheduler(ch.sendPe).enqueueSystemWork(
+  // PE-major, ordinal-minor sweep: deterministic and partition-independent
+  // (reestablish runs in a serial phase, so plain loads are fine).
+  for (std::size_t pe = 0; pe < byPe_.size(); ++pe) {
+    if (byPe_[pe] == nullptr) continue;
+    const std::int32_t n = byPe_[pe]->count.load(std::memory_order_relaxed);
+    for (std::int32_t idx = 0; idx < n; ++idx) {
+      const std::int32_t id = makeId(static_cast<std::int32_t>(pe), idx);
+      Channel& ch = channel(id);
+      // Crash invalidated the victim's pinned regions; buffer addresses are
+      // stable across the restore, so re-registration is a lookup-free redo
+      // of the original handshake.
+      if (!verbs_.regionValid(ch.recvRegion)) {
+        const std::size_t span =
+            static_cast<std::size_t>(ch.blockCount - 1) * ch.strideBytes +
+            ch.blockBytes;
+        ch.recvRegion = verbs_.registerMemory(ch.recvPe, ch.recvBuffer, span);
+      }
+      if (ch.sendPe >= 0 && !verbs_.regionValid(ch.sendRegion))
+        ch.sendRegion = verbs_.registerMemory(
+            ch.sendPe, const_cast<std::byte*>(ch.sendBuffer), ch.bytes);
+      if (ch.qp != ib::kInvalidQp) verbs_.resetQp(ch.qp);
+      ch.marked = true;
+      ch.detected = false;
+      ch.putAttempts = 0;
+      ch.errorPending = false;
+      writeSentinel(ch);
+      ch.inPollQueue = true;
+      pollQueue_[static_cast<std::size_t>(ch.recvPe)].push_back(id);
+      // The re-handshake costs work on both endpoints, like the original
+      // createHandle/assocLocal calls.
+      rts_.scheduler(ch.recvPe).enqueueSystemWork(
           rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+      if (ch.sendPe >= 0)
+        rts_.scheduler(ch.sendPe).enqueueSystemWork(
+            rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+    }
   }
 }
 

@@ -12,7 +12,10 @@
 //    costs poll_per_handle_us per queued handle per pump, which is the
 //    §5.2 overhead the ReadyMark/ReadyPollQ split exists to bound.
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "ckdirect/ckdirect.hpp"
@@ -40,10 +43,18 @@ class IbManager final : public Manager {
   void setErrorCallback(std::int32_t handle, PutErrorCallback callback) override;
 
   std::size_t pollQueueLength(int pe) const override;
-  std::uint64_t putsIssued() const override { return puts_; }
-  std::uint64_t callbacksInvoked() const override { return callbacks_; }
-  std::uint64_t putRetries() const override { return putRetries_; }
-  std::uint64_t pollScans() const { return scans_; }
+  std::uint64_t putsIssued() const override {
+    return puts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t callbacksInvoked() const override {
+    return callbacks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t putRetries() const override {
+    return putRetries_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pollScans() const {
+    return scans_.load(std::memory_order_relaxed);
+  }
 
   /// Restart protocol (runs as the runtime's reestablish hook): re-register
   /// every region the crash invalidated (buffer addresses are stable across
@@ -99,6 +110,34 @@ class IbManager final : public Manager {
     std::uint64_t activeParentId = 0;
   };
 
+  /// Channels live in per-receiver-PE chunked slabs and a handle id encodes
+  /// (receiverPe, per-PE ordinal). Two properties matter under --shards:
+  ///  * ids are partition- and thread-count-independent: each PE's creation
+  ///    order is fixed by its own deterministic execution, unlike a global
+  ///    creation-order counter whose value depends on how concurrently
+  ///    executing shard windows happen to interleave;
+  ///  * storage is append-stable: a sender shard may resolve an existing
+  ///    handle of PE r in the very window in which r's home shard appends a
+  ///    new channel. Appends write only the fresh slot of a fixed-capacity
+  ///    chunk directory, never move existing channels, and publish chunk
+  ///    pointers/counts with release stores (handles themselves reach other
+  ///    shards through at least one window barrier).
+  struct PeChannels {
+    static constexpr std::int32_t kChunkSize = 16;
+    static constexpr std::int32_t kMaxChunks = 256;  // 4096 channels per PE
+    std::array<std::atomic<Channel*>, kMaxChunks> chunks{};
+    std::atomic<std::int32_t> count{0};
+    ~PeChannels() {
+      for (auto& c : chunks) delete[] c.load(std::memory_order_relaxed);
+    }
+  };
+  /// Low bits of a handle id hold the per-PE ordinal; the rest hold the PE.
+  static constexpr std::int32_t kIdxBits = 12;
+  static_assert((1 << kIdxBits) == PeChannels::kChunkSize * PeChannels::kMaxChunks);
+  static constexpr std::int32_t makeId(std::int32_t pe, std::int32_t idx) {
+    return (pe << kIdxBits) | idx;
+  }
+
   Channel& channel(std::int32_t id);
   const Channel& channel(std::int32_t id) const;
   std::uint64_t readSentinel(const Channel& ch) const;
@@ -112,13 +151,19 @@ class IbManager final : public Manager {
 
   charm::Runtime& rts_;
   ib::IbVerbs& verbs_;
-  std::vector<Channel> channels_;
+  /// Per-receiver-PE channel slabs (see PeChannels); entries are allocated
+  /// lazily on a PE's first createHandle. The outer vector is sized once in
+  /// the constructor and never resizes.
+  std::vector<std::unique_ptr<PeChannels>> byPe_;
   std::vector<std::vector<std::int32_t>> pollQueue_;  // per PE
   std::vector<bool> hookInstalled_;                   // per PE
-  std::uint64_t puts_ = 0;
-  std::uint64_t callbacks_ = 0;
-  std::uint64_t scans_ = 0;
-  std::uint64_t putRetries_ = 0;
+  /// Host-stat counters: puts tick on sender shards, scans/callbacks on
+  /// receiver shards; the channels themselves are touched by at most one
+  /// shard per window (sender and receiver sides alternate across windows).
+  std::atomic<std::uint64_t> puts_{0};
+  std::atomic<std::uint64_t> callbacks_{0};
+  std::atomic<std::uint64_t> scans_{0};
+  std::atomic<std::uint64_t> putRetries_{0};
   /// Bumped by reestablish(); deferred closures from an older epoch no-op.
   std::uint32_t epoch_ = 0;
 };

@@ -27,6 +27,7 @@ ReliableLink::ReliableLink(WireSender& wire, ReliabilityParams params)
 
 void ReliableLink::post(ChannelId channel, Send send) {
   CKD_REQUIRE(send.src >= 0 && send.dst >= 0, "reliable send needs src/dst");
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& f = flow(channel);
   if (f.src < 0) {
     f.src = send.src;
@@ -96,6 +97,7 @@ void ReliableLink::transmit(ChannelId channel, Entry& entry) {
 void ReliableLink::onWireArrival(ChannelId channel, std::uint64_t seq,
                                  std::uint64_t sum, bool regionInvalid,
                                  std::vector<std::byte> image, bool corrupted) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& f = flow(channel);
   const sim::Time now = wire_.wireEngine().now();
   if (seq < f.flushBarrier) {
@@ -129,6 +131,7 @@ void ReliableLink::onWireArrival(ChannelId channel, std::uint64_t seq,
                    [this, channel,
                     gen = f.generation](const WireSender::Delivery& d) {
                      if (d.corrupted) return;
+                     std::lock_guard<std::recursive_mutex> lock(mu_);
                      Flow& sender = flow(channel);
                      if (sender.generation == gen && !sender.error)
                        failFlow(channel, WcStatus::kRemoteAccess);
@@ -175,6 +178,7 @@ void ReliableLink::sendAck(ChannelId channel) {
 }
 
 void ReliableLink::onAck(ChannelId channel, std::uint64_t through) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& f = flow(channel);
   if (f.error) return;
   bool progressed = false;
@@ -214,6 +218,7 @@ void ReliableLink::armTimer(ChannelId channel) {
 }
 
 void ReliableLink::onTimeout(ChannelId channel, std::uint64_t epoch) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& f = flow(channel);
   if (epoch != f.timerEpoch || f.error) return;  // stale timer
   if (f.unacked.empty()) {
@@ -257,6 +262,7 @@ void ReliableLink::failFlow(ChannelId channel, WcStatus status) {
 }
 
 void ReliableLink::resetChannel(ChannelId channel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   Flow& f = flow(channel);
   if (!f.error) return;  // already reset by a sibling recovery path
   f.error = false;
@@ -268,6 +274,10 @@ void ReliableLink::resetChannel(ChannelId channel) {
   ++f.timerEpoch;
   f.timerArmed = false;
   ++f.generation;
+  // The old sequence space's delivery estimate dies with the connection: the
+  // first post-reset timer must be sized from the new traffic, not from a
+  // stale multi-megabyte ETA that would inflate its timeout.
+  f.lastEta = 0;
 }
 
 void ReliableLink::flushFlow(Flow& f) {
@@ -290,15 +300,18 @@ void ReliableLink::flushFlow(Flow& f) {
 }
 
 void ReliableLink::flushPe(int pe) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& [id, f] : flows_)
     if (f.src == pe || f.dst == pe) flushFlow(f);
 }
 
 void ReliableLink::flushAll() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (auto& [id, f] : flows_) flushFlow(f);
 }
 
 bool ReliableLink::channelInError(ChannelId channel) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   const auto it = flows_.find(channel);
   return it != flows_.end() && it->second.error;
 }

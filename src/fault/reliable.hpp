@@ -31,6 +31,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -174,6 +175,15 @@ class ReliableLink {
 
   WireSender& wire_;
   ReliabilityParams params_;
+  /// A flow spans two PEs, so under the sharded engine its sender side
+  /// (post, ack, timeout) and receiver side (wire arrival, ack send) run on
+  /// different threads — at distinct virtual instants, but physically
+  /// concurrent within one window. One lock serializes all flow/counter
+  /// mutation; recursive because failure handlers re-enter (on_error ->
+  /// resetChannel -> post). The operations commute across flows and look up
+  /// entries by sequence number, so lock-acquisition order cannot change any
+  /// simulation-visible result.
+  mutable std::recursive_mutex mu_;
   std::map<ChannelId, Flow> flows_;
   std::uint64_t retransmits_ = 0;
   std::uint64_t errors_ = 0;

@@ -48,6 +48,10 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   faultSeed_ = static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
   checkpointPeriod_ = args.getDouble("checkpoint-period", -1.0);
   CKD_REQUIRE(checkpointPeriod_ != 0.0, "--checkpoint-period must be positive");
+  shards_ = static_cast<int>(args.getInt("shards", 0));
+  CKD_REQUIRE(shards_ >= 0, "--shards must be non-negative");
+  shardThreads_ = static_cast<int>(args.getInt("shard-threads", 0));
+  CKD_REQUIRE(shardThreads_ >= 0, "--shard-threads must be non-negative");
 
   // Host-performance baseline: everything in hostJson() is measured relative
   // to runner construction, so flag parsing and static init stay out of the
@@ -87,6 +91,7 @@ util::JsonValue BenchRunner::hostJson() const {
                                 stats.releases - poolReleasesAtStart_)));
   host.set("pool_unpooled", util::JsonValue(static_cast<double>(
                                 stats.unpooled - poolUnpooledAtStart_)));
+  if (shardStats_.isObject()) host.set("shards", shardStats_);
   return host;
 }
 
@@ -100,6 +105,30 @@ void BenchRunner::applyFaults(charm::MachineConfig& machine) const {
 void BenchRunner::applyFaults(net::Fabric& fabric) const {
   if (!faultsArmed()) return;
   fabric.installFaults(faultPlan_, faultSeed_);
+}
+
+void BenchRunner::applyEngine(charm::MachineConfig& machine) const {
+  if (shards_ <= 0) return;
+  machine.shards = shards_;
+  machine.shardThreads = shardThreads_;
+}
+
+void BenchRunner::recordShardStats(const charm::Runtime& rts) {
+  const sim::ParallelEngine* par = rts.parallelEngine();
+  if (par == nullptr) return;
+  util::JsonValue stats = util::JsonValue::object();
+  stats.set("count", util::JsonValue(static_cast<double>(par->shards())));
+  stats.set("threads", util::JsonValue(static_cast<double>(par->threads())));
+  stats.set("windows", util::JsonValue(static_cast<double>(par->windows())));
+  stats.set("lookahead_us", util::JsonValue(par->lookahead()));
+  util::JsonValue events = util::JsonValue::array();
+  for (int i = 0; i < par->shards(); ++i)
+    events.push(util::JsonValue(
+        static_cast<double>(par->shardExecutedEvents(i))));
+  stats.set("events", std::move(events));
+  stats.set("serial_events", util::JsonValue(static_cast<double>(
+                                 par->serialEngine().executedEvents())));
+  shardStats_ = std::move(stats);
 }
 
 void BenchRunner::configureTrace(sim::TraceRecorder& trace) const {

@@ -22,6 +22,12 @@
 //   --checkpoint-period <us>
 //                       virtual time between buddy checkpoints when pe_crash
 //                       faults are armed (default MachineConfig's 100 us)
+//   --shards <n>        run under the thread-sharded parallel engine with n
+//                       shards (0 = classic serial engine); capped to the
+//                       machine's node count at runtime construction
+//   --shard-threads <n> host worker threads driving the shards (0 = one per
+//                       shard up to hardware concurrency; 1 = sequential
+//                       shard execution, useful for determinism A/B)
 //
 // Usage:
 //   util::Args args(argc, argv);
@@ -80,6 +86,17 @@ class BenchRunner {
   /// Arm a bare fabric directly (the mini-MPI benches build their own).
   void applyFaults(net::Fabric& fabric) const;
 
+  /// --shards / --shard-threads values (0 = legacy serial engine / auto).
+  int shards() const { return shards_; }
+  int shardThreads() const { return shardThreads_; }
+  /// Copy --shards / --shard-threads into a MachineConfig (no-op when
+  /// --shards was not given, leaving the classic serial engine).
+  void applyEngine(charm::MachineConfig& machine) const;
+  /// Snapshot the parallel engine's per-shard counters (executed events per
+  /// shard, window count, lookahead) for the host JSON. Call after run(),
+  /// while the runtime is still alive; no-op for serial runtimes.
+  void recordShardStats(const charm::Runtime& rts);
+
   /// Record one scalar result row. `labels` is an optional JSON object of
   /// discriminators ({"variant":"ckdirect","bytes":100}).
   void addMetric(std::string name, double value, std::string unit,
@@ -118,6 +135,9 @@ class BenchRunner {
   fault::FaultPlan faultPlan_;
   std::uint64_t faultSeed_ = 1;
   double checkpointPeriod_ = -1.0;  ///< < 0: keep the MachineConfig default
+  int shards_ = 0;                  ///< 0: classic serial engine
+  int shardThreads_ = 0;            ///< 0: one thread per shard
+  util::JsonValue shardStats_;      ///< recordShardStats() snapshot (or null)
 
   util::JsonValue metrics_ = util::JsonValue::array();
   std::vector<ProfileReport> profiles_;

@@ -24,7 +24,12 @@ std::uint32_t packKey(std::size_t slot, std::uint32_t generation) {
 }
 }  // namespace
 
-IbVerbs::IbVerbs(net::Fabric& fabric) : fabric_(fabric) {}
+IbVerbs::IbVerbs(net::Fabric& fabric) : fabric_(fabric) {
+  // With faults armed, build the reliable link now: lazy construction from
+  // a first post could race across shard threads, and the link's own lock
+  // cannot guard its own birth.
+  if (reliableActive()) link();
+}
 
 fault::ReliableLink& IbVerbs::link() {
   if (!link_)
@@ -37,6 +42,7 @@ RegionId IbVerbs::registerMemory(int pe, void* addr, std::size_t length) {
   CKD_REQUIRE(pe >= 0 && pe < fabric_.numPes(), "PE out of range");
   CKD_REQUIRE(addr != nullptr, "cannot register a null buffer");
   CKD_REQUIRE(length > 0, "cannot register an empty region");
+  const std::lock_guard<std::mutex> lock(mu_);
   if (!freeSlots_.empty()) {
     const std::size_t slot = freeSlots_.back();
     freeSlots_.pop_back();
@@ -55,6 +61,11 @@ RegionId IbVerbs::registerMemory(int pe, void* addr, std::size_t length) {
 }
 
 const IbVerbs::Region* IbVerbs::findRegion(RegionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return findRegionLocked(id);
+}
+
+const IbVerbs::Region* IbVerbs::findRegionLocked(RegionId id) const {
   if (!id.valid()) return nullptr;
   const std::size_t slot = (id.key & kSlotMask) - 1;
   if (slot >= regions_.size()) return nullptr;
@@ -65,7 +76,8 @@ const IbVerbs::Region* IbVerbs::findRegion(RegionId id) const {
 }
 
 void IbVerbs::deregisterMemory(RegionId id) {
-  CKD_REQUIRE(findRegion(id) != nullptr,
+  const std::lock_guard<std::mutex> lock(mu_);
+  CKD_REQUIRE(findRegionLocked(id) != nullptr,
               "deregistering an unknown, stale, or already-freed region");
   const std::size_t slot = (id.key & kSlotMask) - 1;
   Region& region = regions_[slot];
@@ -80,7 +92,8 @@ bool IbVerbs::regionValid(RegionId id) const { return findRegion(id) != nullptr;
 
 bool IbVerbs::regionCovers(RegionId id, const void* addr,
                            std::size_t length) const {
-  const Region* region = findRegion(id);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Region* region = findRegionLocked(id);
   if (region == nullptr) return false;
   const auto* begin = static_cast<const std::byte*>(addr);
   return begin >= region->base &&
@@ -88,6 +101,7 @@ bool IbVerbs::regionCovers(RegionId id, const void* addr,
 }
 
 std::size_t IbVerbs::regionCount(int pe) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
   for (const Region& region : regions_)
     if (region.valid && region.pe == pe) ++n;
@@ -97,6 +111,7 @@ std::size_t IbVerbs::regionCount(int pe) const {
 QpId IbVerbs::connect(int localPe, int remotePe) {
   CKD_REQUIRE(localPe >= 0 && localPe < fabric_.numPes(), "PE out of range");
   CKD_REQUIRE(remotePe >= 0 && remotePe < fabric_.numPes(), "PE out of range");
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto key = std::make_pair(localPe, remotePe);
   const auto it = qpCache_.find(key);
   if (it != qpCache_.end()) return it->second;
@@ -106,28 +121,33 @@ QpId IbVerbs::connect(int localPe, int remotePe) {
   return id;
 }
 
-int IbVerbs::qpSource(QpId qp) const {
-  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
-  return qps_[static_cast<std::size_t>(qp)].src;
+IbVerbs::Qp& IbVerbs::qpAt(QpId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  CKD_REQUIRE(id >= 0 && id < static_cast<QpId>(qps_.size()), "bad QP");
+  return qps_[static_cast<std::size_t>(id)];
 }
 
-int IbVerbs::qpDestination(QpId qp) const {
-  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
-  return qps_[static_cast<std::size_t>(qp)].dst;
+const IbVerbs::Qp& IbVerbs::qpAt(QpId id) const {
+  return const_cast<IbVerbs*>(this)->qpAt(id);
 }
+
+int IbVerbs::qpSource(QpId qp) const { return qpAt(qp).src; }
+
+int IbVerbs::qpDestination(QpId qp) const { return qpAt(qp).dst; }
 
 bool IbVerbs::qpInError(QpId qp) const {
-  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
+  qpAt(qp);  // bounds check
   return link_ != nullptr && link_->channelInError(qp);
 }
 
 void IbVerbs::resetQp(QpId qp) {
-  CKD_REQUIRE(qp >= 0 && qp < static_cast<QpId>(qps_.size()), "bad QP");
+  qpAt(qp);  // bounds check
   if (link_) link_->resetChannel(qp);
 }
 
 void IbVerbs::invalidatePe(int pe) {
   CKD_REQUIRE(pe >= 0 && pe < fabric_.numPes(), "PE out of range");
+  const std::lock_guard<std::mutex> lock(mu_);
   for (std::size_t slot = 0; slot < regions_.size(); ++slot) {
     Region& region = regions_[slot];
     if (!region.valid || region.pe != pe) continue;
@@ -138,9 +158,7 @@ void IbVerbs::invalidatePe(int pe) {
 }
 
 void IbVerbs::postRdmaWrite(RdmaWrite write) {
-  CKD_REQUIRE(write.qp >= 0 && write.qp < static_cast<QpId>(qps_.size()),
-              "RDMA write on an unknown QP");
-  const Qp& qp = qps_[static_cast<std::size_t>(write.qp)];
+  const Qp& qp = qpAt(write.qp);
   CKD_REQUIRE(write.bytes > 0, "zero-length RDMA write");
   CKD_REQUIRE(regionCovers(write.local_region, write.local_addr, write.bytes),
               "local range not covered by the registered region (bad lkey)");
@@ -149,7 +167,7 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
   CKD_REQUIRE(
       regionCovers(write.remote_region, write.remote_addr, write.bytes),
       "remote range not covered by the registered region (bad rkey)");
-  ++rdmaWrites_;
+  rdmaWrites_.fetch_add(1, std::memory_order_relaxed);
 
   const auto* src = static_cast<const std::byte*>(write.local_addr);
   auto* dst = static_cast<std::byte*>(write.remote_addr);
@@ -231,11 +249,9 @@ void IbVerbs::postRdmaWrite(RdmaWrite write) {
 void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
                        std::function<void()> on_local_complete,
                        std::uint64_t trace_id) {
-  CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()),
-              "send on an unknown QP");
   CKD_REQUIRE(data != nullptr || bytes == 0, "null send payload");
-  ++sends_;
-  Qp& qp = qps_[static_cast<std::size_t>(qpId)];
+  sends_.fetch_add(1, std::memory_order_relaxed);
+  Qp& qp = qpAt(qpId);
   const auto* src = static_cast<const std::byte*>(data);
   std::vector<std::byte> payload(src, src + bytes);
   if (reliableActive()) {
@@ -246,7 +262,7 @@ void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
     send.cls = fault::MsgClass::kPacket;
     send.payload = std::move(payload);
     send.on_deliver = [this, qpId](std::vector<std::byte>&& image) {
-      deliverSend(qps_[static_cast<std::size_t>(qpId)], std::move(image));
+      deliverSend(qpAt(qpId), std::move(image));
     };
     send.on_acked = std::move(on_local_complete);
     send.traceId = trace_id;
@@ -256,7 +272,7 @@ void IbVerbs::postSend(QpId qpId, const void* data, std::size_t bytes,
   const sim::Time delivered = fabric_.submit(
       qp.src, qp.dst, bytes, net::XferKind::kPacket,
       [this, qpId, payload = std::move(payload)]() mutable {
-        deliverSend(qps_[static_cast<std::size_t>(qpId)], std::move(payload));
+        deliverSend(qpAt(qpId), std::move(payload));
       },
       trace_id);
   if (on_local_complete)
@@ -280,10 +296,8 @@ void IbVerbs::deliverSend(Qp& qp, std::vector<std::byte> data) {
 
 void IbVerbs::postRecv(QpId qpId, void* buffer, std::size_t capacity,
                        std::function<void(std::size_t)> on_receive) {
-  CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()),
-              "recv on an unknown QP");
   CKD_REQUIRE(buffer != nullptr, "null receive buffer");
-  Qp& qp = qps_[static_cast<std::size_t>(qpId)];
+  Qp& qp = qpAt(qpId);
   if (!qp.unexpected.empty()) {
     PendingArrival arrival = std::move(qp.unexpected.front());
     qp.unexpected.pop_front();
@@ -298,8 +312,7 @@ void IbVerbs::postRecv(QpId qpId, void* buffer, std::size_t capacity,
 }
 
 std::size_t IbVerbs::postedRecvCount(QpId qpId) const {
-  CKD_REQUIRE(qpId >= 0 && qpId < static_cast<QpId>(qps_.size()), "bad QP");
-  return qps_[static_cast<std::size_t>(qpId)].recvQueue.size();
+  return qpAt(qpId).recvQueue.size();
 }
 
 }  // namespace ckd::ib

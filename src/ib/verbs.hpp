@@ -31,12 +31,14 @@
 // delivered tail-first, demonstrating why the sentinel technique requires
 // RC in-order semantics.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fault/reliable.hpp"
@@ -157,8 +159,12 @@ class IbVerbs {
   /// breaking the in-order guarantee on purpose (ablation §5.4).
   void setUnorderedChunksForTest(int chunks) { unorderedChunks_ = chunks; }
 
-  std::uint64_t rdmaWritesPosted() const { return rdmaWrites_; }
-  std::uint64_t sendsPosted() const { return sends_; }
+  std::uint64_t rdmaWritesPosted() const {
+    return rdmaWrites_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sendsPosted() const {
+    return sends_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Region {
@@ -184,20 +190,36 @@ class IbVerbs {
   };
 
   const Region* findRegion(RegionId id) const;
+  /// Body of findRegion for callers already holding mu_.
+  const Region* findRegionLocked(RegionId id) const;
+  /// Bounds-checked element lookup under mu_. The returned reference stays
+  /// valid after the lock drops: the tables are deques, which never move
+  /// elements on append.
+  Qp& qpAt(QpId id);
+  const Qp& qpAt(QpId id) const;
   void deliverSend(Qp& qp, std::vector<std::byte> data);
   /// Faults armed on the fabric: RC semantics must be earned by the link.
   bool reliableActive() { return fabric_.faults() != nullptr; }
   fault::ReliableLink& link();
 
   net::Fabric& fabric_;
-  std::vector<Region> regions_;
+  /// Guards the table *structure* below (region slots, QP directory, the
+  /// connect cache): under --shards, registerMemory/connect run on the
+  /// issuing PE's shard thread, concurrently with lookups from other
+  /// shards. Element state (a QP's receive queues, a valid region's
+  /// base/length) is still single-owner: only the receiver context touches
+  /// it, and cross-shard handoff of an id crosses a window barrier.
+  mutable std::mutex mu_;
+  std::deque<Region> regions_;
   std::vector<std::size_t> freeSlots_;  ///< recycled region slots
-  std::vector<Qp> qps_;
+  std::deque<Qp> qps_;
   std::map<std::pair<int, int>, QpId> qpCache_;
   std::unique_ptr<fault::ReliableLink> link_;  ///< lazy; only with faults
   int unorderedChunks_ = 1;
-  std::uint64_t rdmaWrites_ = 0;
-  std::uint64_t sends_ = 0;
+  /// Posts run on the issuing PE's shard thread; host-stat counters are the
+  /// only state they share across shards.
+  std::atomic<std::uint64_t> rdmaWrites_{0};
+  std::atomic<std::uint64_t> sends_{0};
 };
 
 }  // namespace ckd::ib

@@ -26,6 +26,14 @@ const XferClass& CostParams::classFor(XferKind kind) const {
   CKD_REQUIRE(false, "unknown XferKind");
 }
 
+sim::Time CostParams::wireLatencyFloor() const {
+  sim::Time floor = rdma.alpha_us;
+  if (packet.alpha_us < floor) floor = packet.alpha_us;
+  if (control.alpha_us < floor) floor = control.alpha_us;
+  CKD_REQUIRE(floor > 0.0, "cost preset has a zero wire-latency floor");
+  return floor;
+}
+
 // ---------------------------------------------------------------------------
 // NCSA Abe (InfiniBand). Fit targets, one-way, from Table 1:
 //   CkDirect put (pure RDMA path):  100 B -> 6.19 us, 500 KB -> 647.2 us

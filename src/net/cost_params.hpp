@@ -66,6 +66,14 @@ struct CostParams {
   bool has_rdma = true;
 
   const XferClass& classFor(XferKind kind) const;
+
+  /// Minimum node-to-node wire latency over every transfer class: no
+  /// cross-node arrival can land sooner than this after its send instant
+  /// (alphas exclude per-hop, serialization, and contention costs, all
+  /// non-negative). This is the conservative lookahead bound the sharded
+  /// engine uses — shards only exchange events through the wire, so a
+  /// window of this width can never miss a cross-shard arrival.
+  sim::Time wireLatencyFloor() const;
 };
 
 /// NCSA Abe: dual-socket quad-core Clovertown nodes, one IB HCA per node.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "sim/parallel.hpp"
 #include "util/require.hpp"
 
 namespace ckd::net {
@@ -23,6 +24,19 @@ Fabric::Fabric(sim::Engine& engine, topo::TopologyPtr topology,
   CKD_REQUIRE(topology_ != nullptr, "Fabric requires a topology");
   inject_.resize(static_cast<std::size_t>(topology_->numNodes()));
   ejectFree_.assign(static_cast<std::size_t>(topology_->numNodes()), 0.0);
+}
+
+sim::Engine& Fabric::engine() {
+  return parallel_ != nullptr ? parallel_->current() : engine_;
+}
+
+void Fabric::scheduleArrival(int dstPe, int srcPe, sim::Time when,
+                             sim::Engine::Action action) {
+  if (parallel_ != nullptr) {
+    parallel_->atRemote(dstPe, srcPe, when, std::move(action));
+    return;
+  }
+  engine_.at(when, std::move(action));
 }
 
 void Fabric::installFaults(const fault::FaultPlan& plan, std::uint64_t seed) {
@@ -91,10 +105,15 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
   CKD_REQUIRE(dstPe >= 0 && dstPe < numPes(), "destination PE out of range");
   CKD_REQUIRE(onDeliver != nullptr, "transfer needs a delivery callback");
 
-  ++messages_;
-  bytes_ += bytes;
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
-  const sim::Time now = engine_.now();
+  // The calling execution context: the submitting PE's shard engine in
+  // parallel mode, the single engine otherwise. Source-side events (port
+  // chunks, self/intra-node deliveries — shard-local by the node-aligned
+  // partition) schedule here; cross-node arrivals go via scheduleArrival.
+  sim::Engine& eng = engine();
+  const sim::Time now = eng.now();
   const int srcNode = topology_->nodeOf(srcPe);
   const int dstNode = topology_->nodeOf(dstPe);
 
@@ -105,19 +124,21 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
   if (injector_ != nullptr && injector_->armed() && srcNode != dstNode)
     wf = injector_->decideWire(now, srcPe, dstPe, bytes, msgClass);
 
-  sim::TraceRecorder& trace = engine_.trace();
+  sim::TraceRecorder& trace = eng.trace();
   trace.recordSpan(now, srcPe, sim::TraceTag::kFabricSubmit,
                    sim::SpanPhase::kInstant, traceId, 0,
                    static_cast<double>(bytes));
   // Stamp the delivery side too, so trace dumps show both ends of a wire.
-  // Kept as a raw lambda so engine_.at() constructs the composite — user
+  // Kept as a raw lambda so the engine constructs the composite — user
   // closure + reliability wrap + this stamp — directly in its event slot.
+  // engine() inside resolves to the destination context at delivery time.
   auto deliver = [this, dstPe, bytes, traceId, corrupted = wf.corrupt,
                   onDeliver = std::move(onDeliver)]() mutable {
-    engine_.trace().recordSpan(engine_.now(), dstPe,
-                               sim::TraceTag::kFabricDeliver,
-                               sim::SpanPhase::kInstant, traceId, 0,
-                               static_cast<double>(bytes));
+    sim::Engine& dstEng = engine();
+    dstEng.trace().recordSpan(dstEng.now(), dstPe,
+                              sim::TraceTag::kFabricDeliver,
+                              sim::SpanPhase::kInstant, traceId, 0,
+                              static_cast<double>(bytes));
     onDeliver(fault::WireSender::Delivery{corrupted});
   };
 
@@ -126,7 +147,7 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
     const sim::Time when = now + params_.self_alpha_us +
                            params_.self_per_byte_us * static_cast<double>(bytes);
     trace.addLayerTime(sim::Layer::kFabric, when - now);
-    engine_.at(when, std::move(deliver));
+    eng.at(when, std::move(deliver));
     return when;
   }
 
@@ -134,7 +155,7 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
     const sim::Time when = now + params_.intra_alpha_us +
                            params_.intra_per_byte_us * static_cast<double>(bytes);
     trace.addLayerTime(sim::Layer::kFabric, when - now);
-    engine_.at(when, std::move(deliver));
+    eng.at(when, std::move(deliver));
     return when;
   }
 
@@ -158,10 +179,10 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
       // Ghost copy arrives a beat later (the action copy clones the closure,
       // including any captured payload image).
       auto ghost = deliver;
-      engine_.at(when + std::max<sim::Time>(0.1, cls.alpha_us),
-                 std::move(ghost));
+      scheduleArrival(dstPe, srcPe, when + std::max<sim::Time>(0.1, cls.alpha_us),
+                      std::move(ghost));
     }
-    engine_.at(when, std::move(deliver));
+    scheduleArrival(dstPe, srcPe, when, std::move(deliver));
     return when;
   }
 
@@ -177,13 +198,17 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
     // duplication happens inside the network, past the NIC) and lands a
     // beat after the contention-free arrival estimate.
     auto ghost = deliver;
-    engine_.at(now + ser + wireLatency + std::max<sim::Time>(0.1, cls.alpha_us),
-               std::move(ghost));
+    scheduleArrival(
+        dstPe, srcPe,
+        now + ser + wireLatency + std::max<sim::Time>(0.1, cls.alpha_us),
+        std::move(ghost));
   }
 
   // Bulk path: round-robin chunks through the source node's injection
   // port; once fully serialized, cut-through arrival contends for the
-  // destination node's ejection bandwidth.
+  // destination node's ejection bandwidth. The ejection accounting is
+  // destination-node state, so it runs in a destination-side event at the
+  // cut-through arrival instant — never from the sender's context.
   const int chunks =
       static_cast<int>((bytes + chunkBytes - 1) / chunkBytes);
   Flow flow;
@@ -191,28 +216,34 @@ sim::Time Fabric::submitEx(int srcPe, int dstPe, std::size_t bytes,
   flow.chunks_left = chunks;
   const sim::Time flowStart = now;
   // Contention-free wire time is known now; the extra queueing delay is
-  // attributed when the port drains (in on_serialized, below).
+  // attributed when the ejection event resolves the true delivery time.
   trace.addLayerTime(sim::Layer::kFabric, ser + wireLatency);
-  flow.on_serialized = [this, dstNode, wireLatency, ser, flowStart,
-                        onDeliver = std::move(deliver)]() mutable {
-    // Egress capacity as a virtual-time accumulator: the drain window of a
-    // cut-through flow begins when the flow started arriving (its injection
-    // start), not when its tail lands. Balanced traffic (every node both
-    // sending and receiving at link rate) therefore pays no ejection
-    // penalty, while genuine incast — many sources converging on one node,
-    // as in the OpenAtom PairCalculator gather — serializes at the
-    // destination's aggregate link rate.
-    auto& eject = ejectFree_[static_cast<std::size_t>(dstNode)];
-    const sim::Time drain = ser / params_.eject_links;
-    const sim::Time arrival = engine_.now() + wireLatency;
-    eject = std::max(eject, flowStart) + drain;
-    const sim::Time delivery = std::max(arrival, eject);
-    // Queueing beyond the contention-free bound charged at submit time.
-    engine_.trace().addLayerTime(sim::Layer::kFabric,
-                                 delivery - (flowStart + ser + wireLatency));
-    if (std::getenv("CKD_FABRIC_TRACE") != nullptr)
-      std::fprintf(stderr, "D %.2f node=%d ser=%.1f\n", delivery, dstNode, ser);
-    engine_.at(delivery, std::move(onDeliver));
+  flow.on_serialized = [this, srcPe, dstPe, dstNode, wireLatency, ser,
+                        flowStart, onDeliver = std::move(deliver)]() mutable {
+    const sim::Time arrival = engine().now() + wireLatency;
+    auto eject = [this, dstNode, wireLatency, ser, flowStart,
+                  onDeliver = std::move(onDeliver)]() mutable {
+      // Egress capacity as a virtual-time accumulator: the drain window of a
+      // cut-through flow begins when the flow started arriving (its
+      // injection start), not when its tail lands. Balanced traffic (every
+      // node both sending and receiving at link rate) therefore pays no
+      // ejection penalty, while genuine incast — many sources converging on
+      // one node, as in the OpenAtom PairCalculator gather — serializes at
+      // the destination's aggregate link rate.
+      sim::Engine& dstEng = engine();
+      auto& free = ejectFree_[static_cast<std::size_t>(dstNode)];
+      const sim::Time drain = ser / params_.eject_links;
+      free = std::max(free, flowStart) + drain;
+      const sim::Time delivery = std::max(dstEng.now(), free);
+      // Queueing beyond the contention-free bound charged at submit time.
+      dstEng.trace().addLayerTime(sim::Layer::kFabric,
+                                  delivery - (flowStart + ser + wireLatency));
+      if (std::getenv("CKD_FABRIC_TRACE") != nullptr)
+        std::fprintf(stderr, "D %.2f node=%d ser=%.1f\n", delivery, dstNode,
+                     ser);
+      dstEng.at(delivery, std::move(onDeliver));
+    };
+    scheduleArrival(dstPe, srcPe, arrival, std::move(eject));
   };
   inject_[static_cast<std::size_t>(srcNode)].queue.push_back(std::move(flow));
   pumpInject(static_cast<std::size_t>(srcNode));
@@ -229,7 +260,10 @@ void Fabric::pumpInject(std::size_t node) {
     Flow flow = std::move(port.queue.front());
     port.queue.pop_front();
     const sim::Time chunk = flow.chunk_ser;
-    engine_.after(chunk, [this, node, flow = std::move(flow)]() mutable {
+    // Chunk completions stay on the submitting context's engine: a node's
+    // port state is only ever touched from its own shard (node-aligned
+    // partition) or from the serial phase.
+    engine().after(chunk, [this, node, flow = std::move(flow)]() mutable {
       Port& p = inject_[node];
       --p.busyServers;
       if (--flow.chunks_left == 0) {
@@ -254,8 +288,8 @@ sim::Time Fabric::ejectFreeAt(int node) const {
 }
 
 void Fabric::resetStats() {
-  messages_ = 0;
-  bytes_ = 0;
+  messages_.store(0, std::memory_order_relaxed);
+  bytes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ckd::net

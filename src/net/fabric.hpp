@@ -31,6 +31,7 @@
 // as everything else. With no plan installed the injector pointer stays
 // null and every path below is taken verbatim.
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -44,6 +45,10 @@
 #include "topo/topology.hpp"
 #include "util/inplace_fn.hpp"
 
+namespace ckd::sim {
+class ParallelEngine;
+}
+
 namespace ckd::net {
 
 class Fabric : public fault::WireSender {
@@ -54,7 +59,17 @@ class Fabric : public fault::WireSender {
 
   Fabric(sim::Engine& engine, topo::TopologyPtr topology, CostParams params);
 
-  sim::Engine& engine() { return engine_; }
+  /// Route all scheduling through a sharded engine: source-side events land
+  /// on the calling context's shard, cross-node deliveries ride the
+  /// destination shard's ring (canonically ordered — see parallel.hpp).
+  /// The shard partition must be node-aligned so that injection-port state,
+  /// intra-node transfers, and self-sends stay shard-local.
+  void attachParallel(sim::ParallelEngine* parallel) { parallel_ = parallel; }
+
+  /// Engine of the calling execution context (the attached shard engine in
+  /// parallel mode, the constructor engine otherwise). Timing reads and
+  /// source-side scheduling go through this.
+  sim::Engine& engine();
   const topo::Topology& topology() const { return *topology_; }
   const CostParams& params() const { return params_; }
   int numPes() const { return topology_->numPes(); }
@@ -82,7 +97,7 @@ class Fabric : public fault::WireSender {
                      fault::MsgClass cls,
                      fault::WireSender::DeliverFn onDeliver,
                      std::uint64_t traceId = 0) override;
-  sim::Engine& wireEngine() override { return engine_; }
+  sim::Engine& wireEngine() override { return engine(); }
   fault::FaultInjector* faults() override { return injector_.get(); }
 
   /// Bulk messages currently queued or in service at a node's injection
@@ -90,8 +105,12 @@ class Fabric : public fault::WireSender {
   std::size_t injectQueueLength(int node) const;
   sim::Time ejectFreeAt(int node) const;
 
-  std::uint64_t messagesSubmitted() const { return messages_; }
-  std::uint64_t bytesSubmitted() const { return bytes_; }
+  std::uint64_t messagesSubmitted() const {
+    return messages_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytesSubmitted() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
 
   void resetStats();
 
@@ -114,15 +133,21 @@ class Fabric : public fault::WireSender {
                      fault::WireSender::DeliverFn onDeliver,
                      std::uint64_t traceId);
   void pumpInject(std::size_t node);
+  /// Schedule a cross-node arrival on the destination PE's engine: directly
+  /// in single-engine mode, through the destination shard's ring in parallel
+  /// mode (srcPe is the canonical ordering key).
+  void scheduleArrival(int dstPe, int srcPe, sim::Time when,
+                       sim::Engine::Action action);
 
   sim::Engine& engine_;
+  sim::ParallelEngine* parallel_ = nullptr;
   topo::TopologyPtr topology_;
   CostParams params_;
   std::vector<Port> inject_;
   std::vector<sim::Time> ejectFree_;
   std::unique_ptr<fault::FaultInjector> injector_;
-  std::uint64_t messages_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::atomic<std::uint64_t> messages_{0};
+  std::atomic<std::uint64_t> bytes_{0};
 };
 
 }  // namespace ckd::net

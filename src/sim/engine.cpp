@@ -38,7 +38,7 @@ bool Engine::step() {
 
   now_ = top.when;
   ++executed_;
-  ++processExecuted_;
+  processExecuted_.fetch_add(1, std::memory_order_relaxed);
 
   // Move the action out before running it: the action may schedule new
   // events, which may recycle this very slot.
@@ -48,22 +48,28 @@ bool Engine::step() {
   return true;
 }
 
+// A stop() issued between runs (e.g. from a fault callback that fired after
+// the previous loop exited) must halt the next run before it executes
+// anything; resetting the flag on entry silently swallowed it. Both loops
+// therefore honor a pending stop first and consume the flag on exit.
+
 void Engine::run() {
-  stopRequested_ = false;
   while (!stopRequested_ && step()) {
   }
+  stopRequested_ = false;
 }
 
 void Engine::runUntil(Time deadline) {
   CKD_REQUIRE(deadline >= now_, "runUntil deadline is in the past");
-  stopRequested_ = false;
   while (!stopRequested_ && !heap_.empty() && heap_.front().when <= deadline) {
     step();
   }
+  const bool stopped = stopRequested_;
+  stopRequested_ = false;
   // Fast-forward only when the loop genuinely drained past the deadline; a
   // stop() may have left events <= deadline queued, and advancing past them
   // would let a later run() move time backwards.
-  if (!stopRequested_ && now_ < deadline) now_ = deadline;
+  if (!stopped && now_ < deadline) now_ = deadline;
 }
 
 }  // namespace ckd::sim

@@ -12,7 +12,9 @@
 // structs, actions are move-constructed exactly once on entry and once on
 // dispatch, and the common capture sizes never touch the allocator.
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 #include <vector>
 
@@ -87,14 +89,41 @@ class Engine {
   /// loop drained past the deadline (stop() leaves now() at the last event).
   void runUntil(Time deadline);
 
+  /// Execute every event with time strictly below `ceiling`, ignoring
+  /// stop().  This is the shard-local inner loop of sim::ParallelEngine's
+  /// conservative window: the ceiling is a time no other shard can affect,
+  /// so everything below it is safe to run without synchronization.
+  void runWindow(Time ceiling) {
+    while (!heap_.empty() && heap_.front().when < ceiling) step();
+  }
+
+  /// Timestamp of the earliest pending event, or +inf on an empty heap.
+  /// ParallelEngine derives the global window ceiling from these.
+  Time nextEventTime() const {
+    return heap_.empty() ? std::numeric_limits<Time>::infinity()
+                         : heap_.front().when;
+  }
+
+  /// Advance the clock to `t` without executing anything (t >= now()).
+  /// ParallelEngine pins every shard to the serial timestamp before running
+  /// a global (serial-phase) event, so code observing now() on any shard
+  /// sees a consistent instant.
+  void pinNow(Time t) {
+    CKD_REQUIRE(t >= now_, "cannot pin the clock backwards");
+    now_ = t;
+  }
+
   bool empty() const { return heap_.empty(); }
   std::size_t pendingEvents() const { return heap_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
 
   /// Events executed by every engine in this process — the numerator of the
-  /// events/sec number harness::BenchRunner reports (bench binaries build
-  /// one engine per run).
-  static std::uint64_t processExecutedEvents() { return processExecuted_; }
+  /// events/sec number harness::BenchRunner reports. Relaxed atomic: with
+  /// one engine per shard thread the plain counter was a data race (and
+  /// dropped increments, under-counting the events/sec numerator).
+  static std::uint64_t processExecutedEvents() {
+    return processExecuted_.load(std::memory_order_relaxed);
+  }
 
   /// Abort the current run() / runUntil() loop after the current event.
   void stop() { stopRequested_ = true; }
@@ -148,7 +177,7 @@ class Engine {
   bool stopRequested_ = false;
   TraceRecorder trace_;
 
-  inline static std::uint64_t processExecuted_ = 0;
+  inline static std::atomic<std::uint64_t> processExecuted_{0};
 };
 
 }  // namespace ckd::sim

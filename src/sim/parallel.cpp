@@ -1,0 +1,259 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ckd::sim {
+
+thread_local int ParallelEngine::tlsShard_ = -1;
+thread_local int ParallelEngine::tlsSerialSrcPe_ = -1;
+
+namespace {
+
+constexpr int kSpinsBeforeYield = 1024;
+
+std::size_t checkedShardCount(const ParallelEngine::Config& cfg) {
+  CKD_REQUIRE(cfg.shards >= 1, "shard count must be positive");
+  CKD_REQUIRE(cfg.lookahead > 0.0, "conservative lookahead must be positive");
+  return static_cast<std::size_t>(cfg.shards);
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(Config cfg, std::vector<int> shardOfPe)
+    : lookahead_(cfg.lookahead),
+      shardOfPe_(std::move(shardOfPe)),
+      shards_(checkedShardCount(cfg)),
+      rings_(shards_.size() * shards_.size()),
+      serialRings_(shards_.size()),
+      pushSeq_(shardOfPe_.size() + 1, 0),
+      mintCounters_(shardOfPe_.size() + 1, 0) {
+  for (const int s : shardOfPe_)
+    CKD_REQUIRE(s >= 0 && s < cfg.shards, "PE mapped to an out-of-range shard");
+
+  int want = cfg.threads > 0
+                 ? cfg.threads
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (want < 1) want = 1;
+  threadCount_ = std::min(want, static_cast<int>(shards_.size()));
+  workers_.reserve(static_cast<std::size_t>(threadCount_ - 1));
+  for (int k = 1; k < threadCount_; ++k)
+    workers_.emplace_back([this, k] { workerLoop(k); });
+}
+
+ParallelEngine::~ParallelEngine() {
+  quit_.store(true, std::memory_order_release);
+  startGen_.fetch_add(1, std::memory_order_release);
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+void ParallelEngine::SpscRing::push(RingEntry&& e) {
+  const std::size_t h = head_.load(std::memory_order_relaxed);
+  if (h - tail_.load(std::memory_order_acquire) < kCapacity) {
+    buf_[h & (kCapacity - 1)] = std::move(e);
+    head_.store(h + 1, std::memory_order_release);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(overflowMu_);
+  overflow_.push_back(std::move(e));
+}
+
+void ParallelEngine::SpscRing::drainInto(std::vector<RingEntry>& out) {
+  std::size_t t = tail_.load(std::memory_order_relaxed);
+  const std::size_t h = head_.load(std::memory_order_acquire);
+  for (; t != h; ++t) out.push_back(std::move(buf_[t & (kCapacity - 1)]));
+  tail_.store(t, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(overflowMu_);
+  if (!overflow_.empty()) {
+    for (auto& e : overflow_) out.push_back(std::move(e));
+    overflow_.clear();
+  }
+}
+
+void ParallelEngine::stageSerial(int dstShard, Time when,
+                                 Engine::Action action) {
+  shards_[static_cast<std::size_t>(dstShard)].staged.push_back(
+      RingEntry{when, -1, nextSerialPushSeq(), false, std::move(action)});
+}
+
+namespace {
+/// The canonical cross-shard order: (when, srcPe, srcSeq). srcSeq is unique
+/// per source, so this is a total order — and every component is a function
+/// of per-PE execution histories, never of the shard partition.
+bool canonicalBefore(Time aWhen, std::int32_t aPe, std::uint64_t aSeq,
+                     Time bWhen, std::int32_t bPe, std::uint64_t bSeq) {
+  if (aWhen != bWhen) return aWhen < bWhen;
+  if (aPe != bPe) return aPe < bPe;
+  return aSeq < bSeq;
+}
+}  // namespace
+
+void ParallelEngine::drainBoundary() {
+  const int n = shards();
+  // Cross-shard arrivals: merge every inbound ring (plus the coordinator's
+  // serial-phase staging) per destination in canonical order.
+  for (int d = 0; d < n; ++d) {
+    auto& scratch = drainScratch_;
+    scratch.clear();
+    for (int s = 0; s < n; ++s) rings_[ringIndex(s, d)].drainInto(scratch);
+    auto& staged = shards_[static_cast<std::size_t>(d)].staged;
+    for (auto& e : staged) scratch.push_back(std::move(e));
+    staged.clear();
+    if (scratch.empty()) continue;
+    std::sort(scratch.begin(), scratch.end(),
+              [](const RingEntry& a, const RingEntry& b) {
+                return canonicalBefore(a.when, a.srcPe, a.srcSeq, b.when,
+                                       b.srcPe, b.srcSeq);
+              });
+    Engine& eng = shards_[static_cast<std::size_t>(d)].engine;
+    for (auto& e : scratch) {
+      CKD_REQUIRE(e.when >= windowCeiling_,
+                  "cross-shard event violates the conservative lookahead");
+      eng.at(e.when, std::move(e.action));
+    }
+  }
+  // Shard-issued serial events. Boundary events resolve to the ceiling of
+  // the window that produced them (partition-independent by construction).
+  auto& scratch = drainScratch_;
+  scratch.clear();
+  for (int s = 0; s < n; ++s)
+    serialRings_[static_cast<std::size_t>(s)].drainInto(scratch);
+  if (scratch.empty()) return;
+  for (auto& e : scratch)
+    if (e.boundary) e.when = windowCeiling_;
+  std::sort(scratch.begin(), scratch.end(),
+            [](const RingEntry& a, const RingEntry& b) {
+              return canonicalBefore(a.when, a.srcPe, a.srcSeq, b.when, b.srcPe,
+                                     b.srcSeq);
+            });
+  for (auto& e : scratch) {
+    CKD_REQUIRE(e.when >= windowCeiling_,
+                "serial event scheduled below the window ceiling");
+    serial_.at(e.when, std::move(e.action));
+  }
+}
+
+Time ParallelEngine::minShardNext() const {
+  Time m = std::numeric_limits<Time>::infinity();
+  for (const auto& sh : shards_) m = std::min(m, sh.engine.nextEventTime());
+  return m;
+}
+
+void ParallelEngine::runShardWindow(int shard, Time ceiling) {
+  tlsShard_ = shard;
+  tlsSerialSrcPe_ = -1;
+  shards_[static_cast<std::size_t>(shard)].engine.runWindow(ceiling);
+  tlsShard_ = -1;
+  tlsSerialSrcPe_ = -1;
+}
+
+void ParallelEngine::executeWindow(Time ceiling) {
+  if (threadCount_ <= 1) {
+    // One host core: run each shard's window inline, in shard order. Same
+    // partition, same rings, same canonical merges — bit-identical results,
+    // zero synchronization.
+    for (int i = 0; i < shards(); ++i) runShardWindow(i, ceiling);
+    return;
+  }
+  publishedCeiling_ = ceiling;
+  doneCount_.store(0, std::memory_order_relaxed);
+  startGen_.fetch_add(1, std::memory_order_release);
+  // The coordinator doubles as worker 0.
+  for (int i = 0; i < shards(); i += threadCount_) runShardWindow(i, ceiling);
+  const int expect = threadCount_ - 1;
+  for (int spins = 0;
+       doneCount_.load(std::memory_order_acquire) != expect;) {
+    if (++spins >= kSpinsBeforeYield) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ParallelEngine::workerLoop(int workerIndex) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t gen;
+    for (int spins = 0;
+         (gen = startGen_.load(std::memory_order_acquire)) == seen;) {
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    seen = gen;
+    if (quit_.load(std::memory_order_acquire)) return;
+    const Time ceiling = publishedCeiling_;
+    for (int i = workerIndex; i < shards(); i += threadCount_)
+      runShardWindow(i, ceiling);
+    doneCount_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ParallelEngine::run() {
+  for (;;) {
+    if (stopRequested_.exchange(false, std::memory_order_relaxed)) break;
+    drainBoundary();
+    const Time m = minShardNext();
+    const Time s = serial_.nextEventTime();
+    if (m == std::numeric_limits<Time>::infinity() &&
+        s == std::numeric_limits<Time>::infinity()) {
+      // Quiescent: every heap, ring, and staging buffer is empty. Align all
+      // clocks on the horizon so host code between runs (mainchare-style
+      // setup for the next phase) sees one consistent "now" and may seed
+      // fresh work there without tripping the monotonicity checks.
+      const Time h = horizon();
+      for (auto& sh : shards_) sh.engine.pinNow(h);
+      serial_.pinNow(h);
+      windowCeiling_ = h;
+      break;
+    }
+    if (s <= m) {
+      // Serial phase: everything pending sits at or beyond s, so pin every
+      // shard clock to s and run the serial events at that instant (they
+      // may cascade at the same time; runWindow picks those up too).
+      for (auto& sh : shards_) sh.engine.pinNow(s);
+      serial_.runWindow(
+          std::nextafter(s, std::numeric_limits<Time>::infinity()));
+      continue;
+    }
+    const Time ceiling = std::min(m + lookahead_, s);
+    windowCeiling_ = ceiling;
+    ++windows_;
+    executeWindow(ceiling);
+  }
+}
+
+std::uint64_t ParallelEngine::executedEvents() const {
+  std::uint64_t total = serial_.executedEvents();
+  for (const auto& sh : shards_) total += sh.engine.executedEvents();
+  return total;
+}
+
+Time ParallelEngine::horizon() const {
+  Time h = serial_.now();
+  for (const auto& sh : shards_) h = std::max(h, sh.engine.now());
+  return h;
+}
+
+std::vector<TraceEvent> ParallelEngine::mergedTrace() const {
+  std::vector<TraceEvent> merged = serial_.trace().snapshot();
+  for (const auto& sh : shards_) {
+    auto part = sh.engine.trace().snapshot();
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  // A (time, pe) tie can only pair events from one stream with events from
+  // the serial stream; the concatenation order (serial first, shards in
+  // shard order) plus stability makes the merge partition-independent.
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.pe < b.pe;
+                   });
+  return merged;
+}
+
+}  // namespace ckd::sim

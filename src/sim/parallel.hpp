@@ -1,0 +1,256 @@
+#pragma once
+// ParallelEngine: thread-sharded conservative discrete-event execution.
+//
+// The PE space is partitioned into shards; each shard owns a private
+// sim::Engine (heap, clock, trace ring) over its slice. Execution proceeds
+// in windows: the coordinator computes a global ceiling
+//
+//     C = min( min_over_shards(next event time) + lookahead,
+//              next serial event time )
+//
+// and every shard concurrently executes its events with time < C. The
+// lookahead is the cross-shard latency floor (the minimum wire alpha of the
+// machine's transfer classes): any event one shard schedules on another is
+// a network arrival at least `lookahead` after its send instant, so it can
+// never land inside the window that produced it. Cross-shard events travel
+// through lock-free SPSC rings and are drained into the destination heaps
+// at the window boundary, in the canonical order (when, srcPe, srcSeq) —
+// a total order that depends only on per-PE execution histories, never on
+// the partition. That, plus per-PE id/sequence minting in the layers above,
+// is why an N-shard run is bit-identical to a 1-shard run (DESIGN.md §2g).
+//
+// Serial events (atSerial / atSerialBoundary) model globally-synchronous
+// work — fault injections, heartbeat ticks, checkpoint commits. They run on
+// the coordinator between windows with every shard parked and every shard
+// clock pinned to the event's instant, so they may touch cross-shard state
+// freely. A serial event's time always caps the window ceiling, so no shard
+// ever runs past a pending serial event.
+//
+// Shards are the determinism-relevant partition; worker threads are an
+// execution detail. `threads` defaults to min(shards, hardware cores), and
+// with one thread the coordinator runs each shard's window inline — same
+// results, no synchronization. Results depend on the shard count only
+// through nothing at all: that is the property the determinism gate checks.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+#include "util/require.hpp"
+
+namespace ckd::sim {
+
+class ParallelEngine {
+ public:
+  struct Config {
+    int shards = 1;      ///< partition count (affects nothing observable)
+    int threads = 0;     ///< worker threads; 0 = min(shards, hw cores)
+    Time lookahead = 0;  ///< cross-shard latency floor, must be > 0
+  };
+
+  /// `shardOfPe[pe]` maps every PE to its owning shard in [0, shards).
+  /// Callers must align the partition so that PEs of one *node* never
+  /// split across shards (the fabric's injection/ejection port state and
+  /// sub-lookahead intra-node latencies are then shard-local by design).
+  ParallelEngine(Config cfg, std::vector<int> shardOfPe);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  int threads() const { return threadCount_; }
+  Time lookahead() const { return lookahead_; }
+  int shardOf(int pe) const {
+    return pe < 0 ? -1 : shardOfPe_[static_cast<std::size_t>(pe)];
+  }
+
+  Engine& shardEngine(int shard) { return shards_[static_cast<std::size_t>(shard)].engine; }
+  Engine& serialEngine() { return serial_; }
+  const Engine& serialEngine() const { return serial_; }
+
+  /// Engine of the calling execution context: the shard engine while that
+  /// shard's window runs on this thread, the serial engine otherwise
+  /// (setup code, serial phases, post-run inspection).
+  Engine& current() { return tlsShard_ < 0 ? serial_ : shardEngine(tlsShard_); }
+  /// Shard executing on this thread, or -1 in serial/coordinator context.
+  int currentShard() const { return tlsShard_; }
+
+  /// Schedule onto `pe`'s home shard from a context that already owns it —
+  /// the shard's own thread, or the serial phase (which stages the event
+  /// and inserts it before the next window). Intra-shard work (same-PE,
+  /// same-node) must use this: its latency may be below the lookahead.
+  template <class F>
+  void atLocal(int pe, Time when, F&& f) {
+    const int dst = shardOf(pe);
+    if (tlsShard_ == dst) {
+      shardEngine(dst).at(when, std::forward<F>(f));
+      return;
+    }
+    CKD_REQUIRE(tlsShard_ < 0,
+                "atLocal from a foreign shard: cross-shard work must be a "
+                "wire transfer (atRemote)");
+    stageSerial(dst, when, Engine::Action(std::forward<F>(f)));
+  }
+
+  /// Schedule a cross-node wire arrival onto `dstPe`'s shard. `wireSrcPe`
+  /// is the sending PE (the canonical sort key; its shard must be the
+  /// calling context). The arrival must honor the lookahead: when >= the
+  /// current window ceiling, which the drain asserts. Same-shard cross-node
+  /// arrivals take this path too — uniform ring ordering is what keeps the
+  /// merge canonical across shard counts.
+  void atRemote(int dstPe, int wireSrcPe, Time when, Engine::Action action) {
+    const int dst = shardOf(dstPe);
+    if (tlsShard_ < 0) {  // serial context: coordinator-owned staging
+      stageSerial(dst, when, std::move(action));
+      return;
+    }
+    CKD_REQUIRE(tlsShard_ == shardOf(wireSrcPe),
+                "wire source PE does not belong to the calling shard");
+    auto& seq = pushSeq_[static_cast<std::size_t>(wireSrcPe) + 1];
+    rings_[ringIndex(tlsShard_, dst)].push(
+        RingEntry{when, wireSrcPe, ++seq, false, std::move(action)});
+  }
+
+  /// Schedule a serial event at absolute time `when`. From shard context,
+  /// `when` must be at or beyond the current window ceiling (asserted at
+  /// the drain); use atSerialBoundary for "as soon as globally safe".
+  template <class F>
+  void atSerial(Time when, F&& f) {
+    if (tlsShard_ < 0) {
+      serial_.at(when, std::forward<F>(f));
+      return;
+    }
+    serialRings_[static_cast<std::size_t>(tlsShard_)].push(RingEntry{
+        when, tlsSerialSrcPe_, nextSerialPushSeq(), false,
+        Engine::Action(std::forward<F>(f))});
+  }
+
+  /// Schedule a serial event at the earliest globally-safe instant: the
+  /// ceiling of the window that issued it (a partition-independent time).
+  /// From serial context it runs later in the same serial phase.
+  template <class F>
+  void atSerialBoundary(F&& f) {
+    if (tlsShard_ < 0) {
+      serial_.at(serial_.now(), std::forward<F>(f));
+      return;
+    }
+    serialRings_[static_cast<std::size_t>(tlsShard_)].push(
+        RingEntry{0.0, tlsSerialSrcPe_, nextSerialPushSeq(), true,
+                  Engine::Action(std::forward<F>(f))});
+  }
+
+  /// Set the PE used as the canonical sort key for serial events pushed
+  /// from the current shard context (the scheduler sets it to the pumping
+  /// PE). -1 sorts before every real PE.
+  void setSerialSrcPe(int pe) { tlsSerialSrcPe_ = pe; }
+
+  /// Run the window loop to global quiescence (all heaps and rings empty).
+  void run();
+
+  /// Abort the window loop at the next boundary (pending events remain).
+  void stop() { stopRequested_.store(true, std::memory_order_relaxed); }
+
+  // ---- aggregates over every engine (shards + serial) ----
+
+  std::uint64_t executedEvents() const;
+  std::uint64_t shardExecutedEvents(int shard) const {
+    return shards_[static_cast<std::size_t>(shard)].engine.executedEvents();
+  }
+  /// Max clock over every engine: the completion horizon of the run.
+  Time horizon() const;
+  std::uint64_t windows() const { return windows_; }
+
+  /// Every retained trace event, merged across the serial + shard rings
+  /// into the canonical order: stable-sorted by (time, pe) with the serial
+  /// stream first. Events tied on (time, pe) all originate from one stream
+  /// (a PE's events are recorded only by its own shard), so the merged
+  /// order is partition-independent.
+  std::vector<TraceEvent> mergedTrace() const;
+
+  /// Shared per-PE chain-id counter table for TraceRecorder::mintIdFor
+  /// (slot 0 = the serial context). Wired into every shard recorder by the
+  /// runtime so minted ids are a function of per-PE order alone.
+  std::vector<std::uint64_t>& mintCounters() { return mintCounters_; }
+
+ private:
+  struct RingEntry {
+    Time when = 0.0;
+    std::int32_t srcPe = -1;
+    std::uint64_t srcSeq = 0;
+    bool boundary = false;  ///< serial ring only: run at the window ceiling
+    Engine::Action action;
+  };
+
+  /// Single-producer single-consumer ring with a mutex-guarded overflow
+  /// list (rare; drained entries are canonically re-sorted anyway, so
+  /// overflow order does not matter). Producers push during a window; the
+  /// coordinator drains at the boundary while producers are parked.
+  class SpscRing {
+   public:
+    void push(RingEntry&& e);
+    void drainInto(std::vector<RingEntry>& out);
+
+   private:
+    static constexpr std::size_t kCapacity = 512;  // power of two
+    std::vector<RingEntry> buf_ = std::vector<RingEntry>(kCapacity);
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    std::mutex overflowMu_;
+    std::vector<RingEntry> overflow_;
+  };
+
+  struct Shard {
+    Engine engine;
+    std::vector<RingEntry> staged;  ///< serial-context pushes (coordinator)
+  };
+
+  std::size_t ringIndex(int src, int dst) const {
+    return static_cast<std::size_t>(src) * shards_.size() +
+           static_cast<std::size_t>(dst);
+  }
+  void stageSerial(int dstShard, Time when, Engine::Action action);
+  std::uint64_t nextSerialPushSeq() { return ++pushSeq_[0]; }
+
+  void drainBoundary();
+  Time minShardNext() const;
+  void runShardWindow(int shard, Time ceiling);
+  void executeWindow(Time ceiling);
+  void workerLoop(int workerIndex);
+
+  Time lookahead_ = 0.0;
+  std::vector<int> shardOfPe_;
+  std::vector<Shard> shards_;
+  Engine serial_;
+  std::vector<SpscRing> rings_;        ///< shard -> shard, [src*N + dst]
+  std::vector<SpscRing> serialRings_;  ///< shard -> serial queue
+  /// Per-source push counters for the canonical sort key; slot 0 is the
+  /// serial context, slot pe+1 is touched only by shard(pe)'s thread.
+  std::vector<std::uint64_t> pushSeq_;
+  std::vector<std::uint64_t> mintCounters_;
+  Time windowCeiling_ = 0.0;  ///< ceiling of the last executed window
+  std::uint64_t windows_ = 0;
+  std::atomic<bool> stopRequested_{false};
+
+  // Worker pool (only when threads() > 1). Spin-then-yield barriers: the
+  // generation counter releases a window, doneCount_ reports completion.
+  int threadCount_ = 1;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> startGen_{0};
+  std::atomic<int> doneCount_{0};
+  std::atomic<bool> quit_{false};
+  Time publishedCeiling_ = 0.0;  ///< read by workers after acquiring the gen
+
+  std::vector<RingEntry> drainScratch_;
+
+  static thread_local int tlsShard_;
+  static thread_local int tlsSerialSrcPe_;
+};
+
+}  // namespace ckd::sim

@@ -156,6 +156,28 @@ class TraceRecorder {
   /// parent's id is always smaller than any child it causes — the causal
   /// graph is acyclic by construction and bit-identical across reruns.
   std::uint64_t mintId() { return ++nextId_; }
+
+  /// Mint a chain id attributed to `pe`. In the default (global) mode this
+  /// is mintId() — ids match the historical single-engine stream exactly.
+  /// Under per-PE minting (setPerPeMinting, used by the sharded engine) the
+  /// id is (pe+1) << 40 | per-PE counter: a pure function of the minting
+  /// PE's own event order, so the id stream is identical for every shard
+  /// count. Ids are then no longer globally monotone; CausalGraph only
+  /// requires uniqueness and true parent links, not monotonicity.
+  std::uint64_t mintIdFor(int pe) {
+    if (perPeNextId_ == nullptr) return mintId();
+    auto& counter = (*perPeNextId_)[static_cast<std::size_t>(pe + 1)];
+    return (static_cast<std::uint64_t>(pe + 1) << 40) | ++counter;
+  }
+
+  /// Switch mintIdFor() to partition-independent per-PE counters (slot 0 is
+  /// pe = -1, the serial context; slot pe+1 belongs to pe). All shard
+  /// recorders of one parallel run share the counter table: a PE's ids are
+  /// minted only from its own shard's thread (or from the serial phase,
+  /// while every shard is parked), so slots are never contended.
+  void setPerPeMinting(std::vector<std::uint64_t>* counters) {
+    perPeNextId_ = counters;
+  }
   /// Chain id of the handler currently executing (0 outside any handler).
   /// Messages and puts minted while a context is set inherit it as parent.
   std::uint64_t context() const { return context_; }
@@ -231,6 +253,7 @@ class TraceRecorder {
   std::uint64_t recorded_ = 0;
   std::uint64_t nextId_ = 0;    // last minted chain id
   std::uint64_t context_ = 0;   // chain id of the running handler
+  std::vector<std::uint64_t>* perPeNextId_ = nullptr;  // shared; see above
   std::vector<TraceEvent> ring_;
 
   std::array<std::uint64_t, kTraceTagCount> counts_{};

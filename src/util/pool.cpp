@@ -8,7 +8,7 @@
 namespace ckd::util {
 
 BufferPool& BufferPool::instance() {
-  static BufferPool pool;
+  static thread_local BufferPool pool;
   return pool;
 }
 

@@ -42,7 +42,11 @@ class BufferPool {
     std::size_t cachedBytes = 0; ///< bytes currently parked on free lists
   };
 
-  /// Process-wide pool (the simulator is single-threaded).
+  /// Per-thread pool: each shard worker of the parallel engine recycles
+  /// through its own free lists, so acquire/release stay lock-free. A block
+  /// acquired on one thread and released on another simply parks on the
+  /// releaser's list — the underlying allocator is thread-safe, and pooling
+  /// never changes simulation results (the CKD_POOLS A/B gate checks that).
   static BufferPool& instance();
 
   /// Enabled state: free-list recycling on/off. Initialized from the

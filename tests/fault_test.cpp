@@ -266,6 +266,41 @@ TEST_F(ReliableLinkTest, RetryBudgetExhaustionErrorsAndResetRecovers) {
   EXPECT_FALSE(link_->channelInError(0));
 }
 
+TEST_F(ReliableLinkTest, ResetChannelClearsTheStaleDeliveryEstimate) {
+  // Regression: resetChannel() left Flow::lastEta at the dead sequence
+  // space's value. The retransmission timer waits out the contention-free
+  // ETA of the newest outstanding copy, so when a flow died while a
+  // multi-megabyte write was still on the wire (a QP error at post time —
+  // virtual now far below that write's ETA), the first packet-scale send on
+  // the reset channel inherited the dead write's multi-millisecond timeout:
+  // its retransmission stalled for the big write's wire time instead of its
+  // own.
+  arm("qp_error:0;nth=2,drop:0;nth=2;class=bulk,rel:0;timeout=5;budget=4");
+  fault::ReliableLink::Send big = makeSend(0);
+  big.wireBytes = 32u << 20;
+  link_->post(0, std::move(big));  // on the wire; ETA is milliseconds out
+  link_->post(0, makeSend(1));     // 2nd post: QP error, flow fails at t=0
+  ASSERT_EQ(errors_.size(), 2u);
+  EXPECT_TRUE(link_->channelInError(0));
+  link_->resetChannel(0);
+
+  // Packet-scale probe: its first copy is dropped (2nd bulk wire op), so
+  // its delivery time is dominated by the retransmission timer — which must
+  // be sized from the probe's own ETA, not the dead 32 MB write's.
+  sim::Time probeDeliveredAt = -1.0;
+  fault::ReliableLink::Send probe = makeSend(2);
+  probe.on_deliver = [this, &probeDeliveredAt](std::vector<std::byte>&&) {
+    probeDeliveredAt = engine_.now();
+  };
+  link_->post(0, std::move(probe));
+  engine_.run();
+  ASSERT_GT(probeDeliveredAt, 0.0);
+  // The run's horizon covers the dead big copy's wire arrival, so it bounds
+  // the stale ETA from below; the probe must complete far earlier.
+  EXPECT_LT(probeDeliveredAt, engine_.now() / 10.0)
+      << "post-reset timer still carries the failed big write's ETA";
+}
+
 TEST_F(ReliableLinkTest, InjectedQpErrorFlushesAtPost) {
   arm("qp_error:0;nth=1");
   link_->post(0, makeSend(0));

@@ -210,5 +210,123 @@ TEST(Engine, HeapStressKeepsTimeMonotonic) {
   EXPECT_EQ(eng.executedEvents(), spawned);
 }
 
+// Regression: a stop() issued between runs (a fault callback firing after
+// the previous loop already exited) was silently swallowed — run() reset the
+// flag on entry, so the next loop executed events a halted engine should
+// never have run. A pending stop must halt the next run() before its first
+// event, then be consumed so the run after that proceeds normally.
+TEST(Engine, StopIssuedBetweenRunsHaltsTheNextRun) {
+  Engine eng;
+  int fired = 0;
+  eng.at(1.0, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+
+  eng.stop();  // e.g. from a host-side callback between run() calls
+  eng.at(2.0, [&] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);  // the pending stop halted the loop immediately
+  EXPECT_EQ(eng.pendingEvents(), 1u);
+
+  eng.run();  // the flag was consumed on exit: this run proceeds
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, StopIssuedBetweenRunsHaltsRunUntilWithoutFastForward) {
+  Engine eng;
+  int fired = 0;
+  eng.stop();
+  eng.at(1.0, [&] { ++fired; });
+  eng.runUntil(5.0);
+  EXPECT_EQ(fired, 0);
+  // The stop aborted the loop with the 1.0 event still due, so now() must
+  // not jump to the deadline (time would go backwards on resume).
+  EXPECT_DOUBLE_EQ(eng.now(), 0.0);
+  eng.runUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eng.now(), 5.0);
+}
+
+// Same-instant cascade stress: events at one timestamp schedule children at
+// that same timestamp, generation after generation. Every dispatch frees a
+// slab slot that the child immediately recycles, so this pins down the
+// tie-break contract under heavy slot reuse: ties execute in scheduling
+// order (monotone seq), never in slot-index or recycling order.
+TEST(Engine, SameInstantCascadesKeepSchedulingOrderAcrossRecycledSlots) {
+  Engine eng;
+  constexpr int kRoots = 64;
+  constexpr int kGenerations = 4;
+  std::vector<int> order;
+  std::function<void(int, int)> fire = [&](int gen, int idx) {
+    order.push_back(gen * kRoots + idx);
+    if (gen + 1 < kGenerations)
+      eng.at(1.0, [&fire, gen, idx] { fire(gen + 1, idx); });
+  };
+  for (int i = 0; i < kRoots; ++i) eng.at(1.0, [&fire, i] { fire(0, i); });
+  eng.run();
+  // Generation g's children were all scheduled after generation g-1's roots,
+  // and within a generation in parent execution order — so the global order
+  // is simply 0, 1, 2, ... across the whole cascade.
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kRoots * kGenerations));
+  for (std::size_t i = 0; i < order.size(); ++i)
+    ASSERT_EQ(order[i], static_cast<int>(i)) << "tie broke out of order";
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+}
+
+// Randomized tie stress: times drawn from a tiny set force massive ties at
+// every instant while executed events keep scheduling more, recycling slots
+// mid-run. The invariant checked is the engine's full ordering contract:
+// nondecreasing time, and within one instant strictly increasing scheduling
+// order (the order at() was called process-wide).
+TEST(Engine, RandomTiesBreakBySchedulingOrderUnderHeavyRecycling) {
+  Engine eng;
+  std::uint64_t rng = 0xDA942042E4DD58B5ull;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  struct Fired {
+    double when;
+    std::uint64_t schedId;
+  };
+  std::vector<Fired> fired;
+  std::uint64_t schedId = 0;
+  std::size_t spawned = 0;
+  std::function<void()> action = [&] {
+    fired.push_back(Fired{eng.now(), 0});  // schedId patched by the spawner
+    while (spawned < 4000 && next() % 4 != 0) {
+      ++spawned;
+      // 0 keeps the tie at this instant; otherwise a tiny forward hop into
+      // another crowded instant.
+      const double delay = static_cast<double>(next() % 3);
+      const std::uint64_t id = schedId++;
+      eng.after(delay, [&, id] {
+        action();
+        fired.back().schedId = id;
+      });
+    }
+  };
+  for (int i = 0; i < 100; ++i) {
+    ++spawned;
+    const double when = static_cast<double>(next() % 3);
+    const std::uint64_t id = schedId++;
+    eng.at(when, [&, id] {
+      action();
+      fired.back().schedId = id;
+    });
+  }
+  eng.run();
+  ASSERT_EQ(fired.size(), spawned);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_GE(fired[i].when, fired[i - 1].when);
+    if (fired[i].when == fired[i - 1].when) {
+      ASSERT_GT(fired[i].schedId, fired[i - 1].schedId)
+          << "same-instant tie broke out of scheduling order at event " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ckd::sim
