@@ -1,0 +1,218 @@
+// Four-way one-sided ablation on the Abe-like InfiniBand machine: the same
+// pingpong payload pushed through every one-sided design the repo models —
+//
+//   ckdirect        CkDirect put + sentinel poll (the paper's design)
+//   pgas            PGAS put-with-signal over the DART-style runtime
+//   mpi_put_pscw    MPI_Put under post-start-complete-wait (MVAPICH costs)
+//   mpi_rdma_eager  two-sided MPI over the Liu et al. RDMA channel
+//
+// plus a pgas_blocking curve (issue -> origin-observed remote completion,
+// the dart_put_blocking flavor). For each design and size the bench reports
+// the one-way latency, the delivered bandwidth, and — from the causal trace
+// — the exact queue/wire/poll/handler split of the design's own chains.
+//
+// --check turns the run into the PR's acceptance gate: every design present
+// at every size, CkDirect beating MPI_Put/PSCW (and the PGAS layer sitting
+// between them) at small sizes, the RDMA-eager channel beating PSCW at
+// small sizes, and per-design bandwidth monotone in the message size.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/bench_runner.hpp"
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "mpi/mpi_costs.hpp"
+#include "pgas/pgas.hpp"
+#include "sim/causal.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace ckd;
+
+namespace {
+
+struct DesignPoint {
+  double latency_us = 0.0;    // one-way
+  double bandwidth_mbps = 0.0;
+  sim::LatencySummary split;  // causal split of this design's own chains
+};
+
+/// Mean split over completed chains opened by `kind` (kCount = CkDirect).
+sim::LatencySummary splitFor(const harness::ProfileReport& report,
+                             sim::TraceTag kind) {
+  if (report.traceEvents.empty()) return {};
+  sim::CausalGraph graph(report.traceEvents);
+  if (kind == sim::TraceTag::kCount) return graph.putLatency();
+  sim::LatencySummary s = graph.latencyByKind(kind);
+  return s;
+}
+
+void emit(harness::BenchRunner& runner, const char* design, std::size_t bytes,
+          const DesignPoint& p) {
+  const auto metric = [&](const char* name, double value, const char* unit) {
+    util::JsonValue labels = util::JsonValue::object();
+    labels.set("design", util::JsonValue(design));
+    labels.set("bytes", util::JsonValue(bytes));
+    runner.addMetric(name, value, unit, std::move(labels));
+  };
+  metric("latency_us", p.latency_us, "us");
+  metric("bandwidth_mbps", p.bandwidth_mbps, "MB/s");
+  if (p.split.count > 0) {
+    metric("causal_queue_us", p.split.mean.queue_us, "us");
+    metric("causal_wire_us", p.split.mean.wire_us, "us");
+    metric("causal_poll_us", p.split.mean.poll_us, "us");
+    metric("causal_handler_us", p.split.mean.handler_us, "us");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  harness::BenchRunner runner("ablation_pgas", args);
+  const int iters = static_cast<int>(args.getInt("iters", 300));
+  const bool check = args.getBool("check", false);
+  const std::vector<std::int64_t> sizes = args.getIntList(
+      "sizes", {100, 512, 1000, 4096, 16384, 65536, 262144, 1048576});
+
+  charm::MachineConfig machine = harness::abeMachine(2, 1);
+  runner.applyFaults(machine);
+  const mpi::MpiCosts mvapich = mpi::mvapichCosts();
+  const pgas::PgasCosts dart = pgas::dartIbCosts();
+
+  // design -> size -> point, for the table and the --check gate.
+  std::map<std::string, std::map<std::size_t, DesignPoint>> curves;
+
+  const auto runOne = [&](const char* design, std::size_t bytes,
+                          sim::TraceTag kind, auto&& fn) {
+    harness::PingpongConfig cfg;
+    cfg.bytes = bytes;
+    cfg.iterations = iters;
+    // Always trace: the causal split is part of the bench's output.
+    cfg.trace = true;
+    cfg.traceCapacity = runner.traceCapacity();
+    harness::ProfileReport report;
+    cfg.profile = &report;
+    const double latency = fn(cfg);
+    DesignPoint p;
+    p.latency_us = latency;
+    p.bandwidth_mbps = static_cast<double>(bytes) / latency;  // B/us = MB/s
+    p.split = splitFor(report, kind);
+    emit(runner, design, bytes, p);
+    if (runner.wantsProfiles()) {
+      report.label = std::string(design) + "/" + std::to_string(bytes);
+      runner.addProfile(std::move(report));
+    }
+    curves[design][bytes] = p;
+  };
+
+  for (const std::int64_t size : sizes) {
+    const auto bytes = static_cast<std::size_t>(size);
+    runOne("ckdirect", bytes, sim::TraceTag::kCount,
+           [&](harness::PingpongConfig& cfg) {
+             return harness::ckdirectPingpongRtt(machine, cfg) / 2.0;
+           });
+    runOne("pgas", bytes, sim::TraceTag::kPgasPut,
+           [&](harness::PingpongConfig& cfg) {
+             return harness::pgasPingpongRtt(machine, dart, cfg) / 2.0;
+           });
+    runOne("pgas_blocking", bytes, sim::TraceTag::kPgasPut,
+           [&](harness::PingpongConfig& cfg) {
+             return harness::pgasBlockingPutLatency(machine, dart, cfg);
+           });
+    runOne("mpi_put_pscw", bytes, sim::TraceTag::kMpiPut,
+           [&](harness::PingpongConfig& cfg) {
+             return harness::mpiPutPingpongRtt(machine, mvapich, cfg) / 2.0;
+           });
+    runOne("mpi_rdma_eager", bytes,
+           mvapich.rdmaEagerFor(bytes) ? sim::TraceTag::kMpiRdmaEager
+                                       : sim::TraceTag::kMpiRdmaRndv,
+           [&](harness::PingpongConfig& cfg) {
+             return harness::mpiRdmaPingpongRtt(machine, mvapich, cfg) / 2.0;
+           });
+  }
+
+  const std::vector<std::string> designs = {
+      "ckdirect", "pgas", "pgas_blocking", "mpi_put_pscw", "mpi_rdma_eager"};
+
+  util::TablePrinter lat;
+  lat.setTitle(
+      "One-sided ablation on Abe-like IB: one-way latency (us) per design");
+  lat.setHeader({"Size(KB)", "ckdirect", "pgas", "pgas-blk", "mpi-put/pscw",
+                 "mpi-rdma-eager"});
+  for (const std::int64_t size : sizes) {
+    const auto bytes = static_cast<std::size_t>(size);
+    std::vector<std::string> row{util::formatFixed(size / 1000.0, 1)};
+    for (const std::string& d : designs)
+      row.push_back(util::formatFixed(curves[d][bytes].latency_us, 2));
+    lat.addRow(std::move(row));
+  }
+  lat.print(std::cout);
+
+  util::TablePrinter bw;
+  bw.setTitle("Delivered bandwidth (MB/s) per design");
+  bw.setHeader({"Size(KB)", "ckdirect", "pgas", "pgas-blk", "mpi-put/pscw",
+                "mpi-rdma-eager"});
+  for (const std::int64_t size : sizes) {
+    const auto bytes = static_cast<std::size_t>(size);
+    std::vector<std::string> row{util::formatFixed(size / 1000.0, 1)};
+    for (const std::string& d : designs)
+      row.push_back(util::formatFixed(curves[d][bytes].bandwidth_mbps, 1));
+    bw.addRow(std::move(row));
+  }
+  bw.print(std::cout);
+
+  int failures = 0;
+  if (check) {
+    const auto fail = [&](const std::string& what) {
+      std::cerr << "CHECK FAILED: " << what << "\n";
+      ++failures;
+    };
+    for (const std::string& d : designs)
+      for (const std::int64_t size : sizes) {
+        const auto bytes = static_cast<std::size_t>(size);
+        if (curves[d].count(bytes) == 0 || curves[d][bytes].latency_us <= 0.0)
+          fail(d + " missing at " + std::to_string(bytes) + " B");
+      }
+    // The paper's qualitative ordering at small messages: CkDirect under
+    // the PGAS layer under MPI_Put/PSCW, and the RDMA-eager channel under
+    // PSCW too (no epoch synchronization on the critical path).
+    for (const std::int64_t size : sizes) {
+      const auto bytes = static_cast<std::size_t>(size);
+      if (bytes > 1024) continue;
+      const double ckd = curves["ckdirect"][bytes].latency_us;
+      const double pg = curves["pgas"][bytes].latency_us;
+      const double pscw = curves["mpi_put_pscw"][bytes].latency_us;
+      const double eager = curves["mpi_rdma_eager"][bytes].latency_us;
+      if (!(ckd < pg))
+        fail("ckdirect !< pgas at " + std::to_string(bytes) + " B");
+      if (!(ckd < pscw))
+        fail("ckdirect !< mpi_put_pscw at " + std::to_string(bytes) + " B");
+      if (!(pg < pscw))
+        fail("pgas !< mpi_put_pscw at " + std::to_string(bytes) + " B");
+      if (!(eager < pscw))
+        fail("mpi_rdma_eager !< mpi_put_pscw at " + std::to_string(bytes) +
+             " B");
+    }
+    // Bandwidth must not decrease with the message size (1% slack for the
+    // protocol cut-overs).
+    for (const std::string& d : designs) {
+      double prev = 0.0;
+      for (const std::int64_t size : sizes) {
+        const auto bytes = static_cast<std::size_t>(size);
+        const double bwNow = curves[d][bytes].bandwidth_mbps;
+        if (bwNow < prev * 0.99)
+          fail(d + " bandwidth drops at " + std::to_string(bytes) + " B");
+        prev = std::max(prev, bwNow);
+      }
+    }
+    if (failures == 0)
+      std::cout << "\nablation gate: all checks passed\n";
+  }
+
+  const int rc = runner.finish();
+  return failures > 0 ? 1 : rc;
+}

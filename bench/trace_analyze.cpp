@@ -152,6 +152,15 @@ void analyzeRun(const std::string& run, const std::vector<TraceEvent>& events,
 
   printSummary("put latency", graph.putLatency());
   printSummary("msg latency", graph.messageLatency());
+  // Per-design breakdowns for the PGAS / RDMA-MPI one-sided ops (rows are
+  // omitted when the dump contains no chains of that kind).
+  using ckd::sim::TraceTag;
+  printSummary("pgas.put", graph.latencyByKind(TraceTag::kPgasPut));
+  printSummary("pgas.get", graph.latencyByKind(TraceTag::kPgasGet));
+  printSummary("pgas.atomic", graph.latencyByKind(TraceTag::kPgasAtomic));
+  printSummary("mpi.put", graph.latencyByKind(TraceTag::kMpiPut));
+  printSummary("mpi.rdma.eager", graph.latencyByKind(TraceTag::kMpiRdmaEager));
+  printSummary("mpi.rdma.rndv", graph.latencyByKind(TraceTag::kMpiRdmaRndv));
 
   const std::vector<CausalChain> slow = graph.slowestChains(topK);
   if (!slow.empty()) {

@@ -1,0 +1,93 @@
+#include "harness/pgas_world.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace ckd::harness {
+
+PgasWorld::PgasWorld(const charm::MachineConfig& machine,
+                     pgas::PgasCosts costs, std::size_t segmentBytes) {
+  CKD_REQUIRE(machine.topology != nullptr, "PgasWorld requires a topology");
+  if (machine.shards > 0) {
+    // Same node-aligned partition and lookahead as charm::Runtime, so the
+    // determinism gate's shard-count invariance argument carries over.
+    const topo::Topology& topo = *machine.topology;
+    const int nodes = topo.numNodes();
+    const int nShards = std::min(machine.shards, nodes);
+    std::vector<int> shardOf(static_cast<std::size_t>(topo.numPes()));
+    for (int pe = 0; pe < topo.numPes(); ++pe)
+      shardOf[static_cast<std::size_t>(pe)] = static_cast<int>(
+          static_cast<std::int64_t>(topo.nodeOf(pe)) * nShards / nodes);
+    sim::ParallelEngine::Config pcfg;
+    pcfg.shards = nShards;
+    pcfg.threads = machine.shardThreads;
+    pcfg.lookahead = machine.netParams.wireLatencyFloor();
+    parallel_ = std::make_unique<sim::ParallelEngine>(pcfg, std::move(shardOf));
+    parallel_->serialEngine().trace().setPerPeMinting(
+        &parallel_->mintCounters());
+    for (int s = 0; s < parallel_->shards(); ++s)
+      parallel_->shardEngine(s).trace().setPerPeMinting(
+          &parallel_->mintCounters());
+  }
+  fabric_ = std::make_unique<net::Fabric>(
+      parallel_ ? parallel_->serialEngine() : engine_, machine.topology,
+      machine.netParams);
+  if (parallel_) fabric_->attachParallel(parallel_.get());
+  if (machine.faults.armed())
+    fabric_->installFaults(machine.faults, machine.faultSeed);
+  verbs_ = std::make_unique<ib::IbVerbs>(*fabric_);
+  pgas_ = std::make_unique<pgas::Pgas>(*verbs_, std::move(costs),
+                                       segmentBytes);
+}
+
+PgasWorld::~PgasWorld() = default;
+
+void PgasWorld::seedOn(int pe, std::function<void()> fn) {
+  if (parallel_)
+    parallel_->atLocal(pe, 0.0, std::move(fn));
+  else
+    engine_.at(0.0, std::move(fn));
+}
+
+void PgasWorld::atSerialBoundary(std::function<void()> fn) {
+  if (parallel_)
+    parallel_->atSerialBoundary(std::move(fn));
+  else
+    fn();
+}
+
+void PgasWorld::run() {
+  if (parallel_)
+    parallel_->run();
+  else
+    engine_.run();
+}
+
+sim::Time PgasWorld::horizon() const {
+  return parallel_ ? parallel_->horizon() : engine_.now();
+}
+
+std::uint64_t PgasWorld::executedEvents() const {
+  return parallel_ ? parallel_->executedEvents() : engine_.executedEvents();
+}
+
+void PgasWorld::enableTracing(std::size_t capacity) {
+  const auto arm = [capacity](sim::Engine& eng) {
+    if (capacity != 0) eng.trace().setCapacity(capacity);
+    eng.trace().enable();
+  };
+  if (!parallel_) {
+    arm(engine_);
+    return;
+  }
+  arm(parallel_->serialEngine());
+  for (int s = 0; s < parallel_->shards(); ++s) arm(parallel_->shardEngine(s));
+}
+
+std::vector<sim::TraceEvent> PgasWorld::traceEvents() const {
+  return parallel_ ? parallel_->mergedTrace() : engine_.trace().snapshot();
+}
+
+}  // namespace ckd::harness

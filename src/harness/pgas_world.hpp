@@ -1,0 +1,64 @@
+#pragma once
+// PgasWorld: a bare PGAS machine — engine + fabric + verbs + pgas::Pgas,
+// no Charm++ scheduler — the setup the PGAS tests, the determinism storms,
+// and the ablation bench drive. Supports both the classic single engine
+// (shards = 0) and the windowed sharded engine (shards >= 1), wired exactly
+// like charm::Runtime: node-aligned shard partition, lookahead = the wire
+// latency floor, per-PE chain-id minting so traces and results are
+// bit-identical across shard counts.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "charm/runtime.hpp"
+#include "ib/verbs.hpp"
+#include "net/fabric.hpp"
+#include "pgas/pgas.hpp"
+#include "sim/engine.hpp"
+#include "sim/parallel.hpp"
+
+namespace ckd::harness {
+
+class PgasWorld {
+ public:
+  /// Only `topology`, `netParams`, `faults`/`faultSeed`, `shards`, and
+  /// `shardThreads` of the machine config are consulted.
+  PgasWorld(const charm::MachineConfig& machine, pgas::PgasCosts costs,
+            std::size_t segmentBytes);
+  ~PgasWorld();
+
+  PgasWorld(const PgasWorld&) = delete;
+  PgasWorld& operator=(const PgasWorld&) = delete;
+
+  pgas::Pgas& pgas() { return *pgas_; }
+  ib::IbVerbs& verbs() { return *verbs_; }
+  net::Fabric& fabric() { return *fabric_; }
+  bool windowed() const { return parallel_ != nullptr; }
+  int numPes() const { return fabric_->numPes(); }
+
+  /// Schedule `fn` at t=0 in `pe`'s execution context (setup-time only).
+  void seedOn(int pe, std::function<void()> fn);
+  /// Run `fn` in serial context at the earliest globally-safe instant.
+  void atSerialBoundary(std::function<void()> fn);
+
+  /// Run to quiescence.
+  void run();
+  /// Completion horizon: max clock over every engine of the machine.
+  sim::Time horizon() const;
+  std::uint64_t executedEvents() const;
+
+  /// Enable causal tracing on every engine of the machine.
+  void enableTracing(std::size_t capacity = 0);
+  /// Retained trace events, merged across shards in canonical order.
+  std::vector<sim::TraceEvent> traceEvents() const;
+
+ private:
+  sim::Engine engine_;
+  std::unique_ptr<sim::ParallelEngine> parallel_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<ib::IbVerbs> verbs_;
+  std::unique_ptr<pgas::Pgas> pgas_;
+};
+
+}  // namespace ckd::harness

@@ -7,6 +7,7 @@
 #include "charm/maps.hpp"
 #include "charm/proxy.hpp"
 #include "ckdirect/ckdirect.hpp"
+#include "ib/verbs.hpp"
 #include "mpi/mini_mpi.hpp"
 #include "util/require.hpp"
 
@@ -137,8 +138,11 @@ double ckdirectPingpongRtt(const charm::MachineConfig& machine,
   return st->totalRtt / cfg.iterations;
 }
 
-double mpiPingpongRtt(const charm::MachineConfig& machine,
-                      const mpi::MpiCosts& flavor, const PingpongConfig& cfg) {
+namespace {
+
+double mpiPingpongImpl(const charm::MachineConfig& machine,
+                       const mpi::MpiCosts& flavor, const PingpongConfig& cfg,
+                       bool rdmaChannel) {
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
   setupTrace(engine, cfg);
@@ -148,6 +152,7 @@ double mpiPingpongRtt(const charm::MachineConfig& machine,
   if (machine.faults.armed())
     fabric.installFaults(machine.faults, machine.faultSeed);
   mpi::MiniMpi mp(fabric, flavor);
+  if (rdmaChannel) mp.enableRdmaChannel();
 
   std::vector<std::byte> bufA(cfg.bytes, std::byte{0});
   std::vector<std::byte> bufB(cfg.bytes, std::byte{0});
@@ -172,6 +177,19 @@ double mpiPingpongRtt(const charm::MachineConfig& machine,
   engine.run();
   if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
   return total / cfg.iterations;
+}
+
+}  // namespace
+
+double mpiPingpongRtt(const charm::MachineConfig& machine,
+                      const mpi::MpiCosts& flavor, const PingpongConfig& cfg) {
+  return mpiPingpongImpl(machine, flavor, cfg, /*rdmaChannel=*/false);
+}
+
+double mpiRdmaPingpongRtt(const charm::MachineConfig& machine,
+                          const mpi::MpiCosts& flavor,
+                          const PingpongConfig& cfg) {
+  return mpiPingpongImpl(machine, flavor, cfg, /*rdmaChannel=*/true);
 }
 
 double mpiPutPingpongRtt(const charm::MachineConfig& machine,
@@ -229,6 +247,80 @@ double mpiPutPingpongRtt(const charm::MachineConfig& machine,
     armB();
     iterA();
   });
+  engine.run();
+  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
+  return total / cfg.iterations;
+}
+
+double pgasPingpongRtt(const charm::MachineConfig& machine,
+                       const pgas::PgasCosts& costs,
+                       const PingpongConfig& cfg) {
+  CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
+  sim::Engine engine;
+  setupTrace(engine, cfg);
+  net::Fabric fabric(engine, machine.topology, machine.netParams);
+  if (machine.faults.armed())
+    fabric.installFaults(machine.faults, machine.faultSeed);
+  ib::IbVerbs verbs(fabric);
+  const std::size_t segment = std::max<std::size_t>(4096, 4 * cfg.bytes);
+  pgas::Pgas pg(verbs, costs, segment);
+  // Everything lives in the symmetric heap: no registration-cache traffic.
+  const pgas::Gptr slot = pg.alloc(cfg.bytes);  // landing buffer, every PE
+  const pgas::Gptr src = pg.alloc(cfg.bytes);   // source buffer, every PE
+  std::memset(pg.addr(cfg.peA, src), 1, cfg.bytes);
+  std::memset(pg.addr(cfg.peB, src), 2, cfg.bytes);
+
+  int remaining = cfg.iterations;
+  double total = 0.0;
+  sim::Time sentAt = 0.0;
+
+  std::function<void()> iterate = [&]() {
+    sentAt = engine.now();
+    pg.putSignal(cfg.peA, cfg.peB, slot, pg.addr(cfg.peA, src), cfg.bytes,
+                 [&]() {
+                   // Signal watcher on peB: echo straight back.
+                   pg.putSignal(cfg.peB, cfg.peA, slot, pg.addr(cfg.peB, src),
+                                cfg.bytes, [&]() {
+                                  total += engine.now() - sentAt;
+                                  if (--remaining > 0) iterate();
+                                });
+                 });
+  };
+  engine.at(0.0, [&]() { iterate(); });
+  engine.run();
+  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
+  return total / cfg.iterations;
+}
+
+double pgasBlockingPutLatency(const charm::MachineConfig& machine,
+                              const pgas::PgasCosts& costs,
+                              const PingpongConfig& cfg) {
+  CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
+  sim::Engine engine;
+  setupTrace(engine, cfg);
+  net::Fabric fabric(engine, machine.topology, machine.netParams);
+  if (machine.faults.armed())
+    fabric.installFaults(machine.faults, machine.faultSeed);
+  ib::IbVerbs verbs(fabric);
+  const std::size_t segment = std::max<std::size_t>(4096, 4 * cfg.bytes);
+  pgas::Pgas pg(verbs, costs, segment);
+  const pgas::Gptr slot = pg.alloc(cfg.bytes);
+  const pgas::Gptr src = pg.alloc(cfg.bytes);
+  std::memset(pg.addr(cfg.peA, src), 1, cfg.bytes);
+
+  int remaining = cfg.iterations;
+  double total = 0.0;
+  sim::Time sentAt = 0.0;
+
+  std::function<void()> iterate = [&]() {
+    sentAt = engine.now();
+    pg.putBlocking(cfg.peA, cfg.peB, slot, pg.addr(cfg.peA, src), cfg.bytes,
+                   [&]() {
+                     total += engine.now() - sentAt;
+                     if (--remaining > 0) iterate();
+                   });
+  };
+  engine.at(0.0, [&]() { iterate(); });
   engine.run();
   if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
   return total / cfg.iterations;

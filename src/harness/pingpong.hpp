@@ -9,6 +9,7 @@
 #include "charm/runtime.hpp"
 #include "harness/profile.hpp"
 #include "mpi/mpi_costs.hpp"
+#include "pgas/pgas.hpp"
 #include "sim/trace.hpp"
 
 namespace ckd::harness {
@@ -42,5 +43,25 @@ double mpiPingpongRtt(const charm::MachineConfig& machine,
 double mpiPutPingpongRtt(const charm::MachineConfig& machine,
                          const mpi::MpiCosts& flavor,
                          const PingpongConfig& cfg);
+
+/// MPI two-sided over the Liu et al. RDMA channel (persistent slots with
+/// credit flow control below the slot size, RDMA rendezvous above).
+double mpiRdmaPingpongRtt(const charm::MachineConfig& machine,
+                          const mpi::MpiCosts& flavor,
+                          const PingpongConfig& cfg);
+
+/// PGAS put-with-signal pingpong: the target's signal watcher echoes back —
+/// the delivery semantics closest to a CkDirect callback. Source and
+/// landing buffers live in the symmetric heap (persistent association).
+double pgasPingpongRtt(const charm::MachineConfig& machine,
+                       const pgas::PgasCosts& costs,
+                       const PingpongConfig& cfg);
+
+/// Mean one-way latency of a PGAS blocking put: issue to origin-observed
+/// remote completion (includes the completion-ack return, which the
+/// signal-based flavor above does not wait for).
+double pgasBlockingPutLatency(const charm::MachineConfig& machine,
+                              const pgas::PgasCosts& costs,
+                              const PingpongConfig& cfg);
 
 }  // namespace ckd::harness

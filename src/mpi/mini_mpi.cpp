@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "sim/trace.hpp"
 #include "util/require.hpp"
 
 namespace ckd::mpi {
@@ -46,6 +47,50 @@ void MiniMpi::isend(int srcRank, int dstRank, int tag, const void* data,
   ++sends_;
   const auto* src = static_cast<const std::byte*>(data);
   std::vector<std::byte> payload(src, src + bytes);
+
+  if (rdmaChannel_) {
+    auto& trace = engine().trace();
+    const std::uint64_t traceId = trace.mintIdFor(srcRank);
+    if (costs_.rdmaEagerFor(bytes)) {
+      trace.recordSpan(engine().now(), srcRank, sim::TraceTag::kMpiRdmaEager,
+                       sim::SpanPhase::kBegin, traceId, trace.context(),
+                       static_cast<double>(bytes), dstRank);
+      ConnSend& conn = connSendState(srcRank, dstRank);
+      if (conn.credits == 0) {
+        ++creditStalls_;
+        trace.recordSpan(engine().now(), srcRank, sim::TraceTag::kMpiRdmaStall,
+                         sim::SpanPhase::kInstant, traceId, 0,
+                         static_cast<double>(bytes), dstRank);
+        conn.stalled.push_back(StalledSend{tag, std::move(payload),
+                                           std::move(onSent), traceId});
+        return;
+      }
+      --conn.credits;
+      rdmaEagerSendNow(srcRank, dstRank, tag, std::move(payload),
+                       std::move(onSent), traceId);
+      return;
+    }
+    // RDMA rendezvous: RTS, CTS with a cached registration, then a write
+    // straight into the user buffer.
+    ++rdmaRndvSends_;
+    trace.recordSpan(engine().now(), srcRank, sim::TraceTag::kMpiRdmaRndv,
+                     sim::SpanPhase::kBegin, traceId, trace.context(),
+                     static_cast<double>(bytes), dstRank);
+    const std::uint64_t id = nextRndvId_++;
+    rndvSends_.emplace(id, RndvSend{srcRank, dstRank, std::move(payload),
+                                    std::move(onSent), traceId});
+    softwareDelay(costs_.sw_send_us,
+                  [this, srcRank, dstRank, tag, bytes, id, traceId]() {
+                    sendControl(srcRank, dstRank,
+                                [this, dstRank, srcRank, tag, bytes, id,
+                                 traceId]() {
+                                  rtsArrive(dstRank,
+                                            PendingRts{srcRank, tag, bytes, id,
+                                                       /*rdma=*/true, traceId});
+                                });
+                  });
+    return;
+  }
 
   if (costs_.eagerFor(bytes)) {
     softwareDelay(
@@ -95,6 +140,122 @@ void MiniMpi::eagerArrive(int dst, int src, int tag,
   state.unexpected.push_back(UnexpectedMsg{src, tag, std::move(data)});
 }
 
+// --- RDMA channel --------------------------------------------------------------
+
+MiniMpi::ConnSend& MiniMpi::connSendState(int src, int dst) {
+  auto [it, inserted] = connSend_.try_emplace({src, dst});
+  if (inserted) it->second.credits = costs_.rdma_credits;
+  return it->second;
+}
+
+int MiniMpi::sendCredits(int src, int dst) const {
+  auto it = connSend_.find({src, dst});
+  return it == connSend_.end() ? costs_.rdma_credits : it->second.credits;
+}
+
+int MiniMpi::takePiggyback(int src, int dst) {
+  auto it = connOwed_.find({dst, src});
+  if (it == connOwed_.end() || it->second == 0) return 0;
+  const int n = it->second;
+  it->second = 0;
+  piggybacked_ += static_cast<std::uint64_t>(n);
+  return n;
+}
+
+void MiniMpi::rdmaEagerSendNow(int src, int dst, int tag,
+                               std::vector<std::byte> payload,
+                               std::function<void()> onSent,
+                               std::uint64_t traceId) {
+  ++rdmaEagerSends_;
+  const int piggy = takePiggyback(src, dst);
+  softwareDelay(
+      costs_.sw_send_us,
+      [this, src, dst, tag, piggy, traceId, payload = std::move(payload),
+       onSent = std::move(onSent)]() mutable {
+        const std::size_t n = payload.size();
+        fabric_.submitCustom(
+            src, dst, n, costs_.rdma, /*occupiesPorts=*/true,
+            [this, src, dst, tag, piggy, traceId,
+             payload = std::move(payload)]() mutable {
+              rdmaEagerArrive(dst, src, tag, std::move(payload), piggy,
+                              traceId);
+            },
+            traceId);
+        if (onSent) onSent();
+      });
+}
+
+void MiniMpi::rdmaEagerArrive(int dst, int src, int tag,
+                              std::vector<std::byte> data, int piggy,
+                              std::uint64_t traceId) {
+  if (piggy > 0) creditArrive(dst, src, piggy);
+  softwareDelay(
+      costs_.rdma_poll_us,
+      [this, dst, src, tag, traceId, data = std::move(data)]() mutable {
+        RankState& state = rank(dst);
+        for (auto it = state.recvs.begin(); it != state.recvs.end(); ++it) {
+          if (!matches(it->source, it->tag, src, tag)) continue;
+          PostedRecv recv = std::move(*it);
+          state.recvs.erase(it);
+          CKD_REQUIRE(data.size() <= recv.capacity,
+                      "eager message larger than the posted receive buffer");
+          std::memcpy(recv.buffer, data.data(), data.size());
+          const sim::Time extra =
+              costs_.tag_match_us + costs_.sw_recv_us +
+              costs_.rdma_copy_per_byte_us * static_cast<double>(data.size());
+          const RecvResult result{src, tag, data.size()};
+          softwareDelay(extra, [this, dst, traceId,
+                                cb = std::move(recv.callback), result]() {
+            engine().trace().recordSpan(
+                engine().now(), dst, sim::TraceTag::kMpiRdmaRecv,
+                sim::SpanPhase::kEnd, traceId, 0,
+                static_cast<double>(result.bytes), result.source);
+            if (cb) cb(result);
+          });
+          slotFreed(src, dst);
+          return;
+        }
+        // No posted receive: the payload keeps its persistent slot until a
+        // matching irecv copies it out — genuine sender backpressure.
+        state.unexpected.push_back(
+            UnexpectedMsg{src, tag, std::move(data), /*rdmaSlot=*/true,
+                          traceId});
+      });
+}
+
+void MiniMpi::slotFreed(int src, int dst) {
+  int& owed = connOwed_[{src, dst}];
+  ++owed;
+  // Piggybacking covers the common case; once half the ring is owed and no
+  // reverse traffic has reclaimed it, pay for an explicit credit message.
+  if (owed * 2 < costs_.rdma_credits) return;
+  const int n = owed;
+  owed = 0;
+  ++creditMsgs_;
+  engine().trace().record(engine().now(), dst, sim::TraceTag::kMpiRdmaCredit,
+                          static_cast<double>(n));
+  sendControl(dst, src, [this, src, dst, n]() { creditArrive(src, dst, n); });
+}
+
+void MiniMpi::creditArrive(int sender, int receiver, int n) {
+  ConnSend& conn = connSendState(sender, receiver);
+  conn.credits += n;
+  CKD_REQUIRE(conn.credits <= costs_.rdma_credits,
+              "credit return overflows the slot ring");
+  drainStalled(sender, receiver);
+}
+
+void MiniMpi::drainStalled(int sender, int receiver) {
+  ConnSend& conn = connSendState(sender, receiver);
+  while (conn.credits > 0 && !conn.stalled.empty()) {
+    StalledSend s = std::move(conn.stalled.front());
+    conn.stalled.pop_front();
+    --conn.credits;
+    rdmaEagerSendNow(sender, receiver, s.tag, std::move(s.payload),
+                     std::move(s.onSent), s.traceId);
+  }
+}
+
 void MiniMpi::rtsArrive(int dst, PendingRts rts) {
   RankState& state = rank(dst);
   for (auto it = state.recvs.begin(); it != state.recvs.end(); ++it) {
@@ -111,15 +272,19 @@ void MiniMpi::grantRndv(int dst, const PendingRts& rts, PostedRecv recv) {
   CKD_REQUIRE(rts.bytes <= recv.capacity,
               "rendezvous message larger than the posted receive buffer");
   // Registration / buffer preparation at the target, then grant the sender.
+  // The RDMA channel's persistent association makes the handshake a
+  // registration-cache hit instead of a per-message pin.
   const sim::Time regCost =
-      costs_.rndv_base_us +
-      costs_.rndv_per_byte_us * static_cast<double>(rts.bytes);
+      rts.rdma ? costs_.rdma_rndv_base_us
+               : costs_.rndv_base_us +
+                     costs_.rndv_per_byte_us * static_cast<double>(rts.bytes);
   const std::uint64_t id = rts.id;
   rndvRecvs_.emplace(id, std::move(recv));
   const int source = rts.source;
   const int tag = rts.tag;
-  softwareDelay(regCost, [this, dst, source, tag, id]() {
-    sendControl(dst, source, [this, dst, source, tag, id]() {
+  const std::uint64_t traceId = rts.traceId;
+  softwareDelay(regCost, [this, dst, source, tag, id, traceId]() {
+    sendControl(dst, source, [this, dst, source, tag, id, traceId]() {
       // Grant arrived at the origin: stream the payload on the RDMA class.
       auto sendIt = rndvSends_.find(id);
       CKD_REQUIRE(sendIt != rndvSends_.end(), "grant for unknown send");
@@ -129,7 +294,8 @@ void MiniMpi::grantRndv(int dst, const PendingRts& rts, PostedRecv recv) {
       if (send.onSent) send.onSent();
       fabric_.submitCustom(
           source, dst, n, costs_.rdma, /*occupiesPorts=*/true,
-          [this, dst, source, tag, id, data = std::move(send.data)]() {
+          [this, dst, source, tag, id, traceId,
+           data = std::move(send.data)]() {
             auto recvIt = rndvRecvs_.find(id);
             CKD_REQUIRE(recvIt != rndvRecvs_.end(), "data for unknown recv");
             PostedRecv recv = std::move(recvIt->second);
@@ -137,10 +303,20 @@ void MiniMpi::grantRndv(int dst, const PendingRts& rts, PostedRecv recv) {
             std::memcpy(recv.buffer, data.data(), data.size());
             const RecvResult result{source, tag, data.size()};
             softwareDelay(costs_.sw_recv_us,
-                           [cb = std::move(recv.callback), result]() {
+                           [this, dst, traceId, cb = std::move(recv.callback),
+                            result]() {
+                             if (traceId != 0) {
+                               engine().trace().recordSpan(
+                                   engine().now(), dst,
+                                   sim::TraceTag::kMpiRdmaRecv,
+                                   sim::SpanPhase::kEnd, traceId, 0,
+                                   static_cast<double>(result.bytes),
+                                   result.source);
+                             }
                              if (cb) cb(result);
                            });
-          });
+          },
+          traceId);
     });
   });
 }
@@ -159,10 +335,27 @@ void MiniMpi::irecv(int rankId, int source, int tag, void* buffer,
                 "unexpected message larger than the receive buffer");
     std::memcpy(buffer, msg.data.data(), msg.data.size());
     const RecvResult result{msg.source, msg.tag, msg.data.size()};
-    softwareDelay(costs_.tag_match_us,
-                   [cb = std::move(onComplete), result]() {
-                     if (cb) cb(result);
-                   });
+    // An RDMA-channel message still occupies its persistent slot; copying it
+    // out pays the per-byte cost and frees the slot (returning a credit).
+    const sim::Time extra =
+        costs_.tag_match_us +
+        (msg.rdmaSlot ? costs_.rdma_copy_per_byte_us *
+                            static_cast<double>(msg.data.size())
+                      : 0.0);
+    const bool fromSlot = msg.rdmaSlot;
+    const std::uint64_t traceId = msg.traceId;
+    softwareDelay(extra, [this, rankId, fromSlot, traceId,
+                          cb = std::move(onComplete), result]() {
+      if (fromSlot && traceId != 0) {
+        engine().trace().recordSpan(engine().now(), rankId,
+                                    sim::TraceTag::kMpiRdmaRecv,
+                                    sim::SpanPhase::kEnd, traceId, 0,
+                                    static_cast<double>(result.bytes),
+                                    result.source);
+      }
+      if (cb) cb(result);
+    });
+    if (msg.rdmaSlot) slotFreed(msg.source, rankId);
     return;
   }
 
@@ -255,6 +448,12 @@ void MiniMpi::put(WinId winId, int originRank, std::size_t targetOffset,
   std::byte* dst = win.base + targetOffset;
   const int target = win.rank;
 
+  auto& trace = engine().trace();
+  const std::uint64_t traceId = trace.mintIdFor(originRank);
+  trace.recordSpan(engine().now(), originRank, sim::TraceTag::kMpiPut,
+                   sim::SpanPhase::kBegin, traceId, trace.context(),
+                   static_cast<double>(bytes), target);
+
   // Half the PSCW software overhead on the origin, half on the target.
   const sim::Time originSw = costs_.sw_send_us + costs_.pscw_overhead_us / 2;
 
@@ -263,18 +462,25 @@ void MiniMpi::put(WinId winId, int originRank, std::size_t targetOffset,
         costs_.sw_recv_us + costs_.pscw_overhead_us / 2 +
         (costs_.inBump(bytes) ? costs_.bump_us : 0.0) +
         (costs_.inPutBump(bytes) ? costs_.put_bump_us : 0.0);
-    softwareDelay(originSw, [this, originRank, target, dst, winId,
+    softwareDelay(originSw, [this, originRank, target, dst, winId, traceId,
                              payload = std::move(payload), targetExtra]() mutable {
       const std::size_t n = payload.size();
       fabric_.submitCustom(
           originRank, target, n, costs_.eager, /*occupiesPorts=*/true,
-          [this, winId, originRank, dst, payload = std::move(payload),
-           targetExtra]() mutable {
+          [this, winId, originRank, target, dst, traceId,
+           payload = std::move(payload), targetExtra]() mutable {
             std::memcpy(dst, payload.data(), payload.size());
-            softwareDelay(targetExtra, [this, winId, originRank]() {
+            const std::size_t n = payload.size();
+            softwareDelay(targetExtra, [this, winId, originRank, target,
+                                        traceId, n]() {
+              engine().trace().recordSpan(
+                  engine().now(), target, sim::TraceTag::kMpiPutComplete,
+                  sim::SpanPhase::kEnd, traceId, 0, static_cast<double>(n),
+                  originRank);
               putArrived(winId, originRank);
             });
-          });
+          },
+          traceId);
     });
     return;
   }
@@ -293,22 +499,30 @@ void MiniMpi::put(WinId winId, int originRank, std::size_t targetOffset,
       costs_.sw_recv_us + costs_.pscw_overhead_us / 2;
   auto shared = std::make_shared<std::vector<std::byte>>(std::move(payload));
   softwareDelay(originSw, [this, originRank, target, dst, winId, shared,
-                           regCost, targetExtra]() {
+                           regCost, targetExtra, traceId]() {
     sendControl(originRank, target, [this, originRank, target, dst, winId,
-                                     shared, regCost, targetExtra]() {
+                                     shared, regCost, targetExtra, traceId]() {
       softwareDelay(regCost, [this, originRank, target, dst, winId, shared,
-                                targetExtra]() {
+                                targetExtra, traceId]() {
         sendControl(target, originRank, [this, originRank, target, dst, winId,
-                                         shared, targetExtra]() {
+                                         shared, targetExtra, traceId]() {
           fabric_.submitCustom(
               originRank, target, shared->size(), costs_.rdma,
               /*occupiesPorts=*/true,
-              [this, winId, originRank, dst, shared, targetExtra]() {
+              [this, winId, originRank, target, dst, shared, targetExtra,
+               traceId]() {
                 std::memcpy(dst, shared->data(), shared->size());
-                softwareDelay(targetExtra, [this, winId, originRank]() {
+                const std::size_t n = shared->size();
+                softwareDelay(targetExtra, [this, winId, originRank, target,
+                                            traceId, n]() {
+                  engine().trace().recordSpan(
+                      engine().now(), target, sim::TraceTag::kMpiPutComplete,
+                      sim::SpanPhase::kEnd, traceId, 0, static_cast<double>(n),
+                      originRank);
                   putArrived(winId, originRank);
                 });
-              });
+              },
+              traceId);
         });
       });
     });

@@ -89,6 +89,30 @@ class MiniMpi {
   std::uint64_t sendsPosted() const { return sends_; }
   std::uint64_t putsPosted() const { return puts_; }
 
+  // --- RDMA channel (Liu et al., MPICH2 over InfiniBand) ---------------------
+  // Persistent buffer association: each directed connection owns a ring of
+  // pre-registered slots the sender RDMA-writes eagerly into, with
+  // credit-based flow control (returns piggybacked on reverse traffic, or an
+  // explicit credit message once half the ring is owed). Messages above the
+  // slot size take an RDMA rendezvous: RTS/CTS, then a write straight into
+  // the user buffer with a registration-cache hit. One-sided windows keep
+  // the classic PSCW path.
+
+  /// Route subsequent two-sided traffic over the RDMA channel.
+  void enableRdmaChannel() { rdmaChannel_ = true; }
+  bool rdmaChannelEnabled() const { return rdmaChannel_; }
+  /// Send credits currently available on the directed connection src -> dst.
+  int sendCredits(int src, int dst) const;
+
+  std::uint64_t rdmaEagerSends() const { return rdmaEagerSends_; }
+  std::uint64_t rdmaRndvSends() const { return rdmaRndvSends_; }
+  /// Sends that had to queue because the connection was out of credits.
+  std::uint64_t creditStalls() const { return creditStalls_; }
+  /// Explicit credit-return control messages (the piggyback misses).
+  std::uint64_t creditReturnMessages() const { return creditMsgs_; }
+  /// Credits returned for free on reverse-direction eager sends.
+  std::uint64_t piggybackedCredits() const { return piggybacked_; }
+
  private:
   /// Model `cost` microseconds of MPI-library software work, attributed to
   /// the transport tier, then run `fn`.
@@ -105,12 +129,16 @@ class MiniMpi {
     int source;
     int tag;
     std::vector<std::byte> data;
+    bool rdmaSlot = false;       // data still occupies a persistent slot
+    std::uint64_t traceId = 0;   // causal chain id (RDMA channel only)
   };
   struct PendingRts {  // rendezvous request-to-send awaiting a match
     int source;
     int tag;
     std::size_t bytes;
     std::uint64_t id;
+    bool rdma = false;           // RDMA-channel rendezvous (cheap handshake)
+    std::uint64_t traceId = 0;
   };
   struct RankState {
     std::deque<PostedRecv> recvs;
@@ -122,6 +150,17 @@ class MiniMpi {
     int dst;
     std::vector<std::byte> data;
     std::function<void()> onSent;
+    std::uint64_t traceId = 0;
+  };
+  struct StalledSend {  // eager send parked until a credit comes back
+    int tag;
+    std::vector<std::byte> payload;
+    std::function<void()> onSent;
+    std::uint64_t traceId;
+  };
+  struct ConnSend {  // sender-side state of one directed connection
+    int credits = 0;
+    std::deque<StalledSend> stalled;
   };
   struct Window {
     int rank = -1;
@@ -150,6 +189,20 @@ class MiniMpi {
   void rtsArrive(int dst, PendingRts rts);
   void grantRndv(int dst, const PendingRts& rts, PostedRecv recv);
   void sendControl(int src, int dst, std::function<void()> onArrive);
+  ConnSend& connSendState(int src, int dst);
+  /// Take (and zero) the credits this rank owes the peer on the reverse
+  /// connection dst -> src, to ride along on a src -> dst send.
+  int takePiggyback(int src, int dst);
+  void rdmaEagerSendNow(int src, int dst, int tag,
+                        std::vector<std::byte> payload,
+                        std::function<void()> onSent, std::uint64_t traceId);
+  void rdmaEagerArrive(int dst, int src, int tag, std::vector<std::byte> data,
+                       int piggy, std::uint64_t traceId);
+  /// A persistent slot of connection src -> dst was copied out at dst.
+  void slotFreed(int src, int dst);
+  /// `n` credits for connection sender -> receiver arrived back at sender.
+  void creditArrive(int sender, int receiver, int n);
+  void drainStalled(int sender, int receiver);
   void putArrived(WinId win, int origin);
   void checkWaitDone(WinId win);
   Window& window(WinId win);
@@ -165,6 +218,16 @@ class MiniMpi {
   std::uint64_t nextRndvId_ = 0;
   std::uint64_t sends_ = 0;
   std::uint64_t puts_ = 0;
+
+  bool rdmaChannel_ = false;
+  std::map<std::pair<int, int>, ConnSend> connSend_;  // {sender, receiver}
+  /// Freed-but-unreturned credits, held at the receiver of each connection.
+  std::map<std::pair<int, int>, int> connOwed_;  // {sender, receiver}
+  std::uint64_t rdmaEagerSends_ = 0;
+  std::uint64_t rdmaRndvSends_ = 0;
+  std::uint64_t creditStalls_ = 0;
+  std::uint64_t creditMsgs_ = 0;
+  std::uint64_t piggybacked_ = 0;
 };
 
 }  // namespace ckd::mpi

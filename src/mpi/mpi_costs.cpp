@@ -59,6 +59,14 @@ MpiCosts mvapichCosts() {
   c.put_bump_hi_bytes = 16 * 1024;
   c.put_bump_us = 4.5;
   c.put_large_savings_per_byte_us = 0.03e-3;
+  // RDMA channel (the Liu et al. ablation design): 16 KB persistent slots,
+  // 8 credits per connection, sub-microsecond receiver poll, ~5 GB/s
+  // copy-out, and a registration-cache-hit rendezvous handshake.
+  c.rdma_slot_bytes = 16 * 1024;
+  c.rdma_credits = 8;
+  c.rdma_poll_us = 0.25;
+  c.rdma_copy_per_byte_us = 0.2e-3;
+  c.rdma_rndv_base_us = 1.0;
   return c;
 }
 

@@ -55,8 +55,30 @@ struct MpiCosts {
   std::size_t put_bump_hi_bytes = 0;
   sim::Time put_bump_us = 0.0;
 
+  // --- RDMA channel (Liu et al., "Design and Implementation of MPICH2 over
+  // InfiniBand with RDMA Support") -------------------------------------------
+  // Persistent buffer association: each directed connection owns a ring of
+  // pre-registered slots the sender RDMA-writes eagerly into; flow control
+  // is credit-based with piggybacked returns. Messages above the slot size
+  // take an RDMA rendezvous (RTS/CTS + a write into the user buffer).
+  /// Size of one persistent RDMA-eager slot.
+  std::size_t rdma_slot_bytes = 16 * 1024;
+  /// Slots (credits) per directed connection.
+  int rdma_credits = 8;
+  /// Receiver poll-loop delay noticing a freshly written slot.
+  sim::Time rdma_poll_us = 0.25;
+  /// Copy-out from the persistent slot into the user buffer.
+  double rdma_copy_per_byte_us = 0.2e-3;
+  /// Rendezvous handshake software with a registration-cache hit (the
+  /// persistent association replaces the per-message pin; compare
+  /// rndv_base_us on the classic path).
+  sim::Time rdma_rndv_base_us = 1.0;
+
   bool eagerFor(std::size_t bytes) const {
     return bytes <= eager_threshold_bytes;
+  }
+  bool rdmaEagerFor(std::size_t bytes) const {
+    return bytes <= rdma_slot_bytes;
   }
   bool putEagerFor(std::size_t bytes) const {
     return bytes <= put_eager_threshold_bytes;

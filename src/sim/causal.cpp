@@ -9,7 +9,16 @@ namespace {
 
 bool isOpeningTag(TraceTag tag) {
   return tag == TraceTag::kDirectPut || tag == TraceTag::kXportEager ||
-         tag == TraceTag::kXportRtsSend || tag == TraceTag::kXportBgpSend;
+         tag == TraceTag::kXportRtsSend || tag == TraceTag::kXportBgpSend ||
+         tag == TraceTag::kPgasPut || tag == TraceTag::kPgasGet ||
+         tag == TraceTag::kPgasAtomic || tag == TraceTag::kMpiPut ||
+         tag == TraceTag::kMpiRdmaEager || tag == TraceTag::kMpiRdmaRndv;
+}
+
+bool isClosingTag(TraceTag tag) {
+  return tag == TraceTag::kSchedDeliver || tag == TraceTag::kDirectCallback ||
+         tag == TraceTag::kPgasComplete || tag == TraceTag::kMpiPutComplete ||
+         tag == TraceTag::kMpiRdmaRecv;
 }
 
 bool isLandingTag(TraceTag tag) {
@@ -80,19 +89,14 @@ CausalGraph::CausalGraph(std::span<const TraceEvent> events) {
         if (ev.time > c.detect) c.detect = ev.time;
         if (ev.aux >= 0) c.channel = ev.aux;
         break;
-      case TraceTag::kSchedDeliver:
-      case TraceTag::kDirectCallback:
-        if (ev.phase == SpanPhase::kEnd) {
+      default:
+        if (isClosingTag(ev.tag) && ev.phase == SpanPhase::kEnd) {
           if (ev.time > c.end) c.end = ev.time;
           c.endTag = ev.tag;
           c.dstPe = ev.pe;
           c.complete = true;
           if (ev.aux >= 0) c.channel = ev.aux;
-          break;
-        }
-        [[fallthrough]];
-      default:
-        if (isLandingTag(ev.tag)) {
+        } else if (isLandingTag(ev.tag)) {
           if (ev.time > c.land) c.land = ev.time;
         }
         break;
@@ -189,5 +193,28 @@ LatencySummary CausalGraph::summarize(bool puts) const {
 LatencySummary CausalGraph::putLatency() const { return summarize(true); }
 
 LatencySummary CausalGraph::messageLatency() const { return summarize(false); }
+
+LatencySummary CausalGraph::latencyByKind(TraceTag kind) const {
+  LatencySummary out;
+  double q = 0.0, w = 0.0, p = 0.0, t = 0.0;
+  for (const CausalChain& c : chains_) {
+    if (!c.complete || c.kind != kind) continue;
+    const LayerBreakdown b = c.breakdown();
+    q += b.queue_us;
+    w += b.wire_us;
+    p += b.poll_us;
+    t += b.total_us;
+    ++out.count;
+  }
+  if (out.count == 0) return out;
+  const double n = static_cast<double>(out.count);
+  out.mean.queue_us = q / n;
+  out.mean.wire_us = w / n;
+  out.mean.poll_us = p / n;
+  out.mean.total_us = t / n;
+  out.mean.handler_us = out.mean.total_us - out.mean.queue_us -
+                        out.mean.wire_us - out.mean.poll_us;
+  return out;
+}
 
 }  // namespace ckd::sim

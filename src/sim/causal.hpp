@@ -7,12 +7,14 @@
 // per-id chains with layer milestones:
 //
 //   start  — the opening span (direct.put / xport.eager / xport.rts_send /
-//            xport.bgp_send; SpanPhase::kBegin)
+//            xport.bgp_send / pgas.put / pgas.get / pgas.atomic / mpi.put /
+//            mpi.rdma.eager / mpi.rdma.rndv; SpanPhase::kBegin)
 //   submit — first fabric.submit (the bytes entered the wire model)
 //   land   — last fabric.deliver / xport.rdma_delivered (bytes in remote
 //            memory)
 //   detect — direct.sentinel_hit (the poll loop noticed)
-//   end    — the closing span (sched.deliver / direct.callback;
+//   end    — the closing span (sched.deliver / direct.callback /
+//            pgas.complete / mpi.put_complete / mpi.rdma.recv;
 //            SpanPhase::kEnd)
 //
 // and derives a telescoping latency breakdown: queue = submit-start,
@@ -102,6 +104,11 @@ class CausalGraph {
   /// Mean send -> deliver latency split over completed message chains
   /// (eager / rendezvous / DCMF sends that reached a scheduler delivery).
   LatencySummary messageLatency() const;
+
+  /// Mean latency split over completed chains whose opening tag is `kind`
+  /// (e.g. pgas.put, mpi.put, mpi.rdma.eager). Lets callers break down the
+  /// PGAS / RDMA-MPI designs exactly like CkDirect puts.
+  LatencySummary latencyByKind(TraceTag kind) const;
 
   /// Busy virtual time per PE, accumulated from sched.pump_done duration
   /// events. Index = PE; utilization over a window is busy / horizon.

@@ -55,6 +55,19 @@ std::string_view traceTagName(TraceTag tag) {
     case TraceTag::kCkptRestore: return "ckpt.restore";
     case TraceTag::kStaleEpochDrop: return "sched.stale_epoch_drop";
     case TraceTag::kSchedPumpDone: return "sched.pump_done";
+    case TraceTag::kPgasPut: return "pgas.put";
+    case TraceTag::kPgasGet: return "pgas.get";
+    case TraceTag::kPgasAtomic: return "pgas.atomic";
+    case TraceTag::kPgasComplete: return "pgas.complete";
+    case TraceTag::kPgasBarrier: return "pgas.barrier";
+    case TraceTag::kPgasFence: return "pgas.fence";
+    case TraceTag::kMpiPut: return "mpi.put";
+    case TraceTag::kMpiPutComplete: return "mpi.put_complete";
+    case TraceTag::kMpiRdmaEager: return "mpi.rdma.eager";
+    case TraceTag::kMpiRdmaRndv: return "mpi.rdma.rndv";
+    case TraceTag::kMpiRdmaRecv: return "mpi.rdma.recv";
+    case TraceTag::kMpiRdmaCredit: return "mpi.rdma.credit";
+    case TraceTag::kMpiRdmaStall: return "mpi.rdma.stall";
     case TraceTag::kCount: break;
   }
   return "?";

@@ -84,6 +84,19 @@ enum class TraceTag : std::uint8_t {
   kCkptRestore,         // restart restored state; value = recovery cost (us)
   kStaleEpochDrop,      // scheduler dropped a pre-restart-epoch message
   kSchedPumpDone,       // scheduler pump finished; value = time charged (us)
+  kPgasPut,             // PGAS put issued at the origin; value = bytes
+  kPgasGet,             // PGAS get issued at the origin; value = bytes
+  kPgasAtomic,          // PGAS remote atomic issued; value = operand bytes
+  kPgasComplete,        // PGAS op completed (origin ack / target notify)
+  kPgasBarrier,         // PGAS barrier entered; value = barrier generation
+  kPgasFence,           // PGAS fence/flush satisfied; value = ops drained
+  kMpiPut,              // MPI_Put issued inside a PSCW epoch; value = bytes
+  kMpiPutComplete,      // MPI_Put landed in the target window
+  kMpiRdmaEager,        // RDMA-channel eager send issued; value = bytes
+  kMpiRdmaRndv,         // RDMA-channel rendezvous send issued; value = bytes
+  kMpiRdmaRecv,         // RDMA-channel message delivered to the receiver
+  kMpiRdmaCredit,       // explicit credit-return message; value = credits
+  kMpiRdmaStall,        // send stalled on credit exhaustion; value = bytes
   kCount,
 };
 

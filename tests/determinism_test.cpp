@@ -22,6 +22,8 @@
 #include "ckdirect/ckdirect.hpp"
 #include "fault/fault.hpp"
 #include "harness/machines.hpp"
+#include "harness/pgas_world.hpp"
+#include "pgas/pgas.hpp"
 #include "sim/causal.hpp"
 #include "sim/trace.hpp"
 #include "util/pool.hpp"
@@ -188,6 +190,75 @@ StencilResult runStencil(bool pools, int iters, const std::string& faultSpec,
   result.events = rts.engine().executedEvents();
   result.field = app.gatherField();
   return result;
+}
+
+// PGAS atomic storm on the serial engine: every PE hammers remote
+// fetch-add/compare-swap at shared cells and streams puts at its ring
+// neighbor, then fences and enters the team barrier. The RMWs serialize at
+// the target in the fabric's canonical delivery order, so reruns — with
+// pools on or off — must reproduce the segment images, counters, horizon,
+// and trace stream to the bit.
+
+struct PgasStormResult {
+  double horizon = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t counters = 0;
+  std::uint64_t trace = 0;
+
+  bool operator==(const PgasStormResult&) const = default;
+};
+
+PgasStormResult runPgasStorm(bool pools) {
+  PoolsGuard guard(pools);
+  const charm::MachineConfig machine = harness::abeMachine(8, 1);
+  constexpr std::size_t kSeg = 32 * 1024;
+  harness::PgasWorld world(machine, pgas::dartIbCosts(), kSeg);
+  world.enableTracing();
+  pgas::Pgas& pg = world.pgas();
+  const pgas::Gptr cells = pg.alloc(8 * 8);
+  const pgas::Gptr block = pg.alloc(512);
+  const pgas::Gptr src = pg.alloc(512);
+  const int n = world.numPes();
+  for (int p = 0; p < n; ++p) {
+    auto* s = static_cast<std::byte*>(pg.addr(p, src));
+    for (std::size_t i = 0; i < 512; ++i)
+      s[i] = std::byte(static_cast<unsigned char>(p * 31 + i));
+  }
+  for (int p = 0; p < n; ++p) {
+    world.seedOn(p, [&pg, p, n, cells, block, src]() {
+      for (int k = 0; k < 6; ++k) {
+        pg.fetchAdd(p, 0, cells.at(8 * static_cast<std::size_t>(k % 8)),
+                    p + 1);
+        if (k % 2 == 0) pg.compareSwap(p, (p + 1) % n, cells.at(8), k, k + p);
+        pg.put(p, (p + 1) % n, block, pg.addr(p, src), 512);
+      }
+      pg.fence(p, [&pg, p]() { pg.barrier(p, [] {}); });
+    });
+  }
+  world.run();
+
+  PgasStormResult r;
+  r.horizon = world.horizon();
+  r.events = world.executedEvents();
+  std::uint64_t h = 1469598103934665603ull;
+  for (int p = 0; p < n; ++p) h = fnv(pg.addr(p, pgas::Gptr{0, kSeg}), kSeg, h);
+  r.segments = h;
+  const std::uint64_t counts[] = {pg.putsIssued(),  pg.getsIssued(),
+                                  pg.atomicsIssued(), pg.bytesPut(),
+                                  pg.failedOps(),   pg.barriersCompleted()};
+  r.counters = fnv(counts, sizeof counts);
+  r.trace = traceDigest(world.traceEvents());
+  return r;
+}
+
+TEST(PgasDeterminism, AtomicStormIsByteIdenticalAcrossRerunsAndPools) {
+  const PgasStormResult first = runPgasStorm(/*pools=*/true);
+  const PgasStormResult rerun = runPgasStorm(/*pools=*/true);
+  const PgasStormResult noPool = runPgasStorm(/*pools=*/false);
+  EXPECT_GT(first.events, 0u);
+  EXPECT_EQ(first, rerun);
+  EXPECT_EQ(first, noPool);
 }
 
 TEST(PoolDeterminism, PingpongIsByteIdenticalWithPoolsOff) {

@@ -30,6 +30,8 @@
 #include "ckdirect/ckdirect.hpp"
 #include "fault/fault.hpp"
 #include "harness/machines.hpp"
+#include "harness/pgas_world.hpp"
+#include "pgas/pgas.hpp"
 #include "sim/parallel.hpp"
 #include "sim/trace.hpp"
 
@@ -317,6 +319,83 @@ TEST(ParallelDeterminism, CrashStormIsShardCountInvariant) {
   EXPECT_EQ(one.events, soak.events);
   EXPECT_EQ(one.trace, soak.trace);
   EXPECT_EQ(one.field, soak.field);
+}
+
+// ---------------------------------------------------------------------------
+// PGAS atomic-storm gate: every PE hammers remote fetch-add/compare-swap at
+// shared cells and streams puts at its ring neighbor through the PGAS
+// runtime, then fences and enters the team barrier. The RMWs execute at the
+// target in the fabric's canonical delivery order, so the final segment
+// images, the op counters, the horizon, and the merged causal trace must be
+// bit-identical across shard and worker-thread counts.
+
+struct PgasStormResult {
+  double horizon = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t counters = 0;
+  std::uint64_t trace = 0;
+
+  bool operator==(const PgasStormResult&) const = default;
+};
+
+PgasStormResult runPgasStorm(int shards, int threads) {
+  charm::MachineConfig machine = harness::abeMachine(8, 1);
+  machine.shards = shards;
+  machine.shardThreads = threads;
+  constexpr std::size_t kSeg = 32 * 1024;
+  harness::PgasWorld world(machine, pgas::dartIbCosts(), kSeg);
+  world.enableTracing();
+  pgas::Pgas& pg = world.pgas();
+  const pgas::Gptr cells = pg.alloc(8 * 8);
+  const pgas::Gptr block = pg.alloc(512);
+  const pgas::Gptr src = pg.alloc(512);
+  const int n = world.numPes();
+  for (int p = 0; p < n; ++p) {
+    auto* s = static_cast<std::byte*>(pg.addr(p, src));
+    for (std::size_t i = 0; i < 512; ++i)
+      s[i] = std::byte(static_cast<unsigned char>(p * 31 + i));
+  }
+  for (int p = 0; p < n; ++p) {
+    world.seedOn(p, [&pg, p, n, cells, block, src]() {
+      for (int k = 0; k < 6; ++k) {
+        pg.fetchAdd(p, 0, cells.at(8 * static_cast<std::size_t>(k % 8)),
+                    p + 1);
+        if (k % 2 == 0) pg.compareSwap(p, (p + 1) % n, cells.at(8), k, k + p);
+        pg.put(p, (p + 1) % n, block, pg.addr(p, src), 512);
+      }
+      pg.fence(p, [&pg, p]() { pg.barrier(p, [] {}); });
+    });
+  }
+  world.run();
+
+  PgasStormResult r;
+  r.horizon = world.horizon();
+  r.events = world.executedEvents();
+  std::uint64_t h = 1469598103934665603ull;
+  for (int p = 0; p < n; ++p) h = fnv(pg.addr(p, pgas::Gptr{0, kSeg}), kSeg, h);
+  r.segments = h;
+  const std::uint64_t counts[] = {pg.putsIssued(),  pg.getsIssued(),
+                                  pg.atomicsIssued(), pg.bytesPut(),
+                                  pg.failedOps(),   pg.barriersCompleted()};
+  r.counters = fnv(counts, sizeof counts);
+  r.trace = traceDigest(world.traceEvents());
+  return r;
+}
+
+TEST(PgasParallelDeterminism, AtomicStormIsShardCountInvariant) {
+  const PgasStormResult one = runPgasStorm(/*shards=*/1, /*threads=*/1);
+  EXPECT_GT(one.events, 0u);
+  for (const int shards : {2, 4}) {
+    const PgasStormResult s = runPgasStorm(shards, /*threads=*/1);
+    EXPECT_EQ(one, s) << "shards=" << shards;
+  }
+}
+
+TEST(PgasParallelDeterminism, AtomicStormIsThreadCountInvariant) {
+  const PgasStormResult inline1 = runPgasStorm(/*shards=*/4, /*threads=*/1);
+  const PgasStormResult pool2 = runPgasStorm(/*shards=*/4, /*threads=*/2);
+  EXPECT_EQ(inline1, pool2);
 }
 
 TEST(ParallelDeterminism, WindowedStencilMatchesLegacyEngine) {
