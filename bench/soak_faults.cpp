@@ -5,6 +5,14 @@
 // retransmission/recovery without the application seeing different bytes —
 // only different (inflated) timings.
 //
+// The same storm is aimed at the mini-MPI RDMA channel (Liu et al.
+// persistent slots + credit flow control) with the go-back-N link armed:
+// mixed eager/rendezvous ping-pong chains plus a credit-exhaustion burst
+// must deliver byte-identical data, and the credit conservation invariant
+// (sendCredits + owedCredits == ring size on every used connection) must
+// hold afterwards — a dropped slot write or credit return may cost time,
+// never a leaked slot.
+//
 // A second phase runs the crash storm: the stencil with seeded fail-stop
 // pe_crash faults (random victim per seed) on both machines. The buddy
 // checkpoint/restart path must roll the computation back and still produce
@@ -35,7 +43,11 @@
 #include "fault/fault.hpp"
 #include "harness/bench_runner.hpp"
 #include "harness/machines.hpp"
+#include "mpi/mini_mpi.hpp"
+#include "net/cost_params.hpp"
+#include "sim/engine.hpp"
 #include "sim/trace.hpp"
+#include "topo/fat_tree.hpp"
 #include "util/args.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
@@ -77,6 +89,8 @@ struct SoakResult {
   std::uint64_t restores = 0;    ///< completed rollback recoveries
   std::uint64_t checkpoints = 0; ///< buddy checkpoints taken
   std::uint64_t stale_naks = 0;  ///< pre-crash wire copies NAKed as stale
+  std::uint64_t credit_stalls = 0;  ///< RDMA-channel sends parked on credits
+  std::uint64_t credit_msgs = 0;    ///< explicit credit-return messages
 };
 
 std::uint64_t faultCount(const sim::TraceRecorder& trace) {
@@ -185,6 +199,127 @@ std::vector<double> stencilSoak(const charm::MachineConfig& machine, int iters,
   return app.gatherField();
 }
 
+/// Mini-MPI over the RDMA channel under the wire storm. Three independent
+/// sequential ping-pong chains (rank 0 against 1, 2, 3) carry mixed
+/// eager/rendezvous payloads; a final burst overruns the credit ring on
+/// connection 0 -> 1 to exercise stall/drain and explicit credit returns
+/// while faults fire. Each chain folds its bytes into its own digest and
+/// the chains are combined in rank order, so the result is independent of
+/// cross-chain timing. `storm == nullptr` runs fault-free and unarmed.
+SoakResult mpiRdmaSoak(const fault::FaultPlan* storm, std::uint64_t seed,
+                       int rounds) {
+  sim::Engine engine;
+  auto topology = std::make_shared<topo::FatTree>(4, 1);
+  net::Fabric fabric(engine, topology, net::abeParams());
+  if (storm != nullptr) fabric.installFaults(*storm, seed);
+  mpi::MiniMpi mp(fabric, mpi::mvapichCosts());
+  mp.enableRdmaChannel();
+  if (storm != nullptr) mp.armReliability(storm->rel);
+
+  const std::size_t slot = mp.costs().rdma_slot_bytes;
+  const int credits = mp.costs().rdma_credits;
+  constexpr int kPeers = 3;
+
+  struct Chain {
+    std::vector<std::byte> send, echo, back;
+    std::uint64_t digest = 1469598103934665603ull;
+    int round = 0;
+    bool done = false;
+  };
+  auto chains = std::make_shared<std::vector<Chain>>(kPeers);
+
+  // Round r payload size: mostly sub-slot eager, every 7th a rendezvous
+  // three slots long — both protocol paths stay hot under the storm.
+  const auto sizeFor = [slot](int r) {
+    if (r % 7 == 6) return 3 * slot;
+    return 256 + (static_cast<std::size_t>(r) * 977) % 8192;
+  };
+
+  auto runRound = std::make_shared<std::function<void(int)>>();
+  *runRound = [&mp, chains, runRound, sizeFor, rounds](int peer) {
+    Chain& c = (*chains)[static_cast<std::size_t>(peer - 1)];
+    if (c.round >= rounds) {
+      c.done = true;
+      return;
+    }
+    const int r = c.round++;
+    const std::size_t n = sizeFor(r);
+    c.send.assign(n, std::byte{0});
+    c.echo.assign(n, std::byte{0});
+    c.back.assign(n, std::byte{0});
+    fillPattern(c.send, r, peer);
+    // Peer folds the request into the chain digest and echoes it back.
+    mp.irecv(peer, 0, r, c.echo.data(), c.echo.size(),
+             [&mp, chains, peer, r](const mpi::MiniMpi::RecvResult&) {
+               Chain& ch = (*chains)[static_cast<std::size_t>(peer - 1)];
+               ch.digest = fnv(ch.echo.data(), ch.echo.size(), ch.digest);
+               mp.isend(peer, 0, r, ch.echo.data(), ch.echo.size());
+             });
+    mp.irecv(0, peer, r, c.back.data(), c.back.size(),
+             [chains, runRound, peer](const mpi::MiniMpi::RecvResult&) {
+               Chain& ch = (*chains)[static_cast<std::size_t>(peer - 1)];
+               CKD_REQUIRE(ch.back == ch.send,
+                           "RDMA-channel echo corrupted under faults");
+               ch.digest = fnv(ch.back.data(), ch.back.size(), ch.digest);
+               (*runRound)(peer);
+             });
+    mp.isend(0, peer, r, c.send.data(), c.send.size());
+  };
+  for (int peer = 1; peer <= kPeers; ++peer) (*runRound)(peer);
+  engine.run();
+  for (const Chain& c : *chains)
+    CKD_REQUIRE(c.done, "RDMA-channel chain wedged under the storm");
+
+  // Burst phase: overrun the 0 -> 1 ring with no receives posted, so the
+  // tail stalls on credits, then drain. Dropped slot writes or credit
+  // returns here are exactly the leak the reliable link must prevent.
+  const int burst = credits + 4;
+  std::vector<std::vector<std::byte>> bSend, bRecv;
+  for (int i = 0; i < burst; ++i) {
+    bSend.emplace_back(512, std::byte{0});
+    bRecv.emplace_back(512, std::byte{0});
+    fillPattern(bSend.back(), i, 0x7e);
+    mp.isend(0, 1, 1000 + i, bSend.back().data(), bSend.back().size());
+  }
+  engine.run();  // ring full, tail parked
+  int burstGot = 0;
+  for (int i = 0; i < burst; ++i)
+    mp.irecv(1, 0, 1000 + i, bRecv[static_cast<std::size_t>(i)].data(),
+             bRecv[static_cast<std::size_t>(i)].size(),
+             [&burstGot](const mpi::MiniMpi::RecvResult&) { ++burstGot; });
+  engine.run();
+  CKD_REQUIRE(burstGot == burst, "credit-stalled burst did not drain");
+
+  SoakResult result;
+  result.digest = 1469598103934665603ull;
+  for (int i = 0; i < burst; ++i) {
+    CKD_REQUIRE(bRecv[static_cast<std::size_t>(i)] ==
+                    bSend[static_cast<std::size_t>(i)],
+                "burst payload corrupted under faults");
+    result.digest = fnv(bRecv[static_cast<std::size_t>(i)].data(),
+                        bRecv[static_cast<std::size_t>(i)].size(),
+                        result.digest);
+  }
+  for (const Chain& c : *chains)
+    result.digest = fnv(&c.digest, sizeof(c.digest), result.digest);
+
+  // Credit conservation on every connection the run touched: each freed
+  // slot's credit is either back at the sender or still owed — never lost
+  // to a dropped write/return.
+  for (int peer = 1; peer <= kPeers; ++peer) {
+    for (const auto& [a, b] : {std::pair<int, int>{0, peer}, {peer, 0}}) {
+      CKD_REQUIRE(mp.sendCredits(a, b) + mp.owedCredits(a, b) == credits,
+                  "leaked persistent slot on a used RDMA connection");
+    }
+  }
+  result.faults = faultCount(engine.trace());
+  result.retransmits = mp.linkRetransmits();
+  result.horizon_us = engine.now();
+  result.credit_stalls = mp.creditStalls();
+  result.credit_msgs = mp.creditReturnMessages();
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -272,6 +407,44 @@ int main(int argc, char** argv) {
                      "count", labels);
     runner.addMetric("retransmits", static_cast<double>(soak.retransmits),
                      "count", std::move(labels));
+  }
+
+  // --- Mini-MPI RDMA channel: reliable link over the same wire storm. ---
+  {
+    const int rdmaRounds = std::max(iters / 8, 24);
+    const SoakResult base = mpiRdmaSoak(nullptr, seed, rdmaRounds);
+    const SoakResult soak = mpiRdmaSoak(&storm, seed, rdmaRounds);
+    CKD_REQUIRE(base.faults == 0, "clean RDMA-channel run must inject nothing");
+    CKD_REQUIRE(base.retransmits == 0, "unarmed link cannot retransmit");
+    CKD_REQUIRE(soak.faults > 0, "fault storm missed the RDMA channel");
+    CKD_REQUIRE(soak.retransmits > 0,
+                "storm fired yet the reliable link never retransmitted");
+    CKD_REQUIRE(base.digest == soak.digest,
+                "data divergence: faulted RDMA channel delivered different "
+                "bytes");
+    CKD_REQUIRE(base.credit_stalls > 0 && soak.credit_stalls > 0,
+                "burst never exhausted the credit ring");
+
+    const double inflation = soak.horizon_us / base.horizon_us;
+    table.addRow({"mpi_rdma", util::formatFixed(base.horizon_us, 1) + " us",
+                  util::formatFixed(soak.horizon_us, 1) + " us",
+                  util::formatFixed(inflation, 3) + "x",
+                  std::to_string(soak.faults), std::to_string(soak.retransmits),
+                  std::to_string(soak.credit_msgs) + " cred"});
+    util::JsonValue labels = util::JsonValue::object();
+    labels.set("workload", util::JsonValue("mpi_rdma"));
+    runner.addMetric("horizon_clean_us", base.horizon_us, "us", labels);
+    runner.addMetric("horizon_faulted_us", soak.horizon_us, "us", labels);
+    runner.addMetric("horizon_inflation", inflation, "ratio", labels);
+    runner.addMetric("faults_injected", static_cast<double>(soak.faults),
+                     "count", labels);
+    runner.addMetric("link_retransmits", static_cast<double>(soak.retransmits),
+                     "count", labels);
+    runner.addMetric("credit_stalls", static_cast<double>(soak.credit_stalls),
+                     "count", labels);
+    runner.addMetric("credit_return_msgs",
+                     static_cast<double>(soak.credit_msgs), "count",
+                     std::move(labels));
   }
 
   // --- Crash storm: fail-stop pe_crash + buddy checkpoint/rollback. ---

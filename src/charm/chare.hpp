@@ -61,6 +61,10 @@ class Chare {
     pe_ = pe;
   }
 
+  /// Called by the runtime when the element migrates to another PE during
+  /// an elastic drain/rebalance. Not for user code.
+  void _rebind(int pe) { pe_ = pe; }
+
   /// Per-element reduction round (managed by Runtime::contribute).
   std::uint32_t _reductionRound = 0;
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "charm/lifecycle.hpp"
 #include "charm/pup.hpp"
 #include "charm/transport.hpp"
 #include "dcmf/dcmf.hpp"
@@ -42,6 +43,29 @@ CheckpointManager::CheckpointManager(Runtime& rts)
             });
   pendingCrashes_ = static_cast<int>(crashes_.size());
   lastBeat_.assign(static_cast<std::size_t>(rts_.numPes()), 0.0);
+}
+
+sim::Time CheckpointManager::beatPeriodUs() const {
+  return rts_.config_.heartbeatPeriod_us;
+}
+
+int CheckpointManager::missedBeats() const {
+  return rts_.config_.heartbeatMisses;
+}
+
+int CheckpointManager::buddyOf(int pe) const {
+  const int n = rts_.numPes();
+  for (int step = 1; step < n; ++step) {
+    const int buddy = (pe + step) % n;
+    if (!rts_.schedulers_[static_cast<std::size_t>(buddy)]->retired())
+      return buddy;
+  }
+  return (pe + 1) % n;
+}
+
+void CheckpointManager::onPesGrown() {
+  lastBeat_.resize(static_cast<std::size_t>(rts_.numPes()),
+                   rts_.engine().now());
 }
 
 void CheckpointManager::arm() {
@@ -93,10 +117,20 @@ void CheckpointManager::takeCheckpoint(ArrayId array, std::uint32_t round,
   snap.round = round;
   snap.agg = agg;
   snap.shards.resize(static_cast<std::size_t>(rts_.numPes()));
+  if (rts_.lifecycle_ != nullptr) {
+    // Elastic runs: snapshot the placement and lifecycle state too, so a
+    // restore can revert migrations/retirements that happen after the cut.
+    snap.peOfByArray.reserve(rts_.arrays_.size());
+    for (const Runtime::ArrayRecord& rec : rts_.arrays_)
+      snap.peOfByArray.push_back(rec.peOf);
+    snap.lifeImage = rts_.lifecycle_->packImage();
+  }
 
   const double memcpyRate = rts_.fabric().params().self_per_byte_us;
   std::size_t total = 0;
   for (int pe = 0; pe < rts_.numPes(); ++pe) {
+    if (rts_.schedulers_[static_cast<std::size_t>(pe)]->retired())
+      continue;  // retired PEs host nothing and ship no shard
     Packer packer;
     Puper puper(packer);
     // Deterministic shard layout: arrays in id order, elements in onPe
@@ -123,6 +157,9 @@ void CheckpointManager::takeCheckpoint(ArrayId array, std::uint32_t round,
     fault::ReliableLink::Send send;
     send.src = pe;
     send.dst = buddyOf(pe);
+    // Channel key must be pair-based: a PE's buddy changes when the machine
+    // grows or a PE retires, and a reliable channel is one (src, dst) flow.
+    const int channel = (pe << 20) + send.dst;
     send.wireBytes = shard.size() + 32;  // shard + checkpoint header
     send.cls = fault::MsgClass::kBulk;
     send.on_deliver = [this, id, pe](std::vector<std::byte>&&) {
@@ -130,12 +167,13 @@ void CheckpointManager::takeCheckpoint(ArrayId array, std::uint32_t round,
       // state, so completion is committed at the window boundary.
       rts_.runAtSerialBoundary([this, id, pe]() { onShardArrived(id, pe); });
     };
-    send.on_error = [this, pe](fault::WcStatus) {
+    send.on_error = [this, channel](fault::WcStatus) {
       // Extreme storm: give up on this snapshot's shard but recover the
       // flow so later checkpoints still ship.
-      shardLink_.resetChannel(pe);
+      shardLink_.resetChannel(channel);
     };
-    shardLink_.post(/*channel=*/pe, std::move(send));
+    shardLink_.post(channel, std::move(send));
+    ++snap.expected;
   }
 
   ++checkpointsTaken_;
@@ -152,7 +190,7 @@ void CheckpointManager::onShardArrived(std::uint64_t id, int pe) {
   Snapshot& snap = it->second;
   (void)pe;
   ++snap.arrived;
-  if (snap.arrived < rts_.numPes()) return;
+  if (snap.arrived < snap.expected) return;
   snap.complete = true;
   snap.safeAt = rts_.engine().now();
   pruneSnapshots();
@@ -182,7 +220,11 @@ void CheckpointManager::injectCrash(std::size_t which) {
   const PlannedCrash& crash = crashes_[which];
   CKD_REQUIRE(crashedPe_ < 0,
               "overlapping pe_crash events: one outage at a time");
-  const int victim = crash.pe;
+  int victim = crash.pe;
+  // Elastic runs: a retired PE has left the machine and cannot crash — the
+  // fault lands on the next live PE in the ring (deterministic retarget).
+  while (rts_.schedulers_[static_cast<std::size_t>(victim)]->retired())
+    victim = (victim + 1) % rts_.numPes();
   CKD_REQUIRE(rts_.peAlive(victim), "pe_crash victim is already dead");
   const sim::Time now = rts_.engine().now();
   crashedPe_ = victim;
@@ -203,6 +245,9 @@ void CheckpointManager::injectCrash(std::size_t which) {
   }
   if (rts_.dcmf_ != nullptr) rts_.dcmf_->flushPe(victim);
   shardLink_.flushPe(victim);
+  // Crash mid-drain: tear down handoff flows touching the victim; the
+  // restore below falls back to the global rollback instead of wedging.
+  if (rts_.lifecycle_ != nullptr) rts_.lifecycle_->onPeCrash(victim);
 }
 
 void CheckpointManager::heartbeatTick() {
@@ -211,6 +256,8 @@ void CheckpointManager::heartbeatTick() {
   const sim::Time now = rts_.engine().now();
   for (int pe = 0; pe < rts_.numPes(); ++pe) {
     if (!rts_.peAlive(pe)) continue;  // the dead go silent
+    if (rts_.schedulers_[static_cast<std::size_t>(pe)]->retired())
+      continue;  // retired PEs have left the machine
     rts_.fabric().sendWire(
         pe, buddyOf(pe), kBeatBytes, fault::MsgClass::kControl,
         [this, pe](const fault::WireSender::Delivery&) {
@@ -219,12 +266,12 @@ void CheckpointManager::heartbeatTick() {
   }
   if (crashedPe_ >= 0 &&
       now - lastBeat_[static_cast<std::size_t>(crashedPe_)] >=
-          kMissedBeats * kBeatPeriodUs) {
+          missedBeats() * beatPeriodUs()) {
     rts_.engine().trace().record(now, crashedPe_, sim::TraceTag::kCrashDetect,
                                  now - crashAt_);
     restore();
   }
-  rts_.engine().after(kBeatPeriodUs, [this]() { heartbeatTick(); });
+  rts_.engine().after(beatPeriodUs(), [this]() { heartbeatTick(); });
 }
 
 void CheckpointManager::restore() {
@@ -256,11 +303,42 @@ void CheckpointManager::restore() {
   shardLink_.flushAll();
   rts_.transport_->reset();
 
-  // 4. Unpack every element in place from the chosen snapshot. Buffer
+  // 4. Reduction progress restarts from the cut (cleared before the
+  //    placement revert below, which requires closed rounds).
+  for (Runtime::ArrayRecord& rec : rts_.arrays_)
+    for (Runtime::PeReduceState& state : rec.reduce) state.rounds.clear();
+  // 4b. Elastic runs: revert element placement to the snapshot's. Any
+  //     migration (drain handoff, post-scale-out rebalance) that happened
+  //     after the cut is undone — the crash-mid-drain fallback. The app's
+  //     migrate hook fires for every reverted element so its CkDirect
+  //     channels move home again, and the lifecycle manager rolls its own
+  //     state machine back to the image taken at the cut.
+  if (!snap->peOfByArray.empty()) {
+    CKD_REQUIRE(snap->peOfByArray.size() == rts_.arrays_.size(),
+                "arrays created after arm() are not restorable");
+    for (std::size_t a = 0; a < rts_.arrays_.size(); ++a) {
+      Runtime::ArrayRecord& rec = rts_.arrays_[a];
+      const std::vector<int>& want = snap->peOfByArray[a];
+      for (std::int64_t i = 0; i < rec.count; ++i) {
+        const int cur = rec.peOf[static_cast<std::size_t>(i)];
+        const int old = want[static_cast<std::size_t>(i)];
+        if (cur == old) continue;
+        if (rts_.migrateHook_)
+          rts_.migrateHook_(static_cast<ArrayId>(a), i, cur, old);
+        rec.elems[static_cast<std::size_t>(i)]->_rebind(old);
+        rec.peOf[static_cast<std::size_t>(i)] = old;
+      }
+      rts_.rebuildPlacement(rec);
+    }
+  }
+  if (rts_.lifecycle_ != nullptr) rts_.lifecycle_->onRestore(snap->lifeImage);
+  // 5. Unpack every element in place from the chosen snapshot. Buffer
   //    addresses are stable (pup's in-place vector contract), which is what
-  //    re-registration below keys off.
+  //    re-registration below keys off. The loop is bounded by the
+  //    snapshot's PE count: PEs added by a later scale-out own nothing
+  //    under the reverted placement.
   const double memcpyRate = rts_.fabric().params().self_per_byte_us;
-  for (int pe = 0; pe < rts_.numPes(); ++pe) {
+  for (int pe = 0; pe < static_cast<int>(snap->shards.size()); ++pe) {
     const std::vector<std::byte>& shard =
         snap->shards[static_cast<std::size_t>(pe)];
     Unpacker unpacker(std::span<const std::byte>(shard.data(), shard.size()));
@@ -276,9 +354,6 @@ void CheckpointManager::restore() {
         memcpyRate * static_cast<double>(shard.size()), []() {},
         sim::Layer::kScheduler);
   }
-  // 5. Reduction progress restarts from the cut.
-  for (Runtime::ArrayRecord& rec : rts_.arrays_)
-    for (Runtime::PeReduceState& state : rec.reduce) state.rounds.clear();
   // 6. Re-register memory and re-run the CkDirect handle handshake under
   //    the new epoch.
   if (rts_.reestablishHook_) rts_.reestablishHook_();

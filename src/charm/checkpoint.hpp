@@ -45,9 +45,10 @@ namespace ckd::charm {
 
 class CheckpointManager {
  public:
-  /// Virtual time between heartbeats.
+  /// Default virtual time between heartbeats (MachineConfig::heartbeatPeriod_us).
   static constexpr sim::Time kBeatPeriodUs = 5.0;
-  /// Consecutive silent beat periods before a PE is declared dead.
+  /// Default silent periods before a PE is declared dead
+  /// (MachineConfig::heartbeatMisses).
   static constexpr int kMissedBeats = 4;
   /// Modeled wire size of one heartbeat (control class, skips the ports).
   static constexpr std::size_t kBeatBytes = 8;
@@ -70,6 +71,17 @@ class CheckpointManager {
   /// replay it.
   void onReductionRoot(ArrayId array, std::uint32_t round,
                        const Runtime::ReduceAgg& agg);
+
+  /// Elastic scale-out grew the machine: extend the heartbeat table.
+  void onPesGrown();
+
+  /// True while a fail-stop outage is in progress (crash injected, restore
+  /// not yet run). The lifecycle manager defers migrations across outages.
+  bool outageInProgress() const { return crashedPe_ >= 0; }
+
+  /// Effective heartbeat settings (config-driven; surfaced in bench JSON).
+  sim::Time beatPeriodUs() const;
+  int missedBeats() const;
 
   // --- stats (ProfileReport / bench JSON) -----------------------------------
   std::uint64_t checkpointsTaken() const { return checkpointsTaken_; }
@@ -95,11 +107,19 @@ class CheckpointManager {
     Runtime::ReduceAgg agg;  ///< pending root delivery, replayed on restore
     std::vector<std::vector<std::byte>> shards;  ///< per-PE packed state
     int arrived = 0;     ///< shards landed at their buddies so far
+    int expected = 0;    ///< shards shipped (retired PEs ship none)
     bool complete = false;
     sim::Time safeAt = 0.0;  ///< when the last buddy shard landed
+    /// Elastic runs: per-array element placement at the cut, so a restore
+    /// can revert migrations that happened after the snapshot.
+    std::vector<std::vector<int>> peOfByArray;
+    /// Opaque lifecycle state image (per-PE lifecycle states at the cut).
+    std::vector<std::uint8_t> lifeImage;
   };
 
-  int buddyOf(int pe) const { return (pe + 1) % rts_.numPes(); }
+  /// Buddy = next non-retired PE in the ring (plain (pe+1)%N without an
+  /// elastic lifecycle).
+  int buddyOf(int pe) const;
 
   void takeCheckpoint(ArrayId array, std::uint32_t round,
                       const Runtime::ReduceAgg& agg);

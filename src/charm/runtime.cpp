@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "charm/checkpoint.hpp"
+#include "charm/lifecycle.hpp"
 #include "charm/marshal.hpp"
 #include "charm/transport.hpp"
 #include "dcmf/dcmf.hpp"
@@ -59,7 +60,6 @@ Runtime::Runtime(MachineConfig config) : config_(std::move(config)) {
   if (config_.faults.armed())
     fabric_->installFaults(config_.faults, config_.faultSeed);
   const int pes = numPes();
-  processors_.reserve(static_cast<std::size_t>(pes));
   schedulers_.reserve(static_cast<std::size_t>(pes));
   for (int pe = 0; pe < pes; ++pe) {
     processors_.emplace_back(pe);
@@ -74,6 +74,8 @@ Runtime::Runtime(MachineConfig config) : config_(std::move(config)) {
   }
   if (config_.faults.hasCrashes())
     ckpt_ = std::make_unique<CheckpointManager>(*this);
+  if (config_.elastic || !config_.scalePlan.empty())
+    lifecycle_ = std::make_unique<LifecycleManager>(*this);
 }
 
 Runtime::~Runtime() = default;
@@ -151,6 +153,53 @@ ArrayId Runtime::beginArray(std::string name, std::int64_t count, MapFn map) {
   rec.reduce.resize(rec.hostPes.size());
   arrays_.push_back(std::move(rec));
   return static_cast<ArrayId>(arrays_.size() - 1);
+}
+
+void Runtime::rebuildPlacement(ArrayRecord& rec) {
+  for (PeReduceState& state : rec.reduce)
+    CKD_REQUIRE(state.rounds.empty(),
+                "placement rebind with an open reduction round — migrations "
+                "must happen at reduction cuts");
+  rec.onPe.assign(static_cast<std::size_t>(numPes()), {});
+  rec.hostPes.clear();
+  rec.hostPos.clear();
+  for (std::int64_t i = 0; i < rec.count; ++i)
+    rec.onPe[static_cast<std::size_t>(rec.peOf[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  for (int pe = 0; pe < numPes(); ++pe) {
+    if (!rec.onPe[static_cast<std::size_t>(pe)].empty()) {
+      rec.hostPos[pe] = static_cast<int>(rec.hostPes.size());
+      rec.hostPes.push_back(pe);
+    }
+  }
+  rec.reduce.assign(rec.hostPes.size(), {});
+}
+
+void Runtime::growMachine() {
+  const int pes = numPes();  // the topology has already grown
+  const int oldPes = static_cast<int>(schedulers_.size());
+  CKD_REQUIRE(pes >= oldPes, "the machine never shrinks (PEs retire instead)");
+  if (pes == oldPes) return;
+  fabric_->growTopology();
+  if (parallel_) {
+    // Map each new node onto an existing shard (node-aligned, like the
+    // construction-time partition; the exact choice is unobservable — the
+    // determinism gate checks exactly that).
+    std::vector<int> shardOfNew;
+    shardOfNew.reserve(static_cast<std::size_t>(pes - oldPes));
+    for (int pe = oldPes; pe < pes; ++pe)
+      shardOfNew.push_back(config_.topology->nodeOf(pe) % parallel_->shards());
+    parallel_->growPes(shardOfNew);
+    peMsgSeq_.resize(static_cast<std::size_t>(pes) + 1, 0);
+  }
+  for (int pe = oldPes; pe < pes; ++pe) {
+    processors_.emplace_back(pe);
+    schedulers_.push_back(std::make_unique<Scheduler>(*this, pe));
+  }
+  for (ArrayRecord& rec : arrays_)
+    rec.onPe.resize(static_cast<std::size_t>(pes));
+  if (ckpt_) ckpt_->onPesGrown();
+  if (growHook_) growHook_();
 }
 
 void Runtime::placeElement(ArrayId id, std::int64_t index,
@@ -285,9 +334,23 @@ void Runtime::deliver(Message& msg) {
       ArrayRecord& rec = record(env.arrayId);
       CKD_REQUIRE(env.elemIndex >= 0 && env.elemIndex < rec.count,
                   "delivery to an element out of range");
-      CKD_REQUIRE(rec.peOf[static_cast<std::size_t>(env.elemIndex)] ==
-                      env.dstPe,
-                  "message delivered to a PE that does not own the element");
+      const int owner = rec.peOf[static_cast<std::size_t>(env.elemIndex)];
+      if (owner != env.dstPe) {
+        // Elastic placement: the element migrated (drain / rebalance) while
+        // this message was in flight. The old home acts as a tombstone and
+        // forwards to the new owner, preserving the causal chain id (the
+        // forwarded copy carries traceId != 0, so sendMessage keeps it).
+        CKD_REQUIRE(lifecycle_ != nullptr,
+                    "message delivered to a PE that does not own the element");
+        engine().trace().record(engine().now(), env.dstPe,
+                                sim::TraceTag::kLifeForward,
+                                static_cast<double>(env.elemIndex));
+        MessagePtr fwd = Message::make(env, msg.payload());
+        fwd->env().srcPe = env.dstPe;
+        fwd->env().dstPe = owner;
+        sendMessage(std::move(fwd));
+        return;
+      }
       CKD_REQUIRE(
           env.entry >= 0 && env.entry < static_cast<EntryId>(rec.entries.size()),
           "delivery to an unregistered entry");
@@ -424,12 +487,18 @@ void Runtime::tryFlushReduction(ArrayRecord& rec, int pos,
   if (agg.ownContrib < localElems || agg.childSeen < children) return;
 
   if (pos == 0) {
+    const ArrayId arrayId = static_cast<ArrayId>(&rec - arrays_.data());
+    // Pending migration work (drain / post-scale-out rebalance) captures the
+    // cut instead: the lifecycle manager rebinds placement in a serial phase
+    // and delivers this exact result itself once the handoff completes.
+    if (lifecycle_ != nullptr && lifecycle_->interceptRoot(arrayId, round, agg)) {
+      rounds.erase(it);
+      return;
+    }
     // The root flush is a consistent cut: every element has contributed and
     // none has resumed — the checkpoint manager snapshots here, BEFORE the
     // result fans back out, so a restore can replay this exact delivery.
-    if (ckpt_ != nullptr)
-      ckpt_->onReductionRoot(static_cast<ArrayId>(&rec - arrays_.data()),
-                             round, agg);
+    if (ckpt_ != nullptr) ckpt_->onReductionRoot(arrayId, round, agg);
     deliverReductionResult(rec, pos, round, agg);
     rounds.erase(it);
     return;

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,6 +36,7 @@ namespace ckd::charm {
 
 class Transport;
 class CheckpointManager;
+class LifecycleManager;
 
 enum class LayerKind { kInfiniband, kBlueGene };
 
@@ -59,6 +61,20 @@ struct MachineConfig {
   int shards = 0;
   /// Worker threads for the sharded engine; 0 = min(shards, host cores).
   int shardThreads = 0;
+  /// Virtual time between fail-stop heartbeats (--heartbeat-period).
+  sim::Time heartbeatPeriod_us = 5.0;
+  /// Consecutive silent beat periods before a PE is declared dead
+  /// (--heartbeat-misses).
+  int heartbeatMisses = 4;
+  /// Elastic lifecycle script (--scale-plan): `scale_out@<t>;pes=<n>` /
+  /// `drain@<t>;pe=<k>` rules, comma-separated. Non-empty implies
+  /// `elastic = true`.
+  std::string scalePlan;
+  /// Create the LifecycleManager even with an empty scale plan, for
+  /// programmatic requestScaleOut()/requestDrain() triggering.
+  bool elastic = false;
+  /// Drains that would leave fewer than this many active PEs are rejected.
+  int minPes = 2;
 };
 
 class Runtime {
@@ -146,12 +162,26 @@ class Runtime {
   /// pe_crash events.
   CheckpointManager* checkpoints() const { return ckpt_.get(); }
 
+  /// Elastic lifecycle supervisor; null unless the config asked for it
+  /// (non-empty scalePlan, or elastic = true).
+  LifecycleManager* lifecycle() const { return lifecycle_.get(); }
+
   /// Hook the restart protocol runs after chare state is restored, so the
   /// CkDirect manager (which charm cannot depend on) can re-register memory
   /// and re-run its handle handshake under the new epoch.
   void setReestablishHook(std::function<void()> fn) {
     reestablishHook_ = std::move(fn);
   }
+
+  /// Hook run after the machine grows (elastic scale-out), so layers that
+  /// size per-PE state (the CkDirect managers) can extend it.
+  void setGrowHook(std::function<void()> fn) { growHook_ = std::move(fn); }
+
+  /// Hook run once per element migrated by the lifecycle manager, with
+  /// (array, index, fromPe, toPe). Applications that own CkDirect channels
+  /// for the element rehome them here.
+  using MigrateFn = std::function<void(ArrayId, std::int64_t, int, int)>;
+  void setMigrateHook(MigrateFn fn) { migrateHook_ = std::move(fn); }
 
   // --- chare arrays ----------------------------------------------------------
 
@@ -301,9 +331,23 @@ class Runtime {
   static int treeParent(int pos) { return (pos - 1) / 2; }
   static int treeChild(int pos, int which) { return 2 * pos + 1 + which; }
 
+  /// Rebuild an array's derived placement structures (onPe, hostPes,
+  /// hostPos, reduce) from peOf after a rebind. Requires every reduction
+  /// round of the array to be closed — migrations happen at reduction cuts.
+  void rebuildPlacement(ArrayRecord& rec);
+
+  /// Pick up a topology that grew (elastic scale-out, serial phase only):
+  /// extend the fabric ports, the shard map, the per-PE minting tables,
+  /// schedulers/processors, per-array onPe vectors, and notify the
+  /// checkpoint manager and the grow hook.
+  void growMachine();
+
   /// The checkpoint manager reaches into the array registry, reduction
   /// state, and machine layers to implement pack/restore.
   friend class CheckpointManager;
+  /// The lifecycle manager drives placement rebinds, machine growth, and
+  /// the drain/retire protocol.
+  friend class LifecycleManager;
 
   MachineConfig config_;
   sim::Engine engine_;
@@ -315,11 +359,16 @@ class Runtime {
   std::unique_ptr<dcmf::DcmfContext> dcmf_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<Scheduler>> schedulers_;
-  std::vector<sim::Processor> processors_;
+  /// Deque, not vector: elastic growth appends processors mid-run and
+  /// references held by running handlers must stay valid.
+  std::deque<sim::Processor> processors_;
   std::vector<ArrayRecord> arrays_;
   std::shared_ptr<void> extension_;
   std::unique_ptr<CheckpointManager> ckpt_;
+  std::unique_ptr<LifecycleManager> lifecycle_;
   std::function<void()> reestablishHook_;
+  std::function<void()> growHook_;
+  MigrateFn migrateHook_;
   std::uint32_t epoch_ = 0;
   /// Thread-local: each shard worker executes handlers for its own PEs.
   static thread_local int currentPe_;

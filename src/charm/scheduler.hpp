@@ -70,6 +70,13 @@ class Scheduler {
   void revive() { dead_ = false; }
   bool dead() const { return dead_; }
 
+  /// Elastic lifecycle: a retired PE keeps pumping (late arrivals to its
+  /// former elements are forwarded to the new owners) but hosts no chare
+  /// work of its own and stops heartbeating. A rollback that reverts the
+  /// retirement clears the flag.
+  void setRetired(bool retired) { retired_ = retired; }
+  bool retired() const { return retired_; }
+
   /// Restart protocol: discard everything queued on a LIVE PE too — queued
   /// messages were stamped pre-recovery and target rolled-back state.
   void flushQueues() {
@@ -120,6 +127,7 @@ class Scheduler {
 
   bool pumpScheduled_ = false;
   bool dead_ = false;
+  bool retired_ = false;
   bool ctxActive_ = false;
   sim::Time ctxStart_ = 0.0;
   sim::Time ctxCharged_ = 0.0;

@@ -31,7 +31,10 @@ fault::ReliableLink& IbTransport::link() {
 }
 
 int IbTransport::pairChannel(int src, int dst) const {
-  return src * runtime_.fabric().numPes() + dst;
+  // Size-independent keying: an elastic scale-out grows numPes mid-run, and
+  // a multiplicative key minted before the growth would collide with keys
+  // minted after it. 20 bits of dst is far beyond any simulated machine.
+  return (src << 20) + dst;
 }
 
 void IbTransport::send(MessagePtr msg) {

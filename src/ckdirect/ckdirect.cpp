@@ -63,6 +63,11 @@ void setErrorCallback(Handle handle, PutErrorCallback callback) {
   Manager::of(*handle.rts).setErrorCallback(handle.id, std::move(callback));
 }
 
+void rehome(Handle handle, int newRecvPe) {
+  CKD_REQUIRE(handle.valid(), "invalid CkDirect handle");
+  Manager::of(*handle.rts).rehome(handle.id, newRecvPe);
+}
+
 Handle createStridedHandle(charm::Runtime& rts, int receiverPe, void* base,
                            std::size_t blockBytes, std::size_t strideBytes,
                            int blockCount, std::uint64_t oob,

@@ -92,6 +92,17 @@ class Manager {
   virtual void setErrorCallback(std::int32_t /*handle*/,
                                 PutErrorCallback /*callback*/) {}
 
+  /// Elastic scale-out grew the runtime: extend the per-PE tables. Called
+  /// from a serial phase via the runtime's grow hook.
+  virtual void onPesGrown() {}
+
+  /// Elastic drain/rebalance: the receiving element migrated. Move the
+  /// channel's receive side to `newRecvPe` — same buffer addresses (element
+  /// objects are stable), new registration/QP/polling home. Only legal while
+  /// the channel is idle (marked, no data pending); the handle id is
+  /// unchanged, so senders keep using the handle they were shipped.
+  virtual void rehome(std::int32_t handle, int newRecvPe) = 0;
+
   // Introspection (tests, benches).
   virtual std::size_t pollQueueLength(int pe) const = 0;
   virtual std::uint64_t putsIssued() const = 0;
@@ -130,6 +141,10 @@ void readyPollQ(Handle handle);
 /// Install an error callback on the channel (fault-injection runs). Fires on
 /// the sender PE after the manager's transparent recovery gives up.
 void setErrorCallback(Handle handle, PutErrorCallback callback);
+
+/// Move a channel's receive side to a new PE after its receiving element
+/// migrated (elastic drain / rebalance). Receiver-idle channels only.
+void rehome(Handle handle, int newRecvPe);
 
 // --- §6 extensions -----------------------------------------------------------
 

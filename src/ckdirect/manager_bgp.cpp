@@ -175,6 +175,23 @@ void BgpManager::setErrorCallback(std::int32_t handle,
   channel(handle).onError = std::move(callback);
 }
 
+void BgpManager::rehome(std::int32_t handle, int newRecvPe) {
+  Channel& ch = channel(handle);
+  CKD_REQUIRE(newRecvPe >= 0 && newRecvPe < rts_.numPes(),
+              "rehome target PE out of range");
+  if (ch.recvPe == newRecvPe) return;
+  CKD_REQUIRE(!ch.recvRequest || !ch.recvRequest->inFlight,
+              "rehome on a channel with a DCMF receive in flight");
+  ch.recvPe = newRecvPe;
+  // The senders learn the new rank via a modeled control exchange, charged
+  // at both ends like the original createHandle/assocLocal pair.
+  rts_.scheduler(newRecvPe).enqueueSystemWork(
+      rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+  if (ch.sendPe >= 0)
+    rts_.scheduler(ch.sendPe).enqueueSystemWork(
+        rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+}
+
 void BgpManager::reestablish() {
   // Global rollback just restored every element to a reduction-cut state,
   // where every channel is idle. In-flight DCMF messages died with the link

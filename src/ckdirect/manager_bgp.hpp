@@ -41,6 +41,10 @@ class BgpManager final : public Manager {
   void readyMark(std::int32_t /*handle*/) override {}  // no-op on BG/P
   void readyPollQ(std::int32_t /*handle*/) override {} // no-op on BG/P
   void setErrorCallback(std::int32_t handle, PutErrorCallback callback) override;
+  /// Elastic migration: the DCMF path carries the full receive context in
+  /// each message's Info header, so nothing is registered anywhere — only
+  /// the destination rank changes (plus a modeled handshake at both ends).
+  void rehome(std::int32_t handle, int newRecvPe) override;
 
   std::size_t pollQueueLength(int /*pe*/) const override { return 0; }
   std::uint64_t putsIssued() const override { return puts_; }

@@ -1,5 +1,6 @@
 #include "ckdirect/manager_ib.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +18,15 @@ IbManager::IbManager(charm::Runtime& rts)
   pollQueue_.resize(static_cast<std::size_t>(rts.numPes()));
   hookInstalled_.assign(static_cast<std::size_t>(rts.numPes()), false);
   rts_.setReestablishHook([this]() { reestablish(); });
+  rts_.setGrowHook([this]() { onPesGrown(); });
+}
+
+void IbManager::onPesGrown() {
+  CKD_REQUIRE(rts_.numPes() < (1 << (31 - kIdxBits)),
+              "too many PEs for the CkDirect handle encoding");
+  byPe_.resize(static_cast<std::size_t>(rts_.numPes()));
+  pollQueue_.resize(static_cast<std::size_t>(rts_.numPes()));
+  hookInstalled_.resize(static_cast<std::size_t>(rts_.numPes()), false);
 }
 
 IbManager::Channel& IbManager::channel(std::int32_t id) {
@@ -120,12 +130,14 @@ std::int32_t IbManager::createStridedHandle(int receiverPe, void* base,
   // Enter the polling queue immediately (CkDirect_createHandle semantics).
   chunk[idx % PeChannels::kChunkSize].inPollQueue = true;
   pollQueue_[static_cast<std::size_t>(receiverPe)].push_back(id);
-  if (!hookInstalled_[static_cast<std::size_t>(receiverPe)]) {
-    hookInstalled_[static_cast<std::size_t>(receiverPe)] = true;
-    rts_.scheduler(receiverPe).setPollHook(
-        [this, receiverPe] { pollScan(receiverPe); });
-  }
+  ensurePollHook(receiverPe);
   return id;
+}
+
+void IbManager::ensurePollHook(int pe) {
+  if (hookInstalled_[static_cast<std::size_t>(pe)]) return;
+  hookInstalled_[static_cast<std::size_t>(pe)] = true;
+  rts_.scheduler(pe).setPollHook([this, pe] { pollScan(pe); });
 }
 
 void IbManager::assocLocal(std::int32_t handle, int senderPe,
@@ -352,6 +364,44 @@ void IbManager::setErrorCallback(std::int32_t handle,
   channel(handle).onError = std::move(callback);
 }
 
+void IbManager::rehome(std::int32_t handle, int newRecvPe) {
+  Channel& ch = channel(handle);
+  CKD_REQUIRE(newRecvPe >= 0 && newRecvPe < rts_.numPes(),
+              "rehome target PE out of range");
+  if (ch.recvPe == newRecvPe) return;
+  // Migrations happen at reduction cuts, where the iteration discipline
+  // CkDirect requires guarantees the channel is idle: consumed, re-armed,
+  // nothing on the wire. Moving a live channel would strand in-flight data.
+  CKD_REQUIRE(ch.marked && !ch.detected,
+              "rehome on a channel with unconsumed or in-flight data");
+  const int oldPe = ch.recvPe;
+  if (ch.inPollQueue) {
+    auto& q = pollQueue_[static_cast<std::size_t>(oldPe)];
+    q.erase(std::remove(q.begin(), q.end(), handle), q.end());
+  }
+  // Re-pin the receive span under the new PE's identity. The buffer
+  // addresses are unchanged — the element object itself does not move in
+  // memory, only its simulated home — so this is a pure re-registration.
+  if (verbs_.regionValid(ch.recvRegion)) verbs_.deregisterMemory(ch.recvRegion);
+  const std::size_t span =
+      static_cast<std::size_t>(ch.blockCount - 1) * ch.strideBytes +
+      ch.blockBytes;
+  ch.recvPe = newRecvPe;
+  ch.recvRegion = verbs_.registerMemory(newRecvPe, ch.recvBuffer, span);
+  if (ch.sendPe >= 0) ch.qp = verbs_.connect(ch.sendPe, newRecvPe);
+  writeSentinel(ch);
+  if (ch.inPollQueue)
+    pollQueue_[static_cast<std::size_t>(newRecvPe)].push_back(handle);
+  ensurePollHook(newRecvPe);
+  // The re-handshake (rkey exchange + QP transition) costs work at both
+  // endpoints, like the original createHandle/assocLocal pair.
+  rts_.scheduler(newRecvPe).enqueueSystemWork(
+      rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+  if (ch.sendPe >= 0)
+    rts_.scheduler(ch.sendPe).enqueueSystemWork(
+        rts_.costs().callback_overhead_us, []() {}, sim::Layer::kCkDirect);
+}
+
 std::size_t IbManager::pollQueueLength(int pe) const {
   CKD_REQUIRE(pe >= 0 && pe < rts_.numPes(), "PE out of range");
   return pollQueue_[static_cast<std::size_t>(pe)].size();
@@ -392,6 +442,8 @@ void IbManager::reestablish() {
       writeSentinel(ch);
       ch.inPollQueue = true;
       pollQueue_[static_cast<std::size_t>(ch.recvPe)].push_back(id);
+      // Rehomed channels may poll on a PE that never created one.
+      ensurePollHook(ch.recvPe);
       // The re-handshake costs work on both endpoints, like the original
       // createHandle/assocLocal calls.
       rts_.scheduler(ch.recvPe).enqueueSystemWork(

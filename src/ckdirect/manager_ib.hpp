@@ -41,6 +41,8 @@ class IbManager final : public Manager {
   void readyMark(std::int32_t handle) override;
   void readyPollQ(std::int32_t handle) override;
   void setErrorCallback(std::int32_t handle, PutErrorCallback callback) override;
+  void onPesGrown() override;
+  void rehome(std::int32_t handle, int newRecvPe) override;
 
   std::size_t pollQueueLength(int pe) const override;
   std::uint64_t putsIssued() const override {
@@ -147,13 +149,16 @@ class IbManager final : public Manager {
   void onDelivered(std::int32_t id);
   void onPutError(std::int32_t id, fault::WcStatus status);
   void pollScan(int pe);
+  /// Install this PE's polling-queue scan hook if it is not installed yet.
+  void ensurePollHook(int pe);
   bool faultsArmed() const;
 
   charm::Runtime& rts_;
   ib::IbVerbs& verbs_;
   /// Per-receiver-PE channel slabs (see PeChannels); entries are allocated
-  /// lazily on a PE's first createHandle. The outer vector is sized once in
-  /// the constructor and never resizes.
+  /// lazily on a PE's first createHandle. The outer vector is sized in the
+  /// constructor and only ever extended — by onPesGrown, inside a serial
+  /// phase — so shard-concurrent channel lookups never race a resize.
   std::vector<std::unique_ptr<PeChannels>> byPe_;
   std::vector<std::vector<std::int32_t>> pollQueue_;  // per PE
   std::vector<bool> hookInstalled_;                   // per PE

@@ -19,8 +19,10 @@ const Quad& Info::quad(std::size_t i) const {
 
 DcmfContext::DcmfContext(net::Fabric& fabric) : fabric_(fabric) {}
 
+// Directed-pair channel key, independent of the rank count (an elastic
+// scale-out grows numRanks mid-run and must not re-key existing flows).
 void DcmfContext::resetChannel(int srcRank, int dstRank) {
-  if (link_) link_->resetChannel(srcRank * numRanks() + dstRank);
+  if (link_) link_->resetChannel((srcRank << 20) + dstRank);
 }
 
 fault::ReliableLink& DcmfContext::link() {
@@ -96,7 +98,7 @@ void DcmfContext::send(ProtocolId protocol, int srcRank, int dstRank,
       onErr(status);
     };
     send.traceId = trace_id;
-    link().post(srcRank * numRanks() + dstRank, std::move(send));
+    link().post((srcRank << 20) + dstRank, std::move(send));
     return;
   }
 

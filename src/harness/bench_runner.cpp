@@ -48,6 +48,11 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   faultSeed_ = static_cast<std::uint64_t>(args.getInt("fault-seed", 1));
   checkpointPeriod_ = args.getDouble("checkpoint-period", -1.0);
   CKD_REQUIRE(checkpointPeriod_ != 0.0, "--checkpoint-period must be positive");
+  heartbeatPeriod_ = args.getDouble("heartbeat-period", -1.0);
+  CKD_REQUIRE(heartbeatPeriod_ != 0.0, "--heartbeat-period must be positive");
+  heartbeatMisses_ = static_cast<int>(args.getInt("heartbeat-misses", 0));
+  CKD_REQUIRE(heartbeatMisses_ >= 0, "--heartbeat-misses must be positive");
+  scalePlan_ = args.get("scale-plan", "");
   shards_ = static_cast<int>(args.getInt("shards", 0));
   CKD_REQUIRE(shards_ >= 0, "--shards must be non-negative");
   shardThreads_ = static_cast<int>(args.getInt("shard-threads", 0));
@@ -100,6 +105,14 @@ void BenchRunner::applyFaults(charm::MachineConfig& machine) const {
   machine.faults = faultPlan_;
   machine.faultSeed = faultSeed_;
   if (checkpointPeriod_ > 0.0) machine.checkpointPeriod_us = checkpointPeriod_;
+  if (heartbeatPeriod_ > 0.0) machine.heartbeatPeriod_us = heartbeatPeriod_;
+  if (heartbeatMisses_ > 0) machine.heartbeatMisses = heartbeatMisses_;
+}
+
+void BenchRunner::applyLifecycle(charm::MachineConfig& machine) const {
+  if (!scalePlan_.empty()) machine.scalePlan = scalePlan_;
+  if (heartbeatPeriod_ > 0.0) machine.heartbeatPeriod_us = heartbeatPeriod_;
+  if (heartbeatMisses_ > 0) machine.heartbeatMisses = heartbeatMisses_;
 }
 
 void BenchRunner::applyFaults(net::Fabric& fabric) const {

@@ -22,6 +22,14 @@
 //   --checkpoint-period <us>
 //                       virtual time between buddy checkpoints when pe_crash
 //                       faults are armed (default MachineConfig's 100 us)
+//   --heartbeat-period <us>
+//                       virtual time between fail-stop heartbeats (default
+//                       MachineConfig's 5 us)
+//   --heartbeat-misses <n>
+//                       consecutive missed beats before a PE is declared
+//                       crashed (default MachineConfig's 4)
+//   --scale-plan <spec> elastic lifecycle script (charm::parseScalePlan
+//                       grammar, e.g. "scale_out@400;pes=8,drain@900;pe=2")
 //   --shards <n>        run under the thread-sharded parallel engine with n
 //                       shards (0 = classic serial engine); capped to the
 //                       machine's node count at runtime construction
@@ -79,10 +87,15 @@ class BenchRunner {
   std::uint64_t faultSeed() const { return faultSeed_; }
   /// --checkpoint-period value, or a negative number when not given.
   double checkpointPeriod() const { return checkpointPeriod_; }
-  /// Copy the --faults plan + seed (and --checkpoint-period, when given)
-  /// into a MachineConfig (no-op when unarmed); the runtime arms the fabric
-  /// at construction.
+  /// --scale-plan spec (empty when not given).
+  const std::string& scalePlan() const { return scalePlan_; }
+  /// Copy the --faults plan + seed (and --checkpoint-period /
+  /// --heartbeat-*, when given) into a MachineConfig (no-op when unarmed);
+  /// the runtime arms the fabric at construction.
   void applyFaults(charm::MachineConfig& machine) const;
+  /// Copy --scale-plan and the --heartbeat-* overrides into a
+  /// MachineConfig (each a no-op when not given).
+  void applyLifecycle(charm::MachineConfig& machine) const;
   /// Arm a bare fabric directly (the mini-MPI benches build their own).
   void applyFaults(net::Fabric& fabric) const;
 
@@ -135,6 +148,9 @@ class BenchRunner {
   fault::FaultPlan faultPlan_;
   std::uint64_t faultSeed_ = 1;
   double checkpointPeriod_ = -1.0;  ///< < 0: keep the MachineConfig default
+  double heartbeatPeriod_ = -1.0;   ///< < 0: keep the MachineConfig default
+  int heartbeatMisses_ = 0;         ///< 0: keep the MachineConfig default
+  std::string scalePlan_;           ///< empty: no lifecycle script
   int shards_ = 0;                  ///< 0: classic serial engine
   int shardThreads_ = 0;            ///< 0: one thread per shard
   util::JsonValue shardStats_;      ///< recordShardStats() snapshot (or null)

@@ -1,6 +1,7 @@
 #include "harness/machines.hpp"
 
 #include "net/cost_params.hpp"
+#include "topo/elastic.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/torus3d.hpp"
 #include "util/require.hpp"
@@ -38,6 +39,25 @@ charm::MachineConfig surveyorMachine(int numPes, int pesPerNode) {
   cfg.netParams = net::surveyorParams();
   cfg.costs = charm::surveyorRuntimeCosts();
   cfg.layer = charm::LayerKind::kBlueGene;
+  return cfg;
+}
+
+charm::MachineConfig elasticAbeMachine(int numPes, int pesPerNode) {
+  CKD_REQUIRE(numPes > 0 && numPes % pesPerNode == 0,
+              "PE count must be a multiple of PEs per node");
+  charm::MachineConfig cfg;
+  cfg.topology = std::make_shared<topo::ElasticTopology>(numPes / pesPerNode,
+                                                         pesPerNode);
+  cfg.netParams = net::abeParams();
+  cfg.costs = charm::abeRuntimeCosts();
+  cfg.layer = charm::LayerKind::kInfiniband;
+  cfg.elastic = true;
+  return cfg;
+}
+
+charm::MachineConfig elasticSurveyorMachine(int numPes, int pesPerNode) {
+  charm::MachineConfig cfg = surveyorMachine(numPes, pesPerNode);
+  cfg.elastic = true;
   return cfg;
 }
 

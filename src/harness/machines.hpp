@@ -18,4 +18,14 @@ charm::MachineConfig t3Machine(int numPes, int pesPerNode = 4);
 /// Blue Gene/P partition with `numPes` PEs (4 cores per node, VN mode).
 charm::MachineConfig surveyorMachine(int numPes, int pesPerNode = 4);
 
+/// Abe variant on a growable ElasticTopology (same wire/runtime costs):
+/// supports lifecycle scale-out (`--scale-plan scale_out@...`). Constructs
+/// the LifecycleManager even without a plan (config.elastic = true) so
+/// programmatic requestScaleOut / requestDrain work.
+charm::MachineConfig elasticAbeMachine(int numPes, int pesPerNode = 8);
+
+/// Surveyor variant with the lifecycle supervisor armed (drain/retire only
+/// — the torus does not grow).
+charm::MachineConfig elasticSurveyorMachine(int numPes, int pesPerNode = 4);
+
 }  // namespace ckd::harness

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "charm/checkpoint.hpp"
+#include "charm/lifecycle.hpp"
 #include "ckdirect/ckdirect.hpp"
 #include "util/table.hpp"
 
@@ -61,6 +62,16 @@ ProfileReport captureProfile(charm::Runtime& rts) {
     report.checkpointBytes = ckpt->bytesPacked();
     report.restarts = ckpt->restarts();
     report.recoveryUs = ckpt->recoveryUs();
+    report.heartbeatPeriodUs = ckpt->beatPeriodUs();
+    report.heartbeatMisses = ckpt->missedBeats();
+  }
+  if (const charm::LifecycleManager* life = rts.lifecycle()) {
+    report.scaleOuts = life->scaleOuts();
+    report.drainsCompleted = life->drainsCompleted();
+    report.elementsMigrated = life->elementsMigrated();
+    report.handoffBytes = life->handoffBytesShipped();
+    report.handoffRetries = life->handoffRetries();
+    report.migrationsAborted = life->migrationsAborted();
   }
   captureTraceMetrics(report, rts.engine().trace());
   return report;
@@ -151,6 +162,13 @@ std::string ProfileReport::toString() const {
         << ", stale naks " << tag(sim::TraceTag::kRelStaleNak)
         << ", stale epoch drops " << tag(sim::TraceTag::kStaleEpochDrop)
         << "\n";
+  }
+  if (scaleOuts > 0 || drainsCompleted > 0 || migrationsAborted > 0) {
+    out << "  lifecycle     " << scaleOuts << " scale-outs, "
+        << drainsCompleted << " drains (" << elementsMigrated
+        << " elements, " << handoffBytes << " bytes shipped, "
+        << handoffRetries << " retries), " << migrationsAborted
+        << " migrations aborted\n";
   }
   bool anyPoll = false;
   for (const std::uint64_t n : pollHist) anyPoll |= n > 0;
@@ -281,12 +299,25 @@ util::JsonValue toJson(const ProfileReport& report) {
     ckpt.set("bytes_packed", JsonValue(report.checkpointBytes));
     ckpt.set("restarts", JsonValue(report.restarts));
     ckpt.set("recovery_us", JsonValue(report.recoveryUs));
+    ckpt.set("heartbeat_period_us", JsonValue(report.heartbeatPeriodUs));
+    ckpt.set("heartbeat_misses", JsonValue(report.heartbeatMisses));
     ckpt.set("pe_crashes", JsonValue(tag(sim::TraceTag::kFaultPeCrash)));
     ckpt.set("crash_detects", JsonValue(tag(sim::TraceTag::kCrashDetect)));
     ckpt.set("stale_naks", JsonValue(tag(sim::TraceTag::kRelStaleNak)));
     ckpt.set("stale_epoch_drops",
              JsonValue(tag(sim::TraceTag::kStaleEpochDrop)));
     obj.set("checkpoint", std::move(ckpt));
+  }
+  if (report.scaleOuts > 0 || report.drainsCompleted > 0 ||
+      report.migrationsAborted > 0) {
+    JsonValue life = JsonValue::object();
+    life.set("scale_outs", JsonValue(report.scaleOuts));
+    life.set("drains_completed", JsonValue(report.drainsCompleted));
+    life.set("elements_migrated", JsonValue(report.elementsMigrated));
+    life.set("handoff_bytes", JsonValue(report.handoffBytes));
+    life.set("handoff_retries", JsonValue(report.handoffRetries));
+    life.set("migrations_aborted", JsonValue(report.migrationsAborted));
+    obj.set("lifecycle", std::move(life));
   }
 
   if (report.traceRecorded > 0) {

@@ -39,6 +39,17 @@ struct ProfileReport {
   std::uint64_t checkpointBytes = 0;   ///< chare state packed to buddies
   std::uint64_t restarts = 0;
   sim::Time recoveryUs = 0.0;          ///< crash -> restored, summed
+  sim::Time heartbeatPeriodUs = 0.0;   ///< effective --heartbeat-period
+  int heartbeatMisses = 0;             ///< effective --heartbeat-misses
+
+  /// Elastic lifecycle counters (all zero unless the run had a
+  /// LifecycleManager).
+  std::uint64_t scaleOuts = 0;
+  std::uint64_t drainsCompleted = 0;
+  std::uint64_t elementsMigrated = 0;
+  std::uint64_t handoffBytes = 0;
+  std::uint64_t handoffRetries = 0;
+  std::uint64_t migrationsAborted = 0;
 
   /// Virtual time attributed to each runtime tier, indexed by sim::Layer.
   std::array<sim::Time, sim::kLayerCount> layerTime_us{};

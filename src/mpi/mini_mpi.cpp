@@ -29,7 +29,50 @@ MiniMpi::Window& MiniMpi::window(WinId win) {
   return windows_[static_cast<std::size_t>(win)];
 }
 
+void MiniMpi::armReliability(const fault::ReliabilityParams& rel) {
+  CKD_REQUIRE(link_ == nullptr, "MiniMpi reliability armed twice");
+  link_ = std::make_unique<fault::ReliableLink>(fabric_, rel);
+}
+
+void MiniMpi::shipData(int src, int dst, const net::XferClass& cls,
+                       bool occupiesPorts, fault::MsgClass mcls,
+                       std::vector<std::byte> payload,
+                       std::function<void(std::vector<std::byte>&&)> onDeliver,
+                       std::uint64_t traceId) {
+  if (link_ != nullptr) {
+    fault::ReliableLink::Send send;
+    send.src = src;
+    send.dst = dst;
+    send.wireBytes = payload.size();
+    send.cls = mcls;
+    send.payload = std::move(payload);
+    send.on_deliver = std::move(onDeliver);
+    send.traceId = traceId;
+    link_->post(pairChannel(src, dst), std::move(send));
+    return;
+  }
+  const std::size_t n = payload.size();
+  fabric_.submitCustom(src, dst, n, cls, occupiesPorts,
+                       [payload = std::move(payload),
+                        onDeliver = std::move(onDeliver)]() mutable {
+                         onDeliver(std::move(payload));
+                       },
+                       traceId);
+}
+
 void MiniMpi::sendControl(int src, int dst, std::function<void()> onArrive) {
+  if (link_ != nullptr) {
+    fault::ReliableLink::Send send;
+    send.src = src;
+    send.dst = dst;
+    send.wireBytes = kControlBytes;
+    send.cls = fault::MsgClass::kControl;
+    send.on_deliver = [fn = std::move(onArrive)](std::vector<std::byte>&&) {
+      if (fn) fn();
+    };
+    link_->post(pairChannel(src, dst), std::move(send));
+    return;
+  }
   fabric_.submitCustom(src, dst, kControlBytes, costs_.rdma,
                        /*occupiesPorts=*/false, std::move(onArrive));
 }
@@ -97,12 +140,12 @@ void MiniMpi::isend(int srcRank, int dstRank, int tag, const void* data,
         costs_.sw_send_us,
         [this, srcRank, dstRank, tag, payload = std::move(payload),
          onSent = std::move(onSent)]() mutable {
-          const std::size_t n = payload.size();
-          fabric_.submitCustom(
-              srcRank, dstRank, n, costs_.eager, /*occupiesPorts=*/true,
-              [this, srcRank, dstRank, tag, payload = std::move(payload)]() mutable {
-                eagerArrive(dstRank, srcRank, tag, std::move(payload));
-              });
+          shipData(srcRank, dstRank, costs_.eager, /*occupiesPorts=*/true,
+                   fault::MsgClass::kPacket, std::move(payload),
+                   [this, srcRank, dstRank, tag](std::vector<std::byte>&& data) {
+                     eagerArrive(dstRank, srcRank, tag, std::move(data));
+                   },
+                   /*traceId=*/0);
           if (onSent) onSent();
         });
     return;
@@ -153,6 +196,11 @@ int MiniMpi::sendCredits(int src, int dst) const {
   return it == connSend_.end() ? costs_.rdma_credits : it->second.credits;
 }
 
+int MiniMpi::owedCredits(int src, int dst) const {
+  auto it = connOwed_.find({src, dst});
+  return it == connOwed_.end() ? 0 : it->second;
+}
+
 int MiniMpi::takePiggyback(int src, int dst) {
   auto it = connOwed_.find({dst, src});
   if (it == connOwed_.end() || it->second == 0) return 0;
@@ -172,15 +220,14 @@ void MiniMpi::rdmaEagerSendNow(int src, int dst, int tag,
       costs_.sw_send_us,
       [this, src, dst, tag, piggy, traceId, payload = std::move(payload),
        onSent = std::move(onSent)]() mutable {
-        const std::size_t n = payload.size();
-        fabric_.submitCustom(
-            src, dst, n, costs_.rdma, /*occupiesPorts=*/true,
-            [this, src, dst, tag, piggy, traceId,
-             payload = std::move(payload)]() mutable {
-              rdmaEagerArrive(dst, src, tag, std::move(payload), piggy,
-                              traceId);
-            },
-            traceId);
+        shipData(src, dst, costs_.rdma, /*occupiesPorts=*/true,
+                 fault::MsgClass::kBulk, std::move(payload),
+                 [this, src, dst, tag, piggy,
+                  traceId](std::vector<std::byte>&& data) {
+                   rdmaEagerArrive(dst, src, tag, std::move(data), piggy,
+                                   traceId);
+                 },
+                 traceId);
         if (onSent) onSent();
       });
 }
@@ -290,12 +337,11 @@ void MiniMpi::grantRndv(int dst, const PendingRts& rts, PostedRecv recv) {
       CKD_REQUIRE(sendIt != rndvSends_.end(), "grant for unknown send");
       RndvSend send = std::move(sendIt->second);
       rndvSends_.erase(sendIt);
-      const std::size_t n = send.data.size();
       if (send.onSent) send.onSent();
-      fabric_.submitCustom(
-          source, dst, n, costs_.rdma, /*occupiesPorts=*/true,
-          [this, dst, source, tag, id, traceId,
-           data = std::move(send.data)]() {
+      shipData(
+          source, dst, costs_.rdma, /*occupiesPorts=*/true,
+          fault::MsgClass::kBulk, std::move(send.data),
+          [this, dst, source, tag, id, traceId](std::vector<std::byte>&& data) {
             auto recvIt = rndvRecvs_.find(id);
             CKD_REQUIRE(recvIt != rndvRecvs_.end(), "data for unknown recv");
             PostedRecv recv = std::move(recvIt->second);

@@ -20,9 +20,11 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
+#include "fault/reliable.hpp"
 #include "mpi/mpi_costs.hpp"
 #include "net/fabric.hpp"
 
@@ -103,6 +105,26 @@ class MiniMpi {
   bool rdmaChannelEnabled() const { return rdmaChannel_; }
   /// Send credits currently available on the directed connection src -> dst.
   int sendCredits(int src, int dst) const;
+  /// Freed-but-unreturned credits held at the receiver of src -> dst.
+  /// Conservation invariant once the fabric quiesces with every receive
+  /// matched: sendCredits + owedCredits == rdma_credits for every directed
+  /// connection — anything less is a leaked persistent slot.
+  int owedCredits(int src, int dst) const;
+
+  /// Route the wire traffic (RDMA-eager slot writes, rendezvous data,
+  /// classic eager, and every control message: RTS/grant, credit returns,
+  /// PSCW tokens) over a go-back-N fault::ReliableLink. Without this an
+  /// armed fault injector breaks the channel outright: a dropped eager
+  /// write loses its persistent slot (and any piggybacked credits) forever,
+  /// a dropped credit return deadlocks stalled senders, and a corrupted
+  /// payload is delivered as-is. Call after Fabric::installFaults; when
+  /// never called the raw-fabric path is taken verbatim (zero cost change).
+  void armReliability(const fault::ReliabilityParams& rel);
+  bool reliabilityArmed() const { return link_ != nullptr; }
+  /// Wire-level retransmissions performed by the armed link (0 when unarmed).
+  std::uint64_t linkRetransmits() const {
+    return link_ == nullptr ? 0 : link_->retransmits();
+  }
 
   std::uint64_t rdmaEagerSends() const { return rdmaEagerSends_; }
   std::uint64_t rdmaRndvSends() const { return rdmaRndvSends_; }
@@ -117,6 +139,18 @@ class MiniMpi {
   /// Model `cost` microseconds of MPI-library software work, attributed to
   /// the transport tier, then run `fn`.
   void softwareDelay(sim::Time cost, std::function<void()> fn);
+
+  /// Directed-pair flow key on the reliable link (size-independent, the
+  /// transport convention).
+  static int pairChannel(int src, int dst) { return (src << 20) + dst; }
+  /// Ship `payload` src -> dst and run `onDeliver` with it at the receiver:
+  /// over the reliable link when armed, else one raw fabric transfer with
+  /// the flavor's serialization class.
+  void shipData(int src, int dst, const net::XferClass& cls,
+                bool occupiesPorts, fault::MsgClass mcls,
+                std::vector<std::byte> payload,
+                std::function<void(std::vector<std::byte>&&)> onDeliver,
+                std::uint64_t traceId);
 
   struct PostedRecv {
     int source;
@@ -210,6 +244,9 @@ class MiniMpi {
 
   net::Fabric& fabric_;
   MpiCosts costs_;
+  /// Non-null once armReliability() ran; every wire transfer then goes
+  /// through it instead of raw fabric submits.
+  std::unique_ptr<fault::ReliableLink> link_;
   std::vector<RankState> ranks_;
   std::vector<Window> windows_;
   std::map<std::pair<WinId, int>, OriginEpoch> origins_;

@@ -30,6 +30,13 @@ sim::Engine& Fabric::engine() {
   return parallel_ != nullptr ? parallel_->current() : engine_;
 }
 
+void Fabric::growTopology() {
+  const auto nodes = static_cast<std::size_t>(topology_->numNodes());
+  CKD_REQUIRE(nodes >= inject_.size(), "topology shrank under the fabric");
+  inject_.resize(nodes);
+  ejectFree_.resize(nodes, 0.0);
+}
+
 void Fabric::scheduleArrival(int dstPe, int srcPe, sim::Time when,
                              sim::Engine::Action action) {
   if (parallel_ != nullptr) {

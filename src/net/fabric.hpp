@@ -92,6 +92,12 @@ class Fabric : public fault::WireSender {
   /// flows; a plan that is not armed() installs nothing (zero overhead).
   void installFaults(const fault::FaultPlan& plan, std::uint64_t seed);
 
+  /// Pick up a topology that grew (elastic scale-out): extend the per-node
+  /// injection/ejection port state for the new nodes. Serial-phase only —
+  /// no transfer may be in flight to/from a node that does not yet have
+  /// port state.
+  void growTopology();
+
   // fault::WireSender: the transmit surface fault::ReliableLink runs over.
   sim::Time sendWire(int srcPe, int dstPe, std::size_t wireBytes,
                      fault::MsgClass cls,

@@ -250,6 +250,14 @@ OpId Pgas::putSignal(int origin, int target, Gptr dst, const void* src,
 void Pgas::issuePut(int origin, int target, Gptr dst, const void* src,
                     std::size_t bytes, OpId id, std::uint64_t traceId,
                     Callback onTargetNotify) {
+  // A put is idempotent (re-landing the same bytes is harmless), so
+  // reestablish() may re-issue it wholesale after a transient disruption.
+  // The re-drive drops the signal callback, like the QP-error retry path.
+  if (auto it = pe(origin).ops.find(id); it != pe(origin).ops.end())
+    it->second.redrive = [this, origin, target, dst, src, bytes, id,
+                          traceId]() {
+      issuePut(origin, target, dst, src, bytes, id, traceId, {});
+    };
   void* remoteAddr = addr(target, dst);
   if (target == origin) {
     // Self-put: a process-local copy through the fabric's self class. No
@@ -375,49 +383,60 @@ OpId Pgas::get(int origin, int target, Gptr src, void* dst, std::size_t bytes,
   const OpId id = newOp(origin, target);
   if (done) pe(origin).ops[id].remoteWaiter = std::move(done);
 
-  softwareDelay(costs_.get_origin_us, [this, origin, target, src, dst, bytes,
-                                       id, traceId]() {
-    const void* srcAddr = addr(target, src);
-    if (target == origin) {
-      fabric_.submit(
-          origin, origin, bytes, net::XferKind::kRdma,
-          [this, origin, srcAddr, dst, bytes, id, traceId]() {
-            std::memcpy(dst, srcAddr, bytes);
-            softwareDelay(costs_.completion_us,
-                          [this, origin, bytes, id, traceId]() {
-                            sim::Engine& eng = engine();
-                            eng.trace().recordSpan(
-                                eng.now(), origin,
-                                sim::TraceTag::kPgasComplete,
-                                sim::SpanPhase::kEnd, traceId, 0,
-                                static_cast<double>(bytes), origin);
-                            onLocalComplete(origin, id);
-                            onRemoteComplete(origin, id);
-                          });
-          },
-          traceId);
-      return;
-    }
-    // Pin the landing buffer *before* the request leaves (the origin knows
-    // its own buffer; the target must not block on the origin's pinning).
-    withRegion(origin, dst, bytes, [this, origin, target, srcAddr, dst, bytes,
-                                    id, traceId](ib::RegionId dr) {
-      fabric_.submit(
-          origin, target, costs_.control_bytes, net::XferKind::kControl,
-          [this, origin, target, srcAddr, dst, bytes, id, traceId, dr]() {
-            // Target context: service the request.
-            softwareDelay(costs_.get_target_us,
-                          [this, origin, target, srcAddr, dst, bytes, id,
-                           traceId, dr]() {
-                            postGetWrite(origin, target, srcAddr, dst, bytes,
-                                         dr, id, traceId,
-                                         costs_.retry_budget);
-                          });
-          },
-          traceId);
-    });
-  });
+  softwareDelay(costs_.get_origin_us,
+                [this, origin, target, src, dst, bytes, id, traceId]() {
+                  issueGet(origin, target, src, dst, bytes, id, traceId);
+                });
   return id;
+}
+
+void Pgas::issueGet(int origin, int target, Gptr src, void* dst,
+                    std::size_t bytes, OpId id, std::uint64_t traceId) {
+  // Like a put, a get re-reads the same cell — idempotent, so re-drivable.
+  if (auto it = pe(origin).ops.find(id); it != pe(origin).ops.end())
+    it->second.redrive = [this, origin, target, src, dst, bytes, id,
+                          traceId]() {
+      issueGet(origin, target, src, dst, bytes, id, traceId);
+    };
+  const void* srcAddr = addr(target, src);
+  if (target == origin) {
+    fabric_.submit(
+        origin, origin, bytes, net::XferKind::kRdma,
+        [this, origin, srcAddr, dst, bytes, id, traceId]() {
+          std::memcpy(dst, srcAddr, bytes);
+          softwareDelay(costs_.completion_us,
+                        [this, origin, bytes, id, traceId]() {
+                          sim::Engine& eng = engine();
+                          eng.trace().recordSpan(
+                              eng.now(), origin,
+                              sim::TraceTag::kPgasComplete,
+                              sim::SpanPhase::kEnd, traceId, 0,
+                              static_cast<double>(bytes), origin);
+                          onLocalComplete(origin, id);
+                          onRemoteComplete(origin, id);
+                        });
+        },
+        traceId);
+    return;
+  }
+  // Pin the landing buffer *before* the request leaves (the origin knows
+  // its own buffer; the target must not block on the origin's pinning).
+  withRegion(origin, dst, bytes, [this, origin, target, srcAddr, dst, bytes,
+                                  id, traceId](ib::RegionId dr) {
+    fabric_.submit(
+        origin, target, costs_.control_bytes, net::XferKind::kControl,
+        [this, origin, target, srcAddr, dst, bytes, id, traceId, dr]() {
+          // Target context: service the request.
+          softwareDelay(costs_.get_target_us,
+                        [this, origin, target, srcAddr, dst, bytes, id,
+                         traceId, dr]() {
+                          postGetWrite(origin, target, srcAddr, dst, bytes,
+                                       dr, id, traceId,
+                                       costs_.retry_budget);
+                        });
+        },
+        traceId);
+  });
 }
 
 void Pgas::postGetWrite(int origin, int target, const void* srcAddr,
@@ -671,16 +690,37 @@ void Pgas::reestablish() {
     for (const ib::QpId qp : s.qps)
       if (verbs_.qpInError(qp)) verbs_.resetQp(qp);
   }
-  // Ops in flight at the crash are gone (the link flushed them); fail them
-  // so waiters and fences fire — the restart protocol re-drives the data.
+  // Ops in flight at the disruption lost their wire traffic (the link
+  // flushed them). Don't fail them outright: the repair above restored the
+  // registrations and QPs, so an idempotent op can simply be re-issued.
+  // Each gets a bounded number of re-drives with exponential backoff;
+  // atomics (the RMW may have executed with only the reply lost) and ops
+  // out of budget fail so waiters and fences still fire.
   for (int p = 0; p < numPes(); ++p) {
     PerPe& s = pes_[static_cast<std::size_t>(p)];
     std::vector<OpId> inflight;
     for (const auto& [id, op] : s.ops)
       if (!op.localDone || !op.remoteDone) inflight.push_back(id);
     std::sort(inflight.begin(), inflight.end());
-    for (const OpId id : inflight) failOp(p, id);
+    for (const OpId id : inflight) redriveOrFail(p, id);
   }
+}
+
+void Pgas::redriveOrFail(int origin, OpId id) {
+  PerPe& p = pe(origin);
+  auto it = p.ops.find(id);
+  if (it == p.ops.end()) return;
+  Op& op = it->second;
+  if (!op.redrive || op.redrives >= costs_.reestablish_retries) {
+    failOp(origin, id);
+    return;
+  }
+  const sim::Time delay = costs_.reestablish_backoff_us *
+                          static_cast<double>(1 << op.redrives);
+  ++op.redrives;
+  redriven_.fetch_add(1, std::memory_order_relaxed);
+  Callback redrive = op.redrive;  // copy: the op may re-drive again later
+  softwareDelay(delay, std::move(redrive));
 }
 
 }  // namespace ckd::pgas

@@ -105,6 +105,14 @@ struct PgasCosts {
   std::size_t control_bytes = 16;
   /// Transparent re-posts after a QP error before the op is failed.
   int retry_budget = 3;
+  /// reestablish(): idempotent in-flight ops (puts, gets) are re-driven up
+  /// to this many times across restore phases, with exponentially growing
+  /// delay, before being failed outright. Atomics are never re-driven —
+  /// the RMW may already have executed at the target with only the reply
+  /// lost, and re-applying it would double-count.
+  int reestablish_retries = 2;
+  /// Base re-drive delay; doubles per attempt (5, 10, 20, ... us).
+  sim::Time reestablish_backoff_us = 5.0;
 };
 
 /// Default preset for the Abe-like IB machine.
@@ -208,14 +216,26 @@ class Pgas {
 
   /// Crash-rebinding hook (PR 3 contract; call from the serial restore
   /// phase): re-registers segments whose registration was invalidated,
-  /// resets errored QPs, drops stale registration-cache entries, and fails
-  /// every op still in flight (the restart protocol re-drives them).
+  /// resets errored QPs, and drops stale registration-cache entries. Ops
+  /// still in flight are then re-driven with bounded exponential backoff
+  /// (reestablish_retries / reestablish_backoff_us) rather than failed
+  /// outright — a transient disruption costs latency, not completions.
+  /// Only idempotent ops re-drive (puts and gets; the payload landing twice
+  /// is harmless): atomics fail immediately, and an op out of re-drive
+  /// budget fails too, so waiters and fences always fire. Callers keep
+  /// source buffers stable until *remote* completion when restore phases
+  /// may re-drive.
   void reestablish();
 
   /// Ops failed permanently (retry budget exhausted or canceled by
   /// reestablish()). Their waiters/flushes still fire.
   std::uint64_t failedOps() const {
     return failedOps_.load(std::memory_order_relaxed);
+  }
+
+  /// In-flight ops re-driven (not failed) by reestablish() so far.
+  std::uint64_t opsRedriven() const {
+    return redriven_.load(std::memory_order_relaxed);
   }
 
   // --- counters -------------------------------------------------------------
@@ -245,6 +265,8 @@ class Pgas {
     bool localDone = false;
     bool remoteDone = false;
     bool failed = false;
+    int redrives = 0;   ///< reestablish() re-drive attempts so far
+    Callback redrive;   ///< re-issues the op; empty for non-idempotent ops
     Callback localWaiter;
     Callback remoteWaiter;
   };
@@ -285,6 +307,9 @@ class Pgas {
   void onLocalComplete(int origin, OpId id);
   void onRemoteComplete(int origin, OpId id);
   void failOp(int origin, OpId id);
+  /// reestablish() helper: schedule a backed-off re-drive of an in-flight
+  /// op, or fail it when non-idempotent / out of budget.
+  void redriveOrFail(int origin, OpId id);
   void maybeReap(PerPe& p, OpId id);
   void satisfyWatchers(PerPe& p, bool local, int target);
 
@@ -301,6 +326,8 @@ class Pgas {
   void postPutWrite(int origin, int target, void* remoteAddr, const void* src,
                     std::size_t bytes, ib::RegionId localRegion, OpId id,
                     std::uint64_t traceId, Callback notify, int budget);
+  void issueGet(int origin, int target, Gptr src, void* dst,
+                std::size_t bytes, OpId id, std::uint64_t traceId);
   void postGetWrite(int origin, int target, const void* srcAddr, void* dst,
                     std::size_t bytes, ib::RegionId dstRegion, OpId id,
                     std::uint64_t traceId, int budget);
@@ -324,6 +351,7 @@ class Pgas {
   std::atomic<std::uint64_t> putBytes_{0};
   std::atomic<std::uint64_t> regMisses_{0};
   std::atomic<std::uint64_t> failedOps_{0};
+  std::atomic<std::uint64_t> redriven_{0};
   std::atomic<std::uint64_t> barriers_{0};
 };
 

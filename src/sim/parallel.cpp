@@ -72,6 +72,20 @@ void ParallelEngine::SpscRing::drainInto(std::vector<RingEntry>& out) {
   }
 }
 
+void ParallelEngine::growPes(const std::vector<int>& shardOfNewPes) {
+  CKD_REQUIRE(tlsShard_ < 0,
+              "PE growth must run from a serial phase, not a shard window");
+  for (const int s : shardOfNewPes)
+    CKD_REQUIRE(s >= 0 && s < shards(),
+                "new PE mapped to an out-of-range shard");
+  shardOfPe_.insert(shardOfPe_.end(), shardOfNewPes.begin(),
+                    shardOfNewPes.end());
+  // Shards are parked during serial phases, so extending the per-PE tables
+  // is race-free; recorders hold the vector's address, which is stable.
+  pushSeq_.resize(shardOfPe_.size() + 1, 0);
+  mintCounters_.resize(shardOfPe_.size() + 1, 0);
+}
+
 void ParallelEngine::stageSerial(int dstShard, Time when,
                                  Engine::Action action) {
   shards_[static_cast<std::size_t>(dstShard)].staged.push_back(

@@ -151,6 +151,13 @@ class ParallelEngine {
   /// PE). -1 sorts before every real PE.
   void setSerialSrcPe(int pe) { tlsSerialSrcPe_ = pe; }
 
+  /// Append newly added PEs to the partition (serial context only, with
+  /// every shard parked). `shardOfNewPes[i]` becomes the shard of PE
+  /// `oldCount + i`. The shard COUNT never changes — growth only extends
+  /// the PE->shard map and the per-PE canonical-order/minting tables, so
+  /// a grown run stays bit-identical across shard counts.
+  void growPes(const std::vector<int>& shardOfNewPes);
+
   /// Run the window loop to global quiescence (all heaps and rings empty).
   void run();
 

@@ -68,6 +68,13 @@ std::string_view traceTagName(TraceTag tag) {
     case TraceTag::kMpiRdmaRecv: return "mpi.rdma.recv";
     case TraceTag::kMpiRdmaCredit: return "mpi.rdma.credit";
     case TraceTag::kMpiRdmaStall: return "mpi.rdma.stall";
+    case TraceTag::kLifeScaleOut: return "lifecycle.scale_out";
+    case TraceTag::kLifeJoin: return "lifecycle.join";
+    case TraceTag::kLifeDrain: return "lifecycle.drain";
+    case TraceTag::kLifeHandoff: return "lifecycle.handoff";
+    case TraceTag::kLifeRetire: return "lifecycle.retire";
+    case TraceTag::kLifeAbort: return "lifecycle.abort";
+    case TraceTag::kLifeForward: return "lifecycle.forward";
     case TraceTag::kCount: break;
   }
   return "?";

@@ -97,6 +97,13 @@ enum class TraceTag : std::uint8_t {
   kMpiRdmaRecv,         // RDMA-channel message delivered to the receiver
   kMpiRdmaCredit,       // explicit credit-return message; value = credits
   kMpiRdmaStall,        // send stalled on credit exhaustion; value = bytes
+  kLifeScaleOut,        // supervisor grew the machine; value = new PE count
+  kLifeJoin,            // a joining PE became Active; value = PE index
+  kLifeDrain,           // drain of a PE began; value = PE index
+  kLifeHandoff,         // chare state shipped to an adoptive PE; value = bytes
+  kLifeRetire,          // a drained PE retired; value = PE index
+  kLifeAbort,           // drain aborted (crash fallback); value = PE index
+  kLifeForward,         // retired PE forwarded a message to the new owner
   kCount,
 };
 

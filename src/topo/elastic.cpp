@@ -1,0 +1,42 @@
+#include "topo/elastic.hpp"
+
+#include <sstream>
+
+namespace ckd::topo {
+
+ElasticTopology::ElasticTopology(int numNodes, int pesPerNode,
+                                 int nodesPerSwitch)
+    : numNodes_(numNodes),
+      pesPerNode_(pesPerNode),
+      nodesPerSwitch_(nodesPerSwitch) {
+  CKD_REQUIRE(numNodes > 0, "ElasticTopology needs at least one node");
+  CKD_REQUIRE(pesPerNode > 0, "ElasticTopology needs at least one PE per node");
+  CKD_REQUIRE(nodesPerSwitch > 0, "ElasticTopology leaf radix must be positive");
+}
+
+int ElasticTopology::nodeOf(int pe) const {
+  CKD_REQUIRE(pe >= 0 && pe < numPes(), "PE index out of range");
+  return pe / pesPerNode_;
+}
+
+int ElasticTopology::hops(int srcPe, int dstPe) const {
+  const int srcNode = nodeOf(srcPe);
+  const int dstNode = nodeOf(dstPe);
+  if (srcNode == dstNode) return 0;
+  if (srcNode / nodesPerSwitch_ == dstNode / nodesPerSwitch_) return 2;
+  return 4;  // leaf -> spine -> leaf
+}
+
+void ElasticTopology::grow(int addNodes) {
+  CKD_REQUIRE(addNodes > 0, "topology growth must add at least one node");
+  numNodes_ += addNodes;
+}
+
+std::string ElasticTopology::describe() const {
+  std::ostringstream out;
+  out << "Elastic{nodes=" << numNodes_ << ", pesPerNode=" << pesPerNode_
+      << ", leafRadix=" << nodesPerSwitch_ << "}";
+  return out.str();
+}
+
+}  // namespace ckd::topo

@@ -7,6 +7,7 @@
 #include <functional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mpi/mini_mpi.hpp"
 #include "net/cost_params.hpp"
 #include "sim/engine.hpp"
@@ -348,6 +349,136 @@ TEST(MpiRdmaChannel, RdmaEagerBeatsClassicEagerLatency) {
   // The persistent-slot design dodges the bounce-buffer copy bump the
   // classic eager path pays around 4 KB.
   EXPECT_LT(viaRdma, classic);
+}
+
+// --- RDMA channel under wire faults (reliable-link regressions) ----------------
+//
+// Without armReliability() an armed injector breaks the channel outright: a
+// dropped slot write loses its persistent slot (and piggybacked credits)
+// forever, a dropped credit return deadlocks stalled senders, and corrupted
+// payloads land as-is. These tests pin the reliable-link fix: exact bytes,
+// no wedges, and credit conservation after the storm.
+
+class MpiFaultTest : public ::testing::Test {
+ protected:
+  MpiFaultTest()
+      : topo_(std::make_shared<topo::FatTree>(4, 1)),
+        fabric_(engine_, topo_, net::abeParams()),
+        mpi_(fabric_, mvapichCosts()) {
+    storm_ = fault::parseFaultSpec(
+        "drop:0.08,corrupt:0.04,duplicate:0.04,delay:0.1;jitter=3");
+    fabric_.installFaults(storm_, /*seed=*/7);
+    mpi_.enableRdmaChannel();
+    mpi_.armReliability(storm_.rel);
+  }
+
+  sim::Engine engine_;
+  topo::TopologyPtr topo_;
+  net::Fabric fabric_;
+  MiniMpi mpi_;
+  fault::FaultPlan storm_;
+};
+
+TEST_F(MpiFaultTest, EagerPingpongSurvivesStormByteExact) {
+  constexpr int kRounds = 40;
+  std::vector<std::byte> ping(1024), pong(1024), out(1024);
+  int got = 0;
+  std::function<void(int)> round = [&](int r) {
+    for (std::size_t j = 0; j < out.size(); ++j)
+      out[j] = static_cast<std::byte>((r * 131 + static_cast<int>(j)) & 0xff);
+    mpi_.irecv(1, 0, r, ping.data(), ping.size(),
+               [&, r](const MiniMpi::RecvResult&) {
+                 EXPECT_EQ(ping, out);
+                 mpi_.isend(1, 0, r, ping.data(), ping.size());
+               });
+    mpi_.irecv(0, 1, r, pong.data(), pong.size(),
+               [&, r](const MiniMpi::RecvResult&) {
+                 EXPECT_EQ(pong, out);
+                 if (++got < kRounds) round(r + 1);
+               });
+    mpi_.isend(0, 1, r, out.data(), out.size());
+  };
+  round(0);
+  engine_.run();
+  EXPECT_EQ(got, kRounds);           // no wedge: every round completed
+  EXPECT_GT(mpi_.linkRetransmits(), 0u);
+  // Quiesced and fully matched: every persistent slot is accounted for.
+  const int ring = mvapichCosts().rdma_credits;
+  EXPECT_EQ(mpi_.sendCredits(0, 1) + mpi_.owedCredits(0, 1), ring);
+  EXPECT_EQ(mpi_.sendCredits(1, 0) + mpi_.owedCredits(1, 0), ring);
+}
+
+TEST_F(MpiFaultTest, CreditBurstUnderFaultsConservesSlots) {
+  // Overrun the ring with no receives posted: stalled tail, then explicit
+  // credit returns while drops/corruption fire. A lost slot write or a
+  // dropped credit message would wedge the drain or leak a slot.
+  const int ring = mvapichCosts().rdma_credits;
+  const int total = ring + 6;
+  std::vector<int> send(static_cast<std::size_t>(total));
+  std::vector<int> recv(static_cast<std::size_t>(total), -1);
+  for (int i = 0; i < total; ++i) send[static_cast<std::size_t>(i)] = 500 + i;
+  for (int i = 0; i < total; ++i)
+    mpi_.isend(0, 1, 3, &send[static_cast<std::size_t>(i)], sizeof(int));
+  engine_.run();
+  EXPECT_GT(mpi_.creditStalls(), 0u);
+  int got = 0;
+  for (int i = 0; i < total; ++i)
+    mpi_.irecv(1, 0, 3, &recv[static_cast<std::size_t>(i)], sizeof(int),
+               [&](const MiniMpi::RecvResult&) { ++got; });
+  engine_.run();
+  EXPECT_EQ(got, total);
+  EXPECT_EQ(recv, send);  // FIFO survives retransmission reordering pressure
+  EXPECT_EQ(mpi_.sendCredits(0, 1) + mpi_.owedCredits(0, 1), ring);
+}
+
+TEST_F(MpiFaultTest, RendezvousUnderFaultsDeliversIntact) {
+  // RTS/grant are control messages and the payload is a multi-slot bulk
+  // write — all on the reliable link; corruption must never reach the
+  // user buffer.
+  const std::size_t n = 3 * mvapichCosts().rdma_slot_bytes;
+  std::vector<std::byte> send(n), recv(n, std::byte{0});
+  for (std::size_t j = 0; j < n; ++j)
+    send[j] = static_cast<std::byte>((j * 7 + 1) & 0xff);
+  bool done = false;
+  mpi_.irecv(1, 0, 2, recv.data(), recv.size(),
+             [&](const MiniMpi::RecvResult& r) {
+               done = true;
+               EXPECT_EQ(r.bytes, n);
+             });
+  mpi_.isend(0, 1, 2, send.data(), send.size());
+  engine_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(recv, send);
+  EXPECT_EQ(mpi_.rdmaRndvSends(), 1u);
+}
+
+TEST(MpiReliability, ArmedLinkIsNoopWithoutFaults) {
+  // Arming the link on a clean fabric must not change delivered bytes or
+  // trigger retransmissions (timers only fire for unacked frames).
+  sim::Engine engine;
+  auto topo = std::make_shared<topo::FatTree>(4, 1);
+  net::Fabric fabric(engine, topo, net::abeParams());
+  MiniMpi mp(fabric, mvapichCosts());
+  mp.enableRdmaChannel();
+  mp.armReliability(fault::ReliabilityParams{});
+  std::vector<int> send{1, 2, 3}, recv(3, 0);
+  bool done = false;
+  mp.irecv(1, 0, 0, recv.data(), recv.size() * sizeof(int),
+           [&](const MiniMpi::RecvResult&) { done = true; });
+  mp.isend(0, 1, 0, send.data(), send.size() * sizeof(int));
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(recv, send);
+  EXPECT_EQ(mp.linkRetransmits(), 0u);
+}
+
+TEST(MpiReliability, ArmingTwiceAborts) {
+  sim::Engine engine;
+  auto topo = std::make_shared<topo::FatTree>(4, 1);
+  net::Fabric fabric(engine, topo, net::abeParams());
+  MiniMpi mp(fabric, mvapichCosts());
+  mp.armReliability(fault::ReliabilityParams{});
+  EXPECT_DEATH(mp.armReliability(fault::ReliabilityParams{}), "armed twice");
 }
 
 TEST(MpiCosts, FlavorPresets) {

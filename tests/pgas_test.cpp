@@ -300,27 +300,35 @@ TEST_F(PgasTest, DoubleBarrierEntryAborts) {
 
 // --- fault tolerance -----------------------------------------------------------
 
-TEST_F(PgasTest, ReestablishFailsInflightOpsAndRebindsTheSegment) {
+TEST_F(PgasTest, ReestablishRedrivesInflightPutAndRebindsTheSegment) {
   const Gptr g = pg_.alloc(16 * 1024);
   const Gptr src = pg_.alloc(16 * 1024);
+  auto* srcAddr = static_cast<std::byte*>(pg_.addr(0, src));
+  for (std::size_t i = 0; i < 16 * 1024; ++i)
+    srcAddr[i] = std::byte(static_cast<unsigned char>(i * 13));
   OpId id = kNoOp;
   bool waiterFired = false;
   engine_.at(0.0, [&] {
-    id = pg_.put(0, 1, g, pg_.addr(0, src), 16 * 1024);
+    id = pg_.put(0, 1, g, srcAddr, 16 * 1024);
     pg_.waitRemote(id, [&] { waiterFired = true; });
   });
   // t=2.0: past the origin-side software (1 us), before the wire delivers —
-  // PE 1 fail-stops while the put is in flight.
+  // PE 1 suffers a transient disruption while the put is in flight.
   engine_.at(2.0, [&] {
     EXPECT_FALSE(pg_.testRemote(id));
     verbs_.invalidatePe(1);
     verbs_.flushPe(1);
     pg_.reestablish();  // the serial restore phase
-    EXPECT_TRUE(pg_.testRemote(id));
-    EXPECT_EQ(pg_.failedOps(), 1u);
+    // Not failed outright anymore: the op is queued for a backed-off
+    // re-drive through the repaired registration.
+    EXPECT_FALSE(pg_.testRemote(id));
+    EXPECT_EQ(pg_.failedOps(), 0u);
+    EXPECT_EQ(pg_.opsRedriven(), 1u);
   });
   engine_.run();
-  EXPECT_TRUE(waiterFired);  // fences and waiters must not hang on a crash
+  EXPECT_TRUE(waiterFired);
+  EXPECT_EQ(pg_.failedOps(), 0u);  // the re-drive completed the op
+  EXPECT_EQ(std::memcmp(pg_.addr(1, g), srcAddr, 16 * 1024), 0);
   // The rebuilt registration carries fresh traffic to the restored PE.
   std::vector<std::byte> fresh(64, std::byte{0x77});
   bool again = false;
@@ -330,6 +338,80 @@ TEST_F(PgasTest, ReestablishFailsInflightOpsAndRebindsTheSegment) {
   engine_.run();
   EXPECT_TRUE(again);
   EXPECT_EQ(std::memcmp(pg_.addr(1, g), fresh.data(), fresh.size()), 0);
+}
+
+TEST_F(PgasTest, FenceAfterTransientDisruptionCompletesWithoutFailures) {
+  // The satellite contract: a fence posted across a transient disruption
+  // (registrations invalidated, wire flushed, reestablish() run) must
+  // complete with zero failed ops — every in-flight put re-driven, not
+  // dropped.
+  const Gptr g = pg_.alloc(8 * 1024);
+  const Gptr src = pg_.alloc(8 * 1024);
+  auto* srcAddr = static_cast<std::byte*>(pg_.addr(0, src));
+  for (std::size_t i = 0; i < 8 * 1024; ++i)
+    srcAddr[i] = std::byte(static_cast<unsigned char>(i ^ 0xA5));
+  double fencedAt = -1.0;
+  engine_.at(0.0, [&] {
+    pg_.put(0, 1, g, srcAddr, 8 * 1024);
+    pg_.put(0, 2, g, srcAddr, 8 * 1024);
+    pg_.fence(0, [&] { fencedAt = engine_.now(); });
+  });
+  engine_.at(2.0, [&] {
+    EXPECT_LT(fencedAt, 0.0);  // both puts still in flight
+    verbs_.invalidatePe(1);
+    verbs_.invalidatePe(2);
+    verbs_.flushPe(1);
+    verbs_.flushPe(2);
+    pg_.reestablish();
+  });
+  engine_.run();
+  EXPECT_GT(fencedAt, 2.0);
+  EXPECT_EQ(pg_.failedOps(), 0u);
+  EXPECT_EQ(pg_.opsRedriven(), 2u);
+  EXPECT_EQ(std::memcmp(pg_.addr(1, g), srcAddr, 8 * 1024), 0);
+  EXPECT_EQ(std::memcmp(pg_.addr(2, g), srcAddr, 8 * 1024), 0);
+}
+
+TEST_F(PgasTest, ReestablishFailsAtomicsAndOpsOutOfRedriveBudget) {
+  // Atomics never re-drive: the RMW may already have executed at the
+  // target with only the reply lost, and re-applying would double-count.
+  const Gptr cell = pg_.alloc(8);
+  bool atomicWaiter = false;
+  engine_.at(0.0, [&] {
+    const OpId id = pg_.fetchAdd(0, 1, cell, 5);
+    pg_.waitRemote(id, [&] { atomicWaiter = true; });
+  });
+  engine_.at(1.0, [&] {
+    verbs_.invalidatePe(1);
+    verbs_.flushPe(1);
+    pg_.reestablish();
+    EXPECT_EQ(pg_.failedOps(), 1u);  // failed outright, no re-drive
+    EXPECT_EQ(pg_.opsRedriven(), 0u);
+  });
+  engine_.run();
+  EXPECT_TRUE(atomicWaiter);  // waiters still fire on the failure path
+
+  // A put whose re-drive budget (2) is exhausted by repeated disruptions
+  // fails too — the backoff is bounded, not an infinite retry loop.
+  const Gptr g = pg_.alloc(4 * 1024);
+  const Gptr src = pg_.alloc(4 * 1024);
+  bool putWaiter = false;
+  engine_.after(1.0, [&] {
+    const OpId id = pg_.put(0, 1, g, pg_.addr(0, src), 4 * 1024);
+    pg_.waitRemote(id, [&] { putWaiter = true; });
+    // Three disruptions faster than the 5/10 us backoffs can complete the
+    // re-drives: attempts 1 and 2 re-drive, the third fails the op.
+    for (int k = 1; k <= 3; ++k)
+      engine_.after(static_cast<double>(k) + 1.5, [&] {
+        verbs_.invalidatePe(1);
+        verbs_.flushPe(1);
+        pg_.reestablish();
+      });
+  });
+  engine_.run();
+  EXPECT_TRUE(putWaiter);
+  EXPECT_EQ(pg_.failedOps(), 2u);
+  EXPECT_EQ(pg_.opsRedriven(), 2u);
 }
 
 // --- causal trace --------------------------------------------------------------
