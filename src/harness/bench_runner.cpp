@@ -57,13 +57,15 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   CKD_REQUIRE(shards_ >= 0, "--shards must be non-negative");
   shardThreads_ = static_cast<int>(args.getInt("shard-threads", 0));
   CKD_REQUIRE(shardThreads_ >= 0, "--shard-threads must be non-negative");
+  pinThreads_ = args.getBool("pin-threads", false);
 
   // Host-performance baseline: everything in hostJson() is measured relative
   // to runner construction, so flag parsing and static init stay out of the
-  // events/sec denominator.
+  // events/sec denominator. Pool counters aggregate every live pool (thread
+  // defaults plus the parallel engine's per-shard instances).
   wallStart_ = std::chrono::steady_clock::now();
   eventsAtStart_ = sim::Engine::processExecutedEvents();
-  const util::BufferPool::Stats& pool = util::BufferPool::instance().stats();
+  const util::BufferPool::Stats pool = util::BufferPool::processStats();
   poolHitsAtStart_ = pool.hits;
   poolMissesAtStart_ = pool.misses;
   poolReleasesAtStart_ = pool.releases;
@@ -76,8 +78,7 @@ util::JsonValue BenchRunner::hostJson() const {
   const std::uint64_t events =
       sim::Engine::processExecutedEvents() - eventsAtStart_;
   const double wallSec = wall.count() / 1000.0;
-  const util::BufferPool& pool = util::BufferPool::instance();
-  const util::BufferPool::Stats& stats = pool.stats();
+  const util::BufferPool::Stats stats = util::BufferPool::processStats();
 
   util::JsonValue host = util::JsonValue::object();
   host.set("wall_ms", util::JsonValue(wall.count()));
@@ -87,7 +88,8 @@ util::JsonValue BenchRunner::hostJson() const {
            util::JsonValue(wallSec > 0.0 ? static_cast<double>(events) / wallSec
                                          : 0.0));
   host.set("peak_rss_kb", util::JsonValue(static_cast<double>(peakRssKb())));
-  host.set("pools_enabled", util::JsonValue(pool.enabled()));
+  host.set("pools_enabled",
+           util::JsonValue(util::BufferPool::instance().enabled()));
   host.set("pool_hits", util::JsonValue(static_cast<double>(
                             stats.hits - poolHitsAtStart_)));
   host.set("pool_misses", util::JsonValue(static_cast<double>(
@@ -124,6 +126,7 @@ void BenchRunner::applyEngine(charm::MachineConfig& machine) const {
   if (shards_ <= 0) return;
   machine.shards = shards_;
   machine.shardThreads = shardThreads_;
+  machine.pinShardThreads = pinThreads_;
 }
 
 void BenchRunner::recordShardStats(const charm::Runtime& rts) {
@@ -141,6 +144,26 @@ void BenchRunner::recordShardStats(const charm::Runtime& rts) {
   stats.set("events", std::move(events));
   stats.set("serial_events", util::JsonValue(static_cast<double>(
                                  par->serialEngine().executedEvents())));
+  stats.set("adaptive", util::JsonValue(par->adaptive()));
+  stats.set("pinned_threads",
+            util::JsonValue(static_cast<double>(par->pinnedThreads())));
+  const sim::ParallelEngine::RingStats rings = par->ringStats();
+  util::JsonValue ring = util::JsonValue::object();
+  ring.set("pushes", util::JsonValue(static_cast<double>(rings.pushes)));
+  ring.set("batches", util::JsonValue(static_cast<double>(rings.batches)));
+  ring.set("overflow", util::JsonValue(static_cast<double>(rings.overflow)));
+  stats.set("ring", std::move(ring));
+  util::JsonValue pools = util::JsonValue::array();
+  for (int i = 0; i < par->shards(); ++i) {
+    const util::BufferPool::Stats& ps =
+        const_cast<sim::ParallelEngine*>(par)->shardPool(i).stats();
+    util::JsonValue row = util::JsonValue::object();
+    row.set("hits", util::JsonValue(static_cast<double>(ps.hits)));
+    row.set("misses", util::JsonValue(static_cast<double>(ps.misses)));
+    row.set("releases", util::JsonValue(static_cast<double>(ps.releases)));
+    pools.push(std::move(row));
+  }
+  stats.set("pools", std::move(pools));
   shardStats_ = std::move(stats);
 }
 

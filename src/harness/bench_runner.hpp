@@ -36,6 +36,8 @@
 //   --shard-threads <n> host worker threads driving the shards (0 = one per
 //                       shard up to hardware concurrency; 1 = sequential
 //                       shard execution, useful for determinism A/B)
+//   --pin-threads       pin shard worker threads (and the coordinator) to
+//                       CPUs; the achieved pin count lands in the host JSON
 //
 // Usage:
 //   util::Args args(argc, argv);
@@ -102,6 +104,8 @@ class BenchRunner {
   /// --shards / --shard-threads values (0 = legacy serial engine / auto).
   int shards() const { return shards_; }
   int shardThreads() const { return shardThreads_; }
+  /// --pin-threads flag.
+  bool pinThreads() const { return pinThreads_; }
   /// Copy --shards / --shard-threads into a MachineConfig (no-op when
   /// --shards was not given, leaving the classic serial engine).
   void applyEngine(charm::MachineConfig& machine) const;
@@ -153,6 +157,7 @@ class BenchRunner {
   std::string scalePlan_;           ///< empty: no lifecycle script
   int shards_ = 0;                  ///< 0: classic serial engine
   int shardThreads_ = 0;            ///< 0: one thread per shard
+  bool pinThreads_ = false;         ///< pin shard workers to CPUs
   util::JsonValue shardStats_;      ///< recordShardStats() snapshot (or null)
 
   util::JsonValue metrics_ = util::JsonValue::array();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "net/lookahead.hpp"
 #include "util/require.hpp"
 
 namespace ckd::harness {
@@ -24,6 +25,13 @@ PgasWorld::PgasWorld(const charm::MachineConfig& machine,
     pcfg.shards = nShards;
     pcfg.threads = machine.shardThreads;
     pcfg.lookahead = machine.netParams.wireLatencyFloor();
+    pcfg.pinThreads = machine.pinShardThreads;
+    // Mirror charm::Runtime: adaptive per-destination windows only for
+    // serial-quiet runs (fault plans schedule serial events).
+    pcfg.adaptive = !machine.faults.armed();
+    if (pcfg.adaptive)
+      pcfg.pairLookahead = net::shardLookaheadMatrix(
+          topo, machine.netParams, shardOf, nShards);
     parallel_ = std::make_unique<sim::ParallelEngine>(pcfg, std::move(shardOf));
     parallel_->serialEngine().trace().setPerPeMinting(
         &parallel_->mintCounters());

@@ -65,6 +65,16 @@ ProfileReport captureProfile(charm::Runtime& rts) {
     report.heartbeatPeriodUs = ckpt->beatPeriodUs();
     report.heartbeatMisses = ckpt->missedBeats();
   }
+  if (const sim::ParallelEngine* par = rts.parallelEngine()) {
+    report.shards = par->shards();
+    report.windows = par->windows();
+    report.adaptiveWindows = par->adaptive();
+    report.pinnedThreads = par->pinnedThreads();
+    const sim::ParallelEngine::RingStats rings = par->ringStats();
+    report.ringPushes = rings.pushes;
+    report.ringBatches = rings.batches;
+    report.ringOverflow = rings.overflow;
+  }
   if (const charm::LifecycleManager* life = rts.lifecycle()) {
     report.scaleOuts = life->scaleOuts();
     report.drainsCompleted = life->drainsCompleted();
@@ -162,6 +172,14 @@ std::string ProfileReport::toString() const {
         << ", stale naks " << tag(sim::TraceTag::kRelStaleNak)
         << ", stale epoch drops " << tag(sim::TraceTag::kStaleEpochDrop)
         << "\n";
+  }
+  if (shards > 0) {
+    out << "  shards        " << shards << " over " << windows << " windows ("
+        << (adaptiveWindows ? "adaptive" : "global") << " ceilings); ring "
+        << ringPushes << " pushes in " << ringBatches << " batches, "
+        << ringOverflow << " overflowed";
+    if (pinnedThreads > 0) out << "; " << pinnedThreads << " threads pinned";
+    out << "\n";
   }
   if (scaleOuts > 0 || drainsCompleted > 0 || migrationsAborted > 0) {
     out << "  lifecycle     " << scaleOuts << " scale-outs, "
@@ -307,6 +325,19 @@ util::JsonValue toJson(const ProfileReport& report) {
     ckpt.set("stale_epoch_drops",
              JsonValue(tag(sim::TraceTag::kStaleEpochDrop)));
     obj.set("checkpoint", std::move(ckpt));
+  }
+  if (report.shards > 0) {
+    JsonValue eng = JsonValue::object();
+    eng.set("shards", JsonValue(report.shards));
+    eng.set("windows", JsonValue(report.windows));
+    eng.set("adaptive", JsonValue(report.adaptiveWindows));
+    eng.set("pinned_threads", JsonValue(report.pinnedThreads));
+    JsonValue ring = JsonValue::object();
+    ring.set("pushes", JsonValue(report.ringPushes));
+    ring.set("batches", JsonValue(report.ringBatches));
+    ring.set("overflow", JsonValue(report.ringOverflow));
+    eng.set("ring", std::move(ring));
+    obj.set("parallel", std::move(eng));
   }
   if (report.scaleOuts > 0 || report.drainsCompleted > 0 ||
       report.migrationsAborted > 0) {

@@ -1,0 +1,46 @@
+#include "net/lookahead.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace ckd::net {
+
+std::vector<sim::Time> shardLookaheadMatrix(const topo::Topology& topology,
+                                            const CostParams& params,
+                                            const std::vector<int>& shardOfPe,
+                                            int nShards) {
+  CKD_REQUIRE(nShards >= 1, "lookahead matrix needs at least one shard");
+  const sim::Time inf = std::numeric_limits<sim::Time>::infinity();
+  const sim::Time floor = params.wireLatencyFloor();
+
+  // Node range [lo, hi] per shard — a superset of the nodes it owns, which
+  // only ever *under*-estimates hop distance (conservative).
+  const std::size_t n = static_cast<std::size_t>(nShards);
+  std::vector<int> lo(n, std::numeric_limits<int>::max());
+  std::vector<int> hi(n, -1);
+  for (std::size_t pe = 0; pe < shardOfPe.size(); ++pe) {
+    const int s = shardOfPe[pe];
+    CKD_REQUIRE(s >= 0 && s < nShards, "PE mapped to an out-of-range shard");
+    const int node = topology.nodeOf(static_cast<int>(pe));
+    lo[static_cast<std::size_t>(s)] =
+        std::min(lo[static_cast<std::size_t>(s)], node);
+    hi[static_cast<std::size_t>(s)] =
+        std::max(hi[static_cast<std::size_t>(s)], node);
+  }
+
+  std::vector<sim::Time> matrix(n * n, inf);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (hi[s] < 0) continue;  // shard owns no PEs: it can send nothing
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d == s || hi[d] < 0) continue;
+      const int hops =
+          topology.minHopsBetween(lo[s], hi[s], lo[d], hi[d]);
+      matrix[s * n + d] = floor + params.per_hop_us * hops;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace ckd::net

@@ -1,0 +1,38 @@
+#pragma once
+// Per-shard-pair conservative lookahead floors for the sharded engine.
+//
+// The parallel engine's single global window width is the machine-wide wire
+// latency floor — correct, but pessimal: two shards whose nodes can only
+// reach each other through the spine of a fat tree are bounded by a much
+// larger floor than two shards under one leaf switch. This module derives a
+// shards x shards matrix L where L[s][d] lower-bounds the wire latency of
+// any message a PE of shard s can put on the fabric toward a PE of shard d:
+//
+//     L[s][d] = alpha_floor + per_hop_us * minHops(nodes(s), nodes(d))
+//
+// with minHops answered in O(1) by topo::Topology::minHopsBetween over each
+// shard's [min node, max node] range (a conservative superset of the nodes
+// it actually owns, so interleaved PE->shard maps stay sound). Diagonal
+// entries are +infinity: intra-shard traffic never crosses the shard
+// boundary, so it imposes no cross-shard lookahead constraint — the engine's
+// min-plus closure re-derives finite self-influence from round trips through
+// other shards (DESIGN.md §2g).
+
+#include <vector>
+
+#include "net/cost_params.hpp"
+#include "sim/time.hpp"
+#include "topo/topology.hpp"
+
+namespace ckd::net {
+
+/// Build the shards x shards lookahead floor matrix (row-major,
+/// `matrix[s * nShards + d]`). `shardOfPe[pe]` maps every PE to its shard;
+/// PEs of one node must never split across shards (the engine's partition
+/// contract). Every finite entry is >= params.wireLatencyFloor().
+std::vector<sim::Time> shardLookaheadMatrix(const topo::Topology& topology,
+                                            const CostParams& params,
+                                            const std::vector<int>& shardOfPe,
+                                            int nShards);
+
+}  // namespace ckd::net

@@ -54,15 +54,20 @@ bool Engine::step() {
 // therefore honor a pending stop first and consume the flag on exit.
 
 void Engine::run() {
+  const Time inf = std::numeric_limits<Time>::infinity();
+  admitArrivals(inf);
   while (!stopRequested_ && step()) {
+    admitArrivals(inf);
   }
   stopRequested_ = false;
 }
 
 void Engine::runUntil(Time deadline) {
   CKD_REQUIRE(deadline >= now_, "runUntil deadline is in the past");
+  admitArrivals(std::numeric_limits<Time>::infinity());
   while (!stopRequested_ && !heap_.empty() && heap_.front().when <= deadline) {
     step();
+    admitArrivals(std::numeric_limits<Time>::infinity());
   }
   const bool stopped = stopRequested_;
   stopRequested_ = false;

@@ -12,6 +12,7 @@
 // structs, actions are move-constructed exactly once on entry and once on
 // dispatch, and the common capture sizes never touch the allocator.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -79,6 +80,25 @@ class Engine {
     at(now_ + delay, fn, ctx);
   }
 
+  /// Stage a cross-shard arrival carrying its canonical wire identity
+  /// `(when, srcPe, srcSeq)`. Arrivals wait in a side heap ordered by that
+  /// identity and are admitted into the main heap just in time: an arrival
+  /// at time t receives its local tie-break sequence only once every event
+  /// strictly before t has executed and before any event at t runs. The
+  /// admission point is therefore a pure virtual-time property — it does not
+  /// depend on which window, drain, or shard count delivered the arrival —
+  /// which is what keeps parallel runs bit-identical across partitions even
+  /// when window boundaries differ per destination.
+  template <class F, class = std::enable_if_t<
+                         std::is_invocable_v<std::decay_t<F>&>>>
+  void postArrival(Time when, std::int32_t srcPe, std::uint64_t srcSeq,
+                   F&& f) {
+    CKD_REQUIRE(when >= now_, "cannot post an arrival in the past");
+    const std::uint32_t slot = acquireSlot(std::forward<F>(f));
+    inbox_.push_back(InboxEntry{when, srcSeq, srcPe, slot});
+    std::push_heap(inbox_.begin(), inbox_.end(), arrivalAfter);
+  }
+
   /// Run one event. Returns false when the queue is empty.
   bool step();
 
@@ -89,19 +109,34 @@ class Engine {
   /// loop drained past the deadline (stop() leaves now() at the last event).
   void runUntil(Time deadline);
 
-  /// Execute every event with time strictly below `ceiling`, ignoring
-  /// stop().  This is the shard-local inner loop of sim::ParallelEngine's
+  /// Execute events with time strictly below `ceiling`, ignoring stop().
+  /// This is the shard-local inner loop of sim::ParallelEngine's
   /// conservative window: the ceiling is a time no other shard can affect,
-  /// so everything below it is safe to run without synchronization.
-  void runWindow(Time ceiling) {
-    while (!heap_.empty() && heap_.front().when < ceiling) step();
+  /// so everything below it is safe to run without synchronization. Staged
+  /// arrivals below the ceiling are admitted just in time (see
+  /// postArrival). At most `maxSteps` events run per call so the caller can
+  /// interleave inbound-ring drains mid-window; returns true when events
+  /// below the ceiling remain (i.e. the window is unfinished).
+  bool runWindow(Time ceiling,
+                 std::uint64_t maxSteps =
+                     std::numeric_limits<std::uint64_t>::max()) {
+    std::uint64_t steps = 0;
+    for (;;) {
+      admitArrivals(ceiling);
+      if (heap_.empty() || heap_.front().when >= ceiling) return false;
+      if (steps >= maxSteps) return true;
+      step();
+      ++steps;
+    }
   }
 
-  /// Timestamp of the earliest pending event, or +inf on an empty heap.
-  /// ParallelEngine derives the global window ceiling from these.
+  /// Timestamp of the earliest pending event (heap or staged arrival), or
+  /// +inf when idle. ParallelEngine derives window ceilings from these.
   Time nextEventTime() const {
-    return heap_.empty() ? std::numeric_limits<Time>::infinity()
-                         : heap_.front().when;
+    Time t = heap_.empty() ? std::numeric_limits<Time>::infinity()
+                           : heap_.front().when;
+    if (!inbox_.empty() && inbox_.front().when < t) t = inbox_.front().when;
+    return t;
   }
 
   /// Advance the clock to `t` without executing anything (t >= now()).
@@ -113,9 +148,19 @@ class Engine {
     now_ = t;
   }
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t pendingEvents() const { return heap_.size(); }
+  bool empty() const { return heap_.empty() && inbox_.empty(); }
+  std::size_t pendingEvents() const { return heap_.size() + inbox_.size(); }
   std::uint64_t executedEvents() const { return executed_; }
+
+  /// Pre-size the slab (heap entries, action slots, free list) so a known
+  /// fan-in never grows a vector mid-window. ParallelEngine sizes each
+  /// shard's slab from Config::slotReserve.
+  void reserveSlots(std::size_t n) {
+    if (n <= slots_.capacity()) return;
+    heap_.reserve(n);
+    slots_.reserve(n);
+    freeSlots_.reserve(n);
+  }
 
   /// Events executed by every engine in this process — the numerator of the
   /// events/sec number harness::BenchRunner reports. Relaxed atomic: with
@@ -140,6 +185,16 @@ class Engine {
     std::uint64_t seq;
     std::uint32_t slot;
   };
+  /// Staged cross-shard arrival awaiting just-in-time admission. Ordered by
+  /// the canonical wire identity (when, srcPe, srcSeq) so same-instant
+  /// arrivals from different sources always admit in the same order no
+  /// matter which drain delivered them.
+  struct InboxEntry {
+    Time when;
+    std::uint64_t srcSeq;
+    std::int32_t srcPe;
+    std::uint32_t slot;
+  };
   struct Thunk {
     void (*fn)(void*);
     void* ctx;
@@ -150,6 +205,31 @@ class Engine {
   static bool later(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when > b.when;
     return a.seq > b.seq;
+  }
+
+  /// "a admits after b": canonical (when, srcPe, srcSeq) order for the
+  /// arrival side heap (std::push_heap keeps the *smallest* at front under
+  /// this comparator).
+  static bool arrivalAfter(const InboxEntry& a, const InboxEntry& b) {
+    if (a.when != b.when) return a.when > b.when;
+    if (a.srcPe != b.srcPe) return a.srcPe > b.srcPe;
+    return a.srcSeq > b.srcSeq;
+  }
+
+  /// Move every staged arrival whose time is below `ceiling` and no later
+  /// than the earliest heap event into the main heap, minting its local seq
+  /// at that instant. Ties admit before the same-time heap event steps.
+  void admitArrivals(Time ceiling) {
+    while (!inbox_.empty()) {
+      const InboxEntry& top = inbox_.front();
+      if (top.when >= ceiling) break;
+      if (!heap_.empty() && heap_.front().when < top.when) break;
+      std::pop_heap(inbox_.begin(), inbox_.end(), arrivalAfter);
+      const InboxEntry e = inbox_.back();
+      inbox_.pop_back();
+      heap_.push_back(HeapEntry{e.when, nextSeq_++, e.slot});
+      siftUp(heap_.size() - 1);
+    }
   }
 
   template <class F>
@@ -169,6 +249,7 @@ class Engine {
   void siftDown(std::size_t i);
 
   std::vector<HeapEntry> heap_;
+  std::vector<InboxEntry> inbox_;
   std::vector<Action> slots_;
   std::vector<std::uint32_t> freeSlots_;
   Time now_ = kTimeZero;

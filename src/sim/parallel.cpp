@@ -4,6 +4,11 @@
 #include <cmath>
 #include <utility>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace ckd::sim {
 
 thread_local int ParallelEngine::tlsShard_ = -1;
@@ -12,6 +17,7 @@ thread_local int ParallelEngine::tlsSerialSrcPe_ = -1;
 namespace {
 
 constexpr int kSpinsBeforeYield = 1024;
+constexpr Time kInf = std::numeric_limits<Time>::infinity();
 
 std::size_t checkedShardCount(const ParallelEngine::Config& cfg) {
   CKD_REQUIRE(cfg.shards >= 1, "shard count must be positive");
@@ -23,20 +29,34 @@ std::size_t checkedShardCount(const ParallelEngine::Config& cfg) {
 
 ParallelEngine::ParallelEngine(Config cfg, std::vector<int> shardOfPe)
     : lookahead_(cfg.lookahead),
+      adaptive_(cfg.adaptive),
+      drainStride_(cfg.drainStride == 0 ? 1 : cfg.drainStride),
       shardOfPe_(std::move(shardOfPe)),
       shards_(checkedShardCount(cfg)),
       rings_(shards_.size() * shards_.size()),
       serialRings_(shards_.size()),
       pushSeq_(shardOfPe_.size() + 1, 0),
-      mintCounters_(shardOfPe_.size() + 1, 0) {
+      mintCounters_(shardOfPe_.size() + 1, 0),
+      bounds_(shards_.size() * shards_.size()),
+      ceilings_(shards_.size(), 0.0),
+      arrivalMin_(shards_.size(), kInf) {
   for (const int s : shardOfPe_)
     CKD_REQUIRE(s >= 0 && s < cfg.shards, "PE mapped to an out-of-range shard");
+  for (auto& sh : shards_) {
+    sh.outStage.resize(shards_.size());
+    if (cfg.slotReserve != 0) sh.engine.reserveSlots(cfg.slotReserve);
+  }
+  if (adaptive_) buildClosure(cfg.pairLookahead);
 
   int want = cfg.threads > 0
                  ? cfg.threads
                  : static_cast<int>(std::thread::hardware_concurrency());
   if (want < 1) want = 1;
   threadCount_ = std::min(want, static_cast<int>(shards_.size()));
+  pinThreads_ = cfg.pinThreads;
+  // The constructing thread is the coordinator (worker 0); pin it too so
+  // the round barrier partners never migrate away from each other.
+  if (pinThreads_) pinThread(0);
   workers_.reserve(static_cast<std::size_t>(threadCount_ - 1));
   for (int k = 1; k < threadCount_; ++k)
     workers_.emplace_back([this, k] { workerLoop(k); });
@@ -49,15 +69,110 @@ ParallelEngine::~ParallelEngine() {
     if (w.joinable()) w.join();
 }
 
+void ParallelEngine::buildClosure(const std::vector<Time>& pairLookahead) {
+  const std::size_t n = shards_.size();
+  closure_.assign(n * n, kInf);
+  if (pairLookahead.empty()) {
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (i != j) closure_[i * n + j] = lookahead_;
+  } else {
+    CKD_REQUIRE(pairLookahead.size() == n * n,
+                "pair lookahead matrix must be shards x shards");
+    for (std::size_t i = 0; i < n * n; ++i) {
+      CKD_REQUIRE(pairLookahead[i] > 0.0,
+                  "pair lookahead entries must be positive");
+      closure_[i] = pairLookahead[i];
+    }
+  }
+  // Min-plus transitive closure over walks of length >= 1 (Floyd-Warshall
+  // with a +inf diagonal seed): D[i][j] lower-bounds every relay chain
+  // i -> ... -> j, and D[i][i] becomes the cheapest round trip through the
+  // other shards — the bound that makes per-destination ceilings safe
+  // against a shard's own reflected influence.
+  for (std::size_t k = 0; k < n; ++k)
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time ik = closure_[i * n + k];
+      if (ik == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const Time via = ik + closure_[k * n + j];
+        if (via < closure_[i * n + j]) closure_[i * n + j] = via;
+      }
+    }
+}
+
+void ParallelEngine::pinThread(int workerIndex) {
+#ifdef __linux__
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(workerIndex) % hw, &set);
+  if (pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0)
+    pinnedThreads_.fetch_add(1, std::memory_order_relaxed);
+#else
+  (void)workerIndex;
+#endif
+}
+
+// ---- SpscRing ----
+
+ParallelEngine::SpscRing::~SpscRing() {
+  Segment* seg = segHead_.load(std::memory_order_relaxed);
+  while (seg != nullptr) {
+    Segment* next = seg->next.load(std::memory_order_relaxed);
+    delete seg;
+    seg = next;
+  }
+}
+
+void ParallelEngine::SpscRing::spill(RingEntry&& e) {
+  if (segTail_ == nullptr) {
+    segTail_ = new Segment;
+    segFill_ = 0;
+    segHead_.store(segTail_, std::memory_order_release);
+  } else if (segFill_ == kSegmentCap) {
+    publishSpill();  // the full fill must be visible before the link is
+    Segment* fresh = new Segment;
+    segTail_->next.store(fresh, std::memory_order_release);
+    segTail_ = fresh;
+    segFill_ = 0;
+  }
+  segTail_->buf[segFill_++] = std::move(e);
+  ++stats_.overflow;
+}
+
+void ParallelEngine::SpscRing::publishSpill() {
+  if (segTail_ != nullptr)
+    segTail_->count.store(segFill_, std::memory_order_release);
+}
+
 void ParallelEngine::SpscRing::push(RingEntry&& e) {
+  ++stats_.pushes;
+  ++stats_.batches;
   const std::size_t h = head_.load(std::memory_order_relaxed);
   if (h - tail_.load(std::memory_order_acquire) < kCapacity) {
     buf_[h & (kCapacity - 1)] = std::move(e);
     head_.store(h + 1, std::memory_order_release);
     return;
   }
-  std::lock_guard<std::mutex> lock(overflowMu_);
-  overflow_.push_back(std::move(e));
+  spill(std::move(e));
+  publishSpill();
+}
+
+void ParallelEngine::SpscRing::pushBatch(RingEntry* first, std::size_t n) {
+  if (n == 0) return;
+  stats_.pushes += n;
+  ++stats_.batches;
+  const std::size_t h = head_.load(std::memory_order_relaxed);
+  const std::size_t t = tail_.load(std::memory_order_acquire);
+  const std::size_t fit = std::min(n, kCapacity - (h - t));
+  for (std::size_t i = 0; i < fit; ++i)
+    buf_[(h + i) & (kCapacity - 1)] = std::move(first[i]);
+  if (fit != 0) head_.store(h + fit, std::memory_order_release);
+  if (fit == n) return;
+  for (std::size_t i = fit; i < n; ++i) spill(std::move(first[i]));
+  publishSpill();
 }
 
 void ParallelEngine::SpscRing::drainInto(std::vector<RingEntry>& out) {
@@ -65,12 +180,38 @@ void ParallelEngine::SpscRing::drainInto(std::vector<RingEntry>& out) {
   const std::size_t h = head_.load(std::memory_order_acquire);
   for (; t != h; ++t) out.push_back(std::move(buf_[t & (kCapacity - 1)]));
   tail_.store(t, std::memory_order_release);
-  std::lock_guard<std::mutex> lock(overflowMu_);
-  if (!overflow_.empty()) {
-    for (auto& e : overflow_) out.push_back(std::move(e));
-    overflow_.clear();
+
+  Segment* seg = segHead_.load(std::memory_order_acquire);
+  while (seg != nullptr) {
+    std::size_t published = seg->count.load(std::memory_order_acquire);
+    Segment* next = seg->next.load(std::memory_order_acquire);
+    // A visible link proves the producer finished this segment: the link
+    // store is release-ordered after the full-capacity count store.
+    if (next != nullptr) published = kSegmentCap;
+    for (; seg->consumed < published; ++seg->consumed)
+      out.push_back(std::move(seg->buf[seg->consumed]));
+    if (next == nullptr) break;
+    segHead_.store(next, std::memory_order_release);
+    delete seg;
+    seg = next;
   }
 }
+
+void ParallelEngine::SpscRing::reclaim() {
+  Segment* seg = segHead_.load(std::memory_order_relaxed);
+  while (seg != nullptr) {
+    CKD_REQUIRE(seg->consumed == seg->count.load(std::memory_order_relaxed),
+                "reclaiming a ring segment with unconsumed entries");
+    Segment* next = seg->next.load(std::memory_order_relaxed);
+    delete seg;
+    seg = next;
+  }
+  segHead_.store(nullptr, std::memory_order_relaxed);
+  segTail_ = nullptr;
+  segFill_ = 0;
+}
+
+// ---- partition growth ----
 
 void ParallelEngine::growPes(const std::vector<int>& shardOfNewPes) {
   CKD_REQUIRE(tlsShard_ < 0,
@@ -84,12 +225,54 @@ void ParallelEngine::growPes(const std::vector<int>& shardOfNewPes) {
   // is race-free; recorders hold the vector's address, which is stable.
   pushSeq_.resize(shardOfPe_.size() + 1, 0);
   mintCounters_.resize(shardOfPe_.size() + 1, 0);
+  if (adaptive_) {
+    // New PEs may occupy new nodes, so per-pair floors derived from the old
+    // node ranges are stale. Collapse to the uniform-floor closure — the
+    // floor under-estimates every pair, so this only shrinks windows.
+    const std::size_t n = shards_.size();
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        closure_[i * n + j] = i == j ? (n >= 2 ? 2 * lookahead_ : kInf)
+                                     : lookahead_;
+    boundsValid_ = false;
+  }
 }
 
 void ParallelEngine::stageSerial(int dstShard, Time when,
                                  Engine::Action action) {
   shards_[static_cast<std::size_t>(dstShard)].staged.push_back(
       RingEntry{when, -1, nextSerialPushSeq(), false, std::move(action)});
+}
+
+// ---- cross-shard traffic ----
+
+void ParallelEngine::flushStage(int src, int dst) {
+  auto& stage = shards_[static_cast<std::size_t>(src)]
+                    .outStage[static_cast<std::size_t>(dst)];
+  if (stage.empty()) return;
+  rings_[ringIndex(src, dst)].pushBatch(stage.data(), stage.size());
+  stage.clear();
+}
+
+void ParallelEngine::flushOutbound(int shard) {
+  const int n = shards();
+  for (int dst = 0; dst < n; ++dst)
+    if (dst != shard) flushStage(shard, dst);
+}
+
+void ParallelEngine::drainInbound(int shard) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  auto& scratch = sh.drainScratch;
+  scratch.clear();
+  const int n = shards();
+  for (int s = 0; s < n; ++s)
+    if (s != shard) rings_[ringIndex(s, shard)].drainInto(scratch);
+  const Time floor = ceilings_[static_cast<std::size_t>(shard)];
+  for (auto& e : scratch) {
+    CKD_REQUIRE(e.when >= floor,
+                "cross-shard event violates the conservative lookahead");
+    sh.engine.postArrival(e.when, e.srcPe, e.srcSeq, std::move(e.action));
+  }
 }
 
 namespace {
@@ -104,32 +287,50 @@ bool canonicalBefore(Time aWhen, std::int32_t aPe, std::uint64_t aSeq,
 }
 }  // namespace
 
-void ParallelEngine::drainBoundary() {
+void ParallelEngine::reconcile() {
   const int n = shards();
-  // Cross-shard arrivals: merge every inbound ring (plus the coordinator's
-  // serial-phase staging) per destination in canonical order.
+  std::fill(arrivalMin_.begin(), arrivalMin_.end(), kInf);
+  // Straggler cross-shard arrivals (published after the destination's final
+  // mid-window drain) plus the coordinator's serial-phase staging, moved
+  // into the destination inboxes. No sort: the inbox heap canonicalizes on
+  // (when, srcPe, srcSeq) and admission is just-in-time.
   for (int d = 0; d < n; ++d) {
     auto& scratch = drainScratch_;
     scratch.clear();
-    for (int s = 0; s < n; ++s) rings_[ringIndex(s, d)].drainInto(scratch);
+    for (int s = 0; s < n; ++s)
+      if (s != d) rings_[ringIndex(s, d)].drainInto(scratch);
     auto& staged = shards_[static_cast<std::size_t>(d)].staged;
     for (auto& e : staged) scratch.push_back(std::move(e));
     staged.clear();
     if (scratch.empty()) continue;
-    std::sort(scratch.begin(), scratch.end(),
-              [](const RingEntry& a, const RingEntry& b) {
-                return canonicalBefore(a.when, a.srcPe, a.srcSeq, b.when,
-                                       b.srcPe, b.srcSeq);
-              });
     Engine& eng = shards_[static_cast<std::size_t>(d)].engine;
+    const Time floor = ceilings_[static_cast<std::size_t>(d)];
+    Time& minArrival = arrivalMin_[static_cast<std::size_t>(d)];
     for (auto& e : scratch) {
-      CKD_REQUIRE(e.when >= windowCeiling_,
+      CKD_REQUIRE(e.when >= floor,
                   "cross-shard event violates the conservative lookahead");
-      eng.at(e.when, std::move(e.action));
+      minArrival = std::min(minArrival, e.when);
+      eng.postArrival(e.when, e.srcPe, e.srcSeq, std::move(e.action));
     }
   }
-  // Shard-issued serial events. Boundary events resolve to the ceiling of
-  // the window that produced them (partition-independent by construction).
+  // Stragglers lower the destination shard's pending-work bound, so fold
+  // them into its published pair bounds before ceilings are computed.
+  if (adaptive_ && boundsValid_) {
+    const std::size_t un = static_cast<std::size_t>(n);
+    for (std::size_t d = 0; d < un; ++d) {
+      const Time t = arrivalMin_[d];
+      if (t == kInf) continue;
+      for (std::size_t y = 0; y < un; ++y) {
+        auto& bound = bounds_[d * un + y];
+        const Time via = t + closure_[d * un + y];
+        if (via < bound.load(std::memory_order_relaxed))
+          bound.store(via, std::memory_order_relaxed);
+      }
+    }
+  }
+  // Shard-issued serial events (global mode only). Boundary events resolve
+  // to the ceiling of the window that produced them (partition-independent
+  // by construction).
   auto& scratch = drainScratch_;
   scratch.clear();
   for (int s = 0; s < n; ++s)
@@ -149,8 +350,45 @@ void ParallelEngine::drainBoundary() {
   }
 }
 
+// ---- adaptive bounds ----
+
+void ParallelEngine::publishBounds(int shard) {
+  const std::size_t n = shards_.size();
+  const std::size_t s = static_cast<std::size_t>(shard);
+  const Time local = shards_[s].engine.nextEventTime();
+  for (std::size_t d = 0; d < n; ++d)
+    bounds_[s * n + d].store(local + closure_[s * n + d],
+                             std::memory_order_release);
+}
+
+void ParallelEngine::recomputeBounds() {
+  const std::size_t n = shards_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    const Time local = shards_[s].engine.nextEventTime();
+    for (std::size_t d = 0; d < n; ++d)
+      bounds_[s * n + d].store(local + closure_[s * n + d],
+                               std::memory_order_relaxed);
+  }
+  boundsValid_ = true;
+}
+
+Time ParallelEngine::computeCeilings(Time serialNext) {
+  const std::size_t n = shards_.size();
+  Time maxC = 0.0;
+  for (std::size_t d = 0; d < n; ++d) {
+    Time c = serialNext;
+    for (std::size_t s = 0; s < n; ++s)
+      c = std::min(c, bounds_[s * n + d].load(std::memory_order_relaxed));
+    ceilings_[d] = c;
+    maxC = std::max(maxC, c);
+  }
+  return maxC;
+}
+
+// ---- round loop ----
+
 Time ParallelEngine::minShardNext() const {
-  Time m = std::numeric_limits<Time>::infinity();
+  Time m = kInf;
   for (const auto& sh : shards_) m = std::min(m, sh.engine.nextEventTime());
   return m;
 }
@@ -158,24 +396,40 @@ Time ParallelEngine::minShardNext() const {
 void ParallelEngine::runShardWindow(int shard, Time ceiling) {
   tlsShard_ = shard;
   tlsSerialSrcPe_ = -1;
-  shards_[static_cast<std::size_t>(shard)].engine.runWindow(ceiling);
+  Shard& sh = shards_[static_cast<std::size_t>(shard)];
+  util::BufferPool* prevPool = util::BufferPool::swapCurrent(&sh.pool);
+  // Chunked window: every drainStride_ events, publish pending outbound
+  // batches (so consumers can pre-stage them) and pull inbound rings into
+  // the inbox. Conservatism guarantees drained entries are at or beyond
+  // this shard's ceiling, so mid-window drains never add work to the
+  // running window — they only keep rings shallow and move the merge off
+  // the barrier.
+  while (sh.engine.runWindow(ceiling, drainStride_)) {
+    flushOutbound(shard);
+    drainInbound(shard);
+  }
+  flushOutbound(shard);
+  drainInbound(shard);
+  if (adaptive_) publishBounds(shard);
+  util::BufferPool::swapCurrent(prevPool);
   tlsShard_ = -1;
   tlsSerialSrcPe_ = -1;
 }
 
-void ParallelEngine::executeWindow(Time ceiling) {
+void ParallelEngine::executeRound() {
   if (threadCount_ <= 1) {
     // One host core: run each shard's window inline, in shard order. Same
     // partition, same rings, same canonical merges — bit-identical results,
     // zero synchronization.
-    for (int i = 0; i < shards(); ++i) runShardWindow(i, ceiling);
+    for (int i = 0; i < shards(); ++i)
+      runShardWindow(i, ceilings_[static_cast<std::size_t>(i)]);
     return;
   }
-  publishedCeiling_ = ceiling;
   doneCount_.store(0, std::memory_order_relaxed);
   startGen_.fetch_add(1, std::memory_order_release);
   // The coordinator doubles as worker 0.
-  for (int i = 0; i < shards(); i += threadCount_) runShardWindow(i, ceiling);
+  for (int i = 0; i < shards(); i += threadCount_)
+    runShardWindow(i, ceilings_[static_cast<std::size_t>(i)]);
   const int expect = threadCount_ - 1;
   for (int spins = 0;
        doneCount_.load(std::memory_order_acquire) != expect;) {
@@ -187,6 +441,7 @@ void ParallelEngine::executeWindow(Time ceiling) {
 }
 
 void ParallelEngine::workerLoop(int workerIndex) {
+  if (pinThreads_) pinThread(workerIndex);
   std::uint64_t seen = 0;
   for (;;) {
     std::uint64_t gen;
@@ -199,9 +454,8 @@ void ParallelEngine::workerLoop(int workerIndex) {
     }
     seen = gen;
     if (quit_.load(std::memory_order_acquire)) return;
-    const Time ceiling = publishedCeiling_;
     for (int i = workerIndex; i < shards(); i += threadCount_)
-      runShardWindow(i, ceiling);
+      runShardWindow(i, ceilings_[static_cast<std::size_t>(i)]);
     doneCount_.fetch_add(1, std::memory_order_release);
   }
 }
@@ -209,19 +463,23 @@ void ParallelEngine::workerLoop(int workerIndex) {
 void ParallelEngine::run() {
   for (;;) {
     if (stopRequested_.exchange(false, std::memory_order_relaxed)) break;
-    drainBoundary();
+    reconcile();
     const Time m = minShardNext();
     const Time s = serial_.nextEventTime();
-    if (m == std::numeric_limits<Time>::infinity() &&
-        s == std::numeric_limits<Time>::infinity()) {
-      // Quiescent: every heap, ring, and staging buffer is empty. Align all
-      // clocks on the horizon so host code between runs (mainchare-style
-      // setup for the next phase) sees one consistent "now" and may seed
-      // fresh work there without tripping the monotonicity checks.
+    if (m == kInf && s == kInf) {
+      // Quiescent: every heap, inbox, ring, and staging buffer is empty.
+      // Align all clocks on the horizon so host code between runs
+      // (mainchare-style setup for the next phase) sees one consistent
+      // "now" and may seed fresh work there without tripping the
+      // monotonicity checks.
       const Time h = horizon();
       for (auto& sh : shards_) sh.engine.pinNow(h);
       serial_.pinNow(h);
       windowCeiling_ = h;
+      std::fill(ceilings_.begin(), ceilings_.end(), h);
+      for (auto& r : rings_) r.reclaim();
+      for (auto& r : serialRings_) r.reclaim();
+      boundsValid_ = false;
       break;
     }
     if (s <= m) {
@@ -229,16 +487,25 @@ void ParallelEngine::run() {
       // shard clock to s and run the serial events at that instant (they
       // may cascade at the same time; runWindow picks those up too).
       for (auto& sh : shards_) sh.engine.pinNow(s);
-      serial_.runWindow(
-          std::nextafter(s, std::numeric_limits<Time>::infinity()));
+      serial_.runWindow(std::nextafter(s, kInf));
+      boundsValid_ = false;  // serial events may have staged work anywhere
       continue;
     }
-    const Time ceiling = std::min(m + lookahead_, s);
-    windowCeiling_ = ceiling;
     ++windows_;
-    executeWindow(ceiling);
+    if (!adaptive_) {
+      const Time ceiling = std::min(m + lookahead_, s);
+      windowCeiling_ = ceiling;
+      std::fill(ceilings_.begin(), ceilings_.end(), ceiling);
+    } else {
+      if (!boundsValid_) recomputeBounds();
+      windowCeiling_ = computeCeilings(s);
+    }
+    executeRound();
+    boundsValid_ = adaptive_;
   }
 }
+
+// ---- aggregates ----
 
 std::uint64_t ParallelEngine::executedEvents() const {
   std::uint64_t total = serial_.executedEvents();
@@ -250,6 +517,19 @@ Time ParallelEngine::horizon() const {
   Time h = serial_.now();
   for (const auto& sh : shards_) h = std::max(h, sh.engine.now());
   return h;
+}
+
+ParallelEngine::RingStats ParallelEngine::ringStats() const {
+  RingStats total;
+  const auto fold = [&total](const SpscRing& r) {
+    const SpscRing::Stats& s = r.stats();
+    total.pushes += s.pushes;
+    total.batches += s.batches;
+    total.overflow += s.overflow;
+  };
+  for (const auto& r : rings_) fold(r);
+  for (const auto& r : serialRings_) fold(r);
+  return total;
 }
 
 std::vector<TraceEvent> ParallelEngine::mergedTrace() const {

@@ -2,29 +2,54 @@
 // ParallelEngine: thread-sharded conservative discrete-event execution.
 //
 // The PE space is partitioned into shards; each shard owns a private
-// sim::Engine (heap, clock, trace ring) over its slice. Execution proceeds
-// in windows: the coordinator computes a global ceiling
+// sim::Engine (heap, clock, trace ring, arrival inbox) over its slice.
+// Execution proceeds in rounds. In the default *global* mode the
+// coordinator computes one ceiling
 //
 //     C = min( min_over_shards(next event time) + lookahead,
 //              next serial event time )
 //
-// and every shard concurrently executes its events with time < C. The
-// lookahead is the cross-shard latency floor (the minimum wire alpha of the
-// machine's transfer classes): any event one shard schedules on another is
-// a network arrival at least `lookahead` after its send instant, so it can
-// never land inside the window that produced it. Cross-shard events travel
-// through lock-free SPSC rings and are drained into the destination heaps
-// at the window boundary, in the canonical order (when, srcPe, srcSeq) —
-// a total order that depends only on per-PE execution histories, never on
-// the partition. That, plus per-PE id/sequence minting in the layers above,
-// is why an N-shard run is bit-identical to a 1-shard run (DESIGN.md §2g).
+// and every shard concurrently executes its events with time < C. In
+// *adaptive* mode each shard publishes, at the end of its window, a
+// per-destination lower bound on when it can next affect that destination
+// (its next pending event time plus the min-plus transitive closure of the
+// per-shard-pair lookahead matrix), through a shards x shards array of
+// std::atomic<Time> pair bounds. The coordinator folds in straggler ring
+// entries and gives every destination its own ceiling
+//
+//     C_d = min( next serial event time,
+//                min_over_sources( pairBound[s][d] ) )
+//
+// so lightly-coupled shards advance in far fewer, far wider windows. The
+// closure (not the one-hop matrix) is what makes this sound: a shard can
+// influence another through relay chains and can influence *itself* through
+// a round trip, and D[s][d] lower-bounds every such chain (DESIGN.md §2g).
+//
+// Cross-shard events travel through lock-free SPSC rings (chained overflow
+// segments, batched release-store publication) and land in the destination
+// engine's *inbox*, never directly in its heap. Inbox entries carry the
+// canonical wire identity (when, srcPe, srcSeq) and are admitted into the
+// heap just in time — when every event strictly before them has executed —
+// so their position in the total order is a pure virtual-time property,
+// independent of the partition, the window boundaries, and whether a
+// mid-window drain or the barrier reconcile delivered them. That, plus
+// per-PE id/sequence minting in the layers above, is why an N-shard run is
+// bit-identical to a 1-shard run. Shards drain their inbound rings
+// opportunistically inside the window loop (every Config::drainStride
+// events), which keeps rings shallow and moves merge work off the barrier;
+// the barrier only reconciles stragglers.
 //
 // Serial events (atSerial / atSerialBoundary) model globally-synchronous
 // work — fault injections, heartbeat ticks, checkpoint commits. They run on
-// the coordinator between windows with every shard parked and every shard
+// the coordinator between rounds with every shard parked and every shard
 // clock pinned to the event's instant, so they may touch cross-shard state
-// freely. A serial event's time always caps the window ceiling, so no shard
-// ever runs past a pending serial event.
+// freely. A serial event's time always caps every ceiling, so no shard ever
+// runs past a pending serial event. Adaptive mode statically refuses
+// shard-context serial scheduling: a boundary event resolves to "the
+// ceiling of the window that issued it", which is only partition-
+// independent when there is one global ceiling. The runtime therefore
+// enables adaptive mode exactly for serial-quiet configurations (no faults,
+// no elastic lifecycle).
 //
 // Shards are the determinism-relevant partition; worker threads are an
 // execution detail. `threads` defaults to min(shards, hardware cores), and
@@ -35,13 +60,13 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
+#include "util/pool.hpp"
 #include "util/require.hpp"
 
 namespace ckd::sim {
@@ -52,6 +77,29 @@ class ParallelEngine {
     int shards = 1;      ///< partition count (affects nothing observable)
     int threads = 0;     ///< worker threads; 0 = min(shards, hw cores)
     Time lookahead = 0;  ///< cross-shard latency floor, must be > 0
+    /// Optional shards x shards per-pair lookahead floors (row-major,
+    /// [src * shards + dst]; +inf diagonal; finite entries >= lookahead).
+    /// Empty = uniform `lookahead` everywhere. Only consulted when
+    /// `adaptive` is set; see net::shardLookaheadMatrix.
+    std::vector<Time> pairLookahead;
+    /// Per-destination adaptive ceilings from published pair bounds. The
+    /// workload must be serial-quiet: shard-context atSerial /
+    /// atSerialBoundary are refused (CKD_REQUIRE) in this mode.
+    bool adaptive = false;
+    /// Pin worker k to CPU (k mod hardware_concurrency). Best effort; the
+    /// achieved count is reported by pinnedThreads().
+    bool pinThreads = false;
+    /// Events a shard executes between mid-window inbound-ring drains.
+    std::uint64_t drainStride = 256;
+    /// Pre-size each shard engine's slab (0 = engine default).
+    std::size_t slotReserve = 0;
+  };
+
+  /// Aggregated ring counters (cross-shard + serial rings).
+  struct RingStats {
+    std::uint64_t pushes = 0;   ///< entries published
+    std::uint64_t batches = 0;  ///< release-stores that published them
+    std::uint64_t overflow = 0; ///< entries that spilled to chained segments
   };
 
   /// `shardOfPe[pe]` maps every PE to its owning shard in [0, shards).
@@ -67,13 +115,26 @@ class ParallelEngine {
   int shards() const { return static_cast<int>(shards_.size()); }
   int threads() const { return threadCount_; }
   Time lookahead() const { return lookahead_; }
+  bool adaptive() const { return adaptive_; }
+  /// Worker threads successfully pinned to a CPU (0 unless pinThreads).
+  int pinnedThreads() const {
+    return pinnedThreads_.load(std::memory_order_relaxed);
+  }
   int shardOf(int pe) const {
     return pe < 0 ? -1 : shardOfPe_[static_cast<std::size_t>(pe)];
   }
 
-  Engine& shardEngine(int shard) { return shards_[static_cast<std::size_t>(shard)].engine; }
+  Engine& shardEngine(int shard) {
+    return shards_[static_cast<std::size_t>(shard)].engine;
+  }
   Engine& serialEngine() { return serial_; }
   const Engine& serialEngine() const { return serial_; }
+
+  /// The shard's private buffer pool, installed as the thread-current pool
+  /// for the duration of the shard's window.
+  util::BufferPool& shardPool(int shard) {
+    return shards_[static_cast<std::size_t>(shard)].pool;
+  }
 
   /// Engine of the calling execution context: the shard engine while that
   /// shard's window runs on this thread, the serial engine otherwise
@@ -84,7 +145,7 @@ class ParallelEngine {
 
   /// Schedule onto `pe`'s home shard from a context that already owns it —
   /// the shard's own thread, or the serial phase (which stages the event
-  /// and inserts it before the next window). Intra-shard work (same-PE,
+  /// and inserts it before the next round). Intra-shard work (same-PE,
   /// same-node) must use this: its latency may be below the lookahead.
   template <class F>
   void atLocal(int pe, Time when, F&& f) {
@@ -102,9 +163,12 @@ class ParallelEngine {
   /// Schedule a cross-node wire arrival onto `dstPe`'s shard. `wireSrcPe`
   /// is the sending PE (the canonical sort key; its shard must be the
   /// calling context). The arrival must honor the lookahead: when >= the
-  /// current window ceiling, which the drain asserts. Same-shard cross-node
-  /// arrivals take this path too — uniform ring ordering is what keeps the
-  /// merge canonical across shard counts.
+  /// destination's current window ceiling, which the drains assert.
+  /// Same-shard cross-node arrivals post straight into the shard's own
+  /// inbox; cross-shard arrivals stage into a per-destination batch that is
+  /// published to the SPSC ring with one release-store. Both paths mint the
+  /// same per-PE push sequence and meet in the destination inbox, whose
+  /// just-in-time admission keeps the merge canonical across shard counts.
   void atRemote(int dstPe, int wireSrcPe, Time when, Engine::Action action) {
     const int dst = shardOf(dstPe);
     if (tlsShard_ < 0) {  // serial context: coordinator-owned staging
@@ -114,19 +178,29 @@ class ParallelEngine {
     CKD_REQUIRE(tlsShard_ == shardOf(wireSrcPe),
                 "wire source PE does not belong to the calling shard");
     auto& seq = pushSeq_[static_cast<std::size_t>(wireSrcPe) + 1];
-    rings_[ringIndex(tlsShard_, dst)].push(
-        RingEntry{when, wireSrcPe, ++seq, false, std::move(action)});
+    ++seq;
+    Shard& self = shards_[static_cast<std::size_t>(tlsShard_)];
+    if (dst == tlsShard_) {
+      self.engine.postArrival(when, wireSrcPe, seq, std::move(action));
+      return;
+    }
+    auto& stage = self.outStage[static_cast<std::size_t>(dst)];
+    stage.push_back(RingEntry{when, wireSrcPe, seq, false, std::move(action)});
+    if (stage.size() >= kPublishBatch) flushStage(tlsShard_, dst);
   }
 
   /// Schedule a serial event at absolute time `when`. From shard context,
   /// `when` must be at or beyond the current window ceiling (asserted at
   /// the drain); use atSerialBoundary for "as soon as globally safe".
+  /// Shard-context use requires global mode (see header comment).
   template <class F>
   void atSerial(Time when, F&& f) {
     if (tlsShard_ < 0) {
       serial_.at(when, std::forward<F>(f));
       return;
     }
+    CKD_REQUIRE(!adaptive_,
+                "shard-context serial events require global-window mode");
     serialRings_[static_cast<std::size_t>(tlsShard_)].push(RingEntry{
         when, tlsSerialSrcPe_, nextSerialPushSeq(), false,
         Engine::Action(std::forward<F>(f))});
@@ -135,12 +209,15 @@ class ParallelEngine {
   /// Schedule a serial event at the earliest globally-safe instant: the
   /// ceiling of the window that issued it (a partition-independent time).
   /// From serial context it runs later in the same serial phase.
+  /// Shard-context use requires global mode (see header comment).
   template <class F>
   void atSerialBoundary(F&& f) {
     if (tlsShard_ < 0) {
       serial_.at(serial_.now(), std::forward<F>(f));
       return;
     }
+    CKD_REQUIRE(!adaptive_,
+                "shard-context serial events require global-window mode");
     serialRings_[static_cast<std::size_t>(tlsShard_)].push(
         RingEntry{0.0, tlsSerialSrcPe_, nextSerialPushSeq(), true,
                   Engine::Action(std::forward<F>(f))});
@@ -155,13 +232,15 @@ class ParallelEngine {
   /// every shard parked). `shardOfNewPes[i]` becomes the shard of PE
   /// `oldCount + i`. The shard COUNT never changes — growth only extends
   /// the PE->shard map and the per-PE canonical-order/minting tables, so
-  /// a grown run stays bit-identical across shard counts.
+  /// a grown run stays bit-identical across shard counts. In adaptive mode
+  /// the pair matrix collapses to the uniform floor (node ranges may have
+  /// changed; the uniform closure is conservative for any topology).
   void growPes(const std::vector<int>& shardOfNewPes);
 
-  /// Run the window loop to global quiescence (all heaps and rings empty).
+  /// Run the round loop to global quiescence (all heaps and rings empty).
   void run();
 
-  /// Abort the window loop at the next boundary (pending events remain).
+  /// Abort the round loop at the next boundary (pending events remain).
   void stop() { stopRequested_.store(true, std::memory_order_relaxed); }
 
   // ---- aggregates over every engine (shards + serial) ----
@@ -173,6 +252,10 @@ class ParallelEngine {
   /// Max clock over every engine: the completion horizon of the run.
   Time horizon() const;
   std::uint64_t windows() const { return windows_; }
+
+  /// Ring counters summed over every cross-shard and serial ring. Read
+  /// with shards parked (between runs).
+  RingStats ringStats() const;
 
   /// Every retained trace event, merged across the serial + shard rings
   /// into the canonical order: stable-sorted by (time, pe) with the serial
@@ -187,6 +270,9 @@ class ParallelEngine {
   std::vector<std::uint64_t>& mintCounters() { return mintCounters_; }
 
  private:
+  /// Cross-shard batch size: one release-store publishes this many entries.
+  static constexpr std::size_t kPublishBatch = 32;
+
   struct RingEntry {
     Time when = 0.0;
     std::int32_t srcPe = -1;
@@ -195,43 +281,111 @@ class ParallelEngine {
     Engine::Action action;
   };
 
-  /// Single-producer single-consumer ring with a mutex-guarded overflow
-  /// list (rare; drained entries are canonically re-sorted anyway, so
-  /// overflow order does not matter). Producers push during a window; the
-  /// coordinator drains at the boundary while producers are parked.
+  /// Single-producer single-consumer ring with lock-free chained overflow
+  /// segments. The producer is the source shard's current worker thread;
+  /// the consumer is the destination shard's worker (mid-window drains) or
+  /// the coordinator (barrier reconcile) — phases are ordered by the round
+  /// barriers, so single-consumer discipline holds. The hot path never
+  /// takes a lock: the main ring publishes with a release-store of head_,
+  /// and an overflowing producer appends to a producer-owned segment whose
+  /// fill count is release-published (the consumer reads the published
+  /// prefix only). Stats are producer-written; read them with the producer
+  /// parked.
   class SpscRing {
    public:
+    struct Stats {
+      std::uint64_t pushes = 0;
+      std::uint64_t batches = 0;
+      std::uint64_t overflow = 0;
+    };
+
+    SpscRing() = default;
+    ~SpscRing();
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
     void push(RingEntry&& e);
+    /// Publish `n` entries with one release-store per ring/segment chunk.
+    void pushBatch(RingEntry* first, std::size_t n);
     void drainInto(std::vector<RingEntry>& out);
+    /// Free fully-consumed overflow segments. Both sides must be parked
+    /// (coordinator-only, at quiescence).
+    void reclaim();
+    const Stats& stats() const { return stats_; }
 
    private:
-    static constexpr std::size_t kCapacity = 512;  // power of two
+    static constexpr std::size_t kCapacity = 1024;    // power of two
+    static constexpr std::size_t kSegmentCap = 1024;  // entries per segment
+
+    /// Overflow segment: producer fills buf[0..count), publishing the fill
+    /// with a release-store; the buffer never reallocates, so the consumer
+    /// may read the published prefix while the producer appends behind it.
+    struct Segment {
+      std::vector<RingEntry> buf = std::vector<RingEntry>(kSegmentCap);
+      std::atomic<std::size_t> count{0};   ///< release-published fill
+      std::size_t consumed = 0;            ///< consumer-side cursor
+      std::atomic<Segment*> next{nullptr};
+    };
+
+    void spill(RingEntry&& e);  ///< append to the overflow chain (no store)
+    void publishSpill();        ///< release the pending segment fill
+
     std::vector<RingEntry> buf_ = std::vector<RingEntry>(kCapacity);
     alignas(64) std::atomic<std::size_t> head_{0};
     alignas(64) std::atomic<std::size_t> tail_{0};
-    std::mutex overflowMu_;
-    std::vector<RingEntry> overflow_;
+    std::atomic<Segment*> segHead_{nullptr};
+    Segment* segTail_ = nullptr;      ///< producer-owned
+    std::size_t segFill_ = 0;         ///< producer-side unpublished fill
+    Stats stats_;
   };
 
   struct Shard {
     Engine engine;
+    util::BufferPool pool;          ///< shard-local recycling (NUMA locality)
     std::vector<RingEntry> staged;  ///< serial-context pushes (coordinator)
+    /// Per-destination producer-side batches (kPublishBatch entries per
+    /// release-store). Only the shard's current worker thread touches them.
+    std::vector<std::vector<RingEntry>> outStage;
+    std::vector<RingEntry> drainScratch;  ///< mid-window drain buffer
   };
 
   std::size_t ringIndex(int src, int dst) const {
     return static_cast<std::size_t>(src) * shards_.size() +
            static_cast<std::size_t>(dst);
   }
+  std::size_t pairIndex(int src, int dst) const { return ringIndex(src, dst); }
   void stageSerial(int dstShard, Time when, Engine::Action action);
   std::uint64_t nextSerialPushSeq() { return ++pushSeq_[0]; }
 
-  void drainBoundary();
+  void flushStage(int src, int dst);
+  void flushOutbound(int shard);
+  /// Pull every published inbound-ring entry into the shard's inbox
+  /// (mid-window pre-staging; conservatism guarantees nothing below the
+  /// shard's current ceiling can appear).
+  void drainInbound(int shard);
+  /// Barrier reconcile: move straggler ring entries and serial-phase
+  /// staging into the inboxes, fold their minima into the pair bounds, and
+  /// run shard-issued serial events' drain.
+  void reconcile();
+  /// Recompute every published bound directly from the engines (after
+  /// construction, serial phases, or growth).
+  void recomputeBounds();
+  /// Fill ceilings_ for the next round; returns the max ceiling.
+  Time computeCeilings(Time serialNext);
+  /// End-of-window publication: the shard's pair bounds toward every
+  /// destination (adaptive mode).
+  void publishBounds(int shard);
+  void buildClosure(const std::vector<Time>& pairLookahead);
+
   Time minShardNext() const;
   void runShardWindow(int shard, Time ceiling);
-  void executeWindow(Time ceiling);
+  void executeRound();
   void workerLoop(int workerIndex);
+  void pinThread(int workerIndex);
 
   Time lookahead_ = 0.0;
+  bool adaptive_ = false;
+  std::uint64_t drainStride_ = 256;
   std::vector<int> shardOfPe_;
   std::vector<Shard> shards_;
   Engine serial_;
@@ -241,20 +395,33 @@ class ParallelEngine {
   /// serial context, slot pe+1 is touched only by shard(pe)'s thread.
   std::vector<std::uint64_t> pushSeq_;
   std::vector<std::uint64_t> mintCounters_;
-  Time windowCeiling_ = 0.0;  ///< ceiling of the last executed window
+  /// Min-plus transitive closure of the pair lookahead matrix: D[s*N+d]
+  /// lower-bounds the virtual-time cost of *any* influence chain from
+  /// shard s to shard d (including round trips when s == d).
+  std::vector<Time> closure_;
+  /// Published per-pair bounds: bounds_[s*N+d] lower-bounds the time of any
+  /// future arrival into d caused by s's pending work. Written by shard s
+  /// at the end of its window (release); folded/consumed by the
+  /// coordinator after the round barrier.
+  std::vector<std::atomic<Time>> bounds_;
+  bool boundsValid_ = false;  ///< bounds_ reflect the last parallel round
+  std::vector<Time> ceilings_;  ///< per-destination ceiling of this round
+  Time windowCeiling_ = 0.0;  ///< global-mode ceiling of the last round
   std::uint64_t windows_ = 0;
   std::atomic<bool> stopRequested_{false};
 
   // Worker pool (only when threads() > 1). Spin-then-yield barriers: the
-  // generation counter releases a window, doneCount_ reports completion.
+  // generation counter releases a round, doneCount_ reports completion.
   int threadCount_ = 1;
+  bool pinThreads_ = false;
+  std::atomic<int> pinnedThreads_{0};
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> startGen_{0};
   std::atomic<int> doneCount_{0};
   std::atomic<bool> quit_{false};
-  Time publishedCeiling_ = 0.0;  ///< read by workers after acquiring the gen
 
-  std::vector<RingEntry> drainScratch_;
+  std::vector<RingEntry> drainScratch_;  ///< coordinator-side scratch
+  std::vector<Time> arrivalMin_;         ///< reconcile: min arrival per shard
 
   static thread_local int tlsShard_;
   static thread_local int tlsSerialSrcPe_;

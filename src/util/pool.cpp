@@ -4,12 +4,55 @@
 #include <bit>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace ckd::util {
 
+namespace {
+
+/// Live-pool registry backing processStats(). Function-local static so it is
+/// constructed before the first pool registers and destroyed after the last
+/// thread-local pool unregisters.
+struct PoolRegistry {
+  std::mutex mu;
+  std::vector<const BufferPool*> pools;
+};
+
+PoolRegistry& registry() {
+  static PoolRegistry reg;
+  return reg;
+}
+
+thread_local BufferPool* tlsCurrentPool = nullptr;
+
+}  // namespace
+
 BufferPool& BufferPool::instance() {
+  if (tlsCurrentPool != nullptr) return *tlsCurrentPool;
   static thread_local BufferPool pool;
   return pool;
+}
+
+BufferPool* BufferPool::swapCurrent(BufferPool* pool) {
+  BufferPool* prev = tlsCurrentPool;
+  tlsCurrentPool = pool;
+  return prev;
+}
+
+BufferPool::Stats BufferPool::processStats() {
+  PoolRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  Stats total;
+  for (const BufferPool* pool : reg.pools) {
+    const Stats& s = pool->stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.releases += s.releases;
+    total.unpooled += s.unpooled;
+    total.cachedBytes += s.cachedBytes;
+  }
+  return total;
 }
 
 BufferPool::BufferPool() {
@@ -17,6 +60,19 @@ BufferPool::BufferPool() {
   if (env != nullptr &&
       (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0))
     enabled_ = false;
+  PoolRegistry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.pools.push_back(this);
+}
+
+BufferPool::~BufferPool() {
+  {
+    PoolRegistry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.pools.erase(std::remove(reg.pools.begin(), reg.pools.end(), this),
+                    reg.pools.end());
+  }
+  trim();
 }
 
 int BufferPool::classIndex(std::size_t bytes) {

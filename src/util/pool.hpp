@@ -42,12 +42,30 @@ class BufferPool {
     std::size_t cachedBytes = 0; ///< bytes currently parked on free lists
   };
 
-  /// Per-thread pool: each shard worker of the parallel engine recycles
-  /// through its own free lists, so acquire/release stay lock-free. A block
-  /// acquired on one thread and released on another simply parks on the
-  /// releaser's list — the underlying allocator is thread-safe, and pooling
-  /// never changes simulation results (the CKD_POOLS A/B gate checks that).
+  /// Pool serving the calling execution context: the pool installed via
+  /// swapCurrent() when one is, the thread's own default pool otherwise.
+  /// Each shard of the parallel engine owns a pool and installs it for the
+  /// duration of its window, so a shard's free lists follow the shard across
+  /// worker threads (NUMA/shard-local recycling) and acquire/release stay
+  /// lock-free. A block acquired under one pool and released under another
+  /// simply parks on the releaser's list — geometry is identical everywhere,
+  /// and pooling never changes simulation results (the CKD_POOLS A/B gate
+  /// checks that).
   static BufferPool& instance();
+
+  /// Pools are constructible as plain members (per-shard instances); every
+  /// pool registers itself so processStats() can aggregate.
+  BufferPool();
+
+  /// Install `pool` as the calling thread's current pool (nullptr restores
+  /// the thread-default). Returns the previous override so callers can
+  /// scope the swap. The pool must outlive the installation.
+  static BufferPool* swapCurrent(BufferPool* pool);
+
+  /// Sum of stats() over every live pool in the process (thread defaults
+  /// and per-shard instances). Call only while no pool is mid-acquire on
+  /// another thread — e.g. with the parallel engine's shards parked.
+  static Stats processStats();
 
   /// Enabled state: free-list recycling on/off. Initialized from the
   /// CKD_POOLS environment variable (default on; "off"/"0" disables); tests
@@ -70,10 +88,9 @@ class BufferPool {
   /// Free every cached block (test hygiene between A/B runs).
   void trim();
 
-  ~BufferPool() { trim(); }
+  ~BufferPool();
 
  private:
-  BufferPool();
   static int classIndex(std::size_t bytes);  ///< -1 when unpooled
 
   std::array<std::vector<std::byte*>, 17> free_;  // 2^6 .. 2^22

@@ -252,6 +252,168 @@ TEST(ParallelEngine, SupportsSeedingFreshWorkBetweenRuns) {
 }
 
 // ---------------------------------------------------------------------------
+// Window-edge semantics: mid-window drains and drain-point ties.
+//
+// A relay storm over the raw ParallelEngine: every PE runs several chains
+// that hop around a ring, each hop exactly at or above the lookahead so
+// arrivals repeatedly land exactly ON window ceilings and drain points. The
+// per-destination observation sequence (folded in PE order) must be
+// bit-identical whether events arrive via a mid-window drain (stride 1),
+// a mid-stride drain, or only at the barrier (huge stride), and across
+// shard counts, thread counts, and global-vs-adaptive ceilings: the JIT
+// inbox admits arrivals by virtual-time order alone, so WHERE an event was
+// drained is unobservable.
+
+struct RelayResult {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  double horizon = 0.0;
+
+  bool operator==(const RelayResult&) const = default;
+};
+
+struct RelayState {
+  sim::ParallelEngine* par = nullptr;
+  std::vector<std::uint64_t> digests;  ///< per destination PE, PE-local
+  int pes = 0;
+};
+
+void relayHop(const std::shared_ptr<RelayState>& st, int pe, int chain,
+              int hops, double when) {
+  std::uint64_t& d = st->digests[static_cast<std::size_t>(pe)];
+  d = fnv(&when, sizeof when, d);
+  d = fnv(&chain, sizeof chain, d);
+  d = fnv(&hops, sizeof hops, d);
+  if (hops == 0) return;
+  // Deltas >= the 1.0 lookahead; the exact-1.0 entries make arrivals land
+  // exactly on the next window ceiling (the admit-vs-defer tie).
+  constexpr double kDeltas[] = {1.0, 1.25, 1.0, 1.75, 2.0, 1.5};
+  const int dst = (pe + 1 + (chain % 2)) % st->pes;
+  const double next = when + kDeltas[(chain + hops) % 6];
+  st->par->atRemote(dst, pe, next, [st, dst, chain, hops, next] {
+    relayHop(st, dst, chain, hops - 1, next);
+  });
+}
+
+RelayResult runRelay(int shards, int threads, std::uint64_t drainStride,
+                     bool adaptive) {
+  constexpr int kPes = 8;
+  constexpr int kChains = 5;
+  constexpr int kHops = 24;
+  sim::ParallelEngine::Config cfg;
+  cfg.shards = shards;
+  cfg.threads = threads;
+  cfg.lookahead = 1.0;
+  cfg.adaptive = adaptive;
+  cfg.drainStride = drainStride;
+  std::vector<int> map(kPes);
+  for (int pe = 0; pe < kPes; ++pe) map[pe] = pe * shards / kPes;
+  sim::ParallelEngine par(cfg, std::move(map));
+  auto st = std::make_shared<RelayState>();
+  st->par = &par;
+  st->digests.assign(kPes, 1469598103934665603ull);
+  st->pes = kPes;
+  for (int pe = 0; pe < kPes; ++pe) {
+    for (int chain = 0; chain < kChains; ++chain) {
+      // Identical start instants across PEs: cross-PE ties from the very
+      // first window.
+      const double start = 1.0 + 0.5 * (chain % 3);
+      par.atLocal(pe, start, [st, pe, chain, start] {
+        relayHop(st, pe, chain, kHops, start);
+      });
+    }
+  }
+  par.run();
+  RelayResult r;
+  r.events = par.executedEvents();
+  r.horizon = par.horizon();
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint64_t d : st->digests) h = fnv(&d, sizeof d, h);
+  r.digest = h;
+  return r;
+}
+
+TEST(WindowEdgeDeterminism, MidWindowDrainMatchesBarrierOnlyDrain) {
+  const RelayResult base =
+      runRelay(/*shards=*/4, /*threads=*/1, /*drainStride=*/1, false);
+  EXPECT_GT(base.events, 0u);
+  // Barrier-only (stride larger than any window's event count) and a
+  // mid-stride drain must observe the identical execution.
+  const std::uint64_t kBarrierOnly = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(base, runRelay(4, 1, kBarrierOnly, false));
+  EXPECT_EQ(base, runRelay(4, 1, 3, false));
+  EXPECT_EQ(base, runRelay(4, 2, 1, false));
+}
+
+TEST(WindowEdgeDeterminism, DrainPointTiesAreShardCountInvariant) {
+  const RelayResult base =
+      runRelay(/*shards=*/1, /*threads=*/1, /*drainStride=*/256, false);
+  for (const int shards : {2, 4, 8}) {
+    EXPECT_EQ(base, runRelay(shards, 1, 1, false)) << "shards=" << shards;
+    EXPECT_EQ(base, runRelay(shards, 1, 256, false)) << "shards=" << shards;
+  }
+}
+
+TEST(WindowEdgeDeterminism, AdaptiveCeilingsMatchGlobalWindows) {
+  const RelayResult base =
+      runRelay(/*shards=*/4, /*threads=*/1, /*drainStride=*/256, false);
+  // Per-destination LBTS ceilings admit more per round but must execute the
+  // same virtual-time history, on one shard (infinite self-ceiling) too.
+  EXPECT_EQ(base, runRelay(1, 1, 256, true));
+  for (const int shards : {2, 4, 8}) {
+    EXPECT_EQ(base, runRelay(shards, 1, 256, true)) << "shards=" << shards;
+    EXPECT_EQ(base, runRelay(shards, 2, 256, true)) << "shards=" << shards;
+  }
+}
+
+// 64k-PE smoke: the engine's tables (per-PE mint counters, push sequences,
+// shard map) and the inbox/admission path at a partition three orders of
+// magnitude wider than the other gates. Sparse work keeps it fast: one
+// event per PE plus a cross-machine forward from every 512th PE.
+TEST(WindowEdgeDeterminism, HugeMachineSmokeDigestIsShardInvariant) {
+  static constexpr int kPes = 65536;
+  const auto run = [](int shards, int threads) {
+    sim::ParallelEngine::Config cfg;
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.lookahead = 1.0;
+    std::vector<int> map(kPes);
+    for (int pe = 0; pe < kPes; ++pe)
+      map[pe] = static_cast<int>(
+          static_cast<std::int64_t>(pe) * shards / kPes);
+    sim::ParallelEngine par(cfg, std::move(map));
+    auto digests =
+        std::make_shared<std::vector<std::uint64_t>>(kPes,
+                                                     1469598103934665603ull);
+    auto* parPtr = &par;
+    for (int pe = 0; pe < kPes; ++pe) {
+      const double start = 0.25 + 0.25 * (pe % 17);
+      par.atLocal(pe, start, [digests, parPtr, pe, start] {
+        (*digests)[static_cast<std::size_t>(pe)] =
+            fnv(&start, sizeof start, (*digests)[static_cast<std::size_t>(pe)]);
+        if (pe % 512 != 0) return;
+        const int dst = (pe + kPes / 2) % kPes;
+        const double when = start + 1.0;
+        parPtr->atRemote(dst, pe, when, [digests, dst, when] {
+          (*digests)[static_cast<std::size_t>(dst)] =
+              fnv(&when, sizeof when,
+                  (*digests)[static_cast<std::size_t>(dst)]);
+        });
+      });
+    }
+    par.run();
+    std::uint64_t h = fnv(&kPes, sizeof kPes);
+    for (const std::uint64_t d : *digests) h = fnv(&d, sizeof d, h);
+    const std::uint64_t events = par.executedEvents();
+    h = fnv(&events, sizeof events, h);
+    return h;
+  };
+  const std::uint64_t serial = run(/*shards=*/1, /*threads=*/1);
+  EXPECT_EQ(serial, run(/*shards=*/8, /*threads=*/1));
+  EXPECT_EQ(serial, run(/*shards=*/8, /*threads=*/2));
+}
+
+// ---------------------------------------------------------------------------
 // Pingpong gate.
 
 TEST(ParallelDeterminism, PingpongIsShardCountInvariant) {

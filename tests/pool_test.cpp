@@ -8,10 +8,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "charm/maps.hpp"
+#include "charm/proxy.hpp"
+#include "charm/runtime.hpp"
+#include "harness/machines.hpp"
+#include "sim/parallel.hpp"
 #include "util/pool.hpp"
 
 namespace {
@@ -173,6 +180,165 @@ TEST_F(PoolTest, PoolAllocatorRoundTripsThroughSharedPtr) {
   auto q = std::allocate_shared<int>(PoolAllocator<int>{}, 7);
   EXPECT_GT(pool.stats().hits, hitsBefore);
   (void)firstBlock;
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard pool isolation (the NUMA-sharded pools the parallel engine
+// installs for its worker threads via BufferPool::swapCurrent).
+
+TEST_F(PoolTest, SwapCurrentRedirectsInstanceToTheInstalledPool) {
+  BufferPool local;
+  BufferPool* prev = BufferPool::swapCurrent(&local);
+  EXPECT_EQ(&BufferPool::instance(), &local);
+  std::byte* block = BufferPool::instance().acquire(100);
+  BufferPool::instance().release(block, 100);
+  EXPECT_EQ(local.stats().misses, 1u);
+  EXPECT_EQ(local.stats().releases, 1u);
+  BufferPool* mine = BufferPool::swapCurrent(prev);
+  EXPECT_EQ(mine, &local);
+  // Back on the thread-local default: its counters were untouched.
+  EXPECT_EQ(BufferPool::instance().stats().misses, 0u);
+}
+
+TEST_F(PoolTest, ProcessStatsSumsEveryRegisteredPool) {
+  const BufferPool::Stats before = BufferPool::processStats();
+  BufferPool a, b;
+  a.release(a.acquire(64), 64);
+  a.release(a.acquire(64), 64);  // second round hits the free list
+  b.release(b.acquire(4096), 4096);
+  const BufferPool::Stats after = BufferPool::processStats();
+  EXPECT_EQ(after.hits - before.hits, a.stats().hits + b.stats().hits);
+  EXPECT_EQ(after.misses - before.misses, a.stats().misses + b.stats().misses);
+  EXPECT_EQ(after.releases - before.releases,
+            a.stats().releases + b.stats().releases);
+  EXPECT_EQ(a.stats().hits, 1u);
+  EXPECT_EQ(b.stats().misses, 1u);
+}
+
+namespace {
+
+/// Eager-message pingpong pairs (i, i+4) on an 8-node machine, the same
+/// shape as bench/perf_engine's storm: hammers the message-allocation hot
+/// path on every shard.
+class PoolStormChare final : public ckd::charm::Chare {
+ public:
+  ckd::charm::ArrayProxy<PoolStormChare> proxy;
+  ckd::charm::EntryId epPing = -1;
+  int pairs = 0;
+  int remaining = 0;
+  std::uint64_t digest = 1469598103934665603ull;
+  std::vector<std::byte> payload;
+
+  void fold(std::span<const std::byte> bytes) {
+    for (const std::byte b : bytes) {
+      digest ^= static_cast<std::uint64_t>(b);
+      digest *= 1099511628211ull;
+    }
+  }
+
+  void start(ckd::charm::Message&) {
+    proxy[thisIndex() + pairs].send(epPing,
+                                    std::span<const std::byte>(payload));
+  }
+
+  void ping(ckd::charm::Message& msg) {
+    fold(msg.payload());
+    if (thisIndex() >= pairs) {  // echo side
+      proxy[thisIndex() - pairs].send(epPing, msg.payload());
+      return;
+    }
+    if (--remaining > 0)
+      proxy[thisIndex() + pairs].send(epPing,
+                                      std::span<const std::byte>(payload));
+  }
+};
+
+struct PoolStormOutcome {
+  double horizon = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t digest = 0;
+
+  bool operator==(const PoolStormOutcome&) const = default;
+};
+
+PoolStormOutcome runPoolStorm(int shards, int threads,
+                              ckd::charm::Runtime** keepAlive = nullptr,
+                              std::unique_ptr<ckd::charm::Runtime>* out =
+                                  nullptr) {
+  constexpr int kPairs = 4;
+  ckd::charm::MachineConfig machine = ckd::harness::abeMachine(2 * kPairs, 1);
+  machine.shards = shards;
+  machine.shardThreads = threads;
+  auto rts = std::make_unique<ckd::charm::Runtime>(machine);
+  auto proxy = ckd::charm::makeArray<PoolStormChare>(
+      *rts, "poolstorm", 2 * kPairs,
+      [](std::int64_t i) { return static_cast<int>(i); },
+      [](std::int64_t) { return std::make_unique<PoolStormChare>(); });
+  const ckd::charm::EntryId epStart =
+      proxy.registerEntry("start", &PoolStormChare::start);
+  const ckd::charm::EntryId epPing =
+      proxy.registerEntry("ping", &PoolStormChare::ping);
+  for (std::int64_t i = 0; i < 2 * kPairs; ++i) {
+    PoolStormChare& el = proxy[i].local();
+    el.proxy = proxy;
+    el.epPing = epPing;
+    el.pairs = kPairs;
+    el.remaining = 25;
+    el.payload.assign(512, std::byte{static_cast<unsigned char>(0x40 + i)});
+  }
+  rts->seed([proxy, epStart]() {
+    for (std::int64_t i = 0; i < kPairs; ++i) proxy[i].send(epStart);
+  });
+  rts->run();
+  PoolStormOutcome outcome;
+  outcome.horizon = rts->now();
+  outcome.events = rts->executedEvents();
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::int64_t i = 0; i < 2 * kPairs; ++i) {
+    const std::uint64_t d = proxy[i].local().digest;
+    h ^= d;
+    h *= 1099511628211ull;
+  }
+  outcome.digest = h;
+  if (keepAlive != nullptr) *keepAlive = rts.get();
+  if (out != nullptr) *out = std::move(rts);
+  return outcome;
+}
+
+}  // namespace
+
+TEST_F(PoolTest, MultiThreadedStormPopulatesPerShardPools) {
+  ckd::charm::Runtime* rts = nullptr;
+  std::unique_ptr<ckd::charm::Runtime> keep;
+  const PoolStormOutcome outcome = runPoolStorm(4, 2, &rts, &keep);
+  EXPECT_GT(outcome.events, 0u);
+  ASSERT_NE(rts->parallelEngine(), nullptr);
+  ckd::sim::ParallelEngine& par = *rts->parallelEngine();
+  // Every shard carried wire traffic, so every shard pool saw allocations,
+  // and the registry folds each of them into the process totals.
+  std::uint64_t shardAcquires = 0;
+  const BufferPool::Stats process = BufferPool::processStats();
+  for (int s = 0; s < par.shards(); ++s) {
+    const BufferPool::Stats& ps = par.shardPool(s).stats();
+    EXPECT_GT(ps.hits + ps.misses, 0u) << "shard=" << s;
+    shardAcquires += ps.hits + ps.misses;
+  }
+  EXPECT_GE(process.hits + process.misses, shardAcquires);
+}
+
+TEST_F(PoolTest, PoolsOffIsBitIdenticalUnderTheParallelEngine) {
+  // CKD_POOLS is read when each pool is constructed, so toggling it before
+  // runtime construction flips every per-shard pool for that run. Pool
+  // identity (and the recycling it enables) must never leak into
+  // virtual-time results.
+  const PoolStormOutcome on = runPoolStorm(4, 2);
+  ASSERT_EQ(setenv("CKD_POOLS", "off", 1), 0);
+  const PoolStormOutcome off = runPoolStorm(4, 2);
+  ASSERT_EQ(unsetenv("CKD_POOLS"), 0);
+  EXPECT_EQ(on, off);
+  const PoolStormOutcome serialOn = runPoolStorm(0, 0);
+  EXPECT_EQ(on.horizon, serialOn.horizon);
+  EXPECT_EQ(on.digest, serialOn.digest);
 }
 
 }  // namespace
