@@ -40,7 +40,7 @@ double run(const charm::MachineConfig& machine, std::int64_t domain,
   apps::stencil::StencilApp app(rts, cfg);
   const double iterUs = app.execute().avg_iteration_us;
   const char* variant = localViaMessages ? "local_messages" : "channels_all";
-  if (runner.wantsProfiles()) {
+  if (runner.wantsProfiles() || runner.metricsEnabled()) {
     harness::ProfileReport report = harness::captureProfile(rts);
     report.label = std::string(machineTag) + "/" + variant + "/" +
                    std::to_string(domain);
@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
     charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
     runner.applyFaults(machine);
+    runner.applyMetrics(machine);
     const char* machineTag = bgp ? "bgp" : "ib";
     util::TablePrinter table;
     table.setTitle(std::string("Local-neighbor channels ablation, stencil on ") +

@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
 
   charm::MachineConfig machine = harness::abeMachine(2, 1);
   runner.applyFaults(machine);
+  runner.applyMetrics(machine);
   const mpi::MpiCosts mvapich = mpi::mvapichCosts();
   const pgas::PgasCosts dart = pgas::dartIbCosts();
 

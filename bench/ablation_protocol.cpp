@@ -30,7 +30,8 @@ double rtt(const charm::MachineConfig& machine, bool ckdirect,
   cfg.trace = runner.traceEnabled();
   cfg.traceCapacity = runner.traceCapacity();
   harness::ProfileReport report;
-  if (runner.wantsProfiles()) cfg.profile = &report;
+  if (runner.wantsProfiles() || runner.metricsEnabled())
+    cfg.profile = &report;
   const double value = ckdirect ? harness::ckdirectPingpongRtt(machine, cfg)
                                 : harness::charmPingpongRtt(machine, cfg);
   if (cfg.profile != nullptr) {
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(args.getInt("iters", 200));
   charm::MachineConfig base = harness::abeMachine(2, 1);
   runner.applyFaults(base);
+  runner.applyMetrics(base);
 
   util::TablePrinter table;
   table.setTitle(

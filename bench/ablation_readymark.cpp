@@ -44,11 +44,12 @@ double run(apps::openatom::Mode mode, apps::openatom::ReadyStrategy ready,
   cfg.real_compute = false;
   charm::MachineConfig machine = harness::abeMachine(pes, 2);
   runner.applyFaults(machine);
+  runner.applyMetrics(machine);
   charm::Runtime rts(machine);
   runner.configureTrace(rts.engine().trace());
   apps::openatom::OpenAtomApp app(rts, cfg);
   const double stepUs = app.execute().avg_step_us;
-  if (runner.wantsProfiles()) {
+  if (runner.wantsProfiles() || runner.metricsEnabled()) {
     harness::ProfileReport report = harness::captureProfile(rts);
     report.label = std::string(variant) + "/" + std::to_string(nstates);
     runner.addProfile(std::move(report));

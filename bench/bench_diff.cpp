@@ -1,0 +1,97 @@
+// bench_diff — CLI perf-regression gate over ckd.bench.v1 documents.
+//
+// Compares a candidate bench JSON (a fresh --json run) against a committed
+// baseline (BENCH_PR4/7/8/9.json), classifies every metric against a
+// relative tolerance band, prints the classification table, and exits
+// nonzero when any metric regressed (or, with --fail-on-missing, when the
+// documents disagree on which metrics exist). See
+// src/harness/bench_diff.hpp for the matching/direction rules.
+//
+// Usage:
+//   bench_diff <base.json> <candidate.json>
+//       [--tol R]              default relative band (default 0.10)
+//       [--metric-tol g=R,...] per-metric overrides, first glob match wins
+//       [--skip g1,g2]         exclude matching metric keys
+//       [--only g1,g2]         compare only matching metric keys
+//       [--include-host]       also compare wall-clock units (1/s, s, x)
+//       [--fail-on-missing]    one-sided metrics become fatal
+//       [--verbose]            print ok/skipped rows too
+//       [--json <file>]        also write the ckd.benchdiff.v1 report
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/bench_diff.hpp"
+#include "util/args.hpp"
+#include "util/json.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+ckd::util::JsonValue loadJson(const std::string& path) {
+  std::ifstream in(path);
+  CKD_REQUIRE(in.good(), ("cannot open bench document: " + path).c_str());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ckd::util::JsonValue::parse(buf.str());
+}
+
+std::vector<std::string> splitGlobs(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    if (comma > pos) out.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ckd;
+  util::Args args(argc, argv);
+  CKD_REQUIRE(args.positional().size() == 2,
+              "usage: bench_diff <base.json> <candidate.json> [--tol R] "
+              "[--metric-tol glob=R,...] [--skip globs] [--only globs] "
+              "[--include-host] [--fail-on-missing] [--verbose] "
+              "[--json out.json]");
+
+  harness::DiffOptions opts;
+  opts.tolerance = args.getDouble("tol", 0.10);
+  CKD_REQUIRE(opts.tolerance >= 0.0, "--tol must be non-negative");
+  opts.metricTolerance =
+      harness::parseMetricTolerances(args.get("metric-tol", ""));
+  opts.skip = splitGlobs(args.get("skip", ""));
+  opts.only = splitGlobs(args.get("only", ""));
+  opts.includeHost = args.getBool("include-host", false);
+  opts.failOnMissing = args.getBool("fail-on-missing", false);
+  const bool verbose = args.getBool("verbose", false);
+  const std::string jsonOut = args.get("json", "");
+
+  const util::JsonValue base = loadJson(args.positional()[0]);
+  const util::JsonValue cand = loadJson(args.positional()[1]);
+
+  const harness::DiffReport report = harness::diffBench(base, cand, opts);
+  std::cout << "base:      " << args.positional()[0] << "\n"
+            << "candidate: " << args.positional()[1] << "\n"
+            << report.toTable(verbose);
+
+  if (!jsonOut.empty()) {
+    std::ofstream out(jsonOut);
+    CKD_REQUIRE(out.good(),
+                ("cannot open --json output file: " + jsonOut).c_str());
+    out << report.toJson().dump(2) << "\n";
+    std::cerr << "[bench_diff] wrote " << jsonOut << "\n";
+  }
+
+  if (report.failed(opts)) {
+    std::cout << "bench_diff: FAIL\n";
+    return 1;
+  }
+  std::cout << "bench_diff: PASS\n";
+  return 0;
+}

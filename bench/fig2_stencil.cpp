@@ -45,7 +45,7 @@ apps::stencil::Result run(const charm::MachineConfig& machine,
   runner.configureTrace(rts.engine().trace());
   apps::stencil::StencilApp app(rts, cfg);
   const auto result = app.execute();
-  if (runner.wantsProfiles()) {
+  if (runner.wantsProfiles() || runner.metricsEnabled()) {
     harness::ProfileReport report = harness::captureProfile(rts);
     report.label =
         std::string(mode == apps::stencil::Mode::kCkDirect ? "ckd" : "msg") +
@@ -84,6 +84,7 @@ int main(int argc, char** argv) {
     charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::t3Machine(pes, 4);
     runner.applyFaults(machine);
+    runner.applyMetrics(machine);
     const auto msg = run(machine, apps::stencil::Mode::kMessages, pes,
                          iterations, cpe, runner);
     const auto ckd = run(machine, apps::stencil::Mode::kCkDirect, pes,

@@ -38,7 +38,7 @@ apps::matmul::Result run(const charm::MachineConfig& machine,
   runner.configureTrace(rts.engine().trace());
   apps::matmul::MatmulApp app(rts, cfg);
   const auto result = app.execute();
-  if (runner.wantsProfiles()) {
+  if (runner.wantsProfiles() || runner.metricsEnabled()) {
     harness::ProfileReport report = harness::captureProfile(rts);
     report.label =
         machineTag + "/" +
@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
       charm::MachineConfig machine =
           bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 8);
       runner.applyFaults(machine);
+      runner.applyMetrics(machine);
       const auto msg = run(machine, apps::matmul::Mode::kMessages, pes,
                            iterations, flopCost, runner, machineTag);
       const auto ckd = run(machine, apps::matmul::Mode::kCkDirect, pes,

@@ -54,7 +54,7 @@ apps::openatom::Result run(const charm::MachineConfig& machine,
   runner.configureTrace(rts.engine().trace());
   apps::openatom::OpenAtomApp app(rts, cfg);
   const auto result = app.execute();
-  if (runner.wantsProfiles()) {
+  if (runner.wantsProfiles() || runner.metricsEnabled()) {
     harness::ProfileReport report = harness::captureProfile(rts);
     report.label =
         std::string(mode == apps::openatom::Mode::kCkDirect ? "ckd" : "msg") +
@@ -92,6 +92,7 @@ int main(int argc, char** argv) {
     charm::MachineConfig machine =
         bgp ? harness::surveyorMachine(pes, 4) : harness::abeMachine(pes, 2);
     runner.applyFaults(machine);
+    runner.applyMetrics(machine);
     const auto msgFull = run(machine, apps::openatom::Mode::kMessages, false,
                              args, steps, pes, bgp, runner);
     const auto ckdFull = run(machine, apps::openatom::Mode::kCkDirect, false,

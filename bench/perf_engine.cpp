@@ -124,11 +124,13 @@ class StormChare final : public charm::Chare {
 ScenarioResult runStorm(int pairs, int iterations, std::size_t bytes,
                         int pesPerNode = 4, int shards = 0,
                         int shardThreads = 0, bool pinThreads = false,
-                        harness::BenchRunner* recordTo = nullptr) {
+                        harness::BenchRunner* recordTo = nullptr,
+                        const char* label = "storm") {
   charm::MachineConfig machine = harness::abeMachine(2 * pairs, pesPerNode);
   machine.shards = shards;
   machine.shardThreads = shardThreads;
   machine.pinShardThreads = pinThreads;
+  if (recordTo != nullptr) recordTo->applyMetrics(machine);
   charm::Runtime rts(machine);
   auto proxy = charm::makeArray<StormChare>(
       rts, "storm", 2 * pairs, [](std::int64_t i) { return static_cast<int>(i); },
@@ -154,7 +156,29 @@ ScenarioResult runStorm(int pairs, int iterations, std::size_t bytes,
   result.events = rts.executedEvents();
   if (const sim::ParallelEngine* par = rts.parallelEngine())
     result.threads = par->threads();
-  if (recordTo != nullptr) recordTo->recordShardStats(rts);
+  // Tracing stays off in this bench, so every ring must come back untouched:
+  // TraceRecorder::record/recordLazy may not allocate — or even evaluate
+  // their lazy closures — while disabled. A nonzero count here means the
+  // compile-out contract broke and the events/sec numbers are garbage.
+  const auto assertNoRing = [](const sim::Engine& eng) {
+    CKD_REQUIRE(
+        eng.trace().recorded() == 0 && eng.trace().ringHeapBytes() == 0,
+        "trace ring touched while tracing is disabled");
+  };
+  if (sim::ParallelEngine* par = rts.parallelEngine()) {
+    assertNoRing(par->serialEngine());
+    for (int s = 0; s < par->shards(); ++s) assertNoRing(par->shardEngine(s));
+  } else {
+    assertNoRing(rts.engine());
+  }
+  if (recordTo != nullptr) {
+    recordTo->recordShardStats(rts);
+    if (recordTo->wantsProfiles() || rts.metricsArmed()) {
+      harness::ProfileReport report = harness::captureProfile(rts);
+      report.label = label;
+      recordTo->addProfile(std::move(report));
+    }
+  }
   return result;
 }
 
@@ -176,7 +200,10 @@ int main(int argc, char** argv) {
               "scenario sizes must be positive");
 
   const ScenarioResult churn = runChurn(churnEvents, churnTimers);
-  const ScenarioResult storm = runStorm(stormPairs, stormIters, stormBytes);
+  const ScenarioResult storm =
+      runStorm(stormPairs, stormIters, stormBytes, /*pesPerNode=*/4,
+               /*shards=*/0, /*shardThreads=*/0, /*pinThreads=*/false,
+               &runner, "storm");
 
   // Sharded A/B on a one-PE-per-node machine: the serial floor and the
   // parallel engine run the identical workload (the determinism gate in
@@ -184,10 +211,12 @@ int main(int argc, char** argv) {
   ScenarioResult stormSer, stormPar;
   const bool sharded = runner.shards() > 0;
   if (sharded) {
-    stormSer = runStorm(stormPairs, stormIters, stormBytes, /*pesPerNode=*/1);
+    stormSer = runStorm(stormPairs, stormIters, stormBytes, /*pesPerNode=*/1,
+                        /*shards=*/0, /*shardThreads=*/0, /*pinThreads=*/false,
+                        &runner, "storm-ser");
     stormPar = runStorm(stormPairs, stormIters, stormBytes, /*pesPerNode=*/1,
                         runner.shards(), runner.shardThreads(),
-                        runner.pinThreads(), &runner);
+                        runner.pinThreads(), &runner, "storm-par");
   }
 
   struct Row {

@@ -83,6 +83,7 @@ CellResult runCell(int pes, int itersPerPair, std::size_t bytes, int shards,
   machine.shards = shards;
   machine.shardThreads = shardThreads;
   machine.pinShardThreads = pinThreads;
+  if (recordTo != nullptr) recordTo->applyMetrics(machine);
   charm::Runtime rts(machine);
   auto proxy = charm::makeArray<SweepChare>(
       rts, "sweep", pes, [](std::int64_t i) { return static_cast<int>(i); },

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   // Pingpong runs between two processes on distinct nodes (1 PE/node).
   charm::MachineConfig machine = harness::abeMachine(2, 1);
   runner.applyFaults(machine);
+  runner.applyMetrics(machine);
 
   const std::vector<std::size_t> sizes = {100,   1000,  5000,   10000, 20000,
                                           30000, 40000, 70000, 100000, 500000};
@@ -88,7 +89,8 @@ int main(int argc, char** argv) {
       cfg.trace = runner.traceEnabled();
       cfg.traceCapacity = runner.traceCapacity();
       harness::ProfileReport report;
-      if (runner.wantsProfiles()) cfg.profile = &report;
+      if (runner.wantsProfiles() || runner.metricsEnabled())
+        cfg.profile = &report;
       const double rtt = variants[v].run(cfg);
 
       util::JsonValue labels = util::JsonValue::object();

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
 
   charm::MachineConfig machine = harness::surveyorMachine(2, 1);
   runner.applyFaults(machine);
+  runner.applyMetrics(machine);
 
   const std::vector<std::size_t> sizes = {100,   1000,  5000,   10000, 20000,
                                           30000, 40000, 70000, 100000, 500000};
@@ -77,7 +78,8 @@ int main(int argc, char** argv) {
       cfg.trace = runner.traceEnabled();
       cfg.traceCapacity = runner.traceCapacity();
       harness::ProfileReport report;
-      if (runner.wantsProfiles()) cfg.profile = &report;
+      if (runner.wantsProfiles() || runner.metricsEnabled())
+        cfg.profile = &report;
       const double rtt = variants[v].run(cfg);
 
       util::JsonValue labels = util::JsonValue::object();

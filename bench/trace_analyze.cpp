@@ -10,7 +10,11 @@
 //   * per-layer log2 latency histograms over all completed chains.
 //
 // Usage:
-//   trace_analyze <dump.json> [--run <glob>] [--top N]
+//   trace_analyze <dump.json> [--run <glob>] [--top N] [--json <file>]
+//
+// --json re-emits the analysis as a ckd.bench.v1 metrics document (one row
+// per headline number, labelled by run / chain kind), so bench_diff can
+// gate post-hoc causal-split numbers exactly like live bench output.
 
 #include <algorithm>
 #include <array>
@@ -23,6 +27,7 @@
 #include <vector>
 
 #include "harness/trace_export.hpp"
+#include "obs/histogram.hpp"
 #include "sim/causal.hpp"
 #include "sim/trace.hpp"
 #include "util/args.hpp"
@@ -63,6 +68,31 @@ std::string chainLabel(const CausalChain& c) {
                          : std::string("?");
   if (c.channel >= 0) kind += "#" + std::to_string(c.channel);
   return kind;
+}
+
+void addMetric(ckd::util::JsonValue& metrics, const std::string& run,
+               const char* name, double value, const char* unit,
+               const char* kind = nullptr) {
+  ckd::util::JsonValue row = ckd::util::JsonValue::object();
+  row.set("name", name);
+  row.set("value", value);
+  row.set("unit", unit);
+  ckd::util::JsonValue labels = ckd::util::JsonValue::object();
+  labels.set("run", run);
+  if (kind != nullptr) labels.set("kind", kind);
+  row.set("labels", std::move(labels));
+  metrics.push(std::move(row));
+}
+
+void emitSummary(ckd::util::JsonValue& metrics, const std::string& run,
+                 const char* kind, const LatencySummary& s) {
+  if (s.count == 0) return;
+  addMetric(metrics, run, "chains", static_cast<double>(s.count), "1", kind);
+  addMetric(metrics, run, "mean_total_us", s.mean.total_us, "us", kind);
+  addMetric(metrics, run, "mean_queue_us", s.mean.queue_us, "us", kind);
+  addMetric(metrics, run, "mean_wire_us", s.mean.wire_us, "us", kind);
+  addMetric(metrics, run, "mean_poll_us", s.mean.poll_us, "us", kind);
+  addMetric(metrics, run, "mean_handler_us", s.mean.handler_us, "us", kind);
 }
 
 void printSummary(const char* name, const LatencySummary& s) {
@@ -113,7 +143,8 @@ void printHistogram(const char* name, const std::vector<double>& samples) {
 }
 
 void analyzeRun(const std::string& run, const std::vector<TraceEvent>& events,
-                double horizonUs, std::size_t topK) {
+                double horizonUs, std::size_t topK,
+                ckd::util::JsonValue* metricsOut) {
   const CausalGraph graph(events);
   std::size_t completed = 0;
   for (const CausalChain& c : graph.chains()) completed += c.complete;
@@ -150,17 +181,49 @@ void analyzeRun(const std::string& run, const std::vector<TraceEvent>& events,
     std::printf("  critical path: none (no completed chains)\n");
   }
 
-  printSummary("put latency", graph.putLatency());
-  printSummary("msg latency", graph.messageLatency());
   // Per-design breakdowns for the PGAS / RDMA-MPI one-sided ops (rows are
   // omitted when the dump contains no chains of that kind).
   using ckd::sim::TraceTag;
-  printSummary("pgas.put", graph.latencyByKind(TraceTag::kPgasPut));
-  printSummary("pgas.get", graph.latencyByKind(TraceTag::kPgasGet));
-  printSummary("pgas.atomic", graph.latencyByKind(TraceTag::kPgasAtomic));
-  printSummary("mpi.put", graph.latencyByKind(TraceTag::kMpiPut));
-  printSummary("mpi.rdma.eager", graph.latencyByKind(TraceTag::kMpiRdmaEager));
-  printSummary("mpi.rdma.rndv", graph.latencyByKind(TraceTag::kMpiRdmaRndv));
+  const std::vector<std::pair<const char*, LatencySummary>> summaries = {
+      {"put", graph.putLatency()},
+      {"msg", graph.messageLatency()},
+      {"pgas.put", graph.latencyByKind(TraceTag::kPgasPut)},
+      {"pgas.get", graph.latencyByKind(TraceTag::kPgasGet)},
+      {"pgas.atomic", graph.latencyByKind(TraceTag::kPgasAtomic)},
+      {"mpi.put", graph.latencyByKind(TraceTag::kMpiPut)},
+      {"mpi.rdma.eager", graph.latencyByKind(TraceTag::kMpiRdmaEager)},
+      {"mpi.rdma.rndv", graph.latencyByKind(TraceTag::kMpiRdmaRndv)},
+  };
+  for (const auto& [kind, summary] : summaries)
+    printSummary(kind, summary);
+
+  if (metricsOut != nullptr) {
+    addMetric(*metricsOut, run, "events", static_cast<double>(events.size()),
+              "1");
+    addMetric(*metricsOut, run, "chains_total",
+              static_cast<double>(graph.chains().size()), "1");
+    addMetric(*metricsOut, run, "chains_completed",
+              static_cast<double>(completed), "1");
+    if (!path.empty()) {
+      addMetric(*metricsOut, run, "critical_path_us",
+                graph.criticalPathSpan(), "us");
+      addMetric(*metricsOut, run, "critical_path_hops",
+                static_cast<double>(path.size()), "1");
+    }
+    for (const auto& [kind, summary] : summaries)
+      emitSummary(*metricsOut, run, kind, summary);
+    // Completed-chain percentiles through the same log-bucketed histogram
+    // the live telemetry uses (within Histogram::kRelativeError of exact).
+    ckd::obs::Histogram totals;
+    for (const CausalChain& c : graph.chains())
+      if (c.complete) totals.record(c.breakdown().total_us);
+    if (totals.count() > 0) {
+      addMetric(*metricsOut, run, "latency_p50_us", totals.percentile(0.50),
+                "us");
+      addMetric(*metricsOut, run, "latency_p99_us", totals.percentile(0.99),
+                "us");
+    }
+  }
 
   const std::vector<CausalChain> slow = graph.slowestChains(topK);
   if (!slow.empty()) {
@@ -206,13 +269,15 @@ int main(int argc, char** argv) {
   if (path.empty() && !args.positional().empty()) path = args.positional()[0];
   if (path.empty()) {
     std::fprintf(stderr,
-                 "usage: %s <dump.json> [--run <glob>] [--top N]\n"
+                 "usage: %s <dump.json> [--run <glob>] [--top N] "
+                 "[--json <file>]\n"
                  "  dump.json: a ckd.trace.v1 file from --trace-dump\n",
                  args.program().c_str());
     return 2;
   }
   const std::string runGlob = args.get("run", "*");
   const auto topK = static_cast<std::size_t>(args.getInt("top", 5));
+  const std::string jsonOut = args.get("json", "");
 
   std::ifstream in(path);
   if (!in) {
@@ -255,10 +320,25 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  util::JsonValue metrics = util::JsonValue::array();
   for (const std::string& run : order) {
     const auto horizon = horizons.find(run);
     analyzeRun(run, byRun[run],
-               horizon != horizons.end() ? horizon->second : 0.0, topK);
+               horizon != horizons.end() ? horizon->second : 0.0, topK,
+               jsonOut.empty() ? nullptr : &metrics);
+  }
+
+  if (!jsonOut.empty()) {
+    util::JsonValue out = util::JsonValue::object();
+    out.set("schema", "ckd.bench.v1");
+    out.set("bench", "trace_analyze");
+    out.set("source", doc.at("bench").asString());
+    out.set("metrics", std::move(metrics));
+    std::ofstream outFile(jsonOut);
+    CKD_REQUIRE(outFile.good(),
+                ("cannot open --json output file: " + jsonOut).c_str());
+    outFile << out.dump(2) << "\n";
+    std::fprintf(stderr, "[trace_analyze] wrote %s\n", jsonOut.c_str());
   }
   return 0;
 }

@@ -27,26 +27,33 @@ enum class MsgKind : std::int32_t {
 /// wire charge is kWireHeaderBytes regardless of how many of them the
 /// in-memory struct uses.
 struct Envelope {
-  std::uint32_t magic = kMagic;
-  MsgKind kind = MsgKind::kUser;
-  std::int32_t srcPe = -1;
-  std::int32_t dstPe = -1;
-  ArrayId arrayId = kSystemArray;
+  // 8-byte members first: packing them together leaves exactly one 4-byte
+  // pad in the 4-byte tail group, keeping sizeof(Envelope) == 80.
   std::int64_t elemIndex = 0;
-  EntryId entry = -1;
-  std::uint32_t payloadBytes = 0;
-  std::uint32_t reductionRound = 0;
   std::uint64_t seq = 0;
-  /// Restart epoch the message was sent in. The scheduler drops arrivals
-  /// whose epoch predates the runtime's (stale traffic from before a
-  /// fail-stop recovery must not land in rolled-back state).
-  std::uint32_t epoch = 0;
   /// Causal chain id minted at send time (sim::TraceRecorder::mintId); 0
   /// until minted. Retransmits and duplicates of the same logical message
   /// carry the same id — one chain, N attempts.
   std::uint64_t traceId = 0;
   /// Chain id of the handler that sent this message (0 for root sends).
   std::uint64_t parentTraceId = 0;
+  /// Virtual send timestamp (us) stamped by the transport at first issue;
+  /// -1 until stamped. Rides the header so the delivery side can feed the
+  /// streaming msg-RTT histogram without any cross-shard lookup state.
+  /// Retransmits keep the original stamp — one chain, N attempts.
+  double sentAt = -1.0;
+  std::uint32_t magic = kMagic;
+  MsgKind kind = MsgKind::kUser;
+  std::int32_t srcPe = -1;
+  std::int32_t dstPe = -1;
+  ArrayId arrayId = kSystemArray;
+  EntryId entry = -1;
+  std::uint32_t payloadBytes = 0;
+  std::uint32_t reductionRound = 0;
+  /// Restart epoch the message was sent in. The scheduler drops arrivals
+  /// whose epoch predates the runtime's (stale traffic from before a
+  /// fail-stop recovery must not land in rolled-back state).
+  std::uint32_t epoch = 0;
 
   static constexpr std::uint32_t kMagic = 0xC4A23u;
 };

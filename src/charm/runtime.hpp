@@ -79,6 +79,14 @@ struct MachineConfig {
   bool elastic = false;
   /// Drains that would leave fewer than this many active PEs are rejected.
   int minPes = 2;
+  /// Streaming telemetry (--metrics-interval): > 0 arms the SLO histograms
+  /// on every engine and samples a flight-recorder snapshot each this many
+  /// virtual microseconds. 0 (default) compiles the whole path down to one
+  /// disarmed branch per feed point.
+  double metricsInterval_us = 0.0;
+  /// Flight-recorder ring capacity (--metrics-snapshots); oldest snapshots
+  /// drop (and are counted) once full.
+  std::size_t metricsSnapshots = 512;
 };
 
 class Runtime {
@@ -281,6 +289,18 @@ class Runtime {
   /// Retained trace events, merged across shards in canonical order.
   std::vector<sim::TraceEvent> traceEvents() const;
 
+  /// Arm streaming telemetry: SLO histograms on every engine, plus — when
+  /// `interval_us` > 0 — a flight recorder snapshotting every registered
+  /// probe and the merged SLO view each `interval_us` of virtual time.
+  /// Called from the ctor when the config sets metricsInterval_us; tests
+  /// call it with interval 0 to get histograms without sampling. Read-only
+  /// by construction: arming never changes simulation results.
+  void enableMetrics(double interval_us = 0.0, std::size_t snapshots = 0);
+  bool metricsArmed() const { return metricsArmed_; }
+  /// The ckd.metrics.v1 document: flight-recorder series (empty when no
+  /// interval was set) plus the shard-merged SLO summary.
+  util::JsonValue metricsJson();
+
   std::uint64_t messagesSent() const {
     return messagesSent_.load(std::memory_order_relaxed);
   }
@@ -370,6 +390,10 @@ class Runtime {
   std::shared_ptr<void> extension_;
   std::unique_ptr<CheckpointManager> ckpt_;
   std::unique_ptr<LifecycleManager> lifecycle_;
+  /// Flight recorder sampled by whichever engine drives the run; created by
+  /// enableMetrics when an interval is set.
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  bool metricsArmed_ = false;
   std::function<void()> reestablishHook_;
   std::function<void()> growHook_;
   MigrateFn migrateHook_;

@@ -107,8 +107,8 @@ void Scheduler::pump() {
   ctxLayer_ = sim::Layer::kApp;
   runtime_.setCurrentPe(pe_);
   sim::TraceRecorder& trace = engine.trace();
-  trace.record(t, pe_, sim::TraceTag::kSchedPump,
-               static_cast<double>(messages_.size()));
+  trace.recordLazy(t, pe_, sim::TraceTag::kSchedPump,
+                   [this] { return static_cast<double>(messages_.size()); });
 
   // 1. Poll phase: CkDirect's polling-queue scan (charges per handle and
   //    may run put-completion callbacks).
@@ -138,6 +138,11 @@ void Scheduler::pump() {
     trace.recordSpan(t, pe_, sim::TraceTag::kSchedDeliver,
                      sim::SpanPhase::kEnd, env.traceId, env.parentTraceId,
                      static_cast<double>(msg->payloadBytes()));
+    // Streaming msg-RTT: send instant rides the envelope (survives
+    // retransmits and shard crossings), so this is exactly the causal
+    // chain's transport-begin -> deliver-end latency.
+    if (env.sentAt >= 0.0)
+      engine.metrics().record(obs::Slo::kMsgRtt, t - env.sentAt);
     const RuntimeCosts& costs = runtime_.costs();
     // Envelope handling, scheduling, and the receive-side copy are
     // scheduler time; the handler body itself charges as application time.

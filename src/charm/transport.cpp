@@ -56,6 +56,10 @@ void IbTransport::sendEager(MessagePtr msg) {
   const int src = msg->env().srcPe;
   const int dst = msg->env().dstPe;
   const std::uint64_t traceId = msg->env().traceId;
+  // Stamp before sealHeader so the wire image carries the send instant and
+  // the delivery side can feed the streaming msg-RTT histogram. Retransmits
+  // rebuild from this image, so the stamp survives them unchanged.
+  if (msg->env().sentAt < 0.0) msg->env().sentAt = runtime_.engine().now();
   runtime_.engine().trace().recordSpan(
       runtime_.engine().now(), src, sim::TraceTag::kXportEager,
       sim::SpanPhase::kBegin, traceId, msg->env().parentTraceId,
@@ -97,6 +101,7 @@ void IbTransport::sendRendezvous(MessagePtr msg) {
               "cross-shard state (keep messages below the RDMA threshold, or "
               "use CkDirect for bulk transfers)");
   ++rendezvousSends_;
+  if (msg->env().sentAt < 0.0) msg->env().sentAt = runtime_.engine().now();
   const Envelope env = msg->env();
   const std::uint64_t seq = env.seq;
   CKD_REQUIRE(pendingSends_.count(seq) == 0, "duplicate rendezvous sequence");
@@ -362,6 +367,7 @@ void BgpTransport::reset() {
 
 void BgpTransport::send(MessagePtr msg) {
   ++sends_;
+  if (msg->env().sentAt < 0.0) msg->env().sentAt = runtime_.engine().now();
   msg->sealHeader();
   runtime_.engine().trace().recordSpan(
       runtime_.engine().now(), msg->env().srcPe, sim::TraceTag::kXportBgpSend,

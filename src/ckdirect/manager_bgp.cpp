@@ -109,6 +109,7 @@ void BgpManager::put(std::int32_t handle) {
   // one chain). The parent is whatever handler called CkDirect_put.
   ch.activeTraceId = rts_.engine().trace().mintId();
   ch.activeParentId = rts_.engine().trace().context();
+  ch.activePutAt = -1.0;  // fresh logical put, fresh latency clock
 
   const std::uint32_t epoch = epoch_;
   rts_.engine().at(issue, [this, handle, epoch]() {
@@ -126,6 +127,9 @@ void BgpManager::issueSend(std::int32_t handle) {
       rts_.engine().now(), ch.sendPe, sim::TraceTag::kDirectPut,
       sim::SpanPhase::kBegin, ch.activeTraceId, ch.activeParentId,
       static_cast<double>(ch.bytes), handle);
+  // First issue of this logical put starts the streaming latency clock;
+  // the retry path re-enters here and must not restart it.
+  if (ch.activePutAt < 0.0) ch.activePutAt = rts_.engine().now();
   // Two quad words of context ride with the payload (§2.2): the receive
   // buffer pointer + handle id, and the receive request pointer.
   dcmf::Info info;
@@ -225,6 +229,13 @@ void BgpManager::onArrived(std::int32_t id) {
   rts_.engine().trace().recordSpan(
       rts_.engine().now(), ch.recvPe, sim::TraceTag::kDirectCallback,
       sim::SpanPhase::kEnd, ch.activeTraceId, ch.activeParentId, 0.0, id);
+  // Streaming put latency: first send issue -> arrival callback, matching
+  // the kDirectPut/kDirectCallback causal chain exactly.
+  if (ch.activePutAt >= 0.0) {
+    rts_.engine().metrics().record(obs::Slo::kPut,
+                                   rts_.engine().now() - ch.activePutAt);
+    ch.activePutAt = -1.0;
+  }
   sim::Time cost = rts_.costs().callback_overhead_us;
   if (ch.blockCount > 1)
     cost += rts_.fabric().params().self_per_byte_us *

@@ -83,6 +83,9 @@ class BgpManager final : public Manager {
     /// retries of one put share it) and the chain that issued it.
     std::uint64_t activeTraceId = 0;
     std::uint64_t activeParentId = 0;
+    /// First-issue instant of the in-flight put (-1 idle); retries keep it
+    /// so the streaming put histogram sees issue -> arrival per logical put.
+    sim::Time activePutAt = -1.0;
   };
 
   Channel& channel(std::int32_t id);

@@ -176,6 +176,7 @@ void IbManager::put(std::int32_t handle) {
   // --shards (mintIdFor falls back to the global stream otherwise).
   ch.activeTraceId = rts_.engine().trace().mintIdFor(ch.sendPe);
   ch.activeParentId = rts_.engine().trace().context();
+  ch.activePutAt = -1.0;  // fresh logical put, fresh latency clock
 
   const std::uint32_t epoch = epoch_;
   rts_.schedAt(ch.sendPe, issue, [this, handle, epoch]() {
@@ -194,6 +195,9 @@ void IbManager::issueWrites(std::int32_t handle) {
       rts_.engine().now(), ch.sendPe, sim::TraceTag::kDirectPut,
       sim::SpanPhase::kBegin, ch.activeTraceId, ch.activeParentId,
       static_cast<double>(ch.bytes), handle);
+  // First issue of this logical put starts the streaming latency clock;
+  // transparent retries re-enter here and must not restart it.
+  if (ch.activePutAt < 0.0) ch.activePutAt = rts_.engine().now();
   // One RDMA write per destination block (a scatter put issues one
   // descriptor per contiguous run). RC in-order delivery means the last
   // block — which carries the sentinel — lands last, so detection still
@@ -292,8 +296,8 @@ void IbManager::pollScan(int pe) {
   scans_.fetch_add(1, std::memory_order_relaxed);
   charm::Scheduler& sched = rts_.scheduler(pe);
   sim::TraceRecorder& trace = rts_.engine().trace();
-  trace.record(rts_.engine().now(), pe, sim::TraceTag::kDirectPollScan,
-               static_cast<double>(queue.size()));
+  trace.recordLazy(rts_.engine().now(), pe, sim::TraceTag::kDirectPollScan,
+                   [&queue] { return static_cast<double>(queue.size()); });
   trace.observePollQueue(queue.size());
   sched.charge(rts_.costs().poll_per_handle_us *
                static_cast<double>(queue.size()));
@@ -320,6 +324,13 @@ void IbManager::pollScan(int pe) {
     trace.recordSpan(sched.currentTime(), pe, sim::TraceTag::kDirectCallback,
                      sim::SpanPhase::kEnd, ch.activeTraceId, ch.activeParentId,
                      0.0, id);
+    // Streaming put latency: first write issue -> callback completion,
+    // matching the kDirectPut/kDirectCallback causal chain exactly.
+    if (ch.activePutAt >= 0.0) {
+      rts_.engine().metrics().record(obs::Slo::kPut,
+                                     sched.currentTime() - ch.activePutAt);
+      ch.activePutAt = -1.0;
+    }
     // Puts issued by the callback are caused by this arrival: expose the
     // put's chain id as the ambient context for the callback body.
     const std::uint64_t prevCtx = trace.context();

@@ -110,6 +110,10 @@ class IbManager final : public Manager {
     /// retries of one put share it) and the chain that issued it.
     std::uint64_t activeTraceId = 0;
     std::uint64_t activeParentId = 0;
+    /// First-issue instant of the in-flight put (-1 idle); transparent
+    /// retries keep it, so the streaming put histogram sees one sample per
+    /// logical put — issue to callback, retries included.
+    sim::Time activePutAt = -1.0;
   };
 
   /// Channels live in per-receiver-PE chunked slabs and a handle id encodes

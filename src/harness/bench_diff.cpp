@@ -1,0 +1,296 @@
+#include "harness/bench_diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "harness/trace_export.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+
+namespace ckd::harness {
+
+namespace {
+
+enum class Direction { kHigherWorse, kLowerWorse, kSymmetric };
+
+/// Time-like units regress upward, rate/speedup units downward, everything
+/// else (counts, bytes) is symmetric drift.
+Direction unitDirection(const std::string& unit) {
+  if (unit == "us" || unit == "ms" || unit == "s") return Direction::kHigherWorse;
+  if (unit == "1/s" || unit == "x") return Direction::kLowerWorse;
+  return Direction::kSymmetric;
+}
+
+/// Units whose value depends on the host machine's wall clock, not the
+/// simulation: excluded unless --include-host.
+bool unitIsHostDependent(const std::string& unit) {
+  return unit == "1/s" || unit == "s" || unit == "x";
+}
+
+bool anyGlobMatches(const std::vector<std::string>& globs,
+                    const std::string& key) {
+  for (const std::string& g : globs)
+    if (TraceFilter::globMatch(g, key)) return true;
+  return false;
+}
+
+struct Entry {
+  double value = 0.0;
+  std::string unit;
+};
+
+std::map<std::string, Entry> indexMetrics(const util::JsonValue& doc) {
+  const util::JsonValue* metrics = doc.find("metrics");
+  CKD_REQUIRE(metrics != nullptr && metrics->isArray(),
+              "not a ckd.bench.v1 document (no metrics array)");
+  std::map<std::string, Entry> out;
+  for (std::size_t i = 0; i < metrics->size(); ++i) {
+    const util::JsonValue& row = metrics->at(i);
+    const util::JsonValue* value = row.find("value");
+    CKD_REQUIRE(value != nullptr && value->isNumber(),
+                "malformed metric row (no numeric value)");
+    Entry e;
+    e.value = value->asNumber();
+    if (const util::JsonValue* unit = row.find("unit"))
+      e.unit = unit->asString();
+    // Duplicate keys would make the diff ambiguous; the schema's labels
+    // exist exactly to discriminate repeats of one metric name.
+    const std::string key = metricKey(row);
+    CKD_REQUIRE(out.emplace(key, std::move(e)).second,
+                ("duplicate metric key in bench document: " + key).c_str());
+  }
+  return out;
+}
+
+std::string formatValue(double v) {
+  // Integers (counts) print exactly; everything else gets 6 significant
+  // digits, enough to see any drift the band could care about.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(0);
+    os << v;
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string_view diffStatusName(DiffStatus status) {
+  switch (status) {
+    case DiffStatus::kOk: return "ok";
+    case DiffStatus::kImprovement: return "improvement";
+    case DiffStatus::kRegression: return "REGRESSION";
+    case DiffStatus::kMissingBase: return "missing-base";
+    case DiffStatus::kMissingCand: return "missing-cand";
+    case DiffStatus::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+std::string metricKey(const util::JsonValue& metricRow) {
+  const util::JsonValue* name = metricRow.find("name");
+  CKD_REQUIRE(name != nullptr, "metric row has no name");
+  std::string key = name->asString();
+  const util::JsonValue* labels = metricRow.find("labels");
+  if (labels == nullptr || !labels->isObject() || labels->size() == 0)
+    return key;
+  // Sort label keys so the identity is insertion-order independent.
+  std::vector<std::pair<std::string, std::string>> kv;
+  for (const auto& [k, v] : labels->members()) {
+    std::string text;
+    if (v.isNumber())
+      text = formatValue(v.asNumber());
+    else if (v.isString())
+      text = v.asString();
+    else
+      text = v.dump(0);
+    kv.emplace_back(k, std::move(text));
+  }
+  std::sort(kv.begin(), kv.end());
+  key += '{';
+  for (std::size_t i = 0; i < kv.size(); ++i) {
+    if (i) key += ',';
+    key += kv[i].first + '=' + kv[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+std::vector<std::pair<std::string, double>> parseMetricTolerances(
+    std::string_view spec) {
+  std::vector<std::pair<std::string, double>> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+    // Split on the LAST '=': metric keys carry labels ("b{x=1}"), so the
+    // glob part may itself contain '=' characters.
+    const std::size_t eq = token.rfind('=');
+    CKD_REQUIRE(eq != std::string_view::npos && eq > 0,
+                "--metric-tol wants glob=R[,glob=R...]");
+    const std::string num(token.substr(eq + 1));
+    char* end = nullptr;
+    const double tol = std::strtod(num.c_str(), &end);
+    CKD_REQUIRE(end != num.c_str() && *end == '\0' && tol >= 0.0,
+                "--metric-tol tolerance must be a non-negative number");
+    out.emplace_back(std::string(token.substr(0, eq)), tol);
+  }
+  return out;
+}
+
+DiffReport diffBench(const util::JsonValue& base, const util::JsonValue& cand,
+                     const DiffOptions& opts) {
+  const std::map<std::string, Entry> baseIdx = indexMetrics(base);
+  const std::map<std::string, Entry> candIdx = indexMetrics(cand);
+
+  const auto toleranceFor = [&opts](const std::string& key) {
+    for (const auto& [glob, tol] : opts.metricTolerance)
+      if (TraceFilter::globMatch(glob, key)) return tol;
+    return opts.tolerance;
+  };
+  const auto filteredOut = [&opts](const std::string& key,
+                                   const std::string& unit) {
+    if (!opts.includeHost && unitIsHostDependent(unit)) return true;
+    if (anyGlobMatches(opts.skip, key)) return true;
+    if (!opts.only.empty() && !anyGlobMatches(opts.only, key)) return true;
+    return false;
+  };
+
+  DiffReport report;
+  for (const auto& [key, b] : baseIdx) {
+    DiffRow row;
+    row.key = key;
+    row.unit = b.unit;
+    row.base = b.value;
+    if (filteredOut(key, b.unit)) {
+      row.status = DiffStatus::kSkipped;
+      ++report.skipped;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    const auto it = candIdx.find(key);
+    if (it == candIdx.end()) {
+      row.status = DiffStatus::kMissingCand;
+      ++report.missing;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    const Entry& c = it->second;
+    row.cand = c.value;
+    row.tolerance = toleranceFor(key);
+    row.rel = b.value != 0.0 ? (c.value - b.value) / std::fabs(b.value)
+                             : (c.value != 0.0 ? (c.value > 0 ? 1.0 : -1.0)
+                                               : 0.0);
+    ++report.compared;
+    const bool breach = std::fabs(row.rel) > row.tolerance;
+    if (!breach) {
+      row.status = DiffStatus::kOk;
+    } else {
+      switch (unitDirection(b.unit)) {
+        case Direction::kHigherWorse:
+          row.status = row.rel > 0.0 ? DiffStatus::kRegression
+                                     : DiffStatus::kImprovement;
+          break;
+        case Direction::kLowerWorse:
+          row.status = row.rel < 0.0 ? DiffStatus::kRegression
+                                     : DiffStatus::kImprovement;
+          break;
+        case Direction::kSymmetric:
+          row.status = DiffStatus::kRegression;
+          break;
+      }
+      if (row.status == DiffStatus::kRegression)
+        ++report.regressions;
+      else
+        ++report.improvements;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  // Candidate-only metrics, in key order after the baseline rows.
+  for (const auto& [key, c] : candIdx) {
+    if (baseIdx.count(key) != 0) continue;
+    DiffRow row;
+    row.key = key;
+    row.unit = c.unit;
+    row.cand = c.value;
+    if (filteredOut(key, c.unit)) {
+      row.status = DiffStatus::kSkipped;
+      ++report.skipped;
+    } else {
+      row.status = DiffStatus::kMissingBase;
+      ++report.missing;
+    }
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string DiffReport::toTable(bool verbose) const {
+  util::TablePrinter table;
+  table.setHeader({"metric", "unit", "base", "candidate", "drift", "band",
+                   "status"});
+  for (const DiffRow& row : rows) {
+    if (!verbose &&
+        (row.status == DiffStatus::kOk || row.status == DiffStatus::kSkipped))
+      continue;
+    const bool compared = row.status == DiffStatus::kOk ||
+                          row.status == DiffStatus::kImprovement ||
+                          row.status == DiffStatus::kRegression;
+    table.addRow({row.key, row.unit,
+                  row.status == DiffStatus::kMissingBase
+                      ? "-"
+                      : formatValue(row.base),
+                  row.status == DiffStatus::kMissingCand
+                      ? "-"
+                      : formatValue(row.cand),
+                  compared ? util::formatPercent(row.rel) : "-",
+                  compared ? util::formatPercent(row.tolerance) : "-",
+                  std::string(diffStatusName(row.status))});
+  }
+  std::ostringstream os;
+  os << "bench_diff: " << compared << " compared, " << regressions
+     << " regressions, " << improvements << " improvements, " << missing
+     << " missing, " << skipped << " skipped\n";
+  if (table.rowCount() > 0) os << table.toString();
+  return os.str();
+}
+
+util::JsonValue DiffReport::toJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ckd.benchdiff.v1");
+  doc.set("compared", compared);
+  doc.set("regressions", regressions);
+  doc.set("improvements", improvements);
+  doc.set("missing", missing);
+  doc.set("skipped", skipped);
+  util::JsonValue out = util::JsonValue::array();
+  for (const DiffRow& row : rows) {
+    util::JsonValue r = util::JsonValue::object();
+    r.set("metric", row.key);
+    r.set("unit", row.unit);
+    r.set("status", std::string(diffStatusName(row.status)));
+    if (row.status != DiffStatus::kMissingBase) r.set("base", row.base);
+    if (row.status != DiffStatus::kMissingCand) r.set("candidate", row.cand);
+    if (row.status == DiffStatus::kOk ||
+        row.status == DiffStatus::kImprovement ||
+        row.status == DiffStatus::kRegression) {
+      r.set("drift", row.rel);
+      r.set("tolerance", row.tolerance);
+    }
+    out.push(std::move(r));
+  }
+  doc.set("rows", std::move(out));
+  return doc;
+}
+
+}  // namespace ckd::harness

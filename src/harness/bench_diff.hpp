@@ -1,0 +1,105 @@
+#pragma once
+// bench_diff — the perf-regression gate over ckd.bench.v1 documents.
+//
+// diffBench() matches metrics between a BASE document (a committed
+// BENCH_*.json baseline) and a CANDIDATE (a fresh run) by (name, labels),
+// applies a per-metric relative tolerance band, and classifies every pair:
+//
+//   ok           |cand - base| within the band
+//   improvement  drift beyond the band in the metric's *good* direction
+//                (reported, never fatal)
+//   regression   drift beyond the band in the *bad* direction (fatal)
+//   missing      present on one side only (fatal under --fail-on-missing)
+//
+// Direction comes from the unit: time-like units ("us", "ms", "s") regress
+// upward, rate/speedup units ("1/s", "x") regress downward, anything else
+// ("1" counts, bytes, ...) is symmetric — for this repo's deterministic
+// virtual-time metrics any drift at all is a real change, so symmetric
+// bands are typically set tight or zero.
+//
+// Wall-clock-dependent metrics (unit "1/s", "s", or "x" — events/sec,
+// wall seconds, host speedups) are machine-dependent and skipped by
+// default; --include-host compares them too. Virtual-time "us" metrics and
+// counts are deterministic and always compared.
+//
+// The CLI wrapper (bench/bench_diff.cpp) prints the classification table,
+// optionally re-emits it as JSON, and exits nonzero on any fatal row — the
+// contract the CI perf-regression leg is built on.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ckd::harness {
+
+struct DiffOptions {
+  /// Default relative tolerance band: |cand - base| <= tol * |base|.
+  double tolerance = 0.10;
+  /// Per-metric overrides: first glob (on the "name{labels}" key) that
+  /// matches wins. Parsed from --metric-tol "glob=R,glob=R".
+  std::vector<std::pair<std::string, double>> metricTolerance;
+  /// Key globs to exclude entirely (--skip).
+  std::vector<std::string> skip;
+  /// When non-empty, compare only keys matching one of these (--only).
+  std::vector<std::string> only;
+  /// Compare wall-clock-dependent units ("1/s", "s", "x") too.
+  bool includeHost = false;
+  /// Metrics present on one side only become fatal instead of warnings.
+  bool failOnMissing = false;
+};
+
+enum class DiffStatus {
+  kOk,           ///< within the band
+  kImprovement,  ///< beyond the band, good direction (non-fatal)
+  kRegression,   ///< beyond the band, bad direction (fatal)
+  kMissingBase,  ///< candidate-only metric
+  kMissingCand,  ///< baseline-only metric
+  kSkipped,      ///< excluded by unit/skip/only filters
+};
+
+std::string_view diffStatusName(DiffStatus status);
+
+struct DiffRow {
+  std::string key;   ///< "name{label=value,...}" canonical identity
+  std::string unit;
+  double base = 0.0;
+  double cand = 0.0;
+  double rel = 0.0;        ///< (cand - base) / |base| (0 when base == 0)
+  double tolerance = 0.0;  ///< band applied to this row
+  DiffStatus status = DiffStatus::kOk;
+};
+
+struct DiffReport {
+  std::vector<DiffRow> rows;  ///< baseline order, then candidate-only rows
+  int compared = 0;
+  int regressions = 0;
+  int improvements = 0;
+  int missing = 0;
+  int skipped = 0;
+
+  /// Nonzero-exit condition for the given options.
+  bool failed(const DiffOptions& opts) const {
+    return regressions > 0 || (opts.failOnMissing && missing > 0);
+  }
+
+  /// Human-readable classification table (only non-ok rows unless
+  /// `verbose`).
+  std::string toTable(bool verbose) const;
+  /// {"schema":"ckd.benchdiff.v1", summary counts, rows:[...]}.
+  util::JsonValue toJson() const;
+};
+
+/// Canonical row identity: metric name plus sorted labels.
+std::string metricKey(const util::JsonValue& metricRow);
+
+/// Diff two parsed ckd.bench.v1 documents. CKD_REQUIREs on schema
+/// mismatches (missing "metrics" array / malformed rows).
+DiffReport diffBench(const util::JsonValue& base, const util::JsonValue& cand,
+                     const DiffOptions& opts);
+
+/// Parse "glob=R[,glob=R...]" (--metric-tol grammar).
+std::vector<std::pair<std::string, double>> parseMetricTolerances(
+    std::string_view spec);
+
+}  // namespace ckd::harness

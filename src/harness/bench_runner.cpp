@@ -58,6 +58,10 @@ BenchRunner::BenchRunner(std::string name, const util::Args& args)
   shardThreads_ = static_cast<int>(args.getInt("shard-threads", 0));
   CKD_REQUIRE(shardThreads_ >= 0, "--shard-threads must be non-negative");
   pinThreads_ = args.getBool("pin-threads", false);
+  metricsInterval_ = args.getDouble("metrics-interval", 0.0);
+  CKD_REQUIRE(metricsInterval_ >= 0.0, "--metrics-interval must be >= 0");
+  metricsSnapshots_ =
+      static_cast<std::size_t>(args.getInt("metrics-snapshots", 0));
 
   // Host-performance baseline: everything in hostJson() is measured relative
   // to runner construction, so flag parsing and static init stay out of the
@@ -127,6 +131,12 @@ void BenchRunner::applyEngine(charm::MachineConfig& machine) const {
   machine.shards = shards_;
   machine.shardThreads = shardThreads_;
   machine.pinShardThreads = pinThreads_;
+}
+
+void BenchRunner::applyMetrics(charm::MachineConfig& machine) const {
+  if (metricsInterval_ <= 0.0) return;
+  machine.metricsInterval_us = metricsInterval_;
+  if (metricsSnapshots_ > 0) machine.metricsSnapshots = metricsSnapshots_;
 }
 
 void BenchRunner::recordShardStats(const charm::Runtime& rts) {

@@ -38,6 +38,15 @@
 //                       shard execution, useful for determinism A/B)
 //   --pin-threads       pin shard worker threads (and the coordinator) to
 //                       CPUs; the achieved pin count lands in the host JSON
+//   --metrics-interval <us>
+//                       arm streaming telemetry: SLO histograms on every
+//                       engine plus a flight-recorder snapshot of every
+//                       probe/percentile each <us> of virtual time; the
+//                       ckd.metrics.v1 block lands under each profile's
+//                       "telemetry" key and as Perfetto counter tracks
+//   --metrics-snapshots <n>
+//                       flight-recorder ring capacity (default 512; oldest
+//                       snapshots drop once full)
 //
 // Usage:
 //   util::Args args(argc, argv);
@@ -109,6 +118,14 @@ class BenchRunner {
   /// Copy --shards / --shard-threads into a MachineConfig (no-op when
   /// --shards was not given, leaving the classic serial engine).
   void applyEngine(charm::MachineConfig& machine) const;
+  /// --metrics-interval / --metrics-snapshots values (0 = telemetry off).
+  double metricsInterval() const { return metricsInterval_; }
+  std::size_t metricsSnapshots() const { return metricsSnapshots_; }
+  bool metricsEnabled() const { return metricsInterval_ > 0.0; }
+  /// Copy --metrics-interval / --metrics-snapshots into a MachineConfig
+  /// (no-op without --metrics-interval; the runtime arms telemetry at
+  /// construction).
+  void applyMetrics(charm::MachineConfig& machine) const;
   /// Snapshot the parallel engine's per-shard counters (executed events per
   /// shard, window count, lookahead) for the host JSON. Call after run(),
   /// while the runtime is still alive; no-op for serial runtimes.
@@ -158,6 +175,8 @@ class BenchRunner {
   int shards_ = 0;                  ///< 0: classic serial engine
   int shardThreads_ = 0;            ///< 0: one thread per shard
   bool pinThreads_ = false;         ///< pin shard workers to CPUs
+  double metricsInterval_ = 0.0;    ///< 0: streaming telemetry off
+  std::size_t metricsSnapshots_ = 0;  ///< 0: FlightRecorder default
   util::JsonValue shardStats_;      ///< recordShardStats() snapshot (or null)
 
   util::JsonValue metrics_ = util::JsonValue::array();

@@ -1,9 +1,11 @@
 #include "harness/pgas_world.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "net/lookahead.hpp"
+#include "obs/flight_recorder.hpp"
 #include "util/require.hpp"
 
 namespace ckd::harness {
@@ -96,6 +98,94 @@ void PgasWorld::enableTracing(std::size_t capacity) {
 
 std::vector<sim::TraceEvent> PgasWorld::traceEvents() const {
   return parallel_ ? parallel_->mergedTrace() : engine_.trace().snapshot();
+}
+
+void PgasWorld::enableMetrics(double interval_us, std::size_t snapshots) {
+  const auto forEachEngine = [this](auto&& fn) {
+    if (!parallel_) {
+      fn(engine_);
+      return;
+    }
+    fn(parallel_->serialEngine());
+    for (int s = 0; s < parallel_->shards(); ++s)
+      fn(parallel_->shardEngine(s));
+  };
+  forEachEngine([](sim::Engine& eng) { eng.metrics().arm(); });
+  metricsArmed_ = true;
+  if (interval_us <= 0.0) return;
+
+  flight_ = std::make_unique<obs::FlightRecorder>();
+  if (snapshots != 0) flight_->setCapacity(snapshots);
+  flight_->setInterval(interval_us);
+  flight_->addProbe("events", "1",
+                    [this]() { return static_cast<double>(executedEvents()); });
+  flight_->addProbe("retransmits", "1", [this, forEachEngine]() {
+    std::uint64_t n = 0;
+    forEachEngine([&n](sim::Engine& eng) {
+      n += eng.trace().count(sim::TraceTag::kRelRetransmit);
+    });
+    return static_cast<double>(n);
+  });
+  flight_->addProbe("trace.ring", "1", [this, forEachEngine]() {
+    std::size_t n = 0;
+    forEachEngine([&n](sim::Engine& eng) { n += eng.trace().ringSize(); });
+    return static_cast<double>(n);
+  });
+  if (parallel_) {
+    flight_->addProbe("windows", "1", [this]() {
+      return static_cast<double>(parallel_->windows());
+    });
+    flight_->addProbe("shard.lag_us", "us", [this]() {
+      sim::Time lo = std::numeric_limits<sim::Time>::infinity();
+      sim::Time hi = -std::numeric_limits<sim::Time>::infinity();
+      for (int s = 0; s < parallel_->shards(); ++s) {
+        const sim::Time t = parallel_->shardEngine(s).now();
+        lo = std::min(lo, t);
+        hi = std::max(hi, t);
+      }
+      return parallel_->shards() > 0 ? hi - lo : 0.0;
+    });
+  }
+  for (std::size_t k = 0; k < obs::kSloCount; ++k) {
+    const obs::Slo kind = static_cast<obs::Slo>(k);
+    flight_->watch(
+        "slo." + std::string(obs::sloName(kind)),
+        [this, forEachEngine, kind](std::vector<std::uint64_t>& counts) {
+          std::uint64_t total = 0;
+          forEachEngine([&](sim::Engine& eng) {
+            total += eng.metrics().slo(kind).addCounts(counts);
+          });
+          return total;
+        });
+  }
+  if (parallel_)
+    parallel_->attachSampler(flight_.get());
+  else
+    engine_.attachSampler(flight_.get());
+}
+
+util::JsonValue PgasWorld::metricsJson() {
+  util::JsonValue doc;
+  if (flight_ != nullptr) {
+    doc = flight_->toJson();
+  } else {
+    doc = util::JsonValue::object();
+    doc.set("schema", "ckd.metrics.v1");
+    doc.set("interval_us", 0.0);
+    doc.set("snapshots", 0);
+    doc.set("dropped", 0);
+    doc.set("series", util::JsonValue::array());
+  }
+  obs::MetricsRegistry merged;
+  if (!parallel_) {
+    merged.mergeFrom(engine_.metrics());
+  } else {
+    merged.mergeFrom(parallel_->serialEngine().metrics());
+    for (int s = 0; s < parallel_->shards(); ++s)
+      merged.mergeFrom(parallel_->shardEngine(s).metrics());
+  }
+  doc.set("slo", merged.toJson());
+  return doc;
 }
 
 }  // namespace ckd::harness

@@ -53,12 +53,22 @@ class PgasWorld {
   /// Retained trace events, merged across shards in canonical order.
   std::vector<sim::TraceEvent> traceEvents() const;
 
+  /// Arm streaming telemetry (mirrors charm::Runtime::enableMetrics): SLO
+  /// histograms on every engine, plus a sampled flight recorder when
+  /// `interval_us` > 0.
+  void enableMetrics(double interval_us = 0.0, std::size_t snapshots = 0);
+  bool metricsArmed() const { return metricsArmed_; }
+  /// The ckd.metrics.v1 document (series + merged SLO summary).
+  util::JsonValue metricsJson();
+
  private:
   sim::Engine engine_;
   std::unique_ptr<sim::ParallelEngine> parallel_;
   std::unique_ptr<net::Fabric> fabric_;
   std::unique_ptr<ib::IbVerbs> verbs_;
   std::unique_ptr<pgas::Pgas> pgas_;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  bool metricsArmed_ = false;
 };
 
 }  // namespace ckd::harness

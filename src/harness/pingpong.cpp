@@ -146,6 +146,7 @@ double mpiPingpongImpl(const charm::MachineConfig& machine,
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
   setupTrace(engine, cfg);
+  EngineTelemetry telemetry(engine, machine);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
   // Mini-MPI rides the raw fabric (no reliability layer): armed drop faults
   // model an unreliable transport and may stall the run (see README).
@@ -175,7 +176,10 @@ double mpiPingpongImpl(const charm::MachineConfig& machine,
   };
   engine.at(0.0, [&]() { iterate(); });
   engine.run();
-  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
+  if (cfg.profile) {
+    *cfg.profile = captureFabricProfile(engine, fabric);
+    telemetry.finishInto(cfg.profile);
+  }
   return total / cfg.iterations;
 }
 
@@ -198,6 +202,7 @@ double mpiPutPingpongRtt(const charm::MachineConfig& machine,
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
   setupTrace(engine, cfg);
+  EngineTelemetry telemetry(engine, machine);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
   if (machine.faults.armed())
     fabric.installFaults(machine.faults, machine.faultSeed);
@@ -248,7 +253,10 @@ double mpiPutPingpongRtt(const charm::MachineConfig& machine,
     iterA();
   });
   engine.run();
-  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
+  if (cfg.profile) {
+    *cfg.profile = captureFabricProfile(engine, fabric);
+    telemetry.finishInto(cfg.profile);
+  }
   return total / cfg.iterations;
 }
 
@@ -258,6 +266,7 @@ double pgasPingpongRtt(const charm::MachineConfig& machine,
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
   setupTrace(engine, cfg);
+  EngineTelemetry telemetry(engine, machine);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
   if (machine.faults.armed())
     fabric.installFaults(machine.faults, machine.faultSeed);
@@ -288,7 +297,10 @@ double pgasPingpongRtt(const charm::MachineConfig& machine,
   };
   engine.at(0.0, [&]() { iterate(); });
   engine.run();
-  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
+  if (cfg.profile) {
+    *cfg.profile = captureFabricProfile(engine, fabric);
+    telemetry.finishInto(cfg.profile);
+  }
   return total / cfg.iterations;
 }
 
@@ -298,6 +310,7 @@ double pgasBlockingPutLatency(const charm::MachineConfig& machine,
   CKD_REQUIRE(cfg.iterations > 0, "pingpong needs iterations");
   sim::Engine engine;
   setupTrace(engine, cfg);
+  EngineTelemetry telemetry(engine, machine);
   net::Fabric fabric(engine, machine.topology, machine.netParams);
   if (machine.faults.armed())
     fabric.installFaults(machine.faults, machine.faultSeed);
@@ -322,7 +335,10 @@ double pgasBlockingPutLatency(const charm::MachineConfig& machine,
   };
   engine.at(0.0, [&]() { iterate(); });
   engine.run();
-  if (cfg.profile) *cfg.profile = captureFabricProfile(engine, fabric);
+  if (cfg.profile) {
+    *cfg.profile = captureFabricProfile(engine, fabric);
+    telemetry.finishInto(cfg.profile);
+  }
   return total / cfg.iterations;
 }
 

@@ -84,6 +84,7 @@ ProfileReport captureProfile(charm::Runtime& rts) {
     report.migrationsAborted = life->migrationsAborted();
   }
   captureTraceMetrics(report, rts.engine().trace());
+  if (rts.metricsArmed()) report.telemetry = rts.metricsJson();
   return report;
 }
 
@@ -95,6 +96,40 @@ ProfileReport captureFabricProfile(sim::Engine& engine, net::Fabric& fabric) {
   report.fabricBytes = fabric.bytesSubmitted();
   captureTraceMetrics(report, engine.trace());
   return report;
+}
+
+EngineTelemetry::EngineTelemetry(sim::Engine& engine,
+                                 const charm::MachineConfig& machine)
+    : engine_(engine) {
+  if (machine.metricsInterval_us <= 0.0) return;
+  engine.metrics().arm();
+  flight_ = std::make_unique<obs::FlightRecorder>();
+  if (machine.metricsSnapshots != 0)
+    flight_->setCapacity(machine.metricsSnapshots);
+  flight_->setInterval(machine.metricsInterval_us);
+  flight_->addProbe("events", "1", [&engine]() {
+    return static_cast<double>(engine.executedEvents());
+  });
+  flight_->addProbe("trace.ring", "1", [&engine]() {
+    return static_cast<double>(engine.trace().ringSize());
+  });
+  for (std::size_t k = 0; k < obs::kSloCount; ++k) {
+    const auto kind = static_cast<obs::Slo>(k);
+    flight_->watch("slo." + std::string(obs::sloName(kind)),
+                   &engine.metrics().slo(kind));
+  }
+  engine.attachSampler(flight_.get());
+}
+
+EngineTelemetry::~EngineTelemetry() {
+  if (flight_ != nullptr) engine_.attachSampler(nullptr);
+}
+
+void EngineTelemetry::finishInto(ProfileReport* report) const {
+  if (report == nullptr || flight_ == nullptr) return;
+  util::JsonValue doc = flight_->toJson();
+  doc.set("slo", engine_.metrics().toJson());
+  report->telemetry = std::move(doc);
 }
 
 std::string ProfileReport::toString() const {
@@ -379,6 +414,7 @@ util::JsonValue toJson(const ProfileReport& report) {
       causal.set("msg_latency", latencyJson(report.msgLatency));
     obj.set("causal", std::move(causal));
   }
+  if (!report.telemetry.isNull()) obj.set("telemetry", report.telemetry);
   return obj;
 }
 

@@ -132,6 +132,30 @@ void writePerfettoTrace(std::FILE* f, const std::string& bench,
       emit(line);
     }
 
+    // Counter tracks from the streaming-telemetry block (ckd.metrics.v1):
+    // one Perfetto "C" track per flight-recorder series, on the PE process
+    // so counters line up with the per-PE timeline.
+    if (p.telemetry.isObject()) {
+      if (const util::JsonValue* series = p.telemetry.find("series")) {
+        for (std::size_t s = 0; s < series->size(); ++s) {
+          const util::JsonValue& row = series->at(s);
+          const util::JsonValue* name = row.find("name");
+          const util::JsonValue* points = row.find("points");
+          if (name == nullptr || points == nullptr) continue;
+          const std::string track = "ckd/" + name->asString();
+          for (std::size_t i = 0; i < points->size(); ++i) {
+            const util::JsonValue& pt = points->at(i);
+            if (!pt.isArray() || pt.size() < 2) continue;
+            emit("{\"ph\":\"C\",\"name\":\"" + util::jsonEscape(track) +
+                 "\",\"ts\":" + util::jsonNumber(pt.at(0).asNumber()) +
+                 ",\"pid\":" + std::to_string(pidPe) +
+                 ",\"tid\":0,\"args\":{\"value\":" +
+                 util::jsonNumber(pt.at(1).asNumber()) + "}}");
+          }
+        }
+      }
+    }
+
     // Channel tracks + flow arrows come from the folded causal chains.
     const sim::CausalGraph graph(p.traceEvents);
     std::set<int> channels;

@@ -1,0 +1,150 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace ckd::obs {
+
+void FlightRecorder::setInterval(double interval_us) {
+  CKD_REQUIRE(interval_us >= 0.0, "metrics interval must be non-negative");
+  interval_ = interval_us;
+  due_ = interval_us > 0.0 ? interval_us
+                           : std::numeric_limits<double>::infinity();
+}
+
+void FlightRecorder::setCapacity(std::size_t snapshots) {
+  CKD_REQUIRE(snapshots > 0, "flight recorder needs at least one snapshot");
+  // Linearize the ring (oldest first) so append-after-resize stays
+  // chronological; shrinking keeps the newest snapshots, mirroring
+  // TraceRecorder's ring.
+  const std::size_t n = times_.size();
+  const std::size_t drop = n > snapshots ? n - snapshots : 0;
+  std::vector<double> times;
+  std::vector<std::vector<double>> rows;
+  times.reserve(n - drop);
+  rows.reserve(n - drop);
+  for (std::size_t i = drop; i < n; ++i) {
+    const std::size_t j = (start_ + i) % n;
+    times.push_back(times_[j]);
+    rows.push_back(std::move(rows_[j]));
+  }
+  times_ = std::move(times);
+  rows_ = std::move(rows);
+  start_ = 0;
+  dropped_ += drop;
+  capacity_ = snapshots;
+}
+
+void FlightRecorder::addProbe(std::string name, std::string unit,
+                              std::function<double()> read) {
+  CKD_REQUIRE(read != nullptr, "probe needs a reader");
+  series_.push_back(Series{std::move(name), std::move(unit)});
+  probes_.push_back(Probe{std::move(read)});
+  CKD_REQUIRE(times_.empty(),
+              "register probes before the first sample is taken");
+}
+
+void FlightRecorder::watch(std::string name, CountsReader readCounts) {
+  CKD_REQUIRE(readCounts != nullptr, "watch needs a counts reader");
+  CKD_REQUIRE(times_.empty(),
+              "register watches before the first sample is taken");
+  series_.push_back(Series{name + ".count", "samples"});
+  series_.push_back(Series{name + ".p50_us", "us"});
+  series_.push_back(Series{name + ".p99_us", "us"});
+  series_.push_back(Series{name + ".p999_us", "us"});
+  watches_.push_back(Watch{std::move(readCounts), {}, 0});
+}
+
+void FlightRecorder::watch(std::string name, const Histogram* histogram) {
+  CKD_REQUIRE(histogram != nullptr, "watch needs a histogram");
+  watch(std::move(name),
+        [histogram](std::vector<std::uint64_t>& out) {
+          return histogram->addCounts(out);
+        });
+}
+
+void FlightRecorder::sample(double now_us) {
+  if (!armed()) return;
+  std::vector<double> row;
+  row.reserve(probes_.size() + 4 * watches_.size());
+  for (const Probe& p : probes_) row.push_back(p.read());
+  for (Watch& w : watches_) {
+    scratch_.assign(static_cast<std::size_t>(Histogram::kBuckets), 0);
+    const std::uint64_t total = w.read(scratch_);
+    if (w.prev.empty())
+      w.prev.assign(static_cast<std::size_t>(Histogram::kBuckets), 0);
+    // Window = cumulative minus the previous snapshot's cumulative counts.
+    CKD_REQUIRE(total >= w.prevTotal, "SLO histogram counts went backwards");
+    const std::uint64_t windowTotal = total - w.prevTotal;
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      const std::uint64_t cum = scratch_[i];
+      scratch_[i] -= w.prev[i];
+      w.prev[i] = cum;
+    }
+    w.prevTotal = total;
+    row.push_back(static_cast<double>(windowTotal));
+    row.push_back(Histogram::percentileFromCounts(scratch_, windowTotal, 0.50));
+    row.push_back(Histogram::percentileFromCounts(scratch_, windowTotal, 0.99));
+    row.push_back(
+        Histogram::percentileFromCounts(scratch_, windowTotal, 0.999));
+  }
+
+  // Snapshot times must be monotone even if an engine hands us a stale
+  // clock at a window boundary.
+  if (!times_.empty()) {
+    const std::size_t last =
+        (start_ + times_.size() - 1) % times_.size();
+    now_us = std::max(now_us, times_[last]);
+  }
+  if (times_.size() < capacity_) {
+    times_.push_back(now_us);
+    rows_.push_back(std::move(row));
+  } else {
+    times_[start_] = now_us;
+    rows_[start_] = std::move(row);
+    start_ = (start_ + 1) % capacity_;
+    ++dropped_;
+  }
+  while (due_ <= now_us) due_ += interval_;
+}
+
+util::JsonValue FlightRecorder::toJson() const {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", util::JsonValue("ckd.metrics.v1"));
+  doc.set("interval_us", util::JsonValue(interval_));
+  doc.set("snapshots", util::JsonValue(times_.size()));
+  doc.set("dropped", util::JsonValue(dropped_));
+  util::JsonValue series = util::JsonValue::array();
+  for (std::size_t c = 0; c < series_.size(); ++c) {
+    util::JsonValue s = util::JsonValue::object();
+    s.set("name", util::JsonValue(series_[c].name));
+    s.set("unit", util::JsonValue(series_[c].unit));
+    util::JsonValue points = util::JsonValue::array();
+    for (std::size_t i = 0; i < times_.size(); ++i) {
+      const std::size_t j = (start_ + i) % times_.size();
+      util::JsonValue point = util::JsonValue::array();
+      point.push(util::JsonValue(times_[j]));
+      point.push(util::JsonValue(rows_[j][c]));
+      points.push(std::move(point));
+    }
+    s.set("points", std::move(points));
+    series.push(std::move(s));
+  }
+  doc.set("series", std::move(series));
+  return doc;
+}
+
+void FlightRecorder::clearSamples() {
+  times_.clear();
+  rows_.clear();
+  start_ = 0;
+  dropped_ = 0;
+  for (Watch& w : watches_) {
+    w.prev.clear();
+    w.prevTotal = 0;
+  }
+  due_ = armed() ? interval_ : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace ckd::obs

@@ -1,0 +1,118 @@
+#pragma once
+// obs::FlightRecorder — bounded time-series recorder over simulated time.
+//
+// A run with --metrics-interval T samples every registered probe (a
+// double-returning closure over live runtime state: events executed, ring
+// occupancy, pool hit rate, retransmits, per-shard lag) and every watched
+// SLO histogram (windowed p50/p99/p999 over the samples recorded since the
+// previous snapshot) each T microseconds of *virtual* time, producing a
+// trajectory instead of a single post-run number. Snapshots live in a
+// bounded ring (default 512); once full the oldest are dropped (and
+// counted), so arbitrarily long soaks stay safe.
+//
+// Determinism contract: the recorder never schedules engine events. The
+// serial engine piggybacks a `now >= dueAt()` comparison on its existing
+// event dispatch; the parallel engine samples from the coordinator at
+// round boundaries while every shard is parked. Sampling is read-only, so
+// metrics-on and metrics-off runs execute bit-identical event sequences
+// (the digest gate in tests/obs_test.cpp), though snapshot *timestamps*
+// under the sharded engine naturally follow that run's window boundaries.
+//
+// Export: toJson() emits the `ckd.metrics.v1` block ({schema, interval_us,
+// dropped, series: [{name, unit, points: [[t_us, value], ...]}]}) embedded
+// in ckd.bench.v1 profiles and rendered as Perfetto counter tracks by
+// harness::writePerfettoTrace.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/json.hpp"
+
+namespace ckd::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  /// Reader that accumulates cumulative histogram counts into the vector
+  /// (Histogram::addCounts signature) and returns the cumulative total.
+  /// Watching through a reader lets the runtime present a *merged* view of
+  /// all shard registries without copying histograms.
+  using CountsReader =
+      std::function<std::uint64_t(std::vector<std::uint64_t>&)>;
+
+  /// Sampling period in virtual microseconds; 0 disarms (dueAt() = +inf).
+  void setInterval(double interval_us);
+  double interval() const { return interval_; }
+  bool armed() const { return interval_ > 0.0; }
+
+  /// Snapshot-ring capacity; shrinking keeps the newest snapshots.
+  void setCapacity(std::size_t snapshots);
+  std::size_t capacity() const { return capacity_; }
+
+  /// Register a gauge/counter probe sampled at every snapshot.
+  void addProbe(std::string name, std::string unit,
+                std::function<double()> read);
+
+  /// Watch a histogram: every snapshot appends four series —
+  /// <name>.count (samples in the window), <name>.p50_us / .p99_us /
+  /// .p999_us (percentiles over that window's samples only).
+  void watch(std::string name, CountsReader readCounts);
+  void watch(std::string name, const Histogram* histogram);
+
+  /// Virtual time of the next due sample (+inf while disarmed). Engines
+  /// compare their clock against this on the dispatch path.
+  double dueAt() const { return due_; }
+
+  /// Take one snapshot at virtual time `now_us` and advance dueAt() past
+  /// it. Callers guarantee probe reads are race-free (serial engine
+  /// in-thread; parallel coordinator with shards parked).
+  void sample(double now_us);
+
+  std::size_t snapshotCount() const { return times_.size(); }
+  std::uint64_t droppedSnapshots() const { return dropped_; }
+  std::size_t seriesCount() const { return series_.size(); }
+
+  /// The ckd.metrics.v1 JSON block.
+  util::JsonValue toJson() const;
+
+  /// Drop all snapshots and window state; keeps probes, watches, interval.
+  void clearSamples();
+
+ private:
+  struct Series {
+    std::string name;
+    std::string unit;
+  };
+  struct Probe {
+    std::function<double()> read;
+  };
+  struct Watch {
+    CountsReader read;
+    std::vector<std::uint64_t> prev;  ///< cumulative counts at last snapshot
+    std::uint64_t prevTotal = 0;
+  };
+
+  double interval_ = 0.0;
+  double due_ = std::numeric_limits<double>::infinity();
+  std::size_t capacity_ = kDefaultCapacity;
+  std::uint64_t dropped_ = 0;
+
+  std::vector<Series> series_;  ///< column layout: probes then watch columns
+  std::vector<Probe> probes_;
+  std::vector<Watch> watches_;
+
+  // Snapshot ring, chronological from start_.
+  std::vector<double> times_;
+  std::vector<std::vector<double>> rows_;
+  std::size_t start_ = 0;
+
+  std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace ckd::obs

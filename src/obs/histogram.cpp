@@ -1,0 +1,110 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace ckd::obs {
+
+double Histogram::bucketLow(int idx) {
+  CKD_REQUIRE(idx >= 0 && idx < kBuckets, "histogram bucket out of range");
+  if (idx == 0) return 0.0;
+  if (idx == kBuckets - 1) return std::ldexp(1.0, kMaxExp);
+  const int rel = idx - 1;
+  const int oct = rel / kSub;
+  const int sub = rel % kSub;
+  // Octave [2^(e-1), 2^e) split into kSub equal-width sub-buckets.
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSub,
+                    kMinExp + oct - 1);
+}
+
+double Histogram::bucketMid(int idx) {
+  CKD_REQUIRE(idx >= 0 && idx < kBuckets, "histogram bucket out of range");
+  if (idx == 0 || idx == kBuckets - 1) return bucketLow(idx);
+  const int rel = idx - 1;
+  const int oct = rel / kSub;
+  const int sub = rel % kSub;
+  return std::ldexp(1.0 + (static_cast<double>(sub) + 0.5) / kSub,
+                    kMinExp + oct - 1);
+}
+
+double Histogram::percentileFromCounts(
+    const std::vector<std::uint64_t>& counts, std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  CKD_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const double want = std::ceil(q * static_cast<double>(total));
+  const std::uint64_t rank =
+      std::min<std::uint64_t>(total,
+                              std::max<std::uint64_t>(
+                                  1, static_cast<std::uint64_t>(want)));
+  std::uint64_t cum = 0;
+  const std::size_t n = std::min<std::size_t>(counts.size(), kBuckets);
+  for (std::size_t i = 0; i < n; ++i) {
+    cum += counts[i];
+    if (cum >= rank) return bucketMid(static_cast<int>(i));
+  }
+  return bucketMid(kBuckets - 1);
+}
+
+double Histogram::percentile(double q) const {
+  std::vector<std::uint64_t> counts;
+  const std::uint64_t total = addCounts(counts);
+  return percentileFromCounts(counts, total, q);
+}
+
+std::uint64_t Histogram::addCounts(std::vector<std::uint64_t>& out) const {
+  if (out.size() < static_cast<std::size_t>(kBuckets))
+    out.resize(static_cast<std::size_t>(kBuckets), 0);
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    out[static_cast<std::size_t>(i)] += c;
+    total += c;
+  }
+  return total;
+}
+
+void Histogram::merge(const Histogram& other) noexcept {
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = other.buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+    if (c != 0)
+      buckets_[static_cast<std::size_t>(i)].fetch_add(
+          c, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = other.count();
+  if (n == 0) return;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  atomicAdd(sum_, other.sum());
+  atomicMin(min_, other.min());
+  atomicMax(max_, other.max());
+}
+
+void Histogram::clear() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+util::JsonValue Histogram::toJson() const {
+  std::vector<std::uint64_t> counts;
+  const std::uint64_t total = addCounts(counts);
+  util::JsonValue obj = util::JsonValue::object();
+  obj.set("count", util::JsonValue(total));
+  obj.set("mean_us", util::JsonValue(mean()));
+  obj.set("min_us", util::JsonValue(total == 0 ? 0.0 : min()));
+  obj.set("max_us", util::JsonValue(total == 0 ? 0.0 : max()));
+  obj.set("p50_us", util::JsonValue(percentileFromCounts(counts, total, 0.50)));
+  obj.set("p99_us", util::JsonValue(percentileFromCounts(counts, total, 0.99)));
+  obj.set("p999_us",
+          util::JsonValue(percentileFromCounts(counts, total, 0.999)));
+  obj.set("relative_error", util::JsonValue(kRelativeError));
+  return obj;
+}
+
+}  // namespace ckd::obs

@@ -1,0 +1,142 @@
+#pragma once
+// obs::Histogram — fixed-size log-bucketed (HDR-style) latency histogram.
+//
+// Layout: 64 sub-buckets per power-of-two octave, octaves 2^-21 .. 2^44
+// microseconds (sub-nanosecond to ~3 months of virtual time), plus an
+// underflow bucket for zero/negative samples and an open-ended overflow
+// bucket. A recorded value lands in the bucket whose bounds bracket it, so
+// every reported quantile is the midpoint of a bucket that provably
+// contains the true sample:
+//
+//   relative error <= 1 / kSub  (= 1/64 ~ 1.6%),
+//
+// the documented bucket-resolution bound every consumer (soak_elastic's p99
+// gate, the streaming-vs-CausalGraph accuracy tests) budgets against.
+//
+// Recording is lock-free: one relaxed fetch_add on the bucket counter plus
+// relaxed folds of count/sum/min/max. Each simulation shard records only
+// from its own thread (single-writer discipline, like TraceRecorder), but
+// the relaxed atomics additionally make cross-thread *reads* — the flight
+// recorder sampling merged shard counts from the coordinator while shards
+// are parked — well-defined without any locking. Merging is a commutative
+// per-bucket count sum, so shard-merge order cannot change any percentile.
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace ckd::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBits = 6;
+  static constexpr int kSub = 1 << kSubBits;  ///< sub-buckets per octave
+  static constexpr int kMinExp = -20;  ///< lowest octave is [2^-21, 2^-20)
+  static constexpr int kMaxExp = 44;   ///< highest octave is [2^43, 2^44)
+  static constexpr int kOctaves = kMaxExp - kMinExp + 1;
+  static constexpr int kBuckets = kOctaves * kSub + 2;  ///< + under/overflow
+  /// Worst-case relative error of any reported quantile (see header).
+  static constexpr double kRelativeError = 1.0 / kSub;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one sample (microseconds). Hot path: one relaxed fetch_add on
+  /// the bucket plus relaxed count/sum/min/max folds.
+  void record(double v) noexcept {
+    buckets_[static_cast<std::size_t>(bucketFor(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// +inf / -inf while empty (count() == 0).
+  double min() const { return min_.load(std::memory_order_relaxed); }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  /// Quantile q in [0, 1]: the midpoint of the bucket holding the
+  /// ceil(q * count)-th smallest sample; 0 while empty. Within
+  /// kRelativeError of the exact order statistic by construction.
+  double percentile(double q) const;
+
+  /// Fold `other` into this histogram (commutative count sums).
+  void merge(const Histogram& other) noexcept;
+
+  /// Reset to empty.
+  void clear() noexcept;
+
+  /// Accumulate bucket counts into `out` (resized to kBuckets when
+  /// shorter); returns the total count added. This is the primitive shard
+  /// merges and windowed (delta) percentiles are built from.
+  std::uint64_t addCounts(std::vector<std::uint64_t>& out) const;
+
+  /// percentile() over an externally merged / delta'd counts vector.
+  static double percentileFromCounts(const std::vector<std::uint64_t>& counts,
+                                     std::uint64_t total, double q);
+
+  /// Bucket index for a value: 0 = underflow (v <= 0 or below the lowest
+  /// octave), kBuckets-1 = overflow, else 1 + octave * kSub + sub.
+  static int bucketFor(double v) noexcept {
+    if (!(v > 0.0)) return 0;
+    int exp = 0;
+    const double frac = std::frexp(v, &exp);  // v = frac * 2^exp, [0.5, 1)
+    if (exp < kMinExp) return 0;
+    if (exp > kMaxExp) return kBuckets - 1;
+    int sub = static_cast<int>((frac - 0.5) * (2 * kSub));
+    if (sub >= kSub) sub = kSub - 1;  // frac rounding at the octave edge
+    return 1 + (exp - kMinExp) * kSub + sub;
+  }
+
+  /// Inclusive lower bound of a bucket (0 for underflow).
+  static double bucketLow(int idx);
+  /// Representative value: the bucket midpoint (lower bound for the two
+  /// open-ended edge buckets).
+  static double bucketMid(int idx);
+
+  /// {count, mean_us, min_us, max_us, p50_us, p99_us, p999_us,
+  ///  relative_error} summary object.
+  util::JsonValue toJson() const;
+
+ private:
+  static void atomicAdd(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMin(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomicMax(std::atomic<double>& a, double v) noexcept {
+    double cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace ckd::obs

@@ -1,0 +1,37 @@
+#include "obs/metrics.hpp"
+
+#include "util/require.hpp"
+
+namespace ckd::obs {
+
+std::string_view sloName(Slo kind) {
+  switch (kind) {
+    case Slo::kMsgRtt:
+      return "msg_rtt";
+    case Slo::kPut:
+      return "put";
+    case Slo::kRequest:
+      return "request";
+    case Slo::kCount:
+      break;
+  }
+  CKD_REQUIRE(false, "unknown SLO kind");
+  return "";
+}
+
+util::JsonValue MetricsRegistry::toJson() const {
+  util::JsonValue arr = util::JsonValue::array();
+  for (std::size_t k = 0; k < kSloCount; ++k) {
+    util::JsonValue row = util::JsonValue::object();
+    row.set("name",
+            util::JsonValue(std::string("slo.") +
+                            std::string(sloName(static_cast<Slo>(k)))));
+    row.set("unit", util::JsonValue("us"));
+    const util::JsonValue summary = slo_[k].toJson();
+    for (const auto& [key, value] : summary.members()) row.set(key, value);
+    arr.push(row);
+  }
+  return arr;
+}
+
+}  // namespace ckd::obs

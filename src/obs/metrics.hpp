@@ -1,0 +1,82 @@
+#pragma once
+// obs::MetricsRegistry — per-engine streaming SLO histograms.
+//
+// Every sim::Engine owns one registry (exactly like it owns a
+// TraceRecorder), so under the sharded parallel engine each shard records
+// into its own instance from its own thread — single-writer discipline on
+// the hot path, no cross-shard traffic. The registry is *armed* explicitly
+// (--metrics-interval, or MetricsRegistry::arm in tests); disarmed, every
+// feed point pays one predictable branch and nothing else, which is what
+// the metrics-on-vs-off bit-identity gate leans on: recording never
+// schedules engine events or perturbs any simulation state, so arming it
+// cannot change a single tie-break sequence number.
+//
+// The SLO feeds are the causal-chain completions the paper's evaluation is
+// built around, recorded online at the exact same virtual instants
+// sim::CausalGraph would derive post-hoc from the trace ring:
+//   kMsgRtt   — transport send (Envelope::sentAt) -> scheduler delivery
+//   kPut      — CkDirect put issue -> receive-side callback
+//   kRequest  — PGAS op issue -> remote completion
+//
+// Merging across shards (MetricsRegistry::mergeFrom at serial boundaries /
+// post-run) is a commutative bucket-count sum: the merged percentiles are
+// identical for every shard count, which the shard-invariance test gates.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/histogram.hpp"
+#include "util/json.hpp"
+
+namespace ckd::obs {
+
+/// Streaming SLO kinds, one histogram slot each.
+enum class Slo : std::uint8_t {
+  kMsgRtt = 0,  ///< message send -> handler delivery (us)
+  kPut,         ///< CkDirect put issue -> callback (us)
+  kRequest,     ///< PGAS request issue -> remote completion (us)
+  kCount,
+};
+
+constexpr std::size_t kSloCount = static_cast<std::size_t>(Slo::kCount);
+
+std::string_view sloName(Slo kind);
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void arm(bool on = true) { armed_ = on; }
+  bool armed() const { return armed_; }
+
+  /// Hot-path feed: one branch while disarmed.
+  void record(Slo kind, double v_us) noexcept {
+    if (armed_) slo_[static_cast<std::size_t>(kind)].record(v_us);
+  }
+
+  Histogram& slo(Slo kind) { return slo_[static_cast<std::size_t>(kind)]; }
+  const Histogram& slo(Slo kind) const {
+    return slo_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Fold another registry's histograms into this one (commutative).
+  void mergeFrom(const MetricsRegistry& other) noexcept {
+    for (std::size_t k = 0; k < kSloCount; ++k) slo_[k].merge(other.slo_[k]);
+  }
+
+  void clear() noexcept {
+    for (auto& h : slo_) h.clear();
+  }
+
+  /// [{"name": "slo.msg_rtt", "unit": "us", <histogram summary>}, ...]
+  util::JsonValue toJson() const;
+
+ private:
+  bool armed_ = false;
+  std::array<Histogram, kSloCount> slo_;
+};
+
+}  // namespace ckd::obs

@@ -88,6 +88,10 @@ OpId Pgas::newOp(int origin, int target) {
       (static_cast<std::uint64_t>(origin + 1) << 44) | ++p.nextOp;
   Op op;
   op.target = target;
+  // Same instant as the op's kPgasPut/Get/Atomic begin span (every caller
+  // records it just before newOp), so the streaming request histogram and
+  // the post-hoc causal chain measure the same interval.
+  op.issuedAt = engine().now();
   p.ops.emplace(id, std::move(op));
   ++p.outstandingLocal;
   ++p.outstandingRemote[static_cast<std::size_t>(target)];
@@ -134,6 +138,12 @@ void Pgas::onRemoteComplete(int origin, OpId id) {
   auto it = p.ops.find(id);
   if (it == p.ops.end() || it->second.remoteDone) return;
   it->second.remoteDone = true;
+  // Streaming request latency: issue -> remote completion. Failed ops never
+  // remotely complete through here without a redrive, and the redrive keeps
+  // issuedAt — one logical op, N attempts.
+  if (!it->second.failed && it->second.issuedAt >= 0.0)
+    engine().metrics().record(obs::Slo::kRequest,
+                              engine().now() - it->second.issuedAt);
   const int target = it->second.target;
   --p.outstandingRemote[static_cast<std::size_t>(target)];
   Callback waiter = std::move(it->second.remoteWaiter);

@@ -262,6 +262,9 @@ class Pgas {
  private:
   struct Op {
     int target = -1;
+    /// Issue instant (newOp time); feeds the streaming request-latency
+    /// histogram at remote completion. Redrives keep it — one op, N tries.
+    sim::Time issuedAt = -1.0;
     bool localDone = false;
     bool remoteDone = false;
     bool failed = false;

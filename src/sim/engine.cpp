@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+
 namespace ckd::sim {
 
 void Engine::siftUp(std::size_t i) {
@@ -39,6 +41,11 @@ bool Engine::step() {
   now_ = top.when;
   ++executed_;
   processExecuted_.fetch_add(1, std::memory_order_relaxed);
+  // Flight-recorder piggyback: one predictable double compare per event
+  // (sampleNext_ is +inf unless a recorder is attached and armed). The
+  // sample itself is read-only, so it cannot perturb the event sequence.
+  if (now_ >= sampleNext_) [[unlikely]]
+    runSampler();
 
   // Move the action out before running it: the action may schedule new
   // events, which may recycle this very slot.
@@ -46,6 +53,18 @@ bool Engine::step() {
   freeSlots_.push_back(top.slot);
   action();
   return true;
+}
+
+void Engine::attachSampler(obs::FlightRecorder* recorder) {
+  sampler_ = recorder;
+  sampleNext_ = recorder != nullptr
+                    ? recorder->dueAt()
+                    : std::numeric_limits<Time>::infinity();
+}
+
+void Engine::runSampler() {
+  sampler_->sample(now_);
+  sampleNext_ = sampler_->dueAt();
 }
 
 // A stop() issued between runs (e.g. from a fault callback that fired after

@@ -19,10 +19,15 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
 #include "util/inplace_fn.hpp"
 #include "util/require.hpp"
+
+namespace ckd::obs {
+class FlightRecorder;
+}
 
 namespace ckd::sim {
 
@@ -177,6 +182,20 @@ class Engine {
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
 
+  /// Streaming SLO histograms fed by the layers driven by this engine
+  /// (single-writer, like trace()). Disarmed by default: every feed point
+  /// pays one predictable branch, and arming never perturbs event order.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Attach (or detach, with nullptr) a flight recorder sampled inline on
+  /// the dispatch path: the first event at or past recorder->dueAt()
+  /// triggers a read-only sample before it runs. Sampling never schedules
+  /// events, so the event sequence is bit-identical with or without it.
+  /// The sharded parallel engine does NOT use this hook — it samples from
+  /// the coordinator between windows (see ParallelEngine::attachSampler).
+  void attachSampler(obs::FlightRecorder* recorder);
+
  private:
   static constexpr std::size_t kInitialSlots = 256;
 
@@ -247,6 +266,9 @@ class Engine {
 
   void siftUp(std::size_t i);
   void siftDown(std::size_t i);
+  /// Out-of-line sample slow path of the dispatch-time `now_ >= sampleNext_`
+  /// check; refreshes sampleNext_ from the recorder.
+  void runSampler();
 
   std::vector<HeapEntry> heap_;
   std::vector<InboxEntry> inbox_;
@@ -257,6 +279,9 @@ class Engine {
   std::uint64_t executed_ = 0;
   bool stopRequested_ = false;
   TraceRecorder trace_;
+  obs::MetricsRegistry metrics_;
+  obs::FlightRecorder* sampler_ = nullptr;
+  Time sampleNext_ = std::numeric_limits<Time>::infinity();
 
   inline static std::atomic<std::uint64_t> processExecuted_{0};
 };

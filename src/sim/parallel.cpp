@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/flight_recorder.hpp"
+
 #ifdef __linux__
 #include <pthread.h>
 #include <sched.h>
@@ -489,6 +491,7 @@ void ParallelEngine::run() {
       for (auto& sh : shards_) sh.engine.pinNow(s);
       serial_.runWindow(std::nextafter(s, kInf));
       boundsValid_ = false;  // serial events may have staged work anywhere
+      maybeSample(s);
       continue;
     }
     ++windows_;
@@ -502,7 +505,15 @@ void ParallelEngine::run() {
     }
     executeRound();
     boundsValid_ = adaptive_;
+    maybeSample(windowCeiling_);
   }
+}
+
+void ParallelEngine::maybeSample(Time t) {
+  // Runs on the coordinator with every shard parked, so probe closures may
+  // read shard engines race-free. Sampling is read-only — it never schedules
+  // events or touches shard state — so metrics-on runs stay bit-identical.
+  if (sampler_ != nullptr && t >= sampler_->dueAt()) sampler_->sample(t);
 }
 
 // ---- aggregates ----

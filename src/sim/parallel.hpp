@@ -264,6 +264,14 @@ class ParallelEngine {
   /// order is partition-independent.
   std::vector<TraceEvent> mergedTrace() const;
 
+  /// Attach (or detach) a flight recorder sampled by the coordinator at
+  /// round boundaries — after each serial phase and each parallel window,
+  /// with every shard parked, so probe reads over shard state are
+  /// race-free. Snapshot timestamps follow this run's window boundaries;
+  /// the samples themselves are read-only, so metrics-on and metrics-off
+  /// runs stay bit-identical.
+  void attachSampler(obs::FlightRecorder* recorder) { sampler_ = recorder; }
+
   /// Shared per-PE chain-id counter table for TraceRecorder::mintIdFor
   /// (slot 0 = the serial context). Wired into every shard recorder by the
   /// runtime so minted ids are a function of per-PE order alone.
@@ -379,6 +387,9 @@ class ParallelEngine {
 
   Time minShardNext() const;
   void runShardWindow(int shard, Time ceiling);
+  /// Coordinator-side sampler check after a round/serial phase (shards
+  /// parked); `t` is the boundary's virtual time.
+  void maybeSample(Time t);
   void executeRound();
   void workerLoop(int workerIndex);
   void pinThread(int workerIndex);
@@ -409,6 +420,7 @@ class ParallelEngine {
   Time windowCeiling_ = 0.0;  ///< global-mode ceiling of the last round
   std::uint64_t windows_ = 0;
   std::atomic<bool> stopRequested_{false};
+  obs::FlightRecorder* sampler_ = nullptr;
 
   // Worker pool (only when threads() > 1). Spin-then-yield barriers: the
   // generation counter releases a round, doneCount_ reports completion.

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -159,6 +160,21 @@ class TraceRecorder {
     ++counts_[static_cast<std::size_t>(tag)];
     if (enabled_) [[unlikely]]
       append(time, pe, tag, value, 0, 0, SpanPhase::kInstant, -1);
+  }
+
+  /// Lazy-value variant of record(): `value` is a nullary callable producing
+  /// the event's tag-specific payload, evaluated ONLY when the ring is
+  /// enabled. Use it at call sites whose value expression does real work
+  /// (walks a queue, folds counters) — with the plain overload that work
+  /// runs even when tracing is off, which is exactly the compile-out cost
+  /// the no-ring configuration is supposed to avoid. The always-on per-tag
+  /// counter still bumps unconditionally.
+  template <class Fn, class = std::enable_if_t<std::is_invocable_v<Fn&>>>
+  void recordLazy(Time time, int pe, TraceTag tag, Fn&& value) {
+    ++counts_[static_cast<std::size_t>(tag)];
+    if (enabled_) [[unlikely]]
+      append(time, pe, tag, static_cast<double>(value()), 0, 0,
+             SpanPhase::kInstant, -1);
   }
 
   /// Record one causal span event: like record(), plus the chain id, the

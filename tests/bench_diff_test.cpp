@@ -1,0 +1,253 @@
+// bench_diff (src/harness/bench_diff.hpp): metric matching, direction
+// rules, tolerance bands, missing handling — plus the acceptance gates: a
+// seeded synthetic regression is detected, and every committed BENCH_*.json
+// baseline identity-diffs clean at a zero band.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_diff.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ckd;
+using harness::DiffOptions;
+using harness::DiffReport;
+using harness::DiffRow;
+using harness::DiffStatus;
+
+util::JsonValue metricRow(const char* name, double value, const char* unit,
+                          std::vector<std::pair<std::string, std::string>>
+                              labels = {}) {
+  util::JsonValue row = util::JsonValue::object();
+  row.set("name", name);
+  row.set("value", value);
+  row.set("unit", unit);
+  if (!labels.empty()) {
+    util::JsonValue obj = util::JsonValue::object();
+    for (const auto& [k, v] : labels) obj.set(k, v);
+    row.set("labels", std::move(obj));
+  }
+  return row;
+}
+
+util::JsonValue benchDoc(std::vector<util::JsonValue> rows) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc.set("schema", "ckd.bench.v1");
+  doc.set("bench", "selftest");
+  util::JsonValue metrics = util::JsonValue::array();
+  for (util::JsonValue& row : rows) metrics.push(std::move(row));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+const DiffRow* findRow(const DiffReport& report, const std::string& key) {
+  for (const DiffRow& row : report.rows)
+    if (row.key == key) return &row;
+  return nullptr;
+}
+
+TEST(BenchDiff, IdentityDiffHasNoDrift) {
+  const util::JsonValue doc = benchDoc({
+      metricRow("latency_us", 12.5, "us", {{"variant", "ckdirect"}}),
+      metricRow("events_executed", 1000.0, "events"),
+  });
+  const DiffReport report = harness::diffBench(doc, doc, DiffOptions{});
+  EXPECT_EQ(report.compared, 2);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_EQ(report.improvements, 0);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_FALSE(report.failed(DiffOptions{}));
+}
+
+TEST(BenchDiff, SeededSyntheticRegressionIsDetected) {
+  const util::JsonValue base = benchDoc({
+      metricRow("latency_us", 100.0, "us"),
+      metricRow("events_executed", 5000.0, "events"),
+  });
+  // Seed a +30% latency regression past the default 10% band.
+  const util::JsonValue cand = benchDoc({
+      metricRow("latency_us", 130.0, "us"),
+      metricRow("events_executed", 5000.0, "events"),
+  });
+  const DiffOptions opts;
+  const DiffReport report = harness::diffBench(base, cand, opts);
+  EXPECT_EQ(report.regressions, 1);
+  EXPECT_TRUE(report.failed(opts));
+  const DiffRow* row = findRow(report, "latency_us");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->status, DiffStatus::kRegression);
+  EXPECT_NEAR(row->rel, 0.30, 1e-12);
+  // The regression survives into both renderings.
+  EXPECT_NE(report.toTable(false).find("REGRESSION"), std::string::npos);
+  EXPECT_EQ(report.toJson().at("regressions").asNumber(), 1.0);
+}
+
+TEST(BenchDiff, TimeUnitsOnlyRegressUpward) {
+  const util::JsonValue base = benchDoc({metricRow("rtt_us", 100.0, "us")});
+  const util::JsonValue faster = benchDoc({metricRow("rtt_us", 60.0, "us")});
+  const DiffReport report = harness::diffBench(base, faster, DiffOptions{});
+  const DiffRow* row = findRow(report, "rtt_us");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->status, DiffStatus::kImprovement);
+  EXPECT_FALSE(report.failed(DiffOptions{}));
+}
+
+TEST(BenchDiff, RateUnitsRegressDownwardUnderIncludeHost) {
+  const util::JsonValue base =
+      benchDoc({metricRow("events_per_sec", 1000000.0, "1/s")});
+  const util::JsonValue slower =
+      benchDoc({metricRow("events_per_sec", 500000.0, "1/s")});
+  DiffOptions opts;
+  // Host-dependent units are skipped entirely by default...
+  const DiffReport skipped = harness::diffBench(base, slower, opts);
+  EXPECT_EQ(skipped.compared, 0);
+  EXPECT_EQ(skipped.skipped, 1);
+  // ...and regress on a drop once --include-host opts in.
+  opts.includeHost = true;
+  const DiffReport report = harness::diffBench(base, slower, opts);
+  const DiffRow* row = findRow(report, "events_per_sec");
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->status, DiffStatus::kRegression);
+}
+
+TEST(BenchDiff, SymmetricUnitsRegressInEitherDirection) {
+  const util::JsonValue base = benchDoc({metricRow("chains", 100.0, "1")});
+  for (const double drifted : {150.0, 50.0}) {
+    const util::JsonValue cand = benchDoc({metricRow("chains", drifted, "1")});
+    const DiffReport report = harness::diffBench(base, cand, DiffOptions{});
+    const DiffRow* row = findRow(report, "chains");
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->status, DiffStatus::kRegression) << drifted;
+  }
+}
+
+TEST(BenchDiff, MissingMetricsFatalOnlyWithFailOnMissing) {
+  const util::JsonValue base = benchDoc({
+      metricRow("a_us", 1.0, "us"),
+      metricRow("b_us", 2.0, "us"),
+  });
+  const util::JsonValue cand = benchDoc({
+      metricRow("a_us", 1.0, "us"),
+      metricRow("c_us", 3.0, "us"),
+  });
+  DiffOptions opts;
+  const DiffReport report = harness::diffBench(base, cand, opts);
+  EXPECT_EQ(report.compared, 1);
+  EXPECT_EQ(report.missing, 2);
+  EXPECT_EQ(findRow(report, "b_us")->status, DiffStatus::kMissingCand);
+  EXPECT_EQ(findRow(report, "c_us")->status, DiffStatus::kMissingBase);
+  EXPECT_FALSE(report.failed(opts));
+  opts.failOnMissing = true;
+  EXPECT_TRUE(report.failed(opts));
+}
+
+TEST(BenchDiff, LabelsDiscriminateAndSortIntoTheKey) {
+  const util::JsonValue rowA =
+      metricRow("latency_us", 1.0, "us", {{"variant", "pgas"}, {"bytes", "8"}});
+  // Same labels, different insertion order: identical key.
+  const util::JsonValue rowB =
+      metricRow("latency_us", 1.0, "us", {{"bytes", "8"}, {"variant", "pgas"}});
+  EXPECT_EQ(harness::metricKey(rowA), harness::metricKey(rowB));
+  EXPECT_EQ(harness::metricKey(rowA), "latency_us{bytes=8,variant=pgas}");
+
+  const util::JsonValue base = benchDoc({
+      metricRow("latency_us", 10.0, "us", {{"variant", "a"}}),
+      metricRow("latency_us", 20.0, "us", {{"variant", "b"}}),
+  });
+  const util::JsonValue cand = benchDoc({
+      metricRow("latency_us", 10.0, "us", {{"variant", "a"}}),
+      metricRow("latency_us", 40.0, "us", {{"variant", "b"}}),
+  });
+  const DiffReport report = harness::diffBench(base, cand, DiffOptions{});
+  EXPECT_EQ(findRow(report, "latency_us{variant=a}")->status, DiffStatus::kOk);
+  EXPECT_EQ(findRow(report, "latency_us{variant=b}")->status,
+            DiffStatus::kRegression);
+}
+
+TEST(BenchDiff, PerMetricToleranceGlobsOverrideTheDefault) {
+  const util::JsonValue base = benchDoc({
+      metricRow("latency_p99_us", 100.0, "us"),
+      metricRow("latency_p50_us", 100.0, "us"),
+  });
+  const util::JsonValue cand = benchDoc({
+      metricRow("latency_p99_us", 130.0, "us"),
+      metricRow("latency_p50_us", 130.0, "us"),
+  });
+  DiffOptions opts;
+  opts.metricTolerance = harness::parseMetricTolerances("latency_p99*=0.5");
+  const DiffReport report = harness::diffBench(base, cand, opts);
+  EXPECT_EQ(findRow(report, "latency_p99_us")->status, DiffStatus::kOk);
+  EXPECT_EQ(findRow(report, "latency_p99_us")->tolerance, 0.5);
+  EXPECT_EQ(findRow(report, "latency_p50_us")->status,
+            DiffStatus::kRegression);
+}
+
+TEST(BenchDiff, SkipAndOnlyGlobsFilterTheComparison) {
+  const util::JsonValue base = benchDoc({
+      metricRow("rtt_us", 100.0, "us"),
+      metricRow("noisy_us", 100.0, "us"),
+  });
+  const util::JsonValue cand = benchDoc({
+      metricRow("rtt_us", 100.0, "us"),
+      metricRow("noisy_us", 500.0, "us"),
+  });
+  DiffOptions opts;
+  opts.skip = {"noisy*"};
+  EXPECT_FALSE(harness::diffBench(base, cand, opts).failed(opts));
+  opts.skip.clear();
+  opts.only = {"rtt*"};
+  EXPECT_FALSE(harness::diffBench(base, cand, opts).failed(opts));
+  opts.only.clear();
+  EXPECT_TRUE(harness::diffBench(base, cand, opts).failed(opts));
+}
+
+TEST(BenchDiff, ParseMetricTolerancesGrammar) {
+  const auto tols = harness::parseMetricTolerances("a*=0.5,b{x=1}=0.25");
+  ASSERT_EQ(tols.size(), 2u);
+  EXPECT_EQ(tols[0].first, "a*");
+  EXPECT_DOUBLE_EQ(tols[0].second, 0.5);
+  EXPECT_EQ(tols[1].first, "b{x=1}");
+  EXPECT_DOUBLE_EQ(tols[1].second, 0.25);
+  EXPECT_TRUE(harness::parseMetricTolerances("").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Real committed baselines (acceptance gate): each BENCH_*.json must
+// identity-diff clean at a zero band — duplicate keys or malformed rows
+// would CKD_REQUIRE out, drift is impossible against itself.
+
+util::JsonValue loadBaseline(const std::string& name) {
+  const std::string path = std::string(CKD_REPO_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return util::JsonValue::parse(buf.str());
+}
+
+class CommittedBaselines : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CommittedBaselines, IdentityDiffPassesAtZeroBand) {
+  const util::JsonValue doc = loadBaseline(GetParam());
+  DiffOptions opts;
+  opts.tolerance = 0.0;
+  opts.failOnMissing = true;
+  const DiffReport report = harness::diffBench(doc, doc, opts);
+  EXPECT_GT(report.compared + report.skipped, 0);
+  EXPECT_EQ(report.regressions, 0);
+  EXPECT_EQ(report.missing, 0);
+  EXPECT_FALSE(report.failed(opts));
+}
+
+INSTANTIATE_TEST_SUITE_P(Repo, CommittedBaselines,
+                         ::testing::Values("BENCH_PR4.json", "BENCH_PR7.json",
+                                           "BENCH_PR8.json",
+                                           "BENCH_PR9.json"));
+
+}  // namespace

@@ -1,0 +1,475 @@
+// Streaming telemetry (src/obs): histogram accuracy, registry arming,
+// flight-recorder sampling, and the PR's acceptance gates — streaming SLO
+// percentiles vs post-hoc CausalGraph numbers within the documented bucket
+// error, metrics-on vs metrics-off bit-identity (serial and sharded),
+// shard-invariance of merged counts, and Perfetto counter tracks.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/machines.hpp"
+#include "harness/pingpong.hpp"
+#include "harness/profile.hpp"
+#include "harness/trace_export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metrics.hpp"
+#include "pgas/pgas.hpp"
+#include "sim/causal.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ckd;
+
+// The bucket-resolution budget for streaming-vs-exact comparisons: the
+// histogram guarantees kRelativeError (1/64); doubled to absorb the
+// different tie conventions of an exact order statistic at small counts.
+constexpr double kBucketBudget = 2.0 * obs::Histogram::kRelativeError;
+
+double exactPercentile(std::vector<double> values, double q) {
+  EXPECT_FALSE(values.empty());
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+double relDiff(double a, double b) {
+  return b != 0.0 ? std::fabs(a - b) / std::fabs(b) : std::fabs(a);
+}
+
+std::uint64_t fnv(const void* data, std::size_t bytes,
+                  std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t traceDigest(const std::vector<sim::TraceEvent>& events) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const sim::TraceEvent& ev : events) {
+    h = fnv(&ev.time, sizeof ev.time, h);
+    h = fnv(&ev.id, sizeof ev.id, h);
+    h = fnv(&ev.parent, sizeof ev.parent, h);
+    h = fnv(&ev.value, sizeof ev.value, h);
+    h = fnv(&ev.pe, sizeof ev.pe, h);
+    h = fnv(&ev.aux, sizeof ev.aux, h);
+    const auto tag = static_cast<unsigned char>(ev.tag);
+    const auto phase = static_cast<unsigned char>(ev.phase);
+    h = fnv(&tag, 1, h);
+    h = fnv(&phase, 1, h);
+  }
+  return h;
+}
+
+/// The "slo.<name>" summary object out of a profile's telemetry block.
+const util::JsonValue* sloSummary(const harness::ProfileReport& profile,
+                                  const std::string& name) {
+  if (profile.telemetry.isNull()) return nullptr;
+  const util::JsonValue* slo = profile.telemetry.find("slo");
+  if (slo == nullptr) return nullptr;
+  for (std::size_t i = 0; i < slo->size(); ++i)
+    if (slo->at(i).at("name").asString() == name) return &slo->at(i);
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+TEST(Histogram, CountsSumsAndExactStatsAreExact) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  const std::vector<double> samples = {3.0, 1.5, 20.0, 0.25, 100.0};
+  double sum = 0.0;
+  for (const double v : samples) {
+    h.record(v);
+    sum += v;
+  }
+  EXPECT_EQ(h.count(), samples.size());
+  EXPECT_DOUBLE_EQ(h.sum(), sum);
+  EXPECT_DOUBLE_EQ(h.min(), 0.25);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 5.0);
+}
+
+TEST(Histogram, PercentileWithinDocumentedRelativeError) {
+  obs::Histogram h;
+  // Deterministic pseudo-random spread over five orders of magnitude.
+  std::vector<double> values;
+  std::uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 5000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const double u = static_cast<double>(x % 1000000) / 1000000.0;
+    values.push_back(0.05 * std::pow(10.0, 5.0 * u));
+    h.record(values.back());
+  }
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = exactPercentile(values, q);
+    EXPECT_LE(relDiff(h.percentile(q), exact), kBucketBudget)
+        << "q=" << q << " hist=" << h.percentile(q) << " exact=" << exact;
+  }
+}
+
+TEST(Histogram, EdgeBucketsHoldNonPositiveAndHugeSamples) {
+  obs::Histogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  h.record(1e30);  // beyond the top octave -> overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(obs::Histogram::bucketFor(0.0), 0);
+  EXPECT_EQ(obs::Histogram::bucketFor(-1.0), 0);
+  EXPECT_EQ(obs::Histogram::bucketFor(1e30), obs::Histogram::kBuckets - 1);
+  // The overflow bucket's representative value is its lower bound.
+  EXPECT_GT(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedRecording) {
+  obs::Histogram a, b, combined;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = 0.7 * i;
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  for (const double q : {0.1, 0.5, 0.99})
+    EXPECT_DOUBLE_EQ(a.percentile(q), combined.percentile(q));
+  a.clear();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, AddCountsAndPercentileFromCountsRoundTrip) {
+  obs::Histogram h;
+  for (int i = 1; i <= 64; ++i) h.record(static_cast<double>(i));
+  std::vector<std::uint64_t> counts;
+  const std::uint64_t total = h.addCounts(counts);
+  EXPECT_EQ(total, 64u);
+  EXPECT_EQ(counts.size(),
+            static_cast<std::size_t>(obs::Histogram::kBuckets));
+  EXPECT_DOUBLE_EQ(obs::Histogram::percentileFromCounts(counts, total, 0.5),
+                   h.percentile(0.5));
+  // Accumulates (does not overwrite): adding twice doubles every bucket.
+  const std::uint64_t total2 = h.addCounts(counts);
+  EXPECT_EQ(total2, 64u);
+  std::uint64_t folded = 0;
+  for (const std::uint64_t c : counts) folded += c;
+  EXPECT_EQ(folded, 128u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry / TraceRecorder compile-out
+
+TEST(MetricsRegistry, DisarmedRecordingIsDropped) {
+  obs::MetricsRegistry reg;
+  reg.record(obs::Slo::kMsgRtt, 5.0);
+  EXPECT_EQ(reg.slo(obs::Slo::kMsgRtt).count(), 0u);
+  reg.arm();
+  reg.record(obs::Slo::kMsgRtt, 5.0);
+  reg.record(obs::Slo::kPut, 7.0);
+  EXPECT_EQ(reg.slo(obs::Slo::kMsgRtt).count(), 1u);
+  EXPECT_EQ(reg.slo(obs::Slo::kPut).count(), 1u);
+  EXPECT_EQ(reg.slo(obs::Slo::kRequest).count(), 0u);
+
+  obs::MetricsRegistry other;
+  other.arm();
+  other.record(obs::Slo::kMsgRtt, 9.0);
+  reg.mergeFrom(other);
+  EXPECT_EQ(reg.slo(obs::Slo::kMsgRtt).count(), 2u);
+}
+
+TEST(TraceRecorder, RecordLazySkipsClosureWhileDisabled) {
+  sim::TraceRecorder trace;
+  int evaluated = 0;
+  trace.recordLazy(1.0, 0, sim::TraceTag::kSchedPump, [&evaluated] {
+    ++evaluated;
+    return 42.0;
+  });
+  EXPECT_EQ(evaluated, 0);  // ring disabled: the closure may not run
+  EXPECT_EQ(trace.ringSize(), 0u);
+  EXPECT_EQ(trace.count(sim::TraceTag::kSchedPump), 1u);  // counter still on
+
+  trace.enable();
+  trace.recordLazy(2.0, 0, sim::TraceTag::kSchedPump, [&evaluated] {
+    ++evaluated;
+    return 42.0;
+  });
+  EXPECT_EQ(evaluated, 1);
+  EXPECT_EQ(trace.ringSize(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+
+TEST(FlightRecorder, SamplesProbesAtIntervalIntoBoundedRing) {
+  obs::FlightRecorder fr;
+  EXPECT_FALSE(fr.armed());
+  EXPECT_TRUE(std::isinf(fr.dueAt()));
+
+  double gauge = 0.0;
+  fr.addProbe("gauge", "1", [&gauge] { return gauge; });
+  obs::Histogram hist;
+  fr.watch("slo.test", &hist);
+  fr.setInterval(10.0);
+  fr.setCapacity(4);
+  EXPECT_TRUE(fr.armed());
+  EXPECT_EQ(fr.seriesCount(), 5u);  // gauge + count/p50/p99/p999
+
+  for (int i = 1; i <= 6; ++i) {
+    gauge = static_cast<double>(i);
+    hist.record(static_cast<double>(i));
+    fr.sample(10.0 * i);
+  }
+  EXPECT_EQ(fr.snapshotCount(), 4u);  // ring capacity
+  EXPECT_EQ(fr.droppedSnapshots(), 2u);
+
+  const util::JsonValue doc = fr.toJson();
+  EXPECT_EQ(doc.at("schema").asString(), "ckd.metrics.v1");
+  EXPECT_DOUBLE_EQ(doc.at("interval_us").asNumber(), 10.0);
+  EXPECT_EQ(doc.at("series").size(), 5u);
+  // The oldest retained snapshot is t=30; the gauge series tracks it.
+  const util::JsonValue& points = doc.at("series").at(0).at("points");
+  EXPECT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.at(0).at(0).asNumber(), 30.0);
+  EXPECT_DOUBLE_EQ(points.at(0).at(1).asNumber(), 3.0);
+  // Watch series report the per-window count (one sample per interval).
+  const util::JsonValue& counts = doc.at("series").at(1).at("points");
+  EXPECT_DOUBLE_EQ(counts.at(0).at(1).asNumber(), 1.0);
+
+  fr.clearSamples();
+  EXPECT_EQ(fr.snapshotCount(), 0u);
+}
+
+TEST(FlightRecorder, SerialEnginePiggybackSampling) {
+  sim::Engine engine;
+  obs::FlightRecorder fr;
+  fr.setInterval(5.0);
+  fr.addProbe("events", "1", [&engine] {
+    return static_cast<double>(engine.executedEvents());
+  });
+  engine.attachSampler(&fr);
+  for (int i = 0; i < 10; ++i) engine.at(2.0 * i, [] {});
+  engine.run();
+  // 18 us of virtual time at a 5 us interval: samples fire at the first
+  // event whose timestamp crosses each deadline.
+  EXPECT_GE(fr.snapshotCount(), 3u);
+  EXPECT_LE(fr.snapshotCount(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming vs post-hoc CausalGraph accuracy (acceptance gate)
+
+struct StreamingRun {
+  harness::ProfileReport profile;
+  double result = 0.0;
+};
+
+StreamingRun runCharmPingpong(double metricsInterval, bool trace,
+                              int shards = 0) {
+  charm::MachineConfig machine = harness::abeMachine(2, 1);
+  machine.metricsInterval_us = metricsInterval;
+  machine.shards = shards;
+  machine.shardThreads = shards > 0 ? 1 : 0;
+  harness::PingpongConfig cfg;
+  cfg.bytes = 100;
+  cfg.iterations = 400;
+  cfg.trace = trace;
+  StreamingRun run;
+  cfg.profile = &run.profile;
+  run.result = harness::charmPingpongRtt(machine, cfg);
+  return run;
+}
+
+TEST(StreamingAccuracy, CharmMsgRttMatchesCausalGraph) {
+  const StreamingRun run = runCharmPingpong(50.0, /*trace=*/true);
+  const util::JsonValue* slo = sloSummary(run.profile, "slo.msg_rtt");
+  ASSERT_NE(slo, nullptr);
+
+  const sim::CausalGraph graph(run.profile.traceEvents);
+  std::vector<double> totals;
+  // Mirror CausalGraph::messageLatency()'s chain selection (complete
+  // message chains with an opening span, ending at scheduler delivery).
+  for (const sim::CausalChain& c : graph.chains()) {
+    if (!c.complete || c.kind == sim::TraceTag::kDirectPut ||
+        c.kind == sim::TraceTag::kCount ||
+        c.endTag != sim::TraceTag::kSchedDeliver)
+      continue;
+    totals.push_back(c.breakdown().total_us);
+  }
+  ASSERT_FALSE(totals.empty());
+  EXPECT_EQ(static_cast<std::size_t>(slo->at("count").asNumber()),
+            totals.size());
+  for (const auto& [key, q] :
+       {std::pair<const char*, double>{"p50_us", 0.50},
+        std::pair<const char*, double>{"p99_us", 0.99}}) {
+    const double exact = exactPercentile(totals, q);
+    EXPECT_LE(relDiff(slo->at(key).asNumber(), exact), kBucketBudget)
+        << key << " streaming=" << slo->at(key).asNumber()
+        << " causal=" << exact;
+  }
+}
+
+TEST(StreamingAccuracy, CkdirectPutMatchesCausalGraph) {
+  charm::MachineConfig machine = harness::abeMachine(2, 1);
+  machine.metricsInterval_us = 50.0;
+  harness::PingpongConfig cfg;
+  cfg.bytes = 256;
+  cfg.iterations = 300;
+  cfg.trace = true;
+  harness::ProfileReport profile;
+  cfg.profile = &profile;
+  harness::ckdirectPingpongRtt(machine, cfg);
+
+  const util::JsonValue* slo = sloSummary(profile, "slo.put");
+  ASSERT_NE(slo, nullptr);
+  const sim::CausalGraph graph(profile.traceEvents);
+  std::vector<double> totals;
+  for (const sim::CausalChain& c : graph.chains()) {
+    if (!c.complete || c.kind != sim::TraceTag::kDirectPut) continue;
+    totals.push_back(c.breakdown().total_us);
+  }
+  ASSERT_FALSE(totals.empty());
+  EXPECT_EQ(static_cast<std::size_t>(slo->at("count").asNumber()),
+            totals.size());
+  const double exact = exactPercentile(totals, 0.99);
+  EXPECT_LE(relDiff(slo->at("p99_us").asNumber(), exact), kBucketBudget);
+}
+
+TEST(StreamingAccuracy, PgasRequestMatchesCausalGraph) {
+  charm::MachineConfig machine = harness::abeMachine(2, 1);
+  machine.metricsInterval_us = 50.0;
+  harness::PingpongConfig cfg;
+  cfg.bytes = 512;
+  cfg.iterations = 300;
+  cfg.trace = true;
+  harness::ProfileReport profile;
+  cfg.profile = &profile;
+  harness::pgasBlockingPutLatency(machine, pgas::dartIbCosts(), cfg);
+
+  const util::JsonValue* slo = sloSummary(profile, "slo.request");
+  ASSERT_NE(slo, nullptr);
+  const sim::CausalGraph graph(profile.traceEvents);
+  std::vector<double> totals;
+  for (const sim::CausalChain& c : graph.chains()) {
+    if (!c.complete || c.kind != sim::TraceTag::kPgasPut) continue;
+    totals.push_back(c.breakdown().total_us);
+  }
+  ASSERT_FALSE(totals.empty());
+  EXPECT_EQ(static_cast<std::size_t>(slo->at("count").asNumber()),
+            totals.size());
+  const double exact = exactPercentile(totals, 0.99);
+  EXPECT_LE(relDiff(slo->at("p99_us").asNumber(), exact), kBucketBudget);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics-on vs metrics-off bit-identity (acceptance gate)
+
+TEST(MetricsDeterminism, SerialOnOffBitIdentical) {
+  const StreamingRun off = runCharmPingpong(0.0, /*trace=*/true);
+  const StreamingRun on = runCharmPingpong(25.0, /*trace=*/true);
+  EXPECT_DOUBLE_EQ(off.result, on.result);
+  EXPECT_DOUBLE_EQ(off.profile.horizon_us, on.profile.horizon_us);
+  EXPECT_EQ(off.profile.traceEvents.size(), on.profile.traceEvents.size());
+  EXPECT_EQ(traceDigest(off.profile.traceEvents),
+            traceDigest(on.profile.traceEvents));
+  EXPECT_TRUE(off.profile.telemetry.isNull());
+  EXPECT_FALSE(on.profile.telemetry.isNull());
+}
+
+TEST(MetricsDeterminism, ShardedOnOffBitIdentical) {
+  const StreamingRun off = runCharmPingpong(0.0, /*trace=*/true, /*shards=*/2);
+  const StreamingRun on = runCharmPingpong(25.0, /*trace=*/true, /*shards=*/2);
+  EXPECT_DOUBLE_EQ(off.result, on.result);
+  EXPECT_DOUBLE_EQ(off.profile.horizon_us, on.profile.horizon_us);
+  EXPECT_EQ(traceDigest(off.profile.traceEvents),
+            traceDigest(on.profile.traceEvents));
+}
+
+TEST(MetricsDeterminism, MergedSloCountsShardInvariant) {
+  const StreamingRun serial = runCharmPingpong(25.0, /*trace=*/false);
+  const StreamingRun sharded =
+      runCharmPingpong(25.0, /*trace=*/false, /*shards=*/2);
+  const util::JsonValue* a = sloSummary(serial.profile, "slo.msg_rtt");
+  const util::JsonValue* b = sloSummary(sharded.profile, "slo.msg_rtt");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_DOUBLE_EQ(a->at("count").asNumber(), b->at("count").asNumber());
+  EXPECT_DOUBLE_EQ(a->at("p50_us").asNumber(), b->at("p50_us").asNumber());
+  EXPECT_DOUBLE_EQ(a->at("p99_us").asNumber(), b->at("p99_us").asNumber());
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto counter tracks under shards (satellite gate)
+
+std::string readAll(const char* path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class PerfettoCounters : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerfettoCounters, TelemetrySeriesBecomeCounterTracks) {
+  const int shards = GetParam();
+  charm::MachineConfig machine = harness::abeMachine(8, 1);
+  machine.metricsInterval_us = 25.0;
+  machine.shards = shards;
+  machine.shardThreads = 1;
+  harness::PingpongConfig cfg;
+  cfg.bytes = 100;
+  cfg.iterations = 200;
+  cfg.trace = true;
+  harness::ProfileReport profile;
+  cfg.profile = &profile;
+  harness::charmPingpongRtt(machine, cfg);
+  profile.label = "counters";
+  ASSERT_FALSE(profile.telemetry.isNull());
+
+  const std::string path =
+      "PERFETTO_counters_" + std::to_string(shards) + ".json";
+  std::vector<harness::ProfileReport> profiles;
+  profiles.push_back(std::move(profile));
+  harness::writePerfettoTrace(path, "obs_test", profiles);
+  const util::JsonValue doc = util::JsonValue::parse(readAll(path.c_str()));
+  std::remove(path.c_str());
+
+  std::size_t counters = 0;
+  bool sawSlo = false, sawEvents = false;
+  const util::JsonValue& events = doc.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::JsonValue& ev = events.at(i);
+    if (ev.at("ph").asString() != "C") continue;
+    ++counters;
+    const std::string& name = ev.at("name").asString();
+    EXPECT_EQ(name.rfind("ckd/", 0), 0u) << name;
+    if (name == "ckd/slo.msg_rtt.count") sawSlo = true;
+    if (name == "ckd/events") sawEvents = true;
+    EXPECT_TRUE(ev.at("args").find("value") != nullptr);
+  }
+  EXPECT_GT(counters, 0u);
+  EXPECT_TRUE(sawSlo);
+  EXPECT_TRUE(sawEvents);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, PerfettoCounters, ::testing::Values(2, 4));
+
+}  // namespace
